@@ -1,0 +1,35 @@
+//! # scales-autograd
+//!
+//! Reverse-mode automatic differentiation for the SCALES reproduction.
+//!
+//! The central type is [`Var`], a shared handle to a tape node. Operations
+//! on `Var` build a computation graph; [`Var::backward`] walks it in reverse
+//! topological order and accumulates gradients into parameter leaves.
+//!
+//! Besides the usual arithmetic / activation / convolution ops, the crate
+//! provides the binarization operators that make binary-network training
+//! possible (see [`ops::binarize`]): clipped and Bi-Real
+//! straight-through estimators, the per-channel XNOR-Net weight binarizer,
+//! and the paper's layer-wise-scaling-factor binarizer with the Eq. (2)/(3)
+//! gradients.
+//!
+//! ```
+//! use scales_autograd::Var;
+//! use scales_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), scales_tensor::TensorError> {
+//! let x = Var::param(Tensor::from_vec(vec![0.4, -0.9], &[2])?);
+//! let alpha = Var::param(Tensor::from_vec(vec![1.0], &[1])?);
+//! let beta = Var::param(Tensor::from_vec(vec![0.0], &[1])?);
+//! let y = x.lsf_binarize(&alpha, &beta)?; // SCALES Eq. (1)
+//! assert_eq!(y.value().data(), &[1.0, -1.0]);
+//! y.sum_all()?.backward()?;
+//! assert!(alpha.grad().is_some() && beta.grad().is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ops;
+mod var;
+
+pub use var::Var;

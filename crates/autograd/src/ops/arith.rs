@@ -1,0 +1,200 @@
+//! Broadcasting arithmetic ops with their gradient rules.
+
+use crate::var::Var;
+use scales_tensor::{Result, Tensor};
+
+impl Var {
+    /// Elementwise (broadcasting) addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the operand shapes do not broadcast together.
+    pub fn add(&self, rhs: &Var) -> Result<Var> {
+        let value = self.with_value(|a| rhs.with_value(|b| a.zip_map(b, |x, y| x + y)))?;
+        let (sa, sb) = (self.shape(), rhs.shape());
+        Ok(Var::from_op(value, vec![self.clone(), rhs.clone()], move |g| {
+            vec![
+                Tensor::reduce_to_shape(g, &sa).expect("broadcast adjoint"),
+                Tensor::reduce_to_shape(g, &sb).expect("broadcast adjoint"),
+            ]
+        }))
+    }
+
+    /// Elementwise (broadcasting) subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the operand shapes do not broadcast together.
+    pub fn sub(&self, rhs: &Var) -> Result<Var> {
+        let value = self.with_value(|a| rhs.with_value(|b| a.zip_map(b, |x, y| x - y)))?;
+        let (sa, sb) = (self.shape(), rhs.shape());
+        Ok(Var::from_op(value, vec![self.clone(), rhs.clone()], move |g| {
+            let gb = Tensor::reduce_to_shape(g, &sb).expect("broadcast adjoint").map(|x| -x);
+            vec![Tensor::reduce_to_shape(g, &sa).expect("broadcast adjoint"), gb]
+        }))
+    }
+
+    /// Elementwise (broadcasting) multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the operand shapes do not broadcast together.
+    pub fn mul(&self, rhs: &Var) -> Result<Var> {
+        let a = self.value();
+        let b = rhs.value();
+        let value = a.zip_map(&b, |x, y| x * y)?;
+        let (sa, sb) = (self.shape(), rhs.shape());
+        Ok(Var::from_op(value, vec![self.clone(), rhs.clone()], move |g| {
+            let ga = g.zip_map(&b, |gi, bi| gi * bi).expect("checked in forward");
+            let gb = g.zip_map(&a, |gi, ai| gi * ai).expect("checked in forward");
+            vec![
+                Tensor::reduce_to_shape(&ga, &sa).expect("broadcast adjoint"),
+                Tensor::reduce_to_shape(&gb, &sb).expect("broadcast adjoint"),
+            ]
+        }))
+    }
+
+    /// Elementwise (broadcasting) division.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the operand shapes do not broadcast together.
+    pub fn div(&self, rhs: &Var) -> Result<Var> {
+        let a = self.value();
+        let b = rhs.value();
+        let value = a.zip_map(&b, |x, y| x / y)?;
+        let (sa, sb) = (self.shape(), rhs.shape());
+        Ok(Var::from_op(value, vec![self.clone(), rhs.clone()], move |g| {
+            let ga = g.zip_map(&b, |gi, bi| gi / bi).expect("checked in forward");
+            let gb_full = g
+                .zip_map(&a, |gi, ai| gi * ai)
+                .expect("checked in forward")
+                .zip_map(&b, |num, bi| -num / (bi * bi))
+                .expect("checked in forward");
+            vec![
+                Tensor::reduce_to_shape(&ga, &sa).expect("broadcast adjoint"),
+                Tensor::reduce_to_shape(&gb_full, &sb).expect("broadcast adjoint"),
+            ]
+        }))
+    }
+
+    /// Negation.
+    #[must_use]
+    pub fn neg(&self) -> Var {
+        let value = self.with_value(|a| a.map(|x| -x));
+        Var::from_op(value, vec![self.clone()], |g| vec![g.map(|x| -x)])
+    }
+
+    /// Multiply every element by a constant.
+    #[must_use]
+    pub fn scale(&self, k: f32) -> Var {
+        let value = self.with_value(|a| a.map(|x| x * k));
+        Var::from_op(value, vec![self.clone()], move |g| vec![g.map(|x| x * k)])
+    }
+
+    /// Add a constant to every element.
+    #[must_use]
+    pub fn add_scalar(&self, k: f32) -> Var {
+        let value = self.with_value(|a| a.map(|x| x + k));
+        Var::from_op(value, vec![self.clone()], |g| vec![g.clone()])
+    }
+
+    /// Elementwise absolute value (subgradient `sign(x)`, 0 at 0).
+    #[must_use]
+    pub fn abs(&self) -> Var {
+        let x = self.value();
+        let value = x.map(f32::abs);
+        Var::from_op(value, vec![self.clone()], move |g| {
+            vec![g.zip_map(&x, |gi, xi| gi * xi.signum()).expect("same shape")]
+        })
+    }
+
+    /// Elementwise square root. Inputs are clamped at a small positive floor
+    /// to keep the gradient finite.
+    #[must_use]
+    pub fn sqrt(&self) -> Var {
+        let x = self.value();
+        let value = x.map(|v| v.max(1e-12).sqrt());
+        let value_clone = value.clone();
+        Var::from_op(value, vec![self.clone()], move |g| {
+            vec![g.zip_map(&value_clone, |gi, yi| gi * 0.5 / yi).expect("same shape")]
+        })
+    }
+
+    /// Elementwise square.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; present for signature uniformity with
+    /// [`Var::mul`].
+    pub fn square(&self) -> Result<Var> {
+        self.mul(self)
+    }
+
+    /// Elementwise reciprocal with gradient `-1/x²`.
+    #[must_use]
+    pub fn recip(&self) -> Var {
+        let x = self.value();
+        let value = x.map(f32::recip);
+        Var::from_op(value, vec![self.clone()], move |g| {
+            vec![g.zip_map(&x, |gi, xi| -gi / (xi * xi)).expect("same shape")]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, s: &[usize]) -> Tensor {
+        Tensor::from_vec(v, s).unwrap()
+    }
+
+    #[test]
+    fn add_broadcast_grads() {
+        let a = Var::param(t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = Var::param(t(vec![10.0, 20.0], &[2, 1]));
+        let y = a.add(&b).unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        assert_eq!(a.grad().unwrap().data(), &[1.0; 4]);
+        assert_eq!(b.grad().unwrap().data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn mul_grads() {
+        let a = Var::param(t(vec![2.0, 3.0], &[2]));
+        let b = Var::param(t(vec![5.0, 7.0], &[2]));
+        let y = a.mul(&b).unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        assert_eq!(a.grad().unwrap().data(), &[5.0, 7.0]);
+        assert_eq!(b.grad().unwrap().data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn div_grads() {
+        let a = Var::param(t(vec![6.0], &[1]));
+        let b = Var::param(t(vec![3.0], &[1]));
+        let y = a.div(&b).unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        assert!((a.grad().unwrap().data()[0] - 1.0 / 3.0).abs() < 1e-6);
+        assert!((b.grad().unwrap().data()[0] + 6.0 / 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn abs_and_sqrt_grads() {
+        let a = Var::param(t(vec![-4.0, 9.0], &[2]));
+        let y = a.abs().sqrt().sum_all().unwrap();
+        y.backward().unwrap();
+        let g = a.grad().unwrap();
+        assert!((g.data()[0] + 0.25).abs() < 1e-5); // d sqrt(|x|)/dx at -4 = -1/(2*2)
+        assert!((g.data()[1] - 1.0 / 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn scale_and_neg() {
+        let a = Var::param(t(vec![1.0, -2.0], &[2]));
+        let y = a.scale(3.0).neg().sum_all().unwrap();
+        y.backward().unwrap();
+        assert_eq!(a.grad().unwrap().data(), &[-3.0, -3.0]);
+    }
+}

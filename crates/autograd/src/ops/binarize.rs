@@ -1,0 +1,332 @@
+//! Binarization operators with straight-through-estimator gradients.
+//!
+//! This module implements the paper's core quantizers:
+//!
+//! * [`Var::sign_ste`] — plain `sign(x)` with the clipped identity STE
+//!   (gradient passes where `|x| ≤ 1`), the binarizer used by E2FIF and the
+//!   BiBERT-style baselines.
+//! * [`Var::sign_ste_bireal`] — `sign(x)` with the Bi-Real Net
+//!   piecewise-polynomial STE (`dF/dx = 2 − 2|x|` on `|x| ≤ 1`).
+//! * [`Var::lsf_binarize`] — the SCALES activation binarizer of Eq. (1),
+//!   `x̂ = α · sign((x − β)/α)`, whose gradients w.r.t. the layer-wise scale
+//!   `α` and channel-wise threshold `β` follow the paper's Eq. (2) and
+//!   Eq. (3) **verbatim**.
+//! * [`Var::binarize_weight_per_channel`] — XNOR-Net weight binarizer
+//!   `ŵ = (‖w‖₁/n) · sign(w)` per output channel, with the product-rule STE
+//!   gradient through both the sign and the scale.
+//!
+//! Sign convention: `sign(0) = +1` everywhere, matching the bit-packing in
+//! `scales-binary`.
+
+use crate::var::Var;
+use scales_tensor::{Result, Tensor, TensorError};
+
+/// Sign with `sign(0) = +1`.
+#[inline]
+#[must_use]
+pub fn sign_pos(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+impl Var {
+    /// Binarize to `{−1, +1}` with the clipped identity STE:
+    /// `d sign(x)/dx ≈ 1` for `|x| ≤ 1`, else 0.
+    #[must_use]
+    pub fn sign_ste(&self) -> Var {
+        let x = self.value();
+        let value = x.map(sign_pos);
+        Var::from_op(value, vec![self.clone()], move |g| {
+            vec![g
+                .zip_map(&x, |gi, xi| if xi.abs() <= 1.0 { gi } else { 0.0 })
+                .expect("same shape")]
+        })
+    }
+
+    /// Binarize to `{−1, +1}` with the Bi-Real Net polynomial STE:
+    /// `d sign(x)/dx ≈ 2 − 2|x|` for `|x| ≤ 1`, else 0.
+    #[must_use]
+    pub fn sign_ste_bireal(&self) -> Var {
+        let x = self.value();
+        let value = x.map(sign_pos);
+        Var::from_op(value, vec![self.clone()], move |g| {
+            vec![g
+                .zip_map(&x, |gi, xi| {
+                    let a = xi.abs();
+                    if a <= 1.0 {
+                        gi * (2.0 - 2.0 * a)
+                    } else {
+                        0.0
+                    }
+                })
+                .expect("same shape")]
+        })
+    }
+
+    /// SCALES layer-wise-scaling-factor binarizer (paper Eq. 1):
+    ///
+    /// ```text
+    /// x̂ = α · sign((x − β) / α)
+    /// ```
+    ///
+    /// where `α` is a learnable **layer-wise** scale (shape `[1]`) and `β`
+    /// a learnable **channel-wise** threshold whose shape must broadcast
+    /// against `x` (e.g. `[1, C, 1, 1]` for NCHW, `[C]` for token tensors).
+    ///
+    /// Gradients:
+    /// * w.r.t. `x` — Bi-Real polynomial STE, `2 − 2|u|` on `|u| ≤ 1` with
+    ///   `u = (x − β)/α` (consistent with the paper's Eq. 3, which is its
+    ///   negative).
+    /// * w.r.t. `α` — the paper's Eq. (2), implemented verbatim.
+    /// * w.r.t. `β` — the paper's Eq. (3), implemented verbatim.
+    ///
+    /// The forward pass guards `α` at a `1e-6` floor so an aggressive
+    /// optimizer step cannot produce NaNs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `α` is not a single element or `β` does not
+    /// broadcast against `x`.
+    pub fn lsf_binarize(&self, alpha: &Var, beta: &Var) -> Result<Var> {
+        if alpha.len() != 1 {
+            return Err(TensorError::InvalidArgument(format!(
+                "layer-wise scaling factor must hold one element, got {}",
+                alpha.len()
+            )));
+        }
+        let x = self.value();
+        let a = alpha.value().data()[0].max(1e-6);
+        let b = beta.value();
+        // u = (x − β)/α, broadcasting β.
+        let u = x.zip_map(&b, |xi, bi| (xi - bi) / a)?;
+        let value = u.map(|ui| a * sign_pos(ui));
+        let x_shape = x.shape().to_vec();
+        let beta_shape = b.shape().to_vec();
+        Ok(Var::from_op(
+            value,
+            vec![self.clone(), alpha.clone(), beta.clone()],
+            move |g| {
+                // ∂x̂/∂x: Bi-Real triangle on |u| ≤ 1.
+                let gx = g
+                    .zip_map(&u, |gi, ui| {
+                        let au = ui.abs();
+                        if au <= 1.0 {
+                            gi * (2.0 - 2.0 * au)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .expect("same shape");
+                // ∂x̂/∂α per Eq. (2).
+                let dalpha = g
+                    .zip_map(&u, |gi, ui| {
+                        let d = if ui <= -1.0 {
+                            -1.0
+                        } else if ui <= 0.0 {
+                            -2.0 * ui * ui - 2.0 * ui - 1.0
+                        } else if ui <= 1.0 {
+                            2.0 * ui * ui - 2.0 * ui + 1.0
+                        } else {
+                            1.0
+                        };
+                        gi * d
+                    })
+                    .expect("same shape");
+                let galpha = Tensor::from_vec(vec![dalpha.sum()], &[1]).expect("scalar");
+                // ∂x̂/∂β per Eq. (3).
+                let dbeta = g
+                    .zip_map(&u, |gi, ui| {
+                        let d = if ui > -1.0 && ui <= 0.0 {
+                            -2.0 - 2.0 * ui
+                        } else if ui > 0.0 && ui <= 1.0 {
+                            -2.0 + 2.0 * ui
+                        } else {
+                            0.0
+                        };
+                        gi * d
+                    })
+                    .expect("same shape");
+                let gbeta = Tensor::reduce_to_shape(&dbeta, &beta_shape).expect("broadcast adjoint");
+                let _ = &x_shape;
+                vec![gx, galpha, gbeta]
+            },
+        ))
+    }
+
+    /// XNOR-Net per-output-channel weight binarizer:
+    ///
+    /// ```text
+    /// ŵ_c = (‖w_c‖₁ / n_c) · sign(w_c)
+    /// ```
+    ///
+    /// where `c` indexes the first axis (output channels) and `n_c` is the
+    /// number of weights per channel. The gradient applies the product rule:
+    /// through the sign with the clipped STE, and through the scale exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank-0 weights.
+    pub fn binarize_weight_per_channel(&self) -> Result<Var> {
+        let w = self.value();
+        if w.rank() == 0 {
+            return Err(TensorError::RankMismatch { expected: 1, actual: 0, op: "binarize_weight" });
+        }
+        let oc = w.shape()[0];
+        let per = w.len() / oc;
+        let mut scales = vec![0.0f32; oc];
+        let mut data = vec![0.0f32; w.len()];
+        for c in 0..oc {
+            let chunk = &w.data()[c * per..(c + 1) * per];
+            let s: f32 = chunk.iter().map(|v| v.abs()).sum::<f32>() / per as f32;
+            scales[c] = s;
+            for (d, &v) in data[c * per..(c + 1) * per].iter_mut().zip(chunk) {
+                *d = s * sign_pos(v);
+            }
+        }
+        let value = Tensor::from_vec(data, w.shape())?;
+        Ok(Var::from_op(value, vec![self.clone()], move |g| {
+            let mut gw = vec![0.0f32; w.len()];
+            for c in 0..oc {
+                let wc = &w.data()[c * per..(c + 1) * per];
+                let gc = &g.data()[c * per..(c + 1) * per];
+                // Σ_i g_i · sign(w_i): gradient flowing through the scale.
+                let dot: f32 = gc.iter().zip(wc.iter()).map(|(&gi, &wi)| gi * sign_pos(wi)).sum();
+                for ((o, &wi), &gi) in gw[c * per..(c + 1) * per].iter_mut().zip(wc).zip(gc) {
+                    let through_sign = if wi.abs() <= 1.0 { gi * scales[c] } else { 0.0 };
+                    let through_scale = sign_pos(wi) * dot / per as f32;
+                    *o = through_sign + through_scale;
+                }
+            }
+            vec![Tensor::from_vec(gw, w.shape()).expect("same shape")]
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, s: &[usize]) -> Tensor {
+        Tensor::from_vec(v, s).unwrap()
+    }
+
+    #[test]
+    fn sign_values_and_zero_convention() {
+        let x = Var::new(t(vec![-0.5, 0.0, 2.0], &[3]));
+        assert_eq!(x.sign_ste().value().data(), &[-1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn sign_ste_clips_gradient() {
+        let x = Var::param(t(vec![-0.5, 0.3, 2.0], &[3]));
+        let y = x.sign_ste().sum_all().unwrap();
+        y.backward().unwrap();
+        assert_eq!(x.grad().unwrap().data(), &[1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn bireal_ste_triangle() {
+        let x = Var::param(t(vec![-0.5, 0.0, 0.75, 1.5], &[4]));
+        let y = x.sign_ste_bireal().sum_all().unwrap();
+        y.backward().unwrap();
+        let g = x.grad().unwrap();
+        assert!((g.data()[0] - 1.0).abs() < 1e-6);
+        assert!((g.data()[1] - 2.0).abs() < 1e-6);
+        assert!((g.data()[2] - 0.5).abs() < 1e-6);
+        assert_eq!(g.data()[3], 0.0);
+    }
+
+    #[test]
+    fn lsf_forward_matches_eq1() {
+        // α = 0.5, β = 0.2: x̂ = 0.5·sign(x − 0.2)
+        let x = Var::new(t(vec![0.0, 0.3, -1.0, 0.2], &[4]));
+        let alpha = Var::param(t(vec![0.5], &[1]));
+        let beta = Var::param(t(vec![0.2], &[1]));
+        let y = x.lsf_binarize(&alpha, &beta).unwrap();
+        assert_eq!(y.value().data(), &[-0.5, 0.5, -0.5, 0.5]);
+    }
+
+    #[test]
+    fn lsf_alpha_grad_matches_eq2() {
+        // Pick u values hitting each branch: u = (x − β)/α with α=1, β=0.
+        let xs = vec![-2.0, -0.5, 0.5, 2.0];
+        let x = Var::new(t(xs, &[4]));
+        let alpha = Var::param(t(vec![1.0], &[1]));
+        let beta = Var::param(t(vec![0.0], &[1]));
+        let y = x.lsf_binarize(&alpha, &beta).unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        // Eq2: branch values at u = -2, -0.5, 0.5, 2:
+        //   -1, (−2·0.25 + 1 − 1) = −0.5, (0.5 − 1 + 1) = 0.5, 1 → sum = 0
+        let ga = alpha.grad().unwrap().data()[0];
+        assert!((ga - 0.0).abs() < 1e-6, "got {ga}");
+    }
+
+    #[test]
+    fn lsf_beta_grad_matches_eq3() {
+        let xs = vec![-2.0, -0.5, 0.5, 2.0];
+        let x = Var::new(t(xs, &[4]));
+        let alpha = Var::param(t(vec![1.0], &[1]));
+        let beta = Var::param(t(vec![0.0], &[1]));
+        let y = x.lsf_binarize(&alpha, &beta).unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        // Eq3 at u = -2 → 0; -0.5 → −2+1 = −1; 0.5 → −2+1 = −1; 2 → 0. Sum −2.
+        let gb = beta.grad().unwrap().data()[0];
+        assert!((gb + 2.0).abs() < 1e-6, "got {gb}");
+    }
+
+    #[test]
+    fn lsf_beta_broadcasts_per_channel() {
+        // x: [1, 2, 1, 2] with per-channel β [1, 2, 1, 1].
+        let x = Var::new(t(vec![0.1, 0.3, -0.4, 0.9], &[1, 2, 1, 2]));
+        let alpha = Var::param(t(vec![1.0], &[1]));
+        let beta = Var::param(t(vec![0.2, 0.0], &[1, 2, 1, 1]));
+        let y = x.lsf_binarize(&alpha, &beta).unwrap();
+        assert_eq!(y.value().data(), &[-1.0, 1.0, -1.0, 1.0]);
+        let loss = y.sum_all().unwrap();
+        loss.backward().unwrap();
+        assert_eq!(beta.grad().unwrap().shape(), &[1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn lsf_x_grad_is_triangle() {
+        let x = Var::param(t(vec![0.5], &[1]));
+        let alpha = Var::new(t(vec![1.0], &[1]));
+        let beta = Var::new(t(vec![0.0], &[1]));
+        let y = x.lsf_binarize(&alpha, &beta).unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        assert!((x.grad().unwrap().data()[0] - 1.0).abs() < 1e-6); // 2−2·0.5
+    }
+
+    #[test]
+    fn weight_binarize_scale_is_mean_abs() {
+        let w = Var::param(t(vec![1.0, -3.0, 0.5, -0.5], &[2, 2]));
+        let y = w.binarize_weight_per_channel().unwrap();
+        assert_eq!(y.value().data(), &[2.0, -2.0, 0.5, -0.5]);
+    }
+
+    #[test]
+    fn weight_binarize_grad_numeric() {
+        // Use weights inside (−1, 1) so the clipped STE is active and the
+        // analytic product-rule gradient matches a numeric probe of the
+        // smoothed surrogate s(w)·w̃ where w̃ = w (STE identity region).
+        let wv = vec![0.3, -0.6, 0.2, 0.9];
+        let w = Var::param(t(wv.clone(), &[1, 4]));
+        let coeff = Var::new(t(vec![1.0, 2.0, -1.0, 0.5], &[1, 4]));
+        let y = w.binarize_weight_per_channel().unwrap().mul(&coeff).unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        let g = w.grad().unwrap();
+        // Surrogate f(w) = Σ_i c_i · s(w)·sign(w_i), s = mean|w|.
+        // df/dw_j = c_j·s·d sign/dw_j (STE→1) + (sign(w_j)/n)·Σ_i c_i sign(w_i)
+        let n = 4.0;
+        let s: f32 = wv.iter().map(|v| v.abs()).sum::<f32>() / n;
+        let c = [1.0f32, 2.0, -1.0, 0.5];
+        let dot: f32 = c.iter().zip(wv.iter()).map(|(&ci, &wi)| ci * sign_pos(wi)).sum();
+        for j in 0..4 {
+            let expect = c[j] * s + sign_pos(wv[j]) * dot / n;
+            assert!((g.data()[j] - expect).abs() < 1e-5, "{} vs {expect}", g.data()[j]);
+        }
+    }
+}

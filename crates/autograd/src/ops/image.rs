@@ -1,0 +1,103 @@
+//! Image-layout ops on the tape: pixel shuffle, pooling, window attention
+//! layout. All are permutations or averages, so their adjoints are the
+//! inverse rearrangement (or broadcast division).
+
+use crate::var::Var;
+use scales_tensor::ops::{
+    global_avg_pool, pixel_shuffle, pixel_unshuffle, window_merge, window_partition,
+};
+use scales_tensor::{Result, Tensor};
+
+impl Var {
+    /// Sub-pixel upsample `[N,C·r²,H,W] → [N,C,Hr,Wr]`; the gradient is the
+    /// inverse pixel-unshuffle.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid geometry.
+    pub fn pixel_shuffle(&self, r: usize) -> Result<Var> {
+        let value = self.with_value(|t| pixel_shuffle(t, r))?;
+        Ok(Var::from_op(value, vec![self.clone()], move |g| {
+            vec![pixel_unshuffle(g, r).expect("shuffle adjoint")]
+        }))
+    }
+
+    /// Global average pooling `[N,C,H,W] → [N,C,1,1]`; the gradient spreads
+    /// uniformly over the pooled window.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-rank-4 input.
+    pub fn global_avg_pool(&self) -> Result<Var> {
+        let value = self.with_value(global_avg_pool)?;
+        let in_shape = self.shape();
+        let hw = (in_shape[2] * in_shape[3]) as f32;
+        Ok(Var::from_op(value, vec![self.clone()], move |g| {
+            let spread = Tensor::ones(&in_shape)
+                .zip_map(g, |_, gi| gi / hw)
+                .expect("broadcast [n,c,1,1] over [n,c,h,w]");
+            vec![spread]
+        }))
+    }
+
+    /// Partition into `ws×ws` windows producing tokens `[N·nw, ws², C]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the spatial extents are not divisible by `ws`.
+    pub fn window_partition(&self, ws: usize) -> Result<Var> {
+        let value = self.with_value(|t| window_partition(t, ws))?;
+        let s = self.shape();
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        Ok(Var::from_op(value, vec![self.clone()], move |g| {
+            vec![window_merge(g, n, c, h, w, ws).expect("partition adjoint")]
+        }))
+    }
+
+    /// Merge window tokens back into an image `[N, C, H, W]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when token geometry is inconsistent with the target.
+    pub fn window_merge(&self, n: usize, c: usize, h: usize, w: usize, ws: usize) -> Result<Var> {
+        let value = self.with_value(|t| window_merge(t, n, c, h, w, ws))?;
+        Ok(Var::from_op(value, vec![self.clone()], move |g| {
+            vec![window_partition(g, ws).expect("merge adjoint")]
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pixel_shuffle_grad_is_unshuffle() {
+        let x = Var::param(Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 4, 2, 2]).unwrap());
+        let y = x.pixel_shuffle(2).unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        assert_eq!(x.grad().unwrap().data(), &[1.0; 16]);
+    }
+
+    #[test]
+    fn global_avg_pool_grad_spreads() {
+        let x = Var::param(Tensor::ones(&[1, 2, 2, 2]));
+        let y = x.global_avg_pool().unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        assert_eq!(x.grad().unwrap().data(), &[0.25; 8]);
+    }
+
+    #[test]
+    fn window_round_trip_grad_identity() {
+        let x = Var::param(Tensor::from_vec((0..32).map(|i| (i as f32).sin()).collect(), &[1, 2, 4, 4]).unwrap());
+        let y = x
+            .window_partition(2)
+            .unwrap()
+            .window_merge(1, 2, 4, 4, 2)
+            .unwrap()
+            .sum_all()
+            .unwrap();
+        y.backward().unwrap();
+        assert_eq!(x.grad().unwrap().data(), &[1.0; 32]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Linear-algebra and convolution ops on the tape.
+
+use crate::var::Var;
+use scales_tensor::ops::{
+    batched_matmul, conv1d, conv1d_backward_input, conv1d_backward_weight, conv2d,
+    conv2d_backward_input, conv2d_backward_weight, matmul, Conv2dSpec,
+};
+use scales_tensor::Result;
+
+impl Var {
+    /// Matrix product `[m,k] × [k,n] → [m,n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrix operands or mismatched inner
+    /// dimensions.
+    pub fn matmul(&self, rhs: &Var) -> Result<Var> {
+        let a = self.value();
+        let b = rhs.value();
+        let value = matmul(&a, &b)?;
+        Ok(Var::from_op(value, vec![self.clone(), rhs.clone()], move |g| {
+            let ga = matmul(g, &b.transpose().expect("matrix")).expect("shapes fixed");
+            let gb = matmul(&a.transpose().expect("matrix"), g).expect("shapes fixed");
+            vec![ga, gb]
+        }))
+    }
+
+    /// Batched matrix product `[b,m,k] × [b,k,n] → [b,m,n]` — the attention
+    /// workhorse.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-rank-3 operands or mismatched dimensions.
+    pub fn batched_matmul(&self, rhs: &Var) -> Result<Var> {
+        let a = self.value();
+        let b = rhs.value();
+        let value = batched_matmul(&a, &b)?;
+        Ok(Var::from_op(value, vec![self.clone(), rhs.clone()], move |g| {
+            let bt = b.permute(&[0, 2, 1]).expect("rank 3");
+            let at = a.permute(&[0, 2, 1]).expect("rank 3");
+            let ga = batched_matmul(g, &bt).expect("shapes fixed");
+            let gb = batched_matmul(&at, g).expect("shapes fixed");
+            vec![ga, gb]
+        }))
+    }
+
+    /// 2-D convolution with the gradient kernels from `scales-tensor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid geometry.
+    pub fn conv2d(&self, weight: &Var, spec: Conv2dSpec) -> Result<Var> {
+        let x = self.value();
+        let w = weight.value();
+        let value = conv2d(&x, &w, spec)?;
+        let x_shape = x.shape().to_vec();
+        let w_shape = w.shape().to_vec();
+        Ok(Var::from_op(value, vec![self.clone(), weight.clone()], move |g| {
+            let gi = conv2d_backward_input(g, &w, &x_shape, spec).expect("shapes fixed");
+            let gw = conv2d_backward_weight(g, &x, &w_shape, spec).expect("shapes fixed");
+            vec![gi, gw]
+        }))
+    }
+
+    /// 1-D convolution (used by the SCALES channel re-scaling branch).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid geometry.
+    pub fn conv1d(&self, weight: &Var, padding: usize) -> Result<Var> {
+        let x = self.value();
+        let w = weight.value();
+        let value = conv1d(&x, &w, padding)?;
+        let x_shape = x.shape().to_vec();
+        let w_shape = w.shape().to_vec();
+        Ok(Var::from_op(value, vec![self.clone(), weight.clone()], move |g| {
+            let gi = conv1d_backward_input(g, &w, &x_shape, padding).expect("shapes fixed");
+            let gw = conv1d_backward_weight(g, &x, &w_shape, padding).expect("shapes fixed");
+            vec![gi, gw]
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scales_tensor::Tensor;
+
+    fn t(v: Vec<f32>, s: &[usize]) -> Tensor {
+        Tensor::from_vec(v, s).unwrap()
+    }
+
+    #[test]
+    fn matmul_grads() {
+        let a = Var::param(t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = Var::param(t(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]));
+        let y = a.matmul(&b).unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        // d(sum(A·I))/dA = ones·Iᵀ = ones
+        assert_eq!(a.grad().unwrap().data(), &[1.0; 4]);
+        // d/dB = Aᵀ·ones
+        assert_eq!(b.grad().unwrap().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn conv2d_grad_numeric() {
+        let spec = Conv2dSpec::same(3);
+        let xv: Vec<f32> = (0..16).map(|i| (i as f32 * 0.3).sin()).collect();
+        let wv: Vec<f32> = (0..9).map(|i| (i as f32 * 0.7).cos()).collect();
+        let x = Var::param(t(xv.clone(), &[1, 1, 4, 4]));
+        let w = Var::param(t(wv.clone(), &[1, 1, 3, 3]));
+        let y = x.conv2d(&w, spec).unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        let gx = x.grad().unwrap();
+        let eps = 1e-2;
+        for idx in [0usize, 5, 15] {
+            let mut p = xv.clone();
+            p[idx] += eps;
+            let mut m = xv.clone();
+            m[idx] -= eps;
+            let f = |v: Vec<f32>| {
+                scales_tensor::ops::conv2d(&t(v, &[1, 1, 4, 4]), &t(wv.clone(), &[1, 1, 3, 3]), spec)
+                    .unwrap()
+                    .sum()
+            };
+            let num = (f(p) - f(m)) / (2.0 * eps);
+            assert!((gx.data()[idx] - num).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn batched_matmul_grads_match_unbatched() {
+        let a = Var::param(t(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]));
+        let b = Var::param(t(vec![5.0, 6.0, 7.0, 8.0], &[1, 2, 2]));
+        let y = a.batched_matmul(&b).unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        let a2 = Var::param(t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b2 = Var::param(t(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]));
+        let y2 = a2.matmul(&b2).unwrap().sum_all().unwrap();
+        y2.backward().unwrap();
+        assert_eq!(a.grad().unwrap().data(), a2.grad().unwrap().data());
+        assert_eq!(b.grad().unwrap().data(), b2.grad().unwrap().data());
+    }
+
+    #[test]
+    fn conv1d_grad_numeric() {
+        let xv: Vec<f32> = (0..8).map(|i| (i as f32 * 0.5).sin()).collect();
+        let wv = vec![0.2, -0.1, 0.4, 0.3, -0.5];
+        let x = Var::param(t(xv.clone(), &[1, 1, 8]));
+        let w = Var::param(t(wv.clone(), &[1, 1, 5]));
+        let y = x.conv1d(&w, 2).unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        let gw = w.grad().unwrap();
+        let eps = 1e-3;
+        for idx in 0..5 {
+            let mut p = wv.clone();
+            p[idx] += eps;
+            let mut m = wv.clone();
+            m[idx] -= eps;
+            let f = |v: Vec<f32>| {
+                scales_tensor::ops::conv1d(&t(xv.clone(), &[1, 1, 8]), &t(v, &[1, 1, 5]), 2)
+                    .unwrap()
+                    .sum()
+            };
+            let num = (f(p) - f(m)) / (2.0 * eps);
+            assert!((gw.data()[idx] - num).abs() < 1e-2);
+        }
+    }
+}

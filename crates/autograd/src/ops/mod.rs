@@ -1,0 +1,11 @@
+//! Differentiable operations on [`Var`](crate::Var), grouped by family.
+
+pub mod activation;
+pub mod arith;
+pub mod binarize;
+pub mod image;
+pub mod linalg;
+pub mod reduce;
+
+pub use binarize::sign_pos;
+pub use reduce::unravel;

@@ -1,0 +1,287 @@
+//! Reductions and shape-changing ops with gradient rules.
+
+use crate::var::Var;
+use scales_tensor::shape::strides;
+use scales_tensor::{Result, Tensor};
+
+impl Var {
+    /// Sum of all elements, producing a scalar (`[1]`-shaped) node.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; `Result` kept for call-site uniformity.
+    pub fn sum_all(&self) -> Result<Var> {
+        let in_shape = self.shape();
+        let value = Tensor::from_vec(vec![self.with_value(Tensor::sum)], &[1])?;
+        Ok(Var::from_op(value, vec![self.clone()], move |g| {
+            vec![Tensor::full(&in_shape, g.data()[0])]
+        }))
+    }
+
+    /// Mean of all elements, producing a scalar (`[1]`-shaped) node.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; `Result` kept for call-site uniformity.
+    pub fn mean_all(&self) -> Result<Var> {
+        let n = self.len() as f32;
+        Ok(self.sum_all()?.scale(1.0 / n))
+    }
+
+    /// Sum along one axis, keeping it as extent 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range axis.
+    pub fn sum_axis(&self, axis: usize) -> Result<Var> {
+        let value = self.with_value(|t| t.sum_axis(axis, true))?;
+        let in_shape = self.shape();
+        Ok(Var::from_op(value, vec![self.clone()], move |g| {
+            // Broadcast the reduced gradient back across the axis.
+            let ones = Tensor::ones(&in_shape);
+            vec![ones.zip_map(g, |_, gi| gi).expect("broadcast")]
+        }))
+    }
+
+    /// Mean along one axis, keeping it as extent 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range axis.
+    pub fn mean_axis(&self, axis: usize) -> Result<Var> {
+        let n = self.shape()[axis] as f32;
+        Ok(self.sum_axis(axis)?.scale(1.0 / n))
+    }
+
+    /// Reshape to an equal-volume shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when volumes differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Var> {
+        let value = self.with_value(|t| t.reshape(shape))?;
+        let in_shape = self.shape();
+        Ok(Var::from_op(value, vec![self.clone()], move |g| {
+            vec![g.reshape(&in_shape).expect("reshape adjoint")]
+        }))
+    }
+
+    /// Permute axes; the gradient applies the inverse permutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid permutation.
+    pub fn permute(&self, perm: &[usize]) -> Result<Var> {
+        let value = self.with_value(|t| t.permute(perm))?;
+        let mut inverse = vec![0usize; perm.len()];
+        for (i, &p) in perm.iter().enumerate() {
+            inverse[p] = i;
+        }
+        Ok(Var::from_op(value, vec![self.clone()], move |g| {
+            vec![g.permute(&inverse).expect("permute adjoint")]
+        }))
+    }
+
+    /// Slice a window along one axis; the gradient scatters back with zeros
+    /// elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a bad axis or window.
+    pub fn slice_axis(&self, axis: usize, start: usize, len: usize) -> Result<Var> {
+        let value = self.with_value(|t| t.slice_axis(axis, start, len))?;
+        let in_shape = self.shape();
+        Ok(Var::from_op(value, vec![self.clone()], move |g| {
+            let mut full = Tensor::zeros(&in_shape);
+            let outer: usize = in_shape[..axis].iter().product();
+            let inner: usize = in_shape[axis + 1..].iter().product();
+            let ext = in_shape[axis];
+            for o in 0..outer {
+                for l in 0..len {
+                    let src = (o * len + l) * inner;
+                    let dst = (o * ext + start + l) * inner;
+                    full.data_mut()[dst..dst + inner].copy_from_slice(&g.data()[src..src + inner]);
+                }
+            }
+            vec![full]
+        }))
+    }
+
+    /// Concatenate along an axis; the gradient splits back.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for mismatched shapes or a bad axis.
+    pub fn concat(parts: &[&Var], axis: usize) -> Result<Var> {
+        let tensors: Vec<Tensor> = parts.iter().map(|p| p.value()).collect();
+        let refs: Vec<&Tensor> = tensors.iter().collect();
+        let value = Tensor::concat(&refs, axis)?;
+        let extents: Vec<usize> = tensors.iter().map(|t| t.shape()[axis]).collect();
+        let parents: Vec<Var> = parts.iter().map(|&p| p.clone()).collect();
+        Ok(Var::from_op(value, parents, move |g| {
+            let mut out = Vec::with_capacity(extents.len());
+            let mut offset = 0;
+            for &e in &extents {
+                out.push(g.slice_axis(axis, offset, e).expect("concat adjoint"));
+                offset += e;
+            }
+            out
+        }))
+    }
+
+    /// Variance along the last axis, keepdim, using the biased (population)
+    /// estimator — the LayerNorm convention.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank-0 inputs.
+    pub fn var_last_axis(&self) -> Result<Var> {
+        let rank = self.shape().len();
+        let axis = rank - 1;
+        let mean = self.mean_axis(axis)?;
+        let centered = self.sub(&mean)?;
+        centered.mul(&centered)?.mean_axis(axis)
+    }
+
+    /// Broadcast this tensor against a target shape by elementwise addition
+    /// of zeros. Gradient reduces back over broadcast axes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shapes do not broadcast.
+    pub fn broadcast_like(&self, target: &[usize]) -> Result<Var> {
+        let zeros = Var::new(Tensor::zeros(target));
+        self.add(&zeros)
+    }
+
+    /// Extract the per-axis maximum along the last axis (keepdim), with the
+    /// gradient routed to the (first) argmax element — used by stable
+    /// softmax.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank-0 inputs.
+    pub fn max_last_axis(&self) -> Result<Var> {
+        let x = self.value();
+        let rank = x.rank();
+        let axis = rank - 1;
+        let ext = x.shape()[axis];
+        let outer: usize = x.shape()[..axis].iter().product();
+        let mut out_shape = x.shape().to_vec();
+        out_shape[axis] = 1;
+        let mut vals = Vec::with_capacity(outer);
+        let mut arg = Vec::with_capacity(outer);
+        for o in 0..outer {
+            let row = &x.data()[o * ext..(o + 1) * ext];
+            let (mut bi, mut bv) = (0usize, f32::NEG_INFINITY);
+            for (i, &v) in row.iter().enumerate() {
+                if v > bv {
+                    bv = v;
+                    bi = i;
+                }
+            }
+            vals.push(bv);
+            arg.push(bi);
+        }
+        let value = Tensor::from_vec(vals, &out_shape)?;
+        let in_shape = x.shape().to_vec();
+        Ok(Var::from_op(value, vec![self.clone()], move |g| {
+            let mut gi = Tensor::zeros(&in_shape);
+            for (o, &a) in arg.iter().enumerate() {
+                gi.data_mut()[o * ext + a] = g.data()[o];
+            }
+            vec![gi]
+        }))
+    }
+}
+
+/// Utility shared by stats code: coordinates of a flat index.
+#[must_use]
+pub fn unravel(index: usize, shape: &[usize]) -> Vec<usize> {
+    let st = strides(shape);
+    let mut rem = index;
+    st.iter()
+        .map(|&s| {
+            let c = rem / s;
+            rem %= s;
+            c
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, s: &[usize]) -> Tensor {
+        Tensor::from_vec(v, s).unwrap()
+    }
+
+    #[test]
+    fn mean_all_grad_is_uniform() {
+        let a = Var::param(t(vec![1.0, 2.0, 3.0, 4.0], &[4]));
+        let y = a.mean_all().unwrap();
+        y.backward().unwrap();
+        assert_eq!(a.grad().unwrap().data(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn sum_axis_grad_broadcasts() {
+        let a = Var::param(t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]));
+        let y = a.sum_axis(1).unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        assert_eq!(a.grad().unwrap().data(), &[1.0; 6]);
+    }
+
+    #[test]
+    fn reshape_and_permute_grads() {
+        let a = Var::param(t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]));
+        let y = a.permute(&[1, 0]).unwrap().reshape(&[6]).unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        assert_eq!(a.grad().unwrap().shape(), &[2, 3]);
+        assert_eq!(a.grad().unwrap().data(), &[1.0; 6]);
+    }
+
+    #[test]
+    fn slice_grad_scatters() {
+        let a = Var::param(t((0..8).map(|i| i as f32).collect(), &[2, 4]));
+        let y = a.slice_axis(1, 1, 2).unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        assert_eq!(
+            a.grad().unwrap().data(),
+            &[0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn concat_grad_splits() {
+        let a = Var::param(t(vec![1.0, 2.0], &[1, 2]));
+        let b = Var::param(t(vec![3.0], &[1, 1]));
+        let y = Var::concat(&[&a, &b], 1).unwrap().scale(2.0).sum_all().unwrap();
+        y.backward().unwrap();
+        assert_eq!(a.grad().unwrap().data(), &[2.0, 2.0]);
+        assert_eq!(b.grad().unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn var_last_axis_matches_population_variance() {
+        let a = Var::param(t(vec![1.0, 3.0, 2.0, 2.0], &[2, 2]));
+        let v = a.var_last_axis().unwrap();
+        assert_eq!(v.shape(), vec![2, 1]);
+        assert!((v.value().data()[0] - 1.0).abs() < 1e-6);
+        assert!((v.value().data()[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_last_axis_routes_grad_to_argmax() {
+        let a = Var::param(t(vec![1.0, 5.0, 3.0], &[1, 3]));
+        let y = a.max_last_axis().unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        assert_eq!(a.grad().unwrap().data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn unravel_round_trips() {
+        assert_eq!(unravel(7, &[2, 3, 4]), vec![0, 1, 3]);
+    }
+}

@@ -1,0 +1,329 @@
+//! The reverse-mode autodiff tape.
+//!
+//! A [`Var`] is a shared handle to a tape node holding a value tensor, an
+//! optional accumulated gradient, and a closure that maps the node's output
+//! gradient to gradients for its parents. Calling [`Var::backward`] on a
+//! scalar output walks the graph in reverse topological order.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use scales_tensor::{Result, Tensor, TensorError};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+type GradFn = Box<dyn Fn(&Tensor) -> Vec<Tensor>>;
+
+pub(crate) struct Node {
+    id: u64,
+    value: Tensor,
+    grad: Option<Tensor>,
+    requires_grad: bool,
+    parents: Vec<Var>,
+    grad_fn: Option<GradFn>,
+}
+
+/// A value on the autodiff tape.
+///
+/// `Var` is a cheap-to-clone shared handle (`Rc`); cloning it does **not**
+/// copy the underlying tensor. Leaf variables created with [`Var::param`]
+/// accumulate gradients; those created with [`Var::new`] do not.
+///
+/// ```
+/// use scales_autograd::Var;
+/// use scales_tensor::Tensor;
+///
+/// # fn main() -> Result<(), scales_tensor::TensorError> {
+/// let x = Var::param(Tensor::from_vec(vec![2.0], &[1])?);
+/// let y = x.mul(&x)?.sum_all()?; // y = x²
+/// y.backward()?;
+/// assert_eq!(x.grad().unwrap().data(), &[4.0]); // dy/dx = 2x
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Var {
+    pub(crate) node: Rc<RefCell<Node>>,
+}
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.node.borrow();
+        f.debug_struct("Var")
+            .field("id", &n.id)
+            .field("shape", &n.value.shape())
+            .field("requires_grad", &n.requires_grad)
+            .finish()
+    }
+}
+
+impl Var {
+    fn from_node(node: Node) -> Self {
+        Self { node: Rc::new(RefCell::new(node)) }
+    }
+
+    /// A constant (non-trainable) tape leaf.
+    #[must_use]
+    pub fn new(value: Tensor) -> Self {
+        Self::from_node(Node {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            value,
+            grad: None,
+            requires_grad: false,
+            parents: Vec::new(),
+            grad_fn: None,
+        })
+    }
+
+    /// A trainable tape leaf that accumulates gradients.
+    #[must_use]
+    pub fn param(value: Tensor) -> Self {
+        Self::from_node(Node {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            value,
+            grad: None,
+            requires_grad: true,
+            parents: Vec::new(),
+            grad_fn: None,
+        })
+    }
+
+    /// Build an interior node from parents plus a gradient rule.
+    ///
+    /// `grad_fn` receives the output gradient and must return one gradient
+    /// tensor per parent, in order. It is only invoked for nodes on a path
+    /// to a gradient-requiring leaf.
+    #[must_use]
+    pub fn from_op(value: Tensor, parents: Vec<Var>, grad_fn: impl Fn(&Tensor) -> Vec<Tensor> + 'static) -> Self {
+        let requires_grad = parents.iter().any(Var::requires_grad);
+        Self::from_node(Node {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            value,
+            grad: None,
+            requires_grad,
+            parents,
+            grad_fn: if requires_grad { Some(Box::new(grad_fn)) } else { None },
+        })
+    }
+
+    /// Snapshot of the node's value.
+    #[must_use]
+    pub fn value(&self) -> Tensor {
+        self.node.borrow().value.clone()
+    }
+
+    /// Run `f` against the node's value without cloning it.
+    pub fn with_value<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.node.borrow().value)
+    }
+
+    /// The value's shape.
+    #[must_use]
+    pub fn shape(&self) -> Vec<usize> {
+        self.node.borrow().value.shape().to_vec()
+    }
+
+    /// Number of elements in the value.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.node.borrow().value.len()
+    }
+
+    /// Whether the value holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.node.borrow().value.is_empty()
+    }
+
+    /// Whether this node participates in gradient computation.
+    #[must_use]
+    pub fn requires_grad(&self) -> bool {
+        self.node.borrow().requires_grad
+    }
+
+    /// Snapshot of the accumulated gradient, if any.
+    #[must_use]
+    pub fn grad(&self) -> Option<Tensor> {
+        self.node.borrow().grad.clone()
+    }
+
+    /// Clear the accumulated gradient.
+    pub fn zero_grad(&self) {
+        self.node.borrow_mut().grad = None;
+    }
+
+    /// Replace the node's value (used by optimizers for in-place updates).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the new value's shape differs from the old one, which
+    /// would silently corrupt downstream graphs.
+    pub fn set_value(&self, value: Tensor) {
+        let mut n = self.node.borrow_mut();
+        assert_eq!(n.value.shape(), value.shape(), "set_value must preserve shape");
+        n.value = value;
+    }
+
+    /// Mutate the node's value in place through a closure.
+    pub fn update_value(&self, f: impl FnOnce(&mut Tensor)) {
+        f(&mut self.node.borrow_mut().value);
+    }
+
+    /// Detach: a new constant leaf sharing this node's current value but cut
+    /// off from the tape.
+    #[must_use]
+    pub fn detach(&self) -> Var {
+        Var::new(self.value())
+    }
+
+    fn id(&self) -> u64 {
+        self.node.borrow().id
+    }
+
+    /// Reverse-mode gradient computation, seeding this output with
+    /// `∂out/∂out = 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] when called on a non-scalar
+    /// (use [`Var::backward_with`] to seed arbitrary shapes).
+    pub fn backward(&self) -> Result<()> {
+        if self.len() != 1 {
+            return Err(TensorError::InvalidArgument(
+                "backward() needs a scalar output; use backward_with for other shapes".into(),
+            ));
+        }
+        let seed = Tensor::ones(&self.shape());
+        self.backward_with(seed)
+    }
+
+    /// Reverse-mode gradient computation from an explicit seed gradient of
+    /// the same shape as this node's value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the seed's shape differs from the value's.
+    pub fn backward_with(&self, seed: Tensor) -> Result<()> {
+        if seed.shape() != self.shape() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: seed.shape().to_vec(),
+                rhs: self.shape(),
+                op: "backward seed",
+            });
+        }
+        // Topological order via iterative DFS.
+        let mut order: Vec<Var> = Vec::new();
+        let mut state: HashMap<u64, u8> = HashMap::new(); // 1 = visiting, 2 = done
+        let mut stack: Vec<(Var, bool)> = vec![(self.clone(), false)];
+        while let Some((v, processed)) = stack.pop() {
+            let id = v.id();
+            if processed {
+                state.insert(id, 2);
+                order.push(v);
+                continue;
+            }
+            match state.get(&id) {
+                Some(2) => continue,
+                Some(1) => continue, // diamond sharing, already on stack
+                _ => {}
+            }
+            state.insert(id, 1);
+            stack.push((v.clone(), true));
+            let parents = v.node.borrow().parents.clone();
+            for p in parents {
+                if p.requires_grad() && state.get(&p.id()) != Some(&2) {
+                    stack.push((p, false));
+                }
+            }
+        }
+        // Seed and propagate in reverse topological order.
+        accumulate(self, &seed);
+        for v in order.iter().rev() {
+            let (grad, parents, has_fn) = {
+                let n = v.node.borrow();
+                (n.grad.clone(), n.parents.clone(), n.grad_fn.is_some())
+            };
+            let Some(grad) = grad else { continue };
+            if !has_fn {
+                continue;
+            }
+            let parent_grads = {
+                let n = v.node.borrow();
+                (n.grad_fn.as_ref().expect("checked"))(&grad)
+            };
+            debug_assert_eq!(parent_grads.len(), parents.len(), "grad_fn arity mismatch");
+            for (p, g) in parents.iter().zip(parent_grads) {
+                if p.requires_grad() {
+                    accumulate(p, &g);
+                }
+            }
+            // Interior nodes can release their gradient once propagated.
+            if v.node.borrow().grad_fn.is_some() {
+                v.node.borrow_mut().grad = None;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn accumulate(v: &Var, g: &Tensor) {
+    let mut n = v.node.borrow_mut();
+    match &mut n.grad {
+        Some(existing) => {
+            debug_assert_eq!(existing.shape(), g.shape());
+            for (a, b) in existing.data_mut().iter_mut().zip(g.data().iter()) {
+                *a += b;
+            }
+        }
+        None => n.grad = Some(g.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_flags() {
+        let c = Var::new(Tensor::scalar(1.0));
+        let p = Var::param(Tensor::scalar(1.0));
+        assert!(!c.requires_grad());
+        assert!(p.requires_grad());
+    }
+
+    #[test]
+    fn backward_requires_scalar() {
+        let p = Var::param(Tensor::zeros(&[2, 2]));
+        assert!(p.backward().is_err());
+    }
+
+    #[test]
+    fn shared_node_accumulates_grad() {
+        // y = x + x  =>  dy/dx = 2
+        let x = Var::param(Tensor::scalar(3.0));
+        let y = x.add(&x).unwrap();
+        y.backward().unwrap();
+        assert_eq!(x.grad().unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let x = Var::param(Tensor::scalar(3.0));
+        let y = x.add(&x).unwrap();
+        y.backward().unwrap();
+        x.zero_grad();
+        assert!(x.grad().is_none());
+    }
+
+    #[test]
+    fn diamond_graph_grad() {
+        // y = (x*x) + (x*x) built from a shared square node: dy/dx = 4x.
+        let x = Var::param(Tensor::scalar(5.0));
+        let sq = x.mul(&x).unwrap();
+        let y = sq.add(&sq).unwrap();
+        y.backward().unwrap();
+        assert_eq!(x.grad().unwrap().data(), &[20.0]);
+    }
+}

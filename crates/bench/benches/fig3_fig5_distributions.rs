@@ -1,0 +1,115 @@
+//! Regenerates **Figs. 3, 4 and 5** — activation-distribution box plots:
+//!
+//! * Fig. 3: EDSR — across pixels (two images), across layers, across
+//!   channels.
+//! * Fig. 4: ResNet / SwinViT classifiers — across pixels (the squashed
+//!   contrast case).
+//! * Fig. 5: SwinIR — across pixels (two images) and across layers
+//!   (linear inputs and conv inputs separately).
+//!
+//! Output is text box plots (min/q1/median/q3/max per sample), which is
+//! what the paper's figures plot.
+//!
+//! ```sh
+//! cargo bench --bench fig3_fig5_distributions
+//! ```
+
+use scales_bench::{collect_records, probe_images};
+use scales_core::Method;
+use scales_metrics::{
+    channel_distributions, layer_distributions, pixel_distributions, BoxStats,
+};
+use scales_models::{edsr, swinir, ResNetTiny, SrConfig, SrNetwork, SwinVitTiny};
+use scales_train::write_report;
+
+fn render(series: &str, stats: &[BoxStats]) -> String {
+    let mut s = format!("  {series}\n");
+    for (i, b) in stats.iter().enumerate() {
+        s.push_str(&format!(
+            "    {:>2}: min {:+8.3} q1 {:+8.3} med {:+8.3} q3 {:+8.3} max {:+8.3}\n",
+            i + 1,
+            b.min,
+            b.q1,
+            b.median,
+            b.q3,
+            b.max
+        ));
+    }
+    s
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let images = probe_images(4, 16);
+    let mut out = String::new();
+
+    // ---- Fig. 3: EDSR.
+    let edsr_net = edsr(SrConfig { channels: 16, blocks: 2, scale: 2, method: Method::FullPrecision, seed: 21 })?;
+    let recs = collect_records(&images, 3, |x, rec| edsr_net.forward_recorded(x, rec).map(|_| ()))?;
+    out.push_str("Fig. 3: activation distributions in EDSR\n");
+    let img1: Vec<_> = recs.iter().filter(|r| r.image == 0 && r.layer == 0).collect();
+    out.push_str(&render("(a) across pixels, img1, layer 1 (20 pixels)", &pixel_distributions(&img1[0].activation, 20)?));
+    let img2: Vec<_> = recs.iter().filter(|r| r.image == 1 && r.layer == 0).collect();
+    out.push_str(&render("(b) across pixels, img2, layer 1 (20 pixels)", &pixel_distributions(&img2[0].activation, 20)?));
+    let per_layer = layer_distributions(&recs);
+    out.push_str(&render(
+        "(c) across layers",
+        &per_layer.iter().map(|(_, b)| *b).collect::<Vec<_>>(),
+    ));
+    out.push_str(&render("(d) across channels, img1, layer 1", &channel_distributions(&img1[0].activation, 16)?));
+    // The paper's even/odd layer magnitude alternation (§III-A).
+    let ranges: Vec<f32> = per_layer.iter().map(|(_, b)| b.max - b.min).collect();
+    out.push_str(&format!("  layer ranges: {ranges:.2?}\n\n"));
+
+    // ---- Fig. 4: classification networks.
+    out.push_str("Fig. 4: activation distributions in classification networks\n");
+    let resnet = ResNetTiny::new(16, 2, 10, 23);
+    let r_recs = collect_records(&images, 3, |x, rec| resnet.forward_recorded(x, rec).map(|_| ()))?;
+    let r_img1: Vec<_> = r_recs.iter().filter(|r| r.image == 0 && r.layer == 0).collect();
+    out.push_str(&render("(a) ResNet, across pixels (20 pixels)", &pixel_distributions(&r_img1[0].activation, 20)?));
+    let vit = SwinVitTiny::new(16, 2, 10, 24);
+    let v_recs = collect_records(&images, 2, |x, rec| vit.forward_recorded(x, rec).map(|_| ()))?;
+    let v_img1: Vec<_> = v_recs.iter().filter(|r| r.image == 0 && r.layer == 0).collect();
+    // Token layout: tokens play the pixel role; reuse pixel_distributions by
+    // transposing [L, C] into [C', H=L, W=1]-like views is unnecessary —
+    // sample token rows directly.
+    let tok = &v_img1[0].activation;
+    let l = tok.shape()[0];
+    let c = tok.shape()[1];
+    let stats: Vec<BoxStats> = (0..20.min(l))
+        .map(|i| {
+            let p = i * l / 20.min(l);
+            BoxStats::from_samples(&tok.data()[p * c..(p + 1) * c])
+        })
+        .collect();
+    out.push_str(&render("(b) SwinViT, across tokens (20 tokens)", &stats));
+    out.push('\n');
+
+    // ---- Fig. 5: SwinIR.
+    out.push_str("Fig. 5: activation distributions in SwinIR\n");
+    let swin = swinir(SrConfig { channels: 16, blocks: 2, scale: 2, method: Method::FullPrecision, seed: 22 })?;
+    let tok_recs = collect_records(&images, 2, |x, rec| swin.forward_recorded(x, rec).map(|_| ()))?;
+    let s_img1: Vec<_> = tok_recs.iter().filter(|r| r.image == 0 && r.layer == 0).collect();
+    let tok = &s_img1[0].activation;
+    let l = tok.shape()[0];
+    let c = tok.shape()[1];
+    let stats: Vec<BoxStats> = (0..20.min(l))
+        .map(|i| BoxStats::from_samples(&tok.data()[(i * l / 20.min(l)) * c..(i * l / 20.min(l) + 1) * c]))
+        .collect();
+    out.push_str(&render("(a) across pixels (tokens), img1", &stats));
+    let lin_layers = layer_distributions(&tok_recs);
+    out.push_str(&render(
+        "(c) across layers (linear inputs)",
+        &lin_layers.iter().map(|(_, b)| *b).collect::<Vec<_>>(),
+    ));
+    let conv_recs = collect_records(&images, 3, |x, rec| swin.forward_recorded(x, rec).map(|_| ()))?;
+    let conv_layers = layer_distributions(&conv_recs);
+    out.push_str(&render(
+        "(d) across layers (conv inputs)",
+        &conv_layers.iter().map(|(_, b)| *b).collect::<Vec<_>>(),
+    ));
+
+    print!("{out}");
+    let path = write_report("fig3_fig5_distributions.txt", &out);
+    println!("report written to {}", path.display());
+    Ok(())
+}

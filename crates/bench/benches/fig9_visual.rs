@@ -1,0 +1,78 @@
+//! Regenerates **Fig. 9** — qualitative SR comparison panels:
+//! (a) SynUrban100 ×4 on the RCAN architecture, (b) SynSet14 ×2 on EDSR,
+//! each as an HR | Bicubic | E2FIF | SCALES strip with per-panel PSNR.
+//!
+//! Expected shape: SCALES closer to HR than E2FIF (sharper stripes, fewer
+//! direction errors on the Urban-style gratings).
+//!
+//! ```sh
+//! SCALES_BENCH_ITERS=600 cargo bench --bench fig9_visual
+//! ```
+
+use scales_core::Method;
+use scales_data::{upscale, Benchmark, Image};
+use scales_metrics::psnr_y;
+use scales_models::{edsr, rcan, SrConfig, SrNetwork};
+use scales_train::{report_dir, train, write_report, Budget};
+
+fn panel(
+    arch: &str,
+    build: &dyn Fn(SrConfig) -> scales_tensor::Result<Box<dyn SrNetwork>>,
+    bench: Benchmark,
+    scale: usize,
+    budget: &Budget,
+    out: &mut String,
+) -> Result<std::path::PathBuf, Box<dyn std::error::Error>> {
+    let set = bench.build(scale, budget.hr_eval.max(32))?;
+    let pair = &set.pairs()[1 % set.len()];
+    let mut panels: Vec<(String, Image)> = vec![
+        ("HR".into(), pair.hr.clone()),
+        ("Bicubic".into(), upscale(&pair.lr, scale)?.clamped()),
+    ];
+    for method in [Method::E2fif, Method::scales()] {
+        let net = build(SrConfig {
+            channels: budget.channels,
+            blocks: budget.blocks,
+            scale,
+            method,
+            seed: 1234,
+        })?;
+        train(net.as_ref(), budget.train_config(42))?;
+        panels.push((method.to_string(), net.super_resolve(&pair.lr)?.clamped()));
+    }
+    out.push_str(&format!("{arch} x{scale} on {}:\n", bench.name()));
+    for (name, img) in &panels[1..] {
+        let p = psnr_y(img, &pair.hr, scale)?;
+        out.push_str(&format!("  {name:<8} PSNR {p:6.2} dB\n"));
+    }
+    let refs: Vec<&Image> = panels.iter().map(|(_, i)| i).collect();
+    let strip = Image::hstack(&refs)?;
+    let path = report_dir().join(format!("fig9_{}_{}_x{scale}.ppm", arch.to_lowercase(), bench.name()));
+    strip.save_pnm(&path)?;
+    Ok(path)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let budget = Budget::from_env();
+    let mut out = String::from("Fig. 9: visual comparison (strips: HR | Bicubic | E2FIF | SCALES)\n");
+    let p1 = panel(
+        "RCAN",
+        &|c| rcan(c).map(|m| Box::new(m) as Box<dyn SrNetwork>),
+        Benchmark::SynUrban100,
+        4,
+        &budget,
+        &mut out,
+    )?;
+    let p2 = panel(
+        "EDSR",
+        &|c| edsr(c).map(|m| Box::new(m) as Box<dyn SrNetwork>),
+        Benchmark::SynSet14,
+        2,
+        &budget,
+        &mut out,
+    )?;
+    out.push_str(&format!("strips: {} and {}\n", p1.display(), p2.display()));
+    print!("{out}");
+    let _ = write_report("fig9_visual.txt", &out);
+    Ok(())
+}

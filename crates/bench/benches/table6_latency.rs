@@ -1,0 +1,111 @@
+//! Regenerates **Table VI** — inference latency. The paper deploys with
+//! Larq on a Snapdragon 870 phone; this harness measures the same four
+//! configurations on the host CPU with the crate's own kernels:
+//!
+//! * FP SRResNet body conv (64 channels, f32 im2col GEMM)
+//! * E2FIF body conv (binary XNOR kernel, 64 channels, plus BN cost)
+//! * SCALES body conv, chl = 64 (binary kernel + FP re-scaling branches)
+//! * SCALES body conv, chl = 40 (the paper's speed point)
+//!
+//! Expected shape: binary ≫ FP; SCALES(40) faster than E2FIF(64); the
+//! re-scaling branches cost little next to the conv. Absolute times differ
+//! from the phone, ratios are the reproduction target.
+//!
+//! Uses Criterion for the measurements.
+//!
+//! ```sh
+//! cargo bench --bench table6_latency
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scales_binary::BinaryConv2d;
+use scales_nn::init::{kaiming_normal, rng};
+use scales_tensor::ops::{conv2d, global_avg_pool, Conv2dSpec};
+use scales_tensor::Tensor;
+use std::time::Duration;
+
+const H: usize = 32;
+const W: usize = 32;
+
+fn body_input(c: usize) -> Tensor {
+    let mut r = rng(99);
+    kaiming_normal(&[1, c, H, W], 1, &mut r)
+}
+
+/// The FP re-scaling branch work SCALES adds per conv: 1×1 conv to one
+/// channel + sigmoid + multiply, and GAP + conv1d(k=5) + sigmoid + multiply.
+fn rescale_branches(input: &Tensor, spatial_w: &Tensor, chl_w: &Tensor, out: &mut Tensor) {
+    let smap = conv2d(input, spatial_w, Conv2dSpec { stride: 1, padding: 0 })
+        .expect("1x1 conv")
+        .map(|v| 1.0 / (1.0 + (-v).exp()));
+    let pooled = global_avg_pool(input).expect("gap");
+    let c = pooled.len();
+    let tokens = pooled.reshape(&[1, 1, c]).expect("reshape");
+    let mixed = scales_tensor::ops::conv1d(&tokens, chl_w, 2)
+        .expect("conv1d")
+        .map(|v| 1.0 / (1.0 + (-v).exp()));
+    let (h, w) = (out.shape()[2], out.shape()[3]);
+    for ci in 0..c {
+        let g = mixed.data()[ci];
+        for p in 0..h * w {
+            let idx = ci * h * w + p;
+            out.data_mut()[idx] *= g * smap.data()[p];
+        }
+    }
+}
+
+fn bench_table6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_latency");
+    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500)).sample_size(20);
+    let mut r = rng(7);
+
+    // FP SRResNet conv, 64 channels.
+    let w64 = kaiming_normal(&[64, 64, 3, 3], 64 * 9, &mut r);
+    let x64 = body_input(64);
+    group.bench_function("fp_srresnet_conv64", |b| {
+        b.iter(|| conv2d(std::hint::black_box(&x64), &w64, Conv2dSpec::same(3)).expect("conv"));
+    });
+
+    // E2FIF binary conv, 64 channels (binary conv + BN-ish per-element op).
+    let bin64 = BinaryConv2d::from_float_weight(&w64).expect("pack");
+    group.bench_function("e2fif_binconv64", |b| {
+        b.iter(|| {
+            let mut y = bin64.forward(std::hint::black_box(&x64)).expect("binconv");
+            y.map_inplace(|v| v * 1.01 + 0.001); // BN scale+shift
+            y
+        });
+    });
+
+    // SCALES binary conv, chl = 64.
+    let spatial64 = kaiming_normal(&[1, 64, 1, 1], 64, &mut r);
+    let chl_k = kaiming_normal(&[1, 1, 5], 5, &mut r);
+    group.bench_function("scales_binconv64", |b| {
+        b.iter(|| {
+            let mut y = bin64.forward(std::hint::black_box(&x64)).expect("binconv");
+            rescale_branches(&x64, &spatial64, &chl_k, &mut y);
+            y
+        });
+    });
+
+    // SCALES binary conv, chl = 40 (the paper's fast configuration).
+    let w40 = kaiming_normal(&[40, 40, 3, 3], 40 * 9, &mut r);
+    let x40 = body_input(40);
+    let bin40 = BinaryConv2d::from_float_weight(&w40).expect("pack");
+    let spatial40 = kaiming_normal(&[1, 40, 1, 1], 40, &mut r);
+    group.bench_function("scales_binconv40", |b| {
+        b.iter(|| {
+            let mut y = bin40.forward(std::hint::black_box(&x40)).expect("binconv");
+            rescale_branches(&x40, &spatial40, &chl_k, &mut y);
+            y
+        });
+    });
+    group.finish();
+
+    // Paper reference rows for the report.
+    println!("\npaper Table VI reference (Redmi K40S, Snapdragon 870, Larq):");
+    println!("  FP SRResNet 1649 ms | E2FIF 197 ms | SCALES(64) 237 ms | SCALES(40) 166 ms");
+    println!("expected shape here: fp_srresnet_conv64 >> binary rows; scales_binconv40 < e2fif_binconv64");
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

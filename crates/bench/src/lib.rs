@@ -1,0 +1,75 @@
+//! # scales-bench
+//!
+//! Shared plumbing for the benchmark harnesses that regenerate every table
+//! and figure of the SCALES paper. Each `benches/*.rs` target is a
+//! standalone binary (`harness = false`) that prints the paper-style table
+//! and drops artefacts in `target/scales-report/`.
+
+use scales_autograd::Var;
+use scales_data::synth::{scene, SceneConfig};
+use scales_metrics::ActivationRecord;
+use scales_models::Recorder;
+use scales_nn::init::rng;
+use scales_tensor::{Result, Tensor};
+
+/// Deterministic probe images (`[1, 3, size, size]` tensors) shared by the
+/// motivation-study benches.
+#[must_use]
+pub fn probe_images(n: usize, size: usize) -> Vec<Tensor> {
+    let mut r = rng(0xF16);
+    (0..n)
+        .map(|_| {
+            scene(size, size, SceneConfig { layers: 4, structure_bias: 0.6 }, &mut r)
+                .into_tensor()
+                .reshape(&[1, 3, size, size])
+                .expect("volume preserved")
+        })
+        .collect()
+}
+
+/// Run a recording forward over the probe set and collect
+/// [`ActivationRecord`]s, keeping only activations whose rank matches
+/// `want_rank` (3 for CHW conv inputs, 2 for token inputs).
+///
+/// # Errors
+///
+/// Propagates forward errors.
+pub fn collect_records(
+    images: &[Tensor],
+    want_rank: usize,
+    mut forward: impl FnMut(&Var, &mut Recorder) -> Result<()>,
+) -> Result<Vec<ActivationRecord>> {
+    let mut out = Vec::new();
+    for (i, img) in images.iter().enumerate() {
+        let mut rec = Recorder::new();
+        forward(&Var::new(img.clone()), &mut rec)?;
+        for (l, t) in rec.into_records().into_iter().enumerate() {
+            if t.rank() == want_rank {
+                out.push(ActivationRecord { layer: l, image: i, activation: t });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_images_are_deterministic() {
+        assert_eq!(probe_images(2, 8), probe_images(2, 8));
+    }
+
+    #[test]
+    fn collect_filters_by_rank() {
+        let images = probe_images(1, 8);
+        let records = collect_records(&images, 3, |x, rec| {
+            rec.record(x)?; // [1,3,8,8] -> [3,8,8] rank 3, kept
+            rec.record(&x.reshape(&[1, 3, 64])?)?; // rank 2 after squeeze, dropped
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(records.len(), 1);
+    }
+}

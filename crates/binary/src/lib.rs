@@ -1,0 +1,26 @@
+//! # scales-binary
+//!
+//! Bit-packed binary inference kernels and BNN cost accounting for the
+//! SCALES reproduction.
+//!
+//! * [`pack::PackedBits`] — sign vectors packed into `u64` words with a
+//!   validity mask, and the XNOR-popcount dot product.
+//! * [`xnor::BinaryConv2d`] / [`xnor::BinaryLinear`] — deployment-path
+//!   layers that are bit-exact against the float reference on `±1` inputs.
+//! * [`count`] — the paper's cost model
+//!   (`OPs = OPs_f + OPs_b/64`, `Params = Params_f + Params_b/32`).
+//!
+//! ```
+//! use scales_binary::pack::PackedBits;
+//! let a = PackedBits::from_signs(&[1.0, -1.0, 1.0]);
+//! let b = PackedBits::from_signs(&[1.0, 1.0, 1.0]);
+//! assert_eq!(a.dot(&b), 1); // +1 − 1 + 1
+//! ```
+
+pub mod count;
+pub mod pack;
+pub mod xnor;
+
+pub use count::CostReport;
+pub use pack::PackedBits;
+pub use xnor::{BinaryConv2d, BinaryLinear};

@@ -1,0 +1,345 @@
+//! Bit-packed XNOR-popcount inference kernels.
+//!
+//! These implement the deployment path the paper benchmarks with Larq on a
+//! Snapdragon 870 (Table VI): weights are packed once at construction,
+//! activations are sign-packed per call, and the convolution inner product
+//! runs entirely on `u64` XNOR + popcount, recovering the float result
+//! exactly for `±1` inputs (padded taps contribute 0 via the lane mask).
+
+use crate::pack::PackedBits;
+use scales_tensor::ops::Conv2dSpec;
+use scales_tensor::{Result, Tensor, TensorError};
+
+/// A binary 2-D convolution with packed weights and per-output-channel
+/// float scales (`ŵ = s_c · sign(w)`).
+///
+/// Packing is **channel-major**: each spatial position's input-channel
+/// vector is packed into `ceil(IC/64)` words once per image, so the hot
+/// loop gathers whole words rather than individual bits. Weights are packed
+/// in the matching `(ky, kx, channel-word)` order at construction.
+pub struct BinaryConv2d {
+    /// Per output channel: `k·k·wpp` words in (ky, kx, channel-word) order.
+    packed_weights: Vec<u64>,
+    scales: Vec<f32>,
+    out_channels: usize,
+    in_channels: usize,
+    kernel: usize,
+    /// Words per pixel (`ceil(IC/64)`).
+    wpp: usize,
+    /// Valid-channel mask for the (single partial) channel word.
+    channel_mask: u64,
+    spec: Conv2dSpec,
+}
+
+impl BinaryConv2d {
+    /// Pack a float weight tensor `[OC, IC, k, k]`. Scales default to the
+    /// per-channel mean absolute value (the XNOR-Net rule).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-rank-4 or non-square kernels.
+    pub fn from_float_weight(weight: &Tensor) -> Result<Self> {
+        if weight.rank() != 4 {
+            return Err(TensorError::RankMismatch { expected: 4, actual: weight.rank(), op: "binary conv weight" });
+        }
+        let (oc, ic, kh, kw) = (
+            weight.shape()[0],
+            weight.shape()[1],
+            weight.shape()[2],
+            weight.shape()[3],
+        );
+        if kh != kw {
+            return Err(TensorError::InvalidArgument(format!("kernel must be square, got {kh}x{kw}")));
+        }
+        let k = kh;
+        let wpp = ic.div_ceil(64);
+        let channel_mask = if ic % 64 == 0 { u64::MAX } else { (1u64 << (ic % 64)) - 1 };
+        let per = ic * k * k;
+        let mut packed = vec![0u64; oc * k * k * wpp];
+        let mut scales = Vec::with_capacity(oc);
+        for c in 0..oc {
+            let chunk = &weight.data()[c * per..(c + 1) * per];
+            scales.push(chunk.iter().map(|v| v.abs()).sum::<f32>() / per as f32);
+            for ky in 0..k {
+                for kx in 0..k {
+                    for ci in 0..ic {
+                        // chunk layout: [ic, k, k]
+                        if chunk[(ci * k + ky) * k + kx] >= 0.0 {
+                            let word = ((c * k + ky) * k + kx) * wpp + ci / 64;
+                            packed[word] |= 1 << (ci % 64);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            packed_weights: packed,
+            scales,
+            out_channels: oc,
+            in_channels: ic,
+            kernel: k,
+            wpp,
+            channel_mask,
+            spec: Conv2dSpec::same(k),
+        })
+    }
+
+    /// Override the convolution spec (default is stride-1 "same").
+    #[must_use]
+    pub fn with_spec(mut self, spec: Conv2dSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Override the per-channel scales (e.g. to fold in a learned α).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the count differs from the output channels.
+    pub fn set_scales(&mut self, scales: Vec<f32>) -> Result<()> {
+        if scales.len() != self.out_channels {
+            return Err(TensorError::LengthMismatch {
+                expected: self.out_channels,
+                actual: scales.len(),
+            });
+        }
+        self.scales = scales;
+        Ok(())
+    }
+
+    /// Number of output channels.
+    #[must_use]
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Run the packed convolution on a float input `[N, IC, H, W]`. The
+    /// input is sign-binarized internally; the output is
+    /// `s_c · (binary dot)` per channel, with zero-padded taps contributing
+    /// exactly 0 (mask words), bit-exact against the float reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for mismatched channel counts or geometry.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        if input.rank() != 4 {
+            return Err(TensorError::RankMismatch { expected: 4, actual: input.rank(), op: "binary conv input" });
+        }
+        let (n, ic, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        if ic != self.in_channels {
+            return Err(TensorError::ShapeMismatch {
+                lhs: input.shape().to_vec(),
+                rhs: vec![self.out_channels, self.in_channels, self.kernel, self.kernel],
+                op: "binary conv channels",
+            });
+        }
+        let k = self.kernel;
+        let oh = self.spec.out_extent(h, k)?;
+        let ow = self.spec.out_extent(w, k)?;
+        let oc = self.out_channels;
+        let wpp = self.wpp;
+        let kk = k * k;
+        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+        // Per-image channel-major activation bitmap: [h·w][wpp] words.
+        let mut act = vec![0u64; h * w * wpp];
+        // Gathered receptive field: kk·wpp words + per-tap validity count.
+        let mut patch = vec![0u64; kk * wpp];
+        let mut patch_mask = vec![0u64; kk * wpp];
+        for b in 0..n {
+            act.iter_mut().for_each(|v| *v = 0);
+            for ci in 0..ic {
+                let plane = &input.data()[(b * ic + ci) * h * w..(b * ic + ci + 1) * h * w];
+                let (word, bit) = (ci / 64, 1u64 << (ci % 64));
+                for (p, &v) in plane.iter().enumerate() {
+                    if v >= 0.0 {
+                        act[p * wpp + word] |= bit;
+                    }
+                }
+            }
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    // Gather whole channel-words for each kernel tap.
+                    let mut valid_total = 0i32;
+                    for ky in 0..k {
+                        let iy = (oy * self.spec.stride + ky) as isize - self.spec.padding as isize;
+                        for kx in 0..k {
+                            let ix = (ox * self.spec.stride + kx) as isize - self.spec.padding as isize;
+                            let t = (ky * k + kx) * wpp;
+                            if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                                patch[t..t + wpp].iter_mut().for_each(|v| *v = 0);
+                                patch_mask[t..t + wpp].iter_mut().for_each(|v| *v = 0);
+                            } else {
+                                let src = (iy as usize * w + ix as usize) * wpp;
+                                patch[t..t + wpp].copy_from_slice(&act[src..src + wpp]);
+                                for wi in 0..wpp {
+                                    patch_mask[t + wi] =
+                                        if wi + 1 == wpp { self.channel_mask } else { u64::MAX };
+                                }
+                                valid_total += ic as i32;
+                            }
+                        }
+                    }
+                    let base = ((b * oc) * oh + oy) * ow + ox;
+                    for c in 0..oc {
+                        let wrow = &self.packed_weights[c * kk * wpp..(c + 1) * kk * wpp];
+                        let mut agree = 0u32;
+                        for ((&wb, &ab), &m) in
+                            wrow.iter().zip(patch.iter()).zip(patch_mask.iter())
+                        {
+                            agree += (!(wb ^ ab) & m).count_ones();
+                        }
+                        let dot = 2 * agree as i32 - valid_total;
+                        out.data_mut()[base + c * oh * ow] = self.scales[c] * dot as f32;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A binary linear layer with packed weights and per-output scales.
+pub struct BinaryLinear {
+    packed_weights: Vec<PackedBits>,
+    scales: Vec<f32>,
+    in_features: usize,
+}
+
+impl BinaryLinear {
+    /// Pack a float weight matrix `[out, in]` with XNOR-Net per-row scales.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrix weights.
+    pub fn from_float_weight(weight: &Tensor) -> Result<Self> {
+        if weight.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: weight.rank(), op: "binary linear weight" });
+        }
+        let (out, inf) = (weight.shape()[0], weight.shape()[1]);
+        let mut packed = Vec::with_capacity(out);
+        let mut scales = Vec::with_capacity(out);
+        for r in 0..out {
+            let row = &weight.data()[r * inf..(r + 1) * inf];
+            packed.push(PackedBits::from_signs(row));
+            scales.push(row.iter().map(|v| v.abs()).sum::<f32>() / inf as f32);
+        }
+        Ok(Self { packed_weights: packed, scales, in_features: inf })
+    }
+
+    /// Output feature count.
+    #[must_use]
+    pub fn out_features(&self) -> usize {
+        self.packed_weights.len()
+    }
+
+    /// Apply to `[..., in] → [..., out]`, sign-binarizing the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the trailing axis does not match.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let shape = input.shape().to_vec();
+        let last = *shape.last().ok_or_else(|| {
+            TensorError::InvalidArgument("binary linear needs rank >= 1".into())
+        })?;
+        if last != self.in_features {
+            return Err(TensorError::ShapeMismatch {
+                lhs: shape,
+                rhs: vec![self.out_features(), self.in_features],
+                op: "binary linear",
+            });
+        }
+        let m = input.len() / last;
+        let out_f = self.out_features();
+        let mut out_shape = shape.clone();
+        *out_shape.last_mut().expect("rank >= 1") = out_f;
+        let mut out = Tensor::zeros(&out_shape);
+        for r in 0..m {
+            let row = PackedBits::from_signs(&input.data()[r * last..(r + 1) * last]);
+            for (c, (pw, &s)) in self.packed_weights.iter().zip(self.scales.iter()).enumerate() {
+                out.data_mut()[r * out_f + c] = s * pw.dot(&row) as f32;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scales_tensor::ops::conv2d;
+
+    fn signs(n: usize, seed: u64) -> Vec<f32> {
+        // Simple LCG for deterministic ±1 data without pulling in rand here.
+        let mut s = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                if (s >> 33) & 1 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn binary_conv_matches_float_conv_on_sign_inputs() {
+        let input = Tensor::from_vec(signs(2 * 3 * 8 * 8, 1), &[2, 3, 8, 8]).unwrap();
+        let weight = Tensor::from_vec(signs(4 * 3 * 3 * 3, 2), &[4, 3, 3, 3]).unwrap();
+        let mut bc = BinaryConv2d::from_float_weight(&weight).unwrap();
+        bc.set_scales(vec![1.0; 4]).unwrap();
+        let fast = bc.forward(&input).unwrap();
+        let slow = conv2d(&input, &weight, Conv2dSpec::same(3)).unwrap();
+        assert_eq!(fast.shape(), slow.shape());
+        for (a, b) in fast.data().iter().zip(slow.data().iter()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn binary_conv_scales_apply_per_channel() {
+        let input = Tensor::ones(&[1, 1, 3, 3]);
+        let weight = Tensor::ones(&[2, 1, 1, 1]);
+        let mut bc = BinaryConv2d::from_float_weight(&weight).unwrap();
+        bc.set_scales(vec![2.0, 0.5]).unwrap();
+        let y = bc.forward(&input).unwrap();
+        assert_eq!(y.at(&[0, 0, 1, 1]), 2.0);
+        assert_eq!(y.at(&[0, 1, 1, 1]), 0.5);
+    }
+
+    #[test]
+    fn binary_linear_matches_float_matmul_on_sign_inputs() {
+        let x = Tensor::from_vec(signs(4 * 16, 3), &[4, 16]).unwrap();
+        let w = Tensor::from_vec(signs(8 * 16, 4), &[8, 16]).unwrap();
+        let bl = BinaryLinear::from_float_weight(&w).unwrap();
+        let y = bl.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[4, 8]);
+        // Reference: x · (s ⊙ sign(w))ᵀ with s = mean|w| = 1 here (w is ±1).
+        for r in 0..4 {
+            for c in 0..8 {
+                let dot: f32 = (0..16).map(|i| x.at(&[r, i]) * w.at(&[c, i])).sum();
+                assert!((y.at(&[r, c]) - dot).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn weight_scale_is_mean_abs() {
+        let w = Tensor::from_vec(vec![2.0, -4.0, 1.0, -1.0], &[1, 4]).unwrap();
+        let bl = BinaryLinear::from_float_weight(&w).unwrap();
+        let x = Tensor::ones(&[1, 4]);
+        let y = bl.forward(&x).unwrap();
+        // sign(w) = [1,-1,1,-1]; dot with ones = 0 → 0·2 = 0
+        assert_eq!(y.data()[0], 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        let w = Tensor::ones(&[2, 3, 3, 3]);
+        let bc = BinaryConv2d::from_float_weight(&w).unwrap();
+        assert!(bc.forward(&Tensor::ones(&[1, 2, 4, 4])).is_err());
+        assert!(BinaryConv2d::from_float_weight(&Tensor::ones(&[2, 3])).is_err());
+    }
+}

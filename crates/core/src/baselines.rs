@@ -1,0 +1,343 @@
+//! Baseline binary layers the paper compares against.
+//!
+//! These reproduce the *mechanism* of each method at the layer level (how
+//! it binarizes and what full-precision machinery it keeps), which is what
+//! drives the Table III/IV/V comparisons:
+//!
+//! * **E2FIF** — sign binarization with the Bi-Real STE, a BatchNorm after
+//!   the binary conv, and an end-to-end full-precision identity skip. No
+//!   input-dependent scaling of any kind (Table I: all ✗).
+//! * **BTM / IBTM** — BN-free; binarizes against a per-image mean threshold
+//!   (image-adaptive ✔ but not spatial/channel/layer-adaptive).
+//! * **BAM** — bit-accumulation mechanism, approximated here by the
+//!   XNOR-Net-style spatial FP accumulation map `K = mean_c |x|` multiplied
+//!   onto the binary conv output. This keeps BAM's two signature
+//!   properties: spatial adaptivity and the extra FP accumulations at
+//!   inference (Table I row).
+//! * **BiBERT-style linear** — plain sign for activations and per-tensor
+//!   scaled sign for weights, the transformer baseline of Table IV.
+//!
+//! Deviations from the original implementations (all of which are
+//! unpublished or PyTorch-specific) are documented in DESIGN.md.
+
+use rand::rngs::StdRng;
+use scales_autograd::Var;
+use scales_nn::init::{kaiming_normal, xavier_uniform};
+use scales_nn::layers::BatchNorm2d;
+use scales_nn::Module;
+use scales_tensor::ops::Conv2dSpec;
+use scales_tensor::{Result, Tensor, TensorError};
+
+/// E2FIF body convolution: `x + BN(binconv(sign(x)))`.
+pub struct E2fifConv2d {
+    weight: Var,
+    bn: BatchNorm2d,
+    spec: Conv2dSpec,
+    in_channels: usize,
+    out_channels: usize,
+    skip: bool,
+}
+
+impl E2fifConv2d {
+    /// Build a `same`-padded E2FIF conv.
+    #[must_use]
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, rng: &mut StdRng) -> Self {
+        let weight = Var::param(kaiming_normal(
+            &[out_channels, in_channels, kernel, kernel],
+            in_channels * kernel * kernel,
+            rng,
+        ));
+        Self {
+            weight,
+            bn: BatchNorm2d::new(out_channels),
+            spec: Conv2dSpec::same(kernel),
+            in_channels,
+            out_channels,
+            skip: in_channels == out_channels,
+        }
+    }
+}
+
+impl Module for E2fifConv2d {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        let xb = input.sign_ste_bireal();
+        let wb = self.weight.binarize_weight_per_channel()?;
+        let y = xb.conv2d(&wb, self.spec)?;
+        let y = self.bn.forward(&y)?;
+        if self.skip && self.in_channels == self.out_channels {
+            y.add(input)
+        } else {
+            Ok(y)
+        }
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = vec![self.weight.clone()];
+        p.extend(self.bn.params());
+        p
+    }
+}
+
+/// BTM body convolution: BN-free, per-image mean threshold, identity skip.
+pub struct BtmConv2d {
+    weight: Var,
+    spec: Conv2dSpec,
+    in_channels: usize,
+    out_channels: usize,
+}
+
+impl BtmConv2d {
+    /// Build a `same`-padded BTM conv.
+    #[must_use]
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, rng: &mut StdRng) -> Self {
+        let weight = Var::param(kaiming_normal(
+            &[out_channels, in_channels, kernel, kernel],
+            in_channels * kernel * kernel,
+            rng,
+        ));
+        Self { weight, spec: Conv2dSpec::same(kernel), in_channels, out_channels }
+    }
+}
+
+impl Module for BtmConv2d {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        // Per-image threshold: mean over C, H, W (detached — BTM computes it
+        // from the normalised input, not through the gradient).
+        let s = input.shape();
+        if s.len() != 4 {
+            return Err(TensorError::RankMismatch { expected: 4, actual: s.len(), op: "btm conv" });
+        }
+        let t = input.value();
+        let (n, chw) = (s[0], s[1] * s[2] * s[3]);
+        let mut means = Vec::with_capacity(n);
+        for b in 0..n {
+            let sum: f32 = t.data()[b * chw..(b + 1) * chw].iter().sum();
+            means.push(sum / chw as f32);
+        }
+        let thresh = Var::new(Tensor::from_vec(means, &[n, 1, 1, 1])?);
+        let xb = input.sub(&thresh)?.sign_ste_bireal();
+        let wb = self.weight.binarize_weight_per_channel()?;
+        let y = xb.conv2d(&wb, self.spec)?;
+        if self.in_channels == self.out_channels {
+            y.add(input)
+        } else {
+            Ok(y)
+        }
+    }
+
+    fn params(&self) -> Vec<Var> {
+        vec![self.weight.clone()]
+    }
+}
+
+/// BAM body convolution: binary conv rescaled by the spatial FP
+/// accumulation map `K = mean_c |x|` (extra FP accumulation at inference).
+pub struct BamConv2d {
+    weight: Var,
+    spec: Conv2dSpec,
+    in_channels: usize,
+    out_channels: usize,
+}
+
+impl BamConv2d {
+    /// Build a `same`-padded BAM conv.
+    #[must_use]
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, rng: &mut StdRng) -> Self {
+        let weight = Var::param(kaiming_normal(
+            &[out_channels, in_channels, kernel, kernel],
+            in_channels * kernel * kernel,
+            rng,
+        ));
+        Self { weight, spec: Conv2dSpec::same(kernel), in_channels, out_channels }
+    }
+}
+
+impl Module for BamConv2d {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        let xb = input.sign_ste_bireal();
+        let wb = self.weight.binarize_weight_per_channel()?;
+        let y = xb.conv2d(&wb, self.spec)?;
+        // FP accumulation map over channels, [B,1,H,W] (detached; BAM
+        // accumulates it outside the binary datapath).
+        let k = input.detach().abs().mean_axis(1)?;
+        let y = y.mul(&k)?;
+        if self.in_channels == self.out_channels {
+            y.add(input)
+        } else {
+            Ok(y)
+        }
+    }
+
+    fn params(&self) -> Vec<Var> {
+        vec![self.weight.clone()]
+    }
+}
+
+/// The plain binary convolution used for the convs inside BiBERT-style
+/// transformer bodies: clipped-STE sign activations, per-channel scaled
+/// sign weights, identity skip — no normalisation, no re-scaling.
+pub struct BasicBinaryConv2d {
+    weight: Var,
+    spec: Conv2dSpec,
+    in_channels: usize,
+    out_channels: usize,
+}
+
+impl BasicBinaryConv2d {
+    /// Build a `same`-padded plain binary conv.
+    #[must_use]
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, rng: &mut StdRng) -> Self {
+        let weight = Var::param(kaiming_normal(
+            &[out_channels, in_channels, kernel, kernel],
+            in_channels * kernel * kernel,
+            rng,
+        ));
+        Self { weight, spec: Conv2dSpec::same(kernel), in_channels, out_channels }
+    }
+}
+
+impl Module for BasicBinaryConv2d {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        let xb = input.sign_ste();
+        let wb = self.weight.binarize_weight_per_channel()?;
+        let y = xb.conv2d(&wb, self.spec)?;
+        if self.in_channels == self.out_channels {
+            y.add(input)
+        } else {
+            Ok(y)
+        }
+    }
+
+    fn params(&self) -> Vec<Var> {
+        vec![self.weight.clone()]
+    }
+}
+
+/// BiBERT-style binary linear for transformer bodies: plain sign
+/// activations, per-tensor scaled sign weights, identity skip when square.
+pub struct BibertLinear {
+    weight: Var,
+    bias: Var,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl BibertLinear {
+    /// Build a BiBERT-style linear layer.
+    #[must_use]
+    pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+        Self {
+            weight: Var::param(xavier_uniform(&[out_features, in_features], in_features, out_features, rng)),
+            bias: Var::param(Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+        }
+    }
+}
+
+impl Module for BibertLinear {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        let shape = input.shape();
+        let last = *shape.last().ok_or_else(|| {
+            TensorError::InvalidArgument("bibert linear needs rank >= 1".into())
+        })?;
+        if last != self.in_features {
+            return Err(TensorError::ShapeMismatch {
+                lhs: shape.clone(),
+                rhs: vec![self.out_features, self.in_features],
+                op: "bibert linear",
+            });
+        }
+        let xb = input.sign_ste();
+        let wb = self.weight.binarize_weight_per_channel()?;
+        let m: usize = shape[..shape.len() - 1].iter().product();
+        let flat = xb.reshape(&[m, self.in_features])?;
+        let y = flat.matmul(&wb.permute(&[1, 0])?)?.add(&self.bias)?;
+        let mut out_shape = shape;
+        *out_shape.last_mut().expect("rank >= 1") = self.out_features;
+        let y = y.reshape(&out_shape)?;
+        if self.in_features == self.out_features {
+            y.add(input)
+        } else {
+            Ok(y)
+        }
+    }
+
+    fn params(&self) -> Vec<Var> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scales_nn::init::rng;
+
+    fn x4() -> Var {
+        Var::new(Tensor::from_vec((0..64).map(|i| (i as f32 * 0.37).sin()).collect(), &[1, 4, 4, 4]).unwrap())
+    }
+
+    #[test]
+    fn e2fif_shape_and_grads() {
+        let mut r = rng(51);
+        let c = E2fifConv2d::new(4, 4, 3, &mut r);
+        let y = c.forward(&x4()).unwrap();
+        assert_eq!(y.shape(), vec![1, 4, 4, 4]);
+        y.sum_all().unwrap().backward().unwrap();
+        assert!(c.params().iter().all(|p| p.grad().is_some()));
+    }
+
+    #[test]
+    fn btm_is_image_adaptive() {
+        let mut r = rng(52);
+        let c = BtmConv2d::new(4, 4, 3, &mut r);
+        // Shift the entire image by a constant: the per-image threshold
+        // cancels the shift, so the binary path is unchanged and only the
+        // skip moves — outputs differ exactly by the shift.
+        let x = x4();
+        let shifted = x.add_scalar(0.7);
+        let y1 = c.forward(&x).unwrap().value();
+        let y2 = c.forward(&shifted).unwrap().value();
+        for (a, b) in y1.data().iter().zip(y2.data().iter()) {
+            assert!(((b - a) - 0.7).abs() < 1e-4, "{a} {b}");
+        }
+    }
+
+    #[test]
+    fn bam_rescales_by_magnitude() {
+        let mut r = rng(53);
+        let c = BamConv2d::new(4, 4, 3, &mut r);
+        let y = c.forward(&x4()).unwrap();
+        assert_eq!(y.shape(), vec![1, 4, 4, 4]);
+        y.sum_all().unwrap().backward().unwrap();
+        assert!(c.params()[0].grad().is_some());
+    }
+
+    #[test]
+    fn bibert_linear_shapes_and_grads() {
+        let mut r = rng(54);
+        let l = BibertLinear::new(8, 8, &mut r);
+        let x = Var::new(Tensor::from_vec((0..24).map(|i| (i as f32 * 0.51).cos()).collect(), &[1, 3, 8]).unwrap());
+        let y = l.forward(&x).unwrap();
+        assert_eq!(y.shape(), vec![1, 3, 8]);
+        y.sum_all().unwrap().backward().unwrap();
+        assert!(l.params().iter().all(|p| p.grad().is_some()));
+    }
+
+    #[test]
+    fn e2fif_not_image_adaptive_in_binary_path() {
+        // Scaling a strictly-positive input leaves sign(x) unchanged, so the
+        // E2FIF binary output (pre-skip) is identical — this is the
+        // limitation SCALES fixes.
+        let mut r = rng(55);
+        let c = E2fifConv2d::new(2, 4, 3, &mut r); // no skip (channel change)
+        let base: Vec<f32> = (0..32).map(|i| (i as f32 * 0.7).sin() + 2.0).collect();
+        let x1 = Var::new(Tensor::from_vec(base.clone(), &[1, 2, 4, 4]).unwrap());
+        let x2 = Var::new(Tensor::from_vec(base.iter().map(|v| v * 5.0).collect(), &[1, 2, 4, 4]).unwrap());
+        let y1 = c.forward(&x1).unwrap().value();
+        let y2 = c.forward(&x2).unwrap().value();
+        for (a, b) in y1.data().iter().zip(y2.data().iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Channel-wise re-scaling — paper §IV-C, Fig. 7.
+//!
+//! GlobalAvgPool aggregates spatial information from the full-precision
+//! pre-binarization activation; a Conv1d (kernel `k`, default 5) captures
+//! inter-channel structure with only `k` FP parameters; a sigmoid produces
+//! the `B×C×1×1` scale. This is the paper's cheap alternative to the
+//! `2C²/r`-parameter SE block of Real-to-Binary networks.
+
+use rand::rngs::StdRng;
+use scales_autograd::Var;
+use scales_nn::layers::Conv1d;
+use scales_nn::Module;
+use scales_tensor::Result;
+
+/// Channel re-scaling branch for NCHW activations.
+pub struct ChannelRescale {
+    conv: Conv1d,
+    channels: usize,
+    kernel: usize,
+}
+
+impl ChannelRescale {
+    /// Build with the paper's default kernel size 5.
+    #[must_use]
+    pub fn new(channels: usize, rng: &mut StdRng) -> Self {
+        Self::with_kernel(channels, 5, rng)
+    }
+
+    /// Build with an explicit odd Conv1d kernel size (for the kernel-size
+    /// ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an even kernel size, which cannot preserve the channel
+    /// axis length with symmetric padding.
+    #[must_use]
+    pub fn with_kernel(channels: usize, kernel: usize, rng: &mut StdRng) -> Self {
+        assert!(kernel % 2 == 1, "channel re-scale kernel must be odd");
+        Self { conv: Conv1d::new(1, 1, kernel, kernel / 2, rng), channels, kernel }
+    }
+
+    /// Conv1d kernel size (the branch's entire FP parameter count).
+    #[must_use]
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Predict the `B×C×1×1` scale from the FP activation (Fig. 7).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the input channel count differs from the
+    /// configured one.
+    pub fn scale_map(&self, fp_input: &Var) -> Result<Var> {
+        let s = fp_input.shape();
+        if s.len() != 4 || s[1] != self.channels {
+            return Err(scales_tensor::TensorError::ShapeMismatch {
+                lhs: s,
+                rhs: vec![0, self.channels, 0, 0],
+                op: "channel re-scale",
+            });
+        }
+        let b = s[0];
+        let pooled = fp_input.global_avg_pool()?; // [B, C, 1, 1]
+        let tokens = pooled.reshape(&[b, 1, self.channels])?; // [B, 1, C]
+        let mixed = self.conv.forward(&tokens)?; // [B, 1, C]
+        let gated = mixed.sigmoid();
+        gated.reshape(&[b, self.channels, 1, 1])
+    }
+
+    /// Apply to a binary-branch output: `y ⊙ C(a)` (Eq. 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for incompatible geometry.
+    pub fn apply(&self, binary_out: &Var, fp_input: &Var) -> Result<Var> {
+        binary_out.mul(&self.scale_map(fp_input)?)
+    }
+}
+
+impl Module for ChannelRescale {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        self.scale_map(input)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        self.conv.params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scales_nn::init::rng;
+    use scales_tensor::Tensor;
+
+    #[test]
+    fn scale_shape_and_param_count() {
+        let mut r = rng(21);
+        let c = ChannelRescale::new(16, &mut r);
+        assert_eq!(c.param_count(), 5, "only k FP parameters");
+        let x = Var::new(Tensor::ones(&[2, 16, 4, 4]));
+        let m = c.scale_map(&x).unwrap();
+        assert_eq!(m.shape(), vec![2, 16, 1, 1]);
+    }
+
+    #[test]
+    fn scale_in_sigmoid_range() {
+        let mut r = rng(22);
+        let c = ChannelRescale::new(8, &mut r);
+        let x = Var::new(Tensor::from_vec((0..128).map(|i| (i as f32 * 0.1).sin() * 3.0).collect(), &[1, 8, 4, 4]).unwrap());
+        let m = c.scale_map(&x).unwrap().value();
+        assert!(m.min() > 0.0 && m.max() < 1.0);
+    }
+
+    #[test]
+    fn channel_scales_differ_across_channels() {
+        let mut r = rng(23);
+        let c = ChannelRescale::new(4, &mut r);
+        // Channels with very different means should get different scales.
+        let mut data = vec![0.0f32; 4 * 4];
+        for ch in 0..4 {
+            for i in 0..4 {
+                data[ch * 4 + i] = ch as f32 * 2.0 - 3.0;
+            }
+        }
+        let x = Var::new(Tensor::from_vec(data, &[1, 4, 2, 2]).unwrap());
+        let m = c.scale_map(&x).unwrap().value();
+        let vals: Vec<f32> = m.data().to_vec();
+        assert!(vals.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-6));
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut r = rng(24);
+        let c = ChannelRescale::new(8, &mut r);
+        let x = Var::new(Tensor::ones(&[1, 4, 2, 2]));
+        assert!(c.scale_map(&x).is_err());
+    }
+
+    #[test]
+    fn grads_reach_conv1d_weight() {
+        let mut r = rng(25);
+        let c = ChannelRescale::new(4, &mut r);
+        let x = Var::new(Tensor::ones(&[1, 4, 2, 2]));
+        let y = Var::new(Tensor::ones(&[1, 4, 2, 2]));
+        let out = c.apply(&y, &x).unwrap().sum_all().unwrap();
+        out.backward().unwrap();
+        assert!(c.params()[0].grad().is_some());
+    }
+}

@@ -1,0 +1,257 @@
+//! The binary convolution layer integrated with SCALES — paper Fig. 8(a).
+//!
+//! Pipeline: LSF-binarize the activation (Eq. 1) → binary convolution with
+//! per-channel binarized weights → multiply by the spatial and channel
+//! re-scaling maps (both predicted from the FP pre-binarization activation)
+//! → add the identity skip connection (full-precision information flow,
+//! following E2FIF / Bi-Real Net).
+
+use crate::channel::ChannelRescale;
+use crate::lsf::LsfBinarizer;
+use crate::method::ScalesComponents;
+use crate::spatial::SpatialRescale;
+use rand::rngs::StdRng;
+use scales_autograd::Var;
+use scales_nn::init::kaiming_normal;
+use scales_nn::Module;
+use scales_tensor::ops::Conv2dSpec;
+use scales_tensor::{Result, TensorError};
+
+/// A drop-in binary replacement for a body `Conv2d`, with SCALES
+/// components toggled by [`ScalesComponents`].
+pub struct ScalesConv2d {
+    weight: Var,
+    lsf: Option<LsfBinarizer>,
+    spatial: Option<SpatialRescale>,
+    channel: Option<ChannelRescale>,
+    skip: bool,
+    spec: Conv2dSpec,
+    in_channels: usize,
+    out_channels: usize,
+}
+
+impl ScalesConv2d {
+    /// Build the full published method (`ScalesComponents::full()`).
+    #[must_use]
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, rng: &mut StdRng) -> Self {
+        Self::with_components(in_channels, out_channels, kernel, ScalesComponents::full(), true, rng)
+    }
+
+    /// Build with an explicit component subset (ablations) and skip flag.
+    ///
+    /// When `lsf` is disabled the activation falls back to the plain sign
+    /// binarizer with the Bi-Real STE.
+    #[must_use]
+    pub fn with_components(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        components: ScalesComponents,
+        skip: bool,
+        rng: &mut StdRng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let weight = Var::param(kaiming_normal(
+            &[out_channels, in_channels, kernel, kernel],
+            fan_in,
+            rng,
+        ));
+        let channel = (components.channel && in_channels == out_channels)
+            .then(|| ChannelRescale::with_kernel(in_channels, components.channel_kernel, rng));
+        Self {
+            weight,
+            lsf: components.lsf.then(|| LsfBinarizer::new(in_channels)),
+            spatial: components.spatial.then(|| SpatialRescale::new(in_channels, rng)),
+            channel,
+            skip,
+            spec: Conv2dSpec::same(kernel),
+            in_channels,
+            out_channels,
+        }
+    }
+
+    /// The underlying (latent full-precision) weight.
+    #[must_use]
+    pub fn weight(&self) -> &Var {
+        &self.weight
+    }
+
+    /// The LSF binarizer, when enabled.
+    #[must_use]
+    pub fn lsf(&self) -> Option<&LsfBinarizer> {
+        self.lsf.as_ref()
+    }
+
+    /// The spatial re-scaling branch, when enabled.
+    #[must_use]
+    pub fn spatial(&self) -> Option<&SpatialRescale> {
+        self.spatial.as_ref()
+    }
+
+    /// The channel re-scaling branch, when enabled.
+    #[must_use]
+    pub fn channel(&self) -> Option<&ChannelRescale> {
+        self.channel.as_ref()
+    }
+
+    /// Whether the layer carries the identity skip.
+    #[must_use]
+    pub fn has_skip(&self) -> bool {
+        self.skip
+    }
+
+    /// Clamp the LSF α after an optimizer step (no-op without LSF).
+    pub fn clamp_alpha(&self, floor: f32) {
+        if let Some(lsf) = &self.lsf {
+            lsf.clamp_alpha(floor);
+        }
+    }
+
+    /// Input channel count.
+    #[must_use]
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    #[must_use]
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+}
+
+impl Module for ScalesConv2d {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        // 1. Binarize the activation (LSF when enabled, else plain sign).
+        let xb = match &self.lsf {
+            Some(lsf) => lsf.forward(input)?,
+            None => input.sign_ste_bireal(),
+        };
+        // 2. Binary convolution: per-channel binarized weight.
+        let wb = self.weight.binarize_weight_per_channel()?;
+        let mut y = xb.conv2d(&wb, self.spec)?;
+        // 3. Input-dependent re-scalings from the FP activation (Eq. 4/5).
+        if let Some(sp) = &self.spatial {
+            y = sp.apply(&y, input)?;
+        }
+        if let Some(ch) = &self.channel {
+            y = ch.apply(&y, input)?;
+        }
+        // 4. Full-precision identity skip.
+        if self.skip {
+            if self.in_channels != self.out_channels {
+                return Err(TensorError::InvalidArgument(format!(
+                    "skip connection needs matching channels, got {} vs {}",
+                    self.in_channels, self.out_channels
+                )));
+            }
+            y = y.add(input)?;
+        }
+        Ok(y)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = vec![self.weight.clone()];
+        if let Some(l) = &self.lsf {
+            p.extend(l.params());
+        }
+        if let Some(s) = &self.spatial {
+            p.extend(s.params());
+        }
+        if let Some(c) = &self.channel {
+            p.extend(c.params());
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scales_nn::init::rng;
+    use scales_tensor::Tensor;
+
+    fn input(seed: f32) -> Var {
+        Var::new(Tensor::from_vec(
+            (0..128).map(|i| ((i as f32 + seed) * 0.37).sin()).collect(),
+            &[1, 8, 4, 4],
+        ).unwrap())
+    }
+
+    #[test]
+    fn forward_shape_preserved() {
+        let mut r = rng(31);
+        let c = ScalesConv2d::new(8, 8, 3, &mut r);
+        let y = c.forward(&input(0.0)).unwrap();
+        assert_eq!(y.shape(), vec![1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn all_params_receive_gradients() {
+        let mut r = rng(32);
+        let c = ScalesConv2d::new(8, 8, 3, &mut r);
+        let y = c.forward(&input(1.0)).unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        for (i, p) in c.params().iter().enumerate() {
+            assert!(p.grad().is_some(), "param {i} missing grad");
+        }
+    }
+
+    #[test]
+    fn components_toggle_param_count() {
+        let mut r = rng(33);
+        let full = ScalesConv2d::with_components(8, 8, 3, ScalesComponents::full(), true, &mut r);
+        let lsf = ScalesConv2d::with_components(8, 8, 3, ScalesComponents::lsf_only(), true, &mut r);
+        // full = weight + (α, β) + spatial(8w+1b) + channel(5)
+        assert_eq!(full.param_count(), 8 * 8 * 9 + 1 + 8 + 9 + 5);
+        assert_eq!(lsf.param_count(), 8 * 8 * 9 + 1 + 8);
+    }
+
+    #[test]
+    fn skip_requires_equal_channels() {
+        let mut r = rng(34);
+        let c = ScalesConv2d::with_components(8, 16, 3, ScalesComponents::lsf_only(), true, &mut r);
+        let x = input(0.0);
+        assert!(c.forward(&x).is_err());
+        let no_skip = ScalesConv2d::with_components(8, 16, 3, ScalesComponents::lsf_only(), false, &mut r);
+        assert_eq!(no_skip.forward(&x).unwrap().shape(), vec![1, 16, 4, 4]);
+    }
+
+    #[test]
+    fn output_is_input_dependent_beyond_sign() {
+        // Two inputs with identical signs but different magnitudes must give
+        // different outputs through the re-scaling branches (image-to-image
+        // adaptivity) — the property E2FIF lacks.
+        let mut r = rng(35);
+        let c = ScalesConv2d::with_components(4, 4, 3, ScalesComponents::full(), false, &mut r);
+        let base: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.7).sin() + 1.5).collect(); // all positive
+        let x1 = Var::new(Tensor::from_vec(base.clone(), &[1, 4, 4, 4]).unwrap());
+        let x2 = Var::new(Tensor::from_vec(base.iter().map(|v| v * 3.0).collect(), &[1, 4, 4, 4]).unwrap());
+        let y1 = c.forward(&x1).unwrap().value();
+        let y2 = c.forward(&x2).unwrap().value();
+        assert_ne!(y1.data(), y2.data());
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut r = rng(36);
+        let c = ScalesConv2d::new(4, 4, 3, &mut r);
+        let x = Var::new(Tensor::from_vec((0..64).map(|i| (i as f32 * 0.21).cos()).collect(), &[1, 4, 4, 4]).unwrap());
+        let target = Var::new(Tensor::from_vec((0..64).map(|i| (i as f32 * 0.13).sin()).collect(), &[1, 4, 4, 4]).unwrap());
+        let mut opt = scales_nn::optim::Adam::new(c.params(), 1e-2);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..30 {
+            opt.zero_grad();
+            let loss = scales_nn::loss::l1_loss(&c.forward(&x).unwrap(), &target).unwrap();
+            last = loss.value().data()[0];
+            if first.is_none() {
+                first = Some(last);
+            }
+            loss.backward().unwrap();
+            opt.step();
+            c.clamp_alpha(1e-3);
+        }
+        assert!(last < first.unwrap(), "loss should decrease: {first:?} -> {last}");
+    }
+}

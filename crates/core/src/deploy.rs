@@ -1,0 +1,213 @@
+//! Deployment: fold a trained [`ScalesConv2d`] into the bit-packed
+//! XNOR-popcount inference path.
+//!
+//! This is the Larq role in the paper's Table VI: after training, the
+//! latent FP weights are sign-packed once, the weight scale `s_c` and the
+//! learned layer scale `α` fold into the per-channel output scale, the
+//! channel threshold `β` folds into an input shift (since
+//! `sign((x−β)/α) = sign(x−β)` for `α > 0`), and only the two small
+//! re-scaling branches plus the skip run in floating point.
+//!
+//! [`DeployedScalesConv2d::forward`] is numerically equivalent to the
+//! training-path forward (verified by unit and integration tests).
+
+use crate::conv::ScalesConv2d;
+use scales_nn::Module as _;
+use scales_binary::BinaryConv2d;
+use scales_tensor::ops::{conv1d, conv2d, global_avg_pool, Conv2dSpec};
+use scales_tensor::{Result, Tensor, TensorError};
+
+fn sigmoid(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+/// A trained SCALES convolution lowered to the packed binary kernel.
+pub struct DeployedScalesConv2d {
+    conv: BinaryConv2d,
+    /// Per-input-channel threshold β (empty when LSF was disabled).
+    beta: Vec<f32>,
+    /// Spatial branch: 1×1 conv weight `[1, C, 1, 1]` and bias.
+    spatial: Option<(Tensor, f32)>,
+    /// Channel branch: Conv1d weight `[1, 1, k]`.
+    channel: Option<Tensor>,
+    skip: bool,
+    in_channels: usize,
+}
+
+impl DeployedScalesConv2d {
+    /// Fold a trained layer into packed form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the trained layer's tensors are malformed
+    /// (cannot happen for layers built by this crate).
+    pub fn from_trained(layer: &ScalesConv2d) -> Result<Self> {
+        let weight = layer.weight().value();
+        let oc = weight.shape()[0];
+        let ic = weight.shape()[1];
+        let per = weight.len() / oc;
+        let mut conv = BinaryConv2d::from_float_weight(&weight)?;
+        // Fold α into the per-channel scales: ŷ = α·s_c·(xnor dot).
+        let (alpha, beta) = match layer.lsf() {
+            Some(lsf) => {
+                let a = lsf.alpha().value().data()[0].max(1e-6);
+                (a, lsf.beta().value().data().to_vec())
+            }
+            None => (1.0, Vec::new()),
+        };
+        let scales: Vec<f32> = (0..oc)
+            .map(|c| {
+                let chunk = &weight.data()[c * per..(c + 1) * per];
+                alpha * chunk.iter().map(|v| v.abs()).sum::<f32>() / per as f32
+            })
+            .collect();
+        conv.set_scales(scales)?;
+        let spatial = match layer.spatial() {
+            Some(s) => {
+                let params = s.params();
+                if params.len() != 2 {
+                    return Err(TensorError::InvalidArgument(
+                        "spatial branch must hold weight and bias".into(),
+                    ));
+                }
+                Some((params[0].value(), params[1].value().data()[0]))
+            }
+            None => None,
+        };
+        let channel = layer.channel().map(|c| c.params()[0].value());
+        Ok(Self {
+            conv,
+            beta,
+            spatial,
+            channel,
+            skip: layer.has_skip(),
+            in_channels: ic,
+        })
+    }
+
+    /// Run packed inference on `[N, C, H, W]`, reproducing the training
+    /// path exactly (up to f32 rounding in the FP branches).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for mismatched geometry.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        if input.rank() != 4 {
+            return Err(TensorError::RankMismatch { expected: 4, actual: input.rank(), op: "deployed conv" });
+        }
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        if c != self.in_channels {
+            return Err(TensorError::ShapeMismatch {
+                lhs: input.shape().to_vec(),
+                rhs: vec![0, self.in_channels, 0, 0],
+                op: "deployed conv channels",
+            });
+        }
+        // β folds into an input shift before the sign packing.
+        let shifted = if self.beta.is_empty() {
+            input.clone()
+        } else {
+            let mut t = input.clone();
+            for b in 0..n {
+                for ci in 0..c {
+                    let beta = self.beta[ci];
+                    for v in &mut t.data_mut()[(b * c + ci) * h * w..(b * c + ci + 1) * h * w] {
+                        *v -= beta;
+                    }
+                }
+            }
+            t
+        };
+        let mut y = self.conv.forward(&shifted)?;
+        let oc = y.shape()[1];
+        let (oh, ow) = (y.shape()[2], y.shape()[3]);
+        // Spatial re-scaling from the FP input.
+        if let Some((wmap, bias)) = &self.spatial {
+            let m = conv2d(input, wmap, Conv2dSpec { stride: 1, padding: 0 })?;
+            for b in 0..n {
+                for p in 0..oh * ow {
+                    let g = sigmoid(m.data()[b * oh * ow + p] + bias);
+                    for co in 0..oc {
+                        y.data_mut()[((b * oc) + co) * oh * ow + p] *= g;
+                    }
+                }
+            }
+        }
+        // Channel re-scaling from the FP input.
+        if let Some(k) = &self.channel {
+            let pooled = global_avg_pool(input)?; // [N, C, 1, 1]
+            let tokens = pooled.reshape(&[n, 1, c])?;
+            let mixed = conv1d(&tokens, k, k.shape()[2] / 2)?;
+            for b in 0..n {
+                for co in 0..oc {
+                    let g = sigmoid(mixed.data()[b * c + co]);
+                    for v in &mut y.data_mut()[((b * oc) + co) * oh * ow..((b * oc) + co + 1) * oh * ow] {
+                        *v *= g;
+                    }
+                }
+            }
+        }
+        if self.skip {
+            y = y.zip_map(input, |a, b| a + b)?;
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::ScalesComponents;
+    use scales_autograd::Var;
+    use scales_nn::init::rng;
+    use scales_nn::Module;
+
+    fn check_equivalence(components: ScalesComponents, skip: bool, seed: u64) {
+        let mut r = rng(seed);
+        let layer = ScalesConv2d::with_components(6, 6, 3, components, skip, &mut r);
+        // Nudge α/β off their init so folding is actually exercised.
+        if let Some(lsf) = layer.lsf() {
+            lsf.alpha().set_value(Tensor::from_vec(vec![0.8], &[1]).unwrap());
+            lsf.beta().update_value(|t| {
+                for (i, v) in t.data_mut().iter_mut().enumerate() {
+                    *v = (i as f32 - 3.0) * 0.05;
+                }
+            });
+        }
+        let deployed = DeployedScalesConv2d::from_trained(&layer).unwrap();
+        let input = Tensor::from_vec(
+            (0..6 * 64).map(|i| ((i as f32) * 0.29).sin()).collect(),
+            &[1, 6, 8, 8],
+        )
+        .unwrap();
+        let reference = layer.forward(&Var::new(input.clone())).unwrap().value();
+        let fast = deployed.forward(&input).unwrap();
+        assert_eq!(fast.shape(), reference.shape());
+        for (a, b) in fast.data().iter().zip(reference.data().iter()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn deployed_full_scales_matches_training_path() {
+        check_equivalence(ScalesComponents::full(), true, 91);
+    }
+
+    #[test]
+    fn deployed_lsf_only_matches_training_path() {
+        check_equivalence(ScalesComponents::lsf_only(), true, 92);
+    }
+
+    #[test]
+    fn deployed_no_skip_matches_training_path() {
+        check_equivalence(ScalesComponents::lsf_spatial(), false, 93);
+    }
+
+    #[test]
+    fn deployed_rejects_wrong_channels() {
+        let mut r = rng(94);
+        let layer = ScalesConv2d::new(4, 4, 3, &mut r);
+        let deployed = DeployedScalesConv2d::from_trained(&layer).unwrap();
+        assert!(deployed.forward(&Tensor::ones(&[1, 8, 4, 4])).is_err());
+    }
+}

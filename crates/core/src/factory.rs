@@ -1,0 +1,183 @@
+//! Method-parameterised body layers.
+//!
+//! SR architectures in `scales-models` are written once and instantiated
+//! per binarization method; these enums dispatch a "body conv" / "body
+//! linear" to the right implementation so every Table III/IV/V row runs the
+//! same architecture.
+
+use crate::baselines::{BamConv2d, BasicBinaryConv2d, BibertLinear, BtmConv2d, E2fifConv2d};
+use crate::conv::ScalesConv2d;
+use crate::linear::ScalesLinear;
+use crate::method::Method;
+use rand::rngs::StdRng;
+use scales_autograd::Var;
+use scales_nn::layers::{Conv2d, Linear};
+use scales_nn::Module;
+use scales_tensor::{Result, TensorError};
+
+/// A body convolution built for a specific [`Method`].
+pub enum BodyConv {
+    /// Full-precision convolution.
+    Fp(Conv2d),
+    /// E2FIF binary convolution (sign + BN + FP skip).
+    E2fif(E2fifConv2d),
+    /// BTM binary convolution (BN-free, image-adaptive threshold).
+    Btm(BtmConv2d),
+    /// BAM binary convolution (FP accumulation map).
+    Bam(BamConv2d),
+    /// SCALES binary convolution (any component subset).
+    Scales(ScalesConv2d),
+    /// Plain sign binary convolution (BiBERT-style transformer bodies).
+    Basic(BasicBinaryConv2d),
+}
+
+impl BodyConv {
+    /// Build a body conv for `method`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for [`Method::Bicubic`] (it has no network).
+    pub fn new(method: Method, in_c: usize, out_c: usize, kernel: usize, rng: &mut StdRng) -> Result<Self> {
+        Ok(match method {
+            Method::FullPrecision => BodyConv::Fp(Conv2d::new(in_c, out_c, kernel, rng)),
+            Method::E2fif => BodyConv::E2fif(E2fifConv2d::new(in_c, out_c, kernel, rng)),
+            Method::Btm => BodyConv::Btm(BtmConv2d::new(in_c, out_c, kernel, rng)),
+            Method::Bam => BodyConv::Bam(BamConv2d::new(in_c, out_c, kernel, rng)),
+            Method::Scales(c) => {
+                BodyConv::Scales(ScalesConv2d::with_components(in_c, out_c, kernel, c, in_c == out_c, rng))
+            }
+            Method::Bibert => BodyConv::Basic(BasicBinaryConv2d::new(in_c, out_c, kernel, rng)),
+            Method::Bicubic => {
+                return Err(TensorError::InvalidArgument(format!(
+                    "method {method} cannot build a CNN body conv"
+                )))
+            }
+        })
+    }
+
+    /// Clamp any learnable layer scale to a positive floor (no-op for
+    /// methods without one). Call after each optimizer step.
+    pub fn clamp_alpha(&self, floor: f32) {
+        if let BodyConv::Scales(c) = self {
+            c.clamp_alpha(floor);
+        }
+    }
+}
+
+impl Module for BodyConv {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        match self {
+            BodyConv::Fp(m) => m.forward(input),
+            BodyConv::E2fif(m) => m.forward(input),
+            BodyConv::Btm(m) => m.forward(input),
+            BodyConv::Bam(m) => m.forward(input),
+            BodyConv::Scales(m) => m.forward(input),
+            BodyConv::Basic(m) => m.forward(input),
+        }
+    }
+
+    fn params(&self) -> Vec<Var> {
+        match self {
+            BodyConv::Fp(m) => m.params(),
+            BodyConv::E2fif(m) => m.params(),
+            BodyConv::Btm(m) => m.params(),
+            BodyConv::Bam(m) => m.params(),
+            BodyConv::Scales(m) => m.params(),
+            BodyConv::Basic(m) => m.params(),
+        }
+    }
+}
+
+/// A body linear layer built for a specific [`Method`] (transformers).
+pub enum BodyLinear {
+    /// Full-precision linear.
+    Fp(Linear),
+    /// BiBERT-style binary linear.
+    Bibert(BibertLinear),
+    /// SCALES binary linear.
+    Scales(ScalesLinear),
+}
+
+impl BodyLinear {
+    /// Build a body linear for `method`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for CNN-only methods and bicubic.
+    pub fn new(method: Method, in_f: usize, out_f: usize, rng: &mut StdRng) -> Result<Self> {
+        Ok(match method {
+            Method::FullPrecision => BodyLinear::Fp(Linear::new(in_f, out_f, rng)),
+            Method::Bibert => BodyLinear::Bibert(BibertLinear::new(in_f, out_f, rng)),
+            Method::Scales(c) => BodyLinear::Scales(ScalesLinear::with_components(in_f, out_f, c, rng)),
+            other => {
+                return Err(TensorError::InvalidArgument(format!(
+                    "method {other} cannot build a transformer body linear"
+                )))
+            }
+        })
+    }
+
+    /// Clamp any learnable layer scale to a positive floor.
+    pub fn clamp_alpha(&self, floor: f32) {
+        if let BodyLinear::Scales(l) = self {
+            l.clamp_alpha(floor);
+        }
+    }
+}
+
+impl Module for BodyLinear {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        match self {
+            BodyLinear::Fp(m) => m.forward(input),
+            BodyLinear::Bibert(m) => m.forward(input),
+            BodyLinear::Scales(m) => m.forward(input),
+        }
+    }
+
+    fn params(&self) -> Vec<Var> {
+        match self {
+            BodyLinear::Fp(m) => m.params(),
+            BodyLinear::Bibert(m) => m.params(),
+            BodyLinear::Scales(m) => m.params(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scales_nn::init::rng;
+    use scales_tensor::Tensor;
+
+    #[test]
+    fn every_cnn_method_builds_and_runs() {
+        let mut r = rng(61);
+        let x = Var::new(Tensor::from_vec((0..64).map(|i| (i as f32 * 0.2).sin()).collect(), &[1, 4, 4, 4]).unwrap());
+        for m in [Method::FullPrecision, Method::E2fif, Method::Btm, Method::Bam, Method::scales()] {
+            let conv = BodyConv::new(m, 4, 4, 3, &mut r).unwrap();
+            let y = conv.forward(&x).unwrap();
+            assert_eq!(y.shape(), vec![1, 4, 4, 4], "method {m}");
+        }
+    }
+
+    #[test]
+    fn bicubic_rejects_cnn_body_but_bibert_builds_one() {
+        let mut r = rng(62);
+        assert!(BodyConv::new(Method::Bicubic, 4, 4, 3, &mut r).is_err());
+        let conv = BodyConv::new(Method::Bibert, 4, 4, 3, &mut r).unwrap();
+        let x = Var::new(Tensor::ones(&[1, 4, 4, 4]));
+        assert_eq!(conv.forward(&x).unwrap().shape(), vec![1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn every_transformer_method_builds_and_runs() {
+        let mut r = rng(63);
+        let x = Var::new(Tensor::from_vec((0..32).map(|i| (i as f32 * 0.2).cos()).collect(), &[1, 4, 8]).unwrap());
+        for m in [Method::FullPrecision, Method::Bibert, Method::scales()] {
+            let lin = BodyLinear::new(m, 8, 8, &mut r).unwrap();
+            let y = lin.forward(&x).unwrap();
+            assert_eq!(y.shape(), vec![1, 4, 8], "method {m}");
+        }
+        assert!(BodyLinear::new(Method::E2fif, 8, 8, &mut r).is_err());
+    }
+}

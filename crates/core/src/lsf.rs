@@ -1,0 +1,118 @@
+//! The layer-wise scaling factor (LSF) activation binarizer — paper §IV-A.
+
+use scales_autograd::Var;
+use scales_nn::Module;
+use scales_tensor::{Result, Tensor};
+
+/// Learnable activation binarizer `x̂ = α · sign((x − β)/α)` (Eq. 1).
+///
+/// `α` is a single learnable scale per layer; `β` is a learnable
+/// per-channel threshold. For NCHW activations `β` has shape
+/// `[1, C, 1, 1]`; construct with [`LsfBinarizer::for_tokens`] to get a
+/// `[C]`-shaped threshold for `B×L×C` transformer activations.
+///
+/// Gradients follow the paper's Eq. (2)/(3) (see
+/// `scales_autograd::ops::binarize`).
+pub struct LsfBinarizer {
+    alpha: Var,
+    beta: Var,
+}
+
+impl LsfBinarizer {
+    /// Binarizer for NCHW activations with `channels` input channels.
+    /// `α` initialises to 1 and `β` to 0.
+    #[must_use]
+    pub fn new(channels: usize) -> Self {
+        Self {
+            alpha: Var::param(Tensor::ones(&[1])),
+            beta: Var::param(Tensor::zeros(&[1, channels, 1, 1])),
+        }
+    }
+
+    /// Binarizer for `B×L×C` token activations.
+    #[must_use]
+    pub fn for_tokens(channels: usize) -> Self {
+        Self {
+            alpha: Var::param(Tensor::ones(&[1])),
+            beta: Var::param(Tensor::zeros(&[channels])),
+        }
+    }
+
+    /// The layer-wise scale parameter.
+    #[must_use]
+    pub fn alpha(&self) -> &Var {
+        &self.alpha
+    }
+
+    /// The channel-wise threshold parameter.
+    #[must_use]
+    pub fn beta(&self) -> &Var {
+        &self.beta
+    }
+
+    /// Clamp `α` to a positive floor. Call after optimizer steps; Eq. (1)
+    /// assumes a positive scale.
+    pub fn clamp_alpha(&self, floor: f32) {
+        self.alpha.update_value(|t| t.map_inplace(|v| v.max(floor)));
+    }
+}
+
+impl Module for LsfBinarizer {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        input.lsf_binarize(&self.alpha, &self.beta)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        vec![self.alpha.clone(), self.beta.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_plus_minus_alpha() {
+        let b = LsfBinarizer::new(2);
+        let x = Var::new(Tensor::from_vec(vec![0.5, -0.5, 2.0, -2.0], &[1, 2, 1, 2]).unwrap());
+        let y = b.forward(&x).unwrap().value();
+        for &v in y.data() {
+            assert!(v == 1.0 || v == -1.0);
+        }
+    }
+
+    #[test]
+    fn alpha_changes_magnitude() {
+        let b = LsfBinarizer::new(1);
+        b.alpha().set_value(Tensor::from_vec(vec![0.25], &[1]).unwrap());
+        let x = Var::new(Tensor::from_vec(vec![3.0, -3.0], &[1, 1, 1, 2]).unwrap());
+        let y = b.forward(&x).unwrap().value();
+        assert_eq!(y.data(), &[0.25, -0.25]);
+    }
+
+    #[test]
+    fn params_trainable_end_to_end() {
+        let b = LsfBinarizer::new(2);
+        let x = Var::new(Tensor::from_vec(vec![0.5, -0.7, 0.1, -0.2], &[1, 2, 1, 2]).unwrap());
+        let y = b.forward(&x).unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        assert!(b.alpha().grad().is_some());
+        assert!(b.beta().grad().is_some());
+    }
+
+    #[test]
+    fn clamp_alpha_enforces_floor() {
+        let b = LsfBinarizer::new(1);
+        b.alpha().set_value(Tensor::from_vec(vec![-0.3], &[1]).unwrap());
+        b.clamp_alpha(1e-3);
+        assert_eq!(b.alpha().value().data()[0], 1e-3);
+    }
+
+    #[test]
+    fn token_variant_shapes() {
+        let b = LsfBinarizer::for_tokens(4);
+        let x = Var::new(Tensor::ones(&[2, 3, 4]));
+        let y = b.forward(&x).unwrap();
+        assert_eq!(y.shape(), vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Spatial re-scaling — paper §IV-B, Fig. 6.
+//!
+//! Predicts an input-dependent `B×1×H×W` (CNN) or `B×L×1` (transformer)
+//! scale map from the **full-precision** pre-binarization activation, then
+//! multiplies it onto the binary layer's output. Because the predictor runs
+//! on the FP input at inference time, the scale is *not* a fixed constant —
+//! this is how SCALES captures pixel-to-pixel and image-to-image variation.
+
+use rand::rngs::StdRng;
+use scales_autograd::Var;
+use scales_nn::layers::{Conv2d, Linear};
+use scales_nn::Module;
+use scales_tensor::ops::Conv2dSpec;
+use scales_tensor::Result;
+
+/// Spatial re-scaling for NCHW activations: FP 1×1 conv (`C → 1`) followed
+/// by a sigmoid (Fig. 6a).
+pub struct SpatialRescale {
+    proj: Conv2d,
+}
+
+impl SpatialRescale {
+    /// Build the predictor branch for `channels` input channels.
+    #[must_use]
+    pub fn new(channels: usize, rng: &mut StdRng) -> Self {
+        let spec = Conv2dSpec { stride: 1, padding: 0 };
+        Self { proj: Conv2d::with_spec(channels, 1, 1, spec, true, rng) }
+    }
+
+    /// Predict the `B×1×H×W` scale map from the FP activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for incompatible geometry.
+    pub fn scale_map(&self, fp_input: &Var) -> Result<Var> {
+        Ok(self.proj.forward(fp_input)?.sigmoid())
+    }
+
+    /// Apply to a binary-branch output: `y ⊙ S(a)` (Eq. 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for incompatible geometry.
+    pub fn apply(&self, binary_out: &Var, fp_input: &Var) -> Result<Var> {
+        binary_out.mul(&self.scale_map(fp_input)?)
+    }
+}
+
+impl Module for SpatialRescale {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        self.scale_map(input)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        self.proj.params()
+    }
+}
+
+/// Spatial re-scaling for `B×L×C` token activations: FP linear (`C → 1`)
+/// followed by a sigmoid (Fig. 6b).
+pub struct SpatialRescaleToken {
+    proj: Linear,
+}
+
+impl SpatialRescaleToken {
+    /// Build the predictor branch for `channels` token features.
+    #[must_use]
+    pub fn new(channels: usize, rng: &mut StdRng) -> Self {
+        Self { proj: Linear::new(channels, 1, rng) }
+    }
+
+    /// Predict the `B×L×1` scale map from the FP token activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for incompatible geometry.
+    pub fn scale_map(&self, fp_input: &Var) -> Result<Var> {
+        Ok(self.proj.forward(fp_input)?.sigmoid())
+    }
+
+    /// Apply to a binary-branch output: `y ⊙ S(a)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for incompatible geometry.
+    pub fn apply(&self, binary_out: &Var, fp_input: &Var) -> Result<Var> {
+        binary_out.mul(&self.scale_map(fp_input)?)
+    }
+}
+
+impl Module for SpatialRescaleToken {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        self.scale_map(input)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        self.proj.params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scales_nn::init::rng;
+    use scales_tensor::Tensor;
+
+    #[test]
+    fn scale_map_shape_and_range() {
+        let mut r = rng(11);
+        let s = SpatialRescale::new(4, &mut r);
+        let x = Var::new(Tensor::from_vec((0..64).map(|i| (i as f32).sin()).collect(), &[1, 4, 4, 4]).unwrap());
+        let m = s.scale_map(&x).unwrap().value();
+        assert_eq!(m.shape(), &[1, 1, 4, 4]);
+        assert!(m.min() > 0.0 && m.max() < 1.0, "sigmoid range");
+    }
+
+    #[test]
+    fn apply_broadcasts_over_channels() {
+        let mut r = rng(11);
+        let s = SpatialRescale::new(2, &mut r);
+        let fp = Var::new(Tensor::ones(&[1, 2, 3, 3]));
+        let y = Var::new(Tensor::ones(&[1, 8, 3, 3]));
+        let out = s.apply(&y, &fp).unwrap();
+        assert_eq!(out.shape(), vec![1, 8, 3, 3]);
+    }
+
+    #[test]
+    fn map_is_input_dependent() {
+        let mut r = rng(12);
+        let s = SpatialRescale::new(2, &mut r);
+        let a = Var::new(Tensor::full(&[1, 2, 2, 2], 1.0));
+        let b = Var::new(Tensor::full(&[1, 2, 2, 2], -1.0));
+        let ma = s.scale_map(&a).unwrap().value();
+        let mb = s.scale_map(&b).unwrap().value();
+        assert_ne!(ma.data(), mb.data(), "different inputs must give different scales");
+    }
+
+    #[test]
+    fn token_variant_shapes() {
+        let mut r = rng(13);
+        let s = SpatialRescaleToken::new(6, &mut r);
+        let x = Var::new(Tensor::ones(&[2, 5, 6]));
+        let m = s.scale_map(&x).unwrap();
+        assert_eq!(m.shape(), vec![2, 5, 1]);
+        let y = Var::new(Tensor::ones(&[2, 5, 6]));
+        assert_eq!(s.apply(&y, &x).unwrap().shape(), vec![2, 5, 6]);
+    }
+
+    #[test]
+    fn predictor_params_are_tiny() {
+        let mut r = rng(14);
+        let s = SpatialRescale::new(64, &mut r);
+        // 64 weights + 1 bias: negligible next to a 64×64×3×3 binary conv.
+        assert_eq!(s.param_count(), 65);
+    }
+}

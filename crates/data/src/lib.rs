@@ -1,0 +1,30 @@
+//! # scales-data
+//!
+//! Data pipeline for the SCALES reproduction: the [`Image`] type with
+//! PPM/PGM writers and YCbCr luma extraction, bicubic resampling (both the
+//! LR-generation protocol and the paper's Bicubic baseline), procedural
+//! scene synthesis standing in for DIV2K, the four synthetic benchmark sets
+//! (`SynSet5` / `SynSet14` / `SynB100` / `SynUrban100`), and the aligned
+//! LR/HR patch sampler used for training.
+//!
+//! ```
+//! use scales_data::{Benchmark};
+//!
+//! # fn main() -> Result<(), scales_tensor::TensorError> {
+//! let set = Benchmark::SynSet5.build(2, 32)?; // ×2 SR, 32×32 HR images
+//! assert_eq!(set.len(), 5);
+//! assert_eq!(set.pairs()[0].lr.height(), 16);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod datasets;
+pub mod image;
+pub mod patch;
+pub mod resize;
+pub mod synth;
+
+pub use datasets::{Benchmark, EvalSet, SrPair, TrainSet};
+pub use image::Image;
+pub use patch::{Batch, PatchSampler};
+pub use resize::{downscale, resize_bicubic, resize_bicubic_tensor, upscale};

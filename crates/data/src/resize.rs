@@ -1,0 +1,200 @@
+//! Bicubic resampling with the Keys kernel (a = −0.5) and edge clamping —
+//! both the LR-generation pipeline (HR → ÷scale) and the paper's "Bicubic"
+//! baseline row (LR → ×scale).
+
+use crate::image::Image;
+use scales_tensor::{Result, Tensor, TensorError};
+
+/// The Keys cubic convolution kernel with a = −0.5 (the classic "bicubic").
+#[must_use]
+pub fn cubic_kernel(x: f32) -> f32 {
+    const A: f32 = -0.5;
+    let x = x.abs();
+    if x < 1.0 {
+        (A + 2.0) * x * x * x - (A + 3.0) * x * x + 1.0
+    } else if x < 2.0 {
+        A * x * x * x - 5.0 * A * x * x + 8.0 * A * x - 4.0 * A
+    } else {
+        0.0
+    }
+}
+
+/// Resize one `[C, H, W]` tensor to `(out_h, out_w)` with separable bicubic
+/// interpolation and clamped edges. Uses the align-corners-false pixel
+/// model (`src = (dst + 0.5)·scale − 0.5`) like PIL/PyTorch.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-3 input or zero target extents.
+pub fn resize_bicubic_tensor(input: &Tensor, out_h: usize, out_w: usize) -> Result<Tensor> {
+    if input.rank() != 3 {
+        return Err(TensorError::RankMismatch { expected: 3, actual: input.rank(), op: "resize" });
+    }
+    if out_h == 0 || out_w == 0 {
+        return Err(TensorError::InvalidArgument("target extent must be positive".into()));
+    }
+    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let scale_y = h as f32 / out_h as f32;
+    let scale_x = w as f32 / out_w as f32;
+    // Horizontal pass: [C, H, W] → [C, H, out_w].
+    let mut tmp = Tensor::zeros(&[c, h, out_w]);
+    // When downscaling, widen the kernel support (anti-aliasing), like PIL.
+    let support_x = scale_x.max(1.0);
+    for ox in 0..out_w {
+        let src = (ox as f32 + 0.5) * scale_x - 0.5;
+        let lo = (src - 2.0 * support_x).floor() as isize;
+        let hi = (src + 2.0 * support_x).ceil() as isize;
+        let mut taps: Vec<(usize, f32)> = Vec::with_capacity((hi - lo + 1) as usize);
+        let mut norm = 0.0;
+        for ix in lo..=hi {
+            let wgt = cubic_kernel((ix as f32 - src) / support_x);
+            if wgt != 0.0 {
+                let xi = ix.clamp(0, w as isize - 1) as usize;
+                taps.push((xi, wgt));
+                norm += wgt;
+            }
+        }
+        for (_, wgt) in &mut taps {
+            *wgt /= norm;
+        }
+        for ci in 0..c {
+            for y in 0..h {
+                let mut acc = 0.0;
+                for &(xi, wgt) in &taps {
+                    acc += input.at(&[ci, y, xi]) * wgt;
+                }
+                *tmp.at_mut(&[ci, y, ox]) = acc;
+            }
+        }
+    }
+    // Vertical pass: [C, H, out_w] → [C, out_h, out_w].
+    let mut out = Tensor::zeros(&[c, out_h, out_w]);
+    let support_y = scale_y.max(1.0);
+    for oy in 0..out_h {
+        let src = (oy as f32 + 0.5) * scale_y - 0.5;
+        let lo = (src - 2.0 * support_y).floor() as isize;
+        let hi = (src + 2.0 * support_y).ceil() as isize;
+        let mut taps: Vec<(usize, f32)> = Vec::with_capacity((hi - lo + 1) as usize);
+        let mut norm = 0.0;
+        for iy in lo..=hi {
+            let wgt = cubic_kernel((iy as f32 - src) / support_y);
+            if wgt != 0.0 {
+                let yi = iy.clamp(0, h as isize - 1) as usize;
+                taps.push((yi, wgt));
+                norm += wgt;
+            }
+        }
+        for (_, wgt) in &mut taps {
+            *wgt /= norm;
+        }
+        for ci in 0..c {
+            for ox in 0..out_w {
+                let mut acc = 0.0;
+                for &(yi, wgt) in &taps {
+                    acc += tmp.at(&[ci, yi, ox]) * wgt;
+                }
+                *out.at_mut(&[ci, oy, ox]) = acc;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Bicubic-resize an [`Image`].
+///
+/// # Errors
+///
+/// See [`resize_bicubic_tensor`].
+pub fn resize_bicubic(image: &Image, out_h: usize, out_w: usize) -> Result<Image> {
+    Image::from_tensor(resize_bicubic_tensor(image.tensor(), out_h, out_w)?)
+}
+
+/// Downscale an HR image by an integer factor — the standard LR-generation
+/// protocol for SR benchmarks.
+///
+/// # Errors
+///
+/// Returns an error when the extents are not divisible by `scale`.
+pub fn downscale(image: &Image, scale: usize) -> Result<Image> {
+    if scale == 0 || !image.height().is_multiple_of(scale) || !image.width().is_multiple_of(scale) {
+        return Err(TensorError::InvalidArgument(format!(
+            "extents {}x{} not divisible by scale {scale}",
+            image.height(),
+            image.width()
+        )));
+    }
+    resize_bicubic(image, image.height() / scale, image.width() / scale)
+}
+
+/// Upscale an LR image by an integer factor (the Bicubic baseline row).
+///
+/// # Errors
+///
+/// Returns an error for a zero factor.
+pub fn upscale(image: &Image, scale: usize) -> Result<Image> {
+    if scale == 0 {
+        return Err(TensorError::InvalidArgument("scale must be positive".into()));
+    }
+    resize_bicubic(image, image.height() * scale, image.width() * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_partition_of_unity_at_integers() {
+        // Σ_k k(x − k) = 1 for the Keys kernel at any phase.
+        for phase in [0.0f32, 0.25, 0.5, 0.9] {
+            let s: f32 = (-3..=3).map(|k| cubic_kernel(phase - k as f32)).sum();
+            assert!((s - 1.0).abs() < 1e-5, "phase {phase}: {s}");
+        }
+    }
+
+    #[test]
+    fn constant_image_is_invariant() {
+        let img = Image::from_tensor(Tensor::full(&[3, 8, 8], 0.6)).unwrap();
+        let up = upscale(&img, 2).unwrap();
+        for &v in up.tensor().data() {
+            assert!((v - 0.6).abs() < 1e-4);
+        }
+        let down = downscale(&img, 2).unwrap();
+        for &v in down.tensor().data() {
+            assert!((v - 0.6).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn down_then_up_approximates_smooth_image() {
+        // A smooth gradient survives a ÷2 → ×2 round trip closely.
+        let mut img = Image::zeros(16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                for c in 0..3 {
+                    *img.pixel_mut(c, y, x) = (x as f32) / 16.0 * 0.8 + 0.1;
+                }
+            }
+        }
+        let rt = upscale(&downscale(&img, 2).unwrap(), 2).unwrap();
+        let mut err = 0.0;
+        for (a, b) in img.tensor().data().iter().zip(rt.tensor().data().iter()) {
+            err += (a - b).abs();
+        }
+        err /= img.tensor().len() as f32;
+        assert!(err < 0.02, "mean abs err {err}");
+    }
+
+    #[test]
+    fn shapes_match_request() {
+        let img = Image::zeros(12, 20);
+        let r = resize_bicubic(&img, 7, 9).unwrap();
+        assert_eq!((r.height(), r.width()), (7, 9));
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        let img = Image::zeros(9, 9);
+        assert!(downscale(&img, 2).is_err());
+        assert!(upscale(&img, 0).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! # scales-metrics
+//!
+//! Image-quality metrics and activation-variance analysis for the SCALES
+//! reproduction:
+//!
+//! * [`psnr_y`] / [`ssim_y`] — the standard SR evaluation protocol (Y
+//!   channel of BT.601 YCbCr, shaved borders) used by the paper's
+//!   Tables III–VI.
+//! * [`variance`] — the pixel/channel/layer/image variance estimators and
+//!   box-plot summaries behind the motivation study (Table II, Figs. 3–5).
+//!
+//! ```
+//! use scales_data::Image;
+//! use scales_metrics::psnr_y;
+//!
+//! # fn main() -> Result<(), scales_tensor::TensorError> {
+//! let a = Image::zeros(16, 16);
+//! assert_eq!(psnr_y(&a, &a, 2)?, f64::INFINITY);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod psnr;
+pub mod ssim;
+pub mod variance;
+
+pub use psnr::{psnr_tensor, psnr_y};
+pub use ssim::{ssim_tensor, ssim_y};
+pub use variance::{
+    channel_distributions, layer_distributions, pixel_distributions, variance_report,
+    ActivationRecord, BoxStats, Layout, VarianceReport,
+};

@@ -1,0 +1,117 @@
+//! PSNR on the Y channel with border shaving — the standard SR protocol
+//! used by the paper's Tables III–VI.
+
+use scales_data::Image;
+use scales_tensor::{Result, Tensor, TensorError};
+
+/// Peak signal-to-noise ratio between two tensors of identical shape with
+/// values in `[0, 1]`. Returns `f64::INFINITY` for identical inputs.
+///
+/// # Errors
+///
+/// Returns an error when shapes differ.
+pub fn psnr_tensor(a: &Tensor, b: &Tensor) -> Result<f64> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+            op: "psnr",
+        });
+    }
+    let mse: f64 = a
+        .data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64;
+    if mse == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(10.0 * (1.0 / mse).log10())
+}
+
+/// SR-protocol PSNR: Y channel of BT.601 YCbCr, shaving `shave` border
+/// pixels (conventionally the SR scale factor) from each side.
+///
+/// # Errors
+///
+/// Returns an error when the images differ in size or are smaller than the
+/// shave margin.
+pub fn psnr_y(sr: &Image, hr: &Image, shave: usize) -> Result<f64> {
+    if sr.height() != hr.height() || sr.width() != hr.width() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: sr.tensor().shape().to_vec(),
+            rhs: hr.tensor().shape().to_vec(),
+            op: "psnr_y",
+        });
+    }
+    if sr.height() <= 2 * shave || sr.width() <= 2 * shave {
+        return Err(TensorError::InvalidArgument(format!(
+            "image {}x{} too small for shave {shave}",
+            sr.height(),
+            sr.width()
+        )));
+    }
+    let ya = sr.clamped().to_luma();
+    let yb = hr.clamped().to_luma();
+    let h = sr.height() - 2 * shave;
+    let w = sr.width() - 2 * shave;
+    let ca = ya.slice_axis(1, shave, h)?.slice_axis(2, shave, w)?;
+    let cb = yb.slice_axis(1, shave, h)?.slice_axis(2, shave, w)?;
+    psnr_tensor(&ca, &cb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_are_infinite() {
+        let t = Tensor::full(&[1, 4, 4], 0.5);
+        assert_eq!(psnr_tensor(&t, &t).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn known_mse_gives_known_psnr() {
+        let a = Tensor::zeros(&[1, 2, 2]);
+        let b = Tensor::full(&[1, 2, 2], 0.1);
+        // MSE = 0.01 → PSNR = 20 dB.
+        let p = psnr_tensor(&a, &b).unwrap();
+        assert!((p - 20.0).abs() < 1e-6, "{p}");
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let a = Tensor::full(&[1, 8, 8], 0.5);
+        let small = a.map(|v| v + 0.01);
+        let large = a.map(|v| v + 0.1);
+        let p_small = psnr_tensor(&a, &small).unwrap();
+        let p_large = psnr_tensor(&a, &large).unwrap();
+        assert!(p_small > p_large);
+    }
+
+    #[test]
+    fn shave_excludes_border_errors() {
+        let mut sr = Image::zeros(8, 8);
+        let hr = Image::zeros(8, 8);
+        // Corrupt only the border.
+        for x in 0..8 {
+            *sr.pixel_mut(0, 0, x) = 1.0;
+        }
+        let p = psnr_y(&sr, &hr, 2).unwrap();
+        assert_eq!(p, f64::INFINITY);
+        let p0 = psnr_y(&sr, &hr, 0).unwrap();
+        assert!(p0.is_finite());
+    }
+
+    #[test]
+    fn mismatched_sizes_rejected() {
+        let a = Image::zeros(4, 4);
+        let b = Image::zeros(4, 5);
+        assert!(psnr_y(&a, &b, 0).is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! Activation-variance analysis — the quantitative backbone of the paper's
+//! motivation section (Table II, Figs. 3–5).
+//!
+//! Protocol (the paper does not spell out its estimator, so we fix one and
+//! use it for every network so the *comparison* is apples-to-apples):
+//!
+//! * **pixel-to-pixel** — per recorded activation, variance across spatial
+//!   positions of the per-position channel-mean; averaged over records.
+//! * **channel-to-channel** — variance across channels of the per-channel
+//!   spatial mean; averaged over records.
+//! * **layer-to-layer** — per image, variance across layers of the
+//!   per-layer mean activation; averaged over images.
+//! * **image-to-image** — per layer, variance across images of the
+//!   per-image mean activation; averaged over layers.
+
+use scales_tensor::{Result, Tensor, TensorError};
+use std::collections::BTreeMap;
+
+/// One recorded body activation.
+#[derive(Debug, Clone)]
+pub struct ActivationRecord {
+    /// Body layer index (0-based, in forward order).
+    pub layer: usize,
+    /// Image index within the probe set.
+    pub image: usize,
+    /// The activation: `[C, H, W]` for CNNs or `[L, C]` for token models.
+    pub activation: Tensor,
+}
+
+/// Whether an activation tensor is CNN (`[C,H,W]`) or token (`[L,C]`)
+/// layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// `[C, H, W]`.
+    Chw,
+    /// `[L, C]` (tokens × channels).
+    Tokens,
+}
+
+fn split_stats(t: &Tensor, layout: Layout) -> Result<(Vec<f32>, Vec<f32>)> {
+    // Returns (per-position channel-means, per-channel position-means).
+    match layout {
+        Layout::Chw => {
+            if t.rank() != 3 {
+                return Err(TensorError::RankMismatch { expected: 3, actual: t.rank(), op: "variance chw" });
+            }
+            let (c, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2]);
+            let mut pos = vec![0.0f32; h * w];
+            let mut chl = vec![0.0f32; c];
+            for ci in 0..c {
+                for p in 0..h * w {
+                    let v = t.data()[ci * h * w + p];
+                    pos[p] += v / c as f32;
+                    chl[ci] += v / (h * w) as f32;
+                }
+            }
+            Ok((pos, chl))
+        }
+        Layout::Tokens => {
+            if t.rank() != 2 {
+                return Err(TensorError::RankMismatch { expected: 2, actual: t.rank(), op: "variance tokens" });
+            }
+            let (l, c) = (t.shape()[0], t.shape()[1]);
+            let mut pos = vec![0.0f32; l];
+            let mut chl = vec![0.0f32; c];
+            for li in 0..l {
+                for ci in 0..c {
+                    let v = t.data()[li * c + ci];
+                    pos[li] += v / c as f32;
+                    chl[ci] += v / l as f32;
+                }
+            }
+            Ok((pos, chl))
+        }
+    }
+}
+
+fn variance(xs: &[f32]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m: f64 = xs.iter().map(|&x| f64::from(x)).sum::<f64>() / xs.len() as f64;
+    xs.iter().map(|&x| (f64::from(x) - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// The four variance figures of the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VarianceReport {
+    /// Channel-to-channel variance.
+    pub channel: f64,
+    /// Pixel-to-pixel (position-to-position) variance.
+    pub pixel: f64,
+    /// Layer-to-layer variance.
+    pub layer: f64,
+    /// Image-to-image variance.
+    pub image: f64,
+}
+
+/// Compute the Table II report from a set of recorded activations.
+///
+/// # Errors
+///
+/// Returns an error for an empty record set or malformed tensors.
+pub fn variance_report(records: &[ActivationRecord], layout: Layout) -> Result<VarianceReport> {
+    if records.is_empty() {
+        return Err(TensorError::InvalidArgument("no activation records".into()));
+    }
+    let mut pixel_acc = 0.0;
+    let mut chl_acc = 0.0;
+    // mean activation per (image, layer)
+    let mut by_image: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
+    let mut by_layer: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
+    for r in records {
+        let (pos, chl) = split_stats(&r.activation, layout)?;
+        pixel_acc += variance(&pos);
+        chl_acc += variance(&chl);
+        let mean = r.activation.mean();
+        by_image.entry(r.image).or_default().push(mean);
+        by_layer.entry(r.layer).or_default().push(mean);
+    }
+    let n = records.len() as f64;
+    let layer = by_image.values().map(|v| variance(v)).sum::<f64>() / by_image.len() as f64;
+    let image = by_layer.values().map(|v| variance(v)).sum::<f64>() / by_layer.len() as f64;
+    Ok(VarianceReport {
+        channel: chl_acc / n,
+        pixel: pixel_acc / n,
+        layer,
+        image,
+    })
+}
+
+/// Five-number summary of a sample — one "box" of the Fig. 3/4/5 box plots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Minimum.
+    pub min: f32,
+    /// Lower quartile.
+    pub q1: f32,
+    /// Median.
+    pub median: f32,
+    /// Upper quartile.
+    pub q3: f32,
+    /// Maximum.
+    pub max: f32,
+}
+
+impl BoxStats {
+    /// Summarise a sample (empty samples give all-zero stats).
+    #[must_use]
+    pub fn from_samples(xs: &[f32]) -> Self {
+        if xs.is_empty() {
+            return Self { min: 0.0, q1: 0.0, median: 0.0, q3: 0.0, max: 0.0 };
+        }
+        let mut v: Vec<f32> = xs.to_vec();
+        v.sort_by(f32::total_cmp);
+        let q = |p: f64| -> f32 {
+            let idx = p * (v.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            let frac = (idx - lo as f64) as f32;
+            v[lo] * (1.0 - frac) + v[hi] * frac
+        };
+        Self { min: v[0], q1: q(0.25), median: q(0.5), q3: q(0.75), max: *v.last().expect("non-empty") }
+    }
+}
+
+/// Per-pixel distributions for `n` evenly-sampled spatial positions of a
+/// `[C, H, W]` activation — the data behind Fig. 3(a)/(b).
+///
+/// # Errors
+///
+/// Returns an error for non-CHW tensors.
+pub fn pixel_distributions(activation: &Tensor, n: usize) -> Result<Vec<BoxStats>> {
+    if activation.rank() != 3 {
+        return Err(TensorError::RankMismatch { expected: 3, actual: activation.rank(), op: "pixel_distributions" });
+    }
+    let (c, h, w) = (activation.shape()[0], activation.shape()[1], activation.shape()[2]);
+    let total = h * w;
+    let n = n.min(total).max(1);
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let p = k * total / n;
+        let sample: Vec<f32> = (0..c).map(|ci| activation.data()[ci * total + p]).collect();
+        out.push(BoxStats::from_samples(&sample));
+    }
+    Ok(out)
+}
+
+/// Per-channel distributions for `n` evenly-sampled channels of a
+/// `[C, H, W]` activation — the data behind Fig. 3(d).
+///
+/// # Errors
+///
+/// Returns an error for non-CHW tensors.
+pub fn channel_distributions(activation: &Tensor, n: usize) -> Result<Vec<BoxStats>> {
+    if activation.rank() != 3 {
+        return Err(TensorError::RankMismatch { expected: 3, actual: activation.rank(), op: "channel_distributions" });
+    }
+    let (c, hw) = (activation.shape()[0], activation.shape()[1] * activation.shape()[2]);
+    let n = n.min(c).max(1);
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let ci = k * c / n;
+        out.push(BoxStats::from_samples(&activation.data()[ci * hw..(ci + 1) * hw]));
+    }
+    Ok(out)
+}
+
+/// Whole-tensor distribution per record, ordered by layer — the data behind
+/// Fig. 3(c) and Fig. 5(c)/(d).
+#[must_use]
+pub fn layer_distributions(records: &[ActivationRecord]) -> Vec<(usize, BoxStats)> {
+    let mut by_layer: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
+    for r in records {
+        by_layer.entry(r.layer).or_default().extend_from_slice(r.activation.data());
+    }
+    by_layer
+        .into_iter()
+        .map(|(l, xs)| (l, BoxStats::from_samples(&xs)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_stats_of_known_sample() {
+        let b = BoxStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.max, 5.0);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.q3, 4.0);
+    }
+
+    #[test]
+    fn constant_activation_has_zero_variances() {
+        let records = vec![
+            ActivationRecord { layer: 0, image: 0, activation: Tensor::full(&[2, 2, 2], 3.0) },
+            ActivationRecord { layer: 1, image: 0, activation: Tensor::full(&[2, 2, 2], 3.0) },
+        ];
+        let r = variance_report(&records, Layout::Chw).unwrap();
+        assert_eq!(r.channel, 0.0);
+        assert_eq!(r.pixel, 0.0);
+        assert_eq!(r.layer, 0.0);
+        assert_eq!(r.image, 0.0);
+    }
+
+    #[test]
+    fn layer_variation_detected() {
+        // Two layers with very different magnitudes → large layer variance.
+        let records = vec![
+            ActivationRecord { layer: 0, image: 0, activation: Tensor::full(&[2, 2, 2], 10.0) },
+            ActivationRecord { layer: 1, image: 0, activation: Tensor::full(&[2, 2, 2], -10.0) },
+        ];
+        let r = variance_report(&records, Layout::Chw).unwrap();
+        assert!((r.layer - 100.0).abs() < 1e-9);
+        assert_eq!(r.pixel, 0.0);
+    }
+
+    #[test]
+    fn image_variation_detected() {
+        let records = vec![
+            ActivationRecord { layer: 0, image: 0, activation: Tensor::full(&[2, 2, 2], 1.0) },
+            ActivationRecord { layer: 0, image: 1, activation: Tensor::full(&[2, 2, 2], 5.0) },
+        ];
+        let r = variance_report(&records, Layout::Chw).unwrap();
+        assert!((r.image - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn channel_vs_pixel_variation_separated() {
+        // Channel 0 all zeros, channel 1 all tens: channel variance high,
+        // pixel variance zero (every position has the same channel-mean).
+        let mut t = Tensor::zeros(&[2, 2, 2]);
+        for p in 0..4 {
+            t.data_mut()[4 + p] = 10.0;
+        }
+        let records = vec![ActivationRecord { layer: 0, image: 0, activation: t }];
+        let r = variance_report(&records, Layout::Chw).unwrap();
+        assert!(r.channel > 20.0);
+        assert_eq!(r.pixel, 0.0);
+    }
+
+    #[test]
+    fn token_layout_supported() {
+        let t = Tensor::from_vec(vec![0.0, 0.0, 5.0, 5.0], &[2, 2]).unwrap();
+        let records = vec![ActivationRecord { layer: 0, image: 0, activation: t }];
+        let r = variance_report(&records, Layout::Tokens).unwrap();
+        assert!(r.pixel > 5.0); // token means 0 and 5
+        assert_eq!(r.channel, 0.0);
+    }
+
+    #[test]
+    fn distribution_helpers_shapes() {
+        let t = Tensor::from_vec((0..27).map(|i| i as f32).collect(), &[3, 3, 3]).unwrap();
+        assert_eq!(pixel_distributions(&t, 5).unwrap().len(), 5);
+        assert_eq!(channel_distributions(&t, 2).unwrap().len(), 2);
+        let recs = vec![ActivationRecord { layer: 2, image: 0, activation: t }];
+        let l = layer_distributions(&recs);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].0, 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! Tiny classification networks used only by the motivation study
+//! (Fig. 4, Table II): a BatchNorm ResNet and a LayerNorm Swin-style ViT.
+//!
+//! The paper's observation is that classification networks keep their
+//! normalisation layers, which squash pixel/channel/layer/image variation,
+//! while modern SR networks (EDSR onwards) removed BN and therefore exhibit
+//! variances orders of magnitude larger. These probes exist to reproduce
+//! that contrast with the same recording protocol as the SR models.
+
+use crate::probe::Recorder;
+use crate::transformer::TransformerBlock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scales_autograd::Var;
+use scales_core::Method;
+use scales_nn::layers::{BatchNorm2d, Conv2d, LayerNorm, Linear};
+use scales_nn::Module;
+use scales_tensor::ops::Conv2dSpec;
+use scales_tensor::Result;
+
+/// A tiny BatchNorm ResNet classifier probe (ResNet18 stand-in).
+pub struct ResNetTiny {
+    stem: Conv2d,
+    stem_bn: BatchNorm2d,
+    blocks: Vec<(Conv2d, BatchNorm2d, Conv2d, BatchNorm2d)>,
+    head: Linear,
+    classes: usize,
+    channels: usize,
+}
+
+impl ResNetTiny {
+    /// Build with `blocks` BN residual blocks at a fixed width.
+    #[must_use]
+    pub fn new(channels: usize, blocks: usize, classes: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stem = Conv2d::new(3, channels, 3, &mut rng);
+        let stem_bn = BatchNorm2d::new(channels);
+        let blocks = (0..blocks)
+            .map(|_| {
+                (
+                    Conv2d::new(channels, channels, 3, &mut rng),
+                    BatchNorm2d::new(channels),
+                    Conv2d::new(channels, channels, 3, &mut rng),
+                    BatchNorm2d::new(channels),
+                )
+            })
+            .collect();
+        let head = Linear::new(channels, classes, &mut rng);
+        Self { stem, stem_bn, blocks, head, classes, channels }
+    }
+
+    /// Number of output classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    fn forward_impl(&self, input: &Var, mut recorder: Option<&mut Recorder>) -> Result<Var> {
+        let mut x = self.stem_bn.forward(&self.stem.forward(input)?)?.relu();
+        for (c1, b1, c2, b2) in &self.blocks {
+            if let Some(r) = recorder.as_deref_mut() {
+                r.record(&x)?;
+            }
+            let mid = b1.forward(&c1.forward(&x)?)?.relu();
+            if let Some(r) = recorder.as_deref_mut() {
+                r.record(&mid)?;
+            }
+            let y = b2.forward(&c2.forward(&mid)?)?;
+            x = y.add(&x)?.relu();
+        }
+        let pooled = x.global_avg_pool()?;
+        let n = pooled.shape()[0];
+        self.head.forward(&pooled.reshape(&[n, self.channels])?)
+    }
+
+    /// Forward recording the input of every body convolution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward errors.
+    pub fn forward_recorded(&self, input: &Var, recorder: &mut Recorder) -> Result<Var> {
+        self.forward_impl(input, Some(recorder))
+    }
+}
+
+impl Module for ResNetTiny {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        self.forward_impl(input, None)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = self.stem.params();
+        p.extend(self.stem_bn.params());
+        for (c1, b1, c2, b2) in &self.blocks {
+            p.extend(c1.params());
+            p.extend(b1.params());
+            p.extend(c2.params());
+            p.extend(b2.params());
+        }
+        p.extend(self.head.params());
+        p
+    }
+}
+
+/// A tiny Swin-style ViT classifier probe (SwinViT stand-in): patch-embed
+/// conv, LayerNorm transformer blocks, pooled linear head.
+pub struct SwinVitTiny {
+    embed: Conv2d,
+    blocks: Vec<TransformerBlock>,
+    norm: LayerNorm,
+    head: Linear,
+    channels: usize,
+}
+
+impl SwinVitTiny {
+    /// Build with `blocks` full-precision transformer blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the internal full-precision method fails to build,
+    /// which cannot happen.
+    #[must_use]
+    pub fn new(channels: usize, blocks: usize, classes: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = Conv2dSpec { stride: 2, padding: 1 };
+        let embed = Conv2d::with_spec(3, channels, 4, spec, true, &mut rng);
+        let blocks = (0..blocks)
+            .map(|_| {
+                TransformerBlock::new(channels, 4, Method::FullPrecision, false, &mut rng)
+                    .expect("full precision always builds")
+            })
+            .collect();
+        let norm = LayerNorm::new(channels);
+        let head = Linear::new(channels, classes, &mut rng);
+        Self { embed, blocks, norm, head, channels }
+    }
+
+    fn forward_impl(&self, input: &Var, mut recorder: Option<&mut Recorder>) -> Result<Var> {
+        let mut x = self.embed.forward(input)?;
+        for b in &self.blocks {
+            x = b.forward_features(&x, recorder.as_deref_mut())?;
+        }
+        let pooled = x.global_avg_pool()?;
+        let n = pooled.shape()[0];
+        let flat = pooled.reshape(&[n, self.channels])?;
+        self.head.forward(&self.norm.forward(&flat)?)
+    }
+
+    /// Forward recording the transformer body activations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward errors.
+    pub fn forward_recorded(&self, input: &Var, recorder: &mut Recorder) -> Result<Var> {
+        self.forward_impl(input, Some(recorder))
+    }
+}
+
+impl Module for SwinVitTiny {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        self.forward_impl(input, None)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = self.embed.params();
+        for b in &self.blocks {
+            p.extend(b.params());
+        }
+        p.extend(self.norm.params());
+        p.extend(self.head.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scales_tensor::Tensor;
+
+    #[test]
+    fn resnet_probe_shapes() {
+        let net = ResNetTiny::new(8, 2, 10, 3);
+        let x = Var::new(Tensor::from_vec(
+            (0..2 * 3 * 64).map(|i| (i as f32 * 0.11).sin()).collect(),
+            &[2, 3, 8, 8],
+        ).unwrap());
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.shape(), vec![2, 10]);
+        let mut rec = Recorder::new();
+        // Recording path needs batch 1.
+        let x1 = Var::new(Tensor::ones(&[1, 3, 8, 8]));
+        net.forward_recorded(&x1, &mut rec).unwrap();
+        assert_eq!(rec.len(), 4); // 2 blocks × 2 conv inputs
+    }
+
+    #[test]
+    fn swinvit_probe_shapes() {
+        let net = SwinVitTiny::new(8, 1, 10, 4);
+        let x = Var::new(Tensor::ones(&[1, 3, 16, 16]));
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.shape(), vec![1, 10]);
+        let mut rec = Recorder::new();
+        net.forward_recorded(&x, &mut rec).unwrap();
+        assert_eq!(rec.len(), 5);
+    }
+
+    #[test]
+    fn resnet_activations_are_bn_squashed() {
+        // The BN probe's recorded activations should have bounded variance —
+        // the Fig. 4 contrast against EDSR.
+        let net = ResNetTiny::new(8, 2, 10, 3);
+        let x = Var::new(Tensor::from_vec(
+            (0..3 * 64).map(|i| (i as f32 * 0.37).sin() * 2.0).collect(),
+            &[1, 3, 8, 8],
+        ).unwrap());
+        let mut rec = Recorder::new();
+        net.forward_recorded(&x, &mut rec).unwrap();
+        for t in rec.records() {
+            assert!(t.variance() < 10.0, "variance {}", t.variance());
+        }
+    }
+}

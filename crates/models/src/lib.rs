@@ -1,0 +1,45 @@
+//! # scales-models
+//!
+//! The SR network zoo of the SCALES reproduction, each architecture
+//! parameterised by a binarization [`Method`](scales_core::Method) so a
+//! single implementation serves every comparison row of the paper's
+//! Tables III–V:
+//!
+//! * CNN family — [`srresnet`], [`edsr`], [`rdn`], [`rcan`]
+//! * Transformer family — [`swinir`], [`hat`]
+//! * Classification probes for the motivation study — [`ResNetTiny`],
+//!   [`SwinVitTiny`]
+//!
+//! All models implement [`SrNetwork`] (forward, cost accounting with the
+//! paper's conventions, activation recording for Figs. 1/3/4/5).
+//!
+//! ```
+//! use scales_models::{srresnet, SrConfig, SrNetwork};
+//! use scales_core::Method;
+//!
+//! # fn main() -> Result<(), scales_tensor::TensorError> {
+//! let net = srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method: Method::scales(), seed: 1 })?;
+//! let lr = scales_data::Image::zeros(8, 8);
+//! let sr = net.super_resolve(&lr)?;
+//! assert_eq!(sr.height(), 16);
+//! # Ok(())
+//! # }
+//! ```
+
+mod classifiers;
+mod common;
+pub mod cost;
+pub mod probe;
+mod rcan;
+mod rdn;
+mod srresnet;
+mod swinir;
+pub mod transformer;
+
+pub use classifiers::{ResNetTiny, SwinVitTiny};
+pub use common::{bicubic_skip, ChannelAttention, Head, SrConfig, SrNetwork, Tail, CA_REDUCTION};
+pub use probe::Recorder;
+pub use rcan::{rcan, Rcan};
+pub use rdn::{rdn, Rdn};
+pub use srresnet::{edsr, srresnet, ResidualSr};
+pub use swinir::{hat, swinir, SwinSr, WINDOW};

@@ -1,0 +1,97 @@
+//! Activation recording for the motivation study (Table II, Figs. 1/3/4/5).
+
+use scales_autograd::Var;
+use scales_tensor::{Result, Tensor};
+
+/// Collects the input activation of every body layer during a recorded
+/// forward pass. Batch dimension is stripped (probes run batch-of-one).
+#[derive(Debug, Default)]
+pub struct Recorder {
+    records: Vec<Tensor>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one activation. `[1, C, H, W]` is stored as `[C, H, W]`;
+    /// `[1, L, C]` as `[L, C]`; other shapes are stored as-is.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reshape errors (cannot occur for the documented shapes).
+    pub fn record(&mut self, v: &Var) -> Result<()> {
+        let t = v.value();
+        let squeezed = match t.shape() {
+            [1, rest @ ..] => t.reshape(rest)?,
+            _ => t,
+        };
+        self.records.push(squeezed);
+        Ok(())
+    }
+
+    /// Record a token activation, flattening all leading axes so the
+    /// stored tensor is canonical `[tokens, C]` regardless of window
+    /// grouping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reshape errors (cannot occur for rank ≥ 1 input).
+    pub fn record_tokens(&mut self, v: &Var) -> Result<()> {
+        let t = v.value();
+        let shape = t.shape();
+        let c = *shape.last().expect("rank >= 1");
+        let l = t.len() / c;
+        self.records.push(t.reshape(&[l, c])?);
+        Ok(())
+    }
+
+    /// Recorded activations in forward order.
+    #[must_use]
+    pub fn records(&self) -> &[Tensor] {
+        &self.records
+    }
+
+    /// Consume into the recorded activations.
+    #[must_use]
+    pub fn into_records(self) -> Vec<Tensor> {
+        self.records
+    }
+
+    /// Number of recorded activations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_unit_batch() {
+        let mut r = Recorder::new();
+        r.record(&Var::new(Tensor::ones(&[1, 3, 2, 2]))).unwrap();
+        r.record(&Var::new(Tensor::ones(&[1, 5, 4]))).unwrap();
+        assert_eq!(r.records()[0].shape(), &[3, 2, 2]);
+        assert_eq!(r.records()[1].shape(), &[5, 4]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn keeps_other_shapes() {
+        let mut r = Recorder::new();
+        r.record(&Var::new(Tensor::ones(&[2, 3]))).unwrap();
+        assert_eq!(r.records()[0].shape(), &[2, 3]);
+    }
+}

@@ -1,0 +1,216 @@
+//! RDN-lite — residual dense network (Zhang et al. 2018) at reduced scale,
+//! one of the four CNN architectures the paper evaluates SCALES on.
+//!
+//! Each dense block runs `layers` 3×3 convs whose input is the
+//! concatenation of all previous features (growth `g`), fused back to the
+//! base width by a 1×1 conv plus a local residual; block outputs are
+//! globally fused by another 1×1 conv and a global residual.
+
+use crate::common::{bicubic_skip, head_cost, tail_cost, Head, SrConfig, SrNetwork, Tail};
+use crate::cost::body_conv_cost;
+use crate::probe::Recorder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scales_autograd::Var;
+use scales_binary::CostReport;
+use scales_core::{BodyConv, Method};
+use scales_nn::layers::Conv2d;
+use scales_nn::Module;
+use scales_tensor::ops::Conv2dSpec;
+use scales_tensor::Result;
+
+const LAYERS_PER_BLOCK: usize = 2;
+
+struct DenseBlock {
+    convs: Vec<BodyConv>,
+    fuse: Conv2d,
+    channels: usize,
+    growth: usize,
+}
+
+impl DenseBlock {
+    fn new(channels: usize, growth: usize, method: Method, rng: &mut StdRng) -> Result<Self> {
+        let mut convs = Vec::with_capacity(LAYERS_PER_BLOCK);
+        for i in 0..LAYERS_PER_BLOCK {
+            convs.push(BodyConv::new(method, channels + i * growth, growth, 3, rng)?);
+        }
+        let spec = Conv2dSpec { stride: 1, padding: 0 };
+        let fuse = Conv2d::with_spec(channels + LAYERS_PER_BLOCK * growth, channels, 1, spec, false, rng);
+        Ok(Self { convs, fuse, channels, growth })
+    }
+
+    fn forward(&self, x: &Var, mut recorder: Option<&mut Recorder>) -> Result<Var> {
+        let mut features = vec![x.clone()];
+        for conv in &self.convs {
+            let refs: Vec<&Var> = features.iter().collect();
+            let cat = Var::concat(&refs, 1)?;
+            if let Some(r) = recorder.as_deref_mut() {
+                r.record(&cat)?;
+            }
+            let y = conv.forward(&cat)?.relu();
+            features.push(y);
+        }
+        let refs: Vec<&Var> = features.iter().collect();
+        let all = Var::concat(&refs, 1)?;
+        self.fuse.forward(&all)?.add(x)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p: Vec<Var> = self.convs.iter().flat_map(|c| c.params()).collect();
+        p.extend(self.fuse.params());
+        p
+    }
+}
+
+/// RDN-lite network.
+pub struct Rdn {
+    head: Head,
+    blocks: Vec<DenseBlock>,
+    global_fuse: Conv2d,
+    tail: Tail,
+    config: SrConfig,
+}
+
+/// Build an RDN-lite for a configuration (growth = channels/2).
+///
+/// # Errors
+///
+/// Returns an error for invalid configurations or methods without a CNN
+/// body.
+pub fn rdn(config: SrConfig) -> Result<Rdn> {
+    config.validate()?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let c = config.channels;
+    let head = Head::new(c, &mut rng);
+    let growth = (c / 2).max(1);
+    let mut blocks = Vec::with_capacity(config.blocks);
+    for _ in 0..config.blocks {
+        blocks.push(DenseBlock::new(c, growth, config.method, &mut rng)?);
+    }
+    let spec = Conv2dSpec { stride: 1, padding: 0 };
+    let global_fuse = Conv2d::with_spec(c * config.blocks, c, 1, spec, false, &mut rng);
+    let tail = Tail::new(c, config.scale, &mut rng);
+    Ok(Rdn { head, blocks, global_fuse, tail, config })
+}
+
+impl Rdn {
+    fn forward_impl(&self, input: &Var, mut recorder: Option<&mut Recorder>) -> Result<Var> {
+        let shallow = self.head.forward(input)?;
+        let mut x = shallow.clone();
+        let mut block_outs = Vec::with_capacity(self.blocks.len());
+        for b in &self.blocks {
+            x = b.forward(&x, recorder.as_deref_mut())?;
+            block_outs.push(x.clone());
+        }
+        let refs: Vec<&Var> = block_outs.iter().collect();
+        let fused = self.global_fuse.forward(&Var::concat(&refs, 1)?)?;
+        let deep = fused.add(&shallow)?;
+        let out = self.tail.forward(&deep)?;
+        out.add(&bicubic_skip(input, self.config.scale)?)
+    }
+}
+
+impl Module for Rdn {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        self.forward_impl(input, None)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = self.head.params();
+        for b in &self.blocks {
+            p.extend(b.params());
+        }
+        p.extend(self.global_fuse.params());
+        p.extend(self.tail.params());
+        p
+    }
+}
+
+impl SrNetwork for Rdn {
+    fn scale(&self) -> usize {
+        self.config.scale
+    }
+
+    fn config(&self) -> SrConfig {
+        self.config
+    }
+
+    fn cost(&self, lr_h: usize, lr_w: usize) -> CostReport {
+        let c = self.config.channels;
+        let mut r = head_cost(c, lr_h, lr_w);
+        for b in &self.blocks {
+            for (i, _) in b.convs.iter().enumerate() {
+                r.add(body_conv_cost(self.config.method, b.channels + i * b.growth, b.growth, 3, lr_h, lr_w));
+            }
+            // 1×1 FP fusion.
+            r.add(scales_binary::count::conv2d_cost(
+                b.channels + LAYERS_PER_BLOCK * b.growth,
+                b.channels,
+                1,
+                lr_h,
+                lr_w,
+                false,
+                false,
+            ));
+        }
+        r.add(scales_binary::count::conv2d_cost(
+            c * self.blocks.len(),
+            c,
+            1,
+            lr_h,
+            lr_w,
+            false,
+            false,
+        ));
+        r.add(tail_cost(c, self.config.scale, lr_h, lr_w));
+        r
+    }
+
+    fn clamp_alphas(&self) {
+        for b in &self.blocks {
+            for conv in &b.convs {
+                conv.clamp_alpha(1e-3);
+            }
+        }
+    }
+
+    fn forward_recorded(&self, input: &Var, recorder: &mut Recorder) -> Result<Var> {
+        self.forward_impl(input, Some(recorder))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scales_tensor::Tensor;
+
+    #[test]
+    fn rdn_forward_shapes_all_methods() {
+        let x = Var::new(Tensor::from_vec(
+            (0..3 * 36).map(|i| (i as f32 * 0.2).sin() * 0.4 + 0.5).collect(),
+            &[1, 3, 6, 6],
+        ).unwrap());
+        for m in [Method::FullPrecision, Method::E2fif, Method::scales()] {
+            let net = rdn(SrConfig { channels: 8, blocks: 2, scale: 2, method: m, seed: 3 }).unwrap();
+            assert_eq!(net.forward(&x).unwrap().shape(), vec![1, 3, 12, 12], "{m}");
+        }
+    }
+
+    #[test]
+    fn dense_concat_grows_conv_inputs() {
+        let net = rdn(SrConfig { channels: 8, blocks: 1, scale: 2, method: Method::scales(), seed: 3 }).unwrap();
+        let x = Var::new(Tensor::ones(&[1, 3, 4, 4]));
+        let mut rec = Recorder::new();
+        net.forward_recorded(&x, &mut rec).unwrap();
+        assert_eq!(rec.records()[0].shape()[0], 8);
+        assert_eq!(rec.records()[1].shape()[0], 12); // 8 + growth 4
+    }
+
+    #[test]
+    fn grads_flow() {
+        let net = rdn(SrConfig { channels: 4, blocks: 1, scale: 2, method: Method::scales(), seed: 3 }).unwrap();
+        let x = Var::new(Tensor::ones(&[1, 3, 4, 4]));
+        net.forward(&x).unwrap().sum_all().unwrap().backward().unwrap();
+        assert!(net.params().iter().all(|p| p.grad().is_some()));
+    }
+}

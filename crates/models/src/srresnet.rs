@@ -1,0 +1,297 @@
+//! SRResNet and EDSR — the residual CNN SR architectures of Table III and
+//! the motivation study (Fig. 3).
+//!
+//! Both share the Fig. 2 skeleton: head conv → body of residual blocks →
+//! body-end conv → global residual → pixel-shuffle tail, plus the bicubic
+//! FP skip from the LR input. They differ in block style:
+//!
+//! * **SRResNet** — conv → PReLU → conv (BN omitted in the lite FP variant;
+//!   binary variants never had it except E2FIF's own BN).
+//! * **EDSR** — conv → ReLU → conv, the BN-free standard.
+//!
+//! For binary methods the block body is two method-parameterised
+//! [`BodyConv`]s back-to-back (each carrying its own FP identity skip, per
+//! Fig. 8a) — binary SR networks drop the inter-conv activation because a
+//! sign binarizer would erase a ReLU'd (all-positive) input.
+
+use crate::common::{bicubic_skip, head_cost, tail_cost, Head, SrConfig, SrNetwork, Tail};
+use crate::cost::body_conv_cost;
+use crate::probe::Recorder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scales_autograd::Var;
+use scales_binary::CostReport;
+use scales_core::{BodyConv, Method};
+use scales_nn::layers::Prelu;
+use scales_nn::Module;
+use scales_tensor::Result;
+
+/// Block activation style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Style {
+    Srresnet,
+    Edsr,
+}
+
+struct ResBlock {
+    conv1: BodyConv,
+    conv2: BodyConv,
+    prelu: Option<Prelu>,
+    style: Style,
+    binary: bool,
+}
+
+impl ResBlock {
+    fn new(style: Style, channels: usize, method: Method, rng: &mut StdRng) -> Result<Self> {
+        Ok(Self {
+            conv1: BodyConv::new(method, channels, channels, 3, rng)?,
+            conv2: BodyConv::new(method, channels, channels, 3, rng)?,
+            prelu: (matches!(style, Style::Srresnet) && !method.is_binary()).then(Prelu::new),
+            style,
+            binary: method.is_binary(),
+        })
+    }
+
+    fn forward(&self, x: &Var, recorder: Option<&mut Recorder>) -> Result<Var> {
+        if let Some(r) = recorder {
+            r.record(x)?;
+        }
+        if self.binary {
+            // Binary blocks: two self-skipping binary convs, no inter-conv
+            // activation (see module docs).
+            let y = self.conv1.forward(x)?;
+            self.conv2.forward(&y)
+        } else {
+            let mut y = self.conv1.forward(x)?;
+            y = match (self.style, &self.prelu) {
+                (Style::Srresnet, Some(p)) => p.forward(&y)?,
+                _ => y.relu(),
+            };
+            y = self.conv2.forward(&y)?;
+            y.add(x)
+        }
+    }
+
+    fn record_mid(&self, x: &Var, recorder: &mut Recorder) -> Result<Var> {
+        // Records the input of each conv separately (used by Fig. 3's
+        // layer-wise series: odd/even layers have very different scales).
+        recorder.record(x)?;
+        if self.binary {
+            let y = self.conv1.forward(x)?;
+            recorder.record(&y)?;
+            self.conv2.forward(&y)
+        } else {
+            let mut y = self.conv1.forward(x)?;
+            y = match (self.style, &self.prelu) {
+                (Style::Srresnet, Some(p)) => p.forward(&y)?,
+                _ => y.relu(),
+            };
+            recorder.record(&y)?;
+            y = self.conv2.forward(&y)?;
+            y.add(x)
+        }
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = self.conv1.params();
+        p.extend(self.conv2.params());
+        if let Some(pr) = &self.prelu {
+            p.extend(pr.params());
+        }
+        p
+    }
+
+    fn clamp_alpha(&self) {
+        self.conv1.clamp_alpha(1e-3);
+        self.conv2.clamp_alpha(1e-3);
+    }
+}
+
+/// The residual CNN SR network (SRResNet or EDSR skeleton).
+pub struct ResidualSr {
+    head: Head,
+    blocks: Vec<ResBlock>,
+    body_end: BodyConv,
+    tail: Tail,
+    config: SrConfig,
+    name: &'static str,
+}
+
+impl ResidualSr {
+    fn build(style: Style, config: SrConfig, name: &'static str) -> Result<Self> {
+        config.validate()?;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let head = Head::new(config.channels, &mut rng);
+        let mut blocks = Vec::with_capacity(config.blocks);
+        for _ in 0..config.blocks {
+            blocks.push(ResBlock::new(style, config.channels, config.method, &mut rng)?);
+        }
+        let body_end = BodyConv::new(config.method, config.channels, config.channels, 3, &mut rng)?;
+        let tail = Tail::new(config.channels, config.scale, &mut rng);
+        Ok(Self { head, blocks, body_end, tail, config, name })
+    }
+
+    /// Architecture name (`"SRResNet"` or `"EDSR"`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn forward_impl(&self, input: &Var, mut recorder: Option<&mut Recorder>) -> Result<Var> {
+        let shallow = self.head.forward(input)?;
+        let mut x = shallow.clone();
+        for b in &self.blocks {
+            x = match recorder.as_deref_mut() {
+                Some(r) => b.record_mid(&x, r)?,
+                None => b.forward(&x, None)?,
+            };
+        }
+        if let Some(r) = recorder {
+            r.record(&x)?;
+        }
+        let deep = self.body_end.forward(&x)?;
+        let fused = deep.add(&shallow)?; // global residual (Fig. 2)
+        let out = self.tail.forward(&fused)?;
+        out.add(&bicubic_skip(input, self.config.scale)?)
+    }
+}
+
+/// Build an SRResNet-lite for a configuration.
+///
+/// # Errors
+///
+/// Returns an error for invalid configurations or methods without a CNN
+/// body.
+pub fn srresnet(config: SrConfig) -> Result<ResidualSr> {
+    ResidualSr::build(Style::Srresnet, config, "SRResNet")
+}
+
+/// Build an EDSR-lite for a configuration.
+///
+/// # Errors
+///
+/// Returns an error for invalid configurations or methods without a CNN
+/// body.
+pub fn edsr(config: SrConfig) -> Result<ResidualSr> {
+    ResidualSr::build(Style::Edsr, config, "EDSR")
+}
+
+impl Module for ResidualSr {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        self.forward_impl(input, None)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = self.head.params();
+        for b in &self.blocks {
+            p.extend(b.params());
+        }
+        p.extend(self.body_end.params());
+        p.extend(self.tail.params());
+        p
+    }
+}
+
+impl SrNetwork for ResidualSr {
+    fn scale(&self) -> usize {
+        self.config.scale
+    }
+
+    fn config(&self) -> SrConfig {
+        self.config
+    }
+
+    fn cost(&self, lr_h: usize, lr_w: usize) -> CostReport {
+        let c = self.config.channels;
+        let mut r = head_cost(c, lr_h, lr_w);
+        let body_convs = self.blocks.len() * 2 + 1;
+        for _ in 0..body_convs {
+            r.add(body_conv_cost(self.config.method, c, c, 3, lr_h, lr_w));
+        }
+        r.add(tail_cost(c, self.config.scale, lr_h, lr_w));
+        r
+    }
+
+    fn clamp_alphas(&self) {
+        for b in &self.blocks {
+            b.clamp_alpha();
+        }
+        self.body_end.clamp_alpha(1e-3);
+    }
+
+    fn forward_recorded(&self, input: &Var, recorder: &mut Recorder) -> Result<Var> {
+        self.forward_impl(input, Some(recorder))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scales_tensor::Tensor;
+
+    fn tiny(method: Method, scale: usize) -> SrConfig {
+        SrConfig { channels: 8, blocks: 1, scale, method, seed: 7 }
+    }
+
+    #[test]
+    fn every_method_forward_shape() {
+        let x = Var::new(Tensor::from_vec(
+            (0..3 * 64).map(|i| (i as f32 * 0.1).sin() * 0.5 + 0.5).collect(),
+            &[1, 3, 8, 8],
+        ).unwrap());
+        for m in [Method::FullPrecision, Method::E2fif, Method::Btm, Method::Bam, Method::scales()] {
+            let net = srresnet(tiny(m, 2)).unwrap();
+            let y = net.forward(&x).unwrap();
+            assert_eq!(y.shape(), vec![1, 3, 16, 16], "method {m}");
+        }
+    }
+
+    #[test]
+    fn x4_output_shape() {
+        let net = edsr(tiny(Method::scales(), 4)).unwrap();
+        let x = Var::new(Tensor::ones(&[1, 3, 6, 6]));
+        assert_eq!(net.forward(&x).unwrap().shape(), vec![1, 3, 24, 24]);
+    }
+
+    #[test]
+    fn recorder_captures_body_inputs() {
+        let net = edsr(tiny(Method::FullPrecision, 2)).unwrap();
+        let x = Var::new(Tensor::ones(&[1, 3, 8, 8]));
+        let mut rec = Recorder::new();
+        net.forward_recorded(&x, &mut rec).unwrap();
+        // 1 block × 2 conv inputs + body-end input = 3 records.
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.records()[0].shape(), &[8, 8, 8]);
+    }
+
+    #[test]
+    fn grads_flow_to_all_params() {
+        let net = srresnet(tiny(Method::scales(), 2)).unwrap();
+        let x = Var::new(Tensor::ones(&[1, 3, 4, 4]));
+        let y = net.forward(&x).unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        let with_grad = net.params().iter().filter(|p| p.grad().is_some()).count();
+        assert_eq!(with_grad, net.params().len());
+    }
+
+    #[test]
+    fn binary_cost_is_far_below_fp() {
+        // Paper-scale config (64 channels, 8 blocks): at this size the
+        // binary body dominates and the Table III ratios appear.
+        let big = |m| SrConfig { channels: 64, blocks: 8, scale: 2, method: m, seed: 7 };
+        let fp = srresnet(big(Method::FullPrecision)).unwrap();
+        let bin = srresnet(big(Method::scales())).unwrap();
+        let cf = fp.cost(360, 640);
+        let cb = bin.cost(360, 640);
+        assert!(cb.effective_ops() < cf.effective_ops() / 10.0);
+        assert!(cb.effective_params() < cf.effective_params() / 10.0);
+    }
+
+    #[test]
+    fn super_resolve_image_roundtrip() {
+        let net = srresnet(tiny(Method::E2fif, 2)).unwrap();
+        let img = scales_data::Image::zeros(8, 8);
+        let sr = net.super_resolve(&img).unwrap();
+        assert_eq!((sr.height(), sr.width()), (16, 16));
+    }
+}

@@ -1,0 +1,160 @@
+//! Full-precision convolution layers.
+
+use crate::init::{kaiming_normal, rng as seeded_rng};
+use crate::module::Module;
+use rand::rngs::StdRng;
+use scales_autograd::Var;
+use scales_tensor::ops::Conv2dSpec;
+use scales_tensor::{Result, Tensor};
+
+/// A full-precision 2-D convolution layer with optional bias.
+///
+/// Weight layout `[out_channels, in_channels, k, k]`, NCHW activations.
+pub struct Conv2d {
+    weight: Var,
+    bias: Option<Var>,
+    spec: Conv2dSpec,
+    out_channels: usize,
+}
+
+impl Conv2d {
+    /// Construct with Kaiming-normal weights and "same" padding.
+    #[must_use]
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, rng: &mut StdRng) -> Self {
+        Self::with_spec(in_channels, out_channels, kernel, Conv2dSpec::same(kernel), true, rng)
+    }
+
+    /// Construct with an explicit spec and bias flag.
+    #[must_use]
+    pub fn with_spec(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        spec: Conv2dSpec,
+        bias: bool,
+        rng: &mut StdRng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let weight = Var::param(kaiming_normal(
+            &[out_channels, in_channels, kernel, kernel],
+            fan_in,
+            rng,
+        ));
+        let bias = bias.then(|| Var::param(Tensor::zeros(&[1, out_channels, 1, 1])));
+        Self { weight, bias, spec, out_channels }
+    }
+
+    /// The convolution weight parameter.
+    #[must_use]
+    pub fn weight(&self) -> &Var {
+        &self.weight
+    }
+
+    /// Number of output channels.
+    #[must_use]
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// The layer's convolution spec.
+    #[must_use]
+    pub fn spec(&self) -> Conv2dSpec {
+        self.spec
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        let y = input.conv2d(&self.weight, self.spec)?;
+        match &self.bias {
+            Some(b) => y.add(b),
+            None => Ok(y),
+        }
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = vec![self.weight.clone()];
+        if let Some(b) = &self.bias {
+            p.push(b.clone());
+        }
+        p
+    }
+}
+
+/// A full-precision 1-D convolution layer (no bias), as used by the SCALES
+/// channel re-scaling branch.
+pub struct Conv1d {
+    weight: Var,
+    padding: usize,
+}
+
+impl Conv1d {
+    /// Construct with Kaiming-normal weights and symmetric zero padding.
+    #[must_use]
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, padding: usize, rng: &mut StdRng) -> Self {
+        let weight = Var::param(kaiming_normal(
+            &[out_channels, in_channels, kernel],
+            in_channels * kernel,
+            rng,
+        ));
+        Self { weight, padding }
+    }
+
+    /// The convolution weight parameter.
+    #[must_use]
+    pub fn weight(&self) -> &Var {
+        &self.weight
+    }
+}
+
+impl Module for Conv1d {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        input.conv1d(&self.weight, self.padding)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        vec![self.weight.clone()]
+    }
+}
+
+/// Helper used in tests and examples: a deterministic layer RNG.
+#[must_use]
+pub fn test_rng() -> StdRng {
+    seeded_rng(42)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv2d_shapes_and_params() {
+        let mut r = test_rng();
+        let c = Conv2d::new(3, 8, 3, &mut r);
+        let x = Var::new(Tensor::ones(&[2, 3, 6, 6]));
+        let y = c.forward(&x).unwrap();
+        assert_eq!(y.shape(), vec![2, 8, 6, 6]);
+        assert_eq!(c.param_count(), 8 * 3 * 9 + 8);
+    }
+
+    #[test]
+    fn conv2d_bias_trains() {
+        let mut r = test_rng();
+        let c = Conv2d::new(1, 1, 1, &mut r);
+        let x = Var::new(Tensor::ones(&[1, 1, 2, 2]));
+        let y = c.forward(&x).unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        for p in c.params() {
+            assert!(p.grad().is_some());
+        }
+    }
+
+    #[test]
+    fn conv1d_same_length() {
+        let mut r = test_rng();
+        let c = Conv1d::new(1, 1, 5, 2, &mut r);
+        let x = Var::new(Tensor::ones(&[1, 1, 16]));
+        let y = c.forward(&x).unwrap();
+        assert_eq!(y.shape(), vec![1, 1, 16]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Full-precision linear (dense) layer operating on the trailing axis.
+
+use crate::init::xavier_uniform;
+use crate::module::Module;
+use rand::rngs::StdRng;
+use scales_autograd::Var;
+use scales_tensor::{Result, Tensor};
+
+/// A dense layer `y = x·Wᵀ + b` applied to the last axis of an arbitrary
+/// leading shape (`[..., in] → [..., out]`).
+///
+/// Weight layout is `[out, in]` — output-channel first, matching the
+/// per-channel weight binarizer.
+pub struct Linear {
+    weight: Var,
+    bias: Option<Var>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Construct with Xavier-uniform weights and a zero bias.
+    #[must_use]
+    pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+        Self::with_bias(in_features, out_features, true, rng)
+    }
+
+    /// Construct choosing whether a bias is present.
+    #[must_use]
+    pub fn with_bias(in_features: usize, out_features: usize, bias: bool, rng: &mut StdRng) -> Self {
+        let weight = Var::param(xavier_uniform(&[out_features, in_features], in_features, out_features, rng));
+        let bias = bias.then(|| Var::param(Tensor::zeros(&[out_features])));
+        Self { weight, bias, in_features, out_features }
+    }
+
+    /// The `[out, in]` weight parameter.
+    #[must_use]
+    pub fn weight(&self) -> &Var {
+        &self.weight
+    }
+
+    /// Input feature count.
+    #[must_use]
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    #[must_use]
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Apply with an externally-transformed weight (used by binary layers
+    /// that binarize the weight before the product).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the trailing axis differs from `in_features`.
+    pub fn forward_with_weight(&self, input: &Var, weight: &Var) -> Result<Var> {
+        let in_shape = input.shape();
+        let last = *in_shape.last().ok_or_else(|| {
+            scales_tensor::TensorError::InvalidArgument("linear needs rank >= 1".into())
+        })?;
+        if last != self.in_features {
+            return Err(scales_tensor::TensorError::ShapeMismatch {
+                lhs: in_shape.clone(),
+                rhs: vec![self.in_features],
+                op: "linear",
+            });
+        }
+        let m: usize = in_shape[..in_shape.len() - 1].iter().product();
+        let flat = input.reshape(&[m, self.in_features])?;
+        let wt = weight.permute(&[1, 0])?;
+        let mut y = flat.matmul(&wt)?;
+        if let Some(b) = &self.bias {
+            y = y.add(b)?;
+        }
+        let mut out_shape = in_shape;
+        *out_shape.last_mut().expect("rank >= 1") = self.out_features;
+        y.reshape(&out_shape)
+    }
+}
+
+impl Module for Linear {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        self.forward_with_weight(input, &self.weight)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = vec![self.weight.clone()];
+        if let Some(b) = &self.bias {
+            p.push(b.clone());
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::rng;
+
+    #[test]
+    fn linear_maps_trailing_axis() {
+        let mut r = rng(3);
+        let l = Linear::new(4, 6, &mut r);
+        let x = Var::new(Tensor::ones(&[2, 5, 4]));
+        let y = l.forward(&x).unwrap();
+        assert_eq!(y.shape(), vec![2, 5, 6]);
+    }
+
+    #[test]
+    fn linear_rejects_bad_trailing_axis() {
+        let mut r = rng(3);
+        let l = Linear::new(4, 6, &mut r);
+        let x = Var::new(Tensor::ones(&[2, 5]));
+        assert!(l.forward(&x).is_err());
+    }
+
+    #[test]
+    fn linear_grads_flow() {
+        let mut r = rng(3);
+        let l = Linear::new(3, 2, &mut r);
+        let x = Var::param(Tensor::ones(&[1, 3]));
+        let y = l.forward(&x).unwrap().sum_all().unwrap();
+        y.backward().unwrap();
+        assert!(x.grad().is_some());
+        assert!(l.weight().grad().is_some());
+    }
+}

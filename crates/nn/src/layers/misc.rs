@@ -1,0 +1,143 @@
+//! Small stateless / lightly-parameterised layers.
+
+use crate::module::Module;
+use scales_autograd::Var;
+use scales_tensor::{Result, Tensor};
+
+/// Rectified linear unit as a module.
+pub struct Relu;
+
+impl Module for Relu {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        Ok(input.relu())
+    }
+    fn params(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+/// GELU as a module (transformer MLPs).
+pub struct Gelu;
+
+impl Module for Gelu {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        Ok(input.gelu())
+    }
+    fn params(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+/// Leaky ReLU as a module.
+pub struct LeakyRelu {
+    /// Negative-region slope.
+    pub slope: f32,
+}
+
+impl Module for LeakyRelu {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        Ok(input.leaky_relu(self.slope))
+    }
+    fn params(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+/// PReLU with a single learnable negative slope (SRResNet's activation).
+pub struct Prelu {
+    slope: Var,
+}
+
+impl Prelu {
+    /// Construct with the conventional initial slope 0.25.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { slope: Var::param(Tensor::from_vec(vec![0.25], &[1]).expect("scalar shape")) }
+    }
+}
+
+impl Default for Prelu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for Prelu {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        // prelu(x) = relu(x) + a · (x − relu(x))
+        let pos = input.relu();
+        let neg = input.sub(&pos)?;
+        pos.add(&neg.mul(&self.slope)?)
+    }
+    fn params(&self) -> Vec<Var> {
+        vec![self.slope.clone()]
+    }
+}
+
+/// Sub-pixel upsampling module.
+pub struct PixelShuffle {
+    /// Upscale factor.
+    pub factor: usize,
+}
+
+impl Module for PixelShuffle {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        input.pixel_shuffle(self.factor)
+    }
+    fn params(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+/// Global average pooling module.
+pub struct GlobalAvgPool;
+
+impl Module for GlobalAvgPool {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        input.global_avg_pool()
+    }
+    fn params(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+/// Sigmoid gate module.
+pub struct Sigmoid;
+
+impl Module for Sigmoid {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        Ok(input.sigmoid())
+    }
+    fn params(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prelu_halves_negative_slope_when_a_quarter() {
+        let p = Prelu::new();
+        let x = Var::new(Tensor::from_vec(vec![-2.0, 4.0], &[2]).unwrap());
+        let y = p.forward(&x).unwrap().value();
+        assert_eq!(y.data(), &[-0.5, 4.0]);
+    }
+
+    #[test]
+    fn pixel_shuffle_module_matches_op() {
+        let m = PixelShuffle { factor: 2 };
+        let x = Var::new(Tensor::ones(&[1, 4, 2, 2]));
+        let y = m.forward(&x).unwrap();
+        assert_eq!(y.shape(), vec![1, 1, 4, 4]);
+    }
+
+    #[test]
+    fn stateless_modules_have_no_params() {
+        assert!(Relu.params().is_empty());
+        assert!(Gelu.params().is_empty());
+        assert!(Sigmoid.params().is_empty());
+        assert!(GlobalAvgPool.params().is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+//! Layer catalogue.
+
+mod conv;
+mod linear;
+mod misc;
+mod norm;
+
+pub use conv::{test_rng, Conv1d, Conv2d};
+pub use linear::Linear;
+pub use misc::{Gelu, GlobalAvgPool, LeakyRelu, PixelShuffle, Prelu, Relu, Sigmoid};
+pub use norm::{BatchNorm2d, LayerNorm};

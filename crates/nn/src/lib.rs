@@ -1,0 +1,28 @@
+//! # scales-nn
+//!
+//! Neural-network building blocks for the SCALES reproduction, built on
+//! [`scales_autograd`]: the [`Module`] trait, a layer catalogue
+//! (convolutions, linear, normalisation, activations, pixel shuffle), the
+//! Adam/SGD optimizers with the paper's hyper-parameters, and L1/MSE losses.
+//!
+//! ```
+//! use scales_nn::{layers::Conv2d, init, Module};
+//! use scales_autograd::Var;
+//! use scales_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), scales_tensor::TensorError> {
+//! let mut rng = init::rng(0);
+//! let conv = Conv2d::new(3, 8, 3, &mut rng);
+//! let y = conv.forward(&Var::new(Tensor::ones(&[1, 3, 8, 8])))?;
+//! assert_eq!(y.shape(), vec![1, 8, 8, 8]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod init;
+pub mod layers;
+pub mod loss;
+mod module;
+pub mod optim;
+
+pub use module::{Module, Sequential};

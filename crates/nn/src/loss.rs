@@ -1,0 +1,61 @@
+//! Loss functions. The paper trains with L1 between the SR and HR images.
+
+use scales_autograd::Var;
+use scales_tensor::Result;
+
+/// Mean absolute error (the paper's training loss).
+///
+/// # Errors
+///
+/// Returns an error when the operand shapes do not broadcast together.
+pub fn l1_loss(pred: &Var, target: &Var) -> Result<Var> {
+    pred.sub(target)?.abs().mean_all()
+}
+
+/// Mean squared error, used by some ablations and by PSNR sanity checks.
+///
+/// # Errors
+///
+/// Returns an error when the operand shapes do not broadcast together.
+pub fn mse_loss(pred: &Var, target: &Var) -> Result<Var> {
+    let d = pred.sub(target)?;
+    d.mul(&d)?.mean_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scales_tensor::Tensor;
+
+    #[test]
+    fn l1_matches_hand_computation() {
+        let p = Var::new(Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let t = Var::new(Tensor::from_vec(vec![0.0, 4.0], &[2]).unwrap());
+        let l = l1_loss(&p, &t).unwrap().value();
+        assert!((l.data()[0] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_matches_hand_computation() {
+        let p = Var::new(Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let t = Var::new(Tensor::from_vec(vec![0.0, 4.0], &[2]).unwrap());
+        let l = mse_loss(&p, &t).unwrap().value();
+        assert!((l.data()[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l1_gradient_is_sign_over_n() {
+        let p = Var::param(Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let t = Var::new(Tensor::from_vec(vec![0.0, 4.0], &[2]).unwrap());
+        l1_loss(&p, &t).unwrap().backward().unwrap();
+        assert_eq!(p.grad().unwrap().data(), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn zero_loss_for_identical_inputs() {
+        let p = Var::new(Tensor::ones(&[3, 3]));
+        let t = Var::new(Tensor::ones(&[3, 3]));
+        assert_eq!(l1_loss(&p, &t).unwrap().value().data()[0], 0.0);
+        assert_eq!(mse_loss(&p, &t).unwrap().value().data()[0], 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! The `Module` abstraction: anything that maps a tape variable to a tape
+//! variable and owns trainable parameters.
+
+use scales_autograd::Var;
+use scales_tensor::Result;
+
+/// A neural-network building block.
+///
+/// Modules hold their parameters as [`Var`] leaves (cheap shared handles),
+/// so `forward` takes `&self`: every call extends the tape with a fresh
+/// subgraph over the same parameter nodes.
+pub trait Module {
+    /// Run the module on an input, extending the autodiff tape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error when the input geometry is incompatible with
+    /// the module configuration.
+    fn forward(&self, input: &Var) -> Result<Var>;
+
+    /// All trainable parameters, in a stable order.
+    fn params(&self) -> Vec<Var>;
+
+    /// Number of scalar parameters (for model cards and cost accounting).
+    fn param_count(&self) -> usize {
+        self.params().iter().map(Var::len).sum()
+    }
+}
+
+impl<M: Module + ?Sized> Module for Box<M> {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        (**self).forward(input)
+    }
+    fn params(&self) -> Vec<Var> {
+        (**self).params()
+    }
+}
+
+/// A chain of modules applied in order.
+///
+/// ```
+/// use scales_nn::{Module, Sequential};
+/// use scales_nn::layers::Relu;
+/// let net = Sequential::new(vec![Box::new(Relu), Box::new(Relu)]);
+/// assert!(net.params().is_empty());
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    stages: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    /// Build from an explicit stage list.
+    #[must_use]
+    pub fn new(stages: Vec<Box<dyn Module>>) -> Self {
+        Self { stages }
+    }
+
+    /// Append a stage, builder-style.
+    #[must_use]
+    pub fn push(mut self, stage: impl Module + 'static) -> Self {
+        self.stages.push(Box::new(stage));
+        self
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the chain is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&self, input: &Var) -> Result<Var> {
+        let mut x = input.clone();
+        for s in &self.stages {
+            x = s.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        self.stages.iter().flat_map(|s| s.params()).collect()
+    }
+}

@@ -1,0 +1,184 @@
+//! Optimizers and learning-rate schedules.
+
+use scales_autograd::Var;
+use scales_tensor::Tensor;
+
+/// Adam optimizer with the paper's hyper-parameters as defaults
+/// (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+pub struct Adam {
+    params: Vec<Var>,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+}
+
+impl Adam {
+    /// Construct over a parameter list with a given learning rate.
+    #[must_use]
+    pub fn new(params: Vec<Var>, lr: f32) -> Self {
+        let m = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
+        let v = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
+        Self { params, m, v, lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+    }
+
+    /// Current learning rate.
+    #[must_use]
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Override the learning rate (used by schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Clear gradients on every managed parameter.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Apply one bias-corrected Adam update using each parameter's
+    /// accumulated gradient. Parameters without a gradient are skipped.
+    pub fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(g) = p.grad() else { continue };
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for ((mi, vi), &gi) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(g.data().iter())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let lr = self.lr;
+            let eps = self.eps;
+            let m_ref = &*m;
+            let v_ref = &*v;
+            p.update_value(|val| {
+                for ((x, &mi), &vi) in val
+                    .data_mut()
+                    .iter_mut()
+                    .zip(m_ref.data().iter())
+                    .zip(v_ref.data().iter())
+                {
+                    let mh = mi / bc1;
+                    let vh = vi / bc2;
+                    *x -= lr * mh / (vh.sqrt() + eps);
+                }
+            });
+        }
+    }
+}
+
+/// Plain SGD, useful for deterministic unit tests.
+pub struct Sgd {
+    params: Vec<Var>,
+    lr: f32,
+}
+
+impl Sgd {
+    /// Construct over a parameter list with a given learning rate.
+    #[must_use]
+    pub fn new(params: Vec<Var>, lr: f32) -> Self {
+        Self { params, lr }
+    }
+
+    /// Clear gradients on every managed parameter.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Apply `p ← p − lr·∇p` to every parameter with a gradient.
+    pub fn step(&self) {
+        for p in &self.params {
+            let Some(g) = p.grad() else { continue };
+            let lr = self.lr;
+            p.update_value(|val| {
+                for (x, &gi) in val.data_mut().iter_mut().zip(g.data().iter()) {
+                    *x -= lr * gi;
+                }
+            });
+        }
+    }
+}
+
+/// The paper's schedule: start at `initial` and halve every
+/// `halve_every` steps (the paper halves every 200 epochs of 300).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HalvingSchedule {
+    /// Starting learning rate.
+    pub initial: f32,
+    /// Steps between halvings.
+    pub halve_every: u64,
+}
+
+impl HalvingSchedule {
+    /// Learning rate at a given step.
+    #[must_use]
+    pub fn lr_at(&self, step: u64) -> f32 {
+        let halvings = if self.halve_every == 0 { 0 } else { step / self.halve_every };
+        self.initial * 0.5_f32.powi(halvings as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_minimises_quadratic() {
+        // minimise (x − 3)² from x = 0.
+        let x = Var::param(Tensor::scalar(0.0));
+        let mut opt = Adam::new(vec![x.clone()], 0.1);
+        for _ in 0..200 {
+            opt.zero_grad();
+            let diff = x.add_scalar(-3.0);
+            let loss = diff.mul(&diff).unwrap().sum_all().unwrap();
+            loss.backward().unwrap();
+            opt.step();
+        }
+        assert!((x.value().data()[0] - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn sgd_descends() {
+        let x = Var::param(Tensor::scalar(1.0));
+        let opt = Sgd::new(vec![x.clone()], 0.5);
+        opt.zero_grad();
+        let loss = x.mul(&x).unwrap().sum_all().unwrap();
+        loss.backward().unwrap();
+        opt.step();
+        assert_eq!(x.value().data()[0], 0.0); // 1 − 0.5·2
+    }
+
+    #[test]
+    fn halving_schedule() {
+        let s = HalvingSchedule { initial: 2e-4, halve_every: 100 };
+        assert_eq!(s.lr_at(0), 2e-4);
+        assert_eq!(s.lr_at(99), 2e-4);
+        assert_eq!(s.lr_at(100), 1e-4);
+        assert_eq!(s.lr_at(250), 0.5e-4);
+    }
+
+    #[test]
+    fn step_without_grad_is_noop() {
+        let x = Var::param(Tensor::scalar(1.5));
+        let mut opt = Adam::new(vec![x.clone()], 0.1);
+        opt.step();
+        assert_eq!(x.value().data()[0], 1.5);
+    }
+}

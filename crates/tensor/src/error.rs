@@ -1,0 +1,73 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+/// Error returned by fallible tensor operations.
+///
+/// The `Display` form is a lowercase, punctuation-free sentence describing
+/// what went wrong, per Rust API guidelines (C-GOOD-ERR).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match (exactly or after
+    /// broadcasting) did not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// The number of elements implied by a shape does not match the
+    /// provided data length.
+    LengthMismatch {
+        /// Number of elements the shape calls for.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// An operation received a tensor of unsupported rank.
+    RankMismatch {
+        /// Rank the operation requires.
+        expected: usize,
+        /// Rank it was given.
+        actual: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A structural parameter (stride, kernel size, upscale factor, ...)
+    /// was invalid for the given input.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::RankMismatch { expected, actual, op } => {
+                write!(f, "{op} expects rank {expected} but got rank {actual}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenience alias used across the tensor crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

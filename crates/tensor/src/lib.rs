@@ -1,0 +1,31 @@
+//! # scales-tensor
+//!
+//! Dense `f32` tensor math underpinning the Rust reproduction of
+//! *SCALES: Boost Binary Neural Network for Image Super-Resolution with
+//! Efficient Scalings* (DATE 2025).
+//!
+//! The crate provides exactly what the reproduction's training and inference
+//! stack needs and nothing more: a contiguous row-major [`Tensor`],
+//! NumPy-style broadcasting, matrix multiplication, im2col 2-D/1-D
+//! convolution with analytic gradient kernels, pixel (un)shuffle, window
+//! partitioning for Swin-style attention, and global average pooling.
+//!
+//! ```
+//! use scales_tensor::{ops, Tensor};
+//!
+//! # fn main() -> Result<(), scales_tensor::TensorError> {
+//! let img = Tensor::ones(&[1, 3, 8, 8]);
+//! let w = Tensor::full(&[4, 3, 3, 3], 0.1);
+//! let y = ops::conv2d(&img, &w, ops::Conv2dSpec::same(3))?;
+//! assert_eq!(y.shape(), &[1, 4, 8, 8]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod ops;
+pub mod shape;
+mod tensor;
+
+pub use error::{Result, TensorError};
+pub use tensor::Tensor;

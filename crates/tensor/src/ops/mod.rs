@@ -1,0 +1,15 @@
+//! Tensor operation kernels.
+//!
+//! These are plain functions over [`Tensor`](crate::Tensor) values; the
+//! autograd crate wraps them with gradient rules.
+
+pub mod conv;
+pub mod image;
+pub mod matmul;
+
+pub use conv::{
+    conv1d, conv1d_backward_input, conv1d_backward_weight, conv2d, conv2d_backward_input,
+    conv2d_backward_weight, Conv2dSpec,
+};
+pub use image::{global_avg_pool, pixel_shuffle, pixel_unshuffle, window_merge, window_partition};
+pub use matmul::{batched_matmul, gemm, matmul};

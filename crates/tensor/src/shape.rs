@@ -1,0 +1,137 @@
+//! Shape arithmetic: volumes, strides and NumPy-style broadcasting.
+
+use crate::error::{Result, TensorError};
+
+/// Number of elements a shape describes (product of extents).
+///
+/// The empty shape `[]` describes a scalar and has volume 1.
+#[must_use]
+pub fn volume(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major strides for a contiguous tensor of the given shape.
+#[must_use]
+pub fn strides(shape: &[usize]) -> Vec<usize> {
+    let mut out = vec![0; shape.len()];
+    let mut acc = 1;
+    for (s, &dim) in out.iter_mut().zip(shape.iter()).rev() {
+        *s = acc;
+        acc *= dim;
+    }
+    out
+}
+
+/// Compute the broadcast result shape of two shapes, following NumPy rules:
+/// align trailing axes; each pair must be equal or one of them 1.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the shapes are incompatible.
+pub fn broadcast_shape(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>> {
+    let rank = lhs.len().max(rhs.len());
+    let mut out = vec![0; rank];
+    for i in 0..rank {
+        let l = lhs.len().checked_sub(1 + i).map_or(1, |j| lhs[j]);
+        let r = rhs.len().checked_sub(1 + i).map_or(1, |j| rhs[j]);
+        out[rank - 1 - i] = if l == r {
+            l
+        } else if l == 1 {
+            r
+        } else if r == 1 {
+            l
+        } else {
+            return Err(TensorError::ShapeMismatch {
+                lhs: lhs.to_vec(),
+                rhs: rhs.to_vec(),
+                op: "broadcast",
+            });
+        };
+    }
+    Ok(out)
+}
+
+/// Map a flat index in the broadcast output back to a flat index in an
+/// operand of shape `src` (aligned to the trailing axes of `out_shape`).
+#[must_use]
+pub fn broadcast_src_index(out_index: usize, out_shape: &[usize], src: &[usize]) -> usize {
+    let mut rem = out_index;
+    let mut src_idx = 0;
+    let src_strides = strides(src);
+    let offset = out_shape.len() - src.len();
+    for (axis, &dim) in out_shape.iter().enumerate() {
+        let trailing: usize = out_shape[axis + 1..].iter().product();
+        let coord = rem / trailing;
+        rem %= trailing;
+        if axis >= offset {
+            let s_axis = axis - offset;
+            let s_coord = if src[s_axis] == 1 { 0 } else { coord };
+            src_idx += s_coord * src_strides[s_axis];
+        }
+        let _ = dim;
+    }
+    src_idx
+}
+
+/// Validate that `axis < rank`, returning it unchanged.
+///
+/// # Errors
+///
+/// Returns [`TensorError::AxisOutOfRange`] when the axis is too large.
+pub fn check_axis(axis: usize, rank: usize) -> Result<usize> {
+    if axis < rank {
+        Ok(axis)
+    } else {
+        Err(TensorError::AxisOutOfRange { axis, rank })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_of_scalar_is_one() {
+        assert_eq!(volume(&[]), 1);
+        assert_eq!(volume(&[2, 3, 4]), 24);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides(&[5]), vec![1]);
+        assert_eq!(strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_equal_shapes() {
+        assert_eq!(broadcast_shape(&[2, 3], &[2, 3]).unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn broadcast_with_ones() {
+        assert_eq!(broadcast_shape(&[2, 1, 4], &[3, 1]).unwrap(), vec![2, 3, 4]);
+        assert_eq!(broadcast_shape(&[1], &[7, 5]).unwrap(), vec![7, 5]);
+    }
+
+    #[test]
+    fn broadcast_rejects_incompatible() {
+        assert!(broadcast_shape(&[2, 3], &[4, 3]).is_err());
+    }
+
+    #[test]
+    fn broadcast_src_index_maps_ones() {
+        // out shape [2,3], src [1,3]: row collapses.
+        assert_eq!(broadcast_src_index(4, &[2, 3], &[1, 3]), 1);
+        // src [2,1]: column collapses.
+        assert_eq!(broadcast_src_index(4, &[2, 3], &[2, 1]), 1);
+        // scalar src.
+        assert_eq!(broadcast_src_index(5, &[2, 3], &[]), 0);
+    }
+
+    #[test]
+    fn check_axis_bounds() {
+        assert!(check_axis(1, 2).is_ok());
+        assert!(check_axis(2, 2).is_err());
+    }
+}

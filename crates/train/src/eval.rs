@@ -1,0 +1,87 @@
+//! Evaluation: mean PSNR / SSIM over a benchmark set with the standard SR
+//! protocol (Y channel, `scale`-pixel shave).
+
+use scales_data::{upscale, EvalSet};
+use scales_metrics::{psnr_y, ssim_y};
+use scales_models::SrNetwork;
+use scales_tensor::Result;
+
+/// Mean PSNR (dB) and SSIM over a set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Score {
+    /// Peak signal-to-noise ratio in dB.
+    pub psnr: f64,
+    /// Structural similarity in `[0, 1]` (can be slightly negative for
+    /// anti-correlated images).
+    pub ssim: f64,
+}
+
+impl Score {
+    fn accumulate(scores: &[Score]) -> Score {
+        let n = scores.len() as f64;
+        Score {
+            psnr: scores.iter().map(|s| s.psnr).sum::<f64>() / n,
+            ssim: scores.iter().map(|s| s.ssim).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Evaluate a model over an [`EvalSet`].
+///
+/// # Errors
+///
+/// Propagates forward / metric errors.
+pub fn evaluate<M: SrNetwork + ?Sized>(model: &M, set: &EvalSet) -> Result<Score> {
+    let shave = set.scale();
+    let mut scores = Vec::with_capacity(set.len());
+    for pair in set.pairs() {
+        let sr = model.super_resolve(&pair.lr)?;
+        scores.push(Score {
+            psnr: psnr_y(&sr, &pair.hr, shave)?,
+            ssim: ssim_y(&sr, &pair.hr, shave)?,
+        });
+    }
+    Ok(Score::accumulate(&scores))
+}
+
+/// Evaluate the bicubic-interpolation baseline over an [`EvalSet`].
+///
+/// # Errors
+///
+/// Propagates resize / metric errors.
+pub fn evaluate_bicubic(set: &EvalSet) -> Result<Score> {
+    let shave = set.scale();
+    let mut scores = Vec::with_capacity(set.len());
+    for pair in set.pairs() {
+        let sr = upscale(&pair.lr, set.scale())?;
+        scores.push(Score {
+            psnr: psnr_y(&sr, &pair.hr, shave)?,
+            ssim: ssim_y(&sr, &pair.hr, shave)?,
+        });
+    }
+    Ok(Score::accumulate(&scores))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scales_core::Method;
+    use scales_data::Benchmark;
+    use scales_models::{srresnet, SrConfig};
+
+    #[test]
+    fn bicubic_baseline_is_finite_and_positive() {
+        let set = Benchmark::SynSet5.build(2, 32).unwrap();
+        let s = evaluate_bicubic(&set).unwrap();
+        assert!(s.psnr.is_finite() && s.psnr > 10.0, "psnr {}", s.psnr);
+        assert!(s.ssim > 0.3 && s.ssim <= 1.0, "ssim {}", s.ssim);
+    }
+
+    #[test]
+    fn untrained_model_evaluates() {
+        let set = Benchmark::SynSet5.build(2, 32).unwrap();
+        let net = srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method: Method::scales(), seed: 5 }).unwrap();
+        let s = evaluate(&net, &set).unwrap();
+        assert!(s.psnr.is_finite());
+    }
+}

@@ -1,0 +1,90 @@
+//! Plain-text table formatting mirroring the paper's table layout, plus a
+//! small file sink under `target/scales-report/`.
+
+use crate::eval::Score;
+use crate::experiment::RowResult;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Format one score as the paper does: `PSNR/SSIM` with 2/3 decimals.
+#[must_use]
+pub fn format_score(s: Score) -> String {
+    format!("{:>6.2} {:>6.3}", s.psnr, s.ssim)
+}
+
+/// Render a Table III/IV-style comparison table.
+#[must_use]
+pub fn render_table(title: &str, arch: &str, scale: usize, rows: &[RowResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = write!(out, "{:<22} {:>9} {:>9}", "Method", "Params", "OPs");
+    if let Some(first) = rows.first() {
+        for (name, _) in &first.scores {
+            let _ = write!(out, "  {name:>13}");
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{:-<100}", "");
+    for r in rows {
+        let label = format!("{arch}-{} x{scale}", r.method);
+        let (p, o) = match &r.cost {
+            Some(c) => (c.params_display(), c.ops_display()),
+            None => ("-".to_string(), "-".to_string()),
+        };
+        let _ = write!(out, "{label:<22} {p:>9} {o:>9}");
+        for (_, s) in &r.scores {
+            let _ = write!(out, "  {}", format_score(*s));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Directory where bench harnesses drop their artefacts
+/// (`target/scales-report/`). Created on first use.
+#[must_use]
+pub fn report_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map_or_else(|| PathBuf::from("target"), |root| root.join("target"))
+        .join("scales-report");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Write a report file into [`report_dir`], returning its path.
+#[must_use]
+pub fn write_report(name: &str, contents: &str) -> PathBuf {
+    let path = report_dir().join(name);
+    if std::fs::write(&path, contents).is_err() {
+        eprintln!("warning: could not write report {}", path.display());
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scales_core::Method;
+
+    #[test]
+    fn table_contains_rows_and_header() {
+        let rows = vec![RowResult {
+            method: Method::Bicubic,
+            scores: vec![("SynSet5", Score { psnr: 30.12, ssim: 0.91 })],
+            cost: None,
+        }];
+        let t = render_table("Table III", "SRResNet", 2, &rows);
+        assert!(t.contains("SRResNet-Bicubic x2"));
+        assert!(t.contains("SynSet5"));
+        assert!(t.contains("30.12"));
+    }
+
+    #[test]
+    fn report_dir_is_writable() {
+        let p = write_report("self_test.txt", "ok");
+        assert!(p.exists());
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -1,0 +1,106 @@
+//! The training loop — the paper's protocol at mini scale: L1 loss, Adam
+//! (β₁ = 0.9, β₂ = 0.999, ε = 1e-8), LR halving schedule, random aligned
+//! LR/HR patches.
+
+use scales_autograd::Var;
+use scales_data::{PatchSampler, TrainSet};
+use scales_models::SrNetwork;
+use scales_nn::loss::l1_loss;
+use scales_nn::optim::{Adam, HalvingSchedule};
+use scales_tensor::Result;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Optimizer iterations.
+    pub iters: usize,
+    /// Patch batch size (paper: 16; lite default 4).
+    pub batch: usize,
+    /// LR patch side (paper: 48 HR-side input; lite default 12).
+    pub lr_patch: usize,
+    /// Initial learning rate (paper: 2e-4; lite default 2e-3 since the
+    /// budget is hundreds of iterations, not 300 epochs).
+    pub lr: f32,
+    /// Iterations between LR halvings.
+    pub halve_every: u64,
+    /// Data/order seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { iters: 200, batch: 4, lr_patch: 12, lr: 2e-3, halve_every: 120, seed: 99 }
+    }
+}
+
+/// Summary of a finished training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainStats {
+    /// Mean L1 loss over the first 10% of iterations.
+    pub initial_loss: f32,
+    /// Mean L1 loss over the final 10% of iterations.
+    pub final_loss: f32,
+    /// Full loss history.
+    pub history: Vec<f32>,
+}
+
+impl TrainStats {
+    /// Whether training reduced the loss.
+    #[must_use]
+    pub fn improved(&self) -> bool {
+        self.final_loss < self.initial_loss
+    }
+}
+
+/// Train a model in place with the paper's protocol.
+///
+/// # Errors
+///
+/// Propagates tensor-shape errors from the model or data pipeline.
+pub fn train<M: SrNetwork + ?Sized>(model: &M, config: TrainConfig) -> Result<TrainStats> {
+    let scale = model.scale();
+    let train_set = TrainSet::new(config.seed, config.lr_patch * scale * 2);
+    let mut sampler = PatchSampler::new(train_set, scale, config.lr_patch, config.seed ^ 0xABCD)?;
+    let mut opt = Adam::new(model.params(), config.lr);
+    let schedule = HalvingSchedule { initial: config.lr, halve_every: config.halve_every };
+    let mut history = Vec::with_capacity(config.iters);
+    for it in 0..config.iters {
+        opt.set_lr(schedule.lr_at(it as u64));
+        opt.zero_grad();
+        let batch = sampler.next_batch(config.batch)?;
+        let x = Var::new(batch.lr);
+        let target = Var::new(batch.hr);
+        let pred = model.forward(&x)?;
+        let loss = l1_loss(&pred, &target)?;
+        history.push(loss.value().data()[0]);
+        loss.backward()?;
+        opt.step();
+        model.clamp_alphas();
+    }
+    let chunk = (config.iters / 10).max(1);
+    let initial_loss = history.iter().take(chunk).sum::<f32>() / chunk as f32;
+    let final_loss = history.iter().rev().take(chunk).sum::<f32>() / chunk as f32;
+    Ok(TrainStats { initial_loss, final_loss, history })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scales_core::Method;
+    use scales_models::{srresnet, SrConfig};
+
+    #[test]
+    fn training_reduces_loss_for_scales_method() {
+        let net = srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method: Method::scales(), seed: 5 }).unwrap();
+        let stats = train(&net, TrainConfig { iters: 40, batch: 2, lr_patch: 8, lr: 2e-3, halve_every: 1000, seed: 3 }).unwrap();
+        assert!(stats.improved(), "{} -> {}", stats.initial_loss, stats.final_loss);
+    }
+
+    #[test]
+    fn history_has_one_entry_per_iter() {
+        let net = srresnet(SrConfig { channels: 4, blocks: 1, scale: 2, method: Method::E2fif, seed: 5 }).unwrap();
+        let stats = train(&net, TrainConfig { iters: 10, batch: 1, lr_patch: 8, lr: 1e-3, halve_every: 5, seed: 3 }).unwrap();
+        assert_eq!(stats.history.len(), 10);
+        assert!(stats.history.iter().all(|l| l.is_finite()));
+    }
+}

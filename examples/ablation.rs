@@ -1,0 +1,58 @@
+//! Component ablation (paper Table V): E2FIF baseline vs LSF vs
+//! LSF + channel re-scale vs LSF + spatial re-scale vs full SCALES, on
+//! SRResNet ×4, reporting OPs (on a 128×128 input like the paper) and
+//! PSNR/SSIM.
+//!
+//! ```sh
+//! cargo run --release --example ablation
+//! ```
+
+use scales::core::{Method, ScalesComponents};
+use scales::data::Benchmark;
+use scales::models::{srresnet, SrConfig, SrNetwork};
+use scales::train::{evaluate, train, Budget};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let budget = Budget::from_env();
+    let scale = 4;
+    let rows = [
+        Method::E2fif,
+        Method::Scales(ScalesComponents::lsf_only()),
+        Method::Scales(ScalesComponents::lsf_channel()),
+        Method::Scales(ScalesComponents::lsf_spatial()),
+        Method::scales(),
+    ];
+    let set5 = Benchmark::SynSet5.build(scale, budget.hr_eval)?;
+    let urban = Benchmark::SynUrban100.build(scale, budget.hr_eval)?;
+
+    println!("Table V — effect of SCALES components (SRResNet x{scale})");
+    println!(
+        "{:<16} {:>8}  {:>14}  {:>14}",
+        "Method", "OPs", "SynSet5", "SynUrban100"
+    );
+    for method in rows {
+        let net = srresnet(SrConfig {
+            channels: budget.channels,
+            blocks: budget.blocks,
+            scale,
+            method,
+            seed: 1234,
+        })?;
+        train(&net, budget.train_config(42))?;
+        let s5 = evaluate(&net, &set5)?;
+        let ur = evaluate(&net, &urban)?;
+        // The paper computes Table V OPs on a 128×128 input image.
+        let ops = net.cost(128, 128).ops_display();
+        println!(
+            "{:<16} {:>8}  {:>6.2} {:>6.3}  {:>6.2} {:>6.3}",
+            method.to_string(),
+            ops,
+            s5.psnr,
+            s5.ssim,
+            ur.psnr,
+            ur.ssim
+        );
+    }
+    println!("\n(budget: {budget:?}; raise SCALES_BENCH_ITERS for sharper separation)");
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! Reproduce the paper's motivation study (§III): record body activations
+//! of EDSR / ResNet / SwinIR / SwinViT on the same probe images and print
+//! the Table II variance comparison plus Fig. 3-style distributions.
+//!
+//! ```sh
+//! cargo run --release --example activation_variance
+//! ```
+
+use scales::autograd::Var;
+use scales::core::Method;
+use scales::data::synth::{scene, SceneConfig};
+use scales::metrics::{
+    pixel_distributions, variance_report, ActivationRecord, Layout,
+};
+use scales::models::{edsr, swinir, ResNetTiny, Recorder, SrConfig, SrNetwork, SwinVitTiny};
+use scales::nn::init::rng;
+use scales::tensor::Tensor;
+
+fn probe_images(n: usize, size: usize) -> Vec<Tensor> {
+    let mut r = rng(0xF16);
+    (0..n)
+        .map(|_| {
+            scene(size, size, SceneConfig { layers: 4, structure_bias: 0.6 }, &mut r)
+                .into_tensor()
+                .reshape(&[1, 3, size, size])
+                .expect("volume preserved")
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let images = probe_images(4, 16);
+
+    // --- SR networks (no BN / LN on the conv path): large variation.
+    let edsr_net = edsr(SrConfig { channels: 16, blocks: 2, scale: 2, method: Method::FullPrecision, seed: 21 })?;
+    let mut edsr_records = Vec::new();
+    for (i, img) in images.iter().enumerate() {
+        let mut rec = Recorder::new();
+        edsr_net.forward_recorded(&Var::new(img.clone()), &mut rec)?;
+        for (l, t) in rec.into_records().into_iter().enumerate() {
+            edsr_records.push(ActivationRecord { layer: l, image: i, activation: t });
+        }
+    }
+    let edsr_var = variance_report(&edsr_records, Layout::Chw)?;
+
+    let swin = swinir(SrConfig { channels: 16, blocks: 2, scale: 2, method: Method::FullPrecision, seed: 22 })?;
+    let mut swin_records = Vec::new();
+    for (i, img) in images.iter().enumerate() {
+        let mut rec = Recorder::new();
+        swin.forward_recorded(&Var::new(img.clone()), &mut rec)?;
+        for (l, t) in rec.into_records().into_iter().enumerate() {
+            if t.shape().len() == 3 {
+                // conv input [C,H,W]
+                swin_records.push(ActivationRecord { layer: l, image: i, activation: t });
+            }
+        }
+    }
+    let swin_var = variance_report(&swin_records, Layout::Chw)?;
+
+    // --- Classification networks (BN / LN): squashed variation.
+    let resnet = ResNetTiny::new(16, 2, 10, 23);
+    let mut res_records = Vec::new();
+    for (i, img) in images.iter().enumerate() {
+        let mut rec = Recorder::new();
+        resnet.forward_recorded(&Var::new(img.clone()), &mut rec)?;
+        for (l, t) in rec.into_records().into_iter().enumerate() {
+            res_records.push(ActivationRecord { layer: l, image: i, activation: t });
+        }
+    }
+    let res_var = variance_report(&res_records, Layout::Chw)?;
+
+    let vit = SwinVitTiny::new(16, 2, 10, 24);
+    let mut vit_records = Vec::new();
+    for (i, img) in images.iter().enumerate() {
+        let mut rec = Recorder::new();
+        vit.forward_recorded(&Var::new(img.clone()), &mut rec)?;
+        for (l, t) in rec.into_records().into_iter().enumerate() {
+            if t.shape().len() == 2 {
+                vit_records.push(ActivationRecord { layer: l, image: i, activation: t });
+            }
+        }
+    }
+    let vit_var = variance_report(&vit_records, Layout::Tokens)?;
+
+    println!("Table II — activation variance comparison");
+    println!("{:<16} {:>12} {:>12} {:>12} {:>12}", "", "EDSR", "ResNet", "SwinIR", "SwinViT");
+    type Sel = fn(&scales::metrics::VarianceReport) -> f64;
+    let selectors: [(&str, Sel); 4] = [
+        ("chl-to-chl", |v| v.channel),
+        ("pixel-to-pixel", |v| v.pixel),
+        ("layer-to-layer", |v| v.layer),
+        ("image-to-image", |v| v.image),
+    ];
+    for (label, f) in selectors {
+        println!(
+            "{:<16} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+            label,
+            f(&edsr_var),
+            f(&res_var),
+            f(&swin_var),
+            f(&vit_var)
+        );
+    }
+
+    println!("\nFig. 3(a)-style: per-pixel activation ranges in EDSR (20 pixels, img 1)");
+    let first = &edsr_records[0].activation;
+    for (i, b) in pixel_distributions(first, 20)?.iter().enumerate() {
+        println!("  pixel {:>2}: [{:+.2}, {:+.2}] median {:+.2}", i + 1, b.min, b.max, b.median);
+    }
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Deployment-path demo: bit-packed XNOR-popcount inference versus the
+//! float reference, with the paper's OPs/Params accounting and a wall-clock
+//! comparison (the Table VI story on this machine's CPU instead of a
+//! Snapdragon 870).
+//!
+//! ```sh
+//! cargo run --release --example binary_inference
+//! ```
+
+use scales::binary::count::conv2d_cost;
+use scales::binary::BinaryConv2d;
+use scales::nn::init::{kaiming_normal, rng};
+use scales::tensor::ops::{conv2d, Conv2dSpec};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut r = rng(77);
+    let (c, h, w) = (16, 32, 32);
+    let weight = kaiming_normal(&[c, c, 3, 3], c * 9, &mut r);
+    let input = kaiming_normal(&[1, c, h, w], 1, &mut r);
+
+    // Bit-exactness: the packed kernel must match float conv on ±1 inputs.
+    let signs = input.map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
+    let mut packed = BinaryConv2d::from_float_weight(&weight)?;
+    packed.set_scales(vec![1.0; c])?;
+    let w_signs = weight.map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
+    let reference = conv2d(&signs, &w_signs, Conv2dSpec::same(3))?;
+    let fast = packed.forward(&signs)?;
+    let max_err = fast
+        .data()
+        .iter()
+        .zip(reference.data().iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("bit-exactness vs float reference: max |err| = {max_err}");
+    assert!(max_err < 1e-4, "packed kernel must be exact");
+
+    // Wall-clock: packed binary vs float convolution.
+    let reps = 20;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let _ = conv2d(&input, &weight, Conv2dSpec::same(3))?;
+    }
+    let fp_time = t0.elapsed();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let _ = packed.forward(&input)?;
+    }
+    let bin_time = t0.elapsed();
+    println!("float conv : {:>8.2?} / {reps} reps", fp_time);
+    println!("binary conv: {:>8.2?} / {reps} reps", bin_time);
+
+    // The paper's cost model for the same layer.
+    let fp_cost = conv2d_cost(c, c, 3, h, w, false, false);
+    let bin_cost = conv2d_cost(c, c, 3, h, w, true, false);
+    println!("cost model : FP {fp_cost} vs binary {bin_cost}");
+    println!(
+        "effective OPs ratio = {:.1}x, params ratio = {:.1}x",
+        fp_cost.effective_ops() / bin_cost.effective_ops(),
+        fp_cost.effective_params() / bin_cost.effective_params()
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Qualitative comparison (paper Fig. 9): side-by-side HR / Bicubic /
+//! E2FIF / SCALES panels on a SynUrban100 stripe image, written as PPM
+//! files under `target/scales-report/`.
+//!
+//! ```sh
+//! cargo run --release --example visual_compare
+//! ```
+
+use scales::core::Method;
+use scales::data::{upscale, Benchmark, Image};
+use scales::metrics::psnr_y;
+use scales::models::{srresnet, SrConfig, SrNetwork};
+use scales::train::{report_dir, train, Budget};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let budget = Budget::from_env();
+    let scale = 2;
+    let set = Benchmark::SynUrban100.build(scale, budget.hr_eval.max(32))?;
+    let pair = &set.pairs()[0];
+
+    let mut panels: Vec<(String, Image)> = vec![
+        ("HR".into(), pair.hr.clone()),
+        ("Bicubic".into(), upscale(&pair.lr, scale)?),
+    ];
+    for method in [Method::E2fif, Method::scales()] {
+        let net = srresnet(SrConfig {
+            channels: budget.channels,
+            blocks: budget.blocks,
+            scale,
+            method,
+            seed: 1234,
+        })?;
+        train(&net, budget.train_config(42))?;
+        panels.push((method.to_string(), net.super_resolve(&pair.lr)?.clamped()));
+    }
+
+    println!("Fig. 9-style comparison (SynUrban100 x{scale}, image 1):");
+    for (name, img) in &panels[1..] {
+        let p = psnr_y(img, &pair.hr, scale)?;
+        println!("  {name:<8} PSNR {p:6.2} dB");
+    }
+    let refs: Vec<&Image> = panels.iter().map(|(_, i)| i).collect();
+    let strip = Image::hstack(&refs)?;
+    let path = report_dir().join("fig9_panels.ppm");
+    strip.save_pnm(&path)?;
+    println!("wrote {} (order: HR | Bicubic | E2FIF | SCALES)", path.display());
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! # scales
+//!
+//! A complete Rust reproduction of **"SCALES: Boost Binary Neural Network
+//! for Image Super-Resolution with Efficient Scalings"** (Wei et al.,
+//! DATE 2025, arXiv:2303.12270).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`tensor`] | dense f32 tensors, im2col convolution, broadcasting |
+//! | [`autograd`] | reverse-mode tape with STE binarization gradients |
+//! | [`nn`] | layers, Adam, losses, init |
+//! | [`binary`] | bit-packed XNOR-popcount kernels, BNN cost model |
+//! | [`core`] | the SCALES method (LSF + spatial/channel re-scaling) and baselines |
+//! | [`models`] | SRResNet/EDSR/RDN/RCAN/SwinIR/HAT zoo + classifier probes |
+//! | [`data`] | synthetic datasets, bicubic resize, image IO |
+//! | [`metrics`] | PSNR/SSIM, activation-variance analysis |
+//! | [`train`] | trainer, evaluator, experiment harness |
+//!
+//! ```
+//! use scales::core::Method;
+//! use scales::models::{srresnet, SrConfig, SrNetwork};
+//!
+//! # fn main() -> Result<(), scales::tensor::TensorError> {
+//! let net = srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method: Method::scales(), seed: 1 })?;
+//! let lr = scales::data::Image::zeros(8, 8);
+//! assert_eq!(net.super_resolve(&lr)?.height(), 16);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use scales_autograd as autograd;
+pub use scales_binary as binary;
+pub use scales_core as core;
+pub use scales_data as data;
+pub use scales_metrics as metrics;
+pub use scales_models as models;
+pub use scales_nn as nn;
+pub use scales_tensor as tensor;
+pub use scales_train as train;

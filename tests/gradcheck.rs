@@ -1,0 +1,140 @@
+//! Systematic numeric gradient checks: every differentiable op used by the
+//! models is verified against central finite differences on random inputs.
+//!
+//! STE binarizers are excluded by design — their backward pass is a
+//! surrogate, not the true derivative (that is the point of an STE); their
+//! gradient rules are checked analytically in `scales-autograd`'s unit
+//! tests instead.
+
+use scales::autograd::Var;
+use scales::nn::init::{kaiming_normal, rng};
+use scales::tensor::ops::Conv2dSpec;
+use scales::tensor::Tensor;
+
+/// Check d(sum(f(x)))/dx against central differences at every coordinate.
+fn gradcheck(name: &str, x0: &Tensor, f: impl Fn(&Var) -> Var) {
+    let x = Var::param(x0.clone());
+    let y = f(&x).sum_all().expect("scalar loss");
+    y.backward().expect("backward");
+    let g = x.grad().expect("gradient");
+    let eps = 1e-2f32;
+    for idx in 0..x0.len() {
+        let mut p = x0.clone();
+        p.data_mut()[idx] += eps;
+        let mut m = x0.clone();
+        m.data_mut()[idx] -= eps;
+        let fp = f(&Var::new(p)).value().sum();
+        let fm = f(&Var::new(m)).value().sum();
+        let num = (fp - fm) / (2.0 * eps);
+        let ana = g.data()[idx];
+        let tol = 1e-2 * (1.0 + num.abs());
+        assert!(
+            (ana - num).abs() < tol,
+            "{name}: grad mismatch at {idx}: analytic {ana} vs numeric {num}"
+        );
+    }
+}
+
+fn input(shape: &[usize], seed: u64) -> Tensor {
+    let mut r = rng(seed);
+    // Keep values away from kinks (|x| = 1 for STE clips, 0 for relu/abs).
+    kaiming_normal(shape, 4, &mut r).map(|v| v * 0.8 + 0.05)
+}
+
+#[test]
+fn gradcheck_elementwise_ops() {
+    let x = input(&[2, 3], 1);
+    gradcheck("scale", &x, |v| v.scale(2.5));
+    gradcheck("neg", &x, |v| v.neg());
+    gradcheck("add_scalar", &x, |v| v.add_scalar(0.7));
+    gradcheck("sigmoid", &x, |v| v.sigmoid());
+    gradcheck("tanh", &x, |v| v.tanh());
+    gradcheck("gelu", &x, |v| v.gelu());
+    gradcheck("leaky_relu", &x, |v| v.leaky_relu(0.1));
+    gradcheck("recip", &x.map(|v| v + 2.0), |v| v.recip());
+    gradcheck("sqrt", &x.map(|v| v.abs() + 0.5), |v| v.sqrt());
+}
+
+#[test]
+fn gradcheck_binary_ops() {
+    let x = input(&[2, 3], 2);
+    let other = Var::new(input(&[2, 3], 3).map(|v| v + 1.5));
+    gradcheck("add", &x, |v| v.add(&other).expect("shapes match"));
+    gradcheck("sub", &x, |v| v.sub(&other).expect("shapes match"));
+    gradcheck("mul", &x, |v| v.mul(&other).expect("shapes match"));
+    gradcheck("div", &x, |v| v.div(&other).expect("shapes match"));
+    // Broadcast paths.
+    let row = Var::new(input(&[1, 3], 4).map(|v| v + 1.2));
+    gradcheck("add broadcast", &x, |v| v.add(&row).expect("broadcast"));
+    gradcheck("mul broadcast", &x, |v| v.mul(&row).expect("broadcast"));
+}
+
+#[test]
+fn gradcheck_reductions_and_shape_ops() {
+    let x = input(&[2, 3, 4], 5);
+    gradcheck("mean_all", &x, |v| v.mean_all().expect("ok"));
+    gradcheck("sum_axis", &x, |v| v.sum_axis(1).expect("ok"));
+    gradcheck("mean_axis", &x, |v| v.mean_axis(2).expect("ok"));
+    gradcheck("reshape", &x, |v| v.reshape(&[6, 4]).expect("ok"));
+    gradcheck("permute", &x, |v| v.permute(&[2, 0, 1]).expect("ok"));
+    gradcheck("slice", &x, |v| v.slice_axis(1, 1, 2).expect("ok"));
+    gradcheck("softmax", &x, |v| {
+        let s = v.softmax_last_axis().expect("ok");
+        let w = Var::new(input(&[2, 3, 4], 6));
+        s.mul(&w).expect("weighting")
+    });
+    gradcheck("var_last_axis", &x, |v| v.var_last_axis().expect("ok"));
+}
+
+#[test]
+fn gradcheck_linalg_ops() {
+    let x = input(&[3, 4], 7);
+    let w = Var::new(input(&[4, 2], 8));
+    gradcheck("matmul lhs", &x, |v| v.matmul(&w).expect("ok"));
+    let xb = input(&[2, 3, 4], 9);
+    let wb = Var::new(input(&[2, 4, 2], 10));
+    gradcheck("batched_matmul lhs", &xb, |v| v.batched_matmul(&wb).expect("ok"));
+}
+
+#[test]
+fn gradcheck_conv_ops() {
+    let x = input(&[1, 2, 5, 5], 11);
+    let w = Var::new(input(&[3, 2, 3, 3], 12));
+    gradcheck("conv2d input", &x, |v| v.conv2d(&w, Conv2dSpec::same(3)).expect("ok"));
+    let wt = input(&[3, 2, 3, 3], 13);
+    let xc = Var::new(input(&[1, 2, 5, 5], 14));
+    gradcheck("conv2d weight", &wt, |v| xc.conv2d(v, Conv2dSpec::same(3)).expect("ok"));
+    let x1 = input(&[1, 1, 9], 15);
+    let w1 = Var::new(input(&[1, 1, 5], 16));
+    gradcheck("conv1d input", &x1, |v| v.conv1d(&w1, 2).expect("ok"));
+}
+
+#[test]
+fn gradcheck_image_ops() {
+    let x = input(&[1, 4, 4, 4], 17);
+    gradcheck("pixel_shuffle", &x, |v| v.pixel_shuffle(2).expect("ok"));
+    gradcheck("global_avg_pool", &x, |v| v.global_avg_pool().expect("ok"));
+    gradcheck("window round trip", &x, |v| {
+        v.window_partition(2)
+            .expect("ok")
+            .window_merge(1, 4, 4, 4, 2)
+            .expect("ok")
+    });
+}
+
+#[test]
+fn gradcheck_composed_layer_stack() {
+    // A miniature body: conv → sigmoid gate → residual — exactly the shape
+    // of the SCALES re-scaling datapath, checked end to end.
+    let x = input(&[1, 2, 4, 4], 18);
+    let w = Var::new(input(&[2, 2, 3, 3], 19));
+    let gate_w = Var::new(input(&[1, 2, 1, 1], 20));
+    gradcheck("scales-like datapath", &x, |v| {
+        let y = v.conv2d(&w, Conv2dSpec::same(3)).expect("conv");
+        let gate = v
+            .conv2d(&gate_w, Conv2dSpec { stride: 1, padding: 0 })
+            .expect("1x1")
+            .sigmoid();
+        y.mul(&gate).expect("rescale").add(v).expect("skip")
+    });
+}

@@ -1,0 +1,140 @@
+//! Property-based tests (proptest) over the core data structures and
+//! numerical invariants of the reproduction.
+
+use proptest::prelude::*;
+use scales::autograd::Var;
+use scales::binary::PackedBits;
+use scales::data::{resize_bicubic_tensor, Image};
+use scales::metrics::{psnr_tensor, BoxStats};
+use scales::tensor::shape::broadcast_shape;
+use scales::tensor::Tensor;
+
+fn small_values() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, 1..128)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn packed_dot_matches_float_dot(a in small_values(), b in small_values()) {
+        let n = a.len().min(b.len());
+        let a = &a[..n];
+        let b = &b[..n];
+        let sa: Vec<f32> = a.iter().map(|&v| if v >= 0.0 { 1.0 } else { -1.0 }).collect();
+        let sb: Vec<f32> = b.iter().map(|&v| if v >= 0.0 { 1.0 } else { -1.0 }).collect();
+        let expect: f32 = sa.iter().zip(sb.iter()).map(|(&x, &y)| x * y).sum();
+        let dot = PackedBits::from_signs(a).dot(&PackedBits::from_signs(b));
+        prop_assert_eq!(dot, expect as i32);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip(v in small_values()) {
+        let p = PackedBits::from_signs(&v);
+        let back = p.to_signs();
+        for (orig, sign) in v.iter().zip(back.iter()) {
+            prop_assert_eq!(*sign, if *orig >= 0.0 { 1.0 } else { -1.0 });
+        }
+    }
+
+    #[test]
+    fn sign_ste_output_is_plus_minus_one(v in small_values()) {
+        let n = v.len();
+        let x = Var::new(Tensor::from_vec(v, &[n]).unwrap());
+        let y = x.sign_ste().value();
+        prop_assert!(y.data().iter().all(|&s| s == 1.0 || s == -1.0));
+    }
+
+    #[test]
+    fn lsf_output_magnitude_equals_alpha(v in small_values(), alpha in 0.01f32..4.0) {
+        let n = v.len();
+        let x = Var::new(Tensor::from_vec(v, &[n]).unwrap());
+        let a = Var::param(Tensor::from_vec(vec![alpha], &[1]).unwrap());
+        let b = Var::param(Tensor::from_vec(vec![0.0], &[1]).unwrap());
+        let y = x.lsf_binarize(&a, &b).unwrap().value();
+        prop_assert!(y.data().iter().all(|&s| (s.abs() - alpha).abs() < 1e-6));
+    }
+
+    #[test]
+    fn broadcast_shape_is_commutative_and_idempotent(
+        a in prop::collection::vec(1usize..5, 0..4),
+        b in prop::collection::vec(1usize..5, 0..4),
+    ) {
+        let ab = broadcast_shape(&a, &b);
+        let ba = broadcast_shape(&b, &a);
+        match (ab, ba) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(&x, &y);
+                // Broadcasting the result against itself is identity.
+                prop_assert_eq!(broadcast_shape(&x, &x).unwrap(), x);
+            }
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "commutativity violated"),
+        }
+    }
+
+    #[test]
+    fn tensor_reshape_roundtrip(v in small_values()) {
+        let n = v.len();
+        let t = Tensor::from_vec(v, &[n]).unwrap();
+        let r = t.reshape(&[1, n]).unwrap().reshape(&[n]).unwrap();
+        prop_assert_eq!(t, r);
+    }
+
+    #[test]
+    fn psnr_identity_is_infinite(v in prop::collection::vec(0.0f32..1.0, 4..64)) {
+        let n = v.len();
+        let t = Tensor::from_vec(v, &[n]).unwrap();
+        prop_assert_eq!(psnr_tensor(&t, &t).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn psnr_monotone_in_noise(base in prop::collection::vec(0.2f32..0.8, 16..64), eps in 0.01f32..0.1) {
+        let n = base.len();
+        let a = Tensor::from_vec(base.clone(), &[n]).unwrap();
+        let small = Tensor::from_vec(base.iter().map(|v| v + eps).collect(), &[n]).unwrap();
+        let large = Tensor::from_vec(base.iter().map(|v| v + 2.0 * eps).collect(), &[n]).unwrap();
+        prop_assert!(psnr_tensor(&a, &small).unwrap() > psnr_tensor(&a, &large).unwrap());
+    }
+
+    #[test]
+    fn bicubic_preserves_constant_images(c in 0.0f32..1.0, h in 4usize..12, w in 4usize..12) {
+        let t = Tensor::full(&[3, h, w], c);
+        let up = resize_bicubic_tensor(&t, h * 2, w * 2).unwrap();
+        for &v in up.data() {
+            prop_assert!((v - c).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bicubic_preserves_mean_approximately(v in prop::collection::vec(0.0f32..1.0, 48..48 + 1)) {
+        // 4x4x3 image upscaled 2x: mean brightness is approximately kept.
+        let t = Tensor::from_vec(v, &[3, 4, 4]).unwrap();
+        let up = resize_bicubic_tensor(&t, 8, 8).unwrap();
+        prop_assert!((t.mean() - up.mean()).abs() < 0.05);
+    }
+
+    #[test]
+    fn box_stats_are_ordered(v in prop::collection::vec(-100.0f32..100.0, 1..64)) {
+        let b = BoxStats::from_samples(&v);
+        prop_assert!(b.min <= b.q1 && b.q1 <= b.median && b.median <= b.q3 && b.q3 <= b.max);
+    }
+
+    #[test]
+    fn luma_stays_in_unit_range(v in prop::collection::vec(0.0f32..1.0, 48..48 + 1)) {
+        let img = Image::from_tensor(Tensor::from_vec(v, &[3, 4, 4]).unwrap()).unwrap();
+        let y = img.to_luma();
+        prop_assert!(y.min() >= -1e-5 && y.max() <= 1.0 + 1e-5);
+    }
+
+    #[test]
+    fn weight_binarizer_preserves_per_channel_l1(v in prop::collection::vec(-3.0f32..3.0, 8..64)) {
+        // ŵ = (‖w‖₁/n)·sign(w) has the same per-channel L1 norm as w.
+        let n = v.len();
+        let w = Var::param(Tensor::from_vec(v.clone(), &[1, n]).unwrap());
+        let wb = w.binarize_weight_per_channel().unwrap().value();
+        let l1: f32 = v.iter().map(|x| x.abs()).sum();
+        let l1b: f32 = wb.data().iter().map(|x| x.abs()).sum();
+        prop_assert!((l1 - l1b).abs() < 1e-2 * l1.max(1.0));
+    }
+}
