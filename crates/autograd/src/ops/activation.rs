@@ -30,7 +30,7 @@ impl Var {
     /// re-scaling branches.
     #[must_use]
     pub fn sigmoid(&self) -> Var {
-        let value = self.with_value(|t| t.map(|v| 1.0 / (1.0 + (-v).exp())));
+        let value = self.with_value(|t| t.map(scales_tensor::ops::sigmoid));
         let y = value.clone();
         Var::from_op(value, vec![self.clone()], move |g| {
             vec![g.zip_map(&y, |gi, yi| gi * yi * (1.0 - yi)).expect("same shape")]

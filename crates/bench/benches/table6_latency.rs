@@ -37,13 +37,13 @@ fn body_input(c: usize) -> Tensor {
 fn rescale_branches(input: &Tensor, spatial_w: &Tensor, chl_w: &Tensor, out: &mut Tensor) {
     let smap = conv2d(input, spatial_w, Conv2dSpec { stride: 1, padding: 0 })
         .expect("1x1 conv")
-        .map(|v| 1.0 / (1.0 + (-v).exp()));
+        .map(scales_tensor::ops::sigmoid);
     let pooled = global_avg_pool(input).expect("gap");
     let c = pooled.len();
     let tokens = pooled.reshape(&[1, 1, c]).expect("reshape");
     let mixed = scales_tensor::ops::conv1d(&tokens, chl_w, 2)
         .expect("conv1d")
-        .map(|v| 1.0 / (1.0 + (-v).exp()));
+        .map(scales_tensor::ops::sigmoid);
     let (h, w) = (out.shape()[2], out.shape()[3]);
     for ci in 0..c {
         let g = mixed.data()[ci];

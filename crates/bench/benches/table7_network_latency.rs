@@ -1,0 +1,96 @@
+//! Whole-network deployment latency — the Table VI story extended from a
+//! single conv to an entire SR network, comparing three serving paths on
+//! the same trained SRResNet (64×64 LR input, ×2):
+//!
+//! * training path, scalar backend — the seed's only inference route;
+//! * training path, parallel backend — same math on the blocked
+//!   multi-threaded tensor kernels;
+//! * deployed engine (packed XNOR-popcount body) on each backend.
+//!
+//! Expected shape: deployed ≫ training path (no tape, packed body convs);
+//! the parallel backend beats scalar whenever more than one core is
+//! available, and on a single core the deployed path still dominates.
+//!
+//! ```sh
+//! cargo bench --bench table7_network_latency
+//! ```
+
+use scales_autograd::Var;
+use scales_core::Method;
+use scales_models::{srresnet, SrConfig, SrNetwork};
+use scales_nn::Module as _;
+use scales_tensor::backend::{self, Backend};
+use scales_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+const SIZE: usize = 64;
+const CHANNELS: usize = 16;
+const BLOCKS: usize = 2;
+
+fn probe_input() -> Tensor {
+    Tensor::from_vec(
+        (0..3 * SIZE * SIZE).map(|i| ((i as f32) * 0.071).sin() * 0.4 + 0.5).collect(),
+        &[1, 3, SIZE, SIZE],
+    )
+    .expect("probe volume")
+}
+
+fn time_forward(reps: usize, mut f: impl FnMut()) -> Duration {
+    // One untimed warm-up call.
+    f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed() / reps as u32
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = srresnet(SrConfig {
+        channels: CHANNELS,
+        blocks: BLOCKS,
+        scale: 2,
+        method: Method::scales(),
+        seed: 77,
+    })?;
+    let deployed = net.lower()?;
+    let input = probe_input();
+    let reps = 5;
+
+    println!(
+        "whole-network inference latency (SRResNet/SCALES, {CHANNELS} ch x {BLOCKS} blocks, \
+         {SIZE}x{SIZE} LR, x2, {} packed layers, {} cores)",
+        deployed.packed_layers(),
+        std::thread::available_parallelism().map_or(1, usize::from),
+    );
+
+    let mut rows = Vec::new();
+    for backend_kind in [Backend::Scalar, Backend::Parallel] {
+        let (train_t, deploy_t) = backend::with_backend(backend_kind, || {
+            let t = time_forward(reps, || {
+                let _ = net.forward(&Var::new(input.clone())).expect("training forward");
+            });
+            let d = time_forward(reps, || {
+                let _ = deployed.forward(&input).expect("deployed forward");
+            });
+            (t, d)
+        });
+        rows.push((backend_kind.name(), train_t, deploy_t));
+    }
+
+    println!("\n  {:<10} {:>18} {:>18}", "backend", "training path", "deployed engine");
+    for (name, train_t, deploy_t) in &rows {
+        println!("  {name:<10} {:>15.2?} {:>15.2?}", train_t, deploy_t);
+    }
+    let seed_path = rows[0].1; // scalar training path = the seed's route
+    let best_deploy = rows.iter().map(|r| r.2).min().expect("rows");
+    println!(
+        "\n  speedup (deployed vs seed scalar training path): {:.1}x",
+        seed_path.as_secs_f64() / best_deploy.as_secs_f64().max(1e-9)
+    );
+    assert!(
+        best_deploy < seed_path,
+        "deployed whole-network inference must beat the seed scalar path"
+    );
+    Ok(())
+}

@@ -5,6 +5,12 @@
 //! activations are sign-packed per call, and the convolution inner product
 //! runs entirely on `u64` XNOR + popcount, recovering the float result
 //! exactly for `±1` inputs (padded taps contribute 0 via the lane mask).
+//!
+//! The convolution is organised as a bit-level im2col followed by a
+//! "binary GEMM" over output channels, dispatched through
+//! [`scales_tensor::backend`] so the parallel backend splits channel rows
+//! across threads (results are identical on every backend — the inner
+//! product is integer-exact).
 
 use crate::pack::PackedBits;
 use scales_tensor::ops::Conv2dSpec;
@@ -142,9 +148,14 @@ impl BinaryConv2d {
         let mut out = Tensor::zeros(&[n, oc, oh, ow]);
         // Per-image channel-major activation bitmap: [h·w][wpp] words.
         let mut act = vec![0u64; h * w * wpp];
-        // Gathered receptive field: kk·wpp words + per-tap validity count.
-        let mut patch = vec![0u64; kk * wpp];
-        let mut patch_mask = vec![0u64; kk * wpp];
+        // Bit-im2col of the whole image: per output pixel, the gathered
+        // receptive field (kk·wpp words), a byte per tap marking in-bounds
+        // taps, and the in-bounds channel count. Materialising this once
+        // lets the output-channel loop below run as a dense "binary GEMM"
+        // that the backend can split across threads by channel row.
+        let mut patches = vec![0u64; oh * ow * kk * wpp];
+        let mut tap_ok = vec![0u8; oh * ow * kk];
+        let mut valid = vec![0i32; oh * ow];
         for b in 0..n {
             act.iter_mut().for_each(|v| *v = 0);
             for ci in 0..ic {
@@ -158,41 +169,73 @@ impl BinaryConv2d {
             }
             for oy in 0..oh {
                 for ox in 0..ow {
-                    // Gather whole channel-words for each kernel tap.
+                    let p = oy * ow + ox;
+                    let row = p * kk * wpp;
                     let mut valid_total = 0i32;
                     for ky in 0..k {
                         let iy = (oy * self.spec.stride + ky) as isize - self.spec.padding as isize;
                         for kx in 0..k {
+                            let tap = ky * k + kx;
                             let ix = (ox * self.spec.stride + kx) as isize - self.spec.padding as isize;
-                            let t = (ky * k + kx) * wpp;
+                            let t = row + tap * wpp;
                             if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
-                                patch[t..t + wpp].iter_mut().for_each(|v| *v = 0);
-                                patch_mask[t..t + wpp].iter_mut().for_each(|v| *v = 0);
+                                patches[t..t + wpp].iter_mut().for_each(|v| *v = 0);
+                                tap_ok[p * kk + tap] = 0;
                             } else {
                                 let src = (iy as usize * w + ix as usize) * wpp;
-                                patch[t..t + wpp].copy_from_slice(&act[src..src + wpp]);
-                                for wi in 0..wpp {
-                                    patch_mask[t + wi] =
-                                        if wi + 1 == wpp { self.channel_mask } else { u64::MAX };
-                                }
+                                patches[t..t + wpp].copy_from_slice(&act[src..src + wpp]);
+                                tap_ok[p * kk + tap] = 1;
                                 valid_total += ic as i32;
                             }
                         }
                     }
-                    let base = ((b * oc) * oh + oy) * ow + ox;
-                    for c in 0..oc {
-                        let wrow = &self.packed_weights[c * kk * wpp..(c + 1) * kk * wpp];
-                        let mut agree = 0u32;
-                        for ((&wb, &ab), &m) in
-                            wrow.iter().zip(patch.iter()).zip(patch_mask.iter())
-                        {
-                            agree += (!(wb ^ ab) & m).count_ones();
-                        }
-                        let dot = 2 * agree as i32 - valid_total;
-                        out.data_mut()[base + c * oh * ow] = self.scales[c] * dot as f32;
-                    }
+                    valid[p] = valid_total;
                 }
             }
+            // Binary GEMM over [oc × (oh·ow)]: each output channel owns a
+            // contiguous plane, so the backend can dispatch channel rows to
+            // worker threads with no synchronisation. Out-of-bounds taps
+            // are skipped outright; the partial channel word is masked by
+            // `channel_mask` (u64::MAX when IC is a multiple of 64).
+            let out_image =
+                &mut out.data_mut()[b * oc * oh * ow..(b + 1) * oc * oh * ow];
+            let (patches, tap_ok, valid) = (&patches, &tap_ok, &valid);
+            let weights = &self.packed_weights;
+            let scales = &self.scales;
+            let channel_mask = self.channel_mask;
+            // ~1 popcount word-op per packed word, per pixel.
+            let work = oh * ow * kk * wpp;
+            scales_tensor::backend::kernel().for_each_row_chunk(
+                out_image,
+                oh * ow,
+                work,
+                &|first, chunk| {
+                    for (j, plane) in chunk.chunks_mut(oh * ow).enumerate() {
+                        let c = first + j;
+                        let wrow = &weights[c * kk * wpp..(c + 1) * kk * wpp];
+                        let scale = scales[c];
+                        for (p, o) in plane.iter_mut().enumerate() {
+                            let row = p * kk * wpp;
+                            let mut agree = 0u32;
+                            for (tap, &ok) in tap_ok[p * kk..(p + 1) * kk].iter().enumerate() {
+                                if ok == 0 {
+                                    continue;
+                                }
+                                let (wbase, pbase) = (tap * wpp, row + tap * wpp);
+                                for wi in 0..wpp - 1 {
+                                    agree +=
+                                        (!(wrow[wbase + wi] ^ patches[pbase + wi])).count_ones();
+                                }
+                                agree += (!(wrow[wbase + wpp - 1] ^ patches[pbase + wpp - 1])
+                                    & channel_mask)
+                                    .count_ones();
+                            }
+                            let dot = 2 * agree as i32 - valid[p];
+                            *o = scale * dot as f32;
+                        }
+                    }
+                },
+            );
         }
         Ok(out)
     }

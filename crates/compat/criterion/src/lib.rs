@@ -1,0 +1,171 @@
+//! Minimal offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Provides `Criterion`, `BenchmarkGroup`, `Bencher` and the
+//! `criterion_group!`/`criterion_main!` macros with wall-clock timing and a
+//! compact mean/min report per benchmark. Statistical analysis, plots and
+//! baselines of the real crate are intentionally out of scope — the
+//! workspace benches only need honest relative timings.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark and print its timing line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        // Warm up and estimate a per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            b.reset(1);
+            f(&mut b);
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.reset(iters_per_sample);
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        println!(
+            "  {name:<28} mean {:>12} | min {:>12} | {} samples x {} iters",
+            fmt_secs(mean),
+            fmt_secs(min),
+            samples.len(),
+            iters_per_sample,
+        );
+        self
+    }
+
+    /// End the group (separator line, mirroring criterion's API shape).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Per-benchmark iteration driver handed to the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn reset(&mut self, iters: u64) {
+        self.iters = iters;
+        self.elapsed = Duration::ZERO;
+    }
+
+    /// Time `f`, called `iters` times back-to-back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Group one or more bench functions under a single entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5))
+            .sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! `proptest!` macro (with an optional `#![proptest_config(..)]` line),
+//! range and `prop::collection::vec` strategies, and the
+//! `prop_assert!`/`prop_assert_eq!` assertion macros. Cases are generated
+//! from a fixed seed so failures are reproducible; shrinking is not
+//! implemented — the failing inputs are printed instead.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Re-exports matching `proptest::prelude::*` as the tests consume it.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Strategy combinators namespace (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// A vector of values drawn from `element`, with a length drawn
+        /// uniformly from `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty size range");
+            VecStrategy { element, size }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::rng::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            self.start + rng.unit_f32() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<usize> {
+        type Value = usize;
+        fn generate(&self, rng: &mut TestRng) -> usize {
+            self.start + (rng.next_u64() % (self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl Strategy for Range<i32> {
+        type Value = i32;
+        fn generate(&self, rng: &mut TestRng) -> i32 {
+            let span = (self.end as i64 - self.start as i64) as u64;
+            (self.start as i64 + (rng.next_u64() % span) as i64) as i32
+        }
+    }
+
+    impl Strategy for Range<u64> {
+        type Value = u64;
+        fn generate(&self, rng: &mut TestRng) -> u64 {
+            self.start + rng.next_u64() % (self.end - self.start)
+        }
+    }
+
+    /// Strategy for vectors; built by [`crate::prop::collection::vec`].
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.start
+                + (rng.next_u64() % (self.size.end - self.size.start) as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    // Boxed strategies keep `impl Strategy` returns composable.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+}
+
+/// Deterministic generator feeding the strategies.
+pub mod rng {
+    /// SplitMix64 with fixed seeding for reproducible cases.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded constructor; each test uses a seed derived from its name.
+        #[must_use]
+        pub fn new(seed: u64) -> Self {
+            Self { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f32` in `[0, 1)`.
+        pub fn unit_f32(&mut self) -> f32 {
+            ((self.next_u64() >> 40) as f32) / (1u64 << 24) as f32
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            ((self.next_u64() >> 11) as f64) / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Runner configuration and failure plumbing.
+pub mod test_runner {
+    /// Number-of-cases configuration, mirroring proptest's field name.
+    pub struct ProptestConfig {
+        /// How many generated cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config with an explicit case count.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        /// Human-readable failure description.
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        /// Build a failure from a message.
+        #[must_use]
+        pub fn fail(message: String) -> Self {
+            Self { message }
+        }
+    }
+}
+
+/// FNV-1a over the test name: stable per-test seed.
+#[must_use]
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Debug-print helper for failure reports.
+pub fn describe_value<T: Debug>(v: &T) -> String {
+    format!("{v:?}")
+}
+
+/// Unused; kept so `use std::ops::Range` above is exercised in docs.
+pub(crate) type _SizeRange = Range<usize>;
+
+/// Property-test entry macro: generates one `#[test]` per property.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $( $(#[$attr:meta])+ fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block )*
+    ) => {
+        $crate::proptest!(@run ($cfg) $( $(#[$attr])+ fn $name ( $( $arg in $strat ),* ) $body )*);
+    };
+    (
+        $( $(#[$attr:meta])+ fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block )*
+    ) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default())
+            $( $(#[$attr])+ fn $name ( $( $arg in $strat ),* ) $body )*);
+    };
+    (@run ($cfg:expr) $( $(#[$attr:meta])+ fn $name:ident ( $( $arg:ident in $strat:expr ),* ) $body:block )*) => {
+        $(
+            $(#[$attr])+
+            fn $name() {
+                let config = $cfg;
+                let mut rng = $crate::rng::TestRng::new($crate::seed_from_name(stringify!($name)));
+                for case in 0..config.cases {
+                    $( let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng); )*
+                    let mut inputs = String::new();
+                    $(
+                        inputs.push_str(concat!(stringify!($arg), " = "));
+                        inputs.push_str(&$crate::describe_value(&$arg));
+                        inputs.push('\n');
+                    )*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "property {} failed at case {}/{}:\n{}\ninputs:\n{}",
+                            stringify!($name), case + 1, config.cases, e.message, inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            l,
+            r
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in prop::collection::vec(-1.0f32..1.0, 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+            prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn scalar_ranges_hold(x in 0.25f32..0.5, n in 2usize..9) {
+            prop_assert!((0.25..0.5).contains(&x));
+            prop_assert!((2..9).contains(&n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(1))]
+
+        #[test]
+        #[should_panic(expected = "property always_fails failed")]
+        fn always_fails(x in 0usize..2) {
+            prop_assert!(x > 100, "x was {}", x);
+        }
+    }
+}

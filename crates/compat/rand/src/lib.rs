@@ -1,0 +1,200 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this in-tree shim
+//! provides exactly the API surface the workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and the `Rng` methods `gen`, `gen_range`
+//! (over `f32`/`usize` ranges) and `gen_bool`.
+//!
+//! The generator is SplitMix64. It does **not** match upstream `StdRng`'s
+//! stream bit-for-bit; the reproduction only relies on determinism under a
+//! fixed seed, which this preserves.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construct a reproducible generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a plain `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Pseudo-random value generation over a concrete generator.
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of `T` from its canonical distribution
+    /// (`f32`/`f64`: uniform in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_rng(self.next_u64())
+    }
+
+    /// Sample uniformly from a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.next_u64())
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Types with a canonical `gen()` distribution.
+pub trait Standard {
+    /// Map raw bits to the canonical distribution.
+    fn from_rng(bits: u64) -> Self;
+}
+
+impl Standard for f32 {
+    fn from_rng(bits: u64) -> Self {
+        ((bits >> 40) as f32) / (1u64 << 24) as f32
+    }
+}
+
+impl Standard for f64 {
+    fn from_rng(bits: u64) -> Self {
+        ((bits >> 11) as f64) / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for u64 {
+    fn from_rng(bits: u64) -> Self {
+        bits
+    }
+}
+
+/// Types `gen_range` can sample uniformly. Mirrors `rand`'s
+/// `SampleUniform` so half-open-range type inference behaves identically.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open(lo: Self, hi: Self, bits: u64) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive(lo: Self, hi: Self, bits: u64) -> Self;
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open(lo: Self, hi: Self, bits: u64) -> Self {
+        assert!(lo < hi, "empty f32 range");
+        lo + f32::from_rng(bits) * (hi - lo)
+    }
+    fn sample_inclusive(lo: Self, hi: Self, bits: u64) -> Self {
+        Self::sample_half_open(lo, hi, bits)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open(lo: Self, hi: Self, bits: u64) -> Self {
+        assert!(lo < hi, "empty f64 range");
+        lo + f64::from_rng(bits) * (hi - lo)
+    }
+    fn sample_inclusive(lo: Self, hi: Self, bits: u64) -> Self {
+        Self::sample_half_open(lo, hi, bits)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: Self, hi: Self, bits: u64) -> Self {
+                assert!(lo < hi, concat!("empty ", stringify!($t), " range"));
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + (u128::from(bits) % span) as i128) as $t
+            }
+            fn sample_inclusive(lo: Self, hi: Self, bits: u64) -> Self {
+                assert!(lo <= hi, concat!("empty ", stringify!($t), " range"));
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (u128::from(bits) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u32, u64, i32, i64);
+
+/// Ranges a uniform sample can be drawn from.
+pub trait SampleRange<T> {
+    /// Draw one value from the range using the given raw bits.
+    fn sample(self, bits: u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, bits: u64) -> T {
+        T::sample_half_open(self.start, self.end, bits)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, bits: u64) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, bits)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's deterministic generator (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Avoid the all-zeros fixed point and decorrelate small seeds.
+            Self { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = r.gen_range(0.25f32..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = r.gen_range(3usize..9);
+            assert!((3..9).contains(&u));
+            let i = r.gen_range(2..=8usize);
+            assert!((2..=8).contains(&i));
+            let x: f32 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_calibrated() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&hits), "got {hits}");
+    }
+}

@@ -1,5 +1,10 @@
-//! Deployment: fold a trained [`ScalesConv2d`] into the bit-packed
+//! Deployment: fold trained binary layers into the bit-packed
 //! XNOR-popcount inference path.
+//!
+//! [`DeployedScalesConv2d`] lowers a single [`ScalesConv2d`];
+//! [`DeployedBodyConv`] lowers *any* [`BodyConv`] method variant (FP,
+//! E2FIF, BTM, BAM, BiBERT-style, SCALES), which is what whole-network
+//! lowering in `scales-models` builds on.
 //!
 //! This is the Larq role in the paper's Table VI: after training, the
 //! latent FP weights are sign-packed once, the weight scale `s_c` and the
@@ -12,14 +17,11 @@
 //! training-path forward (verified by unit and integration tests).
 
 use crate::conv::ScalesConv2d;
+use crate::factory::BodyConv;
 use scales_nn::Module as _;
 use scales_binary::BinaryConv2d;
-use scales_tensor::ops::{conv1d, conv2d, global_avg_pool, Conv2dSpec};
+use scales_tensor::ops::{conv1d, conv2d, global_avg_pool, sigmoid, Conv2dSpec};
 use scales_tensor::{Result, Tensor, TensorError};
-
-fn sigmoid(v: f32) -> f32 {
-    1.0 / (1.0 + (-v).exp())
-}
 
 /// A trained SCALES convolution lowered to the packed binary kernel.
 pub struct DeployedScalesConv2d {
@@ -83,6 +85,12 @@ impl DeployedScalesConv2d {
             skip: layer.has_skip(),
             in_channels: ic,
         })
+    }
+
+    /// Number of output channels.
+    #[must_use]
+    pub fn out_channels(&self) -> usize {
+        self.conv.out_channels()
     }
 
     /// Run packed inference on `[N, C, H, W]`, reproducing the training
@@ -154,6 +162,252 @@ impl DeployedScalesConv2d {
     }
 }
 
+/// A full-precision convolution in deployed (tape-free) form: raw tensors
+/// plus the spec, evaluated with the backend conv kernel directly.
+pub struct FloatConv2d {
+    weight: Tensor,
+    bias: Option<Tensor>,
+    spec: Conv2dSpec,
+}
+
+impl FloatConv2d {
+    /// Build from a weight `[OC, IC, kh, kw]`, an optional bias that
+    /// broadcasts over `[N, OC, OH, OW]` (e.g. `[1, OC, 1, 1]`), and a spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-rank-4 weight.
+    pub fn new(weight: Tensor, bias: Option<Tensor>, spec: Conv2dSpec) -> Result<Self> {
+        if weight.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: weight.rank(),
+                op: "deployed float conv weight",
+            });
+        }
+        Ok(Self { weight, bias, spec })
+    }
+
+    /// Number of output channels.
+    #[must_use]
+    pub fn out_channels(&self) -> usize {
+        self.weight.shape()[0]
+    }
+
+    /// Run the convolution (plus bias) on `[N, IC, H, W]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for mismatched geometry.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let y = conv2d(input, &self.weight, self.spec)?;
+        match &self.bias {
+            Some(b) => y.zip_map(b, |a, bv| a + bv),
+            None => Ok(y),
+        }
+    }
+}
+
+/// Per-channel batch-statistics batch norm in deployed form, matching
+/// `scales_nn::layers::BatchNorm2d` (which uses batch statistics at
+/// evaluation too — see its module docs for why).
+fn batchnorm_batch_stats(y: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Result<Tensor> {
+    // Same nested-mean reduction order as the training layer so the two
+    // paths agree to f32 rounding.
+    let mean = y.mean_axis(0, true)?.mean_axis(2, true)?.mean_axis(3, true)?;
+    let centered = y.zip_map(&mean, |a, m| a - m)?;
+    let var = centered
+        .zip_map(&centered, |a, b| a * b)?
+        .mean_axis(0, true)?
+        .mean_axis(2, true)?
+        .mean_axis(3, true)?;
+    let denom = var.map(|v| (v + eps).sqrt());
+    let normed = centered.zip_map(&denom, |a, d| a / d)?;
+    normed.zip_map(gamma, |a, g| a * g)?.zip_map(beta, |a, b| a + b)
+}
+
+/// Any trained body convolution lowered to its deployment form: packed
+/// XNOR-popcount kernels for the binary methods, raw-tensor float
+/// convolution for the FP method. This is what [`DeployedNetwork`] graphs
+/// are made of.
+///
+/// [`DeployedNetwork`]: https://docs.rs/scales-models
+pub enum DeployedBodyConv {
+    /// Full-precision convolution (FP method rows).
+    Float(FloatConv2d),
+    /// SCALES layer with folded scales and FP re-scaling branches.
+    Scales(DeployedScalesConv2d),
+    /// E2FIF: packed conv → batch-stats BN → FP identity skip.
+    E2fif {
+        /// Packed binary convolution with XNOR-Net per-channel scales.
+        conv: BinaryConv2d,
+        /// BN gain `[1, OC, 1, 1]`.
+        gamma: Tensor,
+        /// BN shift `[1, OC, 1, 1]`.
+        beta: Tensor,
+        /// Whether the FP identity skip applies (square layers).
+        skip: bool,
+    },
+    /// BTM: per-image mean threshold → packed conv → FP identity skip.
+    Btm {
+        /// Packed binary convolution.
+        conv: BinaryConv2d,
+        /// Whether the FP identity skip applies.
+        skip: bool,
+    },
+    /// BAM: packed conv rescaled by the FP accumulation map `mean_c |x|`.
+    Bam {
+        /// Packed binary convolution.
+        conv: BinaryConv2d,
+        /// Whether the FP identity skip applies.
+        skip: bool,
+    },
+    /// Plain sign binary conv with identity skip (BiBERT-style bodies).
+    Basic {
+        /// Packed binary convolution.
+        conv: BinaryConv2d,
+        /// Whether the FP identity skip applies.
+        skip: bool,
+    },
+}
+
+impl DeployedBodyConv {
+    /// Lower a trained [`BodyConv`] of any method to its packed form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the trained layer's tensors are malformed.
+    pub fn from_trained(layer: &BodyConv) -> Result<Self> {
+        Ok(match layer {
+            BodyConv::Fp(conv) => DeployedBodyConv::Float(FloatConv2d::new(
+                conv.weight().value(),
+                conv.params().get(1).map(scales_autograd::Var::value),
+                conv.spec(),
+            )?),
+            BodyConv::Scales(conv) => {
+                DeployedBodyConv::Scales(DeployedScalesConv2d::from_trained(conv)?)
+            }
+            BodyConv::E2fif(conv) => {
+                // Stable param order: [weight, bn gamma, bn beta].
+                let params = conv.params();
+                let weight = params[0].value();
+                let square = weight.shape()[0] == weight.shape()[1];
+                DeployedBodyConv::E2fif {
+                    conv: BinaryConv2d::from_float_weight(&weight)?,
+                    gamma: params[1].value(),
+                    beta: params[2].value(),
+                    skip: square,
+                }
+            }
+            BodyConv::Btm(conv) => {
+                let weight = conv.params()[0].value();
+                let square = weight.shape()[0] == weight.shape()[1];
+                DeployedBodyConv::Btm { conv: BinaryConv2d::from_float_weight(&weight)?, skip: square }
+            }
+            BodyConv::Bam(conv) => {
+                let weight = conv.params()[0].value();
+                let square = weight.shape()[0] == weight.shape()[1];
+                DeployedBodyConv::Bam { conv: BinaryConv2d::from_float_weight(&weight)?, skip: square }
+            }
+            BodyConv::Basic(conv) => {
+                let weight = conv.params()[0].value();
+                let square = weight.shape()[0] == weight.shape()[1];
+                DeployedBodyConv::Basic { conv: BinaryConv2d::from_float_weight(&weight)?, skip: square }
+            }
+        })
+    }
+
+    /// Run deployed inference on `[N, C, H, W]`, reproducing the matching
+    /// training-path layer (up to f32 rounding in the FP pieces).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for mismatched geometry.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        match self {
+            DeployedBodyConv::Float(conv) => conv.forward(input),
+            DeployedBodyConv::Scales(conv) => conv.forward(input),
+            DeployedBodyConv::E2fif { conv, gamma, beta, skip } => {
+                let y = conv.forward(input)?;
+                let y = batchnorm_batch_stats(&y, gamma, beta, 1e-5)?;
+                if *skip {
+                    y.zip_map(input, |a, b| a + b)
+                } else {
+                    Ok(y)
+                }
+            }
+            DeployedBodyConv::Btm { conv, skip } => {
+                let (n, chw) = (input.shape()[0], input.len() / input.shape()[0]);
+                let mut shifted = input.clone();
+                for b in 0..n {
+                    let plane = &mut shifted.data_mut()[b * chw..(b + 1) * chw];
+                    let mean: f32 = plane.iter().sum::<f32>() / chw as f32;
+                    for v in plane.iter_mut() {
+                        *v -= mean;
+                    }
+                }
+                let y = conv.forward(&shifted)?;
+                if *skip {
+                    y.zip_map(input, |a, b| a + b)
+                } else {
+                    Ok(y)
+                }
+            }
+            DeployedBodyConv::Bam { conv, skip } => {
+                let mut y = conv.forward(input)?;
+                let (n, c) = (input.shape()[0], input.shape()[1]);
+                let (h, w) = (input.shape()[2], input.shape()[3]);
+                let (oc, oh, ow) = (y.shape()[1], y.shape()[2], y.shape()[3]);
+                // FP accumulation map K = mean_c |x|, applied per pixel
+                // (stride-1 "same" conv keeps oh·ow == h·w).
+                if oh * ow != h * w {
+                    return Err(TensorError::InvalidArgument(
+                        "BAM deployment needs same-size output".into(),
+                    ));
+                }
+                for b in 0..n {
+                    for p in 0..h * w {
+                        let mut k = 0.0f32;
+                        for ci in 0..c {
+                            k += input.data()[(b * c + ci) * h * w + p].abs();
+                        }
+                        k /= c as f32;
+                        for co in 0..oc {
+                            y.data_mut()[(b * oc + co) * oh * ow + p] *= k;
+                        }
+                    }
+                }
+                if *skip {
+                    y.zip_map(input, |a, b| a + b)
+                } else {
+                    Ok(y)
+                }
+            }
+            DeployedBodyConv::Basic { conv, skip } => {
+                let y = conv.forward(input)?;
+                if *skip {
+                    y.zip_map(input, |a, b| a + b)
+                } else {
+                    Ok(y)
+                }
+            }
+        }
+    }
+
+    /// Number of output channels after this layer.
+    #[must_use]
+    pub fn out_channels(&self) -> usize {
+        match self {
+            DeployedBodyConv::Float(c) => c.out_channels(),
+            DeployedBodyConv::Scales(c) => c.out_channels(),
+            DeployedBodyConv::E2fif { conv, .. }
+            | DeployedBodyConv::Btm { conv, .. }
+            | DeployedBodyConv::Bam { conv, .. }
+            | DeployedBodyConv::Basic { conv, .. } => conv.out_channels(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +463,54 @@ mod tests {
         let layer = ScalesConv2d::new(4, 4, 3, &mut r);
         let deployed = DeployedScalesConv2d::from_trained(&layer).unwrap();
         assert!(deployed.forward(&Tensor::ones(&[1, 8, 4, 4])).is_err());
+    }
+
+    fn probe_input(c: usize, hw: usize, seed: f32) -> Tensor {
+        Tensor::from_vec(
+            (0..c * hw * hw).map(|i| ((i as f32 + seed) * 0.23).sin()).collect(),
+            &[1, c, hw, hw],
+        )
+        .unwrap()
+    }
+
+    fn check_body_conv_equivalence(method: crate::Method, in_c: usize, out_c: usize, seed: u64) {
+        let mut r = rng(seed);
+        let layer = BodyConv::new(method, in_c, out_c, 3, &mut r).unwrap();
+        let deployed = DeployedBodyConv::from_trained(&layer).unwrap();
+        let input = probe_input(in_c, 8, seed as f32);
+        let reference = layer.forward(&Var::new(input.clone())).unwrap().value();
+        let fast = deployed.forward(&input).unwrap();
+        assert_eq!(fast.shape(), reference.shape(), "{method}");
+        assert_eq!(deployed.out_channels(), out_c, "{method}");
+        for (a, b) in fast.data().iter().zip(reference.data().iter()) {
+            assert!((a - b).abs() < 1e-4, "{method}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn deployed_body_conv_matches_every_method() {
+        for (i, m) in [
+            crate::Method::FullPrecision,
+            crate::Method::E2fif,
+            crate::Method::Btm,
+            crate::Method::Bam,
+            crate::Method::Bibert,
+            crate::Method::scales(),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            check_body_conv_equivalence(m, 6, 6, 200 + i as u64);
+        }
+    }
+
+    #[test]
+    fn deployed_body_conv_handles_channel_change() {
+        // Non-square layers drop the skip; equivalence must still hold.
+        for (i, m) in
+            [crate::Method::FullPrecision, crate::Method::E2fif, crate::Method::Btm].into_iter().enumerate()
+        {
+            check_body_conv_equivalence(m, 4, 8, 300 + i as u64);
+        }
     }
 }

@@ -200,9 +200,9 @@ pub fn scene(h: usize, w: usize, config: SceneConfig, rng: &mut StdRng) -> Image
         for y in wy0..wy1 {
             for x in wx0..wx1 {
                 let a = field[y * w + x] * opacity;
-                for ch in 0..3 {
+                for (ch, &col) in color.iter().enumerate() {
                     let old = t.at(&[ch, y, x]);
-                    *t.at_mut(&[ch, y, x]) = old * (1.0 - a) + color[ch] * a;
+                    *t.at_mut(&[ch, y, x]) = old * (1.0 - a) + col * a;
                 }
             }
         }

@@ -47,11 +47,11 @@ fn split_stats(t: &Tensor, layout: Layout) -> Result<(Vec<f32>, Vec<f32>)> {
             let (c, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2]);
             let mut pos = vec![0.0f32; h * w];
             let mut chl = vec![0.0f32; c];
-            for ci in 0..c {
-                for p in 0..h * w {
-                    let v = t.data()[ci * h * w + p];
-                    pos[p] += v / c as f32;
-                    chl[ci] += v / (h * w) as f32;
+            for (ci, cv) in chl.iter_mut().enumerate() {
+                let plane = &t.data()[ci * h * w..(ci + 1) * h * w];
+                for (pv, &v) in pos.iter_mut().zip(plane) {
+                    *pv += v / c as f32;
+                    *cv += v / (h * w) as f32;
                 }
             }
             Ok((pos, chl))
@@ -63,11 +63,11 @@ fn split_stats(t: &Tensor, layout: Layout) -> Result<(Vec<f32>, Vec<f32>)> {
             let (l, c) = (t.shape()[0], t.shape()[1]);
             let mut pos = vec![0.0f32; l];
             let mut chl = vec![0.0f32; c];
-            for li in 0..l {
-                for ci in 0..c {
-                    let v = t.data()[li * c + ci];
-                    pos[li] += v / c as f32;
-                    chl[ci] += v / l as f32;
+            for (li, pv) in pos.iter_mut().enumerate() {
+                let row = &t.data()[li * c..(li + 1) * c];
+                for (cv, &v) in chl.iter_mut().zip(row) {
+                    *pv += v / c as f32;
+                    *cv += v / l as f32;
                 }
             }
             Ok((pos, chl))

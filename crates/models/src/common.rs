@@ -75,6 +75,20 @@ pub trait SrNetwork: Module {
     /// Propagates tensor errors from the forward pass.
     fn forward_recorded(&self, input: &Var, recorder: &mut Recorder) -> Result<Var>;
 
+    /// Lower the whole trained network to the packed deployment engine
+    /// (see [`crate::deploy`]). The deployed forward matches this
+    /// network's training-path forward within `1e-4`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for architectures without a lowering (the
+    /// transformer family, for now).
+    fn lower(&self) -> Result<crate::deploy::DeployedNetwork> {
+        Err(TensorError::InvalidArgument(
+            "deployment lowering is not implemented for this architecture".into(),
+        ))
+    }
+
     /// Super-resolve a single image (batch-of-one convenience).
     ///
     /// # Errors
@@ -121,6 +135,11 @@ impl Head {
     pub fn new(channels: usize, rng: &mut StdRng) -> Self {
         Self { conv: Conv2d::new(3, channels, 3, rng) }
     }
+
+    /// The underlying convolution (for deployment lowering).
+    pub(crate) fn conv(&self) -> &Conv2d {
+        &self.conv
+    }
 }
 
 impl Module for Head {
@@ -153,6 +172,16 @@ impl Tail {
             p.update_value(|t| t.map_inplace(|_| 0.0));
         }
         Self { conv, scale }
+    }
+
+    /// The underlying convolution (for deployment lowering).
+    pub(crate) fn conv(&self) -> &Conv2d {
+        &self.conv
+    }
+
+    /// The upscale factor.
+    pub(crate) fn factor(&self) -> usize {
+        self.scale
     }
 }
 
@@ -190,6 +219,16 @@ impl ChannelAttention {
             down: Conv2d::with_spec(channels, mid, 1, spec, true, rng),
             up: Conv2d::with_spec(mid, channels, 1, spec, true, rng),
         }
+    }
+
+    /// The squeeze (1×1 down) convolution, for deployment lowering.
+    pub(crate) fn down(&self) -> &Conv2d {
+        &self.down
+    }
+
+    /// The excite (1×1 up) convolution, for deployment lowering.
+    pub(crate) fn up(&self) -> &Conv2d {
+        &self.up
     }
 
     /// Gate `x` by its own channel statistics.

@@ -1,0 +1,515 @@
+//! Whole-network deployment: lower a trained [`SrNetwork`] to a
+//! [`DeployedNetwork`] — a flat, tape-free op graph whose body convolutions
+//! run on the bit-packed XNOR-popcount kernels of `scales-binary` and whose
+//! remaining pieces (head/tail convs, activations, skips, channel
+//! attention, the bicubic global skip) run as raw-tensor float ops through
+//! the `scales-tensor` backend.
+//!
+//! This is the whole-graph analogue of the paper's Table VI deployment
+//! (Larq on a Snapdragon 870): training builds an autograd tape per call;
+//! the deployed graph allocates no tape, packs each binary weight once at
+//! lowering time, and is what the serving/bench paths execute.
+//!
+//! **Numerical-equivalence contract:** for every architecture that
+//! implements [`SrNetwork::lower`] and every [`Method`] registry row, the
+//! deployed forward matches the training-path forward within `1e-4`
+//! per output value (integer-exact binary convolutions; the FP branches
+//! round identically up to f32 accumulation order). The contract is
+//! enforced by tests in this module, `tests/deploy.rs`, and the examples.
+//!
+//! [`Method`]: scales_core::Method
+
+use crate::common::SrNetwork;
+use scales_core::{DeployedBodyConv, FloatConv2d};
+use scales_data::{resize_bicubic_tensor, Image};
+use scales_tensor::ops::{global_avg_pool, pixel_shuffle, sigmoid};
+use scales_tensor::{Result, Tensor, TensorError};
+
+/// Identifies a value in the deployed op graph (0 is the network input;
+/// op `i` produces value `i + 1`).
+pub type ValueId = usize;
+
+/// SE-style channel attention in deployed form (RCAN blocks).
+pub struct DeployedChannelAttention {
+    down: FloatConv2d,
+    up: FloatConv2d,
+}
+
+impl DeployedChannelAttention {
+    /// Build from the lowered 1×1 squeeze/excite convolutions.
+    #[must_use]
+    pub fn new(down: FloatConv2d, up: FloatConv2d) -> Self {
+        Self { down, up }
+    }
+
+    fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        let pooled = global_avg_pool(x)?; // [N, C, 1, 1]
+        let gate = self.up.forward(&self.down.forward(&pooled)?.map(|v| v.max(0.0)))?;
+        let gate = gate.map(sigmoid);
+        x.zip_map(&gate, |a, g| a * g)
+    }
+}
+
+/// One node of the deployed graph. Each op reads previously produced
+/// values and emits exactly one new value.
+pub enum DeployedOp {
+    /// Full-precision convolution (head, tail, RDN fusions).
+    FloatConv {
+        /// The lowered convolution.
+        conv: FloatConv2d,
+        /// Input value.
+        src: ValueId,
+    },
+    /// A lowered body convolution of any method.
+    Body {
+        /// The lowered layer.
+        conv: Box<DeployedBodyConv>,
+        /// Input value.
+        src: ValueId,
+    },
+    /// Elementwise `max(0, x)`.
+    Relu {
+        /// Input value.
+        src: ValueId,
+    },
+    /// PReLU with a single learned negative slope.
+    Prelu {
+        /// Negative-region slope.
+        slope: f32,
+        /// Input value.
+        src: ValueId,
+    },
+    /// Elementwise sum of two values of identical shape.
+    Add {
+        /// Left operand.
+        lhs: ValueId,
+        /// Right operand.
+        rhs: ValueId,
+    },
+    /// Channel-axis concatenation.
+    Concat {
+        /// Operands, in order.
+        srcs: Vec<ValueId>,
+    },
+    /// SE-style channel attention gate.
+    ChannelAttention {
+        /// The lowered gate.
+        ca: DeployedChannelAttention,
+        /// Input value.
+        src: ValueId,
+    },
+    /// Sub-pixel upsample.
+    PixelShuffle {
+        /// Upscale factor.
+        factor: usize,
+        /// Input value.
+        src: ValueId,
+    },
+    /// Bicubic upsample of a batch (the FP global skip).
+    BicubicUp {
+        /// Upscale factor.
+        scale: usize,
+        /// Input value.
+        src: ValueId,
+    },
+}
+
+impl DeployedOp {
+    fn inputs(&self) -> Vec<ValueId> {
+        match self {
+            DeployedOp::FloatConv { src, .. }
+            | DeployedOp::Body { src, .. }
+            | DeployedOp::Relu { src }
+            | DeployedOp::Prelu { src, .. }
+            | DeployedOp::ChannelAttention { src, .. }
+            | DeployedOp::PixelShuffle { src, .. }
+            | DeployedOp::BicubicUp { src, .. } => vec![*src],
+            DeployedOp::Add { lhs, rhs } => vec![*lhs, *rhs],
+            DeployedOp::Concat { srcs } => srcs.clone(),
+        }
+    }
+}
+
+/// A trained SR network lowered whole to its deployment form.
+pub struct DeployedNetwork {
+    ops: Vec<DeployedOp>,
+    output: ValueId,
+    scale: usize,
+    name: String,
+    /// For each value id, the index of the last op consuming it (used to
+    /// free intermediates during evaluation).
+    last_use: Vec<usize>,
+}
+
+impl DeployedNetwork {
+    /// Upscaling factor of the lowered network.
+    #[must_use]
+    pub fn scale(&self) -> usize {
+        self.scale
+    }
+
+    /// Architecture name this graph was lowered from.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of ops in the graph.
+    #[must_use]
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of bit-packed (binary) body convolutions in the graph.
+    #[must_use]
+    pub fn packed_layers(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| {
+                matches!(
+                    op,
+                    DeployedOp::Body { conv, .. } if !matches!(**conv, DeployedBodyConv::Float(_))
+                )
+            })
+            .count()
+    }
+
+    /// Run deployed inference on an input batch `[N, 3, H, W]`.
+    ///
+    /// Intermediates are freed as soon as their last consumer has run, so
+    /// peak memory tracks the network's live-value width rather than its
+    /// depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for mismatched geometry.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        if input.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: input.rank(),
+                op: "deployed network input",
+            });
+        }
+        let mut values: Vec<Option<Tensor>> = vec![None; self.ops.len() + 1];
+        values[0] = Some(input.clone());
+        for (i, op) in self.ops.iter().enumerate() {
+            // Move a value out of the store when this op is its final
+            // (single) consumer; clone only when it is still live.
+            let inputs = op.inputs();
+            let take = |values: &mut Vec<Option<Tensor>>, id: ValueId| -> Result<Tensor> {
+                let movable = self.last_use[id] == i
+                    && id != self.output
+                    && inputs.iter().filter(|&&x| x == id).count() == 1;
+                let v = if movable { values[id].take() } else { values[id].clone() };
+                v.ok_or_else(|| TensorError::InvalidArgument(format!("value {id} freed too early")))
+            };
+            let out = match op {
+                DeployedOp::FloatConv { conv, src } => conv.forward(&take(&mut values, *src)?)?,
+                DeployedOp::Body { conv, src } => conv.forward(&take(&mut values, *src)?)?,
+                DeployedOp::Relu { src } => take(&mut values, *src)?.map(|v| v.max(0.0)),
+                DeployedOp::Prelu { slope, src } => {
+                    let s = *slope;
+                    take(&mut values, *src)?.map(|v| if v > 0.0 { v } else { s * v })
+                }
+                DeployedOp::Add { lhs, rhs } => {
+                    take(&mut values, *lhs)?.zip_map(&take(&mut values, *rhs)?, |a, b| a + b)?
+                }
+                DeployedOp::Concat { srcs } => {
+                    let parts: Vec<Tensor> =
+                        srcs.iter().map(|&s| take(&mut values, s)).collect::<Result<_>>()?;
+                    let refs: Vec<&Tensor> = parts.iter().collect();
+                    Tensor::concat(&refs, 1)?
+                }
+                DeployedOp::ChannelAttention { ca, src } => ca.forward(&take(&mut values, *src)?)?,
+                DeployedOp::PixelShuffle { factor, src } => {
+                    pixel_shuffle(&take(&mut values, *src)?, *factor)?
+                }
+                DeployedOp::BicubicUp { scale, src } => {
+                    let t = take(&mut values, *src)?;
+                    let (n, c, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]);
+                    let mut data = Vec::with_capacity(n * c * h * w * scale * scale);
+                    for b in 0..n {
+                        let img = t.slice_axis(0, b, 1)?.reshape(&[c, h, w])?;
+                        let up = resize_bicubic_tensor(&img, h * scale, w * scale)?;
+                        data.extend_from_slice(up.data());
+                    }
+                    Tensor::from_vec(data, &[n, c, h * scale, w * scale])?
+                }
+            };
+            values[i + 1] = Some(out);
+            // Free values whose last consumer was this op.
+            for (id, &last) in self.last_use.iter().enumerate() {
+                if last == i && id != self.output {
+                    values[id] = None;
+                }
+            }
+        }
+        values[self.output]
+            .take()
+            .ok_or_else(|| TensorError::InvalidArgument("deployed graph has no output".into()))
+    }
+
+    /// Super-resolve a single image (batch-of-one convenience, mirroring
+    /// [`SrNetwork::super_resolve`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward errors.
+    pub fn super_resolve(&self, lr: &Image) -> Result<Image> {
+        let t = lr.tensor();
+        let (c, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2]);
+        let y = self.forward(&t.reshape(&[1, c, h, w])?)?;
+        let (oh, ow) = (y.shape()[2], y.shape()[3]);
+        Image::from_tensor(y.reshape(&[3, oh, ow])?)
+    }
+}
+
+/// Incrementally assembles a [`DeployedNetwork`]; used by each
+/// architecture's `lower()` implementation.
+pub struct DeployedNetworkBuilder {
+    ops: Vec<DeployedOp>,
+    scale: usize,
+    name: String,
+}
+
+impl DeployedNetworkBuilder {
+    /// Start a graph for a network with the given name and upscale factor.
+    #[must_use]
+    pub fn new(name: &str, scale: usize) -> Self {
+        Self { ops: Vec::new(), scale, name: name.to_string() }
+    }
+
+    /// The network-input value.
+    #[must_use]
+    pub fn input(&self) -> ValueId {
+        0
+    }
+
+    /// Append an op, returning the id of the value it produces.
+    pub fn push(&mut self, op: DeployedOp) -> ValueId {
+        self.ops.push(op);
+        self.ops.len()
+    }
+
+    /// Lower a full-precision `Conv2d` layer (weight, optional bias, spec).
+    ///
+    /// # Errors
+    ///
+    /// Propagates malformed-tensor errors.
+    pub fn float_conv(&mut self, conv: &scales_nn::layers::Conv2d, src: ValueId) -> Result<ValueId> {
+        use scales_nn::Module as _;
+        let bias = conv.params().get(1).map(scales_autograd::Var::value);
+        let lowered = FloatConv2d::new(conv.weight().value(), bias, conv.spec())?;
+        Ok(self.push(DeployedOp::FloatConv { conv: lowered, src }))
+    }
+
+    /// Lower a trained body convolution of any method.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering errors.
+    pub fn body(&mut self, conv: &scales_core::BodyConv, src: ValueId) -> Result<ValueId> {
+        let lowered = DeployedBodyConv::from_trained(conv)?;
+        Ok(self.push(DeployedOp::Body { conv: Box::new(lowered), src }))
+    }
+
+    /// Append a ReLU.
+    pub fn relu(&mut self, src: ValueId) -> ValueId {
+        self.push(DeployedOp::Relu { src })
+    }
+
+    /// Append a PReLU with the given slope.
+    pub fn prelu(&mut self, slope: f32, src: ValueId) -> ValueId {
+        self.push(DeployedOp::Prelu { slope, src })
+    }
+
+    /// Append an elementwise sum.
+    pub fn add(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.push(DeployedOp::Add { lhs, rhs })
+    }
+
+    /// Append a channel concat (a single operand passes through without a
+    /// copy).
+    pub fn concat(&mut self, srcs: Vec<ValueId>) -> ValueId {
+        if srcs.len() == 1 {
+            return srcs[0];
+        }
+        self.push(DeployedOp::Concat { srcs })
+    }
+
+    /// Append a channel-attention gate.
+    pub fn channel_attention(&mut self, ca: DeployedChannelAttention, src: ValueId) -> ValueId {
+        self.push(DeployedOp::ChannelAttention { ca, src })
+    }
+
+    /// Append the tail upsample (identity at ×1).
+    pub fn pixel_shuffle(&mut self, factor: usize, src: ValueId) -> ValueId {
+        if factor == 1 {
+            return src;
+        }
+        self.push(DeployedOp::PixelShuffle { factor, src })
+    }
+
+    /// Append the bicubic FP global skip.
+    pub fn bicubic_up(&mut self, scale: usize, src: ValueId) -> ValueId {
+        self.push(DeployedOp::BicubicUp { scale, src })
+    }
+
+    /// Seal the graph with its output value.
+    #[must_use]
+    pub fn finish(self, output: ValueId) -> DeployedNetwork {
+        let mut last_use = vec![usize::MAX; self.ops.len() + 1];
+        for (i, op) in self.ops.iter().enumerate() {
+            for id in op.inputs() {
+                last_use[id] = i;
+            }
+        }
+        DeployedNetwork { ops: self.ops, output, scale: self.scale, name: self.name, last_use }
+    }
+}
+
+/// Lower a trained network behind a `dyn SrNetwork` handle.
+///
+/// # Errors
+///
+/// Returns an error for architectures without a lowering (transformers).
+pub fn lower(net: &dyn SrNetwork) -> Result<DeployedNetwork> {
+    net.lower()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::SrConfig;
+    use crate::{edsr, rcan, rdn, srresnet};
+    use scales_autograd::Var;
+    use scales_core::Method;
+
+    fn probe(c: usize, h: usize, w: usize) -> Tensor {
+        Tensor::from_vec(
+            (0..c * h * w).map(|i| ((i as f32) * 0.11).sin() * 0.4 + 0.5).collect(),
+            &[1, c, h, w],
+        )
+        .unwrap()
+    }
+
+    fn assert_equiv(net: &dyn SrNetwork, input: &Tensor, label: &str) {
+        let deployed = net.lower().unwrap();
+        let reference = net.forward(&Var::new(input.clone())).unwrap().value();
+        let fast = deployed.forward(input).unwrap();
+        assert_eq!(fast.shape(), reference.shape(), "{label}");
+        let mut worst = 0.0f32;
+        for (a, b) in fast.data().iter().zip(reference.data().iter()) {
+            worst = worst.max((a - b).abs());
+        }
+        assert!(worst < 1e-4, "{label}: worst |err| = {worst}");
+    }
+
+    #[test]
+    fn lowered_srresnet_matches_training_path() {
+        let x = probe(3, 8, 8);
+        for m in [Method::FullPrecision, Method::E2fif, Method::scales()] {
+            let net =
+                srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method: m, seed: 11 }).unwrap();
+            assert_equiv(&net, &x, &format!("SRResNet/{m}"));
+        }
+    }
+
+    #[test]
+    fn lowered_edsr_matches_training_path() {
+        let x = probe(3, 8, 8);
+        let net =
+            edsr(SrConfig { channels: 8, blocks: 2, scale: 2, method: Method::scales(), seed: 12 })
+                .unwrap();
+        assert_equiv(&net, &x, "EDSR/SCALES");
+    }
+
+    #[test]
+    fn lowered_rdn_matches_training_path() {
+        let x = probe(3, 8, 8);
+        for m in [Method::FullPrecision, Method::scales()] {
+            let net = rdn(SrConfig { channels: 8, blocks: 2, scale: 2, method: m, seed: 13 }).unwrap();
+            assert_equiv(&net, &x, &format!("RDN/{m}"));
+        }
+    }
+
+    #[test]
+    fn lowered_rcan_matches_training_path() {
+        let x = probe(3, 8, 8);
+        for m in [Method::FullPrecision, Method::Btm, Method::scales()] {
+            let net = rcan(SrConfig { channels: 8, blocks: 1, scale: 2, method: m, seed: 14 }).unwrap();
+            assert_equiv(&net, &x, &format!("RCAN/{m}"));
+        }
+    }
+
+    #[test]
+    fn lowered_network_counts_packed_layers() {
+        let net =
+            srresnet(SrConfig { channels: 8, blocks: 2, scale: 2, method: Method::scales(), seed: 15 })
+                .unwrap();
+        let deployed = net.lower().unwrap();
+        // 2 blocks × 2 convs + body-end conv, all binary.
+        assert_eq!(deployed.packed_layers(), 5);
+        assert_eq!(deployed.scale(), 2);
+        assert_eq!(deployed.name(), "SRResNet");
+    }
+
+    #[test]
+    fn fp_network_has_no_packed_layers() {
+        let net = srresnet(SrConfig {
+            channels: 8,
+            blocks: 1,
+            scale: 2,
+            method: Method::FullPrecision,
+            seed: 16,
+        })
+        .unwrap();
+        assert_eq!(net.lower().unwrap().packed_layers(), 0);
+    }
+
+    #[test]
+    fn deployed_super_resolve_roundtrip() {
+        let net =
+            srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method: Method::scales(), seed: 17 })
+                .unwrap();
+        let deployed = net.lower().unwrap();
+        let img = Image::zeros(8, 8);
+        let sr = deployed.super_resolve(&img).unwrap();
+        assert_eq!((sr.height(), sr.width()), (16, 16));
+    }
+
+    #[test]
+    fn deployed_forward_handles_batches() {
+        let net =
+            srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method: Method::scales(), seed: 18 })
+                .unwrap();
+        let deployed = net.lower().unwrap();
+        let one = probe(3, 6, 6);
+        let mut batch_data = one.data().to_vec();
+        batch_data.extend(one.data().iter().map(|v| 1.0 - v));
+        let batch = Tensor::from_vec(batch_data, &[2, 3, 6, 6]).unwrap();
+        let y = deployed.forward(&batch).unwrap();
+        assert_eq!(y.shape(), &[2, 3, 12, 12]);
+        // First batch entry must match the single-image forward exactly
+        // (all ops are batch-local for this config... except the channel
+        // re-scaling GAP, which is per-image, so equality holds).
+        let y1 = deployed.forward(&one).unwrap();
+        for (a, b) in y.data()[..y1.len()].iter().zip(y1.data().iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transformer_lowering_reports_unsupported() {
+        let net = crate::swinir(SrConfig {
+            channels: 8,
+            blocks: 1,
+            scale: 2,
+            method: Method::FullPrecision,
+            seed: 19,
+        })
+        .unwrap();
+        assert!(net.lower().is_err());
+    }
+}

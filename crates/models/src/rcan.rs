@@ -121,6 +121,43 @@ impl SrNetwork for Rcan {
         self.config.scale
     }
 
+    fn lower(&self) -> Result<crate::deploy::DeployedNetwork> {
+        use crate::deploy::{DeployedChannelAttention, DeployedNetworkBuilder};
+        use scales_core::FloatConv2d;
+        let lower_1x1 = |conv: &scales_nn::layers::Conv2d| -> Result<FloatConv2d> {
+            let bias = conv.params().get(1).map(scales_autograd::Var::value);
+            FloatConv2d::new(conv.weight().value(), bias, conv.spec())
+        };
+        let mut b = DeployedNetworkBuilder::new("RCAN", self.config.scale);
+        let input = b.input();
+        let shallow = b.float_conv(self.head.conv(), input)?;
+        let mut x = shallow;
+        for block in &self.blocks {
+            let y = if block.binary {
+                let mid = b.body(&block.conv1, x)?;
+                b.body(&block.conv2, mid)?
+            } else {
+                let mid = b.body(&block.conv1, x)?;
+                let mid = b.relu(mid);
+                b.body(&block.conv2, mid)?
+            };
+            let ca = DeployedChannelAttention::new(
+                lower_1x1(block.ca.down())?,
+                lower_1x1(block.ca.up())?,
+            );
+            let gated = b.channel_attention(ca, y);
+            // Binary body convs already carry identity skips.
+            x = if block.binary { gated } else { b.add(gated, x) };
+        }
+        let end = b.body(&self.group_end, x)?;
+        let deep = b.add(end, shallow);
+        let tail = b.float_conv(self.tail.conv(), deep)?;
+        let up = b.pixel_shuffle(self.tail.factor(), tail);
+        let skip = b.bicubic_up(self.config.scale, input);
+        let out = b.add(up, skip);
+        Ok(b.finish(out))
+    }
+
     fn config(&self) -> SrConfig {
         self.config
     }

@@ -131,6 +131,35 @@ impl SrNetwork for Rdn {
         self.config.scale
     }
 
+    fn lower(&self) -> Result<crate::deploy::DeployedNetwork> {
+        use crate::deploy::DeployedNetworkBuilder;
+        let mut b = DeployedNetworkBuilder::new("RDN", self.config.scale);
+        let input = b.input();
+        let shallow = b.float_conv(self.head.conv(), input)?;
+        let mut x = shallow;
+        let mut block_outs = Vec::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            let mut features = vec![x];
+            for conv in &block.convs {
+                let cat = b.concat(features.clone());
+                let y = b.body(conv, cat)?;
+                features.push(b.relu(y));
+            }
+            let all = b.concat(features);
+            let fused = b.float_conv(&block.fuse, all)?;
+            x = b.add(fused, x);
+            block_outs.push(x);
+        }
+        let cat = b.concat(block_outs);
+        let fused = b.float_conv(&self.global_fuse, cat)?;
+        let deep = b.add(fused, shallow);
+        let tail = b.float_conv(self.tail.conv(), deep)?;
+        let up = b.pixel_shuffle(self.tail.factor(), tail);
+        let skip = b.bicubic_up(self.config.scale, input);
+        let out = b.add(up, skip);
+        Ok(b.finish(out))
+    }
+
     fn config(&self) -> SrConfig {
         self.config
     }

@@ -197,6 +197,39 @@ impl SrNetwork for ResidualSr {
         self.config.scale
     }
 
+    fn lower(&self) -> Result<crate::deploy::DeployedNetwork> {
+        use crate::deploy::DeployedNetworkBuilder;
+        let mut b = DeployedNetworkBuilder::new(self.name, self.config.scale);
+        let input = b.input();
+        let shallow = b.float_conv(self.head.conv(), input)?;
+        let mut x = shallow;
+        for block in &self.blocks {
+            if block.binary {
+                // Binary blocks: two self-skipping convs, no activation.
+                let y = b.body(&block.conv1, x)?;
+                x = b.body(&block.conv2, y)?;
+            } else {
+                let mut y = b.body(&block.conv1, x)?;
+                y = match (block.style, &block.prelu) {
+                    (Style::Srresnet, Some(p)) => {
+                        let slope = p.params()[0].value().data()[0];
+                        b.prelu(slope, y)
+                    }
+                    _ => b.relu(y),
+                };
+                y = b.body(&block.conv2, y)?;
+                x = b.add(y, x);
+            }
+        }
+        let deep = b.body(&self.body_end, x)?;
+        let fused = b.add(deep, shallow); // global residual (Fig. 2)
+        let tail = b.float_conv(self.tail.conv(), fused)?;
+        let up = b.pixel_shuffle(self.tail.factor(), tail);
+        let skip = b.bicubic_up(self.config.scale, input);
+        let out = b.add(up, skip);
+        Ok(b.finish(out))
+    }
+
     fn config(&self) -> SrConfig {
         self.config
     }

@@ -130,7 +130,7 @@ impl HalvingSchedule {
     /// Learning rate at a given step.
     #[must_use]
     pub fn lr_at(&self, step: u64) -> f32 {
-        let halvings = if self.halve_every == 0 { 0 } else { step / self.halve_every };
+        let halvings = step.checked_div(self.halve_every).unwrap_or(0);
         self.initial * 0.5_f32.powi(halvings as i32)
     }
 }

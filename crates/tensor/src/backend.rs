@@ -1,0 +1,409 @@
+//! Kernel-dispatch backend: every hot loop in the workspace (GEMM, im2col
+//! convolution batches, large elementwise reductions, and the packed
+//! XNOR-popcount channel loops in `scales-binary`) routes through the
+//! [`Kernel`] selected here.
+//!
+//! Two kernels ship:
+//!
+//! * [`ScalarKernel`] — the single-threaded reference; byte-for-byte the
+//!   seed semantics.
+//! * [`ParallelKernel`] — splits row-blocks across `std::thread::scope`
+//!   workers. Each worker runs the *same* inner loop over a disjoint slice
+//!   of the output, so results are bit-identical to the scalar kernel
+//!   regardless of thread count.
+//!
+//! Selection is layered:
+//!
+//! 1. compile-time default — `Backend::Scalar`, or `Backend::Parallel` when
+//!    the crate's `parallel` feature is enabled;
+//! 2. process environment — `SCALES_BACKEND=scalar|parallel` overrides the
+//!    compiled default at first use;
+//! 3. runtime — [`set_backend`] overrides both (tests and benches use this
+//!    to compare kernels in one process).
+//!
+//! ```
+//! use scales_tensor::backend::{self, Backend};
+//!
+//! let prev = backend::active();
+//! backend::set_backend(Backend::Parallel);
+//! assert_eq!(backend::active(), Backend::Parallel);
+//! backend::set_backend(prev);
+//! ```
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which kernel implementation executes the routed hot loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Single-threaded reference loops.
+    Scalar,
+    /// Row-blocked loops dispatched over `std::thread::scope` workers.
+    Parallel,
+}
+
+impl Backend {
+    /// The kernel implementing this backend.
+    #[must_use]
+    pub fn kernel(self) -> &'static dyn Kernel {
+        match self {
+            Backend::Scalar => &ScalarKernel,
+            Backend::Parallel => &ParallelKernel,
+        }
+    }
+
+    /// Stable display name (`"scalar"` / `"parallel"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Parallel => "parallel",
+        }
+    }
+}
+
+const BACKEND_UNSET: u8 = 0;
+const BACKEND_SCALAR: u8 = 1;
+const BACKEND_PARALLEL: u8 = 2;
+
+static ACTIVE: AtomicU8 = AtomicU8::new(BACKEND_UNSET);
+
+fn compiled_default() -> Backend {
+    if cfg!(feature = "parallel") {
+        Backend::Parallel
+    } else {
+        Backend::Scalar
+    }
+}
+
+fn initial_backend() -> Backend {
+    match std::env::var("SCALES_BACKEND").as_deref() {
+        Ok("scalar") => Backend::Scalar,
+        Ok("parallel") => Backend::Parallel,
+        _ => compiled_default(),
+    }
+}
+
+/// The currently active backend.
+#[must_use]
+pub fn active() -> Backend {
+    match ACTIVE.load(Ordering::Relaxed) {
+        BACKEND_SCALAR => Backend::Scalar,
+        BACKEND_PARALLEL => Backend::Parallel,
+        _ => {
+            let b = initial_backend();
+            set_backend(b);
+            b
+        }
+    }
+}
+
+/// Override the active backend for the whole process.
+pub fn set_backend(backend: Backend) {
+    let v = match backend {
+        Backend::Scalar => BACKEND_SCALAR,
+        Backend::Parallel => BACKEND_PARALLEL,
+    };
+    ACTIVE.store(v, Ordering::Relaxed);
+}
+
+/// The kernel of the active backend.
+#[must_use]
+pub fn kernel() -> &'static dyn Kernel {
+    active().kernel()
+}
+
+/// Run `f` with the given backend active, restoring the previous backend
+/// afterwards (including on panic). Test/bench helper.
+pub fn with_backend<T>(backend: Backend, f: impl FnOnce() -> T) -> T {
+    struct Restore(Backend);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_backend(self.0);
+        }
+    }
+    let _restore = Restore(active());
+    set_backend(backend);
+    f()
+}
+
+/// Work below this many f32 ops stays single-threaded even on the parallel
+/// kernel — thread-scope setup would dominate.
+const PARALLEL_FLOP_THRESHOLD: usize = 1 << 15;
+
+/// A compute kernel the tensor, convolution and binary hot loops dispatch
+/// to. Implementations must produce identical numerical results; they may
+/// only differ in scheduling.
+pub trait Kernel: Send + Sync {
+    /// Kernel display name.
+    fn name(&self) -> &'static str;
+
+    /// Raw GEMM `c[m×n] += a[m×k] · b[k×n]` over flat row-major slices.
+    fn gemm(&self, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize);
+
+    /// Split `data` into consecutive row-chunks (`row_len` elements per
+    /// row) and invoke `f(first_row, chunk)` for each; chunks are disjoint,
+    /// so the parallel kernel may run them concurrently. `work_per_row` is
+    /// a rough op count used to decide whether threading pays off.
+    /// `data.len()` must be a multiple of `row_len`.
+    fn for_each_row_chunk(
+        &self,
+        data: &mut [f32],
+        row_len: usize,
+        work_per_row: usize,
+        f: &(dyn Fn(usize, &mut [f32]) + Sync),
+    );
+
+    /// Sum of a flat slice (the elementwise-reduction entry point).
+    ///
+    /// Both kernels reduce fixed-size blocks in index order (see
+    /// [`SUM_BLOCK`]), so the result is identical across backends and core
+    /// counts.
+    fn sum(&self, data: &[f32]) -> f32 {
+        sum_block_serial(data)
+    }
+}
+
+/// Block size of the deterministic blocked sum: partial sums are taken per
+/// `SUM_BLOCK` elements and reduced in block order, so scalar and parallel
+/// kernels agree bit-for-bit regardless of thread count. Slices at most
+/// one block long reduce to a plain sequential sum.
+pub const SUM_BLOCK: usize = 4096;
+
+fn sum_block_serial(data: &[f32]) -> f32 {
+    if data.len() <= SUM_BLOCK {
+        return data.iter().sum();
+    }
+    data.chunks(SUM_BLOCK).map(|c| c.iter().sum::<f32>()).sum()
+}
+
+/// Serial GEMM building block for callers already inside a parallel
+/// region (nesting thread scopes would oversubscribe the machine).
+pub fn gemm_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
+    gemm_rows(a, b, c, 0, m, k, n);
+}
+
+/// Reference single-threaded kernel (exact seed semantics).
+pub struct ScalarKernel;
+
+/// Shared inner GEMM row block: ikj order with zero-skip, identical across
+/// kernels so backends agree bit-for-bit.
+fn gemm_rows(a: &[f32], b: &[f32], c: &mut [f32], first_row: usize, rows: usize, k: usize, n: usize) {
+    for i in 0..rows {
+        let a_row = &a[(first_row + i) * k..(first_row + i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+impl Kernel for ScalarKernel {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn gemm(&self, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
+        gemm_rows(a, b, c, 0, m, k, n);
+    }
+
+    fn for_each_row_chunk(
+        &self,
+        data: &mut [f32],
+        row_len: usize,
+        _work_per_row: usize,
+        f: &(dyn Fn(usize, &mut [f32]) + Sync),
+    ) {
+        if row_len == 0 || data.is_empty() {
+            return;
+        }
+        debug_assert_eq!(data.len() % row_len, 0, "data must be whole rows");
+        f(0, data);
+    }
+}
+
+/// Number of workers worth spawning for `chunks` independent chunks.
+fn worker_count(chunks: usize) -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from).min(chunks).max(1)
+}
+
+/// Blocked multi-threaded kernel.
+pub struct ParallelKernel;
+
+impl Kernel for ParallelKernel {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn gemm(&self, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
+        let workers = worker_count(m);
+        if workers <= 1 || m * k * n < PARALLEL_FLOP_THRESHOLD {
+            gemm_rows(a, b, c, 0, m, k, n);
+            return;
+        }
+        // Split output rows into one block per worker; each worker owns a
+        // disjoint &mut slice of c, so no synchronisation is needed.
+        let rows_per = m.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let mut rest = &mut c[..m * n];
+            let mut row = 0;
+            while row < m {
+                let take = rows_per.min(m - row);
+                let (chunk, tail) = rest.split_at_mut(take * n);
+                rest = tail;
+                let first = row;
+                scope.spawn(move || gemm_rows(a, b, chunk, first, take, k, n));
+                row += take;
+            }
+        });
+    }
+
+    fn for_each_row_chunk(
+        &self,
+        data: &mut [f32],
+        row_len: usize,
+        work_per_row: usize,
+        f: &(dyn Fn(usize, &mut [f32]) + Sync),
+    ) {
+        if row_len == 0 || data.is_empty() {
+            return;
+        }
+        debug_assert_eq!(data.len() % row_len, 0, "data must be whole rows");
+        let rows = data.len() / row_len;
+        let workers = worker_count(rows);
+        if workers <= 1 || rows * work_per_row < PARALLEL_FLOP_THRESHOLD {
+            f(0, data);
+            return;
+        }
+        let rows_per = rows.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let mut rest = data;
+            let mut row = 0;
+            while row < rows {
+                let take = rows_per.min(rows - row);
+                let (chunk, tail) = rest.split_at_mut(take * row_len);
+                rest = tail;
+                let first = row;
+                scope.spawn(move || f(first, chunk));
+                row += take;
+            }
+        });
+    }
+
+    fn sum(&self, data: &[f32]) -> f32 {
+        let blocks = data.len().div_ceil(SUM_BLOCK);
+        let workers = worker_count(blocks);
+        if workers <= 1 || data.len() < PARALLEL_FLOP_THRESHOLD {
+            return sum_block_serial(data);
+        }
+        // Same fixed-size block partials as the serial path, computed
+        // concurrently and reduced in block order — bit-identical to
+        // ScalarKernel::sum on any core count.
+        let mut partials = vec![0.0f32; blocks];
+        std::thread::scope(|scope| {
+            let blocks_per = blocks.div_ceil(workers);
+            for (w, out) in partials.chunks_mut(blocks_per).enumerate() {
+                let start = w * blocks_per * SUM_BLOCK;
+                let slice = &data[start..(start + out.len() * SUM_BLOCK).min(data.len())];
+                scope.spawn(move || {
+                    for (o, c) in out.iter_mut().zip(slice.chunks(SUM_BLOCK)) {
+                        *o = c.iter().sum();
+                    }
+                });
+            }
+        });
+        partials.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n: usize, seed: f32) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32 + seed) * 0.37).sin()).collect()
+    }
+
+    #[test]
+    fn kernels_agree_on_gemm() {
+        let (m, k, n) = (37, 29, 41);
+        let a = filled(m * k, 1.0);
+        let b = filled(k * n, 2.0);
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        ScalarKernel.gemm(&a, &b, &mut c1, m, k, n);
+        ParallelKernel.gemm(&a, &b, &mut c2, m, k, n);
+        assert_eq!(c1, c2, "parallel gemm must be bit-identical");
+    }
+
+    #[test]
+    fn kernels_agree_on_large_gemm() {
+        // Above the threading threshold.
+        let (m, k, n) = (64, 64, 64);
+        let a = filled(m * k, 3.0);
+        let b = filled(k * n, 4.0);
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        ScalarKernel.gemm(&a, &b, &mut c1, m, k, n);
+        ParallelKernel.gemm(&a, &b, &mut c2, m, k, n);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn row_chunks_cover_every_row_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let rows = 63;
+        let row_len = 17;
+        let mut data = vec![0.0f32; rows * row_len];
+        let visits = AtomicUsize::new(0);
+        ParallelKernel.for_each_row_chunk(&mut data, row_len, 1 << 20, &|first, chunk| {
+            assert_eq!(chunk.len() % row_len, 0);
+            for (r, row) in chunk.chunks_mut(row_len).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (first + r) as f32;
+                }
+            }
+            visits.fetch_add(chunk.len() / row_len, Ordering::Relaxed);
+        });
+        assert_eq!(visits.load(Ordering::Relaxed), rows);
+        for r in 0..rows {
+            assert!(data[r * row_len..(r + 1) * row_len].iter().all(|&v| v == r as f32));
+        }
+    }
+
+    #[test]
+    fn kernels_agree_bitwise_on_sum() {
+        for n in [100, SUM_BLOCK, SUM_BLOCK + 17, 100_000] {
+            let data = filled(n, 5.0);
+            assert_eq!(ScalarKernel.sum(&data), ParallelKernel.sum(&data), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn blocked_sum_stays_close_to_sequential() {
+        let data = filled(100_000, 5.0);
+        let sequential: f32 = data.iter().sum();
+        assert!((ScalarKernel.sum(&data) - sequential).abs() < 1e-2);
+    }
+
+    #[test]
+    fn backend_override_round_trip() {
+        let prev = active();
+        with_backend(Backend::Parallel, || {
+            assert_eq!(active(), Backend::Parallel);
+            assert_eq!(kernel().name(), "parallel");
+        });
+        with_backend(Backend::Scalar, || {
+            assert_eq!(active(), Backend::Scalar);
+        });
+        assert_eq!(active(), prev);
+    }
+}

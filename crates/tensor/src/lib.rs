@@ -10,6 +10,11 @@
 //! convolution with analytic gradient kernels, pixel (un)shuffle, window
 //! partitioning for Swin-style attention, and global average pooling.
 //!
+//! Hot loops dispatch through the [`backend`] kernel layer: a scalar
+//! reference kernel and a row-blocked multi-threaded kernel with identical
+//! numerics, selected by the `parallel` feature, the `SCALES_BACKEND`
+//! environment variable, or [`backend::set_backend`] at runtime.
+//!
 //! ```
 //! use scales_tensor::{ops, Tensor};
 //!
@@ -22,10 +27,12 @@
 //! # }
 //! ```
 
+pub mod backend;
 pub mod error;
 pub mod ops;
 pub mod shape;
 mod tensor;
 
+pub use backend::{Backend, Kernel};
 pub use error::{Result, TensorError};
 pub use tensor::Tensor;

@@ -138,7 +138,10 @@ pub(crate) fn col2im(
     }
 }
 
-fn conv_dims(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Result<(usize, usize, usize, usize, usize, usize, usize, usize)> {
+/// `(n, ic, h, w, oc, kh, oh, ow)` of a validated convolution.
+type ConvDims = (usize, usize, usize, usize, usize, usize, usize, usize);
+
+fn conv_dims(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Result<ConvDims> {
     if input.rank() != 4 {
         return Err(TensorError::RankMismatch { expected: 4, actual: input.rank(), op: "conv2d input" });
     }
@@ -170,17 +173,30 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Result<Tenso
     let (n, ic, h, w, oc, kh, oh, ow) = conv_dims(input, weight, spec)?;
     let kw = weight.shape()[3];
     let krows = ic * kh * kw;
-    let mut col = vec![0.0f32; krows * oh * ow];
     let mut out = Tensor::zeros(&[n, oc, oh, ow]);
-    for b in 0..n {
-        im2col(&input.data()[b * ic * h * w..(b + 1) * ic * h * w], ic, h, w, kh, kw, spec, oh, ow, &mut col);
-        gemm(
-            weight.data(),
-            &col,
-            &mut out.data_mut()[b * oc * oh * ow..(b + 1) * oc * oh * ow],
-            oc,
-            krows,
-            oh * ow,
+    let (ind, wd) = (input.data(), weight.data());
+    if n == 1 {
+        // Single image: let the backend parallelise the GEMM itself over
+        // output-channel rows.
+        let mut col = vec![0.0f32; krows * oh * ow];
+        im2col(ind, ic, h, w, kh, kw, spec, oh, ow, &mut col);
+        gemm(wd, &col, out.data_mut(), oc, krows, oh * ow);
+    } else {
+        // Batch: one image per chunk row, each worker owning its own
+        // im2col buffer and running the serial GEMM.
+        let work = krows * oh * ow * (oc + 1);
+        crate::backend::kernel().for_each_row_chunk(
+            out.data_mut(),
+            oc * oh * ow,
+            work,
+            &|first, chunk| {
+                let mut col = vec![0.0f32; krows * oh * ow];
+                for (j, o) in chunk.chunks_mut(oc * oh * ow).enumerate() {
+                    let b = first + j;
+                    im2col(&ind[b * ic * h * w..(b + 1) * ic * h * w], ic, h, w, kh, kw, spec, oh, ow, &mut col);
+                    crate::backend::gemm_serial(wd, &col, o, oc, krows, oh * ow);
+                }
+            },
         );
     }
     Ok(out)

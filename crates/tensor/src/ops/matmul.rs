@@ -1,33 +1,25 @@
 //! Matrix multiplication kernels.
 //!
-//! Plain `f32` GEMM in ikj loop order. No SIMD intrinsics are used; the
+//! `f32` GEMM in ikj loop order, dispatched through the active
+//! [`backend`](crate::backend) kernel: the scalar backend runs the loop
+//! single-threaded, the parallel backend splits output-row blocks across
+//! threads (bit-identical results). No SIMD intrinsics are used; the
 //! compiler autovectorises the inner loop well enough for the model sizes in
 //! this reproduction.
 
+use crate::backend;
 use crate::error::{Result, TensorError};
 use crate::tensor::Tensor;
 
-/// Raw GEMM: `c[m×n] += a[m×k] · b[k×n]` over flat slices.
+/// Raw GEMM: `c[m×n] += a[m×k] · b[k×n]` over flat slices, on the active
+/// backend kernel.
 ///
 /// # Panics
 ///
 /// Panics (in debug builds) if the slices are shorter than the given
 /// dimensions imply.
 pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (p, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                *cv += av * bv;
-            }
-        }
-    }
+    backend::kernel().gemm(a, b, c, m, k, n);
 }
 
 /// Matrix product of two rank-2 tensors: `[m,k] × [k,n] → [m,n]`.
@@ -82,16 +74,22 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[ba, m, n]);
-    for i in 0..ba {
-        gemm(
-            &a.data()[i * m * k..(i + 1) * m * k],
-            &b.data()[i * k * n..(i + 1) * k * n],
-            &mut out.data_mut()[i * m * n..(i + 1) * m * n],
-            m,
-            k,
-            n,
-        );
-    }
+    let (ad, bd) = (a.data(), b.data());
+    // One batch entry per chunk row: entries run concurrently on the
+    // parallel backend, each with the serial inner GEMM.
+    backend::kernel().for_each_row_chunk(out.data_mut(), m * n, m * k * n, &|first, chunk| {
+        for (j, c) in chunk.chunks_mut(m * n).enumerate() {
+            let i = first + j;
+            backend::gemm_serial(
+                &ad[i * m * k..(i + 1) * m * k],
+                &bd[i * k * n..(i + 1) * k * n],
+                c,
+                m,
+                k,
+                n,
+            );
+        }
+    });
     Ok(out)
 }
 
@@ -112,6 +110,19 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[2, 3]);
         assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn scalar_and_parallel_kernels_agree_via_public_gemm() {
+        use crate::backend::{Kernel as _, ParallelKernel, ScalarKernel};
+        let (m, k, n) = (48, 33, 52);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.13).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.29).cos()).collect();
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        ScalarKernel.gemm(&a, &b, &mut c1, m, k, n);
+        ParallelKernel.gemm(&a, &b, &mut c2, m, k, n);
+        assert_eq!(c1, c2);
     }
 
     #[test]

@@ -13,3 +13,14 @@ pub use conv::{
 };
 pub use image::{global_avg_pool, pixel_shuffle, pixel_unshuffle, window_merge, window_partition};
 pub use matmul::{batched_matmul, gemm, matmul};
+
+/// The logistic function `1 / (1 + e^{-x})`.
+///
+/// The single scalar sigmoid shared by every crate in the workspace (the
+/// autograd activation, the deployment path's re-scaling branches and the
+/// benches), so all paths agree bit-for-bit.
+#[inline]
+#[must_use]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}

@@ -215,10 +215,11 @@ impl Tensor {
         Ok(out)
     }
 
-    /// Sum of all elements.
+    /// Sum of all elements (routed through the active backend kernel's
+    /// reduction, which chunks large tensors across threads).
     #[must_use]
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        crate::backend::kernel().sum(&self.data)
     }
 
     /// Arithmetic mean of all elements (0 for an empty tensor).

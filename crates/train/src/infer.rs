@@ -1,0 +1,263 @@
+//! Serving-path inference: batched forward over image sets and tiled
+//! (split → forward → stitch) super-resolution for images too large to run
+//! in one pass.
+//!
+//! Both entry points come in two flavours — over the training-path
+//! [`SrNetwork`] and over the packed [`DeployedNetwork`] — sharing one
+//! implementation through a forward closure.
+//!
+//! ## Tiling equivalence
+//!
+//! [`super_resolve_tiled`] reproduces the full-image output **exactly**
+//! when (a) `overlap` is at least the network's total receptive-field
+//! radius (sum of conv radii along the deepest path) and (b) the network
+//! contains no whole-image operators. Global operators — the SCALES
+//! channel-rescale GAP, BTM's per-image threshold, E2FIF's batch-stats BN —
+//! see per-tile statistics instead, which is the standard trade-off of
+//! tiled SR serving; the local-only configurations (FP, BAM,
+//! `ScalesComponents::lsf_spatial()`) stitch bit-exactly.
+
+use scales_autograd::Var;
+use scales_data::Image;
+use scales_models::{DeployedNetwork, SrNetwork};
+use scales_tensor::{Result, Tensor, TensorError};
+
+/// Tile geometry for [`super_resolve_tiled`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileSpec {
+    /// Tile side length in LR pixels (the stride of the tiling).
+    pub tile: usize,
+    /// Context border around each tile, in LR pixels. Must cover the
+    /// network's receptive-field radius for exact stitching.
+    pub overlap: usize,
+}
+
+impl TileSpec {
+    /// Build a spec, validating the tile size.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a zero tile.
+    pub fn new(tile: usize, overlap: usize) -> Result<Self> {
+        if tile == 0 {
+            return Err(TensorError::InvalidArgument("tile size must be positive".into()));
+        }
+        Ok(Self { tile, overlap })
+    }
+}
+
+fn training_forward(net: &dyn SrNetwork) -> impl Fn(&Tensor) -> Result<Tensor> + '_ {
+    |t| Ok(net.forward(&Var::new(t.clone()))?.value())
+}
+
+/// Stack same-sized images into `[N, C, H, W]`, run one forward, unstack.
+fn batch_with(
+    forward: impl Fn(&Tensor) -> Result<Tensor>,
+    images: &[Image],
+) -> Result<Vec<Image>> {
+    let first = images.first().ok_or_else(|| {
+        TensorError::InvalidArgument("batched inference needs at least one image".into())
+    })?;
+    let (c, h, w) = (first.channels(), first.height(), first.width());
+    let mut data = Vec::with_capacity(images.len() * c * h * w);
+    for img in images {
+        if img.channels() != c || img.height() != h || img.width() != w {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![c, h, w],
+                rhs: vec![img.channels(), img.height(), img.width()],
+                op: "batched inference sizes",
+            });
+        }
+        data.extend_from_slice(img.tensor().data());
+    }
+    let batch = Tensor::from_vec(data, &[images.len(), c, h, w])?;
+    let y = forward(&batch)?;
+    let (oc, oh, ow) = (y.shape()[1], y.shape()[2], y.shape()[3]);
+    (0..images.len())
+        .map(|b| {
+            let t = y.slice_axis(0, b, 1)?.reshape(&[oc, oh, ow])?;
+            Image::from_tensor(t)
+        })
+        .collect()
+}
+
+/// Super-resolve a set of same-sized images in one batched forward pass
+/// through the training-path network.
+///
+/// # Errors
+///
+/// Returns an error for an empty set or mismatched image sizes.
+pub fn super_resolve_batch(net: &dyn SrNetwork, images: &[Image]) -> Result<Vec<Image>> {
+    batch_with(training_forward(net), images)
+}
+
+/// Super-resolve a set of same-sized images in one batched forward pass
+/// through a deployed network.
+///
+/// # Errors
+///
+/// Returns an error for an empty set or mismatched image sizes.
+pub fn super_resolve_batch_deployed(net: &DeployedNetwork, images: &[Image]) -> Result<Vec<Image>> {
+    batch_with(|t| net.forward(t), images)
+}
+
+/// Split → forward → stitch implementation shared by both network kinds.
+fn tiled_with(
+    forward: impl Fn(&Tensor) -> Result<Tensor>,
+    scale: usize,
+    lr: &Image,
+    spec: TileSpec,
+) -> Result<Image> {
+    let t = lr.tensor();
+    let (c, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2]);
+    let mut out = Tensor::zeros(&[c, h * scale, w * scale]);
+    let mut y0 = 0;
+    while y0 < h {
+        let y1 = (y0 + spec.tile).min(h);
+        let py0 = y0.saturating_sub(spec.overlap);
+        let py1 = (y1 + spec.overlap).min(h);
+        let mut x0 = 0;
+        while x0 < w {
+            let x1 = (x0 + spec.tile).min(w);
+            let px0 = x0.saturating_sub(spec.overlap);
+            let px1 = (x1 + spec.overlap).min(w);
+            // Crop the padded tile [py0..py1) × [px0..px1).
+            let tile = t.slice_axis(1, py0, py1 - py0)?.slice_axis(2, px0, px1 - px0)?;
+            let tile = tile.reshape(&[1, c, py1 - py0, px1 - px0])?;
+            let sr = forward(&tile)?;
+            let expect = [1, c, (py1 - py0) * scale, (px1 - px0) * scale];
+            if sr.shape() != expect {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: sr.shape().to_vec(),
+                    rhs: expect.to_vec(),
+                    op: "tiled inference output",
+                });
+            }
+            // Keep the center crop corresponding to [y0..y1) × [x0..x1).
+            let (ky, kx) = ((y0 - py0) * scale, (x0 - px0) * scale);
+            let (kh, kw) = ((y1 - y0) * scale, (x1 - x0) * scale);
+            let srw = (px1 - px0) * scale;
+            for ci in 0..c {
+                for ry in 0..kh {
+                    let src_row = (ci * (py1 - py0) * scale + ky + ry) * srw + kx;
+                    let dst_row = (ci * h * scale + y0 * scale + ry) * w * scale + x0 * scale;
+                    out.data_mut()[dst_row..dst_row + kw]
+                        .copy_from_slice(&sr.data()[src_row..src_row + kw]);
+                }
+            }
+            x0 = x1;
+        }
+        y0 = y1;
+    }
+    Image::from_tensor(out)
+}
+
+/// Tiled super-resolution through the training-path network.
+///
+/// # Errors
+///
+/// Propagates forward and geometry errors.
+pub fn super_resolve_tiled(net: &dyn SrNetwork, lr: &Image, spec: TileSpec) -> Result<Image> {
+    tiled_with(training_forward(net), net.scale(), lr, spec)
+}
+
+/// Tiled super-resolution through a deployed network.
+///
+/// # Errors
+///
+/// Propagates forward and geometry errors.
+pub fn super_resolve_tiled_deployed(
+    net: &DeployedNetwork,
+    lr: &Image,
+    spec: TileSpec,
+) -> Result<Image> {
+    tiled_with(|t| net.forward(t), net.scale(), lr, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scales_core::{Method, ScalesComponents};
+    use scales_models::{srresnet, SrConfig};
+    use scales_nn::init::rng;
+
+    fn probe_image(h: usize, w: usize) -> Image {
+        scales_data::synth::scene(h, w, scales_data::synth::SceneConfig::default(), &mut rng(41))
+    }
+
+    /// SRResNet-lite with 1 block: total conv radius along the deepest
+    /// path is 5 (head 1 + two body convs 2 + body-end 1 + tail 1), plus 2
+    /// for the bicubic kernel.
+    fn local_net() -> impl SrNetwork {
+        srresnet(SrConfig {
+            channels: 8,
+            blocks: 1,
+            scale: 2,
+            // Local-only components: stitching is exact (module docs).
+            method: Method::Scales(ScalesComponents::lsf_spatial()),
+            seed: 23,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn batch_matches_single_image_forwards() {
+        let net = local_net();
+        let images = vec![probe_image(8, 8), probe_image(8, 8)];
+        let batch = super_resolve_batch(&net, &images).unwrap();
+        for (img, sr) in images.iter().zip(batch.iter()) {
+            let single = net.super_resolve(img).unwrap();
+            assert_eq!((sr.height(), sr.width()), (16, 16));
+            for (a, b) in sr.tensor().data().iter().zip(single.tensor().data().iter()) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rejects_mixed_sizes_and_empty_sets() {
+        let net = local_net();
+        assert!(super_resolve_batch(&net, &[]).is_err());
+        let images = vec![probe_image(8, 8), probe_image(8, 10)];
+        assert!(super_resolve_batch(&net, &images).is_err());
+    }
+
+    #[test]
+    fn tiled_matches_full_image_on_local_network() {
+        let net = local_net();
+        let img = probe_image(16, 16);
+        let full = net.super_resolve(&img).unwrap();
+        let tiled = super_resolve_tiled(&net, &img, TileSpec::new(8, 8).unwrap()).unwrap();
+        assert_eq!((tiled.height(), tiled.width()), (32, 32));
+        for (a, b) in tiled.tensor().data().iter().zip(full.tensor().data().iter()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn tiled_deployed_matches_full_deployed() {
+        let net = local_net();
+        let deployed = net.lower().unwrap();
+        let img = probe_image(20, 12);
+        let full = deployed.super_resolve(&img).unwrap();
+        let tiled =
+            super_resolve_tiled_deployed(&deployed, &img, TileSpec::new(8, 8).unwrap()).unwrap();
+        for (a, b) in tiled.tensor().data().iter().zip(full.tensor().data().iter()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn tiled_handles_non_divisible_sizes() {
+        let net = local_net();
+        let img = probe_image(11, 7);
+        let sr = super_resolve_tiled(&net, &img, TileSpec::new(4, 6).unwrap()).unwrap();
+        assert_eq!((sr.height(), sr.width()), (22, 14));
+    }
+
+    #[test]
+    fn tile_spec_validates() {
+        assert!(TileSpec::new(0, 2).is_err());
+        assert!(TileSpec::new(8, 0).is_ok());
+    }
+}

@@ -9,15 +9,23 @@
 //!   standard Y-channel + shave protocol.
 //! * [`experiment`] — one-call table rows: build (architecture, method,
 //!   scale), train, evaluate on all four benchmarks, account cost.
+//! * [`infer`] — serving-path inference: batched forwards and tiled
+//!   (split → forward → stitch) super-resolution, over both the training
+//!   path and the packed deployment engine.
 //! * [`report`] — paper-style plain-text tables and the
 //!   `target/scales-report/` sink.
 
 pub mod eval;
 pub mod experiment;
+pub mod infer;
 pub mod report;
 pub mod trainer;
 
 pub use eval::{evaluate, evaluate_bicubic, Score};
 pub use experiment::{run_row, Arch, Budget, RowResult};
+pub use infer::{
+    super_resolve_batch, super_resolve_batch_deployed, super_resolve_tiled,
+    super_resolve_tiled_deployed, TileSpec,
+};
 pub use report::{format_score, render_table, report_dir, write_report};
 pub use trainer::{train, TrainConfig, TrainStats};

@@ -1,0 +1,75 @@
+//! Train → lower → packed whole-network inference: the deployment-engine
+//! workflow end to end.
+//!
+//! Trains a small binary SCALES SRResNet for a few steps, lowers the whole
+//! network to a [`DeployedNetwork`] (packed XNOR-popcount body convs, raw
+//! float head/tail/skips), verifies the numerical-equivalence contract
+//! against the training path, then compares serving latency and runs tiled
+//! inference on a larger image.
+//!
+//! ```sh
+//! cargo run --release --example deploy_network
+//! ```
+//!
+//! [`DeployedNetwork`]: scales::models::DeployedNetwork
+
+use scales::core::Method;
+use scales::models::{srresnet, SrConfig, SrNetwork};
+use scales::nn::init::rng;
+use scales::tensor::backend;
+use scales::train::{super_resolve_tiled_deployed, train, TileSpec, TrainConfig};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train the published SCALES method on the lite profile.
+    let config = SrConfig { channels: 16, blocks: 2, scale: 2, method: Method::scales(), seed: 7 };
+    let net = srresnet(config)?;
+    let stats = train(&net, TrainConfig { iters: 30, batch: 2, lr_patch: 8, lr: 2e-3, halve_every: 1_000, seed: 7 })?;
+    println!("trained {} steps: loss {:.4} -> {:.4}", 30, stats.initial_loss, stats.final_loss);
+
+    // 2. Lower the whole network to the packed deployment engine.
+    let deployed = net.lower()?;
+    println!(
+        "lowered {} ({} ops, {} packed binary layers, backend: {})",
+        deployed.name(),
+        deployed.num_ops(),
+        deployed.packed_layers(),
+        backend::active().name(),
+    );
+
+    // 3. Numerical-equivalence contract: deployed == training path.
+    let lr_img =
+        scales::data::synth::scene(24, 24, scales::data::synth::SceneConfig::default(), &mut rng(3));
+    let reference = net.super_resolve(&lr_img)?;
+    let fast = deployed.super_resolve(&lr_img)?;
+    let worst = reference
+        .tensor()
+        .data()
+        .iter()
+        .zip(fast.tensor().data().iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("equivalence vs training path: worst |err| = {worst:.2e}");
+    assert!(worst < 1e-4, "deployment must match training within 1e-4");
+
+    // 4. Serving latency: training path vs deployed engine.
+    let reps = 5;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let _ = net.super_resolve(&lr_img)?;
+    }
+    let train_time = t0.elapsed();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let _ = deployed.super_resolve(&lr_img)?;
+    }
+    let deploy_time = t0.elapsed();
+    println!("training path: {train_time:>8.2?} / {reps} reps");
+    println!("deployed     : {deploy_time:>8.2?} / {reps} reps");
+
+    // 5. Tiled serving for large inputs: split -> forward -> stitch.
+    let big = scales::data::synth::scene(48, 48, scales::data::synth::SceneConfig::default(), &mut rng(4));
+    let sr = super_resolve_tiled_deployed(&deployed, &big, TileSpec::new(16, 8)?)?;
+    println!("tiled serving: {}x{} -> {}x{}", big.height(), big.width(), sr.height(), sr.width());
+    Ok(())
+}

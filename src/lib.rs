@@ -8,15 +8,39 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`tensor`] | dense f32 tensors, im2col convolution, broadcasting |
+//! | [`tensor`] | dense f32 tensors, im2col convolution, broadcasting, [`tensor::backend`] kernel dispatch (scalar / parallel) |
 //! | [`autograd`] | reverse-mode tape with STE binarization gradients |
 //! | [`nn`] | layers, Adam, losses, init |
 //! | [`binary`] | bit-packed XNOR-popcount kernels, BNN cost model |
-//! | [`core`] | the SCALES method (LSF + spatial/channel re-scaling) and baselines |
-//! | [`models`] | SRResNet/EDSR/RDN/RCAN/SwinIR/HAT zoo + classifier probes |
+//! | [`core`] | the SCALES method (LSF + spatial/channel re-scaling), baselines, per-layer deployment lowering |
+//! | [`models`] | SRResNet/EDSR/RDN/RCAN/SwinIR/HAT zoo + classifier probes + [`models::DeployedNetwork`] whole-network deployment engine |
 //! | [`data`] | synthetic datasets, bicubic resize, image IO |
 //! | [`metrics`] | PSNR/SSIM, activation-variance analysis |
-//! | [`train`] | trainer, evaluator, experiment harness |
+//! | [`train`] | trainer, evaluator, experiment harness, batched/tiled serving ([`train::infer`]) |
+//!
+//! ## Deployment engine
+//!
+//! A trained network lowers whole to the packed binary path — the Table VI
+//! deployment story, end to end:
+//!
+//! ```
+//! use scales::core::Method;
+//! use scales::models::{srresnet, SrConfig, SrNetwork};
+//!
+//! # fn main() -> Result<(), scales::tensor::TensorError> {
+//! let net = srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method: Method::scales(), seed: 1 })?;
+//! let deployed = net.lower()?; // packed XNOR-popcount body convs
+//! let lr = scales::data::Image::zeros(8, 8);
+//! let sr = deployed.super_resolve(&lr)?; // matches net.super_resolve within 1e-4
+//! assert_eq!(sr.height(), 16);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Hot loops dispatch through [`tensor::backend`]: a scalar reference
+//! kernel and a blocked multi-threaded kernel with identical numerics,
+//! selected by the `parallel` cargo feature, `SCALES_BACKEND=scalar|parallel`,
+//! or `tensor::backend::set_backend` at runtime.
 //!
 //! ```
 //! use scales::core::Method;

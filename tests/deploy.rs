@@ -1,0 +1,154 @@
+//! Whole-network deployment equivalence: the packed `DeployedNetwork`
+//! must reproduce the training-path forward for **every** method in the
+//! `Method` registry, across random inputs and seeds, and tiled serving
+//! must reproduce full-image serving.
+
+use proptest::prelude::*;
+use scales::core::{Method, ScalesComponents};
+use scales::models::{srresnet, SrConfig, SrNetwork};
+use scales::nn::init::rng;
+use scales::train::{super_resolve_batch_deployed, super_resolve_tiled_deployed, TileSpec};
+
+/// Every registry row with a CNN body (bicubic has no network to lower).
+fn cnn_method_registry() -> Vec<Method> {
+    vec![
+        Method::FullPrecision,
+        Method::E2fif,
+        Method::Btm,
+        Method::Bam,
+        Method::Bibert,
+        Method::Scales(ScalesComponents::full()),
+        Method::Scales(ScalesComponents::lsf_only()),
+        Method::Scales(ScalesComponents::lsf_channel()),
+        Method::Scales(ScalesComponents::lsf_spatial()),
+    ]
+}
+
+fn probe_image(h: usize, w: usize, seed: u64) -> scales::data::Image {
+    scales::data::synth::scene(
+        h,
+        w,
+        scales::data::synth::SceneConfig::default(),
+        &mut rng(seed),
+    )
+}
+
+fn assert_images_close(a: &scales::data::Image, b: &scales::data::Image, tol: f32, label: &str) {
+    assert_eq!((a.height(), a.width()), (b.height(), b.width()), "{label}");
+    let mut worst = 0.0f32;
+    for (x, y) in a.tensor().data().iter().zip(b.tensor().data().iter()) {
+        worst = worst.max((x - y).abs());
+    }
+    assert!(worst < tol, "{label}: worst |err| = {worst}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The headline contract: lowered inference matches `super_resolve`
+    /// within 1e-4 for every registry method, on random scenes and seeds.
+    #[test]
+    fn deployed_network_matches_training_path_for_every_method(
+        seed in 0u64..10_000,
+        size in 6usize..10,
+    ) {
+        let img = probe_image(size, size, seed);
+        for method in cnn_method_registry() {
+            let net = srresnet(SrConfig {
+                channels: 8,
+                blocks: 1,
+                scale: 2,
+                method,
+                seed: seed ^ 0xA5A5,
+            })
+            .unwrap();
+            let deployed = net.lower().unwrap();
+            let reference = net.super_resolve(&img).unwrap();
+            let fast = deployed.super_resolve(&img).unwrap();
+            let label = format!("method {method}, seed {seed}, size {size}");
+            prop_assert!(reference.height() == fast.height() && reference.width() == fast.width(),
+                "{}: shape mismatch", label);
+            let worst = reference
+                .tensor()
+                .data()
+                .iter()
+                .zip(fast.tensor().data().iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            prop_assert!(worst < 1e-4, "{}: worst |err| = {}", label, worst);
+        }
+    }
+
+    /// Tiled serving stitches to exactly the full-image output on
+    /// local-only networks, for arbitrary (tile, overlap ≥ receptive
+    /// radius) splits and non-divisible image sizes.
+    #[test]
+    fn tiled_serving_matches_full_image(
+        seed in 0u64..10_000,
+        h in 12usize..20,
+        w in 12usize..20,
+        tile in 4usize..9,
+    ) {
+        let net = srresnet(SrConfig {
+            channels: 8,
+            blocks: 1,
+            scale: 2,
+            // Local-only components: exact stitching (see scales::train::infer docs).
+            method: Method::Scales(ScalesComponents::lsf_spatial()),
+            seed: seed ^ 0x5A5A,
+        })
+        .unwrap();
+        let deployed = net.lower().unwrap();
+        let img = probe_image(h, w, seed);
+        let full = deployed.super_resolve(&img).unwrap();
+        // Receptive radius: head 1 + body 2 + body-end 1 + tail 1 + bicubic 2 = 7.
+        let tiled = super_resolve_tiled_deployed(&deployed, &img, TileSpec::new(tile, 7).unwrap()).unwrap();
+        let worst = full
+            .tensor()
+            .data()
+            .iter()
+            .zip(tiled.tensor().data().iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        prop_assert!(worst < 1e-5, "tile {} on {}x{}: worst |err| = {}", tile, h, w, worst);
+    }
+}
+
+#[test]
+fn batched_deployed_serving_matches_per_image() {
+    let net = srresnet(SrConfig {
+        channels: 8,
+        blocks: 1,
+        scale: 2,
+        method: Method::scales(),
+        seed: 404,
+    })
+    .unwrap();
+    let deployed = net.lower().unwrap();
+    let images: Vec<_> = (0..3).map(|i| probe_image(8, 8, 600 + i)).collect();
+    let batched = super_resolve_batch_deployed(&deployed, &images).unwrap();
+    for (img, sr) in images.iter().zip(batched.iter()) {
+        let single = deployed.super_resolve(img).unwrap();
+        assert_images_close(sr, &single, 1e-5, "batched vs single");
+    }
+}
+
+#[test]
+fn deployed_matches_training_on_upscale_x4() {
+    let img = probe_image(6, 6, 9);
+    let net = srresnet(SrConfig {
+        channels: 8,
+        blocks: 1,
+        scale: 4,
+        method: Method::scales(),
+        seed: 90,
+    })
+    .unwrap();
+    let deployed = net.lower().unwrap();
+    assert_images_close(
+        &net.super_resolve(&img).unwrap(),
+        &deployed.super_resolve(&img).unwrap(),
+        1e-4,
+        "x4",
+    );
+}
