@@ -1,11 +1,18 @@
 //! Whole-network deployment latency — the Table VI story extended from a
-//! single conv to an entire SR network, comparing three serving paths on
-//! the same trained SRResNet (64×64 LR input, ×2):
+//! single conv to an entire SR network, comparing serving paths on the
+//! same trained SRResNet (64×64 LR input, ×2) through the unified
+//! `scales-serve` Engine API:
 //!
-//! * training path, scalar backend — the seed's only inference route;
-//! * training path, parallel backend — same math on the blocked
-//!   multi-threaded tensor kernels;
-//! * deployed engine (packed XNOR-popcount body) on each backend.
+//! * training-precision engine, scalar backend — the seed's only
+//!   inference route;
+//! * training-precision engine, parallel backend — same math on the
+//!   blocked multi-threaded tensor kernels;
+//! * deployed-precision engine (packed XNOR-popcount body) on each
+//!   backend.
+//!
+//! Each row is a separate `Engine` carrying its backend by value — the
+//! process-global backend selection is never touched, which is itself the
+//! smoke test for per-engine backend threading.
 //!
 //! Expected shape: deployed ≫ training path (no tape, packed body convs);
 //! the parallel backend beats scalar whenever more than one core is
@@ -15,11 +22,11 @@
 //! cargo bench --bench table7_network_latency
 //! ```
 
-use scales_autograd::Var;
 use scales_core::Method;
-use scales_models::{srresnet, SrConfig, SrNetwork};
-use scales_nn::Module as _;
-use scales_tensor::backend::{self, Backend};
+use scales_data::Image;
+use scales_models::{srresnet, SrConfig};
+use scales_serve::{Engine, Precision, Session};
+use scales_tensor::backend::Backend;
 use scales_tensor::Tensor;
 use std::time::{Duration, Instant};
 
@@ -27,20 +34,21 @@ const SIZE: usize = 64;
 const CHANNELS: usize = 16;
 const BLOCKS: usize = 2;
 
-fn probe_input() -> Tensor {
-    Tensor::from_vec(
+fn probe_input() -> Image {
+    let t = Tensor::from_vec(
         (0..3 * SIZE * SIZE).map(|i| ((i as f32) * 0.071).sin() * 0.4 + 0.5).collect(),
-        &[1, 3, SIZE, SIZE],
+        &[3, SIZE, SIZE],
     )
-    .expect("probe volume")
+    .expect("probe volume");
+    Image::from_tensor(t).expect("probe image")
 }
 
-fn time_forward(reps: usize, mut f: impl FnMut()) -> Duration {
+fn time_serving(reps: usize, session: &Session<'_, '_>, input: &Image) -> Duration {
     // One untimed warm-up call.
-    f();
+    let _ = session.super_resolve(input).expect("serving forward");
     let start = Instant::now();
     for _ in 0..reps {
-        f();
+        let _ = session.super_resolve(input).expect("serving forward");
     }
     start.elapsed() / reps as u32
 }
@@ -53,44 +61,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         method: Method::scales(),
         seed: 77,
     })?;
-    let deployed = net.lower()?;
     let input = probe_input();
     let reps = 5;
 
+    let mut rows = Vec::new();
+    let mut packed_layers = 0;
+    for backend_kind in [Backend::Scalar, Backend::Parallel] {
+        let training = Engine::builder()
+            .model_ref(&net)
+            .precision(Precision::Training)
+            .backend(backend_kind)
+            .build()?;
+        let deployed = Engine::builder()
+            .model_ref(&net)
+            .precision(Precision::Deployed)
+            .backend(backend_kind)
+            .build()?;
+        assert!(deployed.fallback().is_none(), "SRResNet must lower");
+        packed_layers = deployed.lowered().map_or(0, |d| d.packed_layers());
+        let t = time_serving(reps, &training.session(), &input);
+        let d = time_serving(reps, &deployed.session(), &input);
+        rows.push((backend_kind.name(), t, d));
+    }
+
     println!(
-        "whole-network inference latency (SRResNet/SCALES, {CHANNELS} ch x {BLOCKS} blocks, \
-         {SIZE}x{SIZE} LR, x2, {} packed layers, {} cores)",
-        deployed.packed_layers(),
+        "whole-network serving latency via Engine (SRResNet/SCALES, {CHANNELS} ch x {BLOCKS} \
+         blocks, {SIZE}x{SIZE} LR, x2, {packed_layers} packed layers, {} cores)",
         std::thread::available_parallelism().map_or(1, usize::from),
     );
 
-    let mut rows = Vec::new();
-    for backend_kind in [Backend::Scalar, Backend::Parallel] {
-        let (train_t, deploy_t) = backend::with_backend(backend_kind, || {
-            let t = time_forward(reps, || {
-                let _ = net.forward(&Var::new(input.clone())).expect("training forward");
-            });
-            let d = time_forward(reps, || {
-                let _ = deployed.forward(&input).expect("deployed forward");
-            });
-            (t, d)
-        });
-        rows.push((backend_kind.name(), train_t, deploy_t));
-    }
-
-    println!("\n  {:<10} {:>18} {:>18}", "backend", "training path", "deployed engine");
+    println!("\n  {:<10} {:>18} {:>18}", "backend", "training engine", "deployed engine");
     for (name, train_t, deploy_t) in &rows {
         println!("  {name:<10} {:>15.2?} {:>15.2?}", train_t, deploy_t);
     }
     let seed_path = rows[0].1; // scalar training path = the seed's route
     let best_deploy = rows.iter().map(|r| r.2).min().expect("rows");
     println!(
-        "\n  speedup (deployed vs seed scalar training path): {:.1}x",
+        "\n  speedup (deployed engine vs seed scalar training path): {:.1}x",
         seed_path.as_secs_f64() / best_deploy.as_secs_f64().max(1e-9)
     );
     assert!(
         best_deploy < seed_path,
-        "deployed whole-network inference must beat the seed scalar path"
+        "deployed whole-network serving must beat the seed scalar path"
     );
     Ok(())
 }

@@ -23,6 +23,38 @@ use scales_binary::BinaryConv2d;
 use scales_tensor::ops::{conv1d, conv2d, global_avg_pool, sigmoid, Conv2dSpec};
 use scales_tensor::{Result, Tensor, TensorError};
 
+/// Why a `Deployed`-precision serving engine is running the training path
+/// instead of a lowered graph.
+///
+/// Produced when whole-network lowering fails (e.g. the transformer
+/// family has no deployment lowering yet); the serving layer surfaces it
+/// so operators can see the degradation instead of silently paying the
+/// tape-building cost per request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeployFallback {
+    reason: String,
+}
+
+impl DeployFallback {
+    /// Record a fallback with the lowering failure's message.
+    #[must_use]
+    pub fn new(reason: impl Into<String>) -> Self {
+        Self { reason: reason.into() }
+    }
+
+    /// The lowering failure that forced the fallback.
+    #[must_use]
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl std::fmt::Display for DeployFallback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serving the training path: {}", self.reason)
+    }
+}
+
 /// A trained SCALES convolution lowered to the packed binary kernel.
 pub struct DeployedScalesConv2d {
     conv: BinaryConv2d,

@@ -30,6 +30,7 @@ mod classifiers;
 mod common;
 pub mod cost;
 pub mod deploy;
+mod infer_model;
 pub mod probe;
 mod rcan;
 mod rdn;
@@ -40,6 +41,7 @@ pub mod transformer;
 pub use classifiers::{ResNetTiny, SwinVitTiny};
 pub use common::{bicubic_skip, ChannelAttention, Head, SrConfig, SrNetwork, Tail, CA_REDUCTION};
 pub use deploy::{DeployedNetwork, DeployedNetworkBuilder, DeployedOp};
+pub use infer_model::InferModel;
 pub use probe::Recorder;
 pub use rcan::{rcan, Rcan};
 pub use rdn::{rdn, Rdn};

@@ -1,0 +1,236 @@
+//! [`Engine`]: the resolved serving configuration — model, precision,
+//! backend handle, tile policy — built once and shared by its
+//! [`Session`](crate::Session)s.
+
+use crate::tile::TilePolicy;
+use scales_core::DeployFallback;
+use scales_models::{DeployedNetwork, InferModel};
+use scales_tensor::backend::{self, Backend};
+use scales_tensor::{Result, Tensor, TensorError};
+
+/// Which forward path an engine serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// The autograd training path — exact reference semantics, builds a
+    /// tape per forward.
+    Training,
+    /// The packed deployment graph — tape-free, bit-packed binary body
+    /// convolutions. Auto-lowered at engine build; architectures without
+    /// a lowering fall back to `Training` with a reported
+    /// [`DeployFallback`].
+    Deployed,
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Precision::Training => "training",
+            Precision::Deployed => "deployed",
+        })
+    }
+}
+
+/// Borrow adapter: lets an engine serve a model it does not own.
+struct ByRef<'a, M: InferModel + ?Sized>(&'a M);
+
+impl<M: InferModel + ?Sized> InferModel for ByRef<'_, M> {
+    fn scale(&self) -> usize {
+        self.0.scale()
+    }
+    fn forward_infer(&self, batch: &Tensor) -> Result<Tensor> {
+        self.0.forward_infer(batch)
+    }
+    fn try_lower(&self) -> Result<DeployedNetwork> {
+        self.0.try_lower()
+    }
+    fn is_deployed(&self) -> bool {
+        self.0.is_deployed()
+    }
+}
+
+/// Configures an [`Engine`]. Obtained from [`Engine::builder`].
+pub struct EngineBuilder<'m> {
+    model: Option<Box<dyn InferModel + 'm>>,
+    precision: Precision,
+    backend: Option<Backend>,
+    tile: TilePolicy,
+}
+
+impl<'m> EngineBuilder<'m> {
+    fn new() -> Self {
+        Self { model: None, precision: Precision::Deployed, backend: None, tile: TilePolicy::Off }
+    }
+
+    /// Serve an owned model — any [`SrNetwork`](scales_models::SrNetwork)
+    /// (including `Box<dyn SrNetwork>`) or a [`DeployedNetwork`].
+    #[must_use]
+    pub fn model(mut self, model: impl InferModel + 'm) -> Self {
+        self.model = Some(Box::new(model));
+        self
+    }
+
+    /// Serve a borrowed model; the engine lives at most as long as the
+    /// borrow. This is what the legacy free-function wrappers use.
+    #[must_use]
+    pub fn model_ref<M: InferModel + ?Sized>(mut self, model: &'m M) -> Self {
+        self.model = Some(Box::new(ByRef(model)));
+        self
+    }
+
+    /// Requested forward path (default: [`Precision::Deployed`], the fast
+    /// serving path, with automatic fallback).
+    #[must_use]
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Compute backend for every forward this engine runs, held by value
+    /// and installed thread-scoped per request — independent engines never
+    /// contend on process state. Defaults to the process-wide selection
+    /// ([`backend::active`]) captured once at build.
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Engine-default tiling decision (default: [`TilePolicy::Off`]);
+    /// individual requests can override it.
+    #[must_use]
+    pub fn tile_policy(mut self, policy: TilePolicy) -> Self {
+        self.tile = policy;
+        self
+    }
+
+    /// Resolve the configuration into a ready engine.
+    ///
+    /// With [`Precision::Deployed`] this is where auto-lowering runs (and
+    /// where its one-time packing cost is paid); a model without a
+    /// lowering degrades to the training path and the reason is kept on
+    /// [`Engine::fallback`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no model was set, when the tile policy is
+    /// geometrically invalid, or when [`Precision::Training`] is requested
+    /// for a model that is already a deployed graph (it has no training
+    /// path, and silently substituting the deployed one would hide a
+    /// numerics difference of up to `1e-4`).
+    pub fn build(self) -> Result<Engine<'m>> {
+        let model = self
+            .model
+            .ok_or_else(|| TensorError::InvalidArgument("engine needs a model".into()))?;
+        self.tile.validate()?;
+        let scale = model.scale();
+        let (lowered, effective, fallback) = match self.precision {
+            Precision::Training if model.is_deployed() => {
+                return Err(TensorError::InvalidArgument(
+                    "cannot serve a deployed network at training precision: \
+                     a lowered graph has no training path"
+                        .into(),
+                ));
+            }
+            Precision::Training => (None, Precision::Training, None),
+            Precision::Deployed if model.is_deployed() => (None, Precision::Deployed, None),
+            Precision::Deployed => match model.try_lower() {
+                Ok(net) => (Some(net), Precision::Deployed, None),
+                Err(e) => {
+                    (None, Precision::Training, Some(DeployFallback::new(e.to_string())))
+                }
+            },
+        };
+        Ok(Engine {
+            model,
+            lowered,
+            requested: self.precision,
+            effective,
+            fallback,
+            backend: self.backend.unwrap_or_else(backend::active),
+            tile: self.tile,
+            scale,
+        })
+    }
+}
+
+/// A resolved serving configuration. Create via [`Engine::builder`], then
+/// open a [`Session`](crate::Session) to serve requests.
+pub struct Engine<'m> {
+    model: Box<dyn InferModel + 'm>,
+    /// Present when `Deployed` precision lowered a training model at
+    /// build; absent when serving the model directly (training path, or a
+    /// model that is already deployed).
+    lowered: Option<DeployedNetwork>,
+    requested: Precision,
+    effective: Precision,
+    fallback: Option<DeployFallback>,
+    backend: Backend,
+    tile: TilePolicy,
+    scale: usize,
+}
+
+impl<'m> Engine<'m> {
+    /// Start configuring an engine.
+    #[must_use]
+    pub fn builder() -> EngineBuilder<'m> {
+        EngineBuilder::new()
+    }
+
+    /// Open a session on this engine. Sessions are cheap; open one per
+    /// client or per logical stream of requests.
+    #[must_use]
+    pub fn session(&self) -> crate::Session<'_, 'm> {
+        crate::Session::over(self)
+    }
+
+    /// Upscaling factor of the served model.
+    #[must_use]
+    pub fn scale(&self) -> usize {
+        self.scale
+    }
+
+    /// The backend handle every forward of this engine runs under.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The precision actually served (after any deployment fallback).
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.effective
+    }
+
+    /// The precision the builder asked for.
+    #[must_use]
+    pub fn requested_precision(&self) -> Precision {
+        self.requested
+    }
+
+    /// Why a `Deployed` request degraded to the training path, if it did.
+    #[must_use]
+    pub fn fallback(&self) -> Option<&DeployFallback> {
+        self.fallback.as_ref()
+    }
+
+    /// The engine-default tile policy.
+    #[must_use]
+    pub fn tile_policy(&self) -> TilePolicy {
+        self.tile
+    }
+
+    /// The deployment graph this engine lowered at build, when it did.
+    #[must_use]
+    pub fn lowered(&self) -> Option<&DeployedNetwork> {
+        self.lowered.as_ref()
+    }
+
+    /// One forward through whichever path this engine resolved to. Callers
+    /// are responsible for running under [`Engine::backend`]; sessions do.
+    pub(crate) fn forward_raw(&self, batch: &Tensor) -> Result<Tensor> {
+        match &self.lowered {
+            Some(net) => net.forward(batch),
+            None => self.model.forward_infer(batch),
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! The request/response pair of the serving API.
+
+use crate::engine::Precision;
+use crate::tile::TilePolicy;
+use scales_data::Image;
+use scales_tensor::backend::Backend;
+
+/// A unit of serving work: one or more LR images, with optional
+/// per-request overrides of the engine defaults.
+#[derive(Clone)]
+pub struct SrRequest {
+    images: Vec<Image>,
+    tile: Option<TilePolicy>,
+}
+
+impl SrRequest {
+    /// Request super-resolution of a single image.
+    #[must_use]
+    pub fn single(image: Image) -> Self {
+        Self { images: vec![image], tile: None }
+    }
+
+    /// Request super-resolution of a set of images. Sizes may be mixed;
+    /// the session micro-batches same-sized images together.
+    #[must_use]
+    pub fn batch(images: Vec<Image>) -> Self {
+        Self { images, tile: None }
+    }
+
+    /// Override the engine's tile policy for this request only.
+    #[must_use]
+    pub fn tile_policy(mut self, policy: TilePolicy) -> Self {
+        self.tile = Some(policy);
+        self
+    }
+
+    /// The requested images.
+    #[must_use]
+    pub fn images(&self) -> &[Image] {
+        &self.images
+    }
+
+    pub(crate) fn into_parts(self) -> (Vec<Image>, Option<TilePolicy>) {
+        (self.images, self.tile)
+    }
+}
+
+/// How a request was executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InferStats {
+    /// Images served.
+    pub images: usize,
+    /// Batched forwards run (one per shape bucket of untiled images).
+    pub batches: usize,
+    /// Images that went through the split → forward → stitch path.
+    pub tiled: usize,
+    /// Backend the work ran under.
+    pub backend: Backend,
+    /// Precision the work ran at.
+    pub precision: Precision,
+}
+
+/// The super-resolved images of one request, in request order.
+pub struct SrResponse {
+    pub(crate) images: Vec<Image>,
+    pub(crate) stats: InferStats,
+}
+
+impl SrResponse {
+    /// The SR images, index-aligned with the request's images.
+    #[must_use]
+    pub fn images(&self) -> &[Image] {
+        &self.images
+    }
+
+    /// Consume the response, keeping only the SR images.
+    #[must_use]
+    pub fn into_images(self) -> Vec<Image> {
+        self.images
+    }
+
+    /// Execution breakdown for this request.
+    #[must_use]
+    pub fn stats(&self) -> InferStats {
+        self.stats
+    }
+}

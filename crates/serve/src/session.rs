@@ -1,0 +1,447 @@
+//! [`Session`]: the single `infer` entry point serving single, batched and
+//! tiled requests through one engine.
+
+use crate::engine::Engine;
+use crate::request::{InferStats, SrRequest, SrResponse};
+use crate::tile::TileSpec;
+use scales_data::Image;
+use scales_tensor::{backend, Result, Tensor, TensorError};
+use std::cell::Cell;
+
+/// A stream of requests against one [`Engine`]. Cheap to open; carries
+/// per-session serving counters.
+pub struct Session<'e, 'm> {
+    engine: &'e Engine<'m>,
+    requests: Cell<usize>,
+    images_served: Cell<usize>,
+}
+
+impl<'e, 'm> Session<'e, 'm> {
+    pub(crate) fn over(engine: &'e Engine<'m>) -> Self {
+        Self { engine, requests: Cell::new(0), images_served: Cell::new(0) }
+    }
+
+    /// The engine this session serves through.
+    #[must_use]
+    pub fn engine(&self) -> &'e Engine<'m> {
+        self.engine
+    }
+
+    /// Requests served so far.
+    #[must_use]
+    pub fn requests(&self) -> usize {
+        self.requests.get()
+    }
+
+    /// Images served so far.
+    #[must_use]
+    pub fn images_served(&self) -> usize {
+        self.images_served.get()
+    }
+
+    /// Serve one request: every image is either tiled (split → forward →
+    /// stitch) or grouped into a same-shape micro-batch, per the tile
+    /// policy in force (request override, else engine default). All
+    /// forwards run under the engine's backend handle, installed
+    /// thread-scoped for the duration of the call.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty request, an invalid per-request tile
+    /// policy, or a failed forward.
+    pub fn infer(&self, request: SrRequest) -> Result<SrResponse> {
+        let (images, tile_override) = request.into_parts();
+        let policy = tile_override.unwrap_or_else(|| self.engine.tile_policy());
+        let refs: Vec<&Image> = images.iter().collect();
+        self.serve_refs(&refs, policy)
+    }
+
+    /// Super-resolve one image (request-of-one convenience, under the
+    /// engine-default tile policy). Borrows the input — no request
+    /// allocation or image copy on this hot path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Session::infer`] errors.
+    pub fn super_resolve(&self, lr: &Image) -> Result<Image> {
+        let mut images =
+            self.serve_refs(&[lr], self.engine.tile_policy())?.into_images();
+        images.pop().ok_or_else(|| {
+            TensorError::InvalidArgument("single-image request returned no image".into())
+        })
+    }
+
+    /// The borrowed core of [`Session::infer`]: serve `images` under
+    /// `policy` without taking ownership of the inputs.
+    fn serve_refs(&self, images: &[&Image], policy: crate::TilePolicy) -> Result<SrResponse> {
+        let engine = self.engine;
+        if images.is_empty() {
+            return Err(TensorError::InvalidArgument(
+                "inference request needs at least one image".into(),
+            ));
+        }
+        policy.validate()?;
+        backend::with_thread_backend(engine.backend(), || {
+            let forward = |t: &Tensor| engine.forward_raw(t);
+            let mut out: Vec<Option<Image>> = Vec::new();
+            out.resize_with(images.len(), || None);
+            let mut tiled = 0usize;
+            // Shape buckets of untiled images, in first-seen order so the
+            // execution (and therefore any accumulation order) is
+            // deterministic.
+            let mut buckets: Vec<((usize, usize, usize), Vec<usize>)> = Vec::new();
+            for (i, img) in images.iter().enumerate() {
+                if let Some(spec) = policy.spec_for(img.height(), img.width()) {
+                    out[i] = Some(tiled_with(forward, engine.scale(), img, spec)?);
+                    tiled += 1;
+                } else {
+                    let key = (img.channels(), img.height(), img.width());
+                    match buckets.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, members)) => members.push(i),
+                        None => buckets.push((key, vec![i])),
+                    }
+                }
+            }
+            let batches = buckets.len();
+            for (_, members) in &buckets {
+                let group: Vec<&Image> = members.iter().map(|&i| images[i]).collect();
+                for (&i, sr) in members.iter().zip(batch_with(forward, &group)?) {
+                    out[i] = Some(sr);
+                }
+            }
+            self.requests.set(self.requests.get() + 1);
+            self.images_served.set(self.images_served.get() + images.len());
+            let images = out
+                .into_iter()
+                .map(|sr| {
+                    sr.ok_or_else(|| {
+                        TensorError::InvalidArgument("request image produced no output".into())
+                    })
+                })
+                .collect::<Result<Vec<Image>>>()?;
+            Ok(SrResponse {
+                stats: InferStats {
+                    images: images.len(),
+                    batches,
+                    tiled,
+                    backend: engine.backend(),
+                    precision: engine.precision(),
+                },
+                images,
+            })
+        })
+    }
+}
+
+/// Stack same-sized images into `[N, C, H, W]`, run one forward, unstack.
+pub(crate) fn batch_with(
+    forward: impl Fn(&Tensor) -> Result<Tensor>,
+    images: &[&Image],
+) -> Result<Vec<Image>> {
+    let first = images.first().ok_or_else(|| {
+        TensorError::InvalidArgument("batched inference needs at least one image".into())
+    })?;
+    let (c, h, w) = (first.channels(), first.height(), first.width());
+    let mut data = Vec::with_capacity(images.len() * c * h * w);
+    for img in images {
+        if img.channels() != c || img.height() != h || img.width() != w {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![c, h, w],
+                rhs: vec![img.channels(), img.height(), img.width()],
+                op: "batched inference sizes",
+            });
+        }
+        data.extend_from_slice(img.tensor().data());
+    }
+    let batch = Tensor::from_vec(data, &[images.len(), c, h, w])?;
+    let y = forward(&batch)?;
+    let (oc, oh, ow) = (y.shape()[1], y.shape()[2], y.shape()[3]);
+    (0..images.len())
+        .map(|b| {
+            let t = y.slice_axis(0, b, 1)?.reshape(&[oc, oh, ow])?;
+            Image::from_tensor(t)
+        })
+        .collect()
+}
+
+/// Split → forward → stitch (see the `crate::tile` docs for the exactness
+/// conditions).
+pub(crate) fn tiled_with(
+    forward: impl Fn(&Tensor) -> Result<Tensor>,
+    scale: usize,
+    lr: &Image,
+    spec: TileSpec,
+) -> Result<Image> {
+    let t = lr.tensor();
+    let (c, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2]);
+    let mut out = Tensor::zeros(&[c, h * scale, w * scale]);
+    let mut y0 = 0;
+    while y0 < h {
+        let y1 = (y0 + spec.tile).min(h);
+        let py0 = y0.saturating_sub(spec.overlap);
+        let py1 = (y1 + spec.overlap).min(h);
+        let mut x0 = 0;
+        while x0 < w {
+            let x1 = (x0 + spec.tile).min(w);
+            let px0 = x0.saturating_sub(spec.overlap);
+            let px1 = (x1 + spec.overlap).min(w);
+            // Crop the padded tile [py0..py1) × [px0..px1).
+            let tile = t.slice_axis(1, py0, py1 - py0)?.slice_axis(2, px0, px1 - px0)?;
+            let tile = tile.reshape(&[1, c, py1 - py0, px1 - px0])?;
+            let sr = forward(&tile)?;
+            let expect = [1, c, (py1 - py0) * scale, (px1 - px0) * scale];
+            if sr.shape() != expect {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: sr.shape().to_vec(),
+                    rhs: expect.to_vec(),
+                    op: "tiled inference output",
+                });
+            }
+            // Keep the center crop corresponding to [y0..y1) × [x0..x1).
+            let (ky, kx) = ((y0 - py0) * scale, (x0 - px0) * scale);
+            let (kh, kw) = ((y1 - y0) * scale, (x1 - x0) * scale);
+            let srw = (px1 - px0) * scale;
+            for ci in 0..c {
+                for ry in 0..kh {
+                    let src_row = (ci * (py1 - py0) * scale + ky + ry) * srw + kx;
+                    let dst_row = (ci * h * scale + y0 * scale + ry) * w * scale + x0 * scale;
+                    out.data_mut()[dst_row..dst_row + kw]
+                        .copy_from_slice(&sr.data()[src_row..src_row + kw]);
+                }
+            }
+            x0 = x1;
+        }
+        y0 = y1;
+    }
+    Image::from_tensor(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, Precision, SrRequest, TilePolicy};
+    use scales_core::{Method, ScalesComponents};
+    use scales_models::{srresnet, SrConfig, SrNetwork};
+    use scales_nn::init::rng;
+    use scales_tensor::backend::Backend;
+
+    fn probe_image(h: usize, w: usize, seed: u64) -> Image {
+        scales_data::synth::scene(h, w, scales_data::synth::SceneConfig::default(), &mut rng(seed))
+    }
+
+    /// SRResNet-lite with 1 block: total conv radius along the deepest
+    /// path is 5 (head 1 + two body convs 2 + body-end 1 + tail 1), plus 2
+    /// for the bicubic kernel — receptive radius 7.
+    fn local_net() -> impl SrNetwork {
+        srresnet(SrConfig {
+            channels: 8,
+            blocks: 1,
+            scale: 2,
+            // Local-only components: stitching is exact (tile module docs).
+            method: Method::Scales(ScalesComponents::lsf_spatial()),
+            seed: 23,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn session_batch_matches_single_image_forwards() {
+        let net = local_net();
+        let engine =
+            Engine::builder().model_ref(&net).precision(Precision::Training).build().unwrap();
+        let session = engine.session();
+        let images = vec![probe_image(8, 8, 41), probe_image(8, 8, 42)];
+        let response = session.infer(SrRequest::batch(images.clone())).unwrap();
+        assert_eq!(response.stats().batches, 1, "same-sized images share one forward");
+        for (img, sr) in images.iter().zip(response.images()) {
+            let single = net.super_resolve(img).unwrap();
+            assert_eq!((sr.height(), sr.width()), (16, 16));
+            assert_eq!(sr.tensor().data(), single.tensor().data(), "bit-identical to single");
+        }
+    }
+
+    #[test]
+    fn session_buckets_mixed_sizes_into_micro_batches() {
+        let net = local_net();
+        let engine =
+            Engine::builder().model_ref(&net).precision(Precision::Training).build().unwrap();
+        let session = engine.session();
+        // Interleave two shapes; order must be preserved in the response.
+        let images = vec![
+            probe_image(8, 8, 1),
+            probe_image(6, 10, 2),
+            probe_image(8, 8, 3),
+            probe_image(6, 10, 4),
+        ];
+        let response = session.infer(SrRequest::batch(images.clone())).unwrap();
+        assert_eq!(response.stats().batches, 2, "two shape buckets");
+        assert_eq!(response.stats().tiled, 0);
+        for (img, sr) in images.iter().zip(response.images()) {
+            assert_eq!((sr.height(), sr.width()), (img.height() * 2, img.width() * 2));
+            let single = net.super_resolve(img).unwrap();
+            assert_eq!(sr.tensor().data(), single.tensor().data());
+        }
+        assert_eq!(session.requests(), 1);
+        assert_eq!(session.images_served(), 4);
+    }
+
+    #[test]
+    fn session_rejects_empty_requests() {
+        let net = local_net();
+        let engine = Engine::builder().model_ref(&net).build().unwrap();
+        assert!(engine.session().infer(SrRequest::batch(vec![])).is_err());
+    }
+
+    #[test]
+    fn fixed_tiling_matches_full_image_on_local_network() {
+        let net = local_net();
+        let engine =
+            Engine::builder().model_ref(&net).precision(Precision::Training).build().unwrap();
+        let session = engine.session();
+        let img = probe_image(16, 16, 5);
+        let full = session.super_resolve(&img).unwrap();
+        let tiled = session
+            .infer(
+                SrRequest::single(img.clone())
+                    .tile_policy(TilePolicy::Fixed(TileSpec::new(12, 8).unwrap())),
+            )
+            .unwrap();
+        assert_eq!(tiled.stats().tiled, 1);
+        let tiled = &tiled.images()[0];
+        assert_eq!((tiled.height(), tiled.width()), (32, 32));
+        for (a, b) in tiled.tensor().data().iter().zip(full.tensor().data().iter()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn auto_policy_tiles_only_the_oversized_image_of_a_request() {
+        let net = local_net();
+        let engine = Engine::builder()
+            .model_ref(&net)
+            .precision(Precision::Training)
+            .tile_policy(TilePolicy::Auto { max_side: 12, overlap: 7 })
+            .build()
+            .unwrap();
+        let session = engine.session();
+        let small = probe_image(8, 8, 6);
+        let big = probe_image(16, 16, 7);
+        let response =
+            session.infer(SrRequest::batch(vec![small.clone(), big.clone()])).unwrap();
+        assert_eq!(response.stats().tiled, 1);
+        assert_eq!(response.stats().batches, 1);
+        // The tiled result still matches the full-image forward (overlap 7
+        // covers the receptive radius of the local-only net).
+        let full = net.super_resolve(&big).unwrap();
+        for (a, b) in response.images()[1].tensor().data().iter().zip(full.tensor().data().iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        let small_full = net.super_resolve(&small).unwrap();
+        assert_eq!(response.images()[0].tensor().data(), small_full.tensor().data());
+    }
+
+    #[test]
+    fn deployed_precision_auto_lowers_and_matches_training() {
+        let net = local_net();
+        let training =
+            Engine::builder().model_ref(&net).precision(Precision::Training).build().unwrap();
+        let deployed =
+            Engine::builder().model_ref(&net).precision(Precision::Deployed).build().unwrap();
+        assert_eq!(deployed.precision(), Precision::Deployed);
+        assert!(deployed.fallback().is_none());
+        assert!(deployed.lowered().is_some());
+        let img = probe_image(10, 10, 8);
+        let a = training.session().super_resolve(&img).unwrap();
+        let b = deployed.session().super_resolve(&img).unwrap();
+        for (x, y) in a.tensor().data().iter().zip(b.tensor().data().iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn unsupported_architecture_falls_back_with_a_report() {
+        let net = scales_models::swinir(SrConfig {
+            channels: 8,
+            blocks: 1,
+            scale: 2,
+            method: Method::FullPrecision,
+            seed: 9,
+        })
+        .unwrap();
+        let engine =
+            Engine::builder().model_ref(&net).precision(Precision::Deployed).build().unwrap();
+        assert_eq!(engine.requested_precision(), Precision::Deployed);
+        assert_eq!(engine.precision(), Precision::Training, "degraded to training");
+        let fallback = engine.fallback().expect("fallback must be reported");
+        assert!(!fallback.reason().is_empty());
+        assert!(fallback.to_string().contains("training path"));
+    }
+
+    #[test]
+    fn engine_serves_a_pre_lowered_network() {
+        let net = local_net();
+        let lowered = net.lower().unwrap();
+        let engine = Engine::builder().model(lowered).build().unwrap();
+        assert_eq!(engine.precision(), Precision::Deployed);
+        assert!(engine.fallback().is_none());
+        let img = probe_image(8, 8, 10);
+        let direct = net.lower().unwrap().super_resolve(&img).unwrap();
+        let served = engine.session().super_resolve(&img).unwrap();
+        assert_eq!(served.tensor().data(), direct.tensor().data());
+    }
+
+    #[test]
+    fn training_precision_on_a_deployed_model_is_an_error() {
+        let lowered = local_net().lower().unwrap();
+        // A lowered graph has no training path; asking for one must fail
+        // loudly rather than silently serving deployed numerics.
+        assert!(Engine::builder()
+            .model(lowered)
+            .precision(Precision::Training)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn per_engine_backends_agree_and_do_not_touch_process_state() {
+        let net = local_net();
+        let before = backend::active();
+        let img = probe_image(9, 9, 11);
+        let mut outputs = Vec::new();
+        for be in [Backend::Scalar, Backend::Parallel] {
+            let engine = Engine::builder()
+                .model_ref(&net)
+                .precision(Precision::Deployed)
+                .backend(be)
+                .build()
+                .unwrap();
+            assert_eq!(engine.backend(), be);
+            outputs.push(engine.session().super_resolve(&img).unwrap());
+        }
+        assert_eq!(
+            outputs[0].tensor().data(),
+            outputs[1].tensor().data(),
+            "kernels are bit-identical"
+        );
+        assert_eq!(backend::active(), before, "engines must not mutate global selection");
+    }
+
+    #[test]
+    fn builder_without_a_model_errors() {
+        assert!(Engine::builder().build().is_err());
+    }
+
+    #[test]
+    fn invalid_tile_policies_are_rejected_at_build_and_per_request() {
+        let net = local_net();
+        assert!(Engine::builder()
+            .model_ref(&net)
+            .tile_policy(TilePolicy::Auto { max_side: 4, overlap: 4 })
+            .build()
+            .is_err());
+        let engine = Engine::builder().model_ref(&net).build().unwrap();
+        let bad = SrRequest::single(probe_image(8, 8, 12))
+            .tile_policy(TilePolicy::Fixed(TileSpec { tile: 0, overlap: 0 }));
+        assert!(engine.session().infer(bad).is_err());
+    }
+}

@@ -12,14 +12,21 @@
 //!   of the output, so results are bit-identical to the scalar kernel
 //!   regardless of thread count.
 //!
-//! Selection is layered:
+//! Selection is layered, most specific first:
 //!
-//! 1. compile-time default — `Backend::Scalar`, or `Backend::Parallel` when
-//!    the crate's `parallel` feature is enabled;
-//! 2. process environment — `SCALES_BACKEND=scalar|parallel` overrides the
-//!    compiled default at first use;
-//! 3. runtime — [`set_backend`] overrides both (tests and benches use this
-//!    to compare kernels in one process).
+//! 1. thread-scoped handle — [`with_thread_backend`] runs a closure with a
+//!    backend passed by value, visible only on the calling thread. This is
+//!    how `scales-serve` engines carry their own backend without touching
+//!    process state: two engines on different threads can run different
+//!    kernels concurrently.
+//! 2. runtime — [`set_backend`] overrides the process-wide selection
+//!    (tests and benches use this to compare kernels in one process);
+//! 3. process environment — `SCALES_BACKEND=scalar|parallel`
+//!    (case-insensitive) overrides the compiled default at first use. An
+//!    unrecognized value is a hard error (panic at first dispatch), never a
+//!    silent fallback;
+//! 4. compile-time default — `Backend::Scalar`, or `Backend::Parallel` when
+//!    the crate's `parallel` feature is enabled.
 //!
 //! ```
 //! use scales_tensor::backend::{self, Backend};
@@ -27,9 +34,17 @@
 //! let prev = backend::active();
 //! backend::set_backend(Backend::Parallel);
 //! assert_eq!(backend::active(), Backend::Parallel);
+//! // A thread-scoped handle beats the process-wide selection…
+//! backend::with_thread_backend(Backend::Scalar, || {
+//!     assert_eq!(backend::active(), Backend::Scalar);
+//! });
+//! // …and is gone once the scope ends.
+//! assert_eq!(backend::active(), Backend::Parallel);
 //! backend::set_backend(prev);
 //! ```
 
+use crate::TensorError;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Which kernel implementation executes the routed hot loops.
@@ -61,6 +76,30 @@ impl Backend {
     }
 }
 
+impl std::str::FromStr for Backend {
+    type Err = TensorError;
+
+    /// Parse a backend name, case-insensitively (`"scalar"`, `"Parallel"`,
+    /// `"SCALAR"`, …).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] naming the valid values for
+    /// anything else — unrecognized backends are an error, never a silent
+    /// scalar fallback.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("scalar") {
+            Ok(Backend::Scalar)
+        } else if s.eq_ignore_ascii_case("parallel") {
+            Ok(Backend::Parallel)
+        } else {
+            Err(TensorError::InvalidArgument(format!(
+                "unrecognized backend {s:?}: expected \"scalar\" or \"parallel\""
+            )))
+        }
+    }
+}
+
 const BACKEND_UNSET: u8 = 0;
 const BACKEND_SCALAR: u8 = 1;
 const BACKEND_PARALLEL: u8 = 2;
@@ -76,16 +115,43 @@ fn compiled_default() -> Backend {
 }
 
 fn initial_backend() -> Backend {
-    match std::env::var("SCALES_BACKEND").as_deref() {
-        Ok("scalar") => Backend::Scalar,
-        Ok("parallel") => Backend::Parallel,
-        _ => compiled_default(),
+    match std::env::var("SCALES_BACKEND") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|e| panic!("invalid SCALES_BACKEND environment variable: {e}")),
+        Err(_) => compiled_default(),
     }
+}
+
+thread_local! {
+    /// Thread-scoped backend handle installed by [`with_thread_backend`].
+    static THREAD_BACKEND: Cell<Option<Backend>> = const { Cell::new(None) };
+}
+
+/// Run `f` with `backend` active on **this thread only**, restoring the
+/// previous thread-scoped handle afterwards (including on panic).
+///
+/// Unlike [`set_backend`] this mutates no process state: the handle is
+/// passed by value and consulted before the global selection, so callers
+/// (notably `scales-serve` engines) can each carry their own backend while
+/// other threads keep theirs.
+pub fn with_thread_backend<T>(backend: Backend, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<Backend>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_BACKEND.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_BACKEND.with(|c| c.replace(Some(backend))));
+    f()
 }
 
 /// The currently active backend.
 #[must_use]
 pub fn active() -> Backend {
+    if let Some(b) = THREAD_BACKEND.with(Cell::get) {
+        return b;
+    }
     match ACTIVE.load(Ordering::Relaxed) {
         BACKEND_SCALAR => Backend::Scalar,
         BACKEND_PARALLEL => Backend::Parallel,
@@ -112,18 +178,14 @@ pub fn kernel() -> &'static dyn Kernel {
     active().kernel()
 }
 
-/// Run `f` with the given backend active, restoring the previous backend
-/// afterwards (including on panic). Test/bench helper.
+/// Run `f` with the given backend active, restoring the previous
+/// selection afterwards (including on panic). Test/bench helper.
+///
+/// Implemented as a thread-scoped handle (see [`with_thread_backend`]),
+/// so it composes with nested scopes — the innermost always wins — and
+/// never mutates the process-global selection other threads see.
 pub fn with_backend<T>(backend: Backend, f: impl FnOnce() -> T) -> T {
-    struct Restore(Backend);
-    impl Drop for Restore {
-        fn drop(&mut self) {
-            set_backend(self.0);
-        }
-    }
-    let _restore = Restore(active());
-    set_backend(backend);
-    f()
+    with_thread_backend(backend, f)
 }
 
 /// Work below this many f32 ops stays single-threaded even on the parallel
@@ -392,6 +454,66 @@ mod tests {
         let data = filled(100_000, 5.0);
         let sequential: f32 = data.iter().sum();
         assert!((ScalarKernel.sum(&data) - sequential).abs() < 1e-2);
+    }
+
+    #[test]
+    fn with_backend_composes_with_thread_scopes_without_touching_global_state() {
+        // Process-global selection as a fresh thread sees it.
+        let global_before = std::thread::spawn(active).join().unwrap();
+        with_thread_backend(Backend::Scalar, || {
+            with_backend(Backend::Parallel, || {
+                // The innermost override wins for the closure.
+                assert_eq!(active(), Backend::Parallel);
+            });
+            assert_eq!(active(), Backend::Scalar, "outer scope restored");
+        });
+        let global_after = std::thread::spawn(active).join().unwrap();
+        assert_eq!(global_before, global_after, "global selection must be untouched");
+    }
+
+    #[test]
+    fn backend_parsing_is_case_insensitive() {
+        for s in ["scalar", "Scalar", "SCALAR"] {
+            assert_eq!(s.parse::<Backend>().unwrap(), Backend::Scalar, "{s}");
+        }
+        for s in ["parallel", "Parallel", "PARALLEL"] {
+            assert_eq!(s.parse::<Backend>().unwrap(), Backend::Parallel, "{s}");
+        }
+    }
+
+    #[test]
+    fn backend_parsing_rejects_unknown_values_with_a_clear_error() {
+        for s in ["gpu", "", "scalar ", "auto"] {
+            let err = s.parse::<Backend>().unwrap_err().to_string();
+            assert!(
+                err.contains("scalar") && err.contains("parallel"),
+                "error for {s:?} must name the valid values, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_backend_overrides_and_restores() {
+        let prev = active();
+        with_thread_backend(Backend::Parallel, || {
+            assert_eq!(active(), Backend::Parallel);
+            // Nested scopes stack.
+            with_thread_backend(Backend::Scalar, || {
+                assert_eq!(active(), Backend::Scalar);
+            });
+            assert_eq!(active(), Backend::Parallel);
+        });
+        assert_eq!(active(), prev);
+    }
+
+    #[test]
+    fn thread_backend_does_not_leak_to_other_threads() {
+        with_thread_backend(Backend::Parallel, || {
+            // A fresh thread has no thread-scoped handle installed.
+            let seen = std::thread::spawn(|| THREAD_BACKEND.with(Cell::get)).join().unwrap();
+            assert_eq!(seen, None);
+            assert_eq!(THREAD_BACKEND.with(Cell::get), Some(Backend::Parallel));
+        });
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Matrix multiplication kernels.
 //!
 //! `f32` GEMM in ikj loop order, dispatched through the active
-//! [`backend`](crate::backend) kernel: the scalar backend runs the loop
+//! [`crate::backend`] kernel: the scalar backend runs the loop
 //! single-threaded, the parallel backend splits output-row blocks across
 //! threads (bit-identical results). No SIMD intrinsics are used; the
 //! compiler autovectorises the inner loop well enough for the model sizes in

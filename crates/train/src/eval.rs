@@ -4,6 +4,7 @@
 use scales_data::{upscale, EvalSet};
 use scales_metrics::{psnr_y, ssim_y};
 use scales_models::SrNetwork;
+use scales_serve::{Engine, Precision, Session};
 use scales_tensor::Result;
 
 /// Mean PSNR (dB) and SSIM over a set.
@@ -26,16 +27,28 @@ impl Score {
     }
 }
 
-/// Evaluate a model over an [`EvalSet`].
+/// Evaluate a model over an [`EvalSet`] through a training-precision
+/// serving engine (bit-identical to forwarding the model directly).
 ///
 /// # Errors
 ///
 /// Propagates forward / metric errors.
 pub fn evaluate<M: SrNetwork + ?Sized>(model: &M, set: &EvalSet) -> Result<Score> {
+    let engine = Engine::builder().model_ref(model).precision(Precision::Training).build()?;
+    evaluate_with(&engine.session(), set)
+}
+
+/// Evaluate whatever a serving [`Session`] fronts — training path,
+/// auto-lowered deployment graph, any backend — over an [`EvalSet`].
+///
+/// # Errors
+///
+/// Propagates forward / metric errors.
+pub fn evaluate_with(session: &Session<'_, '_>, set: &EvalSet) -> Result<Score> {
     let shave = set.scale();
     let mut scores = Vec::with_capacity(set.len());
     for pair in set.pairs() {
-        let sr = model.super_resolve(&pair.lr)?;
+        let sr = session.super_resolve(&pair.lr)?;
         scores.push(Score {
             psnr: psnr_y(&sr, &pair.hr, shave)?,
             ssim: ssim_y(&sr, &pair.hr, shave)?,
@@ -83,5 +96,37 @@ mod tests {
         let net = srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method: Method::scales(), seed: 5 }).unwrap();
         let s = evaluate(&net, &set).unwrap();
         assert!(s.psnr.is_finite());
+    }
+
+    #[test]
+    fn engine_evaluate_matches_direct_super_resolve() {
+        use scales_metrics::{psnr_y, ssim_y};
+        let set = Benchmark::SynSet5.build(2, 32).unwrap();
+        let net = srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method: Method::scales(), seed: 6 }).unwrap();
+        let via_engine = evaluate(&net, &set).unwrap();
+        // Reference: forward each image directly, no serving layer.
+        let mut scores = Vec::new();
+        for pair in set.pairs() {
+            let sr = net.super_resolve(&pair.lr).unwrap();
+            scores.push(Score {
+                psnr: psnr_y(&sr, &pair.hr, set.scale()).unwrap(),
+                ssim: ssim_y(&sr, &pair.hr, set.scale()).unwrap(),
+            });
+        }
+        let direct = Score::accumulate(&scores);
+        assert_eq!(via_engine.psnr.to_bits(), direct.psnr.to_bits(), "psnr must be bit-identical");
+        assert_eq!(via_engine.ssim.to_bits(), direct.ssim.to_bits(), "ssim must be bit-identical");
+    }
+
+    #[test]
+    fn deployed_session_evaluates_close_to_training() {
+        let set = Benchmark::SynSet5.build(2, 32).unwrap();
+        let net = srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method: Method::scales(), seed: 7 }).unwrap();
+        let training = evaluate(&net, &set).unwrap();
+        let engine = Engine::builder().model_ref(&net).precision(Precision::Deployed).build().unwrap();
+        assert!(engine.fallback().is_none());
+        let deployed = evaluate_with(&engine.session(), &set).unwrap();
+        assert!((training.psnr - deployed.psnr).abs() < 0.05, "{} vs {}", training.psnr, deployed.psnr);
+        assert!((training.ssim - deployed.ssim).abs() < 0.01);
     }
 }

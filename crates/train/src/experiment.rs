@@ -3,12 +3,13 @@
 //! protocol, evaluates it on the four synthetic benchmarks, and reports
 //! cost with the paper's conventions.
 
-use crate::eval::{evaluate, evaluate_bicubic, Score};
+use crate::eval::{evaluate_bicubic, evaluate_with, Score};
 use crate::trainer::{train, TrainConfig};
 use scales_binary::CostReport;
 use scales_core::Method;
 use scales_data::Benchmark;
 use scales_models::{edsr, hat, rcan, rdn, srresnet, swinir, SrConfig, SrNetwork};
+use scales_serve::{Engine, Precision};
 use scales_tensor::Result;
 
 /// Architectures of the zoo.
@@ -154,9 +155,14 @@ pub fn run_row(arch: Arch, method: Method, scale: usize, budget: &Budget) -> Res
     };
     let model = arch.build(config)?;
     train(model.as_ref(), budget.train_config(42))?;
+    // One serving engine per row, reused across the four benchmarks (the
+    // table protocol evaluates the training path).
+    let engine =
+        Engine::builder().model_ref(model.as_ref()).precision(Precision::Training).build()?;
+    let session = engine.session();
     for b in Benchmark::ALL {
         let set = b.build(scale, budget.hr_eval)?;
-        scores.push((b.name(), evaluate(model.as_ref(), &set)?));
+        scores.push((b.name(), evaluate_with(&session, &set)?));
     }
     let hr_eval_w = 1280 / scale;
     let hr_eval_h = 720 / scale;

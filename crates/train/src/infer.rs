@@ -1,65 +1,33 @@
-//! Serving-path inference: batched forward over image sets and tiled
-//! (split → forward → stitch) super-resolution for images too large to run
-//! in one pass.
+//! Legacy serving-path free functions, kept as thin **deprecated**
+//! wrappers over the [`scales_serve`] Engine/Session API.
 //!
-//! Both entry points come in two flavours — over the training-path
-//! [`SrNetwork`] and over the packed [`DeployedNetwork`] — sharing one
-//! implementation through a forward closure.
-//!
-//! ## Tiling equivalence
-//!
-//! [`super_resolve_tiled`] reproduces the full-image output **exactly**
-//! when (a) `overlap` is at least the network's total receptive-field
-//! radius (sum of conv radii along the deepest path) and (b) the network
-//! contains no whole-image operators. Global operators — the SCALES
-//! channel-rescale GAP, BTM's per-image threshold, E2FIF's batch-stats BN —
-//! see per-tile statistics instead, which is the standard trade-off of
-//! tiled SR serving; the local-only configurations (FP, BAM,
-//! `ScalesComponents::lsf_spatial()`) stitch bit-exactly.
+//! The four `super_resolve_*` entry points below predate the unified
+//! serving layer; each one now builds a borrowed single-purpose engine
+//! and forwards through [`Session::infer`](scales_serve::Session::infer).
+//! On accepted inputs, outputs are bit-identical to the pre-engine
+//! implementations (enforced by `tests/deploy.rs`). One contract is
+//! deliberately narrower than before: [`TileSpec::new`] now rejects
+//! `overlap >= tile` (previously accepted, wastefully re-forwarding every
+//! pixel more than twice per axis), so tiled calls with such specs fail
+//! fast instead of running. New code should hold an [`Engine`] instead:
+//! one entry point covers single, batched and tiled requests in both
+//! precisions, with per-engine backend selection.
 
-use scales_autograd::Var;
 use scales_data::Image;
 use scales_models::{DeployedNetwork, SrNetwork};
-use scales_tensor::{Result, Tensor, TensorError};
+use scales_serve::{Engine, Precision, SrRequest, TilePolicy};
+use scales_tensor::{Result, TensorError};
 
-/// Tile geometry for [`super_resolve_tiled`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TileSpec {
-    /// Tile side length in LR pixels (the stride of the tiling).
-    pub tile: usize,
-    /// Context border around each tile, in LR pixels. Must cover the
-    /// network's receptive-field radius for exact stitching.
-    pub overlap: usize,
-}
+pub use scales_serve::TileSpec;
 
-impl TileSpec {
-    /// Build a spec, validating the tile size.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error for a zero tile.
-    pub fn new(tile: usize, overlap: usize) -> Result<Self> {
-        if tile == 0 {
-            return Err(TensorError::InvalidArgument("tile size must be positive".into()));
-        }
-        Ok(Self { tile, overlap })
-    }
-}
-
-fn training_forward(net: &dyn SrNetwork) -> impl Fn(&Tensor) -> Result<Tensor> + '_ {
-    |t| Ok(net.forward(&Var::new(t.clone()))?.value())
-}
-
-/// Stack same-sized images into `[N, C, H, W]`, run one forward, unstack.
-fn batch_with(
-    forward: impl Fn(&Tensor) -> Result<Tensor>,
-    images: &[Image],
-) -> Result<Vec<Image>> {
+/// The legacy batch entry points required uniform sizes; the engine
+/// micro-batches mixed sizes instead, so the wrappers re-impose the
+/// historical contract.
+fn require_uniform(images: &[Image]) -> Result<()> {
     let first = images.first().ok_or_else(|| {
         TensorError::InvalidArgument("batched inference needs at least one image".into())
     })?;
     let (c, h, w) = (first.channels(), first.height(), first.width());
-    let mut data = Vec::with_capacity(images.len() * c * h * w);
     for img in images {
         if img.channels() != c || img.height() != h || img.width() != w {
             return Err(TensorError::ShapeMismatch {
@@ -68,17 +36,8 @@ fn batch_with(
                 op: "batched inference sizes",
             });
         }
-        data.extend_from_slice(img.tensor().data());
     }
-    let batch = Tensor::from_vec(data, &[images.len(), c, h, w])?;
-    let y = forward(&batch)?;
-    let (oc, oh, ow) = (y.shape()[1], y.shape()[2], y.shape()[3]);
-    (0..images.len())
-        .map(|b| {
-            let t = y.slice_axis(0, b, 1)?.reshape(&[oc, oh, ow])?;
-            Image::from_tensor(t)
-        })
-        .collect()
+    Ok(())
 }
 
 /// Super-resolve a set of same-sized images in one batched forward pass
@@ -87,8 +46,14 @@ fn batch_with(
 /// # Errors
 ///
 /// Returns an error for an empty set or mismatched image sizes.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a scales_serve::Engine (Precision::Training) and call Session::infer"
+)]
 pub fn super_resolve_batch(net: &dyn SrNetwork, images: &[Image]) -> Result<Vec<Image>> {
-    batch_with(training_forward(net), images)
+    require_uniform(images)?;
+    let engine = Engine::builder().model_ref(net).precision(Precision::Training).build()?;
+    Ok(engine.session().infer(SrRequest::batch(images.to_vec()))?.into_images())
 }
 
 /// Super-resolve a set of same-sized images in one batched forward pass
@@ -97,59 +62,14 @@ pub fn super_resolve_batch(net: &dyn SrNetwork, images: &[Image]) -> Result<Vec<
 /// # Errors
 ///
 /// Returns an error for an empty set or mismatched image sizes.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a scales_serve::Engine over the DeployedNetwork and call Session::infer"
+)]
 pub fn super_resolve_batch_deployed(net: &DeployedNetwork, images: &[Image]) -> Result<Vec<Image>> {
-    batch_with(|t| net.forward(t), images)
-}
-
-/// Split → forward → stitch implementation shared by both network kinds.
-fn tiled_with(
-    forward: impl Fn(&Tensor) -> Result<Tensor>,
-    scale: usize,
-    lr: &Image,
-    spec: TileSpec,
-) -> Result<Image> {
-    let t = lr.tensor();
-    let (c, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2]);
-    let mut out = Tensor::zeros(&[c, h * scale, w * scale]);
-    let mut y0 = 0;
-    while y0 < h {
-        let y1 = (y0 + spec.tile).min(h);
-        let py0 = y0.saturating_sub(spec.overlap);
-        let py1 = (y1 + spec.overlap).min(h);
-        let mut x0 = 0;
-        while x0 < w {
-            let x1 = (x0 + spec.tile).min(w);
-            let px0 = x0.saturating_sub(spec.overlap);
-            let px1 = (x1 + spec.overlap).min(w);
-            // Crop the padded tile [py0..py1) × [px0..px1).
-            let tile = t.slice_axis(1, py0, py1 - py0)?.slice_axis(2, px0, px1 - px0)?;
-            let tile = tile.reshape(&[1, c, py1 - py0, px1 - px0])?;
-            let sr = forward(&tile)?;
-            let expect = [1, c, (py1 - py0) * scale, (px1 - px0) * scale];
-            if sr.shape() != expect {
-                return Err(TensorError::ShapeMismatch {
-                    lhs: sr.shape().to_vec(),
-                    rhs: expect.to_vec(),
-                    op: "tiled inference output",
-                });
-            }
-            // Keep the center crop corresponding to [y0..y1) × [x0..x1).
-            let (ky, kx) = ((y0 - py0) * scale, (x0 - px0) * scale);
-            let (kh, kw) = ((y1 - y0) * scale, (x1 - x0) * scale);
-            let srw = (px1 - px0) * scale;
-            for ci in 0..c {
-                for ry in 0..kh {
-                    let src_row = (ci * (py1 - py0) * scale + ky + ry) * srw + kx;
-                    let dst_row = (ci * h * scale + y0 * scale + ry) * w * scale + x0 * scale;
-                    out.data_mut()[dst_row..dst_row + kw]
-                        .copy_from_slice(&sr.data()[src_row..src_row + kw]);
-                }
-            }
-            x0 = x1;
-        }
-        y0 = y1;
-    }
-    Image::from_tensor(out)
+    require_uniform(images)?;
+    let engine = Engine::builder().model_ref(net).precision(Precision::Deployed).build()?;
+    Ok(engine.session().infer(SrRequest::batch(images.to_vec()))?.into_images())
 }
 
 /// Tiled super-resolution through the training-path network.
@@ -157,8 +77,17 @@ fn tiled_with(
 /// # Errors
 ///
 /// Propagates forward and geometry errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a scales_serve::Engine with TilePolicy::Fixed and call Session::infer"
+)]
 pub fn super_resolve_tiled(net: &dyn SrNetwork, lr: &Image, spec: TileSpec) -> Result<Image> {
-    tiled_with(training_forward(net), net.scale(), lr, spec)
+    let engine = Engine::builder()
+        .model_ref(net)
+        .precision(Precision::Training)
+        .tile_policy(TilePolicy::Fixed(spec))
+        .build()?;
+    engine.session().super_resolve(lr)
 }
 
 /// Tiled super-resolution through a deployed network.
@@ -166,15 +95,25 @@ pub fn super_resolve_tiled(net: &dyn SrNetwork, lr: &Image, spec: TileSpec) -> R
 /// # Errors
 ///
 /// Propagates forward and geometry errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a scales_serve::Engine with TilePolicy::Fixed and call Session::infer"
+)]
 pub fn super_resolve_tiled_deployed(
     net: &DeployedNetwork,
     lr: &Image,
     spec: TileSpec,
 ) -> Result<Image> {
-    tiled_with(|t| net.forward(t), net.scale(), lr, spec)
+    let engine = Engine::builder()
+        .model_ref(net)
+        .precision(Precision::Deployed)
+        .tile_policy(TilePolicy::Fixed(spec))
+        .build()?;
+    engine.session().super_resolve(lr)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use scales_core::{Method, ScalesComponents};
@@ -187,13 +126,13 @@ mod tests {
 
     /// SRResNet-lite with 1 block: total conv radius along the deepest
     /// path is 5 (head 1 + two body convs 2 + body-end 1 + tail 1), plus 2
-    /// for the bicubic kernel.
+    /// for the bicubic kernel — receptive radius 7.
     fn local_net() -> impl SrNetwork {
         srresnet(SrConfig {
             channels: 8,
             blocks: 1,
             scale: 2,
-            // Local-only components: stitching is exact (module docs).
+            // Local-only components: stitching is exact (scales-serve docs).
             method: Method::Scales(ScalesComponents::lsf_spatial()),
             seed: 23,
         })
@@ -227,7 +166,7 @@ mod tests {
         let net = local_net();
         let img = probe_image(16, 16);
         let full = net.super_resolve(&img).unwrap();
-        let tiled = super_resolve_tiled(&net, &img, TileSpec::new(8, 8).unwrap()).unwrap();
+        let tiled = super_resolve_tiled(&net, &img, TileSpec::new(12, 8).unwrap()).unwrap();
         assert_eq!((tiled.height(), tiled.width()), (32, 32));
         for (a, b) in tiled.tensor().data().iter().zip(full.tensor().data().iter()) {
             assert!((a - b).abs() < 1e-5, "{a} vs {b}");
@@ -241,7 +180,7 @@ mod tests {
         let img = probe_image(20, 12);
         let full = deployed.super_resolve(&img).unwrap();
         let tiled =
-            super_resolve_tiled_deployed(&deployed, &img, TileSpec::new(8, 8).unwrap()).unwrap();
+            super_resolve_tiled_deployed(&deployed, &img, TileSpec::new(8, 7).unwrap()).unwrap();
         for (a, b) in tiled.tensor().data().iter().zip(full.tensor().data().iter()) {
             assert!((a - b).abs() < 1e-5, "{a} vs {b}");
         }
@@ -251,13 +190,15 @@ mod tests {
     fn tiled_handles_non_divisible_sizes() {
         let net = local_net();
         let img = probe_image(11, 7);
-        let sr = super_resolve_tiled(&net, &img, TileSpec::new(4, 6).unwrap()).unwrap();
+        let sr = super_resolve_tiled(&net, &img, TileSpec::new(4, 3).unwrap()).unwrap();
         assert_eq!((sr.height(), sr.width()), (22, 14));
     }
 
     #[test]
     fn tile_spec_validates() {
         assert!(TileSpec::new(0, 2).is_err());
+        assert!(TileSpec::new(8, 8).is_err(), "overlap must be smaller than the tile");
         assert!(TileSpec::new(8, 0).is_ok());
+        assert!(TileSpec::new(8, 7).is_ok());
     }
 }

@@ -9,9 +9,9 @@
 //!   standard Y-channel + shave protocol.
 //! * [`experiment`] — one-call table rows: build (architecture, method,
 //!   scale), train, evaluate on all four benchmarks, account cost.
-//! * [`infer`] — serving-path inference: batched forwards and tiled
-//!   (split → forward → stitch) super-resolution, over both the training
-//!   path and the packed deployment engine.
+//! * [`infer`] — the legacy free-function serving surface, now thin
+//!   deprecated wrappers over the unified `scales-serve`
+//!   Engine/Session API (which also powers [`eval`] and [`experiment`]).
 //! * [`report`] — paper-style plain-text tables and the
 //!   `target/scales-report/` sink.
 
@@ -21,8 +21,9 @@ pub mod infer;
 pub mod report;
 pub mod trainer;
 
-pub use eval::{evaluate, evaluate_bicubic, Score};
+pub use eval::{evaluate, evaluate_bicubic, evaluate_with, Score};
 pub use experiment::{run_row, Arch, Budget, RowResult};
+#[allow(deprecated)]
 pub use infer::{
     super_resolve_batch, super_resolve_batch_deployed, super_resolve_tiled,
     super_resolve_tiled_deployed, TileSpec,

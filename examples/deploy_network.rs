@@ -16,8 +16,9 @@
 use scales::core::Method;
 use scales::models::{srresnet, SrConfig, SrNetwork};
 use scales::nn::init::rng;
+use scales::serve::{Engine, SrRequest, TilePolicy, TileSpec};
 use scales::tensor::backend;
-use scales::train::{super_resolve_tiled_deployed, train, TileSpec, TrainConfig};
+use scales::train::{train, TrainConfig};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -67,9 +68,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("training path: {train_time:>8.2?} / {reps} reps");
     println!("deployed     : {deploy_time:>8.2?} / {reps} reps");
 
-    // 5. Tiled serving for large inputs: split -> forward -> stitch.
+    // 5. Tiled serving for large inputs, through the unified engine API:
+    //    split -> forward -> stitch behind one `Session::infer` call.
     let big = scales::data::synth::scene(48, 48, scales::data::synth::SceneConfig::default(), &mut rng(4));
-    let sr = super_resolve_tiled_deployed(&deployed, &big, TileSpec::new(16, 8)?)?;
+    let engine = Engine::builder()
+        .model(deployed)
+        .tile_policy(TilePolicy::Fixed(TileSpec::new(16, 8)?))
+        .build()?;
+    let sr = engine.session().infer(SrRequest::single(big.clone()))?;
+    let sr = &sr.images()[0];
     println!("tiled serving: {}x{} -> {}x{}", big.height(), big.width(), sr.height(), sr.width());
     Ok(())
 }

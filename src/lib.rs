@@ -16,7 +16,37 @@
 //! | [`models`] | SRResNet/EDSR/RDN/RCAN/SwinIR/HAT zoo + classifier probes + [`models::DeployedNetwork`] whole-network deployment engine |
 //! | [`data`] | synthetic datasets, bicubic resize, image IO |
 //! | [`metrics`] | PSNR/SSIM, activation-variance analysis |
-//! | [`train`] | trainer, evaluator, experiment harness, batched/tiled serving ([`train::infer`]) |
+//! | [`serve`] | the serving API: [`serve::Engine`] / [`serve::Session`] — one `infer` entry point for single/batch/tiled requests in training or deployed precision, per-engine backend |
+//! | [`train`] | trainer, evaluator, experiment harness (legacy free-function serving wrappers in [`train::infer`]) |
+//!
+//! ## Serving engine
+//!
+//! All inference goes through one request-oriented API: build an
+//! [`serve::Engine`] (model + precision + backend + tile policy), open a
+//! [`serve::Session`], and [`infer`](serve::Session::infer). Deployed
+//! precision auto-lowers the network to the packed binary graph and falls
+//! back to the training path (with a reported
+//! [`core::DeployFallback`]) for architectures without a lowering.
+//!
+//! ```
+//! use scales::core::Method;
+//! use scales::models::{srresnet, SrConfig};
+//! use scales::serve::{Engine, Precision, SrRequest, TilePolicy};
+//!
+//! # fn main() -> Result<(), scales::tensor::TensorError> {
+//! let net = srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method: Method::scales(), seed: 1 })?;
+//! let engine = Engine::builder()
+//!     .model(net)                      // auto-lowered: packed XNOR-popcount body
+//!     .precision(Precision::Deployed)
+//!     .tile_policy(TilePolicy::auto()) // oversized inputs tile transparently
+//!     .build()?;
+//! let session = engine.session();
+//! let lr = scales::data::Image::zeros(8, 8);
+//! let sr = session.infer(SrRequest::batch(vec![lr.clone(), lr]))?;
+//! assert_eq!(sr.images()[0].height(), 16);
+//! # Ok(())
+//! # }
+//! ```
 //!
 //! ## Deployment engine
 //!
@@ -39,8 +69,10 @@
 //!
 //! Hot loops dispatch through [`tensor::backend`]: a scalar reference
 //! kernel and a blocked multi-threaded kernel with identical numerics,
-//! selected by the `parallel` cargo feature, `SCALES_BACKEND=scalar|parallel`,
-//! or `tensor::backend::set_backend` at runtime.
+//! selected per engine ([`serve::EngineBuilder::backend`]), by the
+//! `parallel` cargo feature, by `SCALES_BACKEND=scalar|parallel`
+//! (case-insensitive; unrecognized values are a hard error), or by
+//! `tensor::backend::set_backend` at runtime.
 //!
 //! ```
 //! use scales::core::Method;
@@ -61,5 +93,6 @@ pub use scales_data as data;
 pub use scales_metrics as metrics;
 pub use scales_models as models;
 pub use scales_nn as nn;
+pub use scales_serve as serve;
 pub use scales_tensor as tensor;
 pub use scales_train as train;

@@ -2,12 +2,21 @@
 //! must reproduce the training-path forward for **every** method in the
 //! `Method` registry, across random inputs and seeds, and tiled serving
 //! must reproduce full-image serving.
+//!
+//! Also the serving-parity suite: `Session::infer` must be bit-identical
+//! to each legacy free function (which this file therefore calls on
+//! purpose despite their deprecation).
+#![allow(deprecated)]
 
 use proptest::prelude::*;
 use scales::core::{Method, ScalesComponents};
 use scales::models::{srresnet, SrConfig, SrNetwork};
 use scales::nn::init::rng;
-use scales::train::{super_resolve_batch_deployed, super_resolve_tiled_deployed, TileSpec};
+use scales::serve::{Engine, Precision, SrRequest, TilePolicy, TileSpec};
+use scales::train::{
+    super_resolve_batch, super_resolve_batch_deployed, super_resolve_tiled,
+    super_resolve_tiled_deployed,
+};
 
 /// Every registry row with a CNN body (bicubic has no network to lower).
 fn cnn_method_registry() -> Vec<Method> {
@@ -87,7 +96,7 @@ proptest! {
         seed in 0u64..10_000,
         h in 12usize..20,
         w in 12usize..20,
-        tile in 4usize..9,
+        tile in 8usize..13,
     ) {
         let net = srresnet(SrConfig {
             channels: 8,
@@ -131,6 +140,131 @@ fn batched_deployed_serving_matches_per_image() {
         let single = deployed.super_resolve(img).unwrap();
         assert_images_close(sr, &single, 1e-5, "batched vs single");
     }
+}
+
+fn assert_images_identical(a: &scales::data::Image, b: &scales::data::Image, label: &str) {
+    assert_eq!((a.height(), a.width()), (b.height(), b.width()), "{label}");
+    let (da, db) = (a.tensor().data(), b.tensor().data());
+    for (i, (x, y)) in da.iter().zip(db.iter()).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{label}: value {i} differs bitwise: {x} vs {y}"
+        );
+    }
+}
+
+/// `Session::infer` must be bit-identical to `super_resolve_batch` /
+/// `super_resolve_batch_deployed` for every CNN method in the registry.
+#[test]
+fn engine_batch_is_bit_identical_to_legacy_for_every_method() {
+    let images: Vec<_> = (0..2).map(|i| probe_image(8, 8, 700 + i)).collect();
+    for method in cnn_method_registry() {
+        let net = srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method, seed: 31 }).unwrap();
+
+        let legacy = super_resolve_batch(&net, &images).unwrap();
+        let engine =
+            Engine::builder().model_ref(&net).precision(Precision::Training).build().unwrap();
+        let served = engine.session().infer(SrRequest::batch(images.clone())).unwrap();
+        for (a, b) in legacy.iter().zip(served.images()) {
+            assert_images_identical(a, b, &format!("training batch, {method}"));
+        }
+
+        let deployed = net.lower().unwrap();
+        let legacy = super_resolve_batch_deployed(&deployed, &images).unwrap();
+        let engine =
+            Engine::builder().model_ref(&deployed).precision(Precision::Deployed).build().unwrap();
+        let served = engine.session().infer(SrRequest::batch(images.clone())).unwrap();
+        for (a, b) in legacy.iter().zip(served.images()) {
+            assert_images_identical(a, b, &format!("deployed batch, {method}"));
+        }
+    }
+}
+
+/// `Session::infer` with a fixed tile policy must be bit-identical to
+/// `super_resolve_tiled` / `super_resolve_tiled_deployed`.
+#[test]
+fn engine_tiled_is_bit_identical_to_legacy_for_every_method() {
+    let img = probe_image(14, 11, 808);
+    let spec = TileSpec::new(6, 4).unwrap();
+    for method in cnn_method_registry() {
+        let net = srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method, seed: 32 }).unwrap();
+
+        let legacy = super_resolve_tiled(&net, &img, spec).unwrap();
+        let engine = Engine::builder()
+            .model_ref(&net)
+            .precision(Precision::Training)
+            .tile_policy(TilePolicy::Fixed(spec))
+            .build()
+            .unwrap();
+        assert_images_identical(
+            &legacy,
+            &engine.session().super_resolve(&img).unwrap(),
+            &format!("training tiled, {method}"),
+        );
+
+        let deployed = net.lower().unwrap();
+        let legacy = super_resolve_tiled_deployed(&deployed, &img, spec).unwrap();
+        let engine = Engine::builder()
+            .model_ref(&deployed)
+            .tile_policy(TilePolicy::Fixed(spec))
+            .build()
+            .unwrap();
+        assert_images_identical(
+            &legacy,
+            &engine.session().super_resolve(&img).unwrap(),
+            &format!("deployed tiled, {method}"),
+        );
+    }
+}
+
+/// `TilePolicy::Auto` must reproduce the full-image output on local-only
+/// networks: the oversized image tiles, the small one batches, and both
+/// match an untiled engine.
+#[test]
+fn auto_tile_policy_matches_full_image_serving() {
+    let net = srresnet(SrConfig {
+        channels: 8,
+        blocks: 1,
+        scale: 2,
+        // Local-only components: exact stitching (receptive radius 7).
+        method: Method::Scales(ScalesComponents::lsf_spatial()),
+        seed: 33,
+    })
+    .unwrap();
+    let small = probe_image(8, 8, 900);
+    let big = probe_image(18, 13, 901);
+
+    let full_engine =
+        Engine::builder().model_ref(&net).precision(Precision::Deployed).build().unwrap();
+    let auto_engine = Engine::builder()
+        .model_ref(&net)
+        .precision(Precision::Deployed)
+        .tile_policy(TilePolicy::Auto { max_side: 9, overlap: 7 })
+        .build()
+        .unwrap();
+
+    let full = full_engine.session();
+    let auto = auto_engine.session();
+    let response = auto.infer(SrRequest::batch(vec![small.clone(), big.clone()])).unwrap();
+    assert_eq!(response.stats().tiled, 1, "only the oversized image tiles");
+    assert_eq!(response.stats().batches, 1);
+
+    assert_images_identical(
+        &response.images()[0],
+        &full.super_resolve(&small).unwrap(),
+        "under-threshold image",
+    );
+    let reference = full.super_resolve(&big).unwrap();
+    let tiled = &response.images()[1];
+    assert_eq!((tiled.height(), tiled.width()), (reference.height(), reference.width()));
+    let worst = reference
+        .tensor()
+        .data()
+        .iter()
+        .zip(tiled.tensor().data().iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(worst < 1e-5, "auto-tiled vs full image: worst |err| = {worst}");
 }
 
 #[test]
