@@ -37,6 +37,20 @@ pub struct BinaryConv2d {
     spec: Conv2dSpec,
 }
 
+/// Packing geometry shared by every constructor: words per pixel and the
+/// valid-lane mask for the (single partial) channel word. One home for
+/// the load-bearing formula so the float-weight and serialized-parts
+/// paths can never drift apart.
+fn packing_geometry(in_channels: usize) -> (usize, u64) {
+    let wpp = in_channels.div_ceil(64);
+    let mask = if in_channels.is_multiple_of(64) {
+        u64::MAX
+    } else {
+        (1u64 << (in_channels % 64)) - 1
+    };
+    (wpp, mask)
+}
+
 impl BinaryConv2d {
     /// Pack a float weight tensor `[OC, IC, k, k]`. Scales default to the
     /// per-channel mean absolute value (the XNOR-Net rule).
@@ -58,8 +72,7 @@ impl BinaryConv2d {
             return Err(TensorError::InvalidArgument(format!("kernel must be square, got {kh}x{kw}")));
         }
         let k = kh;
-        let wpp = ic.div_ceil(64);
-        let channel_mask = if ic % 64 == 0 { u64::MAX } else { (1u64 << (ic % 64)) - 1 };
+        let (wpp, channel_mask) = packing_geometry(ic);
         let per = ic * k * k;
         let mut packed = vec![0u64; oc * k * k * wpp];
         let mut scales = Vec::with_capacity(oc);
@@ -95,6 +108,99 @@ impl BinaryConv2d {
     pub fn with_spec(mut self, spec: Conv2dSpec) -> Self {
         self.spec = spec;
         self
+    }
+
+    /// Rebuild a packed convolution from its raw serialized parts: the
+    /// packed weight words in the layout produced by
+    /// [`BinaryConv2d::packed_weights`] ((oc, ky, kx, channel-word) order,
+    /// `ceil(ic/64)` words per pixel), the per-channel scales, the layer
+    /// geometry, and the spec. The inverse of reading
+    /// [`BinaryConv2d::packed_weights`] / [`BinaryConv2d::scales`]; the
+    /// rebuilt layer is bit-identical in forward.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for zero extents or word/scale counts that do not
+    /// match the geometry.
+    pub fn from_packed_parts(
+        out_channels: usize,
+        in_channels: usize,
+        kernel: usize,
+        spec: Conv2dSpec,
+        packed_weights: Vec<u64>,
+        scales: Vec<f32>,
+    ) -> Result<Self> {
+        if out_channels == 0 || in_channels == 0 || kernel == 0 {
+            return Err(TensorError::InvalidArgument(
+                "binary conv needs positive channel counts and kernel size".into(),
+            ));
+        }
+        let (wpp, channel_mask) = packing_geometry(in_channels);
+        // Checked: the extents may come from an untrusted serialized
+        // artifact, and an overflow must be a typed error, not a panic
+        // (debug) or a wrapped garbage comparison (release).
+        let expected = out_channels
+            .checked_mul(kernel)
+            .and_then(|v| v.checked_mul(kernel))
+            .and_then(|v| v.checked_mul(wpp))
+            .ok_or_else(|| {
+                TensorError::InvalidArgument(format!(
+                    "binary conv extents overflow ({out_channels} out, {in_channels} in, kernel {kernel})"
+                ))
+            })?;
+        if packed_weights.len() != expected {
+            return Err(TensorError::LengthMismatch {
+                expected,
+                actual: packed_weights.len(),
+            });
+        }
+        if scales.len() != out_channels {
+            return Err(TensorError::LengthMismatch {
+                expected: out_channels,
+                actual: scales.len(),
+            });
+        }
+        Ok(Self {
+            packed_weights,
+            scales,
+            out_channels,
+            in_channels,
+            kernel,
+            wpp,
+            channel_mask,
+            spec,
+        })
+    }
+
+    /// The packed weight words: `kernel² · ceil(in_channels/64)` words per
+    /// output channel in (ky, kx, channel-word) order.
+    #[must_use]
+    pub fn packed_weights(&self) -> &[u64] {
+        &self.packed_weights
+    }
+
+    /// The per-output-channel float scales.
+    #[must_use]
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Number of input channels.
+    #[must_use]
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Square kernel extent.
+    #[must_use]
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// The convolution spec (stride and padding).
+    #[must_use]
+    pub fn spec(&self) -> Conv2dSpec {
+        self.spec
     }
 
     /// Override the per-channel scales (e.g. to fold in a learned α).
@@ -376,6 +482,42 @@ mod tests {
         let y = bl.forward(&x).unwrap();
         // sign(w) = [1,-1,1,-1]; dot with ones = 0 → 0·2 = 0
         assert_eq!(y.data()[0], 0.0);
+    }
+
+    #[test]
+    fn packed_parts_round_trip_is_bit_identical() {
+        let input = Tensor::from_vec(signs(5 * 7 * 7, 5), &[1, 5, 7, 7]).unwrap();
+        let weight = Tensor::from_vec(
+            signs(4 * 5 * 3 * 3, 6).iter().map(|v| v * 0.7).collect(),
+            &[4, 5, 3, 3],
+        )
+        .unwrap();
+        let bc = BinaryConv2d::from_float_weight(&weight).unwrap();
+        let rebuilt = BinaryConv2d::from_packed_parts(
+            bc.out_channels(),
+            bc.in_channels(),
+            bc.kernel(),
+            bc.spec(),
+            bc.packed_weights().to_vec(),
+            bc.scales().to_vec(),
+        )
+        .unwrap();
+        let a = bc.forward(&input).unwrap();
+        let b = rebuilt.forward(&input).unwrap();
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn packed_parts_reject_mismatched_lengths() {
+        let spec = Conv2dSpec::same(3);
+        // 2 out, 3 in, 3x3: 2·9·1 = 18 words, 2 scales.
+        assert!(BinaryConv2d::from_packed_parts(2, 3, 3, spec, vec![0; 17], vec![1.0; 2]).is_err());
+        assert!(BinaryConv2d::from_packed_parts(2, 3, 3, spec, vec![0; 18], vec![1.0; 3]).is_err());
+        assert!(BinaryConv2d::from_packed_parts(0, 3, 3, spec, vec![], vec![]).is_err());
+        assert!(BinaryConv2d::from_packed_parts(2, 3, 3, spec, vec![0; 18], vec![1.0; 2]).is_ok());
     }
 
     #[test]

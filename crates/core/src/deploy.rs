@@ -55,6 +55,8 @@ impl std::fmt::Display for DeployFallback {
     }
 }
 
+impl std::error::Error for DeployFallback {}
+
 /// A trained SCALES convolution lowered to the packed binary kernel.
 pub struct DeployedScalesConv2d {
     conv: BinaryConv2d,
@@ -117,6 +119,119 @@ impl DeployedScalesConv2d {
             skip: layer.has_skip(),
             in_channels: ic,
         })
+    }
+
+    /// Rebuild a lowered layer from its serialized parts: the packed
+    /// convolution, the folded channel thresholds β (empty when LSF was
+    /// off), the spatial branch (1×1 map weight `[1, C, 1, 1]` plus bias),
+    /// the channel branch Conv1d kernel `[1, 1, k]`, the FP-skip flag, and
+    /// the input channel count. Inverse of the accessors below.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any part disagrees with the layer geometry
+    /// the forward assumes: β must be empty or one value per input
+    /// channel, the packed conv must consume `in_channels`, the spatial
+    /// map must be a `[1, in_channels, 1, 1]` 1×1 conv weight, and the
+    /// channel kernel must be `[1, 1, odd]` gating at most `in_channels`
+    /// outputs. The parts may come from an untrusted serialized artifact,
+    /// so a violation must be a typed error here — never an
+    /// out-of-bounds panic at the first forward.
+    pub fn from_parts(
+        conv: BinaryConv2d,
+        beta: Vec<f32>,
+        spatial: Option<(Tensor, f32)>,
+        channel: Option<Tensor>,
+        skip: bool,
+        in_channels: usize,
+    ) -> Result<Self> {
+        if !beta.is_empty() && beta.len() != in_channels {
+            return Err(TensorError::LengthMismatch { expected: in_channels, actual: beta.len() });
+        }
+        if conv.in_channels() != in_channels {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![conv.out_channels(), conv.in_channels()],
+                rhs: vec![conv.out_channels(), in_channels],
+                op: "scales conv packed-weight channels",
+            });
+        }
+        if let Some((map, _)) = &spatial {
+            if map.shape() != [1, in_channels, 1, 1] {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: map.shape().to_vec(),
+                    rhs: vec![1, in_channels, 1, 1],
+                    op: "scales conv spatial map",
+                });
+            }
+            // The gate is computed on the *input* grid, so the packed conv
+            // must be shape-preserving (stride-1 "same") for the per-pixel
+            // indexing to line up; anything else would read out of bounds
+            // (padding > k/2) or gate misaligned pixels (stride > 1).
+            let spec = conv.spec();
+            if spec.stride != 1 || conv.kernel() != 2 * spec.padding + 1 {
+                return Err(TensorError::InvalidArgument(format!(
+                    "scales conv with a spatial branch needs a stride-1 \"same\" spec, got \
+                     stride {} padding {} for kernel {}",
+                    spec.stride,
+                    spec.padding,
+                    conv.kernel(),
+                )));
+            }
+        }
+        if let Some(k) = &channel {
+            let ok = k.rank() == 3
+                && k.shape()[0] == 1
+                && k.shape()[1] == 1
+                && k.shape()[2] % 2 == 1;
+            // The gate indexes the mixed tokens by output channel, so the
+            // forward can only serve oc ≤ ic with this branch — exactly
+            // what every trained layer satisfies.
+            if !ok || conv.out_channels() > in_channels {
+                return Err(TensorError::InvalidArgument(format!(
+                    "scales conv channel branch needs a [1, 1, odd] kernel gating at most \
+                     {in_channels} channels, got {:?} for {} outputs",
+                    k.shape(),
+                    conv.out_channels(),
+                )));
+            }
+        }
+        Ok(Self { conv, beta, spatial, channel, skip, in_channels })
+    }
+
+    /// The packed binary convolution with folded α·s_c scales.
+    #[must_use]
+    pub fn conv(&self) -> &BinaryConv2d {
+        &self.conv
+    }
+
+    /// The folded per-input-channel thresholds β (empty without LSF).
+    #[must_use]
+    pub fn beta(&self) -> &[f32] {
+        &self.beta
+    }
+
+    /// The spatial re-scaling branch: 1×1 map weight and bias.
+    #[must_use]
+    pub fn spatial(&self) -> Option<(&Tensor, f32)> {
+        self.spatial.as_ref().map(|(w, b)| (w, *b))
+    }
+
+    /// The channel re-scaling branch's Conv1d kernel.
+    #[must_use]
+    pub fn channel(&self) -> Option<&Tensor> {
+        self.channel.as_ref()
+    }
+
+    /// Whether the FP identity skip applies.
+    #[must_use]
+    pub fn skip(&self) -> bool {
+        self.skip
+    }
+
+    /// Number of input channels.
+    #[must_use]
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
     }
 
     /// Number of output channels.
@@ -224,6 +339,24 @@ impl FloatConv2d {
     #[must_use]
     pub fn out_channels(&self) -> usize {
         self.weight.shape()[0]
+    }
+
+    /// The weight tensor `[OC, IC, kh, kw]`.
+    #[must_use]
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The broadcastable bias tensor, when present.
+    #[must_use]
+    pub fn bias(&self) -> Option<&Tensor> {
+        self.bias.as_ref()
+    }
+
+    /// The convolution spec (stride and padding).
+    #[must_use]
+    pub fn spec(&self) -> Conv2dSpec {
+        self.spec
     }
 
     /// Run the convolution (plus bias) on `[N, IC, H, W]`.
@@ -475,6 +608,18 @@ mod tests {
     }
 
     #[test]
+    fn deploy_fallback_composes_as_a_std_error() {
+        // The whole point of the Error impl: `?` in examples and bins
+        // that return Box<dyn Error>.
+        fn surface(f: DeployFallback) -> std::result::Result<(), Box<dyn std::error::Error>> {
+            Err(f)?
+        }
+        let err = surface(DeployFallback::new("no lowering for transformers")).unwrap_err();
+        assert!(err.to_string().contains("training path"));
+        assert!(err.to_string().contains("no lowering for transformers"));
+    }
+
+    #[test]
     fn deployed_full_scales_matches_training_path() {
         check_equivalence(ScalesComponents::full(), true, 91);
     }
@@ -487,6 +632,59 @@ mod tests {
     #[test]
     fn deployed_no_skip_matches_training_path() {
         check_equivalence(ScalesComponents::lsf_spatial(), false, 93);
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatched_branch_geometry() {
+        let make_conv = || BinaryConv2d::from_float_weight(&Tensor::ones(&[6, 6, 3, 3])).unwrap();
+        // Baseline: well-formed parts are accepted.
+        assert!(DeployedScalesConv2d::from_parts(
+            make_conv(),
+            vec![0.0; 6],
+            Some((Tensor::ones(&[1, 6, 1, 1]), 0.1)),
+            Some(Tensor::ones(&[1, 1, 5])),
+            true,
+            6,
+        )
+        .is_ok());
+        // Packed conv consuming a different channel count.
+        assert!(DeployedScalesConv2d::from_parts(make_conv(), vec![], None, None, true, 8).is_err());
+        // Spatial map that is not a [1, C, 1, 1] 1×1 weight.
+        assert!(DeployedScalesConv2d::from_parts(
+            make_conv(),
+            vec![],
+            Some((Tensor::ones(&[1, 6, 3, 3]), 0.0)),
+            None,
+            true,
+            6,
+        )
+        .is_err());
+        // Spatial branch over a non-shape-preserving conv (padding beyond
+        // "same") would index the gate map out of bounds at forward.
+        let padded = BinaryConv2d::from_float_weight(&Tensor::ones(&[6, 6, 3, 3]))
+            .unwrap()
+            .with_spec(Conv2dSpec { stride: 1, padding: 2 });
+        assert!(DeployedScalesConv2d::from_parts(
+            padded,
+            vec![],
+            Some((Tensor::ones(&[1, 6, 1, 1]), 0.0)),
+            None,
+            false,
+            6,
+        )
+        .is_err());
+        // Channel kernels of the wrong rank / even extent.
+        for bad in [Tensor::ones(&[5]), Tensor::ones(&[1, 1, 4])] {
+            assert!(DeployedScalesConv2d::from_parts(
+                make_conv(),
+                vec![],
+                None,
+                Some(bad),
+                true,
+                6,
+            )
+            .is_err());
+        }
     }
 
     #[test]

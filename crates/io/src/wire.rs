@@ -1,0 +1,299 @@
+//! Little-endian wire primitives for the artifact format.
+//!
+//! Hand-rolled on purpose: the build environment is offline, so the
+//! format depends on nothing beyond `std`. Every read is bounds-checked
+//! and returns a typed [`Error`] — a malformed or truncated file can
+//! never panic or hand back a partially-read value.
+
+use crate::Error;
+use scales_tensor::Tensor;
+
+/// Append-only byte sink for the writer side.
+#[derive(Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A `usize` stored as `u32` (all extents in this format are small).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value exceeds `u32::MAX` — impossible for the op
+    /// counts, channel counts and dims this format stores.
+    pub fn put_len(&mut self, v: usize) {
+        self.put_u32(u32::try_from(v).expect("format extent exceeds u32"));
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub fn put_f32s(&mut self, vs: &[f32]) {
+        self.put_len(vs.len());
+        self.buf.reserve(vs.len() * 4);
+        for v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    pub fn put_u64s(&mut self, vs: &[u64]) {
+        self.put_len(vs.len());
+        self.buf.reserve(vs.len() * 8);
+        for v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Shape (rank + dims) followed by the raw little-endian `f32` buffer.
+    pub fn put_tensor(&mut self, t: &Tensor) {
+        self.put_len(t.rank());
+        for &d in t.shape() {
+            self.put_len(d);
+        }
+        t.extend_le_bytes(&mut self.buf);
+    }
+}
+
+/// Bounds-checked cursor for the reader side.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current cursor position (for error reporting).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn finish(&self) -> Result<(), Error> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(Error::TrailingBytes { consumed: self.pos, len: self.buf.len() })
+        }
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        let end = self.pos.checked_add(n).ok_or(Error::Truncated {
+            offset: self.pos,
+            needed: n,
+            len: self.buf.len(),
+        })?;
+        if end > self.buf.len() {
+            return Err(Error::Truncated { offset: self.pos, needed: n, len: self.buf.len() });
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub fn take_u8(&mut self) -> Result<u8, Error> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn take_bool(&mut self) -> Result<bool, Error> {
+        let offset = self.pos;
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(Error::Corrupt { offset, what: format!("boolean byte {other}") }),
+        }
+    }
+
+    pub fn take_u16(&mut self) -> Result<u16, Error> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub fn take_u32(&mut self) -> Result<u32, Error> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn take_u64(&mut self) -> Result<u64, Error> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    pub fn take_f32(&mut self) -> Result<f32, Error> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn take_len(&mut self) -> Result<usize, Error> {
+        Ok(self.take_u32()? as usize)
+    }
+
+    pub fn take_str(&mut self) -> Result<String, Error> {
+        let offset = self.pos;
+        let n = self.take_len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::Corrupt { offset, what: "non-UTF-8 string".into() })
+    }
+
+    pub fn take_f32s(&mut self) -> Result<Vec<f32>, Error> {
+        let n = self.take_len()?;
+        let bytes = self.take(n.checked_mul(4).ok_or(Error::Corrupt {
+            offset: self.pos,
+            what: format!("f32 run of {n} elements overflows"),
+        })?)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect())
+    }
+
+    pub fn take_u64s(&mut self) -> Result<Vec<u64>, Error> {
+        let n = self.take_len()?;
+        let bytes = self.take(n.checked_mul(8).ok_or(Error::Corrupt {
+            offset: self.pos,
+            what: format!("u64 run of {n} elements overflows"),
+        })?)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+            .collect())
+    }
+
+    pub fn take_tensor(&mut self) -> Result<Tensor, Error> {
+        let offset = self.pos;
+        let rank = self.take_len()?;
+        if rank > 8 {
+            return Err(Error::Corrupt { offset, what: format!("tensor rank {rank}") });
+        }
+        let mut shape = Vec::with_capacity(rank);
+        let mut volume = 1usize;
+        for _ in 0..rank {
+            let d = self.take_len()?;
+            volume = volume.checked_mul(d).ok_or(Error::Corrupt {
+                offset,
+                what: "tensor volume overflows".into(),
+            })?;
+            shape.push(d);
+        }
+        let bytes = self.take(volume.checked_mul(4).ok_or(Error::Corrupt {
+            offset,
+            what: "tensor byte length overflows".into(),
+        })?)?;
+        Tensor::from_le_bytes(bytes, &shape)
+            .map_err(|_| Error::Corrupt { offset, what: "tensor payload length".into() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u16(0xbeef);
+        w.put_u32(0xdead_beef);
+        w.put_u64(0x0102_0304_0506_0708);
+        w.put_f32(-1.25);
+        w.put_str("SRResNet");
+        w.put_f32s(&[1.0, -0.0]);
+        w.put_u64s(&[u64::MAX, 3]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert!(r.take_bool().unwrap());
+        assert_eq!(r.take_u16().unwrap(), 0xbeef);
+        assert_eq!(r.take_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.take_u64().unwrap(), 0x0102_0304_0506_0708);
+        assert_eq!(r.take_f32().unwrap(), -1.25);
+        assert_eq!(r.take_str().unwrap(), "SRResNet");
+        assert_eq!(r.take_f32s().unwrap(), vec![1.0, -0.0]);
+        assert_eq!(r.take_u64s().unwrap(), vec![u64::MAX, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn tensor_round_trip_preserves_bits() {
+        let t = Tensor::from_vec(vec![0.1, -0.0, 3.5e-40], &[3, 1]).unwrap();
+        let mut w = Writer::new();
+        w.put_tensor(&t);
+        let bytes = w.into_bytes();
+        let back = Reader::new(&bytes).take_tensor().unwrap();
+        assert_eq!(back.shape(), t.shape());
+        for (a, b) in back.data().iter().zip(t.data().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let mut w = Writer::new();
+        w.put_u64(1);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..5]);
+        assert!(matches!(r.take_u64(), Err(Error::Truncated { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let bytes = [0u8; 3];
+        let mut r = Reader::new(&bytes);
+        let _ = r.take_u8().unwrap();
+        assert!(matches!(r.finish(), Err(Error::TrailingBytes { consumed: 1, len: 3 })));
+    }
+
+    #[test]
+    fn bad_bool_and_bad_utf8_are_corrupt() {
+        let mut r = Reader::new(&[2u8]);
+        assert!(matches!(r.take_bool(), Err(Error::Corrupt { .. })));
+        let mut w = Writer::new();
+        w.put_len(2);
+        w.put_bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        assert!(matches!(Reader::new(&bytes).take_str(), Err(Error::Corrupt { .. })));
+    }
+}

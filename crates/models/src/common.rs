@@ -56,6 +56,11 @@ pub trait SrNetwork: Module {
     /// Upscaling factor.
     fn scale(&self) -> usize;
 
+    /// Which registry entry built this network — the identity persisted by
+    /// `scales-io` checkpoints and resolved back through
+    /// [`Arch::build`](crate::Arch::build) at load.
+    fn arch(&self) -> crate::Arch;
+
     /// Model configuration.
     fn config(&self) -> SrConfig;
 
@@ -101,6 +106,36 @@ pub trait SrNetwork: Module {
         let y = self.forward(&x)?.value();
         let (oh, ow) = (y.shape()[2], y.shape()[3]);
         Image::from_tensor(y.reshape(&[3, oh, ow])?)
+    }
+}
+
+// Boxed networks (e.g. the `Box<dyn SrNetwork>` handles the registry and
+// the checkpoint loader hand out) are networks too: forward every method to
+// the boxee so they flow into `InferModel` and the serving layer unchanged.
+impl<M: SrNetwork + ?Sized> SrNetwork for Box<M> {
+    fn scale(&self) -> usize {
+        (**self).scale()
+    }
+    fn arch(&self) -> crate::Arch {
+        (**self).arch()
+    }
+    fn config(&self) -> SrConfig {
+        (**self).config()
+    }
+    fn cost(&self, lr_h: usize, lr_w: usize) -> CostReport {
+        (**self).cost(lr_h, lr_w)
+    }
+    fn clamp_alphas(&self) {
+        (**self).clamp_alphas();
+    }
+    fn forward_recorded(&self, input: &Var, recorder: &mut Recorder) -> Result<Var> {
+        (**self).forward_recorded(input, recorder)
+    }
+    fn lower(&self) -> Result<crate::deploy::DeployedNetwork> {
+        (**self).lower()
+    }
+    fn super_resolve(&self, lr: &Image) -> Result<Image> {
+        (**self).super_resolve(lr)
     }
 }
 

@@ -42,6 +42,18 @@ impl DeployedChannelAttention {
         Self { down, up }
     }
 
+    /// The 1×1 squeeze convolution (for serialization).
+    #[must_use]
+    pub fn down(&self) -> &FloatConv2d {
+        &self.down
+    }
+
+    /// The 1×1 excite convolution (for serialization).
+    #[must_use]
+    pub fn up(&self) -> &FloatConv2d {
+        &self.up
+    }
+
     fn forward(&self, x: &Tensor) -> Result<Tensor> {
         let pooled = global_avg_pool(x)?; // [N, C, 1, 1]
         let gate = self.up.forward(&self.down.forward(&pooled)?.map(|v| v.max(0.0)))?;
@@ -158,6 +170,22 @@ impl DeployedNetwork {
     #[must_use]
     pub fn num_ops(&self) -> usize {
         self.ops.len()
+    }
+
+    /// The ops of the graph in execution order (op `i` produces value
+    /// `i + 1`; value 0 is the network input). This is the walk the
+    /// `scales-io` artifact writer serializes; rebuilding is pushing the
+    /// same ops through a [`DeployedNetworkBuilder`] and sealing with
+    /// [`DeployedNetwork::output`].
+    #[must_use]
+    pub fn ops(&self) -> &[DeployedOp] {
+        &self.ops
+    }
+
+    /// The value id the graph returns.
+    #[must_use]
+    pub fn output(&self) -> ValueId {
+        self.output
     }
 
     /// Number of bit-packed (binary) body convolutions in the graph.

@@ -26,6 +26,7 @@
 //! # }
 //! ```
 
+mod arch;
 mod classifiers;
 mod common;
 pub mod cost;
@@ -38,6 +39,7 @@ mod srresnet;
 mod swinir;
 pub mod transformer;
 
+pub use arch::Arch;
 pub use classifiers::{ResNetTiny, SwinVitTiny};
 pub use common::{bicubic_skip, ChannelAttention, Head, SrConfig, SrNetwork, Tail, CA_REDUCTION};
 pub use deploy::{DeployedNetwork, DeployedNetworkBuilder, DeployedOp};

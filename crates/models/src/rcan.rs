@@ -121,6 +121,10 @@ impl SrNetwork for Rcan {
         self.config.scale
     }
 
+    fn arch(&self) -> crate::Arch {
+        crate::Arch::Rcan
+    }
+
     fn lower(&self) -> Result<crate::deploy::DeployedNetwork> {
         use crate::deploy::{DeployedChannelAttention, DeployedNetworkBuilder};
         use scales_core::FloatConv2d;

@@ -131,6 +131,10 @@ impl SrNetwork for Rdn {
         self.config.scale
     }
 
+    fn arch(&self) -> crate::Arch {
+        crate::Arch::Rdn
+    }
+
     fn lower(&self) -> Result<crate::deploy::DeployedNetwork> {
         use crate::deploy::DeployedNetworkBuilder;
         let mut b = DeployedNetworkBuilder::new("RDN", self.config.scale);

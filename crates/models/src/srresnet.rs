@@ -14,6 +14,7 @@
 //! Fig. 8a) — binary SR networks drop the inter-conv activation because a
 //! sign binarizer would erase a ReLU'd (all-positive) input.
 
+use crate::arch::Arch;
 use crate::common::{bicubic_skip, head_cost, tail_cost, Head, SrConfig, SrNetwork, Tail};
 use crate::cost::body_conv_cost;
 use crate::probe::Recorder;
@@ -114,11 +115,11 @@ pub struct ResidualSr {
     body_end: BodyConv,
     tail: Tail,
     config: SrConfig,
-    name: &'static str,
+    arch: Arch,
 }
 
 impl ResidualSr {
-    fn build(style: Style, config: SrConfig, name: &'static str) -> Result<Self> {
+    fn build(style: Style, config: SrConfig, arch: Arch) -> Result<Self> {
         config.validate()?;
         let mut rng = StdRng::seed_from_u64(config.seed);
         let head = Head::new(config.channels, &mut rng);
@@ -128,13 +129,13 @@ impl ResidualSr {
         }
         let body_end = BodyConv::new(config.method, config.channels, config.channels, 3, &mut rng)?;
         let tail = Tail::new(config.channels, config.scale, &mut rng);
-        Ok(Self { head, blocks, body_end, tail, config, name })
+        Ok(Self { head, blocks, body_end, tail, config, arch })
     }
 
     /// Architecture name (`"SRResNet"` or `"EDSR"`).
     #[must_use]
     pub fn name(&self) -> &'static str {
-        self.name
+        self.arch.name()
     }
 
     fn forward_impl(&self, input: &Var, mut recorder: Option<&mut Recorder>) -> Result<Var> {
@@ -163,7 +164,7 @@ impl ResidualSr {
 /// Returns an error for invalid configurations or methods without a CNN
 /// body.
 pub fn srresnet(config: SrConfig) -> Result<ResidualSr> {
-    ResidualSr::build(Style::Srresnet, config, "SRResNet")
+    ResidualSr::build(Style::Srresnet, config, Arch::SrResNet)
 }
 
 /// Build an EDSR-lite for a configuration.
@@ -173,7 +174,7 @@ pub fn srresnet(config: SrConfig) -> Result<ResidualSr> {
 /// Returns an error for invalid configurations or methods without a CNN
 /// body.
 pub fn edsr(config: SrConfig) -> Result<ResidualSr> {
-    ResidualSr::build(Style::Edsr, config, "EDSR")
+    ResidualSr::build(Style::Edsr, config, Arch::Edsr)
 }
 
 impl Module for ResidualSr {
@@ -197,9 +198,13 @@ impl SrNetwork for ResidualSr {
         self.config.scale
     }
 
+    fn arch(&self) -> Arch {
+        self.arch
+    }
+
     fn lower(&self) -> Result<crate::deploy::DeployedNetwork> {
         use crate::deploy::DeployedNetworkBuilder;
-        let mut b = DeployedNetworkBuilder::new(self.name, self.config.scale);
+        let mut b = DeployedNetworkBuilder::new(self.arch.name(), self.config.scale);
         let input = b.input();
         let shallow = b.float_conv(self.head.conv(), input)?;
         let mut x = shallow;

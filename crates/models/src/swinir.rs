@@ -5,6 +5,7 @@
 //! body; HAT-lite additionally activates the channel-attention branch in
 //! every block (see [`crate::transformer`]).
 
+use crate::arch::Arch;
 use crate::common::{bicubic_skip, head_cost, tail_cost, Head, SrConfig, SrNetwork, Tail};
 use crate::probe::Recorder;
 use crate::transformer::TransformerBlock;
@@ -27,10 +28,10 @@ pub struct SwinSr {
     body_end: BodyConv,
     tail: Tail,
     config: SrConfig,
-    name: &'static str,
+    arch: Arch,
 }
 
-fn build(config: SrConfig, with_cab: bool, name: &'static str) -> Result<SwinSr> {
+fn build(config: SrConfig, with_cab: bool, arch: Arch) -> Result<SwinSr> {
     config.validate()?;
     let mut rng = StdRng::seed_from_u64(config.seed);
     let c = config.channels;
@@ -41,7 +42,7 @@ fn build(config: SrConfig, with_cab: bool, name: &'static str) -> Result<SwinSr>
     }
     let body_end = BodyConv::new(config.method, c, c, 3, &mut rng)?;
     let tail = Tail::new(c, config.scale, &mut rng);
-    Ok(SwinSr { head, blocks, body_end, tail, config, name })
+    Ok(SwinSr { head, blocks, body_end, tail, config, arch })
 }
 
 /// Build a SwinIR-lite network.
@@ -50,7 +51,7 @@ fn build(config: SrConfig, with_cab: bool, name: &'static str) -> Result<SwinSr>
 ///
 /// Returns an error for invalid configurations or CNN-only methods.
 pub fn swinir(config: SrConfig) -> Result<SwinSr> {
-    build(config, false, "SwinIR")
+    build(config, false, Arch::SwinIr)
 }
 
 /// Build a HAT-lite network (SwinIR-lite + channel-attention branches).
@@ -59,14 +60,14 @@ pub fn swinir(config: SrConfig) -> Result<SwinSr> {
 ///
 /// Returns an error for invalid configurations or CNN-only methods.
 pub fn hat(config: SrConfig) -> Result<SwinSr> {
-    build(config, true, "HAT")
+    build(config, true, Arch::Hat)
 }
 
 impl SwinSr {
     /// Architecture name (`"SwinIR"` or `"HAT"`).
     #[must_use]
     pub fn name(&self) -> &'static str {
-        self.name
+        self.arch.name()
     }
 
     fn forward_impl(&self, input: &Var, mut recorder: Option<&mut Recorder>) -> Result<Var> {
@@ -101,6 +102,10 @@ impl Module for SwinSr {
 impl SrNetwork for SwinSr {
     fn scale(&self) -> usize {
         self.config.scale
+    }
+
+    fn arch(&self) -> Arch {
+        self.arch
     }
 
     fn config(&self) -> SrConfig {

@@ -7,6 +7,7 @@ use scales_core::DeployFallback;
 use scales_models::{DeployedNetwork, InferModel};
 use scales_tensor::backend::{self, Backend};
 use scales_tensor::{Result, Tensor, TensorError};
+use std::path::PathBuf;
 
 /// Which forward path an engine serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +52,7 @@ impl<M: InferModel + ?Sized> InferModel for ByRef<'_, M> {
 /// Configures an [`Engine`]. Obtained from [`Engine::builder`].
 pub struct EngineBuilder<'m> {
     model: Option<Box<dyn InferModel + 'm>>,
+    model_path: Option<PathBuf>,
     precision: Precision,
     backend: Option<Backend>,
     tile: TilePolicy,
@@ -58,7 +60,13 @@ pub struct EngineBuilder<'m> {
 
 impl<'m> EngineBuilder<'m> {
     fn new() -> Self {
-        Self { model: None, precision: Precision::Deployed, backend: None, tile: TilePolicy::Off }
+        Self {
+            model: None,
+            model_path: None,
+            precision: Precision::Deployed,
+            backend: None,
+            tile: TilePolicy::Off,
+        }
     }
 
     /// Serve an owned model — any [`SrNetwork`](scales_models::SrNetwork)
@@ -74,6 +82,26 @@ impl<'m> EngineBuilder<'m> {
     #[must_use]
     pub fn model_ref<M: InferModel + ?Sized>(mut self, model: &'m M) -> Self {
         self.model = Some(Box::new(ByRef(model)));
+        self
+    }
+
+    /// Serve a model straight from a `scales-io` artifact file. At
+    /// [`EngineBuilder::build`] the header is sniffed and either form
+    /// loads: a **checkpoint** rebuilds the training network through the
+    /// architecture registry (usable at both precisions, with `Deployed`
+    /// auto-lowering as usual), a **deployed artifact** reassembles the
+    /// packed graph as-is (already deployed; requesting
+    /// [`Precision::Training`] on it is the usual build error). Loaded
+    /// models serve outputs bit-identical to the model that was saved.
+    ///
+    /// Load failures surface at [`EngineBuilder::build`] as this crate's
+    /// `TensorError`, with the underlying typed `scales_io::Error` in the
+    /// message; callers that need to branch on the exact failure (missing
+    /// file vs corrupt artifact, say) should load through `scales_io`
+    /// directly and pass the model in via [`EngineBuilder::model`].
+    #[must_use]
+    pub fn model_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.model_path = Some(path.into());
         self
     }
 
@@ -112,15 +140,45 @@ impl<'m> EngineBuilder<'m> {
     ///
     /// # Errors
     ///
-    /// Returns an error when no model was set, when the tile policy is
-    /// geometrically invalid, or when [`Precision::Training`] is requested
-    /// for a model that is already a deployed graph (it has no training
-    /// path, and silently substituting the deployed one would hide a
-    /// numerics difference of up to `1e-4`).
+    /// Returns an error when no model was set (or both a model and a
+    /// model path were), when a [`EngineBuilder::model_path`] artifact
+    /// fails to load, when the tile policy is geometrically invalid, or
+    /// when [`Precision::Training`] is requested for a model that is
+    /// already a deployed graph (it has no training path, and silently
+    /// substituting the deployed one would hide a numerics difference of
+    /// up to `1e-4`).
     pub fn build(self) -> Result<Engine<'m>> {
-        let model = self
-            .model
-            .ok_or_else(|| TensorError::InvalidArgument("engine needs a model".into()))?;
+        let model: Box<dyn InferModel + 'm> = match (self.model, self.model_path) {
+            (Some(_), Some(_)) => {
+                return Err(TensorError::InvalidArgument(
+                    "engine got both a model and a model path; set exactly one".into(),
+                ))
+            }
+            (Some(model), None) => model,
+            (None, Some(path)) => {
+                let describe = |e: scales_io::Error| {
+                    TensorError::InvalidArgument(format!(
+                        "loading model artifact {}: {e}",
+                        path.display()
+                    ))
+                };
+                // One read of the file: sniff the kind from the in-memory
+                // bytes and decode the same buffer.
+                let bytes = std::fs::read(&path)
+                    .map_err(|e| describe(scales_io::Error::from(e)))?;
+                match scales_io::sniff_kind(&bytes).map_err(describe)? {
+                    scales_io::ArtifactKind::Checkpoint => {
+                        Box::new(scales_io::checkpoint_from_bytes(&bytes).map_err(describe)?)
+                    }
+                    scales_io::ArtifactKind::Deployed => {
+                        Box::new(scales_io::artifact_from_bytes(&bytes).map_err(describe)?)
+                    }
+                }
+            }
+            (None, None) => {
+                return Err(TensorError::InvalidArgument("engine needs a model".into()))
+            }
+        };
         self.tile.validate()?;
         let scale = model.scale();
         let (lowered, effective, fallback) = match self.precision {

@@ -286,6 +286,80 @@ mod tests {
     }
 
     #[test]
+    fn stats_report_buckets_tiling_backend_and_precision_on_mixed_sizes() {
+        // Three shape buckets + one auto-tiled image in a single request,
+        // checked at both precisions and on an explicit backend handle:
+        // every InferStats field must reflect the engine that served it.
+        let net = local_net();
+        for precision in [Precision::Training, Precision::Deployed] {
+            let engine = Engine::builder()
+                .model_ref(&net)
+                .precision(precision)
+                .backend(Backend::Parallel)
+                .tile_policy(TilePolicy::Auto { max_side: 12, overlap: 7 })
+                .build()
+                .unwrap();
+            let session = engine.session();
+            let images = vec![
+                probe_image(8, 8, 61),   // bucket (8, 8)
+                probe_image(16, 16, 62), // oversized → tiled
+                probe_image(6, 10, 63),  // bucket (6, 10)
+                probe_image(8, 8, 64),   // joins bucket (8, 8)
+                probe_image(10, 6, 65),  // bucket (10, 6)
+            ];
+            let stats = session.infer(SrRequest::batch(images)).unwrap().stats();
+            assert_eq!(stats.images, 5, "{precision}");
+            assert_eq!(stats.batches, 3, "{precision}: three shape buckets");
+            assert_eq!(stats.tiled, 1, "{precision}: only the oversized image tiles");
+            assert_eq!(stats.backend, Backend::Parallel, "{precision}");
+            assert_eq!(stats.backend, engine.backend(), "{precision}");
+            assert_eq!(stats.precision, precision);
+        }
+    }
+
+    #[test]
+    fn stats_report_training_precision_after_deployment_fallback() {
+        // A transformer cannot lower; a Deployed request degrades and the
+        // per-response stats must say so rather than echoing the request.
+        let net = scales_models::swinir(SrConfig {
+            channels: 8,
+            blocks: 1,
+            scale: 2,
+            method: Method::FullPrecision,
+            seed: 66,
+        })
+        .unwrap();
+        let engine =
+            Engine::builder().model_ref(&net).precision(Precision::Deployed).build().unwrap();
+        let stats =
+            engine.session().infer(SrRequest::single(probe_image(8, 8, 67))).unwrap().stats();
+        assert_eq!(stats.precision, Precision::Training);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.tiled, 0);
+    }
+
+    #[test]
+    fn stats_count_all_tiled_requests_with_zero_batches() {
+        let net = local_net();
+        let engine =
+            Engine::builder().model_ref(&net).precision(Precision::Training).build().unwrap();
+        let session = engine.session();
+        // Per-request override tiles everything: no micro-batches remain.
+        let response = session
+            .infer(
+                SrRequest::batch(vec![probe_image(16, 16, 68), probe_image(14, 14, 69)])
+                    .tile_policy(TilePolicy::Fixed(TileSpec::new(8, 7).unwrap())),
+            )
+            .unwrap();
+        assert_eq!(response.stats().tiled, 2);
+        assert_eq!(response.stats().batches, 0);
+        // Session counters accumulate across requests.
+        let _ = session.infer(SrRequest::single(probe_image(8, 8, 70))).unwrap();
+        assert_eq!(session.requests(), 2);
+        assert_eq!(session.images_served(), 3);
+    }
+
+    #[test]
     fn session_rejects_empty_requests() {
         let net = local_net();
         let engine = Engine::builder().model_ref(&net).build().unwrap();

@@ -104,6 +104,39 @@ impl Tensor {
         self.data
     }
 
+    /// Append the flat storage to `out` as little-endian `f32` bytes —
+    /// the raw-buffer view used by the `scales-io` artifact format.
+    /// Bit-exact: every value round-trips through
+    /// [`Tensor::from_le_bytes`] with identical `f32::to_bits`.
+    pub fn extend_le_bytes(&self, out: &mut Vec<u8>) {
+        out.reserve(self.data.len() * 4);
+        for v in &self.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Rebuild a tensor from little-endian `f32` bytes and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the byte count is not
+    /// `4 × volume(shape)`, and [`TensorError::InvalidArgument`] when that
+    /// product overflows (the shape may come from untrusted bytes).
+    pub fn from_le_bytes(bytes: &[u8], shape: &[usize]) -> Result<Self> {
+        let expected = shape
+            .iter()
+            .try_fold(4usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| TensorError::InvalidArgument("tensor byte volume overflows".into()))?;
+        if bytes.len() != expected {
+            return Err(TensorError::LengthMismatch { expected, actual: bytes.len() });
+        }
+        let data = bytes
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect();
+        Ok(Self { data, shape: shape.to_vec() })
+    }
+
     /// Element at the given multi-index.
     ///
     /// # Panics
@@ -522,5 +555,33 @@ mod tests {
         assert_eq!(t.variance(), 1.0);
         assert_eq!(t.max(), 3.0);
         assert_eq!(t.min(), 1.0);
+    }
+
+    #[test]
+    fn le_bytes_round_trip_is_bit_exact() {
+        // Include values whose bit patterns are easy to corrupt: -0.0,
+        // subnormals, and a NaN payload.
+        let t = Tensor::from_vec(
+            vec![1.5, -0.0, f32::MIN_POSITIVE / 2.0, f32::from_bits(0x7fc0_1234), -3.25e7, 0.1],
+            &[2, 3],
+        )
+        .unwrap();
+        let mut bytes = Vec::new();
+        t.extend_le_bytes(&mut bytes);
+        assert_eq!(bytes.len(), 24);
+        let back = Tensor::from_le_bytes(&bytes, &[2, 3]).unwrap();
+        assert_eq!(back.shape(), t.shape());
+        for (a, b) in back.data().iter().zip(t.data().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn le_bytes_rejects_wrong_length_and_overflowing_shapes() {
+        assert!(Tensor::from_le_bytes(&[0u8; 7], &[2]).is_err());
+        assert!(Tensor::from_le_bytes(&[0u8; 8], &[3]).is_err());
+        // A shape whose byte volume wraps usize must be a typed error,
+        // not a wrapped-to-zero length check that "passes".
+        assert!(Tensor::from_le_bytes(&[], &[1usize << 62, 2]).is_err());
     }
 }

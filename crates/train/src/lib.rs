@@ -22,7 +22,7 @@ pub mod report;
 pub mod trainer;
 
 pub use eval::{evaluate, evaluate_bicubic, evaluate_with, Score};
-pub use experiment::{run_row, Arch, Budget, RowResult};
+pub use experiment::{lower_cached, lower_cached_in, run_row, Arch, Budget, RowResult};
 #[allow(deprecated)]
 pub use infer::{
     super_resolve_batch, super_resolve_batch_deployed, super_resolve_tiled,

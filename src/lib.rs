@@ -15,6 +15,7 @@
 //! | [`core`] | the SCALES method (LSF + spatial/channel re-scaling), baselines, per-layer deployment lowering |
 //! | [`models`] | SRResNet/EDSR/RDN/RCAN/SwinIR/HAT zoo + classifier probes + [`models::DeployedNetwork`] whole-network deployment engine |
 //! | [`data`] | synthetic datasets, bicubic resize, image IO |
+//! | [`io`] | versioned on-disk model artifacts: [`io::save_checkpoint`] / [`io::save_artifact`] and their loaders, served straight from disk via [`serve::EngineBuilder::model_path`] |
 //! | [`metrics`] | PSNR/SSIM, activation-variance analysis |
 //! | [`serve`] | the serving API: [`serve::Engine`] / [`serve::Session`] — one `infer` entry point for single/batch/tiled requests in training or deployed precision, per-engine backend |
 //! | [`train`] | trainer, evaluator, experiment harness (legacy free-function serving wrappers in [`train::infer`]) |
@@ -67,6 +68,34 @@
 //! # }
 //! ```
 //!
+//! ## Artifacts & persistence
+//!
+//! Both model forms persist to a versioned little-endian binary format
+//! (`scales-io`): a **checkpoint** stores trained f32 weights plus the
+//! (architecture, config) pair to rebuild through the [`models::Arch`]
+//! registry; a **deployed artifact** stores the packed op graph itself.
+//! Either file serves straight from disk, bit-identically to the model
+//! that was saved:
+//!
+//! ```
+//! use scales::core::Method;
+//! use scales::models::{srresnet, SrConfig, SrNetwork};
+//! use scales::serve::Engine;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method: Method::scales(), seed: 1 })?;
+//! let dir = std::env::temp_dir().join(format!("scales-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir)?;
+//! scales::io::save_checkpoint(dir.join("model.sca"), &net)?;       // trained weights
+//! scales::io::save_artifact(dir.join("model.dep.sca"), &net.lower()?)?; // packed graph
+//! let engine = Engine::builder().model_path(dir.join("model.dep.sca")).build()?;
+//! let lr = scales::data::Image::zeros(8, 8);
+//! assert_eq!(engine.session().super_resolve(&lr)?.height(), 16);
+//! std::fs::remove_dir_all(&dir)?;
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! Hot loops dispatch through [`tensor::backend`]: a scalar reference
 //! kernel and a blocked multi-threaded kernel with identical numerics,
 //! selected per engine ([`serve::EngineBuilder::backend`]), by the
@@ -90,6 +119,7 @@ pub use scales_autograd as autograd;
 pub use scales_binary as binary;
 pub use scales_core as core;
 pub use scales_data as data;
+pub use scales_io as io;
 pub use scales_metrics as metrics;
 pub use scales_models as models;
 pub use scales_nn as nn;

@@ -1,0 +1,376 @@
+//! Persistence round-trip guarantees for the `scales-io` artifact format,
+//! enforced end-to-end through `Session::infer`:
+//!
+//! * **bit-identity** — for every CNN method in the registry and every
+//!   lowerable architecture, a reloaded checkpoint and a reloaded
+//!   deployed artifact serve outputs with identical `f32::to_bits` to the
+//!   in-memory model, at both serving precisions;
+//! * **negative paths** — truncated files, wrong magic, future format
+//!   versions and arch/method mismatches all surface as typed
+//!   `scales::io::Error` variants; a partial read is never accepted.
+
+use scales::core::{Method, ScalesComponents};
+use scales::io::{
+    load_artifact, load_checkpoint, read_kind, save_artifact, save_checkpoint, ArtifactKind,
+    Error, FORMAT_VERSION,
+};
+use scales::models::{Arch, SrConfig, SrNetwork};
+use scales::nn::init::rng;
+use scales::serve::{Engine, Precision, Session, SrRequest};
+use std::path::PathBuf;
+
+/// Every registry row with a CNN body (bicubic has no network to save).
+fn cnn_method_registry() -> Vec<Method> {
+    vec![
+        Method::FullPrecision,
+        Method::E2fif,
+        Method::Btm,
+        Method::Bam,
+        Method::Bibert,
+        Method::Scales(ScalesComponents::full()),
+        Method::Scales(ScalesComponents::lsf_only()),
+        Method::Scales(ScalesComponents::lsf_channel()),
+        Method::Scales(ScalesComponents::lsf_spatial()),
+    ]
+}
+
+/// A fresh scratch directory per test (no tempfile crate in this
+/// offline build).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scales-io-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn probe_image(h: usize, w: usize, seed: u64) -> scales::data::Image {
+    scales::data::synth::scene(h, w, scales::data::synth::SceneConfig::default(), &mut rng(seed))
+}
+
+/// Build a network and nudge every parameter off its seeded init, so a
+/// "round-trip" that silently rebuilt from the seed instead of restoring
+/// the stored tensors would be caught.
+fn trained_like(arch: Arch, method: Method, seed: u64) -> Box<dyn SrNetwork> {
+    let net = arch
+        .build(SrConfig { channels: 8, blocks: 1, scale: 2, method, seed })
+        .expect("build network");
+    for (i, p) in net.params().iter().enumerate() {
+        p.update_value(|t| {
+            for (j, v) in t.data_mut().iter_mut().enumerate() {
+                *v += ((i * 131 + j) as f32 * 0.29).sin() * 0.05;
+            }
+        });
+    }
+    net
+}
+
+/// Serve a mixed-size request (two shape buckets) and return the images.
+fn serve_mixed(session: &Session<'_, '_>) -> Vec<scales::data::Image> {
+    let request = SrRequest::batch(vec![
+        probe_image(8, 8, 301),
+        probe_image(6, 10, 302),
+        probe_image(8, 8, 303),
+    ]);
+    session.infer(request).expect("serve").into_images()
+}
+
+fn assert_bit_identical(
+    a: &[scales::data::Image],
+    b: &[scales::data::Image],
+    label: &str,
+) {
+    assert_eq!(a.len(), b.len(), "{label}");
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!((x.height(), x.width()), (y.height(), y.width()), "{label} image {i}");
+        for (p, q) in x.tensor().data().iter().zip(y.tensor().data().iter()) {
+            assert_eq!(p.to_bits(), q.to_bits(), "{label} image {i}");
+        }
+    }
+}
+
+#[test]
+fn checkpoint_round_trip_serves_bit_identically_for_every_cnn_method() {
+    let dir = scratch("ckpt-methods");
+    for (i, method) in cnn_method_registry().into_iter().enumerate() {
+        let net = trained_like(Arch::SrResNet, method, 400 + i as u64);
+        let path = dir.join(format!("m{i}.sca"));
+        save_checkpoint(&path, net.as_ref()).expect("save");
+        assert_eq!(read_kind(&path).unwrap(), ArtifactKind::Checkpoint);
+        let loaded = load_checkpoint(&path).expect("load");
+        assert_eq!(loaded.config(), net.config(), "{method}");
+        for precision in [Precision::Training, Precision::Deployed] {
+            let mem =
+                Engine::builder().model_ref(net.as_ref()).precision(precision).build().unwrap();
+            let disk =
+                Engine::builder().model_ref(loaded.as_ref()).precision(precision).build().unwrap();
+            assert_eq!(mem.precision(), disk.precision(), "{method}/{precision}");
+            let a = serve_mixed(&mem.session());
+            let b = serve_mixed(&disk.session());
+            assert_bit_identical(&a, &b, &format!("checkpoint {method} at {precision}"));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn artifact_round_trip_serves_bit_identically_for_every_cnn_method() {
+    let dir = scratch("artifact-methods");
+    for (i, method) in cnn_method_registry().into_iter().enumerate() {
+        let net = trained_like(Arch::SrResNet, method, 500 + i as u64);
+        let lowered = net.lower().expect("lower");
+        let path = dir.join(format!("m{i}.sca"));
+        save_artifact(&path, &lowered).expect("save");
+        assert_eq!(read_kind(&path).unwrap(), ArtifactKind::Deployed);
+        let loaded = load_artifact(&path).expect("load");
+        assert_eq!(loaded.packed_layers(), lowered.packed_layers(), "{method}");
+        let mem = Engine::builder().model(lowered).build().unwrap();
+        let disk = Engine::builder().model(loaded).build().unwrap();
+        assert_eq!(disk.precision(), Precision::Deployed);
+        let a = serve_mixed(&mem.session());
+        let b = serve_mixed(&disk.session());
+        assert_bit_identical(&a, &b, &format!("artifact {method}"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_lowerable_arch_round_trips_both_forms() {
+    let dir = scratch("archs");
+    for (i, arch) in Arch::CNN.into_iter().enumerate() {
+        for method in [Method::FullPrecision, Method::scales()] {
+            let net = trained_like(arch, method, 600 + i as u64);
+            let ckpt = dir.join(format!("{arch}-{i}.ckpt.sca"));
+            let dep = dir.join(format!("{arch}-{i}.dep.sca"));
+            save_checkpoint(&ckpt, net.as_ref()).unwrap();
+            save_artifact(&dep, &net.lower().unwrap()).unwrap();
+            let reference = Engine::builder()
+                .model_ref(net.as_ref())
+                .precision(Precision::Deployed)
+                .build()
+                .unwrap();
+            let label = format!("{arch}/{method}");
+            let a = serve_mixed(&reference.session());
+            // load_checkpoint(save_checkpoint(net)) serves bit-identically.
+            let from_ckpt = Engine::builder()
+                .model(load_checkpoint(&ckpt).unwrap())
+                .precision(Precision::Deployed)
+                .build()
+                .unwrap();
+            assert!(from_ckpt.fallback().is_none(), "{label}");
+            assert_bit_identical(&a, &serve_mixed(&from_ckpt.session()), &label);
+            // load_artifact(save_artifact(lower(net))) serves bit-identically.
+            let from_dep = Engine::builder().model(load_artifact(&dep).unwrap()).build().unwrap();
+            assert_bit_identical(&a, &serve_mixed(&from_dep.session()), &label);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transformer_checkpoints_round_trip_and_fall_back_like_the_source() {
+    let dir = scratch("transformer");
+    for (i, arch) in [Arch::SwinIr, Arch::Hat].into_iter().enumerate() {
+        let net = trained_like(arch, Method::Bibert, 700 + i as u64);
+        let path = dir.join(format!("{arch}.sca"));
+        save_checkpoint(&path, net.as_ref()).unwrap();
+        let loaded = load_checkpoint(&path).unwrap();
+        assert_eq!(loaded.arch(), arch);
+        let mem =
+            Engine::builder().model_ref(net.as_ref()).precision(Precision::Training).build().unwrap();
+        let disk = Engine::builder()
+            .model_ref(loaded.as_ref())
+            .precision(Precision::Training)
+            .build()
+            .unwrap();
+        // Window-aligned sizes (transformer inputs must divide WINDOW).
+        let serve_aligned = |session: &Session<'_, '_>| {
+            session
+                .infer(SrRequest::batch(vec![
+                    probe_image(8, 8, 304),
+                    probe_image(4, 8, 305),
+                    probe_image(8, 8, 306),
+                ]))
+                .expect("serve")
+                .into_images()
+        };
+        let a = serve_aligned(&mem.session());
+        let b = serve_aligned(&disk.session());
+        assert_bit_identical(&a, &b, arch.name());
+        // A deployed request on a reloaded transformer degrades with a
+        // report, exactly like the in-memory model.
+        let fallback =
+            Engine::builder().model_ref(loaded.as_ref()).precision(Precision::Deployed).build().unwrap();
+        assert_eq!(fallback.precision(), Precision::Training);
+        assert!(fallback.fallback().is_some(), "{arch}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn model_path_sniffs_and_serves_either_kind() {
+    let dir = scratch("model-path");
+    let net = trained_like(Arch::SrResNet, Method::scales(), 800);
+    let ckpt = dir.join("model.ckpt.sca");
+    let dep = dir.join("model.dep.sca");
+    save_checkpoint(&ckpt, net.as_ref()).unwrap();
+    save_artifact(&dep, &net.lower().unwrap()).unwrap();
+    let reference =
+        Engine::builder().model_ref(net.as_ref()).precision(Precision::Deployed).build().unwrap();
+    let a = serve_mixed(&reference.session());
+    // Checkpoint path: usable at either precision.
+    let from_ckpt = Engine::builder().model_path(&ckpt).build().unwrap();
+    assert_eq!(from_ckpt.scale(), 2);
+    assert_eq!(from_ckpt.precision(), Precision::Deployed);
+    assert_bit_identical(&a, &serve_mixed(&from_ckpt.session()), "model_path checkpoint");
+    let training = Engine::builder().model_path(&ckpt).precision(Precision::Training).build().unwrap();
+    assert_eq!(training.precision(), Precision::Training);
+    // Deployed-artifact path: already packed.
+    let from_dep = Engine::builder().model_path(&dep).build().unwrap();
+    assert_eq!(from_dep.precision(), Precision::Deployed);
+    assert!(from_dep.fallback().is_none());
+    assert_bit_identical(&a, &serve_mixed(&from_dep.session()), "model_path artifact");
+    // A packed graph has no training path — same error as the in-memory case.
+    assert!(Engine::builder().model_path(&dep).precision(Precision::Training).build().is_err());
+    // Exactly one model source must be set.
+    assert!(Engine::builder()
+        .model_ref(net.as_ref())
+        .model_path(&ckpt)
+        .build()
+        .is_err());
+    // Missing files surface as build errors, not panics.
+    assert!(Engine::builder().model_path(dir.join("absent.sca")).build().is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Negative paths: every malformed file maps to a typed scales::io::Error.
+// ---------------------------------------------------------------------
+
+fn checkpoint_bytes() -> Vec<u8> {
+    let net = trained_like(Arch::SrResNet, Method::scales(), 900);
+    scales::io::checkpoint_to_bytes(net.as_ref())
+}
+
+#[test]
+fn truncated_files_are_typed_errors_for_both_kinds() {
+    let dir = scratch("truncated");
+    let net = trained_like(Arch::SrResNet, Method::scales(), 901);
+    let bytes = scales::io::checkpoint_to_bytes(net.as_ref());
+    let dep_bytes = scales::io::artifact_to_bytes(&net.lower().unwrap());
+    for (label, bytes, path) in
+        [("checkpoint", &bytes, dir.join("c.sca")), ("artifact", &dep_bytes, dir.join("a.sca"))]
+    {
+        for cut in [bytes.len() - 1, bytes.len() / 2, 13] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let err = match label {
+                "checkpoint" => load_checkpoint(&path).map(|_| ()).unwrap_err(),
+                _ => load_artifact(&path).map(|_| ()).unwrap_err(),
+            };
+            assert!(matches!(err, Error::Truncated { .. }), "{label} cut at {cut}: {err}");
+        }
+        // Cutting inside the header is BadMagic (it cannot even be
+        // identified as a SCALES file).
+        std::fs::write(&path, &bytes[..4]).unwrap();
+        assert!(matches!(read_kind(&path), Err(Error::BadMagic { .. })), "{label}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wrong_magic_is_a_typed_error() {
+    let dir = scratch("magic");
+    let mut bytes = checkpoint_bytes();
+    bytes[..4].copy_from_slice(b"PNG\x00");
+    let path = dir.join("x.sca");
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(read_kind(&path), Err(Error::BadMagic { .. })));
+    assert!(matches!(load_checkpoint(&path).map(|_| ()), Err(Error::BadMagic { .. })));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn future_format_version_is_a_typed_error() {
+    let dir = scratch("version");
+    let mut bytes = checkpoint_bytes();
+    bytes[8..10].copy_from_slice(&(FORMAT_VERSION + 3).to_le_bytes());
+    let path = dir.join("x.sca");
+    std::fs::write(&path, &bytes).unwrap();
+    let err = load_checkpoint(&path).map(|_| ()).unwrap_err();
+    assert!(
+        matches!(err, Error::UnsupportedVersion { found, supported }
+            if found == FORMAT_VERSION + 3 && supported == FORMAT_VERSION),
+        "{err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kind_mismatch_is_a_typed_error() {
+    let dir = scratch("kind");
+    let net = trained_like(Arch::SrResNet, Method::scales(), 902);
+    let ckpt = dir.join("c.sca");
+    let dep = dir.join("a.sca");
+    save_checkpoint(&ckpt, net.as_ref()).unwrap();
+    save_artifact(&dep, &net.lower().unwrap()).unwrap();
+    assert!(matches!(
+        load_checkpoint(&dep).map(|_| ()),
+        Err(Error::WrongKind { expected: ArtifactKind::Checkpoint, found: ArtifactKind::Deployed })
+    ));
+    assert!(matches!(
+        load_artifact(&ckpt).map(|_| ()),
+        Err(Error::WrongKind { expected: ArtifactKind::Deployed, found: ArtifactKind::Checkpoint })
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn arch_and_method_mismatches_are_typed_errors() {
+    let dir = scratch("mismatch");
+    let bytes = checkpoint_bytes();
+    let name_field = 4 + "SRResNet".len(); // u32 length + UTF-8
+    // (a) Unknown method tag: the byte right after name + 3×u32 + u64 seed.
+    let method_offset = 12 + name_field + 12 + 8;
+    let mut bad_method = bytes.clone();
+    bad_method[method_offset] = 250;
+    let path = dir.join("m.sca");
+    std::fs::write(&path, &bad_method).unwrap();
+    assert!(matches!(
+        load_checkpoint(&path).map(|_| ()),
+        Err(Error::UnknownMethod(250))
+    ));
+    // (b) Re-labelled architecture whose rebuilt parameters cannot fit.
+    let mut relabelled = bytes[..12].to_vec();
+    relabelled.extend_from_slice(&3u32.to_le_bytes());
+    relabelled.extend_from_slice(b"RDN");
+    relabelled.extend_from_slice(&bytes[12 + name_field..]);
+    std::fs::write(&path, &relabelled).unwrap();
+    assert!(matches!(
+        load_checkpoint(&path).map(|_| ()),
+        Err(Error::ArchMismatch { arch, .. }) if arch == "RDN"
+    ));
+    // (c) An architecture the registry has never heard of.
+    let mut unknown = bytes[..12].to_vec();
+    unknown.extend_from_slice(&4u32.to_le_bytes());
+    unknown.extend_from_slice(b"VDSR");
+    unknown.extend_from_slice(&bytes[12 + name_field..]);
+    std::fs::write(&path, &unknown).unwrap();
+    assert!(matches!(
+        load_checkpoint(&path).map(|_| ()),
+        Err(Error::UnknownArch(name)) if name == "VDSR"
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trailing_bytes_are_a_typed_error() {
+    let dir = scratch("trailing");
+    let mut bytes = checkpoint_bytes();
+    bytes.extend_from_slice(&[0, 1, 2]);
+    let path = dir.join("x.sca");
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        load_checkpoint(&path).map(|_| ()),
+        Err(Error::TrailingBytes { .. })
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
