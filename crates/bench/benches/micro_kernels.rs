@@ -1,0 +1,102 @@
+//! Hot-kernel micro-benchmarks tracking the serving primitives this
+//! workspace's latency story is built on:
+//!
+//! * the register-blocked float GEMM at the SRResNet serving shapes
+//!   (head / body / tail convolutions over a 64×64 LR image, plus the
+//!   paper-scale 64-channel body);
+//! * the bit-packed binary convolution on a 64×64 image, comparing the
+//!   allocating `forward` against the scratch-reusing `forward_into`
+//!   (interior fast path + no per-call buffers).
+//!
+//! The run ends with one machine-readable line —
+//! `BENCH_kernels {...}` — so CI logs give a per-commit perf trajectory
+//! that scripts can scrape without parsing the human table.
+//!
+//! ```sh
+//! cargo bench --bench micro_kernels           # full reps
+//! SCALES_BENCH_SMOKE=1 cargo bench --bench micro_kernels
+//! ```
+
+use scales_binary::BinaryConv2d;
+use scales_tensor::backend;
+use scales_tensor::workspace::BitScratch;
+use scales_tensor::Tensor;
+use std::time::Instant;
+
+fn filled(n: usize, seed: f32) -> Vec<f32> {
+    (0..n).map(|i| ((i as f32 + seed) * 0.37).sin()).collect()
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let smoke = std::env::var("SCALES_BENCH_SMOKE").is_ok();
+    let reps = if smoke { 3 } else { 10 };
+    let mut json = Vec::new();
+
+    println!(
+        "hot-kernel micro-benchmarks ({} backend, {} reps, best-of)",
+        backend::active().name(),
+        reps
+    );
+
+    // Float GEMM at the shapes the SRResNet serving path actually runs
+    // over a 64×64 LR probe: head 3→16 (k3), body 16→16 (k3), tail
+    // 16→12 (k3), and the paper-scale 64-channel body.
+    println!("\n  {:<22} {:>12} {:>12}", "gemm (m,k,n)", "time", "GFLOP/s");
+    for &(label, m, k, n) in &[
+        ("head 16x27x4096", 16usize, 27usize, 4096usize),
+        ("body 16x144x4096", 16, 144, 4096),
+        ("tail 12x144x4096", 12, 144, 4096),
+        ("paper 64x576x4096", 64, 576, 4096),
+    ] {
+        let a = filled(m * k, 1.0);
+        let b = filled(k * n, 2.0);
+        let mut c = vec![0.0f32; m * n];
+        let t = best_of(reps, || {
+            c.iter_mut().for_each(|v| *v = 0.0);
+            backend::kernel().gemm(&a, &b, &mut c, m, k, n);
+        });
+        let gflops = (2.0 * m as f64 * k as f64 * n as f64) / t / 1e9;
+        println!("  {label:<22} {:>9.1} us {gflops:>12.2}", t * 1e6);
+        json.push(format!("\"gemm_{m}x{k}x{n}_us\":{:.1}", t * 1e6));
+    }
+
+    // Binary convolution over a 64×64 image: allocating forward vs the
+    // scratch-reusing forward_into that serving runs.
+    println!("\n  {:<22} {:>12} {:>12} {:>9}", "binary conv 64x64", "alloc", "scratch", "speedup");
+    for &(label, ch) in &[("16 channels", 16usize), ("64 channels", 64usize)] {
+        let weight = Tensor::from_vec(filled(ch * ch * 9, 3.0), &[ch, ch, 3, 3]).unwrap();
+        let conv = BinaryConv2d::from_float_weight(&weight).unwrap();
+        let input = Tensor::from_vec(filled(ch * 64 * 64, 4.0), &[1, ch, 64, 64]).unwrap();
+        let alloc = best_of(reps, || {
+            let _ = conv.forward(&input).unwrap();
+        });
+        let mut scratch = BitScratch::default();
+        let mut out = vec![0.0f32; ch * 64 * 64];
+        // Warm the scratch so the timed region is the steady state.
+        conv.forward_into(input.data(), 1, 64, 64, &mut scratch, &mut out).unwrap();
+        let fast = best_of(reps, || {
+            conv.forward_into(input.data(), 1, 64, 64, &mut scratch, &mut out).unwrap();
+        });
+        println!(
+            "  {label:<22} {:>9.1} us {:>9.1} us {:>8.2}x",
+            alloc * 1e6,
+            fast * 1e6,
+            alloc / fast
+        );
+        json.push(format!("\"binconv_{ch}ch_alloc_us\":{:.1}", alloc * 1e6));
+        json.push(format!("\"binconv_{ch}ch_scratch_us\":{:.1}", fast * 1e6));
+    }
+
+    println!("\nBENCH_kernels {{{}}}", json.join(","));
+}

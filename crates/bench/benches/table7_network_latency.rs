@@ -29,7 +29,7 @@
 
 use scales_core::Method;
 use scales_data::Image;
-use scales_models::{srresnet, SrConfig};
+use scales_models::{srresnet, SrConfig, Workspace};
 use scales_serve::{Engine, Precision, Session};
 use scales_train::lower_cached;
 use scales_tensor::backend::Backend;
@@ -118,6 +118,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(
         best_deploy < seed_path,
         "deployed whole-network serving must beat the seed scalar path"
+    );
+
+    // Planned zero-allocation executor vs the allocating deployed forward
+    // (the serving route before the graph memory plan) on the same probe:
+    // same graph, same backend, bit-identical outputs — only the executor
+    // differs.
+    let graph = lower_cached(
+        &net,
+        &format!("srresnet-{}-c{CHANNELS}b{BLOCKS}s{SEED}", Method::scales()),
+    )?;
+    let batch = {
+        let t = input.tensor();
+        t.reshape(&[1, 3, SIZE, SIZE])?
+    };
+    let _ = graph.forward(&batch)?; // warm-up
+    // Best-of with more reps than the engine rows: this pair gates CI on
+    // a ratio, so give scheduler noise more chances to cancel out.
+    let ratio_reps = reps * 2;
+    let timed = |f: &mut dyn FnMut() -> Duration| -> Duration {
+        (0..ratio_reps).map(|_| f()).min().expect("reps > 0")
+    };
+    let allocating = timed(&mut || {
+        let start = Instant::now();
+        let _ = graph.forward(&batch).expect("allocating forward");
+        start.elapsed()
+    });
+    let mut ws = Workspace::new();
+    let _ = graph.forward_planned(&batch, &mut ws)?; // builds + warms the plan
+    let planned = timed(&mut || {
+        let start = Instant::now();
+        let _ = graph.forward_planned(&batch, &mut ws).expect("planned forward");
+        start.elapsed()
+    });
+    let gain = allocating.as_secs_f64() / planned.as_secs_f64().max(1e-9);
+    println!(
+        "\n  planned executor (graph memory plan, {} arena slots): {:.2?} vs allocating {:.2?} \
+         — {gain:.2}x",
+        ws.plans()[0].slot_count(),
+        planned,
+        allocating,
+    );
+    assert!(
+        gain >= 1.3,
+        "planned executor must beat the allocating deployed forward by >= 1.3x, got {gain:.2}x"
     );
     Ok(())
 }

@@ -14,6 +14,7 @@
 
 use crate::pack::PackedBits;
 use scales_tensor::ops::Conv2dSpec;
+use scales_tensor::workspace::BitScratch;
 use scales_tensor::{Result, Tensor, TensorError};
 
 /// A binary 2-D convolution with packed weights and per-output-channel
@@ -230,6 +231,9 @@ impl BinaryConv2d {
     /// `s_c · (binary dot)` per channel, with zero-padded taps contributing
     /// exactly 0 (mask words), bit-exact against the float reference.
     ///
+    /// Allocating convenience wrapper over [`BinaryConv2d::forward_into`];
+    /// serving paths thread a reusable [`BitScratch`] instead.
+    ///
     /// # Errors
     ///
     /// Returns an error for mismatched channel counts or geometry.
@@ -245,44 +249,116 @@ impl BinaryConv2d {
                 op: "binary conv channels",
             });
         }
+        let oh = self.spec.out_extent(h, self.kernel)?;
+        let ow = self.spec.out_extent(w, self.kernel)?;
+        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        let mut scratch = BitScratch::default();
+        self.forward_into(input.data(), n, h, w, &mut scratch, out.data_mut())?;
+        Ok(out)
+    }
+
+    /// The zero-allocation core of [`BinaryConv2d::forward`]: convolve a
+    /// flat `[n, in_channels, h, w]` input into a caller-provided output
+    /// buffer of `n · out_channels · oh · ow` elements (fully
+    /// overwritten), staging the activation bitmap and bit-im2col patches
+    /// in a reusable grow-only [`BitScratch`].
+    ///
+    /// Two structural fast paths keep results integer-exact while skipping
+    /// border bookkeeping:
+    ///
+    /// * the sign packing writes **both polarities** of each word's first
+    ///   channel lane (assignment, then ORs), so the bitmap never needs a
+    ///   zeroing pass;
+    /// * output pixels whose receptive field is entirely in bounds (the
+    ///   *interior* rectangle — the overwhelming majority at serving
+    ///   sizes) run a branch-free inner product with no per-tap `tap_ok`
+    ///   lookups and a constant valid-channel count; only border pixels
+    ///   keep the masked path. Both paths count the same lanes, so the
+    ///   result is bit-identical to the all-masked reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for mismatched input/output lengths or geometry.
+    pub fn forward_into(
+        &self,
+        input: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        scratch: &mut BitScratch,
+        out: &mut [f32],
+    ) -> Result<()> {
+        let ic = self.in_channels;
+        let oc = self.out_channels;
         let k = self.kernel;
         let oh = self.spec.out_extent(h, k)?;
         let ow = self.spec.out_extent(w, k)?;
-        let oc = self.out_channels;
+        if input.len() != n * ic * h * w {
+            return Err(TensorError::LengthMismatch { expected: n * ic * h * w, actual: input.len() });
+        }
+        if out.len() != n * oc * oh * ow {
+            return Err(TensorError::LengthMismatch { expected: n * oc * oh * ow, actual: out.len() });
+        }
         let wpp = self.wpp;
         let kk = k * k;
-        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
-        // Per-image channel-major activation bitmap: [h·w][wpp] words.
-        let mut act = vec![0u64; h * w * wpp];
-        // Bit-im2col of the whole image: per output pixel, the gathered
-        // receptive field (kk·wpp words), a byte per tap marking in-bounds
-        // taps, and the in-bounds channel count. Materialising this once
-        // lets the output-channel loop below run as a dense "binary GEMM"
-        // that the backend can split across threads by channel row.
-        let mut patches = vec![0u64; oh * ow * kk * wpp];
-        let mut tap_ok = vec![0u8; oh * ow * kk];
-        let mut valid = vec![0i32; oh * ow];
+        let (stride, pad) = (self.spec.stride, self.spec.padding);
+        // Interior rectangle: output coordinates whose taps are all in
+        // bounds on both axes (half-open ranges; empty when the kernel
+        // over-covers the image).
+        let (y_lo, y_hi) = interior_span(h, k, stride, pad, oh);
+        let (x_lo, x_hi) = interior_span(w, k, stride, pad, ow);
+        let act = scales_tensor::workspace::sized(&mut scratch.act, h * w * wpp);
+        let patches = scales_tensor::workspace::sized(&mut scratch.patches, oh * ow * kk * wpp);
+        let tap_ok = scales_tensor::workspace::sized(&mut scratch.tap_ok, oh * ow * kk);
+        let valid = scales_tensor::workspace::sized(&mut scratch.valid, oh * ow);
         for b in 0..n {
-            act.iter_mut().for_each(|v| *v = 0);
+            // Channel-major sign packing, [h·w][wpp] words. The first
+            // channel of each word *assigns* its lane (both polarities),
+            // later channels OR theirs in — every word is written exactly
+            // once without a zeroing pass, and stale scratch content never
+            // leaks through.
             for ci in 0..ic {
-                let plane = &input.data()[(b * ic + ci) * h * w..(b * ic + ci + 1) * h * w];
-                let (word, bit) = (ci / 64, 1u64 << (ci % 64));
-                for (p, &v) in plane.iter().enumerate() {
-                    if v >= 0.0 {
-                        act[p * wpp + word] |= bit;
+                let plane = &input[(b * ic + ci) * h * w..(b * ic + ci + 1) * h * w];
+                let (word, lane) = (ci / 64, ci % 64);
+                let bit = 1u64 << lane;
+                if lane == 0 {
+                    for (p, &v) in plane.iter().enumerate() {
+                        act[p * wpp + word] = u64::from(v >= 0.0);
+                    }
+                } else {
+                    for (p, &v) in plane.iter().enumerate() {
+                        if v >= 0.0 {
+                            act[p * wpp + word] |= bit;
+                        }
                     }
                 }
             }
+            // Bit-im2col. Interior pixels gather each kernel row as one
+            // contiguous copy (the kx taps are adjacent bitmap pixels) and
+            // skip the tap bookkeeping entirely; border pixels keep the
+            // masked gather. `tap_ok`/`valid` stay stale on interior
+            // pixels — the GEMM below never reads them there.
             for oy in 0..oh {
+                let interior_row = oy >= y_lo && oy < y_hi;
                 for ox in 0..ow {
                     let p = oy * ow + ox;
                     let row = p * kk * wpp;
+                    if interior_row && ox >= x_lo && ox < x_hi {
+                        let iy0 = oy * stride - pad;
+                        let ix0 = ox * stride - pad;
+                        for ky in 0..k {
+                            let src = ((iy0 + ky) * w + ix0) * wpp;
+                            patches[row + ky * k * wpp..row + (ky + 1) * k * wpp]
+                                .copy_from_slice(&act[src..src + k * wpp]);
+                        }
+                        continue;
+                    }
                     let mut valid_total = 0i32;
                     for ky in 0..k {
-                        let iy = (oy * self.spec.stride + ky) as isize - self.spec.padding as isize;
+                        let iy = (oy * stride + ky) as isize - pad as isize;
                         for kx in 0..k {
                             let tap = ky * k + kx;
-                            let ix = (ox * self.spec.stride + kx) as isize - self.spec.padding as isize;
+                            let ix = (ox * stride + kx) as isize - pad as isize;
                             let t = row + tap * wpp;
                             if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
                                 patches[t..t + wpp].iter_mut().for_each(|v| *v = 0);
@@ -300,15 +376,15 @@ impl BinaryConv2d {
             }
             // Binary GEMM over [oc × (oh·ow)]: each output channel owns a
             // contiguous plane, so the backend can dispatch channel rows to
-            // worker threads with no synchronisation. Out-of-bounds taps
-            // are skipped outright; the partial channel word is masked by
-            // `channel_mask` (u64::MAX when IC is a multiple of 64).
-            let out_image =
-                &mut out.data_mut()[b * oc * oh * ow..(b + 1) * oc * oh * ow];
-            let (patches, tap_ok, valid) = (&patches, &tap_ok, &valid);
+            // worker threads with no synchronisation. The partial channel
+            // word is masked by `channel_mask` (u64::MAX when IC is a
+            // multiple of 64).
+            let out_image = &mut out[b * oc * oh * ow..(b + 1) * oc * oh * ow];
+            let (patches, tap_ok, valid) = (&*patches, &*tap_ok, &*valid);
             let weights = &self.packed_weights;
             let scales = &self.scales;
             let channel_mask = self.channel_mask;
+            let interior_valid = (kk * ic) as i32;
             // ~1 popcount word-op per packed word, per pixel.
             let work = oh * ow * kk * wpp;
             scales_tensor::backend::kernel().for_each_row_chunk(
@@ -320,7 +396,33 @@ impl BinaryConv2d {
                         let c = first + j;
                         let wrow = &weights[c * kk * wpp..(c + 1) * kk * wpp];
                         let scale = scales[c];
-                        for (p, o) in plane.iter_mut().enumerate() {
+                        // Branch-free interior inner product: every tap is
+                        // in bounds, so no tap_ok lookups and the valid
+                        // count is the constant kk·ic.
+                        let interior = |p: usize| -> f32 {
+                            let prow = &patches[p * kk * wpp..(p + 1) * kk * wpp];
+                            let mut agree = 0u32;
+                            if wpp == 1 {
+                                for (wv, pv) in wrow.iter().zip(prow.iter()) {
+                                    agree += (!(wv ^ pv) & channel_mask).count_ones();
+                                }
+                            } else {
+                                for tap in 0..kk {
+                                    let base = tap * wpp;
+                                    for wi in 0..wpp - 1 {
+                                        agree +=
+                                            (!(wrow[base + wi] ^ prow[base + wi])).count_ones();
+                                    }
+                                    agree += (!(wrow[base + wpp - 1] ^ prow[base + wpp - 1])
+                                        & channel_mask)
+                                        .count_ones();
+                                }
+                            }
+                            scale * (2 * agree as i32 - interior_valid) as f32
+                        };
+                        // Masked border inner product (out-of-bounds taps
+                        // skipped outright).
+                        let border = |p: usize| -> f32 {
                             let row = p * kk * wpp;
                             let mut agree = 0u32;
                             for (tap, &ok) in tap_ok[p * kk..(p + 1) * kk].iter().enumerate() {
@@ -336,14 +438,38 @@ impl BinaryConv2d {
                                     & channel_mask)
                                     .count_ones();
                             }
-                            let dot = 2 * agree as i32 - valid[p];
-                            *o = scale * dot as f32;
+                            scale * (2 * agree as i32 - valid[p]) as f32
+                        };
+                        for oy in 0..oh {
+                            let row = oy * ow;
+                            let (ix0, ix1) =
+                                if oy >= y_lo && oy < y_hi { (x_lo, x_hi) } else { (ow, ow) };
+                            for ox in 0..ix0.min(ow) {
+                                plane[row + ox] = border(row + ox);
+                            }
+                            for ox in ix0..ix1 {
+                                plane[row + ox] = interior(row + ox);
+                            }
+                            for ox in ix1..ow {
+                                plane[row + ox] = border(row + ox);
+                            }
                         }
                     }
                 },
             );
         }
-        Ok(out)
+        Ok(())
+    }
+}
+
+/// Half-open output-coordinate span whose receptive field is entirely in
+/// bounds along one axis: `o·stride ≥ pad` and `o·stride + k − 1 − pad ≤
+/// extent − 1`. Returns an empty span when no such coordinate exists.
+fn interior_span(extent: usize, k: usize, stride: usize, pad: usize, out_extent: usize) -> (usize, usize) {
+    let lo = pad.div_ceil(stride);
+    match (extent + pad).checked_sub(k).map(|v| v / stride) {
+        Some(hi) if lo <= hi => (lo.min(out_extent), (hi + 1).min(out_extent)),
+        _ => (0, 0),
     }
 }
 
@@ -445,6 +571,57 @@ mod tests {
         for (a, b) in fast.data().iter().zip(slow.data().iter()) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn binary_conv_matches_float_conv_across_specs_and_word_counts() {
+        // Exercises the interior/border split on stride/padding variants
+        // (including all-border and all-interior extremes) and the
+        // multi-word channel path (IC > 64).
+        for &(ic, k, stride, padding) in &[
+            (3usize, 3usize, 1usize, 1usize),
+            (3, 3, 2, 1),
+            (3, 3, 1, 0), // no padding: every pixel interior
+            (3, 5, 1, 2),
+            (5, 3, 1, 2), // over-padded: interior shrinks
+            (80, 3, 1, 1), // two channel words with a partial mask
+            (64, 3, 1, 1), // exactly one full word
+        ] {
+            let spec = Conv2dSpec { stride, padding };
+            let input = Tensor::from_vec(signs(2 * ic * 9 * 8, 21), &[2, ic, 9, 8]).unwrap();
+            let weight = Tensor::from_vec(signs(4 * ic * k * k, 22), &[4, ic, k, k]).unwrap();
+            let mut bc = BinaryConv2d::from_float_weight(&weight).unwrap().with_spec(spec);
+            bc.set_scales(vec![1.0; 4]).unwrap();
+            let fast = bc.forward(&input).unwrap();
+            let slow = conv2d(&input, &weight, spec).unwrap();
+            assert_eq!(fast.shape(), slow.shape());
+            for (a, b) in fast.data().iter().zip(slow.data().iter()) {
+                assert!((a - b).abs() < 1e-4, "ic={ic} k={k} spec={spec:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_into_reusing_stale_scratch_is_bit_identical() {
+        use scales_tensor::workspace::BitScratch;
+        let weight = Tensor::from_vec(signs(4 * 3 * 3 * 3, 31), &[4, 3, 3, 3]).unwrap();
+        let bc = BinaryConv2d::from_float_weight(&weight).unwrap();
+        let mut scratch = BitScratch::default();
+        // Warm the scratch on a *larger* image so every buffer carries
+        // stale data when the smaller forward reuses it.
+        let big = Tensor::from_vec(signs(3 * 12 * 12, 32), &[1, 3, 12, 12]).unwrap();
+        let mut big_out = vec![0.0; 4 * 12 * 12];
+        bc.forward_into(big.data(), 1, 12, 12, &mut scratch, &mut big_out).unwrap();
+        let small = Tensor::from_vec(signs(2 * 3 * 7 * 6, 33), &[2, 3, 7, 6]).unwrap();
+        let want = bc.forward(&small).unwrap();
+        let mut got = vec![f32::NAN; want.len()];
+        bc.forward_into(small.data(), 2, 7, 6, &mut scratch, &mut got).unwrap();
+        for (a, b) in want.data().iter().zip(got.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Length mismatches are typed errors.
+        assert!(bc.forward_into(small.data(), 2, 7, 6, &mut scratch, &mut [0.0; 3]).is_err());
+        assert!(bc.forward_into(&[0.0; 5], 1, 7, 6, &mut scratch, &mut got).is_err());
     }
 
     #[test]

@@ -20,7 +20,8 @@ use crate::conv::ScalesConv2d;
 use crate::factory::BodyConv;
 use scales_nn::Module as _;
 use scales_binary::BinaryConv2d;
-use scales_tensor::ops::{conv1d, conv2d, global_avg_pool, sigmoid, Conv2dSpec};
+use scales_tensor::ops::{conv1d, conv2d, conv2d_into, global_avg_pool, sigmoid, Conv2dSpec};
+use scales_tensor::workspace::{sized, ConvScratch};
 use scales_tensor::{Result, Tensor, TensorError};
 
 /// Why a `Deployed`-precision serving engine is running the training path
@@ -307,6 +308,131 @@ impl DeployedScalesConv2d {
         }
         Ok(y)
     }
+
+    /// The zero-allocation core of [`DeployedScalesConv2d::forward`]:
+    /// serve a flat `[n, in_channels, h, w]` input into a caller-provided
+    /// output buffer (fully overwritten), staging the β-shifted input, the
+    /// packed-bit buffers and the re-scaling gates in a reusable
+    /// [`ConvScratch`]. Bit-identical to the allocating forward.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for mismatched lengths or geometry.
+    pub fn forward_into(
+        &self,
+        input: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        scratch: &mut ConvScratch,
+        out: &mut [f32],
+    ) -> Result<()> {
+        let c = self.in_channels;
+        let k = self.conv.kernel();
+        let spec = self.conv.spec();
+        let (oh, ow) = (spec.out_extent(h, k)?, spec.out_extent(w, k)?);
+        let oc = self.conv.out_channels();
+        if input.len() != n * c * h * w {
+            return Err(TensorError::LengthMismatch { expected: n * c * h * w, actual: input.len() });
+        }
+        let hw = h * w;
+        let ConvScratch { shifted, plane, chan, chan2, bits, .. } = scratch;
+        // β folds into an input shift before the sign packing.
+        if self.beta.is_empty() {
+            self.conv.forward_into(input, n, h, w, bits, out)?;
+        } else {
+            let src = sized(shifted, input.len());
+            src.copy_from_slice(input);
+            for b in 0..n {
+                for ci in 0..c {
+                    let beta = self.beta[ci];
+                    for v in &mut src[(b * c + ci) * hw..(b * c + ci + 1) * hw] {
+                        *v -= beta;
+                    }
+                }
+            }
+            self.conv.forward_into(src, n, h, w, bits, out)?;
+        }
+        // Spatial re-scaling from the FP input: the per-pixel channel dot
+        // replicates `conv2d(input, wmap, 1×1)` — accumulation in
+        // ascending-channel order, matching the GEMM's per-element order.
+        if let Some((wmap, bias)) = &self.spatial {
+            let gate = sized(plane, n * hw);
+            let wd = wmap.data();
+            for b in 0..n {
+                for p in 0..hw {
+                    let mut acc = 0.0f32;
+                    for (ci, &wv) in wd.iter().enumerate() {
+                        acc += wv * input[(b * c + ci) * hw + p];
+                    }
+                    gate[b * hw + p] = acc;
+                }
+            }
+            for b in 0..n {
+                for p in 0..oh * ow {
+                    let g = sigmoid(gate[b * hw + p] + bias);
+                    for co in 0..oc {
+                        out[((b * oc) + co) * (oh * ow) + p] *= g;
+                    }
+                }
+            }
+        }
+        // Channel re-scaling from the FP input (global average pool →
+        // 1-D conv over channel tokens → sigmoid gate).
+        if let Some(kker) = &self.channel {
+            let pooled = sized(chan, n * c);
+            scales_tensor::ops::global_avg_pool_into(input, n, c, hw, pooled);
+            let kd = kker.data();
+            let pad = kd.len() / 2;
+            let mixed = sized(chan2, n * c);
+            for b in 0..n {
+                for t in 0..c {
+                    let mut acc = 0.0f32;
+                    for (ki, &kv) in kd.iter().enumerate() {
+                        let pos = t as isize + ki as isize - pad as isize;
+                        if pos < 0 || pos >= c as isize {
+                            continue;
+                        }
+                        acc += pooled[b * c + pos as usize] * kv;
+                    }
+                    mixed[b * c + t] = acc;
+                }
+            }
+            for b in 0..n {
+                for co in 0..oc {
+                    let g = sigmoid(mixed[b * c + co]);
+                    for v in &mut out[((b * oc) + co) * (oh * ow)..((b * oc) + co + 1) * (oh * ow)] {
+                        *v *= g;
+                    }
+                }
+            }
+        }
+        if self.skip {
+            add_identity_skip(out, (n, oc, oh, ow), input, (n, c, h, w))?;
+        }
+        Ok(())
+    }
+}
+
+/// In-place FP identity skip `out += input`, requiring identical shapes —
+/// the deployed graphs only attach skips to shape-preserving layers.
+fn add_identity_skip(
+    out: &mut [f32],
+    out_dims: (usize, usize, usize, usize),
+    input: &[f32],
+    in_dims: (usize, usize, usize, usize),
+) -> Result<()> {
+    if out_dims != in_dims {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![out_dims.0, out_dims.1, out_dims.2, out_dims.3],
+            rhs: vec![in_dims.0, in_dims.1, in_dims.2, in_dims.3],
+            op: "deployed conv identity skip",
+        });
+    }
+    for (o, &x) in out.iter_mut().zip(input.iter()) {
+        *o += x;
+    }
+    Ok(())
 }
 
 /// A full-precision convolution in deployed (tape-free) form: raw tensors
@@ -371,6 +497,71 @@ impl FloatConv2d {
             None => Ok(y),
         }
     }
+
+    /// Output dimensions `(oc, oh, ow)` for an input of spatial extent
+    /// `(h, w)` — the shape-inference hook the planned executor uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the kernel does not fit the padded input.
+    pub fn out_shape(&self, h: usize, w: usize) -> Result<(usize, usize, usize)> {
+        let (kh, kw) = (self.weight.shape()[2], self.weight.shape()[3]);
+        Ok((self.weight.shape()[0], self.spec.out_extent(h, kh)?, self.spec.out_extent(w, kw)?))
+    }
+
+    /// The zero-allocation core of [`FloatConv2d::forward`]: convolve a
+    /// flat `[n, ic, h, w]` input into a caller-provided output buffer
+    /// (fully overwritten), staging im2col in a reusable grow-only
+    /// buffer. Bit-identical to the allocating forward.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for mismatched lengths or geometry, or a bias
+    /// whose broadcast would change the output shape.
+    pub fn forward_into(
+        &self,
+        input: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        col: &mut Vec<f32>,
+        out: &mut [f32],
+    ) -> Result<()> {
+        let ic = self.weight.shape()[1];
+        conv2d_into(input, n, ic, h, w, &self.weight, self.spec, col, out)?;
+        if let Some(bias) = &self.bias {
+            let (oc, oh, ow) = self.out_shape(h, w)?;
+            if bias.shape() == [1, oc, 1, 1] {
+                // The canonical lowered bias: one value per channel.
+                let bd = bias.data();
+                for b in 0..n {
+                    for (co, &bv) in bd.iter().enumerate() {
+                        for v in &mut out[((b * oc) + co) * oh * ow..((b * oc) + co + 1) * oh * ow] {
+                            *v += bv;
+                        }
+                    }
+                }
+            } else {
+                // General broadcastable bias (possible via
+                // `FloatConv2d::new` from serialized parts): replicate the
+                // allocating `zip_map` element-for-element.
+                let yshape = [n, oc, oh, ow];
+                let bshape = scales_tensor::shape::broadcast_shape(&yshape, bias.shape())?;
+                if bshape != yshape {
+                    return Err(TensorError::ShapeMismatch {
+                        lhs: yshape.to_vec(),
+                        rhs: bias.shape().to_vec(),
+                        op: "deployed float conv bias broadcast",
+                    });
+                }
+                for (i, v) in out.iter_mut().enumerate() {
+                    *v += bias.data()
+                        [scales_tensor::shape::broadcast_src_index(i, &yshape, bias.shape())];
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Per-channel batch-statistics batch norm in deployed form, matching
@@ -389,6 +580,100 @@ fn batchnorm_batch_stats(y: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) ->
     let denom = var.map(|v| (v + eps).sqrt());
     let normed = centered.zip_map(&denom, |a, d| a / d)?;
     normed.zip_map(gamma, |a, g| a * g)?.zip_map(beta, |a, b| a + b)
+}
+
+/// In-place scratch-buffered twin of [`batchnorm_batch_stats`]: the same
+/// staged reductions (sum over batch, then height, then width, each
+/// divided by its extent after the full sum) in the same per-element
+/// order, so the result is bit-identical — without allocating the six
+/// intermediate tensors.
+#[allow(clippy::too_many_arguments)]
+fn batchnorm_batch_stats_inplace(
+    y: &mut [f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+    scratch: &mut ConvScratch,
+) -> Result<()> {
+    if gamma.len() != c || beta.len() != c {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![1, c, 1, 1],
+            rhs: gamma.shape().to_vec(),
+            op: "deployed batch-norm affine shape",
+        });
+    }
+    let (hw, chw) = (h * w, c * h * w);
+    let ConvScratch { col, plane, chan, chan2, .. } = scratch;
+    let m1 = sized(col, chw); // per-(c,h,w) batch mean
+    let m2 = sized(plane, c * w); // then reduced over height
+    let mean = sized(chan, c); // then reduced over width
+    let denom = sized(chan2, c);
+    // Per-channel mean, staged exactly like mean_axis(0) → (2) → (3).
+    m1.fill(0.0);
+    for b in 0..n {
+        for (o, &v) in m1.iter_mut().zip(&y[b * chw..(b + 1) * chw]) {
+            *o += v;
+        }
+    }
+    m1.iter_mut().for_each(|v| *v /= n as f32);
+    m2.fill(0.0);
+    for ci in 0..c {
+        for row in 0..h {
+            for (o, &v) in m2[ci * w..(ci + 1) * w].iter_mut().zip(&m1[ci * hw + row * w..]) {
+                *o += v;
+            }
+        }
+    }
+    m2.iter_mut().for_each(|v| *v /= h as f32);
+    for (ci, m) in mean.iter_mut().enumerate() {
+        *m = m2[ci * w..(ci + 1) * w].iter().sum::<f32>() / w as f32;
+    }
+    // Center in place, then run the identical staged reduction over the
+    // squared values for the variance.
+    for b in 0..n {
+        for ci in 0..c {
+            let m = mean[ci];
+            for v in &mut y[(b * c + ci) * hw..(b * c + ci + 1) * hw] {
+                *v -= m;
+            }
+        }
+    }
+    m1.fill(0.0);
+    for b in 0..n {
+        for (o, &v) in m1.iter_mut().zip(&y[b * chw..(b + 1) * chw]) {
+            *o += v * v;
+        }
+    }
+    m1.iter_mut().for_each(|v| *v /= n as f32);
+    m2.fill(0.0);
+    for ci in 0..c {
+        for row in 0..h {
+            for (o, &v) in m2[ci * w..(ci + 1) * w].iter_mut().zip(&m1[ci * hw + row * w..]) {
+                *o += v;
+            }
+        }
+    }
+    m2.iter_mut().for_each(|v| *v /= h as f32);
+    for (ci, d) in denom.iter_mut().enumerate() {
+        let var = m2[ci * w..(ci + 1) * w].iter().sum::<f32>() / w as f32;
+        *d = (var + eps).sqrt();
+    }
+    // normed·γ + β, fused per element in the zip_map order
+    // ((centered / denom) · γ) + β.
+    let (gd, bd) = (gamma.data(), beta.data());
+    for b in 0..n {
+        for ci in 0..c {
+            let (d, g, be) = (denom[ci], gd[ci], bd[ci]);
+            for v in &mut y[(b * c + ci) * hw..(b * c + ci + 1) * hw] {
+                *v = *v / d * g + be;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Any trained body convolution lowered to its deployment form: packed
@@ -559,6 +844,133 @@ impl DeployedBodyConv {
         }
     }
 
+    /// The zero-allocation core of [`DeployedBodyConv::forward`]: serve a
+    /// flat `[n, in_channels, h, w]` input into a caller-provided output
+    /// buffer (fully overwritten), staging every per-call temporary —
+    /// shifted inputs, packed bits, batch-norm reductions, accumulation
+    /// maps — in a reusable [`ConvScratch`]. Bit-identical to the
+    /// allocating forward for every method variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for mismatched lengths or geometry.
+    pub fn forward_into(
+        &self,
+        input: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        scratch: &mut ConvScratch,
+        out: &mut [f32],
+    ) -> Result<()> {
+        let (oc, oh, ow) = self.out_shape(h, w)?;
+        let c = self.in_channels();
+        if input.len() != n * c * h * w {
+            return Err(TensorError::LengthMismatch { expected: n * c * h * w, actual: input.len() });
+        }
+        let in_dims = (n, c, h, w);
+        let out_dims = (n, oc, oh, ow);
+        match self {
+            DeployedBodyConv::Float(conv) => conv.forward_into(input, n, h, w, &mut scratch.col, out),
+            DeployedBodyConv::Scales(conv) => conv.forward_into(input, n, h, w, scratch, out),
+            DeployedBodyConv::E2fif { conv, gamma, beta, skip } => {
+                conv.forward_into(input, n, h, w, &mut scratch.bits, out)?;
+                batchnorm_batch_stats_inplace(out, n, oc, oh, ow, gamma, beta, 1e-5, scratch)?;
+                if *skip {
+                    add_identity_skip(out, out_dims, input, in_dims)?;
+                }
+                Ok(())
+            }
+            DeployedBodyConv::Btm { conv, skip } => {
+                let chw = c * h * w;
+                let ConvScratch { shifted, bits, .. } = scratch;
+                let src = sized(shifted, n * chw);
+                src.copy_from_slice(input);
+                for b in 0..n {
+                    let plane = &mut src[b * chw..(b + 1) * chw];
+                    let mean: f32 = plane.iter().sum::<f32>() / chw as f32;
+                    for v in plane.iter_mut() {
+                        *v -= mean;
+                    }
+                }
+                conv.forward_into(src, n, h, w, bits, out)?;
+                if *skip {
+                    add_identity_skip(out, out_dims, input, in_dims)?;
+                }
+                Ok(())
+            }
+            DeployedBodyConv::Bam { conv, skip } => {
+                conv.forward_into(input, n, h, w, &mut scratch.bits, out)?;
+                // FP accumulation map K = mean_c |x|, applied per pixel
+                // (stride-1 "same" conv keeps oh·ow == h·w).
+                if oh * ow != h * w {
+                    return Err(TensorError::InvalidArgument(
+                        "BAM deployment needs same-size output".into(),
+                    ));
+                }
+                for b in 0..n {
+                    for p in 0..h * w {
+                        let mut k = 0.0f32;
+                        for ci in 0..c {
+                            k += input[(b * c + ci) * h * w + p].abs();
+                        }
+                        k /= c as f32;
+                        for co in 0..oc {
+                            out[(b * oc + co) * oh * ow + p] *= k;
+                        }
+                    }
+                }
+                if *skip {
+                    add_identity_skip(out, out_dims, input, in_dims)?;
+                }
+                Ok(())
+            }
+            DeployedBodyConv::Basic { conv, skip } => {
+                conv.forward_into(input, n, h, w, &mut scratch.bits, out)?;
+                if *skip {
+                    add_identity_skip(out, out_dims, input, in_dims)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Number of input channels this layer consumes.
+    #[must_use]
+    pub fn in_channels(&self) -> usize {
+        match self {
+            DeployedBodyConv::Float(c) => c.weight().shape()[1],
+            DeployedBodyConv::Scales(c) => c.in_channels(),
+            DeployedBodyConv::E2fif { conv, .. }
+            | DeployedBodyConv::Btm { conv, .. }
+            | DeployedBodyConv::Bam { conv, .. }
+            | DeployedBodyConv::Basic { conv, .. } => conv.in_channels(),
+        }
+    }
+
+    /// Output dimensions `(oc, oh, ow)` for an input of spatial extent
+    /// `(h, w)` — the shape-inference hook the planned executor uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the kernel does not fit the padded input.
+    pub fn out_shape(&self, h: usize, w: usize) -> Result<(usize, usize, usize)> {
+        match self {
+            DeployedBodyConv::Float(c) => c.out_shape(h, w),
+            DeployedBodyConv::Scales(c) => {
+                let (k, spec) = (c.conv.kernel(), c.conv.spec());
+                Ok((c.out_channels(), spec.out_extent(h, k)?, spec.out_extent(w, k)?))
+            }
+            DeployedBodyConv::E2fif { conv, .. }
+            | DeployedBodyConv::Btm { conv, .. }
+            | DeployedBodyConv::Bam { conv, .. }
+            | DeployedBodyConv::Basic { conv, .. } => {
+                let (k, spec) = (conv.kernel(), conv.spec());
+                Ok((conv.out_channels(), spec.out_extent(h, k)?, spec.out_extent(w, k)?))
+            }
+        }
+    }
+
     /// Number of output channels after this layer.
     #[must_use]
     pub fn out_channels(&self) -> usize {
@@ -715,6 +1127,67 @@ mod tests {
         for (a, b) in fast.data().iter().zip(reference.data().iter()) {
             assert!((a - b).abs() < 1e-4, "{method}: {a} vs {b}");
         }
+    }
+
+    #[test]
+    fn body_conv_forward_into_is_bit_identical_with_stale_scratch() {
+        // One shared scratch across every method and two input shapes, so
+        // each call sees stale contents from the previous layer — exactly
+        // the planned executor's steady state.
+        let mut scratch = ConvScratch::new();
+        for (i, m) in [
+            crate::Method::FullPrecision,
+            crate::Method::E2fif,
+            crate::Method::Btm,
+            crate::Method::Bam,
+            crate::Method::Bibert,
+            crate::Method::scales(),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut r = rng(400 + i as u64);
+            let layer = BodyConv::new(m, 6, 6, 3, &mut r).unwrap();
+            let deployed = DeployedBodyConv::from_trained(&layer).unwrap();
+            for (n, hw) in [(1usize, 8usize), (2, 8), (1, 5)] {
+                let input = Tensor::from_vec(
+                    (0..n * 6 * hw * hw).map(|j| ((j as f32 + i as f32) * 0.19).sin()).collect(),
+                    &[n, 6, hw, hw],
+                )
+                .unwrap();
+                let want = deployed.forward(&input).unwrap();
+                let mut got = vec![f32::NAN; want.len()];
+                deployed.forward_into(input.data(), n, hw, hw, &mut scratch, &mut got).unwrap();
+                for (a, b) in want.data().iter().zip(got.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{m}, n={n}, hw={hw}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn float_conv_forward_into_matches_forward_bitwise() {
+        let mut r = rng(77);
+        let conv = scales_nn::layers::Conv2d::new(5, 7, 3, &mut r);
+        let lowered = FloatConv2d::new(
+            conv.weight().value(),
+            conv.params().get(1).map(scales_autograd::Var::value),
+            conv.spec(),
+        )
+        .unwrap();
+        let input = Tensor::from_vec(
+            (0..2 * 5 * 36).map(|j| ((j as f32) * 0.31).cos()).collect(),
+            &[2, 5, 6, 6],
+        )
+        .unwrap();
+        let want = lowered.forward(&input).unwrap();
+        let mut col = Vec::new();
+        let mut got = vec![f32::NAN; want.len()];
+        lowered.forward_into(input.data(), 2, 6, 6, &mut col, &mut got).unwrap();
+        for (a, b) in want.data().iter().zip(got.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(lowered.out_shape(6, 6).unwrap(), (7, 6, 6));
     }
 
     #[test]

@@ -79,6 +79,27 @@ impl Method {
         !matches!(self, Method::FullPrecision | Method::Bicubic)
     }
 
+    /// Every registry row with a CNN body to build and lower — all
+    /// methods except [`Method::Bicubic`] (no network), with each
+    /// [`ScalesComponents`] subset the ablation serves. The single source
+    /// of truth the cross-cutting equivalence suites (deployment,
+    /// serialization, planned execution) iterate, so a new method row is
+    /// automatically pulled into every bit-identity contract.
+    #[must_use]
+    pub fn cnn_registry() -> Vec<Method> {
+        vec![
+            Method::FullPrecision,
+            Method::E2fif,
+            Method::Btm,
+            Method::Bam,
+            Method::Bibert,
+            Method::Scales(ScalesComponents::full()),
+            Method::Scales(ScalesComponents::lsf_only()),
+            Method::Scales(ScalesComponents::lsf_channel()),
+            Method::Scales(ScalesComponents::lsf_spatial()),
+        ]
+    }
+
     /// Capability row, matching the paper's Table I.
     #[must_use]
     pub fn capabilities(&self) -> Capabilities {

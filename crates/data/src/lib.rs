@@ -27,4 +27,6 @@ pub mod synth;
 pub use datasets::{Benchmark, EvalSet, SrPair, TrainSet};
 pub use image::Image;
 pub use patch::{Batch, PatchSampler};
-pub use resize::{downscale, resize_bicubic, resize_bicubic_tensor, upscale};
+pub use resize::{
+    downscale, resize_bicubic, resize_bicubic_into, resize_bicubic_tensor, upscale, BicubicAxisTaps,
+};

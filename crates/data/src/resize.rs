@@ -19,6 +19,71 @@ pub fn cubic_kernel(x: f32) -> f32 {
     }
 }
 
+/// Precomputed, normalized bicubic filter taps for one axis — the
+/// `(source index, weight)` pairs each output coordinate reads.
+///
+/// Building taps once per `(in, out)` extent pair (instead of per call)
+/// is what lets the planned deployment executor run the bicubic global
+/// skip with zero per-request allocation; [`resize_bicubic_tensor`] uses
+/// the same construction, so both paths are bit-identical.
+pub struct BicubicAxisTaps {
+    /// `(source index, normalized weight)` pairs, flattened.
+    taps: Vec<(usize, f32)>,
+    /// Per output coordinate: half-open range into `taps`.
+    spans: Vec<(usize, usize)>,
+}
+
+impl BicubicAxisTaps {
+    /// Taps mapping `in_extent` source samples onto `out_extent` outputs
+    /// under the align-corners-false pixel model
+    /// (`src = (dst + 0.5)·scale − 0.5`), with clamped edges and PIL-style
+    /// widened support (anti-aliasing) when downscaling.
+    #[must_use]
+    pub fn new(in_extent: usize, out_extent: usize) -> Self {
+        let scale = in_extent as f32 / out_extent as f32;
+        let support = scale.max(1.0);
+        let mut taps = Vec::new();
+        let mut spans = Vec::with_capacity(out_extent);
+        for o in 0..out_extent {
+            let src = (o as f32 + 0.5) * scale - 0.5;
+            let lo = (src - 2.0 * support).floor() as isize;
+            let hi = (src + 2.0 * support).ceil() as isize;
+            let start = taps.len();
+            let mut norm = 0.0;
+            for i in lo..=hi {
+                let wgt = cubic_kernel((i as f32 - src) / support);
+                if wgt != 0.0 {
+                    let idx = i.clamp(0, in_extent as isize - 1) as usize;
+                    taps.push((idx, wgt));
+                    norm += wgt;
+                }
+            }
+            for (_, wgt) in &mut taps[start..] {
+                *wgt /= norm;
+            }
+            spans.push((start, taps.len()));
+        }
+        Self { taps, spans }
+    }
+
+    /// Number of output coordinates.
+    #[must_use]
+    pub fn out_extent(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// The `(source index, weight)` taps of output coordinate `o`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `o` is out of range.
+    #[must_use]
+    pub fn taps_for(&self, o: usize) -> &[(usize, f32)] {
+        let (start, end) = self.spans[o];
+        &self.taps[start..end]
+    }
+}
+
 /// Resize one `[C, H, W]` tensor to `(out_h, out_w)` with separable bicubic
 /// interpolation and clamped edges. Uses the align-corners-false pixel
 /// model (`src = (dst + 0.5)·scale − 0.5`) like PIL/PyTorch.
@@ -34,70 +99,86 @@ pub fn resize_bicubic_tensor(input: &Tensor, out_h: usize, out_w: usize) -> Resu
         return Err(TensorError::InvalidArgument("target extent must be positive".into()));
     }
     let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
-    let scale_y = h as f32 / out_h as f32;
-    let scale_x = w as f32 / out_w as f32;
-    // Horizontal pass: [C, H, W] → [C, H, out_w].
-    let mut tmp = Tensor::zeros(&[c, h, out_w]);
-    // When downscaling, widen the kernel support (anti-aliasing), like PIL.
-    let support_x = scale_x.max(1.0);
+    let xtaps = BicubicAxisTaps::new(w, out_w);
+    let ytaps = BicubicAxisTaps::new(h, out_h);
+    let mut tmp = vec![0.0f32; c * h * out_w];
+    let mut out = Tensor::zeros(&[c, out_h, out_w]);
+    resize_bicubic_passes(input.data(), c, h, w, &xtaps, &ytaps, &mut tmp, out.data_mut());
+    Ok(out)
+}
+
+/// The zero-allocation core of [`resize_bicubic_tensor`]: resample a flat
+/// `[c, h, w]` volume into a caller-provided `[c, out_h, out_w]` buffer
+/// (fully overwritten) through precomputed axis taps, staging the
+/// horizontal pass in a reusable grow-only buffer. Bit-identical to the
+/// allocating path.
+///
+/// # Errors
+///
+/// Returns an error for mismatched input/output lengths.
+#[allow(clippy::too_many_arguments)]
+pub fn resize_bicubic_into(
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    xtaps: &BicubicAxisTaps,
+    ytaps: &BicubicAxisTaps,
+    tmp: &mut Vec<f32>,
+    out: &mut [f32],
+) -> Result<()> {
+    let (out_h, out_w) = (ytaps.out_extent(), xtaps.out_extent());
+    if input.len() != c * h * w {
+        return Err(TensorError::LengthMismatch { expected: c * h * w, actual: input.len() });
+    }
+    if out.len() != c * out_h * out_w {
+        return Err(TensorError::LengthMismatch { expected: c * out_h * out_w, actual: out.len() });
+    }
+    let tmpbuf = scales_tensor::workspace::sized(tmp, c * h * out_w);
+    resize_bicubic_passes(input, c, h, w, xtaps, ytaps, tmpbuf, out);
+    Ok(())
+}
+
+/// Shared separable-resample kernel: horizontal pass into `tmp`
+/// (`[c, h, out_w]`), vertical pass into `out` (`[c, out_h, out_w]`).
+/// Each output element accumulates its taps in span order.
+#[allow(clippy::too_many_arguments)]
+fn resize_bicubic_passes(
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    xtaps: &BicubicAxisTaps,
+    ytaps: &BicubicAxisTaps,
+    tmp: &mut [f32],
+    out: &mut [f32],
+) {
+    let (out_h, out_w) = (ytaps.out_extent(), xtaps.out_extent());
     for ox in 0..out_w {
-        let src = (ox as f32 + 0.5) * scale_x - 0.5;
-        let lo = (src - 2.0 * support_x).floor() as isize;
-        let hi = (src + 2.0 * support_x).ceil() as isize;
-        let mut taps: Vec<(usize, f32)> = Vec::with_capacity((hi - lo + 1) as usize);
-        let mut norm = 0.0;
-        for ix in lo..=hi {
-            let wgt = cubic_kernel((ix as f32 - src) / support_x);
-            if wgt != 0.0 {
-                let xi = ix.clamp(0, w as isize - 1) as usize;
-                taps.push((xi, wgt));
-                norm += wgt;
-            }
-        }
-        for (_, wgt) in &mut taps {
-            *wgt /= norm;
-        }
+        let taps = xtaps.taps_for(ox);
         for ci in 0..c {
             for y in 0..h {
+                let row = &input[(ci * h + y) * w..(ci * h + y + 1) * w];
                 let mut acc = 0.0;
-                for &(xi, wgt) in &taps {
-                    acc += input.at(&[ci, y, xi]) * wgt;
+                for &(xi, wgt) in taps {
+                    acc += row[xi] * wgt;
                 }
-                *tmp.at_mut(&[ci, y, ox]) = acc;
+                tmp[(ci * h + y) * out_w + ox] = acc;
             }
         }
     }
-    // Vertical pass: [C, H, out_w] → [C, out_h, out_w].
-    let mut out = Tensor::zeros(&[c, out_h, out_w]);
-    let support_y = scale_y.max(1.0);
     for oy in 0..out_h {
-        let src = (oy as f32 + 0.5) * scale_y - 0.5;
-        let lo = (src - 2.0 * support_y).floor() as isize;
-        let hi = (src + 2.0 * support_y).ceil() as isize;
-        let mut taps: Vec<(usize, f32)> = Vec::with_capacity((hi - lo + 1) as usize);
-        let mut norm = 0.0;
-        for iy in lo..=hi {
-            let wgt = cubic_kernel((iy as f32 - src) / support_y);
-            if wgt != 0.0 {
-                let yi = iy.clamp(0, h as isize - 1) as usize;
-                taps.push((yi, wgt));
-                norm += wgt;
-            }
-        }
-        for (_, wgt) in &mut taps {
-            *wgt /= norm;
-        }
+        let taps = ytaps.taps_for(oy);
         for ci in 0..c {
             for ox in 0..out_w {
                 let mut acc = 0.0;
-                for &(yi, wgt) in &taps {
-                    acc += tmp.at(&[ci, yi, ox]) * wgt;
+                for &(yi, wgt) in taps {
+                    acc += tmp[(ci * h + yi) * out_w + ox] * wgt;
                 }
-                *out.at_mut(&[ci, oy, ox]) = acc;
+                out[(ci * out_h + oy) * out_w + ox] = acc;
             }
         }
     }
-    Ok(out)
 }
 
 /// Bicubic-resize an [`Image`].
@@ -182,6 +263,29 @@ mod tests {
         }
         err /= img.tensor().len() as f32;
         assert!(err < 0.02, "mean abs err {err}");
+    }
+
+    #[test]
+    fn resize_into_is_bit_identical_with_stale_scratch() {
+        let input = Tensor::from_vec(
+            (0..3 * 9 * 7).map(|i| ((i as f32) * 0.23).sin() * 0.4 + 0.5).collect(),
+            &[3, 9, 7],
+        )
+        .unwrap();
+        let want = resize_bicubic_tensor(&input, 18, 14).unwrap();
+        let xtaps = BicubicAxisTaps::new(7, 14);
+        let ytaps = BicubicAxisTaps::new(9, 18);
+        // Pre-dirtied scratch: reuse must not leak stale values.
+        let mut tmp = vec![f32::NAN; 1000];
+        let mut out = vec![f32::NAN; 3 * 18 * 14];
+        resize_bicubic_into(input.data(), 3, 9, 7, &xtaps, &ytaps, &mut tmp, &mut out).unwrap();
+        for (a, b) in want.data().iter().zip(out.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Length mismatches are typed errors.
+        assert!(resize_bicubic_into(&[0.0; 5], 3, 9, 7, &xtaps, &ytaps, &mut tmp, &mut out).is_err());
+        assert!(resize_bicubic_into(input.data(), 3, 9, 7, &xtaps, &ytaps, &mut tmp, &mut [0.0; 4])
+            .is_err());
     }
 
     #[test]

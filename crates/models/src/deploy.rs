@@ -23,6 +23,7 @@ use crate::common::SrNetwork;
 use scales_core::{DeployedBodyConv, FloatConv2d};
 use scales_data::{resize_bicubic_tensor, Image};
 use scales_tensor::ops::{global_avg_pool, pixel_shuffle, sigmoid};
+use scales_tensor::workspace::ConvScratch;
 use scales_tensor::{Result, Tensor, TensorError};
 
 /// Identifies a value in the deployed op graph (0 is the network input;
@@ -59,6 +60,56 @@ impl DeployedChannelAttention {
         let gate = self.up.forward(&self.down.forward(&pooled)?.map(|v| v.max(0.0)))?;
         let gate = gate.map(sigmoid);
         x.zip_map(&gate, |a, g| a * g)
+    }
+
+    /// Zero-allocation twin of the gate: pooled activations, the two 1×1
+    /// convolutions, and the sigmoid gate all stage in [`ConvScratch`];
+    /// bit-identical to the allocating forward.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn forward_into(
+        &self,
+        x: &[f32],
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        scratch: &mut ConvScratch,
+        out: &mut [f32],
+    ) -> Result<()> {
+        let cr = self.down.out_channels();
+        if self.up.out_channels() != c {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![self.up.out_channels()],
+                rhs: vec![c],
+                op: "channel attention excite width",
+            });
+        }
+        let hw = h * w;
+        if x.len() != n * c * hw {
+            return Err(TensorError::LengthMismatch { expected: n * c * hw, actual: x.len() });
+        }
+        if out.len() != n * c * hw {
+            return Err(TensorError::LengthMismatch { expected: n * c * hw, actual: out.len() });
+        }
+        let ConvScratch { col, chan, chan2, .. } = scratch;
+        let pooled = scales_tensor::workspace::sized(chan, n * c);
+        scales_tensor::ops::global_avg_pool_into(x, n, c, hw, pooled);
+        let mid = scales_tensor::workspace::sized(chan2, n * cr);
+        self.down.forward_into(pooled, n, 1, 1, col, mid)?;
+        mid.iter_mut().for_each(|v| *v = v.max(0.0));
+        // The excite conv writes back over the (now dead) pooled buffer.
+        self.up.forward_into(mid, n, 1, 1, col, pooled)?;
+        pooled.iter_mut().for_each(|v| *v = sigmoid(*v));
+        for b in 0..n {
+            for ci in 0..c {
+                let g = pooled[b * c + ci];
+                let base = (b * c + ci) * hw;
+                for (o, &v) in out[base..base + hw].iter_mut().zip(&x[base..base + hw]) {
+                    *o = v * g;
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -126,8 +177,29 @@ pub enum DeployedOp {
     },
 }
 
+/// A borrowed, allocation-free view of one op's input values: unary and
+/// binary ops store their ids inline, `Concat` hands out its slice. This
+/// keeps the per-op hot loops (`forward`, the plan walk) free of the
+/// `Vec` clone the old `inputs()` paid on every call.
+pub(crate) enum OpInputs<'a> {
+    One([ValueId; 1]),
+    Two([ValueId; 2]),
+    Many(&'a [ValueId]),
+}
+
+impl OpInputs<'_> {
+    /// The input ids, in op order.
+    pub(crate) fn as_slice(&self) -> &[ValueId] {
+        match self {
+            OpInputs::One(ids) => ids,
+            OpInputs::Two(ids) => ids,
+            OpInputs::Many(ids) => ids,
+        }
+    }
+}
+
 impl DeployedOp {
-    fn inputs(&self) -> Vec<ValueId> {
+    pub(crate) fn inputs(&self) -> OpInputs<'_> {
         match self {
             DeployedOp::FloatConv { src, .. }
             | DeployedOp::Body { src, .. }
@@ -135,9 +207,9 @@ impl DeployedOp {
             | DeployedOp::Prelu { src, .. }
             | DeployedOp::ChannelAttention { src, .. }
             | DeployedOp::PixelShuffle { src, .. }
-            | DeployedOp::BicubicUp { src, .. } => vec![*src],
-            DeployedOp::Add { lhs, rhs } => vec![*lhs, *rhs],
-            DeployedOp::Concat { srcs } => srcs.clone(),
+            | DeployedOp::BicubicUp { src, .. } => OpInputs::One([*src]),
+            DeployedOp::Add { lhs, rhs } => OpInputs::Two([*lhs, *rhs]),
+            DeployedOp::Concat { srcs } => OpInputs::Many(srcs),
         }
     }
 }
@@ -188,6 +260,13 @@ impl DeployedNetwork {
         self.output
     }
 
+    /// For each value id, the index of the last op consuming it
+    /// (`usize::MAX` when never consumed) — the liveness table the memory
+    /// planner walks.
+    pub(crate) fn last_use(&self) -> &[usize] {
+        &self.last_use
+    }
+
     /// Number of bit-packed (binary) body convolutions in the graph.
     #[must_use]
     pub fn packed_layers(&self) -> usize {
@@ -228,7 +307,7 @@ impl DeployedNetwork {
             let take = |values: &mut Vec<Option<Tensor>>, id: ValueId| -> Result<Tensor> {
                 let movable = self.last_use[id] == i
                     && id != self.output
-                    && inputs.iter().filter(|&&x| x == id).count() == 1;
+                    && inputs.as_slice().iter().filter(|&&x| x == id).count() == 1;
                 let v = if movable { values[id].take() } else { values[id].clone() };
                 v.ok_or_else(|| TensorError::InvalidArgument(format!("value {id} freed too early")))
             };
@@ -389,7 +468,7 @@ impl DeployedNetworkBuilder {
     pub fn finish(self, output: ValueId) -> DeployedNetwork {
         let mut last_use = vec![usize::MAX; self.ops.len() + 1];
         for (i, op) in self.ops.iter().enumerate() {
-            for id in op.inputs() {
+            for &id in op.inputs().as_slice() {
                 last_use[id] = i;
             }
         }

@@ -43,6 +43,14 @@ pub trait InferModel {
     fn is_deployed(&self) -> bool {
         false
     }
+
+    /// The deployed op graph behind this handle, when it is one — the hook
+    /// the serving layer uses to route pre-lowered models through the
+    /// planned zero-allocation executor
+    /// ([`DeployedNetwork::forward_planned`]).
+    fn as_deployed(&self) -> Option<&DeployedNetwork> {
+        None
+    }
 }
 
 impl<T: SrNetwork + ?Sized> InferModel for T {
@@ -74,6 +82,10 @@ impl InferModel for DeployedNetwork {
 
     fn is_deployed(&self) -> bool {
         true
+    }
+
+    fn as_deployed(&self) -> Option<&DeployedNetwork> {
+        Some(self)
     }
 }
 

@@ -31,6 +31,7 @@ mod classifiers;
 mod common;
 pub mod cost;
 pub mod deploy;
+pub mod plan;
 mod infer_model;
 pub mod probe;
 mod rcan;
@@ -44,6 +45,7 @@ pub use classifiers::{ResNetTiny, SwinVitTiny};
 pub use common::{bicubic_skip, ChannelAttention, Head, SrConfig, SrNetwork, Tail, CA_REDUCTION};
 pub use deploy::{DeployedNetwork, DeployedNetworkBuilder, DeployedOp};
 pub use infer_model::InferModel;
+pub use plan::{Plan, Workspace};
 pub use probe::Recorder;
 pub use rcan::{rcan, Rcan};
 pub use rdn::{rdn, Rdn};

@@ -1,0 +1,684 @@
+//! Planned zero-allocation execution of a [`DeployedNetwork`].
+//!
+//! [`DeployedNetwork::forward`] allocates a fresh tensor per op and a
+//! fresh `Vec<Option<Tensor>>` per call. For serving, that is pure
+//! overhead: the graph, the input shape, and therefore every
+//! intermediate's size are fixed after the first request. A [`Plan`]
+//! captures exactly that invariant structure once:
+//!
+//! * **shape inference** — the `[n, c, h, w]` of every SSA value;
+//! * **liveness** — each value's last consumer (the same table the
+//!   allocating forward uses to free tensors early);
+//! * **slot assignment** — a linear scan over the live intervals maps
+//!   every value to a slot in a shared arena, reusing slots the moment
+//!   their previous value dies (best-fit by size, so the arena stays
+//!   close to the live-set high-water mark rather than the graph depth).
+//!   Elementwise ops (`Relu`, `Prelu`, `Add`) run **in place** on a dying
+//!   operand's slot, skipping the copy entirely;
+//! * **bicubic taps** — the global-skip resampler's filter weights,
+//!   precomputed per axis.
+//!
+//! [`DeployedNetwork::forward_planned`] then executes the graph through a
+//! [`Workspace`] whose slot buffers and [`ConvScratch`] grow on the first
+//! request at a given shape and are reused verbatim afterwards: the steady
+//! state performs **zero heap allocation** up to the returned output
+//! tensor itself. Results are bit-identical to the allocating forward —
+//! every kernel the planned path uses (`forward_into` on the conv layers,
+//! the in-place elementwise loops, the staged batch-norm and bicubic
+//! twins) reproduces its allocating counterpart's per-element arithmetic
+//! order exactly, and the property suite in `tests/planned.rs` enforces
+//! `f32::to_bits` equality across the whole method registry.
+//!
+//! A [`Workspace`] belongs to one network (in practice: one serving
+//! session). Plans are cached per input shape inside it, so a session
+//! serving mixed sizes pays one planning pass per distinct shape.
+
+use crate::deploy::{DeployedNetwork, DeployedOp, ValueId};
+use scales_data::BicubicAxisTaps;
+use scales_tensor::workspace::ConvScratch;
+use scales_tensor::{Result, Tensor, TensorError};
+
+/// Flat volume of a rank-4 shape.
+fn vol(shape: [usize; 4]) -> usize {
+    shape[0] * shape[1] * shape[2] * shape[3]
+}
+
+/// The once-per-(graph, input shape) execution schedule: value shapes,
+/// arena slot assignment, and precomputed resampler taps. Build via
+/// [`DeployedNetwork::plan`]; execute via
+/// [`DeployedNetwork::forward_planned`].
+pub struct Plan {
+    input_shape: [usize; 4],
+    /// Per value id (0 = network input): inferred shape.
+    shapes: Vec<[usize; 4]>,
+    /// Per value id: arena slot (`None` only for the network input, which
+    /// is read from the request tensor directly).
+    slot_of: Vec<Option<usize>>,
+    /// Per slot: element capacity (max over the values it hosts).
+    slot_sizes: Vec<usize>,
+    /// Per op: precomputed `(y, x)` axis taps for `BicubicUp`.
+    bicubic: Vec<Option<(BicubicAxisTaps, BicubicAxisTaps)>>,
+    output: ValueId,
+}
+
+impl Plan {
+    /// The input shape this plan was built for.
+    #[must_use]
+    pub fn input_shape(&self) -> [usize; 4] {
+        self.input_shape
+    }
+
+    /// Number of arena slots (the live-value high-water mark, not the
+    /// graph depth).
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slot_sizes.len()
+    }
+
+    /// Total arena capacity in `f32` elements.
+    #[must_use]
+    pub fn arena_len(&self) -> usize {
+        self.slot_sizes.iter().sum()
+    }
+
+    /// Number of values in the graph (ops + the input).
+    #[must_use]
+    pub fn num_values(&self) -> usize {
+        self.shapes.len()
+    }
+
+    fn value<'a>(&self, input: &'a [f32], slots: &'a [Vec<f32>], id: ValueId) -> &'a [f32] {
+        match self.slot_of[id] {
+            None => input,
+            Some(s) => &slots[s][..vol(self.shapes[id])],
+        }
+    }
+
+    /// Execute the plan. `slots`/`scratch` grow on first use at this shape
+    /// and are reused verbatim afterwards; the only steady-state
+    /// allocation is the returned output tensor.
+    fn execute(
+        &self,
+        net: &DeployedNetwork,
+        input: &Tensor,
+        slots: &mut Vec<Vec<f32>>,
+        scratch: &mut ConvScratch,
+    ) -> Result<Tensor> {
+        if input.shape() != self.input_shape.as_slice() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: input.shape().to_vec(),
+                rhs: self.input_shape.to_vec(),
+                op: "planned forward input",
+            });
+        }
+        if net.num_ops() + 1 != self.shapes.len() || net.output() != self.output {
+            return Err(TensorError::InvalidArgument(
+                "plan does not belong to this network (a Workspace serves exactly one model)"
+                    .into(),
+            ));
+        }
+        if slots.len() < self.slot_sizes.len() {
+            slots.resize_with(self.slot_sizes.len(), Vec::new);
+        }
+        for (s, &sz) in self.slot_sizes.iter().enumerate() {
+            if slots[s].len() < sz {
+                slots[s].resize(sz, 0.0);
+            }
+        }
+        if self.output == 0 {
+            // Degenerate passthrough graph.
+            return Ok(input.clone());
+        }
+        for (i, op) in net.ops().iter().enumerate() {
+            let out_id = i + 1;
+            let oshape = self.shapes[out_id];
+            let oslot = self.slot_of[out_id].expect("op outputs always have a slot");
+            // Move the output buffer out of the arena so the op can read
+            // any other value while writing it; in-place ops find their
+            // operand's data already inside it.
+            let mut out_buf = std::mem::take(&mut slots[oslot]);
+            let r = self.run_op(op, i, oslot, oshape, input.data(), slots, scratch, &mut out_buf[..vol(oshape)]);
+            slots[oslot] = out_buf;
+            r?;
+        }
+        let oshape = self.shapes[self.output];
+        let data = self.value(input.data(), slots, self.output).to_vec();
+        Tensor::from_vec(data, &oshape)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_op(
+        &self,
+        op: &DeployedOp,
+        i: usize,
+        oslot: usize,
+        oshape: [usize; 4],
+        input: &[f32],
+        slots: &[Vec<f32>],
+        scratch: &mut ConvScratch,
+        out: &mut [f32],
+    ) -> Result<()> {
+        match op {
+            DeployedOp::FloatConv { conv, src } => {
+                let [n, _, h, w] = self.shapes[*src];
+                conv.forward_into(self.value(input, slots, *src), n, h, w, &mut scratch.col, out)
+            }
+            DeployedOp::Body { conv, src } => {
+                let [n, _, h, w] = self.shapes[*src];
+                conv.forward_into(self.value(input, slots, *src), n, h, w, scratch, out)
+            }
+            DeployedOp::Relu { src } => {
+                if self.slot_of[*src] == Some(oslot) {
+                    out.iter_mut().for_each(|v| *v = v.max(0.0));
+                } else {
+                    for (o, &x) in out.iter_mut().zip(self.value(input, slots, *src)) {
+                        *o = x.max(0.0);
+                    }
+                }
+                Ok(())
+            }
+            DeployedOp::Prelu { slope, src } => {
+                let s = *slope;
+                let f = |v: f32| if v > 0.0 { v } else { s * v };
+                if self.slot_of[*src] == Some(oslot) {
+                    out.iter_mut().for_each(|v| *v = f(*v));
+                } else {
+                    for (o, &x) in out.iter_mut().zip(self.value(input, slots, *src)) {
+                        *o = f(x);
+                    }
+                }
+                Ok(())
+            }
+            DeployedOp::Add { lhs, rhs } => {
+                if lhs != rhs && self.slot_of[*lhs] == Some(oslot) {
+                    // out already holds lhs.
+                    for (o, &bv) in out.iter_mut().zip(self.value(input, slots, *rhs)) {
+                        *o += bv;
+                    }
+                } else if lhs != rhs && self.slot_of[*rhs] == Some(oslot) {
+                    // out already holds rhs (IEEE addition commutes
+                    // bitwise for the finite values in play).
+                    for (o, &av) in out.iter_mut().zip(self.value(input, slots, *lhs)) {
+                        *o += av;
+                    }
+                } else {
+                    let l = self.value(input, slots, *lhs);
+                    let r = self.value(input, slots, *rhs);
+                    for ((o, &av), &bv) in out.iter_mut().zip(l).zip(r) {
+                        *o = av + bv;
+                    }
+                }
+                Ok(())
+            }
+            DeployedOp::Concat { srcs } => {
+                let n = oshape[0];
+                let mut dst = 0;
+                for b in 0..n {
+                    for &s in srcs {
+                        let p = self.shapes[s];
+                        let plen = p[1] * p[2] * p[3];
+                        let pdata = self.value(input, slots, s);
+                        out[dst..dst + plen].copy_from_slice(&pdata[b * plen..(b + 1) * plen]);
+                        dst += plen;
+                    }
+                }
+                Ok(())
+            }
+            DeployedOp::ChannelAttention { ca, src } => {
+                let [n, c, h, w] = self.shapes[*src];
+                ca.forward_into(self.value(input, slots, *src), n, c, h, w, scratch, out)
+            }
+            DeployedOp::PixelShuffle { factor, src } => {
+                let [n, cin, h, w] = self.shapes[*src];
+                let r = *factor;
+                let cout = cin / (r * r);
+                let data = self.value(input, slots, *src);
+                for b in 0..n {
+                    for co in 0..cout {
+                        for ry in 0..r {
+                            for rx in 0..r {
+                                let ci = co * r * r + ry * r + rx;
+                                for y in 0..h {
+                                    let srow = ((b * cin + ci) * h + y) * w;
+                                    let obase =
+                                        ((b * cout + co) * (h * r) + y * r + ry) * (w * r) + rx;
+                                    for x in 0..w {
+                                        out[obase + x * r] = data[srow + x];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            DeployedOp::BicubicUp { src, .. } => {
+                let (ytaps, xtaps) = self.bicubic[i]
+                    .as_ref()
+                    .expect("BicubicUp ops carry precomputed taps");
+                let [n, c, h, w] = self.shapes[*src];
+                let data = self.value(input, slots, *src);
+                let (oh, ow) = (ytaps.out_extent(), xtaps.out_extent());
+                for b in 0..n {
+                    scales_data::resize_bicubic_into(
+                        &data[b * c * h * w..(b + 1) * c * h * w],
+                        c,
+                        h,
+                        w,
+                        xtaps,
+                        ytaps,
+                        &mut scratch.col,
+                        &mut out[b * c * oh * ow..(b + 1) * c * oh * ow],
+                    )?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Infer one op's output shape from its input shapes.
+fn infer_shape(op: &DeployedOp, shapes: &[[usize; 4]]) -> Result<[usize; 4]> {
+    let same_shape = |ids: &[ValueId]| -> Result<[usize; 4]> {
+        let first = shapes[ids[0]];
+        for &id in &ids[1..] {
+            if shapes[id] != first {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.to_vec(),
+                    rhs: shapes[id].to_vec(),
+                    op: "planned elementwise shapes",
+                });
+            }
+        }
+        Ok(first)
+    };
+    match op {
+        DeployedOp::FloatConv { conv, src } => {
+            let [n, c, h, w] = shapes[*src];
+            if c != conv.weight().shape()[1] {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: shapes[*src].to_vec(),
+                    rhs: conv.weight().shape().to_vec(),
+                    op: "planned conv channels",
+                });
+            }
+            let (oc, oh, ow) = conv.out_shape(h, w)?;
+            Ok([n, oc, oh, ow])
+        }
+        DeployedOp::Body { conv, src } => {
+            let [n, c, h, w] = shapes[*src];
+            if c != conv.in_channels() {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: shapes[*src].to_vec(),
+                    rhs: vec![conv.out_channels(), conv.in_channels()],
+                    op: "planned body conv channels",
+                });
+            }
+            let (oc, oh, ow) = conv.out_shape(h, w)?;
+            Ok([n, oc, oh, ow])
+        }
+        DeployedOp::Relu { src }
+        | DeployedOp::Prelu { src, .. }
+        | DeployedOp::ChannelAttention { src, .. } => Ok(shapes[*src]),
+        DeployedOp::Add { lhs, rhs } => same_shape(&[*lhs, *rhs]),
+        DeployedOp::Concat { srcs } => {
+            if srcs.is_empty() {
+                return Err(TensorError::InvalidArgument("concat of zero values".into()));
+            }
+            let first = shapes[srcs[0]];
+            let mut channels = 0;
+            for &s in srcs {
+                let p = shapes[s];
+                if [p[0], p[2], p[3]] != [first[0], first[2], first[3]] {
+                    return Err(TensorError::ShapeMismatch {
+                        lhs: first.to_vec(),
+                        rhs: p.to_vec(),
+                        op: "planned concat extents",
+                    });
+                }
+                channels += p[1];
+            }
+            Ok([first[0], channels, first[2], first[3]])
+        }
+        DeployedOp::PixelShuffle { factor, src } => {
+            let [n, c, h, w] = shapes[*src];
+            let r = *factor;
+            if r == 0 || !c.is_multiple_of(r * r) {
+                return Err(TensorError::InvalidArgument(format!(
+                    "channels {c} not divisible by r^2 = {}",
+                    r * r
+                )));
+            }
+            Ok([n, c / (r * r), h * r, w * r])
+        }
+        DeployedOp::BicubicUp { scale, src } => {
+            let [n, c, h, w] = shapes[*src];
+            if *scale == 0 {
+                return Err(TensorError::InvalidArgument("upscale factor must be positive".into()));
+            }
+            Ok([n, c, h * scale, w * scale])
+        }
+    }
+}
+
+impl DeployedNetwork {
+    /// Build the execution [`Plan`] for an input of the given `[n, c, h,
+    /// w]` shape: shape inference over the op graph, liveness-driven arena
+    /// slot assignment, and resampler tap precomputation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-rank-4 input shape or a graph whose ops
+    /// cannot accept the inferred intermediate shapes.
+    pub fn plan(&self, input_shape: &[usize]) -> Result<Plan> {
+        let [n, c, h, w] = match *input_shape {
+            [n, c, h, w] => [n, c, h, w],
+            _ => {
+                return Err(TensorError::RankMismatch {
+                    expected: 4,
+                    actual: input_shape.len(),
+                    op: "planned network input",
+                })
+            }
+        };
+        let last_use = self.last_use();
+        let nvals = self.num_ops() + 1;
+        let mut shapes: Vec<[usize; 4]> = Vec::with_capacity(nvals);
+        shapes.push([n, c, h, w]);
+        let mut bicubic = Vec::with_capacity(self.num_ops());
+        for op in self.ops() {
+            shapes.push(infer_shape(op, &shapes)?);
+            bicubic.push(match op {
+                DeployedOp::BicubicUp { scale, src } => {
+                    let [_, _, sh, sw] = shapes[*src];
+                    Some((
+                        BicubicAxisTaps::new(sh, sh * scale),
+                        BicubicAxisTaps::new(sw, sw * scale),
+                    ))
+                }
+                _ => None,
+            });
+        }
+        // Linear-scan slot assignment over the SSA live intervals.
+        let mut slot_of: Vec<Option<usize>> = vec![None; nvals];
+        let mut slot_sizes: Vec<usize> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        for (i, op) in self.ops().iter().enumerate() {
+            let out_id = i + 1;
+            let need = vol(shapes[out_id]);
+            // Elementwise ops take over a dying operand's slot and run in
+            // place (never the network input or the graph output).
+            let steal = |v: ValueId, other: Option<ValueId>| {
+                v != 0
+                    && v != self.output()
+                    && last_use[v] == i
+                    && other != Some(v)
+                    && slot_of[v].is_some()
+            };
+            let inplace = match op {
+                DeployedOp::Relu { src } | DeployedOp::Prelu { src, .. } => {
+                    steal(*src, None).then_some(*src)
+                }
+                DeployedOp::Add { lhs, rhs } => {
+                    if steal(*lhs, Some(*rhs)) {
+                        Some(*lhs)
+                    } else if steal(*rhs, Some(*lhs)) {
+                        Some(*rhs)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            let slot = match inplace {
+                Some(v) => slot_of[v].expect("steal checked the slot"),
+                None => {
+                    // Best fit: the smallest free slot that already fits,
+                    // else grow the largest free one, else a new slot.
+                    let pick = free
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &s)| slot_sizes[s] >= need)
+                        .min_by_key(|&(_, &s)| slot_sizes[s])
+                        .map(|(fi, _)| fi)
+                        .or_else(|| {
+                            free.iter()
+                                .enumerate()
+                                .max_by_key(|&(_, &s)| slot_sizes[s])
+                                .map(|(fi, _)| fi)
+                        });
+                    match pick {
+                        Some(fi) => free.swap_remove(fi),
+                        None => {
+                            slot_sizes.push(0);
+                            slot_sizes.len() - 1
+                        }
+                    }
+                }
+            };
+            slot_sizes[slot] = slot_sizes[slot].max(need);
+            slot_of[out_id] = Some(slot);
+            // Release the slots of values whose last consumer was this op
+            // (the stolen slot is already reassigned to the output).
+            for &id in op.inputs().as_slice() {
+                if id == 0 || id == self.output() || last_use[id] != i {
+                    continue;
+                }
+                if let Some(s) = slot_of[id] {
+                    if Some(s) != slot_of[out_id] && !free.contains(&s) {
+                        free.push(s);
+                    }
+                }
+            }
+        }
+        Ok(Plan {
+            input_shape: [n, c, h, w],
+            shapes,
+            slot_of,
+            slot_sizes,
+            bicubic,
+            output: self.output(),
+        })
+    }
+
+    /// Run deployed inference through the planned zero-allocation
+    /// executor. The plan for `input`'s shape is built (and cached in
+    /// `ws`) on first use; afterwards the forward reuses the workspace's
+    /// arena and scratch verbatim, allocating nothing but the returned
+    /// output tensor. Bit-identical to [`DeployedNetwork::forward`].
+    ///
+    /// A [`Workspace`] must serve exactly one network.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-rank-4 inputs or mismatched geometry.
+    pub fn forward_planned(&self, input: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
+        if input.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: input.rank(),
+                op: "deployed network input",
+            });
+        }
+        let idx = match ws.plans.iter().position(|p| p.input_shape.as_slice() == input.shape()) {
+            Some(i) => {
+                ws.plan_hits += 1;
+                i
+            }
+            None => {
+                ws.plans.push(self.plan(input.shape())?);
+                ws.plans_built += 1;
+                ws.plans.len() - 1
+            }
+        };
+        let Workspace { plans, slots, scratch, .. } = ws;
+        plans[idx].execute(self, input, slots, scratch)
+    }
+}
+
+/// The reusable execution state behind [`DeployedNetwork::forward_planned`]:
+/// the arena slot buffers, the kernel [`ConvScratch`], and the per-shape
+/// [`Plan`] cache, plus counters surfacing plan reuse to serving stats.
+///
+/// Owned by whoever owns the stream of requests (a `scales-serve`
+/// session); serves exactly one network.
+#[derive(Default)]
+pub struct Workspace {
+    slots: Vec<Vec<f32>>,
+    scratch: ConvScratch,
+    plans: Vec<Plan>,
+    plans_built: usize,
+    plan_hits: usize,
+}
+
+impl Workspace {
+    /// A fresh, empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Plans built so far (one per distinct input shape served).
+    #[must_use]
+    pub fn plans_built(&self) -> usize {
+        self.plans_built
+    }
+
+    /// Forwards that reused an already-built plan.
+    #[must_use]
+    pub fn plan_hits(&self) -> usize {
+        self.plan_hits
+    }
+
+    /// The cached plans, in build order.
+    #[must_use]
+    pub fn plans(&self) -> &[Plan] {
+        &self.plans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{SrConfig, SrNetwork};
+    use crate::{edsr, rcan, rdn, srresnet};
+    use scales_core::Method;
+
+    fn probe(n: usize, h: usize, w: usize, seed: f32) -> Tensor {
+        Tensor::from_vec(
+            (0..n * 3 * h * w).map(|i| ((i as f32 + seed) * 0.17).sin() * 0.4 + 0.5).collect(),
+            &[n, 3, h, w],
+        )
+        .unwrap()
+    }
+
+    fn assert_planned_bit_identical(net: &dyn SrNetwork, input: &Tensor, label: &str) {
+        let deployed = net.lower().unwrap();
+        let want = deployed.forward(input).unwrap();
+        let mut ws = Workspace::new();
+        // Twice through the same workspace: the second pass runs on warm
+        // (stale) buffers.
+        for round in 0..2 {
+            let got = deployed.forward_planned(input, &mut ws).unwrap();
+            assert_eq!(got.shape(), want.shape(), "{label}");
+            for (a, b) in want.data().iter().zip(got.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{label}, round {round}");
+            }
+        }
+        assert_eq!(ws.plans_built(), 1, "{label}");
+        assert_eq!(ws.plan_hits(), 1, "{label}");
+    }
+
+    #[test]
+    fn planned_matches_allocating_forward_on_every_lowerable_arch() {
+        let x = probe(2, 8, 8, 1.0);
+        for m in [Method::FullPrecision, Method::scales()] {
+            let cfg = |seed| SrConfig { channels: 8, blocks: 2, scale: 2, method: m, seed };
+            assert_planned_bit_identical(&srresnet(cfg(51)).unwrap(), &x, "SRResNet");
+            assert_planned_bit_identical(&edsr(cfg(52)).unwrap(), &x, "EDSR");
+            assert_planned_bit_identical(&rdn(cfg(53)).unwrap(), &x, "RDN");
+            assert_planned_bit_identical(&rcan(cfg(54)).unwrap(), &x, "RCAN");
+        }
+    }
+
+    #[test]
+    fn arena_is_far_smaller_than_the_value_count() {
+        let net = srresnet(SrConfig {
+            channels: 8,
+            blocks: 4,
+            scale: 2,
+            method: Method::scales(),
+            seed: 55,
+        })
+        .unwrap();
+        let deployed = net.lower().unwrap();
+        let plan = deployed.plan(&[1, 3, 8, 8]).unwrap();
+        assert!(
+            plan.slot_count() * 2 < plan.num_values(),
+            "liveness must reuse slots: {} slots for {} values",
+            plan.slot_count(),
+            plan.num_values()
+        );
+        // The arena is bounded by the live-set width (shallow feature +
+        // skip + working value), not the op count.
+        assert!(plan.slot_count() <= 6, "slot count {}", plan.slot_count());
+    }
+
+    #[test]
+    fn one_workspace_serves_multiple_input_shapes() {
+        let net = srresnet(SrConfig {
+            channels: 8,
+            blocks: 1,
+            scale: 2,
+            method: Method::scales(),
+            seed: 56,
+        })
+        .unwrap();
+        let deployed = net.lower().unwrap();
+        let mut ws = Workspace::new();
+        let (a, b) = (probe(1, 8, 8, 2.0), probe(1, 6, 10, 3.0));
+        for _ in 0..2 {
+            for x in [&a, &b] {
+                let got = deployed.forward_planned(x, &mut ws).unwrap();
+                let want = deployed.forward(x).unwrap();
+                for (p, q) in want.data().iter().zip(got.data().iter()) {
+                    assert_eq!(p.to_bits(), q.to_bits());
+                }
+            }
+        }
+        assert_eq!(ws.plans_built(), 2, "one plan per shape");
+        assert_eq!(ws.plan_hits(), 2, "second round reuses both");
+    }
+
+    #[test]
+    fn plan_rejects_wrong_rank_and_wrong_network() {
+        let net = srresnet(SrConfig {
+            channels: 8,
+            blocks: 1,
+            scale: 2,
+            method: Method::scales(),
+            seed: 57,
+        })
+        .unwrap();
+        let deployed = net.lower().unwrap();
+        assert!(deployed.plan(&[3, 8, 8]).is_err());
+        let mut ws = Workspace::new();
+        assert!(deployed
+            .forward_planned(&Tensor::zeros(&[3, 8, 8]), &mut ws)
+            .is_err());
+        // A workspace carrying another (different-sized) network's plan
+        // must fail loudly, not read garbage.
+        let _ = deployed.forward_planned(&probe(1, 8, 8, 4.0), &mut ws).unwrap();
+        let other = srresnet(SrConfig {
+            channels: 8,
+            blocks: 2,
+            scale: 2,
+            method: Method::scales(),
+            seed: 58,
+        })
+        .unwrap()
+        .lower()
+        .unwrap();
+        assert!(other.forward_planned(&probe(1, 8, 8, 5.0), &mut ws).is_err());
+    }
+}

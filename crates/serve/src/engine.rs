@@ -47,6 +47,9 @@ impl<M: InferModel + ?Sized> InferModel for ByRef<'_, M> {
     fn is_deployed(&self) -> bool {
         self.0.is_deployed()
     }
+    fn as_deployed(&self) -> Option<&DeployedNetwork> {
+        self.0.as_deployed()
+    }
 }
 
 /// Configures an [`Engine`]. Obtained from [`Engine::builder`].
@@ -283,12 +286,21 @@ impl<'m> Engine<'m> {
         self.lowered.as_ref()
     }
 
-    /// One forward through whichever path this engine resolved to. Callers
-    /// are responsible for running under [`Engine::backend`]; sessions do.
-    pub(crate) fn forward_raw(&self, batch: &Tensor) -> Result<Tensor> {
-        match &self.lowered {
-            Some(net) => net.forward(batch),
-            None => self.model.forward_infer(batch),
+    /// One forward through whichever path this engine resolved to. A
+    /// deployed graph — auto-lowered at build or passed in pre-lowered —
+    /// runs through the planned zero-allocation executor against the
+    /// caller's [`Workspace`] (bit-identical to the allocating forward);
+    /// the training path ignores the workspace. Callers are responsible
+    /// for running under [`Engine::backend`]; sessions do.
+    pub(crate) fn forward_with(
+        &self,
+        batch: &Tensor,
+        ws: &mut scales_models::Workspace,
+    ) -> Result<Tensor> {
+        if let Some(net) = self.lowered.as_ref().or_else(|| self.model.as_deployed()) {
+            net.forward_planned(batch, ws)
+        } else {
+            self.model.forward_infer(batch)
         }
     }
 }

@@ -58,6 +58,12 @@ pub struct InferStats {
     pub backend: Backend,
     /// Precision the work ran at.
     pub precision: Precision,
+    /// Execution plans built during this request (one per input shape the
+    /// session had not served before; always 0 on the training path).
+    pub plans_built: usize,
+    /// Forwards that reused an already-built plan — the session's
+    /// workspace served them with zero steady-state allocation.
+    pub plan_reuses: usize,
 }
 
 /// The super-resolved images of one request, in request order.

@@ -5,20 +5,31 @@ use crate::engine::Engine;
 use crate::request::{InferStats, SrRequest, SrResponse};
 use crate::tile::TileSpec;
 use scales_data::Image;
+use scales_models::Workspace;
 use scales_tensor::{backend, Result, Tensor, TensorError};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
 /// A stream of requests against one [`Engine`]. Cheap to open; carries
-/// per-session serving counters.
+/// per-session serving counters and the planned executor's [`Workspace`]
+/// — arena slots, kernel scratch, and the per-shape plan cache — so
+/// steady-state deployed forwards on this session allocate nothing.
 pub struct Session<'e, 'm> {
     engine: &'e Engine<'m>,
     requests: Cell<usize>,
     images_served: Cell<usize>,
+    /// Interior-mutable so `infer` can stay `&self` (sessions hand out
+    /// shared references); never borrowed across a forward boundary.
+    workspace: RefCell<Workspace>,
 }
 
 impl<'e, 'm> Session<'e, 'm> {
     pub(crate) fn over(engine: &'e Engine<'m>) -> Self {
-        Self { engine, requests: Cell::new(0), images_served: Cell::new(0) }
+        Self {
+            engine,
+            requests: Cell::new(0),
+            images_served: Cell::new(0),
+            workspace: RefCell::new(Workspace::new()),
+        }
     }
 
     /// The engine this session serves through.
@@ -82,7 +93,12 @@ impl<'e, 'm> Session<'e, 'm> {
         }
         policy.validate()?;
         backend::with_thread_backend(engine.backend(), || {
-            let forward = |t: &Tensor| engine.forward_raw(t);
+            let (plans_before, hits_before) = {
+                let ws = self.workspace.borrow();
+                (ws.plans_built(), ws.plan_hits())
+            };
+            let forward =
+                |t: &Tensor| engine.forward_with(t, &mut self.workspace.borrow_mut());
             let mut out: Vec<Option<Image>> = Vec::new();
             out.resize_with(images.len(), || None);
             let mut tiled = 0usize;
@@ -119,6 +135,10 @@ impl<'e, 'm> Session<'e, 'm> {
                     })
                 })
                 .collect::<Result<Vec<Image>>>()?;
+            let (plans_built, plan_reuses) = {
+                let ws = self.workspace.borrow();
+                (ws.plans_built() - plans_before, ws.plan_hits() - hits_before)
+            };
             Ok(SrResponse {
                 stats: InferStats {
                     images: images.len(),
@@ -126,6 +146,8 @@ impl<'e, 'm> Session<'e, 'm> {
                     tiled,
                     backend: engine.backend(),
                     precision: engine.precision(),
+                    plans_built,
+                    plan_reuses,
                 },
                 images,
             })
@@ -357,6 +379,32 @@ mod tests {
         let _ = session.infer(SrRequest::single(probe_image(8, 8, 70))).unwrap();
         assert_eq!(session.requests(), 2);
         assert_eq!(session.images_served(), 3);
+    }
+
+    #[test]
+    fn stats_surface_plan_builds_and_reuses() {
+        let net = local_net();
+        let engine =
+            Engine::builder().model_ref(&net).precision(Precision::Deployed).build().unwrap();
+        let session = engine.session();
+        // Two shapes in one request: two plans built, nothing to reuse.
+        let first = session
+            .infer(SrRequest::batch(vec![probe_image(8, 8, 71), probe_image(6, 10, 72)]))
+            .unwrap();
+        assert_eq!(first.stats().plans_built, 2);
+        assert_eq!(first.stats().plan_reuses, 0);
+        // Same shapes again: both forwards reuse the session's plans.
+        let second = session
+            .infer(SrRequest::batch(vec![probe_image(8, 8, 73), probe_image(6, 10, 74)]))
+            .unwrap();
+        assert_eq!(second.stats().plans_built, 0);
+        assert_eq!(second.stats().plan_reuses, 2);
+        // The training path never plans.
+        let training =
+            Engine::builder().model_ref(&net).precision(Precision::Training).build().unwrap();
+        let stats = training.session().infer(SrRequest::single(probe_image(8, 8, 75))).unwrap();
+        assert_eq!(stats.stats().plans_built, 0);
+        assert_eq!(stats.stats().plan_reuses, 0);
     }
 
     #[test]

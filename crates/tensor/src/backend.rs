@@ -248,21 +248,117 @@ pub fn gemm_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
 /// Reference single-threaded kernel (exact seed semantics).
 pub struct ScalarKernel;
 
-/// Shared inner GEMM row block: ikj order with zero-skip, identical across
-/// kernels so backends agree bit-for-bit.
+/// Column width of the register tile the blocked GEMM accumulates in.
+const GEMM_NR: usize = 8;
+
+/// Row height of the register tile (rows of `a` sharing each loaded `b`
+/// tile).
+const GEMM_MR: usize = 4;
+
+/// Shared inner GEMM row block, register-blocked: output rows are
+/// processed in [`GEMM_MR`]-row groups whose [`GEMM_NR`]-wide column tiles
+/// live in registers across the whole `k` loop, so each loaded `b` tile is
+/// reused [`GEMM_MR`] times instead of once.
+///
+/// Every output element accumulates its products in ascending-`p` order in
+/// every path (row quad, single-row remainder, column tail), which is the
+/// same per-element summation order as the plain ikj reference loop —
+/// results are bit-identical across kernels, row splits, and tile
+/// boundaries.
 fn gemm_rows(a: &[f32], b: &[f32], c: &mut [f32], first_row: usize, rows: usize, k: usize, n: usize) {
-    for i in 0..rows {
-        let a_row = &a[(first_row + i) * k..(first_row + i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (p, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                *cv += av * bv;
+    let mut r = 0;
+    while r + GEMM_MR <= rows {
+        let base = (first_row + r) * k;
+        let block = &mut c[r * n..(r + GEMM_MR) * n];
+        let (c0, block) = block.split_at_mut(n);
+        let (c1, block) = block.split_at_mut(n);
+        let (c2, c3) = block.split_at_mut(n);
+        gemm_row_quad(
+            [
+                &a[base..base + k],
+                &a[base + k..base + 2 * k],
+                &a[base + 2 * k..base + 3 * k],
+                &a[base + 3 * k..base + 4 * k],
+            ],
+            b,
+            [c0, c1, c2, c3],
+            k,
+            n,
+        );
+        r += GEMM_MR;
+    }
+    while r < rows {
+        let base = (first_row + r) * k;
+        gemm_row_single(&a[base..base + k], b, &mut c[r * n..(r + 1) * n], k, n);
+        r += 1;
+    }
+}
+
+/// Four output rows at once: the `GEMM_NR`-wide accumulator tiles of all
+/// four rows stay in registers over the full `k` loop.
+fn gemm_row_quad(a: [&[f32]; 4], b: &[f32], c: [&mut [f32]; 4], k: usize, n: usize) {
+    let [a0, a1, a2, a3] = a;
+    let [c0, c1, c2, c3] = c;
+    let tiles = n - n % GEMM_NR;
+    let mut j = 0;
+    while j < tiles {
+        let mut t0: [f32; GEMM_NR] = c0[j..j + GEMM_NR].try_into().expect("tile");
+        let mut t1: [f32; GEMM_NR] = c1[j..j + GEMM_NR].try_into().expect("tile");
+        let mut t2: [f32; GEMM_NR] = c2[j..j + GEMM_NR].try_into().expect("tile");
+        let mut t3: [f32; GEMM_NR] = c3[j..j + GEMM_NR].try_into().expect("tile");
+        for p in 0..k {
+            let bt: &[f32; GEMM_NR] = b[p * n + j..p * n + j + GEMM_NR].try_into().expect("tile");
+            let (x0, x1, x2, x3) = (a0[p], a1[p], a2[p], a3[p]);
+            for l in 0..GEMM_NR {
+                t0[l] += x0 * bt[l];
+                t1[l] += x1 * bt[l];
+                t2[l] += x2 * bt[l];
+                t3[l] += x3 * bt[l];
             }
         }
+        c0[j..j + GEMM_NR].copy_from_slice(&t0);
+        c1[j..j + GEMM_NR].copy_from_slice(&t1);
+        c2[j..j + GEMM_NR].copy_from_slice(&t2);
+        c3[j..j + GEMM_NR].copy_from_slice(&t3);
+        j += GEMM_NR;
+    }
+    for jj in tiles..n {
+        let (mut t0, mut t1, mut t2, mut t3) = (c0[jj], c1[jj], c2[jj], c3[jj]);
+        for p in 0..k {
+            let bv = b[p * n + jj];
+            t0 += a0[p] * bv;
+            t1 += a1[p] * bv;
+            t2 += a2[p] * bv;
+            t3 += a3[p] * bv;
+        }
+        c0[jj] = t0;
+        c1[jj] = t1;
+        c2[jj] = t2;
+        c3[jj] = t3;
+    }
+}
+
+/// Remainder rows (fewer than [`GEMM_MR`] left): same tile shape, one row.
+fn gemm_row_single(a_row: &[f32], b: &[f32], c_row: &mut [f32], k: usize, n: usize) {
+    let tiles = n - n % GEMM_NR;
+    let mut j = 0;
+    while j < tiles {
+        let mut t: [f32; GEMM_NR] = c_row[j..j + GEMM_NR].try_into().expect("tile");
+        for (p, &x) in a_row.iter().enumerate().take(k) {
+            let bt: &[f32; GEMM_NR] = b[p * n + j..p * n + j + GEMM_NR].try_into().expect("tile");
+            for l in 0..GEMM_NR {
+                t[l] += x * bt[l];
+            }
+        }
+        c_row[j..j + GEMM_NR].copy_from_slice(&t);
+        j += GEMM_NR;
+    }
+    for jj in tiles..n {
+        let mut t = c_row[jj];
+        for (p, &x) in a_row.iter().enumerate().take(k) {
+            t += x * b[p * n + jj];
+        }
+        c_row[jj] = t;
     }
 }
 
@@ -404,6 +500,46 @@ mod tests {
         ScalarKernel.gemm(&a, &b, &mut c1, m, k, n);
         ParallelKernel.gemm(&a, &b, &mut c2, m, k, n);
         assert_eq!(c1, c2, "parallel gemm must be bit-identical");
+    }
+
+    /// The plain ikj loop whose per-element summation order the blocked
+    /// microkernel must reproduce exactly.
+    fn reference_gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut t = c[i * n + j];
+                for p in 0..k {
+                    t += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] = t;
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_microkernel_is_bit_identical_to_plain_ikj() {
+        // Sizes straddling every tile boundary: row counts around the
+        // 4-row quad, column counts around the 8-wide tile, including a
+        // zero-heavy `a` (the old kernel's zero-skip must have been
+        // bit-neutral).
+        for &(m, k, n) in
+            &[(1, 1, 1), (3, 5, 7), (4, 9, 8), (5, 13, 9), (8, 27, 16), (13, 7, 23), (17, 64, 33)]
+        {
+            let mut a = filled(m * k, 9.0);
+            for v in a.iter_mut().step_by(3) {
+                *v = 0.0;
+            }
+            let b = filled(k * n, 10.0);
+            let mut want = filled(m * n, 11.0);
+            let mut got = want.clone();
+            reference_gemm(&a, &b, &mut want, m, k, n);
+            ScalarKernel.gemm(&a, &b, &mut got, m, k, n);
+            assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "({m}, {k}, {n})"
+            );
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod error;
 pub mod ops;
 pub mod shape;
 mod tensor;
+pub mod workspace;
 
 pub use backend::{Backend, Kernel};
 pub use error::{Result, TensorError};

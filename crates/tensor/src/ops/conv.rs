@@ -202,6 +202,69 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Result<Tenso
     Ok(out)
 }
 
+/// The zero-allocation core of [`conv2d`]: convolve a flat `[n, c, h, w]`
+/// input into a caller-provided output buffer, staging the im2col matrix
+/// in a reusable grow-only scratch buffer.
+///
+/// `out` must hold exactly `n · oc · oh · ow` elements and is fully
+/// overwritten. Results are bit-identical to [`conv2d`] on every backend:
+/// each image runs the same blocked GEMM with the same per-element
+/// summation order (the batch is processed serially here; the backend
+/// still splits each image's GEMM rows across threads).
+///
+/// # Errors
+///
+/// Returns an error for the same geometry violations as [`conv2d`], plus
+/// mismatched `input`/`out` lengths.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_into(
+    input: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    weight: &Tensor,
+    spec: Conv2dSpec,
+    col: &mut Vec<f32>,
+    out: &mut [f32],
+) -> Result<()> {
+    if weight.rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: weight.rank(), op: "conv2d weight" });
+    }
+    let (oc, wic, kh, kw) =
+        (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+    if c != wic {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![n, c, h, w],
+            rhs: weight.shape().to_vec(),
+            op: "conv2d channels",
+        });
+    }
+    let oh = spec.out_extent(h, kh)?;
+    let ow = spec.out_extent(w, kw)?;
+    if input.len() != n * c * h * w {
+        return Err(TensorError::LengthMismatch { expected: n * c * h * w, actual: input.len() });
+    }
+    if out.len() != n * oc * oh * ow {
+        return Err(TensorError::LengthMismatch { expected: n * oc * oh * ow, actual: out.len() });
+    }
+    let krows = c * kh * kw;
+    let colbuf = crate::workspace::sized(col, krows * oh * ow);
+    out.fill(0.0);
+    for b in 0..n {
+        im2col(&input[b * c * h * w..(b + 1) * c * h * w], c, h, w, kh, kw, spec, oh, ow, colbuf);
+        crate::backend::kernel().gemm(
+            weight.data(),
+            colbuf,
+            &mut out[b * oc * oh * ow..(b + 1) * oc * oh * ow],
+            oc,
+            krows,
+            oh * ow,
+        );
+    }
+    Ok(())
+}
+
 /// Gradient of [`conv2d`] with respect to its input.
 ///
 /// # Errors
@@ -464,6 +527,39 @@ mod tests {
                 assert!((a - b).abs() < 1e-4, "{a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn conv2d_into_is_bit_identical_to_conv2d_with_reused_scratch() {
+        let mut col = Vec::new();
+        for &(n, stride, padding) in &[(1usize, 1usize, 1usize), (3, 1, 1), (2, 2, 1), (2, 1, 0)] {
+            let spec = Conv2dSpec { stride, padding };
+            let input = arange(&[n, 3, 6, 5]);
+            let weight = arange(&[4, 3, 3, 3]);
+            let want = conv2d(&input, &weight, spec).unwrap();
+            let mut out = vec![f32::NAN; want.len()]; // must be fully overwritten
+            conv2d_into(input.data(), n, 3, 6, 5, &weight, spec, &mut col, &mut out).unwrap();
+            for (a, b) in want.data().iter().zip(out.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "n={n} spec={spec:?}");
+            }
+        }
+        // Geometry violations are typed errors, not panics.
+        let weight = arange(&[4, 3, 3, 3]);
+        let mut out = vec![0.0; 4 * 6 * 5];
+        assert!(conv2d_into(&[0.0; 10], 1, 3, 6, 5, &weight, Conv2dSpec::same(3), &mut col, &mut out)
+            .is_err());
+        assert!(conv2d_into(
+            arange(&[1, 2, 6, 5]).data(),
+            1,
+            2,
+            6,
+            5,
+            &weight,
+            Conv2dSpec::same(3),
+            &mut col,
+            &mut out
+        )
+        .is_err());
     }
 
     #[test]

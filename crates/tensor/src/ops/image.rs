@@ -95,16 +95,29 @@ pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
         return Err(TensorError::RankMismatch { expected: 4, actual: input.rank(), op: "global_avg_pool" });
     }
     let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
-    let hw = (h * w) as f32;
     let mut out = Tensor::zeros(&[n, c, 1, 1]);
+    global_avg_pool_into(input.data(), n, c, h * w, out.data_mut());
+    Ok(out)
+}
+
+/// The flat-slice core of [`global_avg_pool`]: per-channel means of a
+/// `[n, c, hw]` volume into a caller-provided `n · c` buffer. One home
+/// for the summation order, so the allocating op and the zero-allocation
+/// deployment kernels that pool into scratch can never drift apart
+/// bitwise.
+///
+/// # Panics
+///
+/// Panics (in debug builds via slice indexing) when the buffers are
+/// shorter than the extents imply.
+pub fn global_avg_pool_into(input: &[f32], n: usize, c: usize, hw: usize, out: &mut [f32]) {
     for b in 0..n {
         for ci in 0..c {
-            let base = (b * c + ci) * h * w;
-            let s: f32 = input.data()[base..base + h * w].iter().sum();
-            out.data_mut()[b * c + ci] = s / hw;
+            let base = (b * c + ci) * hw;
+            let s: f32 = input[base..base + hw].iter().sum();
+            out[b * c + ci] = s / hw as f32;
         }
     }
-    Ok(out)
 }
 
 /// Partition `[N, C, H, W]` into non-overlapping `ws×ws` windows, returning

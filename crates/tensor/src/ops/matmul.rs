@@ -1,11 +1,13 @@
 //! Matrix multiplication kernels.
 //!
-//! `f32` GEMM in ikj loop order, dispatched through the active
-//! [`crate::backend`] kernel: the scalar backend runs the loop
-//! single-threaded, the parallel backend splits output-row blocks across
-//! threads (bit-identical results). No SIMD intrinsics are used; the
-//! compiler autovectorises the inner loop well enough for the model sizes in
-//! this reproduction.
+//! `f32` GEMM dispatched through the active [`crate::backend`] kernel: a
+//! register-blocked microkernel (4-row × 8-column accumulator tiles held
+//! across the whole inner-product loop) that the scalar backend runs
+//! single-threaded and the parallel backend splits into output-row blocks
+//! across threads (bit-identical results — every element accumulates in
+//! the same ascending-`p` order on every path). No SIMD intrinsics are
+//! used; the compiler autovectorises the fixed-width tiles well for the
+//! model sizes in this reproduction.
 
 use crate::backend;
 use crate::error::{Result, TensorError};

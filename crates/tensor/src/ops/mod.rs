@@ -9,9 +9,12 @@ pub mod matmul;
 
 pub use conv::{
     conv1d, conv1d_backward_input, conv1d_backward_weight, conv2d, conv2d_backward_input,
-    conv2d_backward_weight, Conv2dSpec,
+    conv2d_backward_weight, conv2d_into, Conv2dSpec,
 };
-pub use image::{global_avg_pool, pixel_shuffle, pixel_unshuffle, window_merge, window_partition};
+pub use image::{
+    global_avg_pool, global_avg_pool_into, pixel_shuffle, pixel_unshuffle, window_merge,
+    window_partition,
+};
 pub use matmul::{batched_matmul, gemm, matmul};
 
 /// The logistic function `1 / (1 + e^{-x})`.

@@ -1,0 +1,95 @@
+//! Reusable scratch buffers for the zero-allocation inference path.
+//!
+//! Every hot kernel that used to allocate per call (float im2col, the
+//! bit-packed activation bitmap and bit-im2col of the binary convolution,
+//! shifted-input copies, gate maps, batch-norm reductions) instead writes
+//! into a [`ConvScratch`] owned by the caller. Buffers grow on first use
+//! and are **never shrunk**, so after a warm-up forward at a given shape
+//! the steady state performs no heap allocation.
+//!
+//! Contents are *stale between uses by design*: a kernel taking a scratch
+//! buffer must fully overwrite the region it reads back. The [`sized`]
+//! helper hands out exactly-sized views without zeroing.
+
+/// Grow-only view: returns `&mut buf[..len]`, growing the buffer when it
+/// is too short. The returned region may contain stale data from a
+/// previous use — callers must fully overwrite whatever they later read.
+pub fn sized<T: Copy + Default>(buf: &mut Vec<T>, len: usize) -> &mut [T] {
+    if buf.len() < len {
+        buf.resize(len, T::default());
+    }
+    &mut buf[..len]
+}
+
+/// Bit-domain scratch of the packed binary convolution: the channel-major
+/// activation bitmap, the bit-im2col patch matrix, and the border-pixel
+/// tap bookkeeping.
+#[derive(Default)]
+pub struct BitScratch {
+    /// Channel-major sign bitmap of one image: `h·w · ceil(IC/64)` words.
+    pub act: Vec<u64>,
+    /// Bit-im2col patches: `oh·ow · k² · ceil(IC/64)` words.
+    pub patches: Vec<u64>,
+    /// Per-(pixel, tap) in-bounds flag — written (and read) for border
+    /// pixels only; interior pixels take the branch-free path.
+    pub tap_ok: Vec<u8>,
+    /// Per-pixel in-bounds channel count — border pixels only.
+    pub valid: Vec<i32>,
+}
+
+/// The full per-stream convolution scratch: float buffers for im2col,
+/// shifted inputs, gate maps and reductions, plus the [`BitScratch`] of
+/// the binary kernels. One `ConvScratch` serves every layer of a network
+/// because layers execute sequentially.
+#[derive(Default)]
+pub struct ConvScratch {
+    /// Float im2col matrix (also reused as the widest reduction /
+    /// resampling temporary).
+    pub col: Vec<f32>,
+    /// Shifted copy of a layer input (β-threshold / per-image-mean
+    /// shifts).
+    pub shifted: Vec<f32>,
+    /// Per-pixel gate map (spatial re-scaling branch) and mid-width
+    /// reductions.
+    pub plane: Vec<f32>,
+    /// Per-channel temporaries (pooled activations, folded gates).
+    pub chan: Vec<f32>,
+    /// Second per-channel temporary live at the same time as [`chan`].
+    ///
+    /// [`chan`]: ConvScratch::chan
+    pub chan2: Vec<f32>,
+    /// Bit-domain scratch of the packed binary convolution.
+    pub bits: BitScratch,
+}
+
+impl ConvScratch {
+    /// An empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sized_grows_and_reuses_without_shrinking() {
+        let mut buf: Vec<f32> = Vec::new();
+        sized(&mut buf, 8).copy_from_slice(&[1.0; 8]);
+        assert_eq!(buf.len(), 8);
+        // A shorter request reuses the same storage (stale tail kept).
+        assert_eq!(sized(&mut buf, 4).len(), 4);
+        assert_eq!(buf.len(), 8);
+        // A longer one grows; the old prefix is preserved.
+        assert_eq!(sized(&mut buf, 16).len(), 16);
+        assert_eq!(buf[..8], [1.0; 8]);
+    }
+
+    #[test]
+    fn scratch_defaults_are_empty() {
+        let s = ConvScratch::new();
+        assert!(s.col.is_empty() && s.bits.act.is_empty());
+    }
+}

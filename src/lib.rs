@@ -8,12 +8,12 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`tensor`] | dense f32 tensors, im2col convolution, broadcasting, [`tensor::backend`] kernel dispatch (scalar / parallel) |
+//! | [`tensor`] | dense f32 tensors, im2col convolution, broadcasting, [`tensor::backend`] kernel dispatch (scalar / parallel) with a register-blocked GEMM microkernel, [`tensor::workspace`] reusable kernel scratch |
 //! | [`autograd`] | reverse-mode tape with STE binarization gradients |
 //! | [`nn`] | layers, Adam, losses, init |
 //! | [`binary`] | bit-packed XNOR-popcount kernels, BNN cost model |
 //! | [`core`] | the SCALES method (LSF + spatial/channel re-scaling), baselines, per-layer deployment lowering |
-//! | [`models`] | SRResNet/EDSR/RDN/RCAN/SwinIR/HAT zoo + classifier probes + [`models::DeployedNetwork`] whole-network deployment engine |
+//! | [`models`] | SRResNet/EDSR/RDN/RCAN/SwinIR/HAT zoo + classifier probes + [`models::DeployedNetwork`] whole-network deployment engine + [`models::Plan`]/[`models::Workspace`] planned zero-allocation executor |
 //! | [`data`] | synthetic datasets, bicubic resize, image IO |
 //! | [`io`] | versioned on-disk model artifacts: [`io::save_checkpoint`] / [`io::save_artifact`] and their loaders, served straight from disk via [`serve::EngineBuilder::model_path`] |
 //! | [`metrics`] | PSNR/SSIM, activation-variance analysis |

@@ -1,0 +1,116 @@
+//! Steady-state allocation audit of the planned executor.
+//!
+//! A counting global allocator wraps the system allocator; after the
+//! warm-up forward has built the plan and grown the workspace buffers,
+//! `forward_planned` must allocate **nothing but the returned output
+//! tensor** (its data vector plus its shape vector). The allocating
+//! `forward` path is measured alongside as a contrast, proving the audit
+//! would catch a regression.
+//!
+//! This file holds exactly one test: the counter is process-global, and
+//! the default test harness runs tests concurrently — a sibling test's
+//! allocations would pollute the deltas.
+
+//! The audit pins the **scalar** backend: the parallel kernel's
+//! `std::thread::scope` workers allocate per spawn (thread stacks), which
+//! is a property of OS threads, not of the executor — the arena and
+//! scratch reuse are backend-independent.
+
+use scales::core::Method;
+use scales::models::{srresnet, SrConfig, SrNetwork, Workspace};
+use scales::tensor::backend::{self, Backend};
+use scales::tensor::Tensor;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// System allocator with an allocation-event counter (frees are not
+/// counted; the audit is about acquiring memory on the hot path).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_planned_forward_allocates_only_the_output() {
+    backend::with_backend(Backend::Scalar, steady_state_audit);
+}
+
+fn steady_state_audit() {
+    let net = srresnet(SrConfig {
+        channels: 8,
+        blocks: 2,
+        scale: 2,
+        method: Method::scales(),
+        seed: 90,
+    })
+    .unwrap();
+    let deployed = net.lower().unwrap();
+    let batch = Tensor::from_vec(
+        (0..3 * 16 * 16).map(|i| ((i as f32) * 0.11).sin() * 0.4 + 0.5).collect(),
+        &[1, 3, 16, 16],
+    )
+    .unwrap();
+
+    let mut ws = Workspace::new();
+    // Warm-up: builds the plan, grows the arena slots and every scratch
+    // buffer to their steady-state sizes.
+    for _ in 0..2 {
+        let _ = deployed.forward_planned(&batch, &mut ws).unwrap();
+    }
+
+    const REPS: usize = 5;
+    let before = allocations();
+    for _ in 0..REPS {
+        let out = deployed.forward_planned(&batch, &mut ws).unwrap();
+        assert_eq!(out.shape(), &[1, 3, 32, 32]);
+    }
+    let planned_per_call = (allocations() - before) / REPS;
+    // The output tensor is the only permitted acquisition: its data
+    // vector plus its shape vector.
+    assert!(
+        planned_per_call <= 2,
+        "steady-state planned forward must allocate only the output tensor, \
+         got {planned_per_call} allocations per call"
+    );
+
+    // Contrast: the allocating executor pays per-op tensors and per-conv
+    // buffers on every request — if this were small too, the audit above
+    // would be vacuous.
+    let before = allocations();
+    for _ in 0..REPS {
+        let _ = deployed.forward(&batch).unwrap();
+    }
+    let allocating_per_call = (allocations() - before) / REPS;
+    assert!(
+        allocating_per_call > 10 * planned_per_call.max(1),
+        "expected the allocating forward to allocate far more than the planned one, \
+         got {allocating_per_call} vs {planned_per_call}"
+    );
+}

@@ -20,17 +20,7 @@ use scales::train::{
 
 /// Every registry row with a CNN body (bicubic has no network to lower).
 fn cnn_method_registry() -> Vec<Method> {
-    vec![
-        Method::FullPrecision,
-        Method::E2fif,
-        Method::Btm,
-        Method::Bam,
-        Method::Bibert,
-        Method::Scales(ScalesComponents::full()),
-        Method::Scales(ScalesComponents::lsf_only()),
-        Method::Scales(ScalesComponents::lsf_channel()),
-        Method::Scales(ScalesComponents::lsf_spatial()),
-    ]
+    Method::cnn_registry()
 }
 
 fn probe_image(h: usize, w: usize, seed: u64) -> scales::data::Image {

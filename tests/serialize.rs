@@ -9,7 +9,7 @@
 //!   versions and arch/method mismatches all surface as typed
 //!   `scales::io::Error` variants; a partial read is never accepted.
 
-use scales::core::{Method, ScalesComponents};
+use scales::core::Method;
 use scales::io::{
     load_artifact, load_checkpoint, read_kind, save_artifact, save_checkpoint, ArtifactKind,
     Error, FORMAT_VERSION,
@@ -21,17 +21,7 @@ use std::path::PathBuf;
 
 /// Every registry row with a CNN body (bicubic has no network to save).
 fn cnn_method_registry() -> Vec<Method> {
-    vec![
-        Method::FullPrecision,
-        Method::E2fif,
-        Method::Btm,
-        Method::Bam,
-        Method::Bibert,
-        Method::Scales(ScalesComponents::full()),
-        Method::Scales(ScalesComponents::lsf_only()),
-        Method::Scales(ScalesComponents::lsf_channel()),
-        Method::Scales(ScalesComponents::lsf_spatial()),
-    ]
+    Method::cnn_registry()
 }
 
 /// A fresh scratch directory per test (no tempfile crate in this
