@@ -10,7 +10,15 @@ impl Var {
     ///
     /// Returns an error when the operand shapes do not broadcast together.
     pub fn add(&self, rhs: &Var) -> Result<Var> {
-        let value = self.with_value(|a| rhs.with_value(|b| a.zip_map(b, |x, y| x + y)))?;
+        // Aliased operands (`x.add(&x)`) must not take two read locks on
+        // one node — with the RwLock-backed tape that can deadlock
+        // against an intervening writer. Distinct nodes keep the
+        // zero-copy nested read of the hot path.
+        let value = if std::sync::Arc::ptr_eq(&self.node, &rhs.node) {
+            self.with_value(|a| a.zip_map(a, |x, y| x + y))
+        } else {
+            self.with_value(|a| rhs.with_value(|b| a.zip_map(b, |x, y| x + y)))
+        }?;
         let (sa, sb) = (self.shape(), rhs.shape());
         Ok(Var::from_op(value, vec![self.clone(), rhs.clone()], move |g| {
             vec![
@@ -26,7 +34,12 @@ impl Var {
     ///
     /// Returns an error when the operand shapes do not broadcast together.
     pub fn sub(&self, rhs: &Var) -> Result<Var> {
-        let value = self.with_value(|a| rhs.with_value(|b| a.zip_map(b, |x, y| x - y)))?;
+        // No reentrant node locks on aliased operands (see `add`).
+        let value = if std::sync::Arc::ptr_eq(&self.node, &rhs.node) {
+            self.with_value(|a| a.zip_map(a, |x, y| x - y))
+        } else {
+            self.with_value(|a| rhs.with_value(|b| a.zip_map(b, |x, y| x - y)))
+        }?;
         let (sa, sb) = (self.shape(), rhs.shape());
         Ok(Var::from_op(value, vec![self.clone(), rhs.clone()], move |g| {
             let gb = Tensor::reduce_to_shape(g, &sb).expect("broadcast adjoint").map(|x| -x);

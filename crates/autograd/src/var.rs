@@ -4,17 +4,30 @@
 //! optional accumulated gradient, and a closure that maps the node's output
 //! gradient to gradients for its parents. Calling [`Var::backward`] on a
 //! scalar output walks the graph in reverse topological order.
+//!
+//! ## Thread safety
+//!
+//! Nodes live behind `Arc<RwLock<…>>` and gradient closures are
+//! `Send + Sync`, so `Var` — and therefore every network built from `Var`
+//! parameters — is `Send + Sync`. A tape is still built and walked by one
+//! thread at a time (each forward creates its own interior nodes), but
+//! *parameter* leaves may be shared across threads: concurrent forwards
+//! through the same network only take read locks on the shared parameter
+//! nodes, which is what lets `scales-serve` engines be shared by the
+//! `scales-runtime` worker pool. Mutating entry points ([`Var::set_value`],
+//! [`Var::update_value`], [`Var::backward`]) take write locks; interleaving
+//! them with concurrent forwards serializes on the node lock rather than
+//! racing, but the usual discipline is train first, serve after.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use scales_tensor::{Result, Tensor, TensorError};
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(0);
 
-type GradFn = Box<dyn Fn(&Tensor) -> Vec<Tensor>>;
+type GradFn = Box<dyn Fn(&Tensor) -> Vec<Tensor> + Send + Sync>;
 
 pub(crate) struct Node {
     id: u64,
@@ -27,7 +40,7 @@ pub(crate) struct Node {
 
 /// A value on the autodiff tape.
 ///
-/// `Var` is a cheap-to-clone shared handle (`Rc`); cloning it does **not**
+/// `Var` is a cheap-to-clone shared handle (`Arc`); cloning it does **not**
 /// copy the underlying tensor. Leaf variables created with [`Var::param`]
 /// accumulate gradients; those created with [`Var::new`] do not.
 ///
@@ -45,12 +58,12 @@ pub(crate) struct Node {
 /// ```
 #[derive(Clone)]
 pub struct Var {
-    pub(crate) node: Rc<RefCell<Node>>,
+    pub(crate) node: Arc<RwLock<Node>>,
 }
 
 impl std::fmt::Debug for Var {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let n = self.node.borrow();
+        let n = self.read();
         f.debug_struct("Var")
             .field("id", &n.id)
             .field("shape", &n.value.shape())
@@ -61,7 +74,19 @@ impl std::fmt::Debug for Var {
 
 impl Var {
     fn from_node(node: Node) -> Self {
-        Self { node: Rc::new(RefCell::new(node)) }
+        Self { node: Arc::new(RwLock::new(node)) }
+    }
+
+    /// Poison-tolerant node access: a panic that unwound while a guard
+    /// was held (e.g. a failed shape assert in a contained test thread)
+    /// must not brick the node for every later forward — `RefCell`, which
+    /// this lock replaced, had no poisoning either.
+    fn read(&self) -> RwLockReadGuard<'_, Node> {
+        self.node.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Node> {
+        self.node.write().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// A constant (non-trainable) tape leaf.
@@ -94,9 +119,15 @@ impl Var {
     ///
     /// `grad_fn` receives the output gradient and must return one gradient
     /// tensor per parent, in order. It is only invoked for nodes on a path
-    /// to a gradient-requiring leaf.
+    /// to a gradient-requiring leaf. The closure must be `Send + Sync`
+    /// (tensors and `Var` handles both are) so networks holding tape nodes
+    /// stay shareable across serving threads.
     #[must_use]
-    pub fn from_op(value: Tensor, parents: Vec<Var>, grad_fn: impl Fn(&Tensor) -> Vec<Tensor> + 'static) -> Self {
+    pub fn from_op(
+        value: Tensor,
+        parents: Vec<Var>,
+        grad_fn: impl Fn(&Tensor) -> Vec<Tensor> + Send + Sync + 'static,
+    ) -> Self {
         let requires_grad = parents.iter().any(Var::requires_grad);
         Self::from_node(Node {
             id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
@@ -111,47 +142,47 @@ impl Var {
     /// Snapshot of the node's value.
     #[must_use]
     pub fn value(&self) -> Tensor {
-        self.node.borrow().value.clone()
+        self.read().value.clone()
     }
 
     /// Run `f` against the node's value without cloning it.
     pub fn with_value<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
-        f(&self.node.borrow().value)
+        f(&self.read().value)
     }
 
     /// The value's shape.
     #[must_use]
     pub fn shape(&self) -> Vec<usize> {
-        self.node.borrow().value.shape().to_vec()
+        self.read().value.shape().to_vec()
     }
 
     /// Number of elements in the value.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.node.borrow().value.len()
+        self.read().value.len()
     }
 
     /// Whether the value holds no elements.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.node.borrow().value.is_empty()
+        self.read().value.is_empty()
     }
 
     /// Whether this node participates in gradient computation.
     #[must_use]
     pub fn requires_grad(&self) -> bool {
-        self.node.borrow().requires_grad
+        self.read().requires_grad
     }
 
     /// Snapshot of the accumulated gradient, if any.
     #[must_use]
     pub fn grad(&self) -> Option<Tensor> {
-        self.node.borrow().grad.clone()
+        self.read().grad.clone()
     }
 
     /// Clear the accumulated gradient.
     pub fn zero_grad(&self) {
-        self.node.borrow_mut().grad = None;
+        self.write().grad = None;
     }
 
     /// Replace the node's value (used by optimizers for in-place updates).
@@ -161,14 +192,14 @@ impl Var {
     /// Panics when the new value's shape differs from the old one, which
     /// would silently corrupt downstream graphs.
     pub fn set_value(&self, value: Tensor) {
-        let mut n = self.node.borrow_mut();
+        let mut n = self.write();
         assert_eq!(n.value.shape(), value.shape(), "set_value must preserve shape");
         n.value = value;
     }
 
     /// Mutate the node's value in place through a closure.
     pub fn update_value(&self, f: impl FnOnce(&mut Tensor)) {
-        f(&mut self.node.borrow_mut().value);
+        f(&mut self.write().value);
     }
 
     /// Detach: a new constant leaf sharing this node's current value but cut
@@ -179,7 +210,7 @@ impl Var {
     }
 
     fn id(&self) -> u64 {
-        self.node.borrow().id
+        self.read().id
     }
 
     /// Reverse-mode gradient computation, seeding this output with
@@ -231,7 +262,7 @@ impl Var {
             }
             state.insert(id, 1);
             stack.push((v.clone(), true));
-            let parents = v.node.borrow().parents.clone();
+            let parents = v.read().parents.clone();
             for p in parents {
                 if p.requires_grad() && state.get(&p.id()) != Some(&2) {
                     stack.push((p, false));
@@ -242,7 +273,7 @@ impl Var {
         accumulate(self, &seed);
         for v in order.iter().rev() {
             let (grad, parents, has_fn) = {
-                let n = v.node.borrow();
+                let n = v.read();
                 (n.grad.clone(), n.parents.clone(), n.grad_fn.is_some())
             };
             let Some(grad) = grad else { continue };
@@ -250,7 +281,7 @@ impl Var {
                 continue;
             }
             let parent_grads = {
-                let n = v.node.borrow();
+                let n = v.read();
                 (n.grad_fn.as_ref().expect("checked"))(&grad)
             };
             debug_assert_eq!(parent_grads.len(), parents.len(), "grad_fn arity mismatch");
@@ -260,8 +291,9 @@ impl Var {
                 }
             }
             // Interior nodes can release their gradient once propagated.
-            if v.node.borrow().grad_fn.is_some() {
-                v.node.borrow_mut().grad = None;
+            let mut n = v.write();
+            if n.grad_fn.is_some() {
+                n.grad = None;
             }
         }
         Ok(())
@@ -269,7 +301,7 @@ impl Var {
 }
 
 fn accumulate(v: &Var, g: &Tensor) {
-    let mut n = v.node.borrow_mut();
+    let mut n = v.write();
     match &mut n.grad {
         Some(existing) => {
             debug_assert_eq!(existing.shape(), g.shape());
@@ -325,5 +357,29 @@ mod tests {
         let y = sq.add(&sq).unwrap();
         y.backward().unwrap();
         assert_eq!(x.grad().unwrap().data(), &[20.0]);
+    }
+
+    #[test]
+    fn vars_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Var>();
+    }
+
+    #[test]
+    fn shared_params_serve_concurrent_forwards() {
+        // Two threads build independent tapes through the same parameter
+        // leaf; both read the same value and neither corrupts the other.
+        let w = Var::param(Tensor::scalar(3.0));
+        std::thread::scope(|scope| {
+            for k in [2.0f32, 5.0] {
+                let w = &w;
+                scope.spawn(move || {
+                    let x = Var::new(Tensor::scalar(k));
+                    let y = w.mul(&x).unwrap();
+                    assert_eq!(y.value().data(), &[3.0 * k]);
+                });
+            }
+        });
+        assert_eq!(w.value().data(), &[3.0]);
     }
 }

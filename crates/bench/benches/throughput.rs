@@ -1,0 +1,151 @@
+//! Serving-throughput benchmark: requests/sec of a serial `Session` loop
+//! vs the concurrent `scales-runtime` worker pool with cross-request
+//! dynamic batching, over the same deployed engine and the same traffic
+//! (a burst of single-image requests — the many-small-callers pattern).
+//!
+//! The run ends with one machine-readable line — `BENCH_throughput {...}`
+//! — so CI logs give a per-commit serving-throughput trajectory
+//! (requests/sec serial and runtime, batch fill ratio, p50/p99 latency).
+//!
+//! ```sh
+//! cargo bench --bench throughput            # full request count
+//! SCALES_BENCH_SMOKE=1 cargo bench --bench throughput
+//! ```
+
+use scales_core::Method;
+use scales_models::{srresnet, SrConfig};
+use scales_runtime::{Runtime, RuntimeConfig, Ticket};
+use scales_serve::{Engine, Precision, SrRequest};
+use std::time::{Duration, Instant};
+
+fn scene(h: usize, w: usize, seed: u64) -> scales_data::Image {
+    scales_data::synth::scene(
+        h,
+        w,
+        scales_data::synth::SceneConfig::default(),
+        &mut scales_nn::init::rng(seed),
+    )
+}
+
+fn engine() -> Engine<'static> {
+    let net = srresnet(SrConfig {
+        channels: 16,
+        blocks: 2,
+        scale: 2,
+        method: Method::scales(),
+        seed: 7,
+    })
+    .unwrap();
+    Engine::builder().model(net).precision(Precision::Deployed).build().unwrap()
+}
+
+fn main() {
+    let smoke = std::env::var("SCALES_BENCH_SMOKE").is_ok();
+    let requests: u64 = if smoke { 32 } else { 256 };
+    let side = 16usize;
+    println!(
+        "serving throughput: {requests} single-image {side}x{side} requests, deployed engine"
+    );
+
+    // Serial baseline: one session, one request at a time — what a
+    // single-caller deployment of PR 2's API does.
+    let serial_engine = engine();
+    let session = serial_engine.session();
+    // Warm the plan cache so both sides are measured in steady state.
+    let _ = session.infer(SrRequest::single(scene(side, side, 0))).unwrap();
+    let start = Instant::now();
+    for i in 0..requests {
+        let _ = session.infer(SrRequest::single(scene(side, side, i))).unwrap();
+    }
+    let serial_secs = start.elapsed().as_secs_f64();
+    let serial_rps = requests as f64 / serial_secs;
+    println!("  serial:  {serial_rps:>8.1} req/s ({:.1} ms total)", serial_secs * 1e3);
+
+    // Concurrent runtime over an identical engine: submit the whole burst
+    // (the backlog is what cross-request batching feeds on), then wait.
+    let max_batch = 8usize;
+    let runtime = Runtime::spawn(
+        engine(),
+        RuntimeConfig {
+            workers: std::thread::available_parallelism().map_or(1, usize::from),
+            queue_capacity: requests as usize,
+            max_batch,
+            max_wait: Duration::from_millis(50),
+        },
+    )
+    .unwrap();
+    // Best-effort warm-up outside the timed region: a burst large enough
+    // to hand every worker at least one full dispatch. (Plan shapes vary
+    // with the gathered batch size, so worker plan caches can still grow
+    // during the timed run; the serial baseline has the same property on
+    // its first request only.)
+    // (submit_wait: on many-core machines the warm burst can exceed the
+    // queue bound, and blocking for space is fine outside the timing.)
+    let warm: Vec<Ticket> = (0..runtime.workers() * max_batch)
+        .map(|i| runtime.submit_wait(SrRequest::single(scene(side, side, i as u64))).unwrap())
+        .collect();
+    for ticket in warm {
+        ticket.wait().unwrap();
+    }
+    // Snapshot after warm-up so the reported batching counters describe
+    // only the timed region, not the warm-up traffic.
+    let base = runtime.stats();
+    let start = Instant::now();
+    let tickets: Vec<Ticket> = (0..requests)
+        .map(|i| runtime.submit(SrRequest::single(scene(side, side, i))).unwrap())
+        .collect();
+    for ticket in tickets {
+        ticket.wait().unwrap();
+    }
+    let runtime_secs = start.elapsed().as_secs_f64();
+    let runtime_rps = requests as f64 / runtime_secs;
+    let stats = runtime.shutdown();
+    let timed_dispatches = stats.dispatches - base.dispatches;
+    let timed_completed = stats.completed - base.completed;
+    let timed_fill = if timed_dispatches == 0 {
+        0.0
+    } else {
+        (stats.images - base.images) as f64 / (timed_dispatches * max_batch as u64) as f64
+    };
+    println!(
+        "  runtime: {runtime_rps:>8.1} req/s ({:.1} ms total, {} workers)",
+        runtime_secs * 1e3,
+        stats.workers
+    );
+    println!(
+        "  batching: {timed_dispatches} dispatches for {timed_completed} requests, \
+         fill {timed_fill:.2} of max_batch {max_batch}"
+    );
+    // (The latency histogram spans warm-up + timed run; both are the same
+    // traffic shape, and per-phase histograms would need subtraction the
+    // metrics API deliberately doesn't offer.)
+    println!(
+        "  latency:  p50 {:.2?}, p99 {:.2?}, max {:.2?}",
+        stats.latency.p50(),
+        stats.latency.p99(),
+        stats.latency.max()
+    );
+
+    // The burst was fully queued before the batcher gathered, so the
+    // coalescing contract is hard: dispatches must come in well under one
+    // per request. (Throughput itself is hardware-dependent — on a 1-core
+    // container the pool cannot beat serial wall time, so the asserted
+    // invariant is the batching, plus a sanity floor on relative speed.)
+    assert!(
+        timed_dispatches < timed_completed,
+        "dynamic batcher never coalesced: {timed_dispatches} dispatches for {timed_completed} requests"
+    );
+    assert!(
+        runtime_rps > serial_rps * 0.25,
+        "runtime throughput collapsed: {runtime_rps:.1} req/s vs serial {serial_rps:.1} req/s"
+    );
+
+    println!(
+        "\nBENCH_throughput {{\"serial_rps\":{serial_rps:.1},\"runtime_rps\":{runtime_rps:.1},\
+         \"workers\":{},\"dispatches\":{timed_dispatches},\"batch_fill\":{timed_fill:.3},\
+         \"p50_us\":{:.1},\"p99_us\":{:.1}}}",
+        stats.workers,
+        stats.latency.p50().as_secs_f64() * 1e6,
+        stats.latency.p99().as_secs_f64() * 1e6,
+    );
+}

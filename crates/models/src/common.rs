@@ -52,7 +52,13 @@ impl SrConfig {
 }
 
 /// The common interface of every SR network in the zoo.
-pub trait SrNetwork: Module {
+///
+/// `Send + Sync` is part of the contract: networks are plain parameter
+/// data (tape nodes behind `Arc<RwLock>`), so a `&dyn SrNetwork` can be
+/// shared across serving threads — the property the `scales-runtime`
+/// worker pool is built on. The compile-time checks live in
+/// `infer_model.rs` (`engine_surface_is_send_and_sync`).
+pub trait SrNetwork: Module + Send + Sync {
     /// Upscaling factor.
     fn scale(&self) -> usize;
 

@@ -20,7 +20,14 @@ use scales_tensor::{Result, Tensor, TensorError};
 
 /// An object-safe handle over anything that can serve batched SR
 /// inference: a training-path network or a lowered deployment graph.
-pub trait InferModel {
+///
+/// `Send + Sync` is a supertrait so a `Box<dyn InferModel>` — and
+/// therefore a serving `Engine` holding one — can be shared across
+/// threads: the `scales-runtime` worker pool hands one engine to every
+/// worker by reference. Both model kinds satisfy it structurally
+/// (deployed graphs are plain data; training networks hold their
+/// parameters behind `Arc<RwLock>` tape nodes).
+pub trait InferModel: Send + Sync {
     /// Upscaling factor.
     fn scale(&self) -> usize;
 
@@ -102,6 +109,24 @@ mod tests {
             &[1, 3, h, w],
         )
         .unwrap()
+    }
+
+    /// Compile-time audit of the serving layer's threading contract:
+    /// every model handle — training networks, boxed registry handles,
+    /// deployed graphs, and the trait objects over them — must be
+    /// `Send + Sync`, so `&Engine` (which boxes a `dyn InferModel`) is
+    /// `Send` and one engine can feed a whole worker pool.
+    #[test]
+    fn engine_surface_is_send_and_sync() {
+        fn assert_send<T: Send + ?Sized>() {}
+        fn assert_sync<T: Sync + ?Sized>() {}
+        assert_send::<DeployedNetwork>();
+        assert_sync::<DeployedNetwork>();
+        assert_send::<Box<dyn crate::SrNetwork>>();
+        assert_sync::<Box<dyn crate::SrNetwork>>();
+        assert_send::<Box<dyn InferModel>>();
+        assert_sync::<Box<dyn InferModel>>();
+        assert_send::<&dyn InferModel>();
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Runtime sizing and batching-window configuration.
+
+use scales_tensor::{Result, TensorError};
+use std::time::Duration;
+
+/// Sizing of a [`Runtime`](crate::Runtime): worker count, submission-queue
+/// bound, and the dynamic batcher's coalescing window.
+///
+/// All fields are public; start from [`RuntimeConfig::default`] and
+/// override with struct-update syntax:
+///
+/// ```
+/// use scales_runtime::RuntimeConfig;
+/// use std::time::Duration;
+///
+/// let config = RuntimeConfig {
+///     workers: 4,
+///     max_wait: Duration::from_millis(1),
+///     ..RuntimeConfig::default()
+/// };
+/// assert!(config.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Worker threads, each owning a private serving session (its own
+    /// planned-executor workspace and per-shape plan cache). Default: the
+    /// machine's available parallelism.
+    pub workers: usize,
+    /// Maximum queued (accepted but not yet dispatched) **requests**.
+    /// When the queue is full, [`submit`](crate::Runtime::submit) returns
+    /// [`SubmitError::QueueFull`](crate::SubmitError::QueueFull) — explicit
+    /// backpressure instead of unbounded memory growth. Default: 64.
+    pub queue_capacity: usize,
+    /// Target **images** per coalesced dispatch. A worker stops gathering
+    /// once the batch holds this many images. A single request larger than
+    /// `max_batch` is still served (alone, in one dispatch). Default: 8.
+    pub max_batch: usize,
+    /// How long a worker holding a partial batch waits for more
+    /// compatible requests before dispatching — the classic dynamic
+    /// batching latency/throughput knob. `Duration::ZERO` dispatches the
+    /// backlog as-is without ever waiting. Default: 2 ms.
+    pub max_wait: Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(1, usize::from),
+            queue_capacity: 64,
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Check the sizing is servable.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `workers`, `queue_capacity`, or `max_batch`
+    /// is zero.
+    pub fn validate(&self) -> Result<()> {
+        if self.workers == 0 {
+            return Err(TensorError::InvalidArgument(
+                "runtime needs at least one worker".into(),
+            ));
+        }
+        if self.queue_capacity == 0 {
+            return Err(TensorError::InvalidArgument(
+                "runtime queue capacity must be positive".into(),
+            ));
+        }
+        if self.max_batch == 0 {
+            return Err(TensorError::InvalidArgument(
+                "runtime max_batch must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        let config = RuntimeConfig::default();
+        assert!(config.validate().is_ok());
+        assert!(config.workers >= 1);
+    }
+
+    #[test]
+    fn zero_extents_are_rejected() {
+        for bad in [
+            RuntimeConfig { workers: 0, ..RuntimeConfig::default() },
+            RuntimeConfig { queue_capacity: 0, ..RuntimeConfig::default() },
+            RuntimeConfig { max_batch: 0, ..RuntimeConfig::default() },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+        // A zero window is legal: it means "never wait for stragglers".
+        let eager = RuntimeConfig { max_wait: Duration::ZERO, ..RuntimeConfig::default() };
+        assert!(eager.validate().is_ok());
+    }
+}

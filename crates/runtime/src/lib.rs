@@ -1,0 +1,104 @@
+//! # scales-runtime
+//!
+//! The concurrent serving runtime of the SCALES reproduction: a
+//! hand-rolled, std-only worker pool that turns one single-caller
+//! [`Engine`](scales_serve::Engine) into a multi-tenant server — bounded
+//! submission queue with explicit backpressure, cross-request dynamic
+//! batching, and a mutex-sharded [`metrics`] subsystem. No external
+//! dependencies, no async executor: plain threads, a `Mutex` + two
+//! `Condvar`s for the queue, and a `Mutex` + `Condvar` one-shot per
+//! in-flight request.
+//!
+//! The lifecycle is:
+//!
+//! 1. [`Runtime::spawn`] takes ownership of an `Engine<'static>` and
+//!    starts `workers` threads. Each worker owns a private
+//!    [`Session`](scales_serve::Session) — its own planned-executor
+//!    workspace and per-shape plan cache — and every forward runs under
+//!    the engine's backend handle (thread-scoped, never the process
+//!    global).
+//! 2. [`Runtime::submit`] enqueues an [`SrRequest`](scales_serve::SrRequest)
+//!    and returns a [`Ticket`] immediately; a full queue is a typed
+//!    [`SubmitError::QueueFull`], a stopped runtime is
+//!    [`SubmitError::ShuttingDown`]. [`Runtime::submit_wait`] blocks for
+//!    space instead.
+//! 3. Workers run the **dynamic batcher**: after popping a request they
+//!    gather further compatible queued requests — same per-request tile
+//!    override, up to [`max_batch`](RuntimeConfig::max_batch) images —
+//!    waiting up to [`max_wait`](RuntimeConfig::max_wait) for stragglers,
+//!    then serve the coalesced set through **one** `Session::infer` call.
+//!    Same-shaped images across callers share one planned forward (the
+//!    session's shape-bucketed micro-batching), so many small single-image
+//!    callers amortize dispatch, plan lookup, and GEMM setup.
+//! 4. Each caller's [`Ticket`] resolves to its own
+//!    [`SrResponse`](scales_serve::SrResponse) — the images of *its*
+//!    request, in *its* order, bit-identical (`f32::to_bits`) to what a
+//!    serial `Session::infer` of that request alone would produce
+//!    (enforced by `tests/runtime.rs` across the CNN method registry and
+//!    both backends).
+//! 5. [`Runtime::shutdown`] stops intake, drains every queued request,
+//!    joins the workers, and returns the final [`RuntimeStats`] —
+//!    throughput, queue high-water, batch fill ratio, and p50/p99 latency
+//!    from fixed-bucket histograms. Dropping a `Runtime` does the same
+//!    drain-and-join without the stats.
+//!
+//! ```
+//! use scales_runtime::{Runtime, RuntimeConfig};
+//! use scales_serve::{Engine, Precision, SrRequest};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # use scales_models::{srresnet, SrConfig};
+//! # use scales_core::Method;
+//! let net = srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method: Method::scales(), seed: 1 })?;
+//! let engine = Engine::builder().model(net).precision(Precision::Deployed).build()?;
+//! let runtime = Runtime::spawn(engine, RuntimeConfig { workers: 2, ..RuntimeConfig::default() })?;
+//! let lr = scales_data::Image::zeros(8, 8);
+//! let ticket = runtime.submit(SrRequest::single(lr))?; // non-blocking
+//! let sr = ticket.wait()?;                             // caller's own response
+//! assert_eq!(sr.images()[0].height(), 16);
+//! let stats = runtime.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+pub mod metrics;
+mod runtime;
+mod ticket;
+
+pub use config::RuntimeConfig;
+pub use metrics::{LatencyHistogram, RuntimeStats};
+pub use runtime::{Runtime, SubmitError};
+pub use ticket::Ticket;
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Poison-tolerant lock: a worker that panicked mid-dispatch must not
+/// deadlock or re-panic the rest of the pool (shutdown still drains and
+/// joins).
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Poison-tolerant condvar wait.
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Poison-tolerant condvar wait with a timeout; returns the guard and
+/// whether the wait timed out.
+pub(crate) fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match cv.wait_timeout(guard, timeout) {
+        Ok((g, t)) => (g, t.timed_out()),
+        Err(poisoned) => {
+            let (g, t) = poisoned.into_inner();
+            (g, t.timed_out())
+        }
+    }
+}

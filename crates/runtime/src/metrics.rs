@@ -1,0 +1,356 @@
+//! The runtime's observability subsystem: mutex-sharded per-worker
+//! counters, fixed-bucket latency histograms, and the aggregated
+//! [`RuntimeStats`] snapshot.
+//!
+//! Counters are **sharded, not shared**: each worker owns one private
+//! shard behind its own `Mutex` and touches nothing else on the hot
+//! path, so recording a dispatch is an uncontended lock — "lock-free
+//! -ish" without atomics gymnastics. Only [`Runtime::stats`] /
+//! [`Runtime::shutdown`](crate::Runtime::shutdown) walk all shards and
+//! fold them into one snapshot.
+//!
+//! Latency is tracked end-to-end (enqueue → ticket resolution, so queueing
+//! and batching-window time are included) in a [`LatencyHistogram`] with
+//! geometric fixed buckets; [`LatencyHistogram::p50`] / `p99` read
+//! quantiles from the bucket counts without recording individual samples.
+//!
+//! [`Runtime::stats`]: crate::Runtime::stats
+
+use std::time::Duration;
+
+/// Number of geometric latency buckets: bucket `i` holds samples up to
+/// `1 µs × 2^i`, so the histogram spans 1 µs to ~35 min — comfortably
+/// both a cached 8×8 forward and a pathological stall.
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Fixed-bucket latency histogram with geometric bounds.
+///
+/// Recording is O(buckets) worst case and allocation-free; quantile reads
+/// report the **upper bound** of the bucket containing the requested rank
+/// (a conservative estimate with at most 2× resolution error, which is
+/// what fixed geometric buckets buy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyHistogram {
+    counts: [u64; LATENCY_BUCKETS],
+    total: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl LatencyHistogram {
+    /// Upper bound of bucket `i`, in nanoseconds.
+    fn bound_ns(i: usize) -> u128 {
+        1_000u128 << i
+    }
+
+    fn bucket_for(ns: u128) -> usize {
+        for i in 0..LATENCY_BUCKETS {
+            if ns <= Self::bound_ns(i) {
+                return i;
+            }
+        }
+        LATENCY_BUCKETS - 1
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos();
+        self.counts[Self::bucket_for(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += ns;
+        self.max_ns = self.max_ns.max(u64::try_from(ns).unwrap_or(u64::MAX));
+    }
+
+    /// Fold another histogram into this one (shard aggregation).
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency (zero when empty).
+    #[must_use]
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let ns = self.sum_ns / u128::from(self.total);
+        Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
+    }
+
+    /// Largest sample seen (exact, not bucketed).
+    #[must_use]
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// The latency at quantile `q ∈ [0, 1]`, reported as the upper bound
+    /// of the bucket containing that rank (zero when empty).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp the bucket bound to the observed max so a lone
+                // sample deep inside a wide bucket (or below the first
+                // bound) never reports a quantile above `max()`.
+                let ns = Self::bound_ns(i).min(u128::from(self.max_ns));
+                return Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX));
+            }
+        }
+        self.max()
+    }
+
+    /// Median latency (bucket upper bound).
+    #[must_use]
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency (bucket upper bound).
+    #[must_use]
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+}
+
+/// One worker's private counter shard. Workers only ever lock their own.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct WorkerShard {
+    /// Requests resolved successfully.
+    pub completed: u64,
+    /// Requests resolved with an error (the whole dispatch failed).
+    pub failed: u64,
+    /// Images served across all completed requests.
+    pub images: u64,
+    /// Coalesced forward dispatches (one `Session::infer` call each).
+    pub dispatches: u64,
+    /// Requests that shared their dispatch with at least one other
+    /// request — the callers dynamic batching actually helped.
+    pub coalesced: u64,
+    /// Wall time spent inside `Session::infer`.
+    pub busy: Duration,
+    /// End-to-end request latency (enqueue → resolution).
+    pub latency: LatencyHistogram,
+}
+
+impl WorkerShard {
+    pub(crate) fn merge(&mut self, other: &Self) {
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.images += other.images;
+        self.dispatches += other.dispatches;
+        self.coalesced += other.coalesced;
+        self.busy += other.busy;
+        self.latency.merge(&other.latency);
+    }
+}
+
+/// Aggregated snapshot of a runtime's serving counters, returned by
+/// [`Runtime::stats`](crate::Runtime::stats) (live) and
+/// [`Runtime::shutdown`](crate::Runtime::shutdown) (final).
+#[derive(Debug, Clone)]
+pub struct RuntimeStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// The configured dispatch target ([`RuntimeConfig::max_batch`](crate::RuntimeConfig::max_batch)).
+    pub max_batch: usize,
+    /// Requests accepted into the queue so far.
+    pub submitted: u64,
+    /// Requests rejected with [`SubmitError::QueueFull`](crate::SubmitError::QueueFull).
+    pub rejected: u64,
+    /// Requests served successfully.
+    pub completed: u64,
+    /// Requests resolved with an error.
+    pub failed: u64,
+    /// Images served.
+    pub images: u64,
+    /// Coalesced forward dispatches (one `Session::infer` each).
+    pub dispatches: u64,
+    /// Requests that shared a dispatch with at least one other request.
+    pub coalesced: u64,
+    /// Requests queued (accepted, not yet dispatched) at snapshot time.
+    pub queue_depth: usize,
+    /// Deepest the queue has been.
+    pub queue_high_water: usize,
+    /// Mean images per dispatch relative to `max_batch`:
+    /// `images / (dispatches × max_batch)`. Can exceed 1.0 when single
+    /// requests are larger than `max_batch`.
+    pub batch_fill: f64,
+    /// Total worker wall time inside forwards.
+    pub busy: Duration,
+    /// Wall time since [`Runtime::spawn`](crate::Runtime::spawn).
+    pub elapsed: Duration,
+    /// End-to-end request latency (enqueue → ticket resolution).
+    pub latency: LatencyHistogram,
+}
+
+impl RuntimeStats {
+    /// Completed requests per second of runtime lifetime.
+    #[must_use]
+    pub fn requests_per_sec(&self) -> f64 {
+        per_sec(self.completed, self.elapsed)
+    }
+
+    /// Served images per second of runtime lifetime.
+    #[must_use]
+    pub fn images_per_sec(&self) -> f64 {
+        per_sec(self.images, self.elapsed)
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn per_sec(count: u64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        count as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+impl std::fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "runtime: {} workers | {} submitted, {} completed, {} failed, {} rejected",
+            self.workers, self.submitted, self.completed, self.failed, self.rejected
+        )?;
+        writeln!(
+            f,
+            "  throughput: {:.1} req/s, {:.1} images/s ({} images over {:.2?}, busy {:.2?})",
+            self.requests_per_sec(),
+            self.images_per_sec(),
+            self.images,
+            self.elapsed,
+            self.busy
+        )?;
+        writeln!(
+            f,
+            "  batching: {} dispatches, fill {:.2} of max_batch {}, {} requests coalesced",
+            self.dispatches, self.batch_fill, self.max_batch, self.coalesced
+        )?;
+        writeln!(
+            f,
+            "  queue: depth {} now, high water {}",
+            self.queue_depth, self.queue_high_water
+        )?;
+        write!(
+            f,
+            "  latency: p50 {:.2?}, p99 {:.2?}, max {:.2?} ({} samples)",
+            self.latency.p50(),
+            self.latency.p99(),
+            self.latency.max(),
+            self.latency.count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), Duration::ZERO);
+        assert_eq!(h.p99(), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn quantiles_walk_the_bucket_bounds() {
+        let mut h = LatencyHistogram::default();
+        // 99 fast samples (~2 µs) and one slow outlier (~1 ms).
+        for _ in 0..99 {
+            h.record(Duration::from_micros(2));
+        }
+        h.record(Duration::from_millis(1));
+        assert_eq!(h.count(), 100);
+        // p50 lands in the 2 µs bucket (bound 2 µs), p99 still fast,
+        // p100 reaches the outlier's bucket.
+        assert_eq!(h.p50(), Duration::from_micros(2));
+        assert_eq!(h.p99(), Duration::from_micros(2));
+        assert!(h.quantile(1.0) >= Duration::from_millis(1));
+        assert_eq!(h.max(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn reported_quantile_never_exceeds_the_observed_max() {
+        let mut h = LatencyHistogram::default();
+        // One sample deep inside a wide bucket: the bucket bound (≈2 s)
+        // must be clamped to the observed max, not reported raw.
+        h.record(Duration::from_millis(1100));
+        assert_eq!(h.p50(), Duration::from_millis(1100));
+        assert_eq!(h.p99(), h.max());
+        // Same below the first bucket bound (sub-microsecond sample).
+        let mut fast = LatencyHistogram::default();
+        fast.record(Duration::from_nanos(500));
+        assert_eq!(fast.p50(), Duration::from_nanos(500));
+        assert!(fast.p99() <= fast.max());
+    }
+
+    #[test]
+    fn merge_accumulates_counts_and_extremes() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(500));
+        b.record(Duration::from_micros(500));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Duration::from_micros(500));
+        assert!(a.mean() > Duration::from_micros(300));
+    }
+
+    #[test]
+    fn oversized_samples_clamp_into_the_last_bucket() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_secs(1 << 40));
+        assert_eq!(h.count(), 1);
+        assert!(h.p50() > Duration::ZERO);
+    }
+
+    #[test]
+    fn stats_display_mentions_every_axis() {
+        let stats = RuntimeStats {
+            workers: 2,
+            max_batch: 8,
+            submitted: 10,
+            rejected: 1,
+            completed: 9,
+            failed: 0,
+            images: 18,
+            dispatches: 3,
+            coalesced: 6,
+            queue_depth: 0,
+            queue_high_water: 5,
+            batch_fill: 0.75,
+            busy: Duration::from_millis(20),
+            elapsed: Duration::from_millis(100),
+            latency: LatencyHistogram::default(),
+        };
+        let text = stats.to_string();
+        for needle in ["workers", "req/s", "fill", "high water", "p50", "p99"] {
+            assert!(text.contains(needle), "missing {needle:?} in {text}");
+        }
+        assert!(stats.requests_per_sec() > 80.0);
+    }
+}

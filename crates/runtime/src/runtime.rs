@@ -1,0 +1,652 @@
+//! [`Runtime`] — worker pool, bounded submission queue, and the
+//! cross-request dynamic batcher.
+
+use crate::metrics::{RuntimeStats, WorkerShard};
+use crate::ticket::{Ticket, TicketCell};
+use crate::{lock, wait, wait_timeout, RuntimeConfig};
+use scales_data::Image;
+use scales_serve::{Engine, InferStats, Session, SrRequest, SrResponse, TilePolicy};
+use scales_tensor::{Result, TensorError};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Why a submission was not accepted. Backpressure is part of the API
+/// contract: callers see a typed error the moment the runtime cannot take
+/// more work, never silent queueing without bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue already holds `capacity` requests. Retry later,
+    /// or use [`Runtime::submit_wait`] to block for space.
+    QueueFull {
+        /// The configured queue bound
+        /// ([`RuntimeConfig::queue_capacity`]).
+        capacity: usize,
+    },
+    /// [`Runtime::shutdown`] has begun (or the runtime is being dropped):
+    /// queued work drains, new work is refused.
+    ShuttingDown,
+    /// The request can never be served (empty, or an invalid per-request
+    /// tile override) — rejected at submission rather than poisoning a
+    /// coalesced dispatch later.
+    InvalidRequest(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "runtime queue is full ({capacity} requests queued)")
+            }
+            SubmitError::ShuttingDown => f.write_str("runtime is shutting down"),
+            SubmitError::InvalidRequest(reason) => write!(f, "invalid request: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One accepted request waiting in (or popped from) the queue.
+struct Entry {
+    images: Vec<Image>,
+    tile: Option<TilePolicy>,
+    cell: Arc<TicketCell>,
+    enqueued: Instant,
+}
+
+/// Everything behind the queue mutex.
+struct QueueState {
+    queue: VecDeque<Entry>,
+    shutting_down: bool,
+    submitted: u64,
+    rejected: u64,
+    high_water: usize,
+}
+
+/// State shared between the handle and the workers.
+struct Inner {
+    engine: Engine<'static>,
+    config: RuntimeConfig,
+    state: Mutex<QueueState>,
+    /// Signaled on enqueue and on shutdown: workers wait here.
+    work: Condvar,
+    /// Signaled on dequeue and on shutdown: [`Runtime::submit_wait`]
+    /// blockers wait here.
+    space: Condvar,
+    /// One shard per worker; worker `w` only ever locks `shards[w]`.
+    shards: Vec<Mutex<WorkerShard>>,
+    /// Workers still running. When the last one dies *panicking* (a bug
+    /// in a forward), its exit guard flips the pool to shutting-down and
+    /// fails the queued tickets — a pool with no workers must refuse
+    /// intake, not accept tickets nobody will ever resolve.
+    alive: std::sync::atomic::AtomicUsize,
+    started: Instant,
+}
+
+/// A running worker pool over one shared [`Engine`].
+///
+/// See the [crate docs](crate) for the lifecycle. The engine must be
+/// `'static` (own its model) because workers are real threads; the
+/// `&Engine: Send` bound this relies on is a compile-time contract of the
+/// serving stack (see `engine_is_shareable_and_sessions_are_movable` in
+/// `scales-serve`).
+///
+/// Dropping the runtime performs the same graceful drain-and-join as
+/// [`Runtime::shutdown`], discarding the final stats.
+pub struct Runtime {
+    inner: Arc<Inner>,
+    /// Drained by `shutdown`/`Drop`; empty means workers are already
+    /// joined.
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Start `config.workers` worker threads over `engine`.
+    ///
+    /// Each worker opens its own [`Session`] — private planned-executor
+    /// workspace, private per-shape plan cache — and serves every forward
+    /// under the engine's backend handle
+    /// ([`with_thread_backend`](scales_tensor::backend::with_thread_backend)),
+    /// so a running pool neither reads nor writes the process-global
+    /// backend selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid [`RuntimeConfig`] or when the OS
+    /// refuses to spawn a worker thread.
+    pub fn spawn(engine: Engine<'static>, config: RuntimeConfig) -> Result<Self> {
+        config.validate()?;
+        let inner = Arc::new(Inner {
+            engine,
+            config,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::with_capacity(config.queue_capacity),
+                shutting_down: false,
+                submitted: 0,
+                rejected: 0,
+                high_water: 0,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            shards: (0..config.workers).map(|_| Mutex::new(WorkerShard::default())).collect(),
+            alive: std::sync::atomic::AtomicUsize::new(config.workers),
+            started: Instant::now(),
+        });
+        let mut handles = Vec::with_capacity(config.workers);
+        for w in 0..config.workers {
+            let worker_inner = Arc::clone(&inner);
+            let spawned = std::thread::Builder::new()
+                .name(format!("scales-runtime-{w}"))
+                .spawn(move || worker_loop(&worker_inner, w));
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    // Roll back the partial pool before reporting.
+                    let partial = Runtime { inner, handles };
+                    drop(partial);
+                    return Err(TensorError::InvalidArgument(format!(
+                        "failed to spawn runtime worker {w}: {e}"
+                    )));
+                }
+            }
+        }
+        Ok(Self { inner, handles })
+    }
+
+    /// The engine the pool serves through.
+    #[must_use]
+    pub fn engine(&self) -> &Engine<'static> {
+        &self.inner.engine
+    }
+
+    /// Worker threads in the pool.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.inner.config.workers
+    }
+
+    /// Enqueue a request without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the bounded queue is at capacity,
+    /// [`SubmitError::ShuttingDown`] after [`Runtime::shutdown`] begins,
+    /// and [`SubmitError::InvalidRequest`] for a request that could never
+    /// be served.
+    pub fn submit(&self, request: SrRequest) -> std::result::Result<Ticket, SubmitError> {
+        let (images, tile) = validate(request)?;
+        let mut st = lock(&self.inner.state);
+        if st.shutting_down {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if st.queue.len() >= self.inner.config.queue_capacity {
+            st.rejected += 1;
+            return Err(SubmitError::QueueFull { capacity: self.inner.config.queue_capacity });
+        }
+        Ok(self.enqueue(&mut st, images, tile))
+    }
+
+    /// Enqueue a request, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShuttingDown`] (including while blocked) and
+    /// [`SubmitError::InvalidRequest`]; never
+    /// [`SubmitError::QueueFull`].
+    pub fn submit_wait(&self, request: SrRequest) -> std::result::Result<Ticket, SubmitError> {
+        let (images, tile) = validate(request)?;
+        let mut st = lock(&self.inner.state);
+        loop {
+            if st.shutting_down {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if st.queue.len() < self.inner.config.queue_capacity {
+                return Ok(self.enqueue(&mut st, images, tile));
+            }
+            st = wait(&self.inner.space, st);
+        }
+    }
+
+    /// Build the entry under the queue lock — `enqueued` is stamped here,
+    /// the moment the request actually enters the queue (not when it was
+    /// validated, which `submit_wait` can separate by a long block).
+    fn enqueue(
+        &self,
+        st: &mut MutexGuard<'_, QueueState>,
+        images: Vec<Image>,
+        tile: Option<TilePolicy>,
+    ) -> Ticket {
+        let entry =
+            Entry { images, tile, cell: TicketCell::new(), enqueued: Instant::now() };
+        let ticket = Ticket { cell: Arc::clone(&entry.cell) };
+        st.submitted += 1;
+        st.queue.push_back(entry);
+        st.high_water = st.high_water.max(st.queue.len());
+        self.inner.work.notify_one();
+        ticket
+    }
+
+    /// Aggregate a live snapshot of the serving counters.
+    #[must_use]
+    pub fn stats(&self) -> RuntimeStats {
+        snapshot(&self.inner)
+    }
+
+    /// Graceful shutdown: refuse new submissions, serve everything already
+    /// queued, join the workers, and return the final stats. Every
+    /// accepted ticket is resolved before this returns.
+    #[must_use = "the final stats are the runtime's lifetime report; drop the runtime instead if you don't want them"]
+    pub fn shutdown(mut self) -> RuntimeStats {
+        self.begin_shutdown();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        sweep_leftovers(&self.inner);
+        snapshot(&self.inner)
+    }
+
+    fn begin_shutdown(&self) {
+        let mut st = lock(&self.inner.state);
+        st.shutting_down = true;
+        drop(st);
+        self.inner.work.notify_all();
+        self.inner.space.notify_all();
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        if self.handles.is_empty() {
+            return; // `shutdown` already joined the pool
+        }
+        self.begin_shutdown();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        sweep_leftovers(&self.inner);
+    }
+}
+
+/// After the workers are joined, resolve anything still queued. The drain
+/// loop normally empties the queue before the workers exit; entries can
+/// only remain here if every worker died panicking, and even then no
+/// accepted ticket may be left blocking forever.
+fn sweep_leftovers(inner: &Inner) {
+    let mut st = lock(&inner.state);
+    while let Some(entry) = st.queue.pop_front() {
+        entry.cell.resolve_if_pending(Err(TensorError::InvalidArgument(
+            "runtime shut down before this request could be served".into(),
+        )));
+    }
+}
+
+/// Reject requests that could never be served, so they cannot poison a
+/// coalesced dispatch later: a degenerate payload must fail only its own
+/// caller — with a typed error at submission — never the innocent
+/// requests batched alongside it.
+type ValidParts = (Vec<Image>, Option<TilePolicy>);
+
+fn validate(request: SrRequest) -> std::result::Result<ValidParts, SubmitError> {
+    let (images, tile) = request.into_parts();
+    if images.is_empty() {
+        return Err(SubmitError::InvalidRequest(
+            "inference request needs at least one image".into(),
+        ));
+    }
+    for (i, img) in images.iter().enumerate() {
+        if img.height() == 0 || img.width() == 0 {
+            return Err(SubmitError::InvalidRequest(format!(
+                "image {i} is zero-sized ({}x{})",
+                img.height(),
+                img.width()
+            )));
+        }
+        // Every SR head in the zoo is a 3->C conv (and `Image` only
+        // permits 1 or 3 channels), so non-RGB input is a guaranteed
+        // forward error today. If a grayscale-serving model ever lands,
+        // the expected channel count should move onto the engine/model
+        // surface and be consulted here instead of this literal.
+        if img.channels() != 3 {
+            return Err(SubmitError::InvalidRequest(format!(
+                "image {i} has {} channel(s); the SR networks serve RGB (3)",
+                img.channels()
+            )));
+        }
+    }
+    if let Some(policy) = tile {
+        policy.validate().map_err(|e| SubmitError::InvalidRequest(e.to_string()))?;
+    }
+    Ok((images, tile))
+}
+
+fn worker_loop(inner: &Inner, worker: usize) {
+    // On exit — normal (shutdown drain) or panic unwind — account for
+    // this worker; the last one to die panicking closes the pool so
+    // intake stops and nothing queued hangs forever.
+    struct WorkerExit<'a> {
+        inner: &'a Inner,
+    }
+    impl Drop for WorkerExit<'_> {
+        fn drop(&mut self) {
+            let was = self.inner.alive.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+            if was == 1 && std::thread::panicking() {
+                let mut st = lock(&self.inner.state);
+                st.shutting_down = true;
+                while let Some(entry) = st.queue.pop_front() {
+                    entry.cell.resolve_if_pending(Err(TensorError::InvalidArgument(
+                        "runtime has no live workers left (all panicked)".into(),
+                    )));
+                }
+                drop(st);
+                self.inner.space.notify_all();
+            }
+        }
+    }
+    let _exit = WorkerExit { inner };
+    let session = inner.engine.session();
+    while let Some(batch) = next_dispatch(inner) {
+        serve_dispatch(inner, worker, &session, batch);
+    }
+}
+
+/// The cross-request dynamic batcher. Blocks for work, then gathers
+/// **consecutive** compatible requests from the queue front — same tile
+/// override, fitting within `max_batch` images — waiting up to `max_wait`
+/// for stragglers while the queue is empty. Returns `None` when the
+/// runtime is shutting down and the queue is fully drained.
+fn next_dispatch(inner: &Inner) -> Option<Vec<Entry>> {
+    let mut st = lock(&inner.state);
+    let first = loop {
+        if let Some(entry) = st.queue.pop_front() {
+            break entry;
+        }
+        if st.shutting_down {
+            return None;
+        }
+        st = wait(&inner.work, st);
+    };
+    inner.space.notify_all();
+    let max_batch = inner.config.max_batch;
+    let deadline = Instant::now() + inner.config.max_wait;
+    let mut images = first.images.len();
+    let mut batch = vec![first];
+    loop {
+        // Take compatible entries off the front while they fit.
+        while images < max_batch {
+            let compatible = st
+                .queue
+                .front()
+                .is_some_and(|e| e.tile == batch[0].tile && images + e.images.len() <= max_batch);
+            if !compatible {
+                break;
+            }
+            let entry = st.queue.pop_front().expect("front checked");
+            images += entry.images.len();
+            batch.push(entry);
+            inner.space.notify_all();
+        }
+        // Dispatch when full, when an incompatible request heads the
+        // queue (never reorder around it), on shutdown, or when the
+        // batching window closes.
+        if images >= max_batch || !st.queue.is_empty() || st.shutting_down {
+            break;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (guard, timed_out) = wait_timeout(&inner.work, st, deadline - now);
+        st = guard;
+        if timed_out {
+            // One last gather below is pointless — the wait only returns
+            // with the lock held, so the queue state is current.
+            break;
+        }
+    }
+    // This worker may have consumed a submit's `notify_one` for an entry
+    // it is deliberately leaving queued (incompatible tile override, or a
+    // batch that would not fit). Re-signal so an idle worker picks it up
+    // instead of waiting out this whole dispatch.
+    if !st.queue.is_empty() {
+        inner.work.notify_one();
+    }
+    drop(st);
+    Some(batch)
+}
+
+/// On unwind — a panic inside the forward path — resolve every
+/// still-pending ticket of the dispatch with an error: the worker thread
+/// dies, but no caller is left blocked forever (the rest of the pool
+/// keeps serving).
+struct ResolveOnPanic<'a> {
+    entries: &'a [Entry],
+}
+
+impl Drop for ResolveOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            for entry in self.entries {
+                entry.cell.resolve_if_pending(Err(TensorError::InvalidArgument(
+                    "runtime worker panicked while serving this dispatch".into(),
+                )));
+            }
+        }
+    }
+}
+
+/// Serve one coalesced batch through the worker's session and hand every
+/// caller its own slice of the response.
+fn serve_dispatch(inner: &Inner, worker: usize, session: &Session<'_, 'static>, batch: Vec<Entry>) {
+    let counts: Vec<usize> = batch.iter().map(|e| e.images.len()).collect();
+    let total: usize = counts.iter().sum();
+    let mut combined = Vec::with_capacity(total);
+    let mut entries = batch;
+    for entry in &mut entries {
+        combined.append(&mut entry.images);
+    }
+    let _panic_guard = ResolveOnPanic { entries: &entries };
+    let mut request = SrRequest::batch(combined);
+    if let Some(policy) = entries[0].tile {
+        request = request.tile_policy(policy);
+    }
+    let served_at = Instant::now();
+    let result = session.infer(request);
+    let busy = served_at.elapsed();
+
+    let mut shard = lock(&inner.shards[worker]);
+    shard.dispatches += 1;
+    shard.busy += busy;
+    if entries.len() > 1 {
+        shard.coalesced += entries.len() as u64;
+    }
+    match result {
+        Ok(response) => {
+            // Per-caller stats: own image count; the shared dispatch's
+            // execution breakdown (batches/tiled/plan counters) otherwise.
+            let stats = response.stats();
+            let mut images = response.into_images().into_iter();
+            for (entry, n) in entries.iter().zip(counts) {
+                let own: Vec<Image> = images.by_ref().take(n).collect();
+                debug_assert_eq!(own.len(), n, "response images must cover the dispatch");
+                shard.completed += 1;
+                shard.images += n as u64;
+                shard.latency.record(entry.enqueued.elapsed());
+                entry
+                    .cell
+                    .resolve(Ok(SrResponse::from_parts(own, InferStats { images: n, ..stats })));
+            }
+        }
+        Err(e) => {
+            // The whole dispatch failed. Degenerate payloads were already
+            // rejected at submission, so this is a systemic failure (the
+            // engine/model itself) that a serial `Session::infer` of each
+            // coalesced request would also have hit; every caller sees
+            // that error.
+            for entry in &entries {
+                shard.failed += 1;
+                shard.latency.record(entry.enqueued.elapsed());
+                entry.cell.resolve(Err(e.clone()));
+            }
+        }
+    }
+}
+
+fn snapshot(inner: &Inner) -> RuntimeStats {
+    let (queue_depth, queue_high_water, submitted, rejected) = {
+        let st = lock(&inner.state);
+        (st.queue.len(), st.high_water, st.submitted, st.rejected)
+    };
+    let mut agg = WorkerShard::default();
+    for shard in &inner.shards {
+        agg.merge(&lock(shard));
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let batch_fill = if agg.dispatches == 0 {
+        0.0
+    } else {
+        agg.images as f64 / (agg.dispatches * inner.config.max_batch as u64) as f64
+    };
+    RuntimeStats {
+        workers: inner.config.workers,
+        max_batch: inner.config.max_batch,
+        submitted,
+        rejected,
+        completed: agg.completed,
+        failed: agg.failed,
+        images: agg.images,
+        dispatches: agg.dispatches,
+        coalesced: agg.coalesced,
+        queue_depth,
+        queue_high_water,
+        batch_fill,
+        busy: agg.busy,
+        elapsed: inner.started.elapsed(),
+        latency: agg.latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scales_core::Method;
+    use scales_models::{srresnet, SrConfig};
+    use scales_serve::Precision;
+
+    fn small_engine() -> Engine<'static> {
+        let net = srresnet(SrConfig {
+            channels: 8,
+            blocks: 1,
+            scale: 2,
+            method: Method::scales(),
+            seed: 97,
+        })
+        .unwrap();
+        Engine::builder().model(net).precision(Precision::Deployed).build().unwrap()
+    }
+
+    fn probe(h: usize, w: usize, seed: u64) -> Image {
+        scales_data::synth::scene(
+            h,
+            w,
+            scales_data::synth::SceneConfig::default(),
+            &mut scales_nn::init::rng(seed),
+        )
+    }
+
+    #[test]
+    fn runtime_handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Runtime>();
+        assert_send_sync::<Ticket>();
+    }
+
+    #[test]
+    fn serves_a_request_and_reports_stats() {
+        let runtime = Runtime::spawn(
+            small_engine(),
+            RuntimeConfig { workers: 1, ..RuntimeConfig::default() },
+        )
+        .unwrap();
+        let response =
+            runtime.submit(SrRequest::single(probe(8, 8, 1))).unwrap().wait().unwrap();
+        assert_eq!(response.images().len(), 1);
+        assert_eq!(response.images()[0].height(), 16);
+        assert_eq!(response.stats().images, 1);
+        let stats = runtime.shutdown();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.images, 1);
+        assert_eq!(stats.dispatches, 1);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.latency.count(), 1);
+        assert!(stats.latency.p99() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_at_submission() {
+        let runtime = Runtime::spawn(
+            small_engine(),
+            RuntimeConfig { workers: 1, ..RuntimeConfig::default() },
+        )
+        .unwrap();
+        let empty = runtime.submit(SrRequest::batch(vec![])).unwrap_err();
+        assert!(matches!(empty, SubmitError::InvalidRequest(_)), "{empty}");
+        let bad_tile = runtime
+            .submit(SrRequest::single(probe(8, 8, 2)).tile_policy(TilePolicy::Fixed(
+                scales_serve::TileSpec { tile: 0, overlap: 0 },
+            )))
+            .unwrap_err();
+        assert!(matches!(bad_tile, SubmitError::InvalidRequest(_)), "{bad_tile}");
+        // Degenerate payloads must fail their own caller at submission —
+        // they can never reach (and poison) a coalesced dispatch.
+        let zero_sized = runtime.submit(SrRequest::single(Image::zeros(0, 0))).unwrap_err();
+        assert!(matches!(zero_sized, SubmitError::InvalidRequest(_)), "{zero_sized}");
+        let gray = Image::from_tensor(scales_tensor::Tensor::zeros(&[1, 8, 8])).unwrap();
+        let not_rgb = runtime.submit(SrRequest::single(gray)).unwrap_err();
+        assert!(matches!(not_rgb, SubmitError::InvalidRequest(_)), "{not_rgb}");
+        let stats = runtime.shutdown();
+        assert_eq!(stats.submitted, 0, "rejected requests never enter the queue");
+    }
+
+    #[test]
+    fn submitting_after_shutdown_is_a_typed_error() {
+        let runtime = Runtime::spawn(
+            small_engine(),
+            RuntimeConfig { workers: 1, ..RuntimeConfig::default() },
+        )
+        .unwrap();
+        runtime.begin_shutdown();
+        let err = runtime.submit(SrRequest::single(probe(8, 8, 3))).unwrap_err();
+        assert_eq!(err, SubmitError::ShuttingDown);
+        let err = runtime.submit_wait(SrRequest::single(probe(8, 8, 4))).unwrap_err();
+        assert_eq!(err, SubmitError::ShuttingDown);
+        let _ = runtime.shutdown();
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let err =
+            Runtime::spawn(small_engine(), RuntimeConfig { workers: 0, ..RuntimeConfig::default() });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn drop_without_shutdown_drains_and_joins() {
+        let runtime = Runtime::spawn(
+            small_engine(),
+            RuntimeConfig { workers: 2, ..RuntimeConfig::default() },
+        )
+        .unwrap();
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| runtime.submit(SrRequest::single(probe(8, 8, 10 + i))).unwrap())
+            .collect();
+        drop(runtime);
+        // Every accepted ticket resolves even though nobody called
+        // `shutdown` — drop drains the queue before joining.
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! [`Ticket`] — the caller's handle to an in-flight request: a hand-rolled
+//! `Mutex` + `Condvar` one-shot cell resolved exactly once by the worker
+//! that serves the request.
+
+use crate::{lock, wait_timeout};
+use scales_serve::SrResponse;
+use scales_tensor::Result;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The shared one-shot cell between a submitted request and the worker
+/// that eventually serves it.
+pub(crate) struct TicketCell {
+    slot: Mutex<Option<Result<SrResponse>>>,
+    done: Condvar,
+}
+
+impl TicketCell {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self { slot: Mutex::new(None), done: Condvar::new() })
+    }
+
+    /// Deliver the result, waking the waiting caller. Called exactly once
+    /// per cell, by the worker that served (or failed) the request.
+    pub(crate) fn resolve(&self, result: Result<SrResponse>) {
+        let mut slot = lock(&self.slot);
+        debug_assert!(slot.is_none(), "a ticket resolves exactly once");
+        *slot = Some(result);
+        self.done.notify_all();
+    }
+
+    /// Deliver `result` only if nothing was delivered yet — the
+    /// last-resort path (worker panic unwind, post-join shutdown sweep)
+    /// that guarantees no accepted ticket is ever left blocking forever.
+    pub(crate) fn resolve_if_pending(&self, result: Result<SrResponse>) {
+        let mut slot = lock(&self.slot);
+        if slot.is_none() {
+            *slot = Some(result);
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A claim on the response to one submitted request.
+///
+/// Returned by [`Runtime::submit`](crate::Runtime::submit) /
+/// [`Runtime::submit_wait`](crate::Runtime::submit_wait). The ticket is
+/// the *only* handle to the result: [`Ticket::wait`] consumes it and
+/// returns the caller's own [`SrResponse`] — the images of the submitted
+/// request, in the submitted order, even when the runtime served them
+/// coalesced with other callers' work.
+///
+/// Every accepted request is eventually resolved: workers drain the queue
+/// on shutdown, and a failed dispatch resolves its tickets with the error
+/// instead of dropping them.
+pub struct Ticket {
+    pub(crate) cell: Arc<TicketCell>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").field("ready", &self.is_ready()).finish()
+    }
+}
+
+impl Ticket {
+    /// Block until the request is served and take the response.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error the serving dispatch produced, exactly as a
+    /// serial `Session::infer` of this request would have.
+    pub fn wait(self) -> Result<SrResponse> {
+        let mut slot = lock(&self.cell.slot);
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = crate::wait(&self.cell.done, slot);
+        }
+    }
+
+    /// Block up to `timeout` for the response. On timeout the ticket is
+    /// handed back so the caller can keep waiting (or drop it — the
+    /// runtime still serves the request; the response is discarded at
+    /// resolution).
+    ///
+    /// # Errors
+    ///
+    /// `Err(self)` on timeout; the inner `Result` is as in
+    /// [`Ticket::wait`].
+    pub fn wait_timeout(self, timeout: Duration) -> std::result::Result<Result<SrResponse>, Ticket> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = lock(&self.cell.slot);
+        loop {
+            if let Some(result) = slot.take() {
+                return Ok(result);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                drop(slot);
+                return Err(self);
+            }
+            let (guard, _timed_out) = wait_timeout(&self.cell.done, slot, deadline - now);
+            slot = guard;
+        }
+    }
+
+    /// Whether the response has already been delivered (a subsequent
+    /// [`Ticket::wait`] will not block).
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        lock(&self.cell.slot).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scales_serve::{InferStats, Precision, SrResponse};
+    use scales_tensor::backend::Backend;
+
+    fn empty_response() -> SrResponse {
+        SrResponse::from_parts(
+            Vec::new(),
+            InferStats {
+                images: 0,
+                batches: 0,
+                tiled: 0,
+                backend: Backend::Scalar,
+                precision: Precision::Deployed,
+                plans_built: 0,
+                plan_reuses: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn resolved_ticket_returns_without_blocking() {
+        let cell = TicketCell::new();
+        let ticket = Ticket { cell: Arc::clone(&cell) };
+        assert!(!ticket.is_ready());
+        cell.resolve(Ok(empty_response()));
+        assert!(ticket.is_ready());
+        assert!(ticket.wait().is_ok());
+    }
+
+    #[test]
+    fn wait_blocks_until_a_thread_resolves() {
+        let cell = TicketCell::new();
+        let ticket = Ticket { cell: Arc::clone(&cell) };
+        let resolver = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            cell.resolve(Ok(empty_response()));
+        });
+        assert!(ticket.wait().is_ok());
+        resolver.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_hands_the_ticket_back() {
+        let cell = TicketCell::new();
+        let ticket = Ticket { cell: Arc::clone(&cell) };
+        let Err(ticket) = ticket.wait_timeout(Duration::from_millis(5)) else {
+            panic!("unresolved ticket must time out");
+        };
+        cell.resolve(Ok(empty_response()));
+        assert!(ticket.wait_timeout(Duration::from_secs(5)).is_ok());
+    }
+}

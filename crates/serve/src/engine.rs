@@ -304,3 +304,26 @@ impl<'m> Engine<'m> {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Compile-time contract of the concurrent serving stack: `&Engine`
+    /// must be `Send` (equivalently `Engine: Sync`) so one engine can be
+    /// shared by every `scales-runtime` worker, and a `Session` must be
+    /// `Send` so each worker thread can own one. Sessions are deliberately
+    /// *not* `Sync` — they carry interior-mutable per-stream state (serving
+    /// counters and the planned executor's workspace), which is exactly why
+    /// the worker pool gives each thread its own session instead of sharing
+    /// one.
+    #[test]
+    fn engine_is_shareable_and_sessions_are_movable() {
+        fn assert_send<T: Send + ?Sized>() {}
+        fn assert_sync<T: Sync + ?Sized>() {}
+        assert_send::<Engine<'static>>();
+        assert_sync::<Engine<'static>>();
+        assert_send::<&Engine<'static>>();
+        assert_send::<crate::Session<'static, 'static>>();
+    }
+}

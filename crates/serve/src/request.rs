@@ -40,7 +40,11 @@ impl SrRequest {
         &self.images
     }
 
-    pub(crate) fn into_parts(self) -> (Vec<Image>, Option<TilePolicy>) {
+    /// Decompose into the owned images and the per-request tile override.
+    /// This is how layered callers (notably the `scales-runtime` batcher)
+    /// take requests apart to coalesce them without copying the payloads.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<Image>, Option<TilePolicy>) {
         (self.images, self.tile)
     }
 }
@@ -73,6 +77,17 @@ pub struct SrResponse {
 }
 
 impl SrResponse {
+    /// Assemble a response from already-served images and their execution
+    /// stats. Sessions build responses internally; this constructor exists
+    /// for layers that re-slice a served response — the `scales-runtime`
+    /// dynamic batcher serves several callers' requests through one
+    /// [`Session::infer`](crate::Session::infer) call and hands each
+    /// caller its own slice of the images under the shared dispatch stats.
+    #[must_use]
+    pub fn from_parts(images: Vec<Image>, stats: InferStats) -> Self {
+        Self { images, stats }
+    }
+
     /// The SR images, index-aligned with the request's images.
     #[must_use]
     pub fn images(&self) -> &[Image] {

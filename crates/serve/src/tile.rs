@@ -46,7 +46,11 @@ impl TileSpec {
 
     /// Re-validate a spec (fields are public, so a struct literal can
     /// bypass [`TileSpec::new`]).
-    pub(crate) fn validate(self) -> Result<()> {
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TileSpec::new`].
+    pub fn validate(self) -> Result<()> {
         Self::new(self.tile, self.overlap).map(|_| ())
     }
 }

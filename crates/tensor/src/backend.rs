@@ -164,6 +164,16 @@ pub fn active() -> Backend {
 }
 
 /// Override the active backend for the whole process.
+///
+/// **This does not affect running engines or runtimes.** A
+/// `scales_serve::Engine` captures its backend **by value** at build time
+/// and installs it thread-scoped ([`with_thread_backend`]) around every
+/// forward — the thread-scoped handle is consulted *before* this global —
+/// so a `scales-runtime` worker pool keeps serving on the backend its
+/// engine was built with no matter what is set here. `set_backend` only
+/// changes (a) code that dispatches outside any engine/thread scope and
+/// (b) the default captured by engines built *afterwards* without an
+/// explicit `EngineBuilder::backend` choice.
 pub fn set_backend(backend: Backend) {
     let v = match backend {
         Backend::Scalar => BACKEND_SCALAR,

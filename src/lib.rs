@@ -18,6 +18,7 @@
 //! | [`io`] | versioned on-disk model artifacts: [`io::save_checkpoint`] / [`io::save_artifact`] and their loaders, served straight from disk via [`serve::EngineBuilder::model_path`] |
 //! | [`metrics`] | PSNR/SSIM, activation-variance analysis |
 //! | [`serve`] | the serving API: [`serve::Engine`] / [`serve::Session`] — one `infer` entry point for single/batch/tiled requests in training or deployed precision, per-engine backend |
+//! | [`runtime`] | the concurrent serving runtime: [`runtime::Runtime`] worker pool over one shared engine, bounded queue with typed backpressure, cross-request dynamic batching, [`runtime::metrics`] with p50/p99 latency and batch-fill [`runtime::RuntimeStats`] |
 //! | [`train`] | trainer, evaluator, experiment harness (legacy free-function serving wrappers in [`train::infer`]) |
 //!
 //! ## Serving engine
@@ -123,6 +124,7 @@ pub use scales_io as io;
 pub use scales_metrics as metrics;
 pub use scales_models as models;
 pub use scales_nn as nn;
+pub use scales_runtime as runtime;
 pub use scales_serve as serve;
 pub use scales_tensor as tensor;
 pub use scales_train as train;

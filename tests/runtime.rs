@@ -1,0 +1,385 @@
+//! Concurrency-correctness suite for the `scales-runtime` worker pool.
+//!
+//! The headline contract: responses served by the concurrent runtime —
+//! coalesced across callers by the dynamic batcher, executed by whichever
+//! worker got there first — are **bit-identical** (`f32::to_bits`) to a
+//! serial `Session::infer` of the same request, across the CNN method
+//! registry and both compute backends. On top of that: per-caller response
+//! ordering under many submitter threads, typed backpressure when the
+//! bounded queue fills, independence from the process-global backend
+//! selection, and deadlock-free graceful shutdown under load (every test
+//! is bounded by a watchdog).
+
+use scales::core::Method;
+use scales::data::Image;
+use scales::models::{srresnet, SrConfig};
+use scales::nn::init::rng;
+use scales::runtime::{Runtime, RuntimeConfig, SubmitError, Ticket};
+use scales::serve::{Engine, Precision, SrRequest};
+use scales::tensor::backend::{self, Backend};
+use std::time::Duration;
+
+/// Run `f` on a helper thread and fail the test if it has not finished
+/// within `secs` — a deadlock anywhere in submit/dispatch/shutdown must
+/// show up as a clean test failure, not a hung CI job.
+fn with_watchdog<T: Send + 'static>(
+    secs: u64,
+    label: &str,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let runner = std::thread::Builder::new()
+        .name(format!("watchdog-{label}"))
+        .spawn(move || {
+            let _ = tx.send(f());
+        })
+        .expect("spawn watchdog runner");
+    let result = rx
+        .recv_timeout(Duration::from_secs(secs))
+        .unwrap_or_else(|_| panic!("watchdog: {label} did not finish within {secs}s"));
+    runner.join().expect("watchdog runner panicked");
+    result
+}
+
+fn probe(h: usize, w: usize, seed: u64) -> Image {
+    scales::data::synth::scene(h, w, scales::data::synth::SceneConfig::default(), &mut rng(seed))
+}
+
+fn engine_for(method: Method, backend: Backend, seed: u64) -> Engine<'static> {
+    let net = srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method, seed }).unwrap();
+    Engine::builder()
+        .model(net)
+        .precision(Precision::Deployed)
+        .backend(backend)
+        .build()
+        .unwrap()
+}
+
+fn assert_images_bit_identical(got: &[Image], want: &[Image], label: &str) {
+    assert_eq!(got.len(), want.len(), "{label}: image count");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.tensor().shape(), w.tensor().shape(), "{label}: image {i} shape");
+        for (j, (a, b)) in g.tensor().data().iter().zip(w.tensor().data().iter()).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "{label}: image {i}, value {j} differs bitwise: {a} vs {b}"
+            );
+        }
+    }
+}
+
+/// Bit-identity of runtime serving vs serial `Session::infer`, for every
+/// CNN registry method on both backends, with mixed-size requests that the
+/// batcher is free to coalesce.
+#[test]
+fn runtime_matches_serial_session_bitwise_across_the_method_registry() {
+    with_watchdog(240, "registry-bit-identity", || {
+        for method in Method::cnn_registry() {
+            for be in [Backend::Scalar, Backend::Parallel] {
+                let label = format!("{method}, {} backend", be.name());
+                // Two engines built from identical networks: one serves
+                // serially, one through the pool.
+                let serial = engine_for(method, be, 1234);
+                let concurrent = engine_for(method, be, 1234);
+                let requests: Vec<SrRequest> = vec![
+                    SrRequest::single(probe(8, 8, 41)),
+                    SrRequest::batch(vec![probe(6, 10, 42), probe(8, 8, 43)]),
+                    SrRequest::single(probe(10, 6, 44)),
+                    SrRequest::batch(vec![probe(8, 8, 45), probe(8, 8, 46)]),
+                ];
+                let session = serial.session();
+                let want: Vec<Vec<Image>> = requests
+                    .iter()
+                    .map(|r| session.infer(r.clone()).unwrap().into_images())
+                    .collect();
+                let runtime = Runtime::spawn(
+                    concurrent,
+                    RuntimeConfig {
+                        workers: 2,
+                        queue_capacity: 64,
+                        max_batch: 4,
+                        max_wait: Duration::from_millis(5),
+                    },
+                )
+                .unwrap();
+                let tickets: Vec<Ticket> =
+                    requests.iter().map(|r| runtime.submit(r.clone()).unwrap()).collect();
+                for (ticket, want) in tickets.into_iter().zip(&want) {
+                    let response = ticket.wait().unwrap();
+                    assert_images_bit_identical(response.images(), want, &label);
+                }
+                let stats = runtime.shutdown();
+                assert_eq!(stats.completed, 4, "{label}");
+                assert_eq!(stats.images, 6, "{label}");
+                assert_eq!(stats.failed, 0, "{label}");
+            }
+        }
+    });
+}
+
+/// Many submitter threads, mixed sizes, every CNN registry method
+/// sampled: each caller must get exactly its own images back, in its own
+/// submission order, bit-identical to serial serving.
+#[test]
+fn concurrent_submitters_each_get_their_own_responses_in_order() {
+    with_watchdog(240, "concurrent-submitters", || {
+        // Sample the registry across the stress run (one runtime per
+        // method keeps the engine/model relationship honest).
+        for (m, method) in Method::cnn_registry().into_iter().enumerate() {
+            let serial = engine_for(method, Backend::Scalar, 777);
+            let concurrent = engine_for(method, Backend::Scalar, 777);
+            let runtime = Runtime::spawn(
+                concurrent,
+                RuntimeConfig {
+                    workers: 3,
+                    queue_capacity: 8, // small: submitters hit submit_wait backpressure
+                    max_batch: 6,
+                    max_wait: Duration::from_millis(1),
+                },
+            )
+            .unwrap();
+            let sizes = [(6usize, 6usize), (8, 8), (6, 10)];
+            let serial_session = serial.session();
+            std::thread::scope(|scope| {
+                let runtime = &runtime;
+                let sizes = &sizes;
+                let serial_session = &serial_session;
+                let mut submitters = Vec::new();
+                for t in 0..4u64 {
+                    submitters.push(scope.spawn(move || {
+                        let mut pending: Vec<(Ticket, u64, (usize, usize))> = Vec::new();
+                        for i in 0..3u64 {
+                            let seed = 10_000 + (m as u64) * 100 + t * 10 + i;
+                            let (h, w) = sizes[(t as usize + i as usize) % sizes.len()];
+                            let ticket = runtime
+                                .submit_wait(SrRequest::single(probe(h, w, seed)))
+                                .expect("submit_wait only fails on shutdown");
+                            pending.push((ticket, seed, (h, w)));
+                        }
+                        pending
+                    }));
+                }
+                for (t, submitter) in submitters.into_iter().enumerate() {
+                    for (ticket, seed, (h, w)) in submitter.join().unwrap() {
+                        let got = ticket.wait().unwrap();
+                        // The serial reference for this caller's request.
+                        let want = serial_session
+                            .infer(SrRequest::single(probe(h, w, seed)))
+                            .unwrap();
+                        assert_images_bit_identical(
+                            got.images(),
+                            want.images(),
+                            &format!("{method}, submitter {t}, seed {seed}"),
+                        );
+                    }
+                }
+            });
+            let stats = runtime.shutdown();
+            assert_eq!(stats.completed, 12, "{method}");
+            assert_eq!(stats.failed, 0, "{method}");
+            assert!(stats.queue_high_water <= 8, "{method}: bounded queue respected");
+        }
+    });
+}
+
+/// Backpressure contract: a full queue is a typed `QueueFull` error
+/// carrying the configured capacity, and the queue bound counts requests,
+/// not images.
+#[test]
+fn a_full_queue_rejects_submissions_with_a_typed_error() {
+    with_watchdog(120, "queue-full", || {
+        let runtime = Runtime::spawn(
+            engine_for(Method::scales(), Backend::Scalar, 55),
+            RuntimeConfig {
+                workers: 1,
+                queue_capacity: 2,
+                max_batch: 1, // never coalesce: the worker serves strictly one request at a time
+                max_wait: Duration::ZERO,
+            },
+        )
+        .unwrap();
+        // A deliberately heavy request occupies the single worker...
+        let heavy = runtime
+            .submit(SrRequest::batch((0..12).map(|i| probe(24, 24, 900 + i)).collect()))
+            .unwrap();
+        // ...wait until the worker has actually popped it off the queue.
+        while runtime.stats().queue_depth > 0 {
+            std::thread::yield_now();
+        }
+        // Now fill the queue to its bound and overflow it.
+        let q1 = runtime.submit(SrRequest::single(probe(6, 6, 920))).unwrap();
+        let q2 = runtime.submit(SrRequest::single(probe(6, 6, 921))).unwrap();
+        let overflow = runtime.submit(SrRequest::single(probe(6, 6, 922)));
+        match overflow {
+            Err(SubmitError::QueueFull { capacity }) => assert_eq!(capacity, 2),
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        // Everything accepted is still served.
+        assert_eq!(heavy.wait().unwrap().images().len(), 12);
+        assert!(q1.wait().is_ok());
+        assert!(q2.wait().is_ok());
+        let stats = runtime.shutdown();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.queue_high_water, 2);
+    });
+}
+
+/// `set_backend` must not affect a running runtime: workers run under the
+/// engine's captured backend handle, never the process global.
+#[test]
+fn global_set_backend_does_not_reach_a_running_runtime() {
+    with_watchdog(120, "global-backend-isolation", || {
+        let before = backend::active();
+        let serial = engine_for(Method::scales(), Backend::Scalar, 66);
+        let want = serial.session().infer(SrRequest::single(probe(8, 8, 67))).unwrap();
+        let runtime = Runtime::spawn(
+            engine_for(Method::scales(), Backend::Scalar, 66),
+            RuntimeConfig { workers: 1, ..RuntimeConfig::default() },
+        )
+        .unwrap();
+        // Flip the process-global selection while the pool is live.
+        backend::set_backend(Backend::Parallel);
+        let got = runtime.submit(SrRequest::single(probe(8, 8, 67))).unwrap().wait().unwrap();
+        backend::set_backend(before);
+        assert_eq!(got.stats().backend, Backend::Scalar, "engine handle wins");
+        assert_images_bit_identical(got.images(), want.images(), "backend isolation");
+        let _ = runtime.shutdown();
+    });
+}
+
+/// Graceful shutdown under load: submissions race `shutdown()` from
+/// several threads; every ticket that was accepted resolves successfully,
+/// every rejection is the typed `ShuttingDown`, and the final stats
+/// account for exactly the accepted set.
+#[test]
+fn graceful_shutdown_under_load_resolves_every_accepted_ticket() {
+    with_watchdog(240, "shutdown-under-load", || {
+        let runtime = Runtime::spawn(
+            engine_for(Method::scales(), Backend::Scalar, 88),
+            RuntimeConfig {
+                workers: 2,
+                queue_capacity: 64,
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+            },
+        )
+        .unwrap();
+        // Submission is microseconds, serving is milliseconds: by the
+        // time the burst is accepted the queue still holds most of it, so
+        // `shutdown` below really does run against a loaded queue.
+        let tickets: Vec<Ticket> = std::thread::scope(|scope| {
+            let runtime = &runtime;
+            let submitters: Vec<_> = (0..4u64)
+                .map(|t| {
+                    scope.spawn(move || {
+                        (0..8u64)
+                            .map(|i| {
+                                runtime
+                                    .submit_wait(SrRequest::single(probe(6, 6, t * 100 + i)))
+                                    .expect("runtime is accepting")
+                            })
+                            .collect::<Vec<Ticket>>()
+                    })
+                })
+                .collect();
+            submitters.into_iter().flat_map(|s| s.join().unwrap()).collect()
+        });
+        let stats = runtime.shutdown();
+        // Every accepted ticket resolved during the drain — none dropped,
+        // none left pending.
+        for ticket in tickets {
+            assert!(ticket.is_ready(), "shutdown returned with a pending ticket");
+            assert!(ticket.wait().is_ok());
+        }
+        assert_eq!(stats.submitted, 32);
+        assert_eq!(stats.completed, 32);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.queue_depth, 0, "shutdown drained the queue");
+    });
+}
+
+/// Same race, but with `shutdown` called concurrently with the
+/// submitters (not after): accepted-before-shutdown work still resolves.
+#[test]
+fn shutdown_racing_submitters_stays_deadlock_free() {
+    with_watchdog(240, "shutdown-race", || {
+        let runtime = Runtime::spawn(
+            engine_for(Method::scales(), Backend::Scalar, 99),
+            RuntimeConfig {
+                workers: 2,
+                queue_capacity: 64,
+                max_batch: 4,
+                max_wait: Duration::from_millis(2),
+            },
+        )
+        .unwrap();
+        let runtime = std::sync::Arc::new(std::sync::Mutex::new(Some(runtime)));
+        let mut threads = Vec::new();
+        for t in 0..3u64 {
+            let runtime = std::sync::Arc::clone(&runtime);
+            threads.push(std::thread::spawn(move || {
+                for i in 0..6u64 {
+                    let ticket = {
+                        let guard = runtime.lock().unwrap();
+                        let Some(rt) = guard.as_ref() else { return };
+                        rt.submit(SrRequest::single(probe(6, 6, 3_000 + t * 10 + i)))
+                    };
+                    match ticket {
+                        Ok(ticket) => assert!(ticket.wait().is_ok()),
+                        Err(SubmitError::ShuttingDown) => return,
+                        Err(e) => panic!("unexpected submit error: {e}"),
+                    }
+                }
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(3));
+        let rt = runtime.lock().unwrap().take().expect("runtime present");
+        let stats = rt.shutdown();
+        for thread in threads {
+            thread.join().unwrap();
+        }
+        assert_eq!(stats.completed + stats.failed, stats.submitted);
+        assert_eq!(stats.failed, 0);
+    });
+}
+
+/// The batcher must actually coalesce: a backlog of single-image
+/// requests submitted ahead of the (slow) first dispatch ends up in far
+/// fewer dispatches than requests, and the shared-dispatch stats say so.
+#[test]
+fn dynamic_batching_coalesces_a_backlog_of_single_image_callers() {
+    with_watchdog(120, "batching-coalesces", || {
+        let runtime = Runtime::spawn(
+            engine_for(Method::scales(), Backend::Scalar, 11),
+            RuntimeConfig {
+                workers: 1,
+                queue_capacity: 64,
+                max_batch: 8,
+                max_wait: Duration::from_millis(50),
+            },
+        )
+        .unwrap();
+        // Same-shaped singles: ideal coalescing fodder. Submit the whole
+        // burst before waiting on anything.
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|i| runtime.submit(SrRequest::single(probe(8, 8, 500 + i))).unwrap())
+            .collect();
+        for ticket in tickets {
+            let response = ticket.wait().unwrap();
+            assert_eq!(response.stats().images, 1, "caller sees its own image count");
+        }
+        let stats = runtime.shutdown();
+        assert_eq!(stats.completed, 16);
+        // 16 singles with max_batch 8 and a 50 ms window: the burst is
+        // already queued when the worker gathers, so dispatches must be
+        // far below 16 (ideally 2–3).
+        assert!(
+            stats.dispatches < 16,
+            "batcher never coalesced: {} dispatches for 16 requests",
+            stats.dispatches
+        );
+        assert!(stats.coalesced > 0, "no request shared a dispatch");
+        assert!(stats.batch_fill > 0.0);
+    });
+}
