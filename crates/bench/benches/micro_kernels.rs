@@ -3,10 +3,19 @@
 //!
 //! * the register-blocked float GEMM at the SRResNet serving shapes
 //!   (head / body / tail convolutions over a 64×64 LR image, plus the
-//!   paper-scale 64-channel body);
+//!   paper-scale 64-channel body), scalar vs the runtime-detected SIMD
+//!   kernel (bit-identical outputs, asserted here);
+//! * the XNOR-popcount row-agree primitive (the binary GEMM's interior
+//!   inner loop), scalar vs hardware popcount / AVX2;
 //! * the bit-packed binary convolution on a 64×64 image, comparing the
 //!   allocating `forward` against the scratch-reusing `forward_into`
-//!   (interior fast path + no per-call buffers).
+//!   (interior fast path + no per-call buffers), on scalar and simd
+//!   backends.
+//!
+//! On AVX2 hardware the run **asserts** the issue's speedup floors: SIMD
+//! float GEMM ≥ 1.3× scalar on the paper-scale shape, AVX2 popcount row
+//! agree ≥ 1.5× the scalar loop. Off-AVX2 the rows are reported without
+//! the assertions.
 //!
 //! The run ends with one machine-readable line —
 //! `BENCH_kernels {...}` — so CI logs give a per-commit perf trajectory
@@ -19,6 +28,7 @@
 
 use scales_binary::BinaryConv2d;
 use scales_tensor::backend;
+use scales_tensor::backend::Backend;
 use scales_tensor::workspace::BitScratch;
 use scales_tensor::Tensor;
 use std::time::Instant;
@@ -49,10 +59,18 @@ fn main() {
         reps
     );
 
+    let level = Backend::detected();
+    println!("  detected CPU simd level: {level}");
+
     // Float GEMM at the shapes the SRResNet serving path actually runs
     // over a 64×64 LR probe: head 3→16 (k3), body 16→16 (k3), tail
-    // 16→12 (k3), and the paper-scale 64-channel body.
-    println!("\n  {:<22} {:>12} {:>12}", "gemm (m,k,n)", "time", "GFLOP/s");
+    // 16→12 (k3), and the paper-scale 64-channel body — scalar kernel vs
+    // the runtime-dispatched SIMD kernel on identical buffers.
+    println!(
+        "\n  {:<22} {:>12} {:>12} {:>12} {:>9}",
+        "gemm (m,k,n)", "scalar", "GFLOP/s", "simd", "speedup"
+    );
+    let mut paper_gemm_speedup = 0.0f64;
     for &(label, m, k, n) in &[
         ("head 16x27x4096", 16usize, 27usize, 4096usize),
         ("body 16x144x4096", 16, 144, 4096),
@@ -62,18 +80,93 @@ fn main() {
         let a = filled(m * k, 1.0);
         let b = filled(k * n, 2.0);
         let mut c = vec![0.0f32; m * n];
+        let scalar_kernel = Backend::Scalar.kernel();
+        let simd_kernel = Backend::Simd.kernel();
         let t = best_of(reps, || {
             c.iter_mut().for_each(|v| *v = 0.0);
-            backend::kernel().gemm(&a, &b, &mut c, m, k, n);
+            scalar_kernel.gemm(&a, &b, &mut c, m, k, n);
         });
+        let scalar_out = c.clone();
+        let ts = best_of(reps, || {
+            c.iter_mut().for_each(|v| *v = 0.0);
+            simd_kernel.gemm(&a, &b, &mut c, m, k, n);
+        });
+        // The house contract, checked where it is cheapest to check.
+        assert!(
+            scalar_out.iter().zip(c.iter()).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "simd gemm must be bit-identical to scalar at {label}"
+        );
         let gflops = (2.0 * m as f64 * k as f64 * n as f64) / t / 1e9;
-        println!("  {label:<22} {:>9.1} us {gflops:>12.2}", t * 1e6);
+        let speedup = t / ts;
+        if label.starts_with("paper") {
+            paper_gemm_speedup = speedup;
+        }
+        println!(
+            "  {label:<22} {:>9.1} us {gflops:>12.2} {:>9.1} us {speedup:>8.2}x",
+            t * 1e6,
+            ts * 1e6
+        );
         json.push(format!("\"gemm_{m}x{k}x{n}_us\":{:.1}", t * 1e6));
+        json.push(format!("\"gemm_simd_{m}x{k}x{n}_us\":{:.1}", ts * 1e6));
+    }
+    if level.has_avx2() {
+        assert!(
+            paper_gemm_speedup >= 1.3,
+            "AVX2 float GEMM must be >= 1.3x scalar on the paper-scale shape, got {paper_gemm_speedup:.2}x"
+        );
+    }
+
+    // The XNOR-popcount row-agree primitive — the binary GEMM's interior
+    // inner loop — over a 3×3 × 64-channel kernel row repeated across a
+    // 64×64 output plane's worth of pixels, scalar vs the detected level.
+    {
+        let taps = 9usize;
+        let pixels = 62 * 62; // interior of a 64×64 same-padded conv
+        let wrow: Vec<u64> = (0..taps).map(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let prows: Vec<u64> =
+            (0..pixels * taps).map(|i| (i as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)).collect();
+        let scalar_fn = scales_binary::count::row_agree_for(scales_tensor::SimdLevel::None);
+        let simd_fn = scales_binary::count::row_agree_for(level);
+        let mut sink = 0u64;
+        let t = best_of(reps, || {
+            for p in 0..pixels {
+                sink = sink
+                    .wrapping_add(u64::from(scalar_fn(&wrow, &prows[p * taps..(p + 1) * taps], 1, u64::MAX)));
+            }
+        });
+        let ts = best_of(reps, || {
+            for p in 0..pixels {
+                sink = sink
+                    .wrapping_add(u64::from(simd_fn(&wrow, &prows[p * taps..(p + 1) * taps], 1, u64::MAX)));
+            }
+        });
+        let speedup = t / ts;
+        println!(
+            "\n  {:<22} {:>9.1} us {:>12} {:>9.1} us {speedup:>8.2}x  (sink {})",
+            "popcount row agree",
+            t * 1e6,
+            "",
+            ts * 1e6,
+            sink % 10
+        );
+        json.push(format!("\"popcount_row_scalar_us\":{:.1}", t * 1e6));
+        json.push(format!("\"popcount_row_simd_us\":{:.1}", ts * 1e6));
+        if level.has_avx2() {
+            assert!(
+                speedup >= 1.5,
+                "AVX2 popcount row agree must be >= 1.5x the scalar loop, got {speedup:.2}x"
+            );
+        }
     }
 
     // Binary convolution over a 64×64 image: allocating forward vs the
-    // scratch-reusing forward_into that serving runs.
-    println!("\n  {:<22} {:>12} {:>12} {:>9}", "binary conv 64x64", "alloc", "scratch", "speedup");
+    // scratch-reusing forward_into that serving runs, on the scalar and
+    // simd backends (the simd rows pick up the hardware-popcount agree
+    // loops end to end, im2col and packing included).
+    println!(
+        "\n  {:<22} {:>12} {:>12} {:>12} {:>9}",
+        "binary conv 64x64", "alloc", "scratch", "simd scratch", "speedup"
+    );
     for &(label, ch) in &[("16 channels", 16usize), ("64 channels", 64usize)] {
         let weight = Tensor::from_vec(filled(ch * ch * 9, 3.0), &[ch, ch, 3, 3]).unwrap();
         let conv = BinaryConv2d::from_float_weight(&weight).unwrap();
@@ -85,17 +178,31 @@ fn main() {
         let mut out = vec![0.0f32; ch * 64 * 64];
         // Warm the scratch so the timed region is the steady state.
         conv.forward_into(input.data(), 1, 64, 64, &mut scratch, &mut out).unwrap();
-        let fast = best_of(reps, || {
-            conv.forward_into(input.data(), 1, 64, 64, &mut scratch, &mut out).unwrap();
+        let fast = backend::with_backend(Backend::Scalar, || {
+            best_of(reps, || {
+                conv.forward_into(input.data(), 1, 64, 64, &mut scratch, &mut out).unwrap();
+            })
         });
+        let scalar_out = out.clone();
+        let simd = backend::with_backend(Backend::Simd, || {
+            best_of(reps, || {
+                conv.forward_into(input.data(), 1, 64, 64, &mut scratch, &mut out).unwrap();
+            })
+        });
+        assert!(
+            scalar_out.iter().zip(out.iter()).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "simd binary conv must be bit-identical to scalar at {label}"
+        );
         println!(
-            "  {label:<22} {:>9.1} us {:>9.1} us {:>8.2}x",
+            "  {label:<22} {:>9.1} us {:>9.1} us {:>9.1} us {:>8.2}x",
             alloc * 1e6,
             fast * 1e6,
-            alloc / fast
+            simd * 1e6,
+            fast / simd
         );
         json.push(format!("\"binconv_{ch}ch_alloc_us\":{:.1}", alloc * 1e6));
         json.push(format!("\"binconv_{ch}ch_scratch_us\":{:.1}", fast * 1e6));
+        json.push(format!("\"binconv_{ch}ch_simd_us\":{:.1}", simd * 1e6));
     }
 
     println!("\nBENCH_kernels {{{}}}", json.join(","));

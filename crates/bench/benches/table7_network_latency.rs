@@ -7,8 +7,13 @@
 //!   inference route;
 //! * training-precision engine, parallel backend — same math on the
 //!   blocked multi-threaded tensor kernels;
+//! * training-precision engine, simd backend — runtime-detected AVX2
+//!   float GEMM and hardware-popcount loops, bit-identical outputs;
 //! * deployed-precision engine (packed XNOR-popcount body) on each
 //!   backend.
+//!
+//! On AVX2 hardware the simd deployed row must not lose to the scalar
+//! deployed row (asserted; skipped when detection reports no AVX2).
 //!
 //! Each row is a separate `Engine` carrying its backend by value — the
 //! process-global backend selection is never touched, which is itself the
@@ -73,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut rows = Vec::new();
     let mut packed_layers = 0;
-    for backend_kind in [Backend::Scalar, Backend::Parallel] {
+    for backend_kind in [Backend::Scalar, Backend::Parallel, Backend::Simd] {
         let training = Engine::builder()
             .model_ref(&net)
             .precision(Precision::Training)
@@ -101,8 +106,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "whole-network serving latency via Engine (SRResNet/SCALES, {CHANNELS} ch x {BLOCKS} \
-         blocks, {SIZE}x{SIZE} LR, x2, {packed_layers} packed layers, {} cores)",
+         blocks, {SIZE}x{SIZE} LR, x2, {packed_layers} packed layers, {} cores, simd {})",
         std::thread::available_parallelism().map_or(1, usize::from),
+        Backend::detected(),
     );
 
     println!("\n  {:<10} {:>18} {:>18}", "backend", "training engine", "deployed engine");
@@ -119,6 +125,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         best_deploy < seed_path,
         "deployed whole-network serving must beat the seed scalar path"
     );
+    if Backend::detected().has_avx2() {
+        // rows: [scalar, parallel, simd]; allow 10% timer jitter — the
+        // per-kernel floors are asserted in micro_kernels, this guards
+        // against the simd path regressing at the whole-network level.
+        let (scalar_deploy, simd_deploy) = (rows[0].2, rows[2].2);
+        assert!(
+            simd_deploy.as_secs_f64() <= scalar_deploy.as_secs_f64() * 1.1,
+            "simd deployed serving must not lose to scalar (got {simd_deploy:.2?} vs {scalar_deploy:.2?})"
+        );
+    }
+    let json: Vec<String> = rows
+        .iter()
+        .flat_map(|(name, t, d)| {
+            [
+                format!("\"{name}_training_us\":{:.1}", t.as_secs_f64() * 1e6),
+                format!("\"{name}_deployed_us\":{:.1}", d.as_secs_f64() * 1e6),
+            ]
+        })
+        .collect();
+    println!("\nBENCH_table7 {{{}}}", json.join(","));
 
     // Planned zero-allocation executor vs the allocating deployed forward
     // (the serving route before the graph memory plan) on the same probe:

@@ -7,8 +7,10 @@
 //!   validity mask, and the XNOR-popcount dot product.
 //! * [`xnor::BinaryConv2d`] / [`xnor::BinaryLinear`] — deployment-path
 //!   layers that are bit-exact against the float reference on `±1` inputs.
-//! * [`count`] — the paper's cost model
-//!   (`OPs = OPs_f + OPs_b/64`, `Params = Params_f + Params_b/32`).
+//! * [`count`] — the shared XNOR-popcount agree primitives every inner
+//!   loop above dispatches through (scalar, hardware-popcount, and AVX2
+//!   variants selected by [`scales_tensor::SimdLevel`]), plus the paper's
+//!   cost model (`OPs = OPs_f + OPs_b/64`, `Params = Params_f + Params_b/32`).
 //!
 //! ```
 //! use scales_binary::pack::PackedBits;

@@ -126,7 +126,7 @@ impl PackedBits {
             .zip(self.mask.iter().zip(other.mask.iter()))
         {
             let m = ma & mb;
-            agree += (!(a ^ b) & m).count_ones();
+            agree += crate::count::xnor_word_agree(a, b, m);
             valid += m.count_ones();
         }
         2 * agree as i32 - valid as i32

@@ -9,8 +9,9 @@
 //! The convolution is organised as a bit-level im2col followed by a
 //! "binary GEMM" over output channels, dispatched through
 //! [`scales_tensor::backend`] so the parallel backend splits channel rows
-//! across threads (results are identical on every backend — the inner
-//! product is integer-exact).
+//! across threads and the simd backend swaps in the hardware-popcount /
+//! AVX2 agree loops from [`crate::count`] (results are identical on every
+//! backend — the inner product is integer-exact).
 
 use crate::pack::PackedBits;
 use scales_tensor::ops::Conv2dSpec;
@@ -302,6 +303,13 @@ impl BinaryConv2d {
         let wpp = self.wpp;
         let kk = k * k;
         let (stride, pad) = (self.spec.stride, self.spec.padding);
+        // Resolve the backend kernel and its popcount implementations once
+        // per forward: the agree loops come from `count`, picked by the
+        // kernel's advertised SIMD level (scalar/parallel report None and
+        // get the portable loops; simd reports what the CPU offers).
+        let kern = scales_tensor::backend::kernel();
+        let row_agree = crate::count::row_agree_for(kern.simd_level());
+        let border_agree = crate::count::border_agree_for(kern.simd_level());
         // Interior rectangle: output coordinates whose taps are all in
         // bounds on both axes (half-open ranges; empty when the kernel
         // over-covers the image).
@@ -387,7 +395,7 @@ impl BinaryConv2d {
             let interior_valid = (kk * ic) as i32;
             // ~1 popcount word-op per packed word, per pixel.
             let work = oh * ow * kk * wpp;
-            scales_tensor::backend::kernel().for_each_row_chunk(
+            kern.for_each_row_chunk(
                 out_image,
                 oh * ow,
                 work,
@@ -398,46 +406,20 @@ impl BinaryConv2d {
                         let scale = scales[c];
                         // Branch-free interior inner product: every tap is
                         // in bounds, so no tap_ok lookups and the valid
-                        // count is the constant kk·ic.
+                        // count is the constant kk·ic. The agree loop is
+                        // the shared `count::xnor_row_agree` (or its
+                        // hardware-popcount/AVX2 twin, per `row_agree`).
                         let interior = |p: usize| -> f32 {
                             let prow = &patches[p * kk * wpp..(p + 1) * kk * wpp];
-                            let mut agree = 0u32;
-                            if wpp == 1 {
-                                for (wv, pv) in wrow.iter().zip(prow.iter()) {
-                                    agree += (!(wv ^ pv) & channel_mask).count_ones();
-                                }
-                            } else {
-                                for tap in 0..kk {
-                                    let base = tap * wpp;
-                                    for wi in 0..wpp - 1 {
-                                        agree +=
-                                            (!(wrow[base + wi] ^ prow[base + wi])).count_ones();
-                                    }
-                                    agree += (!(wrow[base + wpp - 1] ^ prow[base + wpp - 1])
-                                        & channel_mask)
-                                        .count_ones();
-                                }
-                            }
+                            let agree = row_agree(wrow, prow, wpp, channel_mask);
                             scale * (2 * agree as i32 - interior_valid) as f32
                         };
                         // Masked border inner product (out-of-bounds taps
-                        // skipped outright).
+                        // skipped outright via tap_ok).
                         let border = |p: usize| -> f32 {
-                            let row = p * kk * wpp;
-                            let mut agree = 0u32;
-                            for (tap, &ok) in tap_ok[p * kk..(p + 1) * kk].iter().enumerate() {
-                                if ok == 0 {
-                                    continue;
-                                }
-                                let (wbase, pbase) = (tap * wpp, row + tap * wpp);
-                                for wi in 0..wpp - 1 {
-                                    agree +=
-                                        (!(wrow[wbase + wi] ^ patches[pbase + wi])).count_ones();
-                                }
-                                agree += (!(wrow[wbase + wpp - 1] ^ patches[pbase + wpp - 1])
-                                    & channel_mask)
-                                    .count_ones();
-                            }
+                            let prow = &patches[p * kk * wpp..(p + 1) * kk * wpp];
+                            let ok = &tap_ok[p * kk..(p + 1) * kk];
+                            let agree = border_agree(wrow, prow, ok, wpp, channel_mask);
                             scale * (2 * agree as i32 - valid[p]) as f32
                         };
                         for oy in 0..oh {
@@ -622,6 +604,32 @@ mod tests {
         // Length mismatches are typed errors.
         assert!(bc.forward_into(small.data(), 2, 7, 6, &mut scratch, &mut [0.0; 3]).is_err());
         assert!(bc.forward_into(&[0.0; 5], 1, 7, 6, &mut scratch, &mut got).is_err());
+    }
+
+    #[test]
+    fn simd_backend_forward_is_bit_identical_to_scalar() {
+        use scales_tensor::backend::{with_backend, Backend};
+        // Sweep the spec/word-count variants that exercise both agree
+        // paths (interior fast path, masked borders) and wpp 1 and 2;
+        // non-unit scales make any miscount visible in the float output.
+        for &(ic, k, stride, padding) in &[
+            (3usize, 3usize, 1usize, 1usize),
+            (3, 5, 1, 2),
+            (64, 3, 1, 1),
+            (80, 3, 1, 1), // two channel words with a partial mask
+        ] {
+            let spec = Conv2dSpec { stride, padding };
+            let input = Tensor::from_vec(signs(2 * ic * 9 * 8, 61), &[2, ic, 9, 8]).unwrap();
+            let weight = Tensor::from_vec(signs(4 * ic * k * k, 62), &[4, ic, k, k]).unwrap();
+            let mut bc = BinaryConv2d::from_float_weight(&weight).unwrap().with_spec(spec);
+            bc.set_scales(vec![0.5, 1.25, 2.0, 0.75]).unwrap();
+            let scalar = with_backend(Backend::Scalar, || bc.forward(&input).unwrap());
+            let simd = with_backend(Backend::Simd, || bc.forward(&input).unwrap());
+            assert_eq!(scalar.shape(), simd.shape());
+            for (a, b) in scalar.data().iter().zip(simd.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "ic={ic} k={k} spec={spec:?}");
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!
 //! [`Runtime::stats`]: crate::Runtime::stats
 
+use scales_tensor::backend::Backend;
+use scales_tensor::SimdLevel;
 use std::time::Duration;
 
 /// Number of geometric latency buckets: bucket `i` holds samples up to
@@ -168,6 +170,12 @@ impl WorkerShard {
 pub struct RuntimeStats {
     /// Worker threads in the pool.
     pub workers: usize,
+    /// Backend the runtime's engine dispatches forwards under.
+    pub backend: Backend,
+    /// CPU SIMD level the backend's kernel dispatches at
+    /// ([`SimdLevel::None`] for the scalar
+    /// and parallel kernels, the detected feature level for simd).
+    pub simd: SimdLevel,
     /// The configured dispatch target ([`RuntimeConfig::max_batch`](crate::RuntimeConfig::max_batch)).
     pub max_batch: usize,
     /// Requests accepted into the queue so far.
@@ -228,8 +236,8 @@ impl std::fmt::Display for RuntimeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "runtime: {} workers | {} submitted, {} completed, {} failed, {} rejected",
-            self.workers, self.submitted, self.completed, self.failed, self.rejected
+            "runtime: {} workers on {} (simd {}) | {} submitted, {} completed, {} failed, {} rejected",
+            self.workers, self.backend, self.simd, self.submitted, self.completed, self.failed, self.rejected
         )?;
         writeln!(
             f,
@@ -332,6 +340,8 @@ mod tests {
     fn stats_display_mentions_every_axis() {
         let stats = RuntimeStats {
             workers: 2,
+            backend: Backend::Scalar,
+            simd: SimdLevel::None,
             max_batch: 8,
             submitted: 10,
             rejected: 1,
@@ -348,7 +358,7 @@ mod tests {
             latency: LatencyHistogram::default(),
         };
         let text = stats.to_string();
-        for needle in ["workers", "req/s", "fill", "high water", "p50", "p99"] {
+        for needle in ["workers", "scalar", "simd none", "req/s", "fill", "high water", "p50", "p99"] {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
         }
         assert!(stats.requests_per_sec() > 80.0);

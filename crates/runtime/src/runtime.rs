@@ -509,6 +509,8 @@ fn snapshot(inner: &Inner) -> RuntimeStats {
     };
     RuntimeStats {
         workers: inner.config.workers,
+        backend: inner.engine.backend(),
+        simd: inner.engine.backend().kernel().simd_level(),
         max_batch: inner.config.max_batch,
         submitted,
         rejected,

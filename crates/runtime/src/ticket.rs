@@ -128,6 +128,7 @@ mod tests {
                 batches: 0,
                 tiled: 0,
                 backend: Backend::Scalar,
+                simd: scales_tensor::SimdLevel::None,
                 precision: Precision::Deployed,
                 plans_built: 0,
                 plan_reuses: 0,

@@ -4,6 +4,7 @@ use crate::engine::Precision;
 use crate::tile::TilePolicy;
 use scales_data::Image;
 use scales_tensor::backend::Backend;
+use scales_tensor::SimdLevel;
 
 /// A unit of serving work: one or more LR images, with optional
 /// per-request overrides of the engine defaults.
@@ -60,6 +61,10 @@ pub struct InferStats {
     pub tiled: usize,
     /// Backend the work ran under.
     pub backend: Backend,
+    /// CPU SIMD level the backend's kernel dispatched at
+    /// ([`SimdLevel::None`] for the scalar and parallel kernels, the
+    /// detected feature level for the simd kernel).
+    pub simd: SimdLevel,
     /// Precision the work ran at.
     pub precision: Precision,
     /// Execution plans built during this request (one per input shape the

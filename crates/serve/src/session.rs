@@ -145,6 +145,7 @@ impl<'e, 'm> Session<'e, 'm> {
                     batches,
                     tiled,
                     backend: engine.backend(),
+                    simd: engine.backend().kernel().simd_level(),
                     precision: engine.precision(),
                     plans_built,
                     plan_reuses,
@@ -335,8 +336,24 @@ mod tests {
             assert_eq!(stats.tiled, 1, "{precision}: only the oversized image tiles");
             assert_eq!(stats.backend, Backend::Parallel, "{precision}");
             assert_eq!(stats.backend, engine.backend(), "{precision}");
+            assert_eq!(stats.simd, scales_tensor::SimdLevel::None, "{precision}: parallel kernel never dispatches SIMD");
             assert_eq!(stats.precision, precision);
         }
+    }
+
+    #[test]
+    fn stats_report_detected_simd_level_on_the_simd_backend() {
+        let net = local_net();
+        let engine = Engine::builder()
+            .model_ref(&net)
+            .backend(Backend::Simd)
+            .build()
+            .unwrap();
+        let session = engine.session();
+        let stats =
+            session.infer(SrRequest::single(probe_image(8, 8, 71))).unwrap().stats();
+        assert_eq!(stats.backend, Backend::Simd);
+        assert_eq!(stats.simd, Backend::detected(), "simd kernel reports what the CPU offers");
     }
 
     #[test]

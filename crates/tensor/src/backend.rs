@@ -3,7 +3,7 @@
 //! XNOR-popcount channel loops in `scales-binary`) routes through the
 //! [`Kernel`] selected here.
 //!
-//! Two kernels ship:
+//! Three kernels ship:
 //!
 //! * [`ScalarKernel`] — the single-threaded reference; byte-for-byte the
 //!   seed semantics.
@@ -11,6 +11,12 @@
 //!   workers. Each worker runs the *same* inner loop over a disjoint slice
 //!   of the output, so results are bit-identical to the scalar kernel
 //!   regardless of thread count.
+//! * [`SimdKernel`] — dispatches to hand-written x86-64 vector kernels
+//!   (AVX2 float GEMM, hardware-popcount binary GEMM) when the CPU
+//!   supports them (`is_x86_feature_detected!`, see [`crate::simd`]),
+//!   falling back to the scalar loops on non-x86-64 targets or older
+//!   CPUs. Results are bit-identical to the scalar kernel by construction
+//!   (fixed per-lane summation order; see the [`crate::simd`] docs).
 //!
 //! Selection is layered, most specific first:
 //!
@@ -21,7 +27,7 @@
 //!    kernels concurrently.
 //! 2. runtime — [`set_backend`] overrides the process-wide selection
 //!    (tests and benches use this to compare kernels in one process);
-//! 3. process environment — `SCALES_BACKEND=scalar|parallel`
+//! 3. process environment — `SCALES_BACKEND=scalar|parallel|simd`
 //!    (case-insensitive) overrides the compiled default at first use. An
 //!    unrecognized value is a hard error (panic at first dispatch), never a
 //!    silent fallback;
@@ -43,6 +49,7 @@
 //! backend::set_backend(prev);
 //! ```
 
+use crate::simd::SimdLevel;
 use crate::TensorError;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -54,6 +61,11 @@ pub enum Backend {
     Scalar,
     /// Row-blocked loops dispatched over `std::thread::scope` workers.
     Parallel,
+    /// Runtime-detected x86-64 vector kernels (AVX2 float GEMM,
+    /// hardware-popcount binary GEMM), falling back to the scalar loops
+    /// on hardware without them. Always valid to select; see
+    /// [`Backend::detected`] for what the CPU actually offers.
+    Simd,
 }
 
 impl Backend {
@@ -63,16 +75,32 @@ impl Backend {
         match self {
             Backend::Scalar => &ScalarKernel,
             Backend::Parallel => &ParallelKernel,
+            Backend::Simd => &SimdKernel,
         }
     }
 
-    /// Stable display name (`"scalar"` / `"parallel"`).
+    /// Stable display name (`"scalar"` / `"parallel"` / `"simd"`).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             Backend::Scalar => "scalar",
             Backend::Parallel => "parallel",
+            Backend::Simd => "simd",
         }
+    }
+
+    /// The CPU feature level found at runtime — what [`Backend::Simd`]
+    /// will actually dispatch on this machine. Probed once per process
+    /// via `is_x86_feature_detected!` ([`crate::simd::detected`]).
+    #[must_use]
+    pub fn detected() -> SimdLevel {
+        crate::simd::detected()
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -80,7 +108,7 @@ impl std::str::FromStr for Backend {
     type Err = TensorError;
 
     /// Parse a backend name, case-insensitively (`"scalar"`, `"Parallel"`,
-    /// `"SCALAR"`, …).
+    /// `"SIMD"`, …).
     ///
     /// # Errors
     ///
@@ -92,9 +120,11 @@ impl std::str::FromStr for Backend {
             Ok(Backend::Scalar)
         } else if s.eq_ignore_ascii_case("parallel") {
             Ok(Backend::Parallel)
+        } else if s.eq_ignore_ascii_case("simd") {
+            Ok(Backend::Simd)
         } else {
             Err(TensorError::InvalidArgument(format!(
-                "unrecognized backend {s:?}: expected \"scalar\" or \"parallel\""
+                "unrecognized backend {s:?}: expected \"scalar\", \"parallel\" or \"simd\""
             )))
         }
     }
@@ -103,6 +133,7 @@ impl std::str::FromStr for Backend {
 const BACKEND_UNSET: u8 = 0;
 const BACKEND_SCALAR: u8 = 1;
 const BACKEND_PARALLEL: u8 = 2;
+const BACKEND_SIMD: u8 = 3;
 
 static ACTIVE: AtomicU8 = AtomicU8::new(BACKEND_UNSET);
 
@@ -155,6 +186,7 @@ pub fn active() -> Backend {
     match ACTIVE.load(Ordering::Relaxed) {
         BACKEND_SCALAR => Backend::Scalar,
         BACKEND_PARALLEL => Backend::Parallel,
+        BACKEND_SIMD => Backend::Simd,
         _ => {
             let b = initial_backend();
             set_backend(b);
@@ -178,6 +210,7 @@ pub fn set_backend(backend: Backend) {
     let v = match backend {
         Backend::Scalar => BACKEND_SCALAR,
         Backend::Parallel => BACKEND_PARALLEL,
+        Backend::Simd => BACKEND_SIMD,
     };
     ACTIVE.store(v, Ordering::Relaxed);
 }
@@ -208,6 +241,17 @@ const PARALLEL_FLOP_THRESHOLD: usize = 1 << 15;
 pub trait Kernel: Send + Sync {
     /// Kernel display name.
     fn name(&self) -> &'static str;
+
+    /// The CPU feature level this kernel dispatches SIMD work at.
+    /// [`SimdLevel::None`] for kernels that never vectorize (scalar,
+    /// parallel); the detected level for [`SimdKernel`]. Downstream
+    /// integer hot loops (the binary XNOR-popcount GEMM in
+    /// `scales-binary`) consult this to pick their own scalar or
+    /// hardware-popcount inner loops, keeping the whole selection behind
+    /// the one backend dispatch.
+    fn simd_level(&self) -> SimdLevel {
+        SimdLevel::None
+    }
 
     /// Raw GEMM `c[m×n] += a[m×k] · b[k×n]` over flat row-major slices.
     fn gemm(&self, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize);
@@ -259,11 +303,11 @@ pub fn gemm_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
 pub struct ScalarKernel;
 
 /// Column width of the register tile the blocked GEMM accumulates in.
-const GEMM_NR: usize = 8;
+pub(crate) const GEMM_NR: usize = 8;
 
 /// Row height of the register tile (rows of `a` sharing each loaded `b`
 /// tile).
-const GEMM_MR: usize = 4;
+pub(crate) const GEMM_MR: usize = 4;
 
 /// Shared inner GEMM row block, register-blocked: output rows are
 /// processed in [`GEMM_MR`]-row groups whose [`GEMM_NR`]-wide column tiles
@@ -349,8 +393,12 @@ fn gemm_row_quad(a: [&[f32]; 4], b: &[f32], c: [&mut [f32]; 4], k: usize, n: usi
 }
 
 /// Remainder rows (fewer than [`GEMM_MR`] left): same tile shape, one row.
-fn gemm_row_single(a_row: &[f32], b: &[f32], c_row: &mut [f32], k: usize, n: usize) {
-    let tiles = n - n % GEMM_NR;
+/// `c_row` may be narrower than `n` (the AVX2 kernel re-enters here for
+/// column tails with `b` re-based to the tail's first column); `n` is
+/// always the stride between `b` rows.
+pub(crate) fn gemm_row_single(a_row: &[f32], b: &[f32], c_row: &mut [f32], k: usize, n: usize) {
+    let cols = c_row.len();
+    let tiles = cols - cols % GEMM_NR;
     let mut j = 0;
     while j < tiles {
         let mut t: [f32; GEMM_NR] = c_row[j..j + GEMM_NR].try_into().expect("tile");
@@ -363,7 +411,7 @@ fn gemm_row_single(a_row: &[f32], b: &[f32], c_row: &mut [f32], k: usize, n: usi
         c_row[j..j + GEMM_NR].copy_from_slice(&t);
         j += GEMM_NR;
     }
-    for jj in tiles..n {
+    for jj in tiles..cols {
         let mut t = c_row[jj];
         for (p, &x) in a_row.iter().enumerate().take(k) {
             t += x * b[p * n + jj];
@@ -379,6 +427,50 @@ impl Kernel for ScalarKernel {
 
     fn gemm(&self, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
         debug_assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
+        gemm_rows(a, b, c, 0, m, k, n);
+    }
+
+    fn for_each_row_chunk(
+        &self,
+        data: &mut [f32],
+        row_len: usize,
+        _work_per_row: usize,
+        f: &(dyn Fn(usize, &mut [f32]) + Sync),
+    ) {
+        if row_len == 0 || data.is_empty() {
+            return;
+        }
+        debug_assert_eq!(data.len() % row_len, 0, "data must be whole rows");
+        f(0, data);
+    }
+}
+
+/// Runtime-dispatched SIMD kernel: single-threaded like [`ScalarKernel`],
+/// but the float GEMM runs on the AVX2 microkernel and downstream binary
+/// popcount loops (via [`Kernel::simd_level`]) use hardware popcount when
+/// the CPU supports them. Bit-identical to the scalar kernel on every
+/// hardware level (see the [`crate::simd`] module docs for the
+/// lane-order argument); on non-x86-64 targets or CPUs without the
+/// features it *is* the scalar kernel.
+pub struct SimdKernel;
+
+impl Kernel for SimdKernel {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn simd_level(&self) -> SimdLevel {
+        crate::simd::detected()
+    }
+
+    fn gemm(&self, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::detected().has_avx2() {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { crate::simd::x86::gemm_rows_avx2(a, b, c, 0, m, k, n) };
+            return;
+        }
         gemm_rows(a, b, c, 0, m, k, n);
     }
 
@@ -625,17 +717,77 @@ mod tests {
         for s in ["parallel", "Parallel", "PARALLEL"] {
             assert_eq!(s.parse::<Backend>().unwrap(), Backend::Parallel, "{s}");
         }
+        for s in ["simd", "Simd", "SIMD"] {
+            assert_eq!(s.parse::<Backend>().unwrap(), Backend::Simd, "{s}");
+        }
     }
 
     #[test]
     fn backend_parsing_rejects_unknown_values_with_a_clear_error() {
-        for s in ["gpu", "", "scalar ", "auto"] {
+        for s in ["gpu", "", "scalar ", "auto", "avx2", "simd "] {
             let err = s.parse::<Backend>().unwrap_err().to_string();
             assert!(
-                err.contains("scalar") && err.contains("parallel"),
+                err.contains("scalar") && err.contains("parallel") && err.contains("simd"),
                 "error for {s:?} must name the valid values, got: {err}"
             );
         }
+    }
+
+    #[test]
+    fn backend_display_round_trips_through_from_str() {
+        for be in [Backend::Scalar, Backend::Parallel, Backend::Simd] {
+            assert_eq!(be.to_string(), be.name());
+            assert_eq!(be.to_string().parse::<Backend>().unwrap(), be);
+            assert_eq!(be.kernel().name(), be.name());
+        }
+    }
+
+    #[test]
+    fn detected_features_match_the_simd_kernel() {
+        // Backend::detected() is the capability the simd kernel reports;
+        // the other kernels never dispatch SIMD.
+        assert_eq!(Backend::detected(), SimdKernel.simd_level());
+        assert_eq!(ScalarKernel.simd_level(), SimdLevel::None);
+        assert_eq!(ParallelKernel.simd_level(), SimdLevel::None);
+    }
+
+    #[test]
+    fn simd_gemm_is_bit_identical_to_scalar_across_tile_boundaries() {
+        // Same hostile shape set as the ikj-reference test: row counts
+        // around the 4-row quad, column counts around (and below) the
+        // 8-wide vector tile, odd k, plus a zero-heavy `a`.
+        for &(m, k, n) in
+            &[(1, 1, 1), (3, 5, 7), (4, 9, 8), (5, 13, 9), (8, 27, 16), (13, 7, 23), (17, 64, 33), (4, 3, 4)]
+        {
+            let mut a = filled(m * k, 9.0);
+            for v in a.iter_mut().step_by(3) {
+                *v = 0.0;
+            }
+            let b = filled(k * n, 10.0);
+            let mut want = filled(m * n, 11.0);
+            let mut got = want.clone();
+            ScalarKernel.gemm(&a, &b, &mut want, m, k, n);
+            SimdKernel.gemm(&a, &b, &mut got, m, k, n);
+            assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "({m}, {k}, {n})"
+            );
+        }
+    }
+
+    #[test]
+    fn simd_row_chunks_behave_like_scalar() {
+        let rows = 9;
+        let row_len = 5;
+        let mut data = vec![0.0f32; rows * row_len];
+        SimdKernel.for_each_row_chunk(&mut data, row_len, 1, &|first, chunk| {
+            assert_eq!(first, 0, "single-threaded kernel hands over everything at once");
+            assert_eq!(chunk.len(), rows * row_len);
+            chunk.iter_mut().for_each(|v| *v = 1.0);
+        });
+        assert!(data.iter().all(|&v| v == 1.0));
+        SimdKernel.for_each_row_chunk(&mut [], 5, 1, &|_, _| panic!("no rows, no calls"));
     }
 
     #[test]

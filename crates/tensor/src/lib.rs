@@ -11,8 +11,10 @@
 //! partitioning for Swin-style attention, and global average pooling.
 //!
 //! Hot loops dispatch through the [`backend`] kernel layer: a scalar
-//! reference kernel and a row-blocked multi-threaded kernel with identical
-//! numerics, selected by the `parallel` feature, the `SCALES_BACKEND`
+//! reference kernel, a row-blocked multi-threaded kernel, and a
+//! runtime-detected SIMD kernel ([`simd`]: AVX2 float GEMM + hardware
+//! popcount, falling back to scalar on older CPUs) — all with identical
+//! numerics — selected by the `parallel` feature, the `SCALES_BACKEND`
 //! environment variable, or [`backend::set_backend`] at runtime.
 //!
 //! ```
@@ -31,9 +33,11 @@ pub mod backend;
 pub mod error;
 pub mod ops;
 pub mod shape;
+pub mod simd;
 mod tensor;
 pub mod workspace;
 
 pub use backend::{Backend, Kernel};
+pub use simd::SimdLevel;
 pub use error::{Result, TensorError};
 pub use tensor::Tensor;

@@ -207,6 +207,41 @@ fn engine_tiled_is_bit_identical_to_legacy_for_every_method() {
     }
 }
 
+/// The SIMD backend must serve bit-identically to the scalar backend for
+/// every CNN method in the registry, at both precisions: the AVX2 float
+/// GEMM keeps the scalar kernel's per-element summation order exactly and
+/// the popcount binary GEMM is integer-exact, so `f32::to_bits` equality
+/// is the contract, not a tolerance. (On hardware without AVX2 the simd
+/// backend degrades toward the scalar loops, so the assertion still holds.)
+#[test]
+fn simd_backend_serving_is_bit_identical_to_scalar_for_every_method() {
+    use scales::tensor::backend::Backend;
+    let images: Vec<_> = (0..2).map(|i| probe_image(8, 8, 750 + i)).collect();
+    for method in cnn_method_registry() {
+        let net = srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method, seed: 77 }).unwrap();
+        for precision in [Precision::Training, Precision::Deployed] {
+            let serve = |backend: Backend| {
+                Engine::builder()
+                    .model_ref(&net)
+                    .precision(precision)
+                    .backend(backend)
+                    .build()
+                    .unwrap()
+                    .session()
+                    .infer(SrRequest::batch(images.clone()))
+                    .unwrap()
+            };
+            let scalar = serve(Backend::Scalar);
+            let simd = serve(Backend::Simd);
+            assert_eq!(simd.stats().backend, Backend::Simd);
+            assert_eq!(simd.stats().simd, Backend::detected());
+            for (a, b) in scalar.images().iter().zip(simd.images()) {
+                assert_images_identical(a, b, &format!("{precision} simd vs scalar, {method}"));
+            }
+        }
+    }
+}
+
 /// `TilePolicy::Auto` must reproduce the full-image output on local-only
 /// networks: the oversized image tiles, the small one batches, and both
 /// match an untiled engine.

@@ -1,7 +1,7 @@
 //! Planned-executor equivalence: `DeployedNetwork::forward_planned` must
 //! be **bit-identical** (`f32::to_bits`) to the allocating
 //! `DeployedNetwork::forward` — across the whole CNN method registry,
-//! every lowerable architecture, both backends, and mixed batch sizes —
+//! every lowerable architecture, all three backends, and mixed batch sizes —
 //! and a `Session` must build one plan per input shape and reuse it.
 
 use proptest::prelude::*;
@@ -47,7 +47,7 @@ proptest! {
 
     /// The headline contract of this PR: the zero-allocation planned
     /// executor reproduces the allocating forward bit-for-bit for every
-    /// registry method, on both backends, across mixed batch sizes.
+    /// registry method, on all three backends, across mixed batch sizes.
     #[test]
     fn planned_executor_is_bit_identical_for_every_method_backend_and_batch(
         seed in 0u64..10_000,
@@ -62,7 +62,7 @@ proptest! {
                 seed: seed ^ 0x3C3C,
             })
             .unwrap();
-            for be in [Backend::Scalar, Backend::Parallel] {
+            for be in [Backend::Scalar, Backend::Parallel, Backend::Simd] {
                 backend::with_backend(be, || {
                     for n in [1usize, 2, 3] {
                         let batch = probe_batch(n, size, size, seed as f32);

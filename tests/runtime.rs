@@ -4,7 +4,7 @@
 //! coalesced across callers by the dynamic batcher, executed by whichever
 //! worker got there first — are **bit-identical** (`f32::to_bits`) to a
 //! serial `Session::infer` of the same request, across the CNN method
-//! registry and both compute backends. On top of that: per-caller response
+//! registry and all three compute backends. On top of that: per-caller response
 //! ordering under many submitter threads, typed backpressure when the
 //! bounded queue fills, independence from the process-global backend
 //! selection, and deadlock-free graceful shutdown under load (every test
@@ -69,13 +69,13 @@ fn assert_images_bit_identical(got: &[Image], want: &[Image], label: &str) {
 }
 
 /// Bit-identity of runtime serving vs serial `Session::infer`, for every
-/// CNN registry method on both backends, with mixed-size requests that the
+/// CNN registry method on all three backends, with mixed-size requests that the
 /// batcher is free to coalesce.
 #[test]
 fn runtime_matches_serial_session_bitwise_across_the_method_registry() {
     with_watchdog(240, "registry-bit-identity", || {
         for method in Method::cnn_registry() {
-            for be in [Backend::Scalar, Backend::Parallel] {
+            for be in [Backend::Scalar, Backend::Parallel, Backend::Simd] {
                 let label = format!("{method}, {} backend", be.name());
                 // Two engines built from identical networks: one serves
                 // serially, one through the pool.
