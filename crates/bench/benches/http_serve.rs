@@ -1,0 +1,166 @@
+//! End-to-end HTTP serving benchmark: requests/sec and client-observed
+//! latency of the full network path — TCP loopback → `scales-http`
+//! parser → runtime worker pool → deployed engine → wire codec — under a
+//! fixed burst from several keep-alive client threads.
+//!
+//! The run ends with one machine-readable line — `BENCH_http {...}` — so
+//! CI logs give a per-commit serving trajectory for the network edge,
+//! and asserts the whole burst completes with `200`s and a clean,
+//! error-free runtime record.
+//!
+//! ```sh
+//! cargo bench --bench http_serve            # full request count
+//! SCALES_BENCH_SMOKE=1 cargo bench --bench http_serve
+//! ```
+
+use scales_core::Method;
+use scales_data::{encode_image, WireFormat};
+use scales_http::{HttpConfig, HttpServer};
+use scales_models::{srresnet, SrConfig};
+use scales_runtime::{Runtime, RuntimeConfig};
+use scales_serve::{Engine, Precision};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn scene(h: usize, w: usize, seed: u64) -> scales_data::Image {
+    scales_data::synth::scene(
+        h,
+        w,
+        scales_data::synth::SceneConfig::default(),
+        &mut scales_nn::init::rng(seed),
+    )
+}
+
+/// Read one response off a keep-alive stream; returns the status.
+fn read_response(stream: &mut TcpStream) -> u16 {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        assert!(stream.read(&mut byte).expect("read head") > 0, "server closed early");
+        head.push(byte[0]);
+    }
+    let text = std::str::from_utf8(&head).expect("head is UTF-8");
+    let status: u16 = text.split(' ').nth(1).expect("status").parse().expect("numeric status");
+    let length: usize = text
+        .lines()
+        .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(|v| v.trim().to_string()))
+        .map_or(0, |v| v.parse().expect("numeric length"));
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).expect("read body");
+    status
+}
+
+fn main() {
+    let smoke = std::env::var("SCALES_BENCH_SMOKE").is_ok();
+    let requests: usize = if smoke { 24 } else { 192 };
+    let clients = 3usize;
+    let side = 16usize;
+
+    let net = srresnet(SrConfig {
+        channels: 16,
+        blocks: 2,
+        scale: 2,
+        method: Method::scales(),
+        seed: 7,
+    })
+    .unwrap();
+    let engine = Engine::builder().model(net).precision(Precision::Deployed).build().unwrap();
+    let runtime = Runtime::spawn(
+        engine,
+        RuntimeConfig {
+            workers: std::thread::available_parallelism().map_or(1, usize::from),
+            queue_capacity: requests.max(64),
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+        },
+    )
+    .unwrap();
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        runtime,
+        HttpConfig { workers: clients, ..HttpConfig::default() },
+    )
+    .unwrap();
+    let addr = server.addr();
+    println!(
+        "http serving: {requests} POST /v1/upscale of a {side}x{side} PPM over {clients} \
+         keep-alive loopback clients"
+    );
+
+    let payload = encode_image(&scene(side, side, 7), WireFormat::Ppm).unwrap();
+    let raw = {
+        let mut raw = format!(
+            "POST /v1/upscale HTTP/1.1\r\nHost: bench\r\nContent-Type: {}\r\nContent-Length: {}\r\n\r\n",
+            WireFormat::Ppm.content_type(),
+            payload.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(&payload);
+        raw
+    };
+
+    // Warm up outside the timed region (plan caches, connection setup).
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&raw).unwrap();
+        assert_eq!(read_response(&mut stream), 200, "warm-up request");
+    }
+
+    // The burst: each client thread drives its share over one keep-alive
+    // connection and records per-request wall latency.
+    let start = Instant::now();
+    let latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let raw = &raw;
+                scope.spawn(move || {
+                    let share = requests / clients + usize::from(c < requests % clients);
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    stream.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+                    let mut latencies = Vec::with_capacity(share);
+                    for _ in 0..share {
+                        let sent = Instant::now();
+                        stream.write_all(raw).unwrap();
+                        let status = read_response(&mut stream);
+                        assert_eq!(status, 200, "burst must complete without errors");
+                        latencies.push(sent.elapsed());
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+    let total_secs = start.elapsed().as_secs_f64();
+    let rps = requests as f64 / total_secs;
+
+    let mut sorted = latencies.clone();
+    sorted.sort();
+    let quantile = |q: f64| {
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    };
+    let (p50, p99) = (quantile(0.50), quantile(0.99));
+    println!(
+        "  {rps:>8.1} req/s over the wire ({:.1} ms total); client latency p50 {p50:.2?}, p99 {p99:.2?}",
+        total_secs * 1e3
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.failed, 0, "no request may fail");
+    assert!(
+        stats.completed >= (requests + 1) as u64,
+        "every posted request completes (got {})",
+        stats.completed
+    );
+
+    println!(
+        "\nBENCH_http {{\"requests\":{requests},\"clients\":{clients},\"rps\":{rps:.1},\
+         \"p50_ms\":{:.2},\"p99_ms\":{:.2},\"completed\":{},\"failed\":{}}}",
+        p50.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+        stats.completed,
+        stats.failed,
+    );
+}

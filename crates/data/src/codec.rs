@@ -1,0 +1,1287 @@
+//! Wire image codecs for the network serving edge: binary PPM (P6) and a
+//! deliberately small PNG subset, both hand-rolled over `std` (the build
+//! environment is offline — no `image`, no `flate2`).
+//!
+//! These are the formats `scales_http`'s `POST /v1/upscale` accepts and
+//! returns. The house rule from the artifact loaders applies verbatim:
+//! **every malformed input is a typed [`CodecError`], never a panic or an
+//! unbounded allocation**. Dimensions are bounded ([`MAX_DIM`] per axis,
+//! [`MAX_PIXELS`] total) before any pixel buffer is sized, payload
+//! lengths are checked against the header's promise, and a partial read
+//! is never accepted.
+//!
+//! The PNG support is intentionally narrow but honest about it:
+//!
+//! * decode: 8-bit greyscale (colour type 0) and RGB (colour type 2),
+//!   no interlace, CRC-checked chunks, zlib streams whose deflate blocks
+//!   are **stored** or **fixed-Huffman** (dynamic-Huffman blocks are a
+//!   typed [`CodecError::Unsupported`], not a wrong answer), Adler-32
+//!   verified, all five scanline filters;
+//! * encode: stored-block zlib, filter 0 — maximally compatible output
+//!   any external decoder reads.
+//!
+//! Quantization is the shared 8-bit protocol of [`Image::save_pnm`]:
+//! `round(clamp(v, 0, 1) × 255)` on encode, `v / 255` on decode — so
+//! `decode(encode(x))` is **bit-exact** for any image whose values are
+//! already 8-bit quantized, and `encode(decode(bytes))` reproduces a
+//! valid wire image byte for byte (the loopback contract `tests/http.rs`
+//! pins across a real TCP socket).
+
+use crate::Image;
+use scales_tensor::Tensor;
+use std::sync::OnceLock;
+
+/// Largest accepted image extent per axis, decode-side.
+pub const MAX_DIM: u32 = 1 << 15;
+
+/// Largest accepted pixel count (`width × height`), decode-side: bounds
+/// the decoded `f32` tensor at ~192 MiB for RGB before anything is
+/// allocated.
+pub const MAX_PIXELS: u64 = 1 << 24;
+
+/// The eight-byte PNG signature.
+const PNG_SIG: [u8; 8] = [0x89, b'P', b'N', b'G', 0x0d, 0x0a, 0x1a, 0x0a];
+
+/// Which wire format a byte stream is (or should be) encoded in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFormat {
+    /// Binary portable pixmap, `P6`, maxval 255.
+    Ppm,
+    /// PNG, 8-bit greyscale or RGB (see the module docs for the
+    /// supported subset).
+    Png,
+}
+
+impl WireFormat {
+    /// The MIME type HTTP responses carry for this format.
+    #[must_use]
+    pub fn content_type(self) -> &'static str {
+        match self {
+            WireFormat::Ppm => "image/x-portable-pixmap",
+            WireFormat::Png => "image/png",
+        }
+    }
+
+    /// Identify the format from the first bytes of a payload, if it is
+    /// one this module speaks.
+    #[must_use]
+    pub fn sniff(bytes: &[u8]) -> Option<Self> {
+        if bytes.starts_with(b"P6") {
+            Some(WireFormat::Ppm)
+        } else if bytes.starts_with(&PNG_SIG) {
+            Some(WireFormat::Png)
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for WireFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WireFormat::Ppm => "PPM (P6)",
+            WireFormat::Png => "PNG",
+        })
+    }
+}
+
+/// Everything that can go wrong decoding or encoding a wire image.
+///
+/// Decoders never panic: every failure mode of a hostile payload maps to
+/// one of these variants, and `scales_http` maps each to a 4xx response.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The payload starts with no magic this module knows.
+    UnknownFormat {
+        /// The first bytes actually found (up to 8).
+        found: Vec<u8>,
+    },
+    /// The payload does not start with the named format's magic.
+    BadMagic {
+        /// Format the caller asked to decode.
+        format: WireFormat,
+        /// The first bytes actually found (up to 8).
+        found: Vec<u8>,
+    },
+    /// The payload ends before a field it promises.
+    Truncated {
+        /// Byte offset of the read that failed.
+        offset: usize,
+        /// Bytes the field needed.
+        needed: usize,
+        /// Total payload length.
+        len: usize,
+    },
+    /// A structurally invalid payload (bad header syntax, bad filter
+    /// byte, bad deflate symbol, …).
+    Malformed {
+        /// Byte offset where decoding failed (best effort).
+        offset: usize,
+        /// What was malformed.
+        what: String,
+    },
+    /// The header promises dimensions beyond [`MAX_DIM`] / [`MAX_PIXELS`]
+    /// — rejected before any allocation is sized from them.
+    DimensionLimit {
+        /// Width the header claims.
+        width: u64,
+        /// Height the header claims.
+        height: u64,
+    },
+    /// A checksum did not match its data (PNG chunk CRC-32 or zlib
+    /// Adler-32).
+    CrcMismatch {
+        /// Which checksum failed (chunk type, or `"zlib adler32"`).
+        what: String,
+        /// Checksum stored in the payload.
+        stored: u32,
+        /// Checksum computed over the data.
+        computed: u32,
+    },
+    /// Valid for the format at large, but outside the subset this module
+    /// speaks (16-bit channels, palettes, interlace, dynamic-Huffman
+    /// deflate blocks, …).
+    Unsupported {
+        /// The feature the payload needs.
+        what: String,
+    },
+    /// The image cannot be represented in the requested wire format
+    /// (e.g. a greyscale image as P6, which is RGB by definition).
+    Unencodable {
+        /// Why the encode was refused.
+        what: String,
+    },
+    /// The payload decoded cleanly but bytes remain after it.
+    TrailingBytes {
+        /// Bytes consumed by the decoder.
+        consumed: usize,
+        /// Total payload length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnknownFormat { found } => {
+                write!(f, "not a known wire image format (starts {found:02x?})")
+            }
+            CodecError::BadMagic { format, found } => {
+                write!(f, "not a {format} payload (starts {found:02x?})")
+            }
+            CodecError::Truncated { offset, needed, len } => write!(
+                f,
+                "truncated image: needed {needed} byte(s) at offset {offset} of {len}"
+            ),
+            CodecError::Malformed { offset, what } => {
+                write!(f, "malformed image at offset {offset}: {what}")
+            }
+            CodecError::DimensionLimit { width, height } => write!(
+                f,
+                "image dimensions {width}x{height} exceed the codec limits ({MAX_DIM} per axis, {MAX_PIXELS} pixels)"
+            ),
+            CodecError::CrcMismatch { what, stored, computed } => write!(
+                f,
+                "{what} checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            CodecError::Unsupported { what } => {
+                write!(f, "unsupported image feature: {what}")
+            }
+            CodecError::Unencodable { what } => write!(f, "cannot encode image: {what}"),
+            CodecError::TrailingBytes { consumed, len } => {
+                write!(f, "image has {} trailing byte(s) after the payload", len - consumed)
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Result alias for codec operations.
+pub type Result<T> = std::result::Result<T, CodecError>;
+
+/// The shared 8-bit quantization of the wire protocol (identical to
+/// [`Image::save_pnm`]).
+fn quantize(v: f32) -> u8 {
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        (v.clamp(0.0, 1.0) * 255.0).round() as u8
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn dequantize(v: u8) -> f32 {
+    f32::from(v) / 255.0
+}
+
+/// Validate decode-side dimensions before anything is allocated from
+/// them.
+fn check_dims(width: u64, height: u64) -> Result<(usize, usize)> {
+    if width == 0
+        || height == 0
+        || width > u64::from(MAX_DIM)
+        || height > u64::from(MAX_DIM)
+        || width * height > MAX_PIXELS
+    {
+        return Err(CodecError::DimensionLimit { width, height });
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    Ok((width as usize, height as usize))
+}
+
+/// Interleaved 8-bit samples → planar CHW `f32` image.
+fn image_from_samples(samples: &[u8], channels: usize, h: usize, w: usize) -> Image {
+    let mut tensor = Tensor::zeros(&[channels, h, w]);
+    let data = tensor.data_mut();
+    for y in 0..h {
+        for x in 0..w {
+            for c in 0..channels {
+                data[c * h * w + y * w + x] = dequantize(samples[(y * w + x) * channels + c]);
+            }
+        }
+    }
+    Image::from_tensor(tensor).expect("1 or 3 channels by construction")
+}
+
+/// Planar CHW `f32` image → interleaved quantized 8-bit samples.
+fn samples_from_image(image: &Image) -> Vec<u8> {
+    let (c, h, w) = (image.channels(), image.height(), image.width());
+    let mut samples = Vec::with_capacity(c * h * w);
+    for y in 0..h {
+        for x in 0..w {
+            for ci in 0..c {
+                samples.push(quantize(image.pixel(ci, y, x)));
+            }
+        }
+    }
+    samples
+}
+
+/// Sniff the format and decode.
+///
+/// # Errors
+///
+/// [`CodecError::UnknownFormat`] when the payload matches no known magic,
+/// otherwise whatever the format's decoder reports.
+pub fn decode_image(bytes: &[u8]) -> Result<(Image, WireFormat)> {
+    match WireFormat::sniff(bytes) {
+        Some(WireFormat::Ppm) => Ok((decode_ppm(bytes)?, WireFormat::Ppm)),
+        Some(WireFormat::Png) => Ok((decode_png(bytes)?, WireFormat::Png)),
+        None => Err(CodecError::UnknownFormat {
+            found: bytes.iter().copied().take(8).collect(),
+        }),
+    }
+}
+
+/// Encode in the requested wire format.
+///
+/// # Errors
+///
+/// [`CodecError::Unencodable`] when the image does not fit the format
+/// (greyscale as P6, or extents beyond the codec limits).
+pub fn encode_image(image: &Image, format: WireFormat) -> Result<Vec<u8>> {
+    match format {
+        WireFormat::Ppm => encode_ppm(image),
+        WireFormat::Png => encode_png(image),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PPM (P6)
+// ---------------------------------------------------------------------------
+
+/// Decode a binary PPM (`P6`, maxval 255) payload.
+///
+/// Header whitespace and `#` comments follow the Netpbm spec; the sample
+/// data must match the promised `3 × width × height` bytes exactly.
+///
+/// # Errors
+///
+/// A typed [`CodecError`] for every malformed input.
+pub fn decode_ppm(bytes: &[u8]) -> Result<Image> {
+    if !bytes.starts_with(b"P6") {
+        return Err(CodecError::BadMagic {
+            format: WireFormat::Ppm,
+            found: bytes.iter().copied().take(8).collect(),
+        });
+    }
+    let mut pos = 2;
+    let width = ppm_token(bytes, &mut pos)?;
+    let height = ppm_token(bytes, &mut pos)?;
+    let maxval = ppm_token(bytes, &mut pos)?;
+    if maxval != 255 {
+        return Err(CodecError::Unsupported {
+            what: format!("PPM maxval {maxval} (only 8-bit, maxval 255)"),
+        });
+    }
+    // Exactly one whitespace byte separates the header from the samples.
+    match bytes.get(pos) {
+        Some(b) if b.is_ascii_whitespace() => pos += 1,
+        Some(b) => {
+            return Err(CodecError::Malformed {
+                offset: pos,
+                what: format!("expected whitespace after maxval, found {b:#04x}"),
+            })
+        }
+        None => {
+            return Err(CodecError::Truncated { offset: pos, needed: 1, len: bytes.len() })
+        }
+    }
+    let (w, h) = check_dims(width, height)?;
+    let needed = 3 * w * h;
+    let remaining = bytes.len() - pos;
+    if remaining < needed {
+        return Err(CodecError::Truncated { offset: pos, needed, len: bytes.len() });
+    }
+    if remaining > needed {
+        return Err(CodecError::TrailingBytes { consumed: pos + needed, len: bytes.len() });
+    }
+    Ok(image_from_samples(&bytes[pos..pos + needed], 3, h, w))
+}
+
+/// One whitespace/comment-separated decimal token of a PPM header.
+fn ppm_token(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+    // Skip whitespace and `#` comments (which run to end of line). At
+    // least one separator byte is required before each token.
+    let start = *pos;
+    loop {
+        match bytes.get(*pos) {
+            Some(b) if b.is_ascii_whitespace() => *pos += 1,
+            Some(b'#') => {
+                while let Some(&b) = bytes.get(*pos) {
+                    *pos += 1;
+                    if b == b'\n' {
+                        break;
+                    }
+                }
+            }
+            Some(_) if *pos == start => {
+                return Err(CodecError::Malformed {
+                    offset: *pos,
+                    what: "PPM header fields must be whitespace-separated".into(),
+                })
+            }
+            Some(_) => break,
+            None => {
+                return Err(CodecError::Truncated { offset: *pos, needed: 1, len: bytes.len() })
+            }
+        }
+    }
+    let digits_at = *pos;
+    let mut value: u64 = 0;
+    while let Some(&b) = bytes.get(*pos) {
+        if !b.is_ascii_digit() {
+            break;
+        }
+        if *pos - digits_at >= 10 {
+            return Err(CodecError::Malformed {
+                offset: digits_at,
+                what: "PPM header value has more than 10 digits".into(),
+            });
+        }
+        value = value * 10 + u64::from(b - b'0');
+        *pos += 1;
+    }
+    if *pos == digits_at {
+        return Err(CodecError::Malformed {
+            offset: digits_at,
+            what: "expected a decimal value in the PPM header".into(),
+        });
+    }
+    Ok(value)
+}
+
+/// Encode as binary PPM (`P6`, maxval 255) — the exact header layout of
+/// [`Image::save_pnm`], so a saved file and a wire payload are
+/// byte-identical.
+///
+/// # Errors
+///
+/// [`CodecError::Unencodable`] for non-RGB images (P6 is RGB by
+/// definition; greyscale belongs in PNG).
+pub fn encode_ppm(image: &Image) -> Result<Vec<u8>> {
+    if image.channels() != 3 {
+        return Err(CodecError::Unencodable {
+            what: format!("PPM P6 is RGB; image has {} channel(s)", image.channels()),
+        });
+    }
+    let (h, w) = (image.height(), image.width());
+    let mut out = format!("P6\n{w} {h}\n255\n").into_bytes();
+    out.extend_from_slice(&samples_from_image(image));
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// PNG
+// ---------------------------------------------------------------------------
+
+/// Decode a PNG payload (8-bit greyscale or RGB, no interlace; zlib
+/// streams of stored and fixed-Huffman deflate blocks — see the module
+/// docs for the exact subset).
+///
+/// Every chunk CRC and the zlib Adler-32 are verified; anything outside
+/// the subset is a typed [`CodecError::Unsupported`].
+///
+/// # Errors
+///
+/// A typed [`CodecError`] for every malformed input.
+pub fn decode_png(bytes: &[u8]) -> Result<Image> {
+    if !bytes.starts_with(&PNG_SIG) {
+        return Err(CodecError::BadMagic {
+            format: WireFormat::Png,
+            found: bytes.iter().copied().take(8).collect(),
+        });
+    }
+    let mut cur = Cursor { bytes, pos: PNG_SIG.len() };
+    let mut header: Option<(usize, usize, usize)> = None; // (w, h, channels)
+    let mut idat: Vec<u8> = Vec::new();
+    let mut saw_idat = false;
+    loop {
+        let at = cur.pos;
+        let len = cur.take_u32_be()? as usize;
+        let ctype: [u8; 4] = cur.take(4)?.try_into().expect("4 bytes");
+        let name = String::from_utf8_lossy(&ctype).into_owned();
+        let data = cur.take(len)?;
+        let stored_crc = cur.take_u32_be()?;
+        let mut crc_input = Vec::with_capacity(4 + len);
+        crc_input.extend_from_slice(&ctype);
+        crc_input.extend_from_slice(data);
+        let computed = crc32(&crc_input);
+        if computed != stored_crc {
+            return Err(CodecError::CrcMismatch {
+                what: format!("PNG chunk {name}"),
+                stored: stored_crc,
+                computed,
+            });
+        }
+        match &ctype {
+            b"IHDR" => {
+                if header.is_some() {
+                    return Err(CodecError::Malformed {
+                        offset: at,
+                        what: "duplicate IHDR chunk".into(),
+                    });
+                }
+                header = Some(parse_ihdr(data, at)?);
+            }
+            b"IDAT" => {
+                if header.is_none() {
+                    return Err(CodecError::Malformed {
+                        offset: at,
+                        what: "IDAT before IHDR".into(),
+                    });
+                }
+                saw_idat = true;
+                idat.extend_from_slice(data);
+            }
+            b"IEND" => {
+                if len != 0 {
+                    return Err(CodecError::Malformed {
+                        offset: at,
+                        what: "IEND chunk must be empty".into(),
+                    });
+                }
+                break;
+            }
+            b"PLTE" => {
+                return Err(CodecError::Unsupported { what: "PNG palette (PLTE)".into() })
+            }
+            _ => {
+                // Ancillary chunks (lowercase first letter) are skippable
+                // by definition; unknown critical chunks are not.
+                if ctype[0] & 0x20 == 0 {
+                    return Err(CodecError::Unsupported {
+                        what: format!("critical PNG chunk {name}"),
+                    });
+                }
+            }
+        }
+    }
+    if cur.pos != bytes.len() {
+        return Err(CodecError::TrailingBytes { consumed: cur.pos, len: bytes.len() });
+    }
+    let Some((w, h, channels)) = header else {
+        return Err(CodecError::Malformed { offset: PNG_SIG.len(), what: "missing IHDR".into() });
+    };
+    if !saw_idat {
+        return Err(CodecError::Malformed { offset: cur.pos, what: "missing IDAT".into() });
+    }
+    // One filter byte plus `w × channels` samples per scanline; the
+    // dimensions were bounded in `parse_ihdr`, so this cannot overflow.
+    let expected = h * (1 + w * channels);
+    let raw = zlib_inflate(&idat, expected)?;
+    let samples = unfilter(&raw, h, w, channels)?;
+    Ok(image_from_samples(&samples, channels, h, w))
+}
+
+fn parse_ihdr(data: &[u8], at: usize) -> Result<(usize, usize, usize)> {
+    if data.len() != 13 {
+        return Err(CodecError::Malformed {
+            offset: at,
+            what: format!("IHDR must be 13 bytes, found {}", data.len()),
+        });
+    }
+    let width = u64::from(u32::from_be_bytes(data[0..4].try_into().expect("4 bytes")));
+    let height = u64::from(u32::from_be_bytes(data[4..8].try_into().expect("4 bytes")));
+    let (bit_depth, colour, compression, filter, interlace) =
+        (data[8], data[9], data[10], data[11], data[12]);
+    let (w, h) = check_dims(width, height)?;
+    if bit_depth != 8 {
+        return Err(CodecError::Unsupported { what: format!("PNG bit depth {bit_depth}") });
+    }
+    let channels = match colour {
+        0 => 1,
+        2 => 3,
+        3 => return Err(CodecError::Unsupported { what: "PNG palette colour type".into() }),
+        4 | 6 => {
+            return Err(CodecError::Unsupported {
+                what: format!("PNG colour type {colour} (alpha)"),
+            })
+        }
+        _ => {
+            return Err(CodecError::Malformed {
+                offset: at,
+                what: format!("invalid PNG colour type {colour}"),
+            })
+        }
+    };
+    if compression != 0 {
+        return Err(CodecError::Malformed {
+            offset: at,
+            what: format!("invalid PNG compression method {compression}"),
+        });
+    }
+    if filter != 0 {
+        return Err(CodecError::Malformed {
+            offset: at,
+            what: format!("invalid PNG filter method {filter}"),
+        });
+    }
+    if interlace != 0 {
+        return Err(CodecError::Unsupported { what: "PNG Adam7 interlace".into() });
+    }
+    Ok((w, h, channels))
+}
+
+/// Reverse the per-scanline filters into interleaved samples.
+fn unfilter(raw: &[u8], h: usize, w: usize, channels: usize) -> Result<Vec<u8>> {
+    let stride = w * channels;
+    let mut out = vec![0u8; h * stride];
+    for y in 0..h {
+        let filter = raw[y * (stride + 1)];
+        let line = &raw[y * (stride + 1) + 1..(y + 1) * (stride + 1)];
+        for i in 0..stride {
+            let x = line[i];
+            let a = if i >= channels { out[y * stride + i - channels] } else { 0 };
+            let b = if y > 0 { out[(y - 1) * stride + i] } else { 0 };
+            let c = if y > 0 && i >= channels { out[(y - 1) * stride + i - channels] } else { 0 };
+            #[allow(clippy::cast_possible_truncation)]
+            let value = match filter {
+                0 => x,
+                1 => x.wrapping_add(a),
+                2 => x.wrapping_add(b),
+                3 => x.wrapping_add(((u16::from(a) + u16::from(b)) / 2) as u8),
+                4 => x.wrapping_add(paeth(a, b, c)),
+                _ => {
+                    return Err(CodecError::Malformed {
+                        offset: y * (stride + 1),
+                        what: format!("invalid PNG scanline filter {filter}"),
+                    })
+                }
+            };
+            out[y * stride + i] = value;
+        }
+    }
+    Ok(out)
+}
+
+/// The Paeth predictor (PNG spec §9.4).
+fn paeth(a: u8, b: u8, c: u8) -> u8 {
+    let (pa, pb, pc) = {
+        let p = i16::from(a) + i16::from(b) - i16::from(c);
+        ((p - i16::from(a)).abs(), (p - i16::from(b)).abs(), (p - i16::from(c)).abs())
+    };
+    if pa <= pb && pa <= pc {
+        a
+    } else if pb <= pc {
+        b
+    } else {
+        c
+    }
+}
+
+/// Encode as PNG: 8-bit greyscale (1 channel) or RGB (3 channels),
+/// filter 0, zlib with stored deflate blocks.
+///
+/// # Errors
+///
+/// [`CodecError::Unencodable`] for extents beyond the codec limits (the
+/// decoder could never read the result back).
+pub fn encode_png(image: &Image) -> Result<Vec<u8>> {
+    let (h, w, channels) = (image.height(), image.width(), image.channels());
+    if check_dims(w as u64, h as u64).is_err() {
+        return Err(CodecError::Unencodable {
+            what: format!("image extent {w}x{h} exceeds the codec limits"),
+        });
+    }
+    let colour = if channels == 3 { 2u8 } else { 0u8 };
+    let samples = samples_from_image(image);
+    let stride = w * channels;
+    let mut raw = Vec::with_capacity(h * (stride + 1));
+    for y in 0..h {
+        raw.push(0u8); // filter: None
+        raw.extend_from_slice(&samples[y * stride..(y + 1) * stride]);
+    }
+
+    let mut out = Vec::with_capacity(raw.len() + 128);
+    out.extend_from_slice(&PNG_SIG);
+    let mut ihdr = Vec::with_capacity(13);
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        ihdr.extend_from_slice(&(w as u32).to_be_bytes());
+        ihdr.extend_from_slice(&(h as u32).to_be_bytes());
+    }
+    ihdr.extend_from_slice(&[8, colour, 0, 0, 0]);
+    push_chunk(&mut out, b"IHDR", &ihdr);
+    push_chunk(&mut out, b"IDAT", &zlib_deflate_stored(&raw));
+    push_chunk(&mut out, b"IEND", &[]);
+    Ok(out)
+}
+
+fn push_chunk(out: &mut Vec<u8>, ctype: &[u8; 4], data: &[u8]) {
+    #[allow(clippy::cast_possible_truncation)]
+    out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+    out.extend_from_slice(ctype);
+    out.extend_from_slice(data);
+    let mut crc_input = Vec::with_capacity(4 + data.len());
+    crc_input.extend_from_slice(ctype);
+    crc_input.extend_from_slice(data);
+    out.extend_from_slice(&crc32(&crc_input).to_be_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// zlib (RFC 1950) over deflate (RFC 1951), stored + fixed-Huffman subset
+// ---------------------------------------------------------------------------
+
+/// Wrap raw bytes in a zlib stream of stored (uncompressed) deflate
+/// blocks — what the PNG encoder emits.
+fn zlib_deflate_stored(raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(raw.len() + raw.len() / 65_535 * 5 + 16);
+    // CMF 0x78 (deflate, 32 KiB window), FLG 0x01 (check bits, no dict):
+    // (0x78 << 8 | 0x01) = 30721 = 31 × 991.
+    out.extend_from_slice(&[0x78, 0x01]);
+    let mut chunks = raw.chunks(65_535).peekable();
+    if raw.is_empty() {
+        out.extend_from_slice(&[0x01, 0x00, 0x00, 0xff, 0xff]); // final empty stored block
+    }
+    while let Some(chunk) = chunks.next() {
+        let bfinal: u8 = u8::from(chunks.peek().is_none());
+        out.push(bfinal); // BTYPE=00 in bits 1-2
+        #[allow(clippy::cast_possible_truncation)]
+        let len = chunk.len() as u16;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+    out.extend_from_slice(&adler32(raw).to_be_bytes());
+    out
+}
+
+/// Inflate a zlib stream whose deflate blocks are stored or
+/// fixed-Huffman, bounding the output at exactly `expected` bytes.
+fn zlib_inflate(data: &[u8], expected: usize) -> Result<Vec<u8>> {
+    if data.len() < 2 {
+        return Err(CodecError::Truncated { offset: 0, needed: 2, len: data.len() });
+    }
+    let (cmf, flg) = (data[0], data[1]);
+    if (u16::from(cmf) << 8 | u16::from(flg)) % 31 != 0 {
+        return Err(CodecError::Malformed {
+            offset: 0,
+            what: format!("zlib header check failed (CMF {cmf:#04x}, FLG {flg:#04x})"),
+        });
+    }
+    if cmf & 0x0f != 8 {
+        return Err(CodecError::Unsupported {
+            what: format!("zlib compression method {}", cmf & 0x0f),
+        });
+    }
+    if flg & 0x20 != 0 {
+        return Err(CodecError::Unsupported { what: "zlib preset dictionary".into() });
+    }
+    let mut bits = Bits { bytes: data, pos: 2, bit: 0 };
+    let out = inflate(&mut bits, expected)?;
+    bits.align();
+    let adler_at = bits.pos;
+    let stored = bits.take_u32_be()?;
+    let computed = adler32(&out);
+    if stored != computed {
+        return Err(CodecError::CrcMismatch { what: "zlib adler32".into(), stored, computed });
+    }
+    if bits.pos != data.len() {
+        return Err(CodecError::Malformed {
+            offset: adler_at,
+            what: "trailing bytes after the zlib stream".into(),
+        });
+    }
+    if out.len() != expected {
+        return Err(CodecError::Malformed {
+            offset: bits.pos,
+            what: format!("decompressed to {} byte(s), header promises {expected}", out.len()),
+        });
+    }
+    Ok(out)
+}
+
+/// LSB-first deflate bit reader.
+struct Bits<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    bit: u32,
+}
+
+impl Bits<'_> {
+    fn bit(&mut self) -> Result<u32> {
+        let Some(&byte) = self.bytes.get(self.pos) else {
+            return Err(CodecError::Truncated {
+                offset: self.pos,
+                needed: 1,
+                len: self.bytes.len(),
+            });
+        };
+        let b = u32::from(byte >> self.bit) & 1;
+        self.bit += 1;
+        if self.bit == 8 {
+            self.bit = 0;
+            self.pos += 1;
+        }
+        Ok(b)
+    }
+
+    /// `n` bits as an LSB-first integer (deflate extra bits, lengths).
+    fn bits(&mut self, n: u32) -> Result<u32> {
+        let mut v = 0;
+        for i in 0..n {
+            v |= self.bit()? << i;
+        }
+        Ok(v)
+    }
+
+    /// `n` bits accumulated MSB-first (Huffman codes).
+    fn code(&mut self, n: u32) -> Result<u32> {
+        let mut v = 0;
+        for _ in 0..n {
+            v = v << 1 | self.bit()?;
+        }
+        Ok(v)
+    }
+
+    fn align(&mut self) {
+        if self.bit != 0 {
+            self.bit = 0;
+            self.pos += 1;
+        }
+    }
+
+    fn take_u32_be(&mut self) -> Result<u32> {
+        debug_assert_eq!(self.bit, 0, "reads are byte-aligned here");
+        if self.bytes.len() - self.pos < 4 {
+            return Err(CodecError::Truncated {
+                offset: self.pos,
+                needed: 4,
+                len: self.bytes.len(),
+            });
+        }
+        let v = u32::from_be_bytes(self.bytes[self.pos..self.pos + 4].try_into().expect("4 bytes"));
+        self.pos += 4;
+        Ok(v)
+    }
+}
+
+/// Length codes 257..=285: (base, extra bits).
+const LEN_TABLE: [(u32, u32); 29] = [
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1), (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3), (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5), (258, 0),
+];
+
+/// Distance codes 0..=29: (base, extra bits).
+const DIST_TABLE: [(u32, u32); 30] = [
+    (1, 0), (2, 0), (3, 0), (4, 0), (5, 1), (7, 1), (9, 2), (13, 2),
+    (17, 3), (25, 3), (33, 4), (49, 4), (65, 5), (97, 5), (129, 6), (193, 6),
+    (257, 7), (385, 7), (513, 8), (769, 8), (1025, 9), (1537, 9),
+    (2049, 10), (3073, 10), (4097, 11), (6145, 11), (8193, 12), (12289, 12),
+    (16385, 13), (24577, 13),
+];
+
+fn inflate(bits: &mut Bits<'_>, expected: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(expected);
+    loop {
+        let bfinal = bits.bit()?;
+        let btype = bits.bits(2)?;
+        match btype {
+            0 => {
+                bits.align();
+                let at = bits.pos;
+                if bits.bytes.len() - bits.pos < 4 {
+                    return Err(CodecError::Truncated {
+                        offset: at,
+                        needed: 4,
+                        len: bits.bytes.len(),
+                    });
+                }
+                let len = u16::from_le_bytes(
+                    bits.bytes[bits.pos..bits.pos + 2].try_into().expect("2 bytes"),
+                );
+                let nlen = u16::from_le_bytes(
+                    bits.bytes[bits.pos + 2..bits.pos + 4].try_into().expect("2 bytes"),
+                );
+                bits.pos += 4;
+                if len != !nlen {
+                    return Err(CodecError::Malformed {
+                        offset: at,
+                        what: "stored deflate block length check failed".into(),
+                    });
+                }
+                let len = usize::from(len);
+                if bits.bytes.len() - bits.pos < len {
+                    return Err(CodecError::Truncated {
+                        offset: bits.pos,
+                        needed: len,
+                        len: bits.bytes.len(),
+                    });
+                }
+                if out.len() + len > expected {
+                    return Err(oversized(bits.pos, expected));
+                }
+                out.extend_from_slice(&bits.bytes[bits.pos..bits.pos + len]);
+                bits.pos += len;
+            }
+            1 => fixed_block(bits, &mut out, expected)?,
+            2 => {
+                return Err(CodecError::Unsupported {
+                    what: "dynamic-Huffman deflate block".into(),
+                })
+            }
+            _ => {
+                return Err(CodecError::Malformed {
+                    offset: bits.pos,
+                    what: "reserved deflate block type".into(),
+                })
+            }
+        }
+        if bfinal == 1 {
+            return Ok(out);
+        }
+    }
+}
+
+fn oversized(offset: usize, expected: usize) -> CodecError {
+    CodecError::Malformed {
+        offset,
+        what: format!("decompressed data exceeds the {expected} byte(s) the header promises"),
+    }
+}
+
+/// Decode one fixed-Huffman deflate block into `out`.
+fn fixed_block(bits: &mut Bits<'_>, out: &mut Vec<u8>, expected: usize) -> Result<()> {
+    loop {
+        let sym = fixed_litlen(bits)?;
+        match sym {
+            0..=255 => {
+                if out.len() >= expected {
+                    return Err(oversized(bits.pos, expected));
+                }
+                #[allow(clippy::cast_possible_truncation)]
+                out.push(sym as u8);
+            }
+            256 => return Ok(()),
+            257..=285 => {
+                let (base, extra) = LEN_TABLE[(sym - 257) as usize];
+                let len = (base + bits.bits(extra)?) as usize;
+                let dsym = bits.code(5)? as usize;
+                if dsym >= DIST_TABLE.len() {
+                    return Err(CodecError::Malformed {
+                        offset: bits.pos,
+                        what: format!("invalid deflate distance symbol {dsym}"),
+                    });
+                }
+                let (dbase, dextra) = DIST_TABLE[dsym];
+                let dist = (dbase + bits.bits(dextra)?) as usize;
+                if dist > out.len() {
+                    return Err(CodecError::Malformed {
+                        offset: bits.pos,
+                        what: format!(
+                            "deflate back-reference distance {dist} before stream start"
+                        ),
+                    });
+                }
+                if out.len() + len > expected {
+                    return Err(oversized(bits.pos, expected));
+                }
+                // Byte-by-byte: overlapping copies (dist < len) replicate.
+                for _ in 0..len {
+                    out.push(out[out.len() - dist]);
+                }
+            }
+            _ => {
+                return Err(CodecError::Malformed {
+                    offset: bits.pos,
+                    what: format!("invalid deflate literal/length symbol {sym}"),
+                })
+            }
+        }
+    }
+}
+
+/// One symbol of the fixed literal/length code (RFC 1951 §3.2.6): 7-bit
+/// codes 0x00-0x17 → 256-279, 8-bit 0x30-0xBF → 0-143 and 0xC0-0xC7 →
+/// 280-287, 9-bit 0x190-0x1FF → 144-255.
+fn fixed_litlen(bits: &mut Bits<'_>) -> Result<u32> {
+    let mut code = bits.code(7)?;
+    if code <= 0x17 {
+        return Ok(256 + code);
+    }
+    code = code << 1 | bits.bit()?;
+    if (0x30..=0xbf).contains(&code) {
+        return Ok(code - 0x30);
+    }
+    if (0xc0..=0xc7).contains(&code) {
+        return Ok(280 + code - 0xc0);
+    }
+    code = code << 1 | bits.bit()?;
+    if (0x190..=0x1ff).contains(&code) {
+        return Ok(144 + code - 0x190);
+    }
+    Err(CodecError::Malformed {
+        offset: bits.pos,
+        what: format!("invalid fixed-Huffman code {code:#x}"),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Checksums
+// ---------------------------------------------------------------------------
+
+/// CRC-32 (IEEE, reflected — the PNG chunk checksum).
+fn crc32(data: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (n, entry) in table.iter_mut().enumerate() {
+            let mut c = n as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        table
+    });
+    let mut crc = 0xffff_ffffu32;
+    for &byte in data {
+        crc = table[usize::from((crc as u8) ^ byte)] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Adler-32 (the zlib stream checksum).
+fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65_521;
+    let (mut a, mut b) = (1u32, 0u32);
+    // 5552 is the largest run before u32 accumulation can overflow.
+    for chunk in data.chunks(5552) {
+        for &byte in chunk {
+            a += u32::from(byte);
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    b << 16 | a
+}
+
+/// A byte-slice reader with typed truncation errors.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.bytes.len() - self.pos < n {
+            return Err(CodecError::Truncated {
+                offset: self.pos,
+                needed: n,
+                len: self.bytes.len(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn take_u32_be(&mut self) -> Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An RGB image whose values are already 8-bit quantized, so wire
+    /// round trips are bit-exact.
+    fn quantized_image(h: usize, w: usize, seed: u64) -> Image {
+        let mut img = Image::zeros(h, w);
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        for c in 0..3 {
+            for y in 0..h {
+                for x in 0..w {
+                    state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                    #[allow(clippy::cast_possible_truncation)]
+                    let byte = (state >> 33) as u8;
+                    *img.pixel_mut(c, y, x) = dequantize(byte);
+                }
+            }
+        }
+        img
+    }
+
+    fn assert_images_bit_identical(a: &Image, b: &Image) {
+        assert_eq!(a.tensor().shape(), b.tensor().shape());
+        for (x, y) in a.tensor().data().iter().zip(b.tensor().data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn ppm_round_trip_is_bit_exact() {
+        let img = quantized_image(7, 5, 1);
+        let bytes = encode_ppm(&img).unwrap();
+        assert!(bytes.starts_with(b"P6\n5 7\n255\n"));
+        let back = decode_ppm(&bytes).unwrap();
+        assert_images_bit_identical(&img, &back);
+        // And byte-identity the other way around.
+        assert_eq!(encode_ppm(&back).unwrap(), bytes);
+    }
+
+    #[test]
+    fn ppm_header_allows_comments_and_mixed_whitespace() {
+        let mut bytes = b"P6 # a comment\n# another\n 2\t3\n255\n".to_vec();
+        bytes.extend_from_slice(&[10u8; 18]);
+        let img = decode_ppm(&bytes).unwrap();
+        assert_eq!((img.width(), img.height()), (2, 3));
+        assert_eq!(img.pixel(0, 0, 0).to_bits(), dequantize(10).to_bits());
+    }
+
+    #[test]
+    fn png_round_trip_is_bit_exact_rgb_and_grey() {
+        let img = quantized_image(6, 9, 2);
+        let bytes = encode_png(&img).unwrap();
+        let back = decode_png(&bytes).unwrap();
+        assert_images_bit_identical(&img, &back);
+        assert_eq!(encode_png(&back).unwrap(), bytes);
+
+        let grey = Image::from_tensor(img.to_luma().map(|v| quantize(v) as f32 / 255.0)).unwrap();
+        let bytes = encode_png(&grey).unwrap();
+        let back = decode_png(&bytes).unwrap();
+        assert_eq!(back.channels(), 1);
+        assert_images_bit_identical(&grey, &back);
+    }
+
+    #[test]
+    fn decode_image_sniffs_both_formats() {
+        let img = quantized_image(4, 4, 3);
+        let (ppm, png) = (encode_ppm(&img).unwrap(), encode_png(&img).unwrap());
+        let (a, fa) = decode_image(&ppm).unwrap();
+        let (b, fb) = decode_image(&png).unwrap();
+        assert_eq!(fa, WireFormat::Ppm);
+        assert_eq!(fb, WireFormat::Png);
+        assert_images_bit_identical(&a, &b);
+        let err = decode_image(b"GIF89a...").unwrap_err();
+        assert!(matches!(err, CodecError::UnknownFormat { .. }), "{err}");
+    }
+
+    /// Hand-built fixed-Huffman zlib stream: literals 'a' 'b', then a
+    /// length-4/distance-2 back-reference (→ "ababab"), end-of-block.
+    fn fixed_huffman_zlib(payload_check: &[u8]) -> Vec<u8> {
+        struct BitWriter {
+            bytes: Vec<u8>,
+            bit: u32,
+        }
+        impl BitWriter {
+            /// Push `n` bits LSB-first (deflate bit order).
+            fn lsb(&mut self, value: u32, n: u32) {
+                for i in 0..n {
+                    let b = value >> i & 1;
+                    if self.bit == 0 {
+                        self.bytes.push(0);
+                    }
+                    let last = self.bytes.len() - 1;
+                    self.bytes[last] |= (b as u8) << self.bit;
+                    self.bit = (self.bit + 1) % 8;
+                }
+            }
+            /// Push an `n`-bit Huffman code MSB-first.
+            fn code(&mut self, value: u32, n: u32) {
+                for i in (0..n).rev() {
+                    self.lsb(value >> i & 1, 1);
+                }
+            }
+        }
+        let mut w = BitWriter { bytes: vec![0x78, 0x01], bit: 0 };
+        w.lsb(1, 1); // BFINAL
+        w.lsb(1, 2); // BTYPE = fixed Huffman
+        for lit in [b'a', b'b'] {
+            w.code(0x30 + u32::from(lit), 8);
+        }
+        w.code(0x01, 7); // length symbol 257 → length 3, no extra bits
+        w.code(0x01, 5); // distance symbol 1 → distance 2
+        w.code(0x00, 7); // end of block (symbol 256)
+        let mut bytes = w.bytes;
+        bytes.extend_from_slice(&adler32(payload_check).to_be_bytes());
+        bytes
+    }
+
+    #[test]
+    fn fixed_huffman_blocks_with_back_references_inflate() {
+        // 'a', 'b', then length 3 / distance 2 → "ababa".
+        let expected = b"ababa";
+        let stream = fixed_huffman_zlib(expected);
+        let out = zlib_inflate(&stream, expected.len()).unwrap();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn dynamic_huffman_blocks_are_a_typed_unsupported_error() {
+        // BFINAL=1, BTYPE=10 (dynamic) — first compressed byte 0b101 = 5.
+        let mut stream = vec![0x78, 0x01, 0x05];
+        stream.extend_from_slice(&adler32(b"").to_be_bytes());
+        let err = zlib_inflate(&stream, 8).unwrap_err();
+        assert!(matches!(err, CodecError::Unsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn ppm_negative_suite() {
+        let img = quantized_image(3, 3, 4);
+        let good = encode_ppm(&img).unwrap();
+
+        let bad_magic = decode_ppm(b"P5\n3 3\n255\nxxxxxxxxx").unwrap_err();
+        assert!(matches!(bad_magic, CodecError::BadMagic { .. }), "{bad_magic}");
+
+        let truncated = decode_ppm(&good[..good.len() - 1]).unwrap_err();
+        assert!(matches!(truncated, CodecError::Truncated { .. }), "{truncated}");
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        let err = decode_ppm(&trailing).unwrap_err();
+        assert!(matches!(err, CodecError::TrailingBytes { .. }), "{err}");
+
+        let absurd = decode_ppm(b"P6\n999999999 999999999\n255\n").unwrap_err();
+        assert!(matches!(absurd, CodecError::DimensionLimit { .. }), "{absurd}");
+
+        let sixteen_bit = decode_ppm(b"P6\n2 2\n65535\n").unwrap_err();
+        assert!(matches!(sixteen_bit, CodecError::Unsupported { .. }), "{sixteen_bit}");
+
+        let no_ws = decode_ppm(b"P63 3\n255\n").unwrap_err();
+        assert!(matches!(no_ws, CodecError::Malformed { .. }), "{no_ws}");
+
+        let header_only = decode_ppm(b"P6\n3").unwrap_err();
+        assert!(matches!(header_only, CodecError::Truncated { .. }), "{header_only}");
+    }
+
+    #[test]
+    fn png_negative_suite() {
+        let img = quantized_image(4, 5, 5);
+        let good = encode_png(&img).unwrap();
+
+        let bad_magic = decode_png(b"notapngfile").unwrap_err();
+        assert!(matches!(bad_magic, CodecError::BadMagic { .. }), "{bad_magic}");
+
+        let truncated = decode_png(&good[..good.len() - 5]).unwrap_err();
+        assert!(matches!(truncated, CodecError::Truncated { .. }), "{truncated}");
+
+        // Flip one IDAT payload byte: the chunk CRC must catch it.
+        let mut crc_broken = good.clone();
+        let idat_at = good.windows(4).position(|w| w == b"IDAT").unwrap();
+        crc_broken[idat_at + 7] ^= 0xff;
+        let err = decode_png(&crc_broken).unwrap_err();
+        assert!(matches!(err, CodecError::CrcMismatch { .. }), "{err}");
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        let err = decode_png(&trailing).unwrap_err();
+        assert!(matches!(err, CodecError::TrailingBytes { .. }), "{err}");
+
+        // Absurd dimensions in IHDR (chunk re-CRC'd so only the bound
+        // check can reject it).
+        let mut absurd = good.clone();
+        absurd[16..20].copy_from_slice(&0x7fff_ffffu32.to_be_bytes());
+        let ihdr_crc = crc32(&absurd[12..29]);
+        absurd[29..33].copy_from_slice(&ihdr_crc.to_be_bytes());
+        let err = decode_png(&absurd).unwrap_err();
+        assert!(matches!(err, CodecError::DimensionLimit { .. }), "{err}");
+
+        // 16-bit depth is valid PNG but outside the subset.
+        let mut deep = good.clone();
+        deep[24] = 16;
+        let crc = crc32(&deep[12..29]);
+        deep[29..33].copy_from_slice(&crc.to_be_bytes());
+        let err = decode_png(&deep).unwrap_err();
+        assert!(matches!(err, CodecError::Unsupported { .. }), "{err}");
+
+        // Declared size larger than the pixel data inflates to.
+        let mut short = good.clone();
+        short[20..24].copy_from_slice(&9u32.to_be_bytes()); // height 4 → 9
+        let crc = crc32(&short[12..29]);
+        short[29..33].copy_from_slice(&crc.to_be_bytes());
+        let err = decode_png(&short).unwrap_err();
+        assert!(
+            matches!(err, CodecError::Malformed { .. } | CodecError::Truncated { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn grey_images_refuse_p6() {
+        let grey = Image::from_tensor(Tensor::zeros(&[1, 3, 3])).unwrap();
+        let err = encode_ppm(&grey).unwrap_err();
+        assert!(matches!(err, CodecError::Unencodable { .. }), "{err}");
+    }
+
+    #[test]
+    fn checksums_match_known_vectors() {
+        // Published test vectors: CRC-32("123456789") and Adler-32 of
+        // "Wikipedia".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(adler32(b"Wikipedia"), 0x11e6_0398);
+        assert_eq!(adler32(b""), 1);
+    }
+
+    #[test]
+    fn codec_error_display_is_exhaustive() {
+        let cases: Vec<(CodecError, &str)> = vec![
+            (CodecError::UnknownFormat { found: vec![1, 2] }, "not a known wire image format"),
+            (
+                CodecError::BadMagic { format: WireFormat::Png, found: vec![3] },
+                "not a PNG payload",
+            ),
+            (CodecError::Truncated { offset: 4, needed: 8, len: 6 }, "needed 8 byte(s) at offset 4"),
+            (CodecError::Malformed { offset: 9, what: "bad filter".into() }, "offset 9: bad filter"),
+            (CodecError::DimensionLimit { width: 70_000, height: 2 }, "70000x2"),
+            (
+                CodecError::CrcMismatch { what: "PNG chunk IDAT".into(), stored: 1, computed: 2 },
+                "PNG chunk IDAT checksum mismatch",
+            ),
+            (CodecError::Unsupported { what: "interlace".into() }, "unsupported image feature: interlace"),
+            (CodecError::Unencodable { what: "greyscale".into() }, "cannot encode image: greyscale"),
+            (CodecError::TrailingBytes { consumed: 5, len: 7 }, "2 trailing byte(s)"),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{err:?} renders {text:?}, wanted {needle:?}");
+            let dyn_err: &dyn std::error::Error = &err;
+            assert!(dyn_err.source().is_none(), "{err:?} is a leaf error");
+        }
+    }
+}

@@ -4,8 +4,10 @@
 //! PPM/PGM writers and YCbCr luma extraction, bicubic resampling (both the
 //! LR-generation protocol and the paper's Bicubic baseline), procedural
 //! scene synthesis standing in for DIV2K, the four synthetic benchmark sets
-//! (`SynSet5` / `SynSet14` / `SynB100` / `SynUrban100`), and the aligned
-//! LR/HR patch sampler used for training.
+//! (`SynSet5` / `SynSet14` / `SynB100` / `SynUrban100`), the aligned
+//! LR/HR patch sampler used for training, and the hardened wire codecs
+//! ([`codec`]: binary PPM and a stored/fixed-Huffman PNG subset) used by
+//! the HTTP serving front end.
 //!
 //! ```
 //! use scales_data::{Benchmark};
@@ -18,12 +20,14 @@
 //! # }
 //! ```
 
+pub mod codec;
 pub mod datasets;
 pub mod image;
 pub mod patch;
 pub mod resize;
 pub mod synth;
 
+pub use codec::{decode_image, encode_image, CodecError, WireFormat};
 pub use datasets::{Benchmark, EvalSet, SrPair, TrainSet};
 pub use image::Image;
 pub use patch::{Batch, PatchSampler};

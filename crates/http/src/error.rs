@@ -1,0 +1,324 @@
+//! Typed errors for the HTTP front end: [`HttpError`] for server
+//! lifecycle failures and [`RequestError`] for everything a single
+//! malformed or oversized request can do — each request-level variant
+//! maps to a definite HTTP status via [`RequestError::status`], so a
+//! hostile peer always gets a typed 4xx/5xx and never a panic or a hung
+//! connection.
+
+use scales_data::CodecError;
+
+/// A server-lifecycle failure: the listener could not be set up or the
+/// configuration is unservable. Per-request problems are the separate
+/// [`RequestError`].
+#[derive(Debug)]
+pub enum HttpError {
+    /// A socket operation failed while standing up the server.
+    Io {
+        /// What the server was doing (`"bind"`, `"local_addr"`, ...).
+        context: &'static str,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// [`HttpConfig::validate`](crate::HttpConfig::validate) rejected the
+    /// sizing.
+    InvalidConfig {
+        /// Which knob is unservable.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io { context, source } => {
+                write!(f, "http server {context} failed: {source}")
+            }
+            HttpError::InvalidConfig { what } => {
+                write!(f, "invalid http config: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HttpError::Io { source, .. } => Some(source),
+            HttpError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+/// Why one request could not be served. Every variant has a definite
+/// status code ([`RequestError::status`]); the connection worker renders
+/// the `Display` text as the error response body.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The request line or a header line exceeded
+    /// [`max_line`](crate::HttpConfig::max_line) → `431`.
+    LineTooLong {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// More than [`max_headers`](crate::HttpConfig::max_headers) headers
+    /// → `431`.
+    TooManyHeaders {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The request line is not `METHOD SP TARGET SP VERSION` → `400`.
+    BadRequestLine {
+        /// What was malformed.
+        what: &'static str,
+    },
+    /// A header line is not `name: value` with a token name → `400`.
+    BadHeader {
+        /// What was malformed.
+        what: &'static str,
+    },
+    /// Not HTTP/1.1 or HTTP/1.0 → `505`.
+    UnsupportedVersion {
+        /// The version string the peer sent.
+        found: String,
+    },
+    /// `Transfer-Encoding` framing (chunked et al.) is not implemented;
+    /// bodies must be `Content-Length`-framed → `501`.
+    UnsupportedTransferEncoding,
+    /// A route that consumes a body got a request without
+    /// `Content-Length` → `411`.
+    LengthRequired,
+    /// `Content-Length` is not a plain decimal integer (or conflicting
+    /// values were sent) → `400`.
+    BadContentLength {
+        /// What was malformed.
+        what: &'static str,
+    },
+    /// `Content-Length` exceeds [`max_body`](crate::HttpConfig::max_body)
+    /// → `413`. Enforced before any allocation.
+    BodyTooLarge {
+        /// The declared length.
+        length: u64,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The peer closed the connection mid-request → `400` (usually
+    /// nobody is left to read it; the worker closes the connection).
+    UnexpectedEof,
+    /// The peer stalled past
+    /// [`read_timeout`](crate::HttpConfig::read_timeout) mid-request →
+    /// `408`.
+    Timeout,
+    /// A socket read/write failed mid-request → the connection is
+    /// closed; nominal status `400`.
+    Io(std::io::Error),
+    /// The request body is not a decodable image → `415` when the format
+    /// itself is unrecognized, `400` for a malformed body in a recognized
+    /// format.
+    Codec(CodecError),
+}
+
+impl RequestError {
+    /// The HTTP status this error maps to.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            RequestError::LineTooLong { .. } | RequestError::TooManyHeaders { .. } => 431,
+            RequestError::BadRequestLine { .. }
+            | RequestError::BadHeader { .. }
+            | RequestError::BadContentLength { .. }
+            | RequestError::UnexpectedEof
+            | RequestError::Io(_) => 400,
+            RequestError::UnsupportedVersion { .. } => 505,
+            RequestError::UnsupportedTransferEncoding => 501,
+            RequestError::LengthRequired => 411,
+            RequestError::BodyTooLarge { .. } => 413,
+            RequestError::Timeout => 408,
+            RequestError::Codec(
+                CodecError::UnknownFormat { .. } | CodecError::BadMagic { .. },
+            ) => 415,
+            RequestError::Codec(_) => 400,
+        }
+    }
+
+    /// The canonical reason phrase for [`RequestError::status`].
+    #[must_use]
+    pub fn reason(&self) -> &'static str {
+        crate::server::reason_phrase(self.status())
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::LineTooLong { limit } => {
+                write!(f, "request line or header exceeds {limit} bytes")
+            }
+            RequestError::TooManyHeaders { limit } => {
+                write!(f, "request has more than {limit} headers")
+            }
+            RequestError::BadRequestLine { what } => {
+                write!(f, "malformed request line: {what}")
+            }
+            RequestError::BadHeader { what } => write!(f, "malformed header: {what}"),
+            RequestError::UnsupportedVersion { found } => {
+                write!(f, "unsupported protocol version {found:?}")
+            }
+            RequestError::UnsupportedTransferEncoding => {
+                f.write_str("transfer-encoding framing is not supported; send Content-Length")
+            }
+            RequestError::LengthRequired => {
+                f.write_str("request body requires a Content-Length header")
+            }
+            RequestError::BadContentLength { what } => {
+                write!(f, "malformed Content-Length: {what}")
+            }
+            RequestError::BodyTooLarge { length, limit } => {
+                write!(f, "declared body of {length} bytes exceeds the {limit}-byte limit")
+            }
+            RequestError::UnexpectedEof => {
+                f.write_str("connection closed before the request was complete")
+            }
+            RequestError::Timeout => f.write_str("timed out reading the request"),
+            RequestError::Io(source) => write!(f, "i/o failure mid-request: {source}"),
+            RequestError::Codec(source) => write!(f, "undecodable image body: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RequestError::Io(source) => Some(source),
+            RequestError::Codec(source) => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for RequestError {
+    fn from(err: CodecError) -> Self {
+        RequestError::Codec(err)
+    }
+}
+
+/// Translate a mid-request socket error into the typed request error:
+/// timeouts become [`RequestError::Timeout`], everything else is carried
+/// as [`RequestError::Io`].
+impl From<std::io::Error> for RequestError {
+    fn from(err: std::io::Error) -> Self {
+        match err.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                RequestError::Timeout
+            }
+            std::io::ErrorKind::UnexpectedEof => RequestError::UnexpectedEof,
+            _ => RequestError::Io(err),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn http_error_display_is_exhaustive() {
+        let io = HttpError::Io {
+            context: "bind",
+            source: std::io::Error::new(std::io::ErrorKind::AddrInUse, "taken"),
+        };
+        assert_eq!(io.to_string(), "http server bind failed: taken");
+        assert!(io.source().is_some());
+        let cfg = HttpError::InvalidConfig { what: "zero workers".into() };
+        assert_eq!(cfg.to_string(), "invalid http config: zero workers");
+        assert!(cfg.source().is_none());
+    }
+
+    #[test]
+    fn request_error_display_and_status_are_exhaustive() {
+        // Every variant: (error, status, Display needle). A new variant
+        // without a row here fails the count check below.
+        let cases: Vec<(RequestError, u16, &str)> = vec![
+            (RequestError::LineTooLong { limit: 80 }, 431, "exceeds 80 bytes"),
+            (RequestError::TooManyHeaders { limit: 4 }, 431, "more than 4 headers"),
+            (
+                RequestError::BadRequestLine { what: "missing version" },
+                400,
+                "malformed request line: missing version",
+            ),
+            (RequestError::BadHeader { what: "no colon" }, 400, "malformed header: no colon"),
+            (
+                RequestError::UnsupportedVersion { found: "HTTP/0.9".into() },
+                505,
+                "unsupported protocol version \"HTTP/0.9\"",
+            ),
+            (RequestError::UnsupportedTransferEncoding, 501, "send Content-Length"),
+            (RequestError::LengthRequired, 411, "requires a Content-Length"),
+            (
+                RequestError::BadContentLength { what: "not a number" },
+                400,
+                "malformed Content-Length: not a number",
+            ),
+            (
+                RequestError::BodyTooLarge { length: 100, limit: 64 },
+                413,
+                "declared body of 100 bytes exceeds the 64-byte limit",
+            ),
+            (RequestError::UnexpectedEof, 400, "closed before the request was complete"),
+            (RequestError::Timeout, 408, "timed out reading the request"),
+            (
+                RequestError::Io(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone")),
+                400,
+                "i/o failure mid-request: gone",
+            ),
+            (
+                RequestError::Codec(CodecError::UnknownFormat { found: vec![0; 8] }),
+                415,
+                "undecodable image body",
+            ),
+        ];
+        assert_eq!(cases.len(), 13, "add a row when RequestError grows a variant");
+        for (err, status, needle) in cases {
+            assert_eq!(err.status(), status, "{err:?}");
+            let shown = err.to_string();
+            assert!(shown.contains(needle), "{shown:?} should contain {needle:?}");
+            assert!(!err.reason().is_empty());
+        }
+    }
+
+    #[test]
+    fn codec_status_split_recognized_vs_unknown() {
+        // Recognized container, malformed content → 400; unknown
+        // container → 415.
+        let malformed = RequestError::from(CodecError::Truncated {
+            offset: 0,
+            needed: 4,
+            len: 1,
+        });
+        assert_eq!(malformed.status(), 400);
+        assert!(malformed.source().is_some());
+        let unknown = RequestError::from(CodecError::BadMagic {
+            format: scales_data::WireFormat::Ppm,
+            found: b"XX".to_vec(),
+        });
+        assert_eq!(unknown.status(), 415);
+    }
+
+    #[test]
+    fn io_kind_translation() {
+        let timeout =
+            RequestError::from(std::io::Error::new(std::io::ErrorKind::WouldBlock, "slow"));
+        assert!(matches!(timeout, RequestError::Timeout));
+        let timeout2 =
+            RequestError::from(std::io::Error::new(std::io::ErrorKind::TimedOut, "slow"));
+        assert!(matches!(timeout2, RequestError::Timeout));
+        let eof = RequestError::from(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "cut",
+        ));
+        assert!(matches!(eof, RequestError::UnexpectedEof));
+        let other =
+            RequestError::from(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone"));
+        assert!(matches!(other, RequestError::Io(_)));
+    }
+}

@@ -1,0 +1,39 @@
+//! # scales-http
+//!
+//! The network edge of the SCALES reproduction: a std-only HTTP/1.1
+//! server over the [`scales-runtime`](scales_runtime) worker pool. No
+//! tokio, no hyper — a [`TcpListener`](std::net::TcpListener) accept
+//! thread, a bounded connection backlog, and plain connection-worker
+//! threads, matching the runtime's own hand-rolled concurrency style.
+//!
+//! Routes:
+//!
+//! | Route | Behavior |
+//! |---|---|
+//! | `POST /v1/upscale` | Decode the body ([`scales_data::codec`]: PPM P6 or the PNG subset), submit through [`Runtime::submit_wait_timeout`](scales_runtime::Runtime::submit_wait_timeout), answer `200` with the upscaled image in the same wire format. |
+//! | `GET /metrics` | Prometheus text: [`RuntimeStats::render_prometheus`](scales_runtime::RuntimeStats::render_prometheus) plus the front end's own counters. |
+//! | `GET /healthz` | `200 ok` liveness probe. |
+//!
+//! Hardening is the point, not an afterthought: request lines and
+//! headers are length- and count-bounded, bodies are
+//! `Content-Length`-framed and size-checked before allocation, hostile
+//! payloads map to typed [`RequestError`]s with definite 4xx statuses
+//! (never a panic or a hung connection), a slow or stuck model answer
+//! becomes a `503` after [`HttpConfig::request_timeout`], and
+//! [`HttpServer::shutdown`] drains in-flight work through
+//! [`Runtime::shutdown`](scales_runtime::Runtime::shutdown) and returns
+//! the final serving stats.
+//!
+//! See the [`HttpServer`] docs for a complete spawn-and-shutdown
+//! example, and `examples/http_serve.rs` at the workspace root for a
+//! full train → serve → HTTP round trip.
+
+mod config;
+mod error;
+mod parser;
+mod server;
+
+pub use config::HttpConfig;
+pub use error::{HttpError, RequestError};
+pub use parser::{RequestHead, RequestReader};
+pub use server::HttpServer;

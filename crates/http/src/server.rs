@@ -1,0 +1,533 @@
+//! [`HttpServer`] — accept loop, connection-worker pool, routing, and
+//! graceful shutdown over a [`Runtime`].
+//!
+//! Threading model: one accept thread pushes connections into a bounded
+//! backlog (`Mutex<VecDeque>` + `Condvar`); [`HttpConfig::workers`]
+//! connection workers pop and serve them, one connection at a time, with
+//! keep-alive. Idle connections are watched with short poll-tick reads so
+//! a shutdown is noticed within ~[`POLL_TICK`] even while blocked on a
+//! quiet peer. [`HttpServer::shutdown`] stops intake, wakes everything,
+//! joins the threads, then drains the runtime through
+//! [`Runtime::shutdown`] and returns its final [`RuntimeStats`].
+
+use crate::config::HttpConfig;
+use crate::error::{HttpError, RequestError};
+use crate::parser::{RequestHead, RequestReader};
+use scales_data::{decode_image, encode_image};
+use scales_runtime::{Runtime, RuntimeStats, SubmitError};
+use scales_serve::SrRequest;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often a worker blocked on a quiet connection re-checks the
+/// shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// State shared by the accept thread, the workers, and the handle.
+struct Shared {
+    runtime: Runtime,
+    config: HttpConfig,
+    shutdown: AtomicBool,
+    /// Accepted connections waiting for a worker (bounded by
+    /// [`HttpConfig::max_pending`]).
+    backlog: Mutex<VecDeque<TcpStream>>,
+    /// Signaled on enqueue and on shutdown.
+    work: Condvar,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn count_response(&self, status: u16) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A running HTTP front end over a [`Runtime`].
+///
+/// ```
+/// use scales_http::{HttpConfig, HttpServer};
+/// use scales_runtime::{Runtime, RuntimeConfig};
+/// use scales_serve::{Engine, Precision};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # use scales_models::{srresnet, SrConfig};
+/// # use scales_core::Method;
+/// let net = srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method: Method::scales(), seed: 1 })?;
+/// let engine = Engine::builder().model(net).precision(Precision::Deployed).build()?;
+/// let runtime = Runtime::spawn(engine, RuntimeConfig { workers: 1, ..RuntimeConfig::default() })?;
+/// let server = HttpServer::bind("127.0.0.1:0", runtime, HttpConfig::default())?;
+/// println!("serving on http://{}", server.addr());
+/// // ... later:
+/// let stats = server.shutdown();
+/// assert_eq!(stats.failed, 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct HttpServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind a listener and start the accept thread and connection
+    /// workers. `addr` may be ephemeral (`127.0.0.1:0`); the bound
+    /// address is [`HttpServer::addr`].
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::InvalidConfig`] for unservable sizing,
+    /// [`HttpError::Io`] when the socket or a thread cannot be set up.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        runtime: Runtime,
+        config: HttpConfig,
+    ) -> Result<Self, HttpError> {
+        config.validate()?;
+        let listener = TcpListener::bind(addr)
+            .map_err(|source| HttpError::Io { context: "bind", source })?;
+        let addr = listener
+            .local_addr()
+            .map_err(|source| HttpError::Io { context: "local_addr", source })?;
+        let shared = Arc::new(Shared {
+            runtime,
+            config,
+            shutdown: AtomicBool::new(false),
+            backlog: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("scales-http-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .map_err(|source| HttpError::Io { context: "spawn accept thread", source })?
+        };
+        let mut workers = Vec::with_capacity(config.workers);
+        for w in 0..config.workers {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("scales-http-{w}"))
+                .spawn(move || worker_loop(&shared))
+                .map_err(|source| HttpError::Io { context: "spawn worker thread", source })?;
+            workers.push(handle);
+        }
+        Ok(Self { shared, addr, accept: Some(accept), workers })
+    }
+
+    /// The bound listening address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The runtime behind the server (e.g. for a stats snapshot while
+    /// serving).
+    #[must_use]
+    pub fn runtime(&self) -> &Runtime {
+        &self.shared.runtime
+    }
+
+    /// Stop intake, let workers finish their in-flight requests (open
+    /// keep-alive connections are answered with `Connection: close`),
+    /// join every thread, then drain the runtime and return its final
+    /// stats.
+    #[must_use = "the final runtime stats are the serving record"]
+    pub fn shutdown(mut self) -> RuntimeStats {
+        self.stop();
+        // Every thread is joined, so the handle's Arc and this clone are
+        // the only strong references left; dropping `self` makes the
+        // clone unique and `try_unwrap` hands the runtime back.
+        let shared = Arc::clone(&self.shared);
+        drop(self);
+        match Arc::try_unwrap(shared) {
+            Ok(shared) => shared.runtime.shutdown(),
+            // Never panic in a teardown path: fall back to a snapshot
+            // (the runtime still drains when the last Arc drops).
+            Err(shared) => shared.runtime.stats(),
+        }
+    }
+
+    /// Set the shutdown flag, wake every blocked thread, join them.
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work.notify_all();
+        // The accept thread blocks in `accept()`; poke it awake.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() || !self.workers.is_empty() {
+            self.stop();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accept loop and worker pool
+// ---------------------------------------------------------------------------
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        let Ok((stream, _peer)) = listener.accept() else {
+            // Transient accept failure (EMFILE, aborted handshake):
+            // yield briefly rather than spinning.
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        };
+        if shared.shutting_down() {
+            return; // likely the shutdown wake-up poke
+        }
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        let mut backlog = lock(&shared.backlog);
+        if backlog.len() >= shared.config.max_pending {
+            drop(backlog);
+            // Refuse instead of queueing without bound.
+            let response = Response::text(503, "server backlog is full, retry later\n");
+            let _ = write_response(&stream, &response, false, false);
+            shared.count_response(503);
+        } else {
+            backlog.push_back(stream);
+            drop(backlog);
+            shared.work.notify_one();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut backlog = lock(&shared.backlog);
+            loop {
+                if let Some(stream) = backlog.pop_front() {
+                    break Some(stream);
+                }
+                if shared.shutting_down() {
+                    break None;
+                }
+                backlog = shared
+                    .work
+                    .wait(backlog)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        match stream {
+            Some(stream) => handle_connection(shared, stream),
+            None => return,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = RequestReader::new(stream);
+    loop {
+        // Idle phase: wait for the first byte of the next request with
+        // short poll ticks so shutdown is noticed promptly.
+        if !reader.has_buffered() {
+            let _ = reader.get_ref().set_read_timeout(Some(POLL_TICK));
+            let idle_deadline = Instant::now() + shared.config.read_timeout;
+            loop {
+                if shared.shutting_down() {
+                    return; // idle connection: close without a response
+                }
+                match reader.fill() {
+                    Ok(0) => return, // peer closed between requests
+                    Ok(_) => break,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        if Instant::now() >= idle_deadline {
+                            return; // keep-alive idle timeout
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+        }
+
+        // Request phase: a started request gets the full read timeout.
+        let _ = reader.get_ref().set_read_timeout(Some(shared.config.read_timeout));
+        let head = match reader.read_head(&shared.config) {
+            Ok(Some(head)) => head,
+            Ok(None) => return,
+            Err(err) => {
+                // Malformed head: typed status, then close (framing is
+                // unrecoverable).
+                shared.count_response(err.status());
+                let response = Response::text(err.status(), format!("{err}\n"));
+                let _ = write_response(reader.get_ref(), &response, false, false);
+                return;
+            }
+        };
+
+        let head_only = head.method == "HEAD";
+        match route(shared, &mut reader, &head) {
+            Ok(response) => {
+                shared.count_response(response.status);
+                let keep_alive = head.keep_alive && !shared.shutting_down();
+                if write_response(reader.get_ref(), &response, head_only, keep_alive).is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+            Err(err) => {
+                // The body was not (fully) consumed: answer and close.
+                shared.count_response(err.status());
+                let response = Response::text(err.status(), format!("{err}\n"));
+                let _ = write_response(reader.get_ref(), &response, head_only, false);
+                return;
+            }
+        }
+    }
+}
+
+/// Strip the query string from a request target.
+fn path_of(target: &str) -> &str {
+    target.split(['?', '#']).next().unwrap_or(target)
+}
+
+fn route(
+    shared: &Shared,
+    reader: &mut RequestReader<TcpStream>,
+    head: &RequestHead,
+) -> Result<Response, RequestError> {
+    match (head.method.as_str(), path_of(&head.target)) {
+        ("POST", "/v1/upscale") => upscale(shared, reader, head),
+        ("GET" | "HEAD", "/metrics") => {
+            drain_body(reader, head)?;
+            Ok(Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: render_metrics(shared).into_bytes(),
+                allow: None,
+            })
+        }
+        ("GET" | "HEAD", "/healthz") => {
+            drain_body(reader, head)?;
+            Ok(Response::text(200, "ok\n"))
+        }
+        (_, "/v1/upscale") => {
+            drain_body(reader, head)?;
+            Ok(Response::text(405, "use POST\n").allow("POST"))
+        }
+        (_, "/metrics" | "/healthz") => {
+            drain_body(reader, head)?;
+            Ok(Response::text(405, "use GET\n").allow("GET, HEAD"))
+        }
+        _ => {
+            drain_body(reader, head)?;
+            Ok(Response::text(404, "no such route\n"))
+        }
+    }
+}
+
+/// Consume a declared body this route does not use, so keep-alive
+/// framing survives (the length is already bounded by `max_body`).
+fn drain_body(
+    reader: &mut RequestReader<TcpStream>,
+    head: &RequestHead,
+) -> Result<(), RequestError> {
+    if head.content_length > 0 {
+        send_continue(reader, head)?;
+        reader.read_body(head.content_length)?;
+    }
+    Ok(())
+}
+
+/// Honor `Expect: 100-continue` before the body read.
+fn send_continue(
+    reader: &RequestReader<TcpStream>,
+    head: &RequestHead,
+) -> Result<(), RequestError> {
+    if head.expect_continue && head.http11 {
+        let mut stream = reader.get_ref();
+        stream
+            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+            .map_err(RequestError::from)?;
+    }
+    Ok(())
+}
+
+/// `POST /v1/upscale`: decode → submit (bounded wait) → encode in the
+/// same wire format.
+fn upscale(
+    shared: &Shared,
+    reader: &mut RequestReader<TcpStream>,
+    head: &RequestHead,
+) -> Result<Response, RequestError> {
+    if !head.has_length {
+        return Err(RequestError::LengthRequired);
+    }
+    send_continue(reader, head)?;
+    let body = reader.read_body(head.content_length)?;
+    let (image, format) = decode_image(&body)?;
+    let outcome = shared
+        .runtime
+        .submit_wait_timeout(SrRequest::single(image), shared.config.request_timeout);
+    let served = match outcome {
+        Err(err @ SubmitError::InvalidRequest(_)) => {
+            return Ok(Response::text(400, format!("{err}\n")));
+        }
+        Err(err) => {
+            // QueueFull / ShuttingDown / Timeout: overload, not client
+            // fault.
+            return Ok(Response::text(503, format!("{err}\n")));
+        }
+        Ok(Err(infer_err)) => {
+            return Ok(Response::text(500, format!("inference failed: {infer_err}\n")));
+        }
+        Ok(Ok(response)) => response,
+    };
+    match encode_image(&served.images()[0], format) {
+        Ok(bytes) => Ok(Response {
+            status: 200,
+            content_type: format.content_type(),
+            body: bytes,
+            allow: None,
+        }),
+        Err(err) => Ok(Response::text(500, format!("encoding the result failed: {err}\n"))),
+    }
+}
+
+/// The `/metrics` document: the runtime's Prometheus rendering plus the
+/// HTTP front end's own counters.
+fn render_metrics(shared: &Shared) -> String {
+    let mut out = shared.runtime.stats().render_prometheus();
+    let mut counter = |name: &str, help: &str, value: u64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+        ));
+    };
+    counter(
+        "scales_http_connections_total",
+        "Connections accepted by the HTTP front end.",
+        shared.connections.load(Ordering::Relaxed),
+    );
+    counter(
+        "scales_http_requests_total",
+        "HTTP responses sent.",
+        shared.requests.load(Ordering::Relaxed),
+    );
+    counter(
+        "scales_http_errors_total",
+        "HTTP responses with a 4xx or 5xx status.",
+        shared.errors.load(Ordering::Relaxed),
+    );
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+    allow: Option<&'static str>,
+}
+
+impl Response {
+    fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+            allow: None,
+        }
+    }
+
+    fn allow(mut self, methods: &'static str) -> Self {
+        self.allow = Some(methods);
+        self
+    }
+}
+
+fn write_response(
+    mut stream: &TcpStream,
+    response: &Response,
+    head_only: bool,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        response.status,
+        reason_phrase(response.status),
+        response.content_type,
+        response.body.len(),
+    );
+    if let Some(methods) = response.allow {
+        head.push_str("Allow: ");
+        head.push_str(methods);
+        head.push_str("\r\n");
+    }
+    head.push_str(if keep_alive { "Connection: keep-alive\r\n" } else { "Connection: close\r\n" });
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    if !head_only {
+        stream.write_all(&response.body)?;
+    }
+    stream.flush()
+}
+
+/// The canonical reason phrase for every status this server emits.
+pub(crate) fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        100 => "Continue",
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Content Too Large",
+        415 => "Unsupported Media Type",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}

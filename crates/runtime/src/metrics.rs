@@ -118,6 +118,31 @@ impl LatencyHistogram {
         self.max()
     }
 
+    /// Upper bound of bucket `i` as a [`Duration`]
+    /// (`1 µs × 2^i`; see [`LATENCY_BUCKETS`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= LATENCY_BUCKETS`.
+    #[must_use]
+    pub fn bucket_bound(i: usize) -> Duration {
+        assert!(i < LATENCY_BUCKETS, "bucket index {i} out of range");
+        Duration::from_nanos(u64::try_from(Self::bound_ns(i)).unwrap_or(u64::MAX))
+    }
+
+    /// Per-bucket sample counts (not cumulative), index-aligned with
+    /// [`LatencyHistogram::bucket_bound`].
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64; LATENCY_BUCKETS] {
+        &self.counts
+    }
+
+    /// Sum of all recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(u64::try_from(self.sum_ns).unwrap_or(u64::MAX))
+    }
+
     /// Median latency (bucket upper bound).
     #[must_use]
     pub fn p50(&self) -> Duration {
@@ -180,7 +205,9 @@ pub struct RuntimeStats {
     pub max_batch: usize,
     /// Requests accepted into the queue so far.
     pub submitted: u64,
-    /// Requests rejected with [`SubmitError::QueueFull`](crate::SubmitError::QueueFull).
+    /// Requests rejected at submission: [`SubmitError::QueueFull`](crate::SubmitError::QueueFull),
+    /// or a [`submit_wait_timeout`](crate::Runtime::submit_wait_timeout)
+    /// deadline that expired while still blocked for queue space.
     pub rejected: u64,
     /// Requests served successfully.
     pub completed: u64,
@@ -220,6 +247,122 @@ impl RuntimeStats {
     pub fn images_per_sec(&self) -> f64 {
         per_sec(self.images, self.elapsed)
     }
+}
+
+impl RuntimeStats {
+    /// Render the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` comments, counters with a
+    /// `_total` suffix, gauges, and the latency histogram as a cumulative
+    /// `_bucket{le="..."}` series (bounds in seconds) with `_sum` and
+    /// `_count`. This is the exact body `GET /metrics` on
+    /// `scales_http::HttpServer` serves.
+    ///
+    /// The format is pinned by a unit test: changing a metric name or the
+    /// line layout is a deliberate, test-visible act.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096);
+        let mut counter = |name: &str, help: &str, value: String| {
+            let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}");
+        };
+        counter(
+            "scales_runtime_requests_submitted_total",
+            "Requests accepted into the queue.",
+            self.submitted.to_string(),
+        );
+        counter(
+            "scales_runtime_requests_rejected_total",
+            "Requests rejected at submission (queue full).",
+            self.rejected.to_string(),
+        );
+        counter(
+            "scales_runtime_requests_completed_total",
+            "Requests served successfully.",
+            self.completed.to_string(),
+        );
+        counter(
+            "scales_runtime_requests_failed_total",
+            "Requests resolved with an error.",
+            self.failed.to_string(),
+        );
+        counter("scales_runtime_images_total", "Images served.", self.images.to_string());
+        counter(
+            "scales_runtime_dispatches_total",
+            "Coalesced forward dispatches (one Session::infer each).",
+            self.dispatches.to_string(),
+        );
+        counter(
+            "scales_runtime_requests_coalesced_total",
+            "Requests that shared a dispatch with at least one other request.",
+            self.coalesced.to_string(),
+        );
+        counter(
+            "scales_runtime_busy_seconds_total",
+            "Worker wall time spent inside forwards.",
+            seconds(self.busy),
+        );
+        let mut gauge = |name: &str, help: &str, value: String| {
+            let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}");
+        };
+        gauge("scales_runtime_workers", "Worker threads in the pool.", self.workers.to_string());
+        gauge(
+            "scales_runtime_max_batch",
+            "Configured images per coalesced dispatch.",
+            self.max_batch.to_string(),
+        );
+        gauge(
+            "scales_runtime_queue_depth",
+            "Requests queued (accepted, not yet dispatched) at scrape time.",
+            self.queue_depth.to_string(),
+        );
+        gauge(
+            "scales_runtime_queue_high_water",
+            "Deepest the queue has been.",
+            self.queue_high_water.to_string(),
+        );
+        gauge(
+            "scales_runtime_batch_fill",
+            "Mean images per dispatch relative to max_batch.",
+            self.batch_fill.to_string(),
+        );
+        gauge(
+            "scales_runtime_uptime_seconds",
+            "Wall time since the runtime started.",
+            seconds(self.elapsed),
+        );
+        let _ = writeln!(
+            out,
+            "# HELP scales_runtime_info Serving backend of the runtime's engine (constant 1; labels carry the info).\n\
+             # TYPE scales_runtime_info gauge\n\
+             scales_runtime_info{{backend=\"{}\",simd=\"{}\"}} 1",
+            self.backend, self.simd
+        );
+        let name = "scales_runtime_request_latency_seconds";
+        let _ = writeln!(
+            out,
+            "# HELP {name} End-to-end request latency (enqueue to ticket resolution).\n# TYPE {name} histogram"
+        );
+        let mut cumulative = 0u64;
+        for (i, &count) in self.latency.bucket_counts().iter().enumerate() {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                seconds(LatencyHistogram::bucket_bound(i))
+            );
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", self.latency.count());
+        let _ = writeln!(out, "{name}_sum {}", seconds(self.latency.sum()));
+        let _ = writeln!(out, "{name}_count {}", self.latency.count());
+        out
+    }
+}
+
+/// A duration as a Prometheus value: seconds, shortest-round-trip f64
+/// formatting (stable across platforms).
+fn seconds(d: Duration) -> String {
+    format!("{}", d.as_secs_f64())
 }
 
 #[allow(clippy::cast_precision_loss)]
@@ -334,6 +477,110 @@ mod tests {
         h.record(Duration::from_secs(1 << 40));
         assert_eq!(h.count(), 1);
         assert!(h.p50() > Duration::ZERO);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_pinned() {
+        let mut latency = LatencyHistogram::default();
+        latency.record(Duration::from_micros(2)); // bucket 1 (bound 2 µs)
+        latency.record(Duration::from_micros(2)); // bucket 1
+        latency.record(Duration::from_millis(1)); // bucket 10 (bound 1.024 ms)
+        let stats = RuntimeStats {
+            workers: 2,
+            backend: Backend::Scalar,
+            simd: SimdLevel::None,
+            max_batch: 8,
+            submitted: 10,
+            rejected: 1,
+            completed: 9,
+            failed: 0,
+            images: 18,
+            dispatches: 3,
+            coalesced: 6,
+            queue_depth: 0,
+            queue_high_water: 5,
+            batch_fill: 0.75,
+            busy: Duration::from_millis(20),
+            elapsed: Duration::from_millis(100),
+            latency,
+        };
+        let text = stats.render_prometheus();
+        // The scalar series, pinned line for line.
+        let expected_head = "\
+# HELP scales_runtime_requests_submitted_total Requests accepted into the queue.
+# TYPE scales_runtime_requests_submitted_total counter
+scales_runtime_requests_submitted_total 10
+# HELP scales_runtime_requests_rejected_total Requests rejected at submission (queue full).
+# TYPE scales_runtime_requests_rejected_total counter
+scales_runtime_requests_rejected_total 1
+# HELP scales_runtime_requests_completed_total Requests served successfully.
+# TYPE scales_runtime_requests_completed_total counter
+scales_runtime_requests_completed_total 9
+# HELP scales_runtime_requests_failed_total Requests resolved with an error.
+# TYPE scales_runtime_requests_failed_total counter
+scales_runtime_requests_failed_total 0
+# HELP scales_runtime_images_total Images served.
+# TYPE scales_runtime_images_total counter
+scales_runtime_images_total 18
+# HELP scales_runtime_dispatches_total Coalesced forward dispatches (one Session::infer each).
+# TYPE scales_runtime_dispatches_total counter
+scales_runtime_dispatches_total 3
+# HELP scales_runtime_requests_coalesced_total Requests that shared a dispatch with at least one other request.
+# TYPE scales_runtime_requests_coalesced_total counter
+scales_runtime_requests_coalesced_total 6
+# HELP scales_runtime_busy_seconds_total Worker wall time spent inside forwards.
+# TYPE scales_runtime_busy_seconds_total counter
+scales_runtime_busy_seconds_total 0.02
+# HELP scales_runtime_workers Worker threads in the pool.
+# TYPE scales_runtime_workers gauge
+scales_runtime_workers 2
+# HELP scales_runtime_max_batch Configured images per coalesced dispatch.
+# TYPE scales_runtime_max_batch gauge
+scales_runtime_max_batch 8
+# HELP scales_runtime_queue_depth Requests queued (accepted, not yet dispatched) at scrape time.
+# TYPE scales_runtime_queue_depth gauge
+scales_runtime_queue_depth 0
+# HELP scales_runtime_queue_high_water Deepest the queue has been.
+# TYPE scales_runtime_queue_high_water gauge
+scales_runtime_queue_high_water 5
+# HELP scales_runtime_batch_fill Mean images per dispatch relative to max_batch.
+# TYPE scales_runtime_batch_fill gauge
+scales_runtime_batch_fill 0.75
+# HELP scales_runtime_uptime_seconds Wall time since the runtime started.
+# TYPE scales_runtime_uptime_seconds gauge
+scales_runtime_uptime_seconds 0.1
+# HELP scales_runtime_info Serving backend of the runtime's engine (constant 1; labels carry the info).
+# TYPE scales_runtime_info gauge
+scales_runtime_info{backend=\"scalar\",simd=\"none\"} 1
+# HELP scales_runtime_request_latency_seconds End-to-end request latency (enqueue to ticket resolution).
+# TYPE scales_runtime_request_latency_seconds histogram
+";
+        assert!(
+            text.starts_with(expected_head),
+            "prometheus head diverged:\n{text}"
+        );
+        // Histogram: cumulative buckets. The three samples land in the
+        // 2 µs and 1.024 ms buckets; every later bound reports 3.
+        let tail = &text[expected_head.len()..];
+        let lines: Vec<&str> = tail.lines().collect();
+        assert_eq!(lines.len(), LATENCY_BUCKETS + 3, "32 buckets + +Inf + sum + count");
+        assert_eq!(lines[0], "scales_runtime_request_latency_seconds_bucket{le=\"0.000001\"} 0");
+        assert_eq!(lines[1], "scales_runtime_request_latency_seconds_bucket{le=\"0.000002\"} 2");
+        assert_eq!(lines[10], "scales_runtime_request_latency_seconds_bucket{le=\"0.001024\"} 3");
+        assert_eq!(
+            lines[LATENCY_BUCKETS - 1],
+            "scales_runtime_request_latency_seconds_bucket{le=\"2147.483648\"} 3"
+        );
+        assert_eq!(lines[LATENCY_BUCKETS], "scales_runtime_request_latency_seconds_bucket{le=\"+Inf\"} 3");
+        assert_eq!(lines[LATENCY_BUCKETS + 1], "scales_runtime_request_latency_seconds_sum 0.001004");
+        assert_eq!(lines[LATENCY_BUCKETS + 2], "scales_runtime_request_latency_seconds_count 3");
+        // Cumulative monotonicity across the whole series.
+        let mut last = 0u64;
+        for line in &lines[..LATENCY_BUCKETS] {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "bucket series must be cumulative: {line}");
+            last = v;
+        }
     }
 
     #[test]

@@ -31,6 +31,14 @@ pub enum SubmitError {
     /// tile override) — rejected at submission rather than poisoning a
     /// coalesced dispatch later.
     InvalidRequest(String),
+    /// [`Runtime::submit_wait_timeout`] ran out its deadline — either
+    /// blocked on a full queue or waiting for the response. A timed-out
+    /// request that was already accepted is still served eventually; its
+    /// response is discarded at resolution.
+    Timeout {
+        /// The deadline the caller gave.
+        timeout: std::time::Duration,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -41,6 +49,9 @@ impl std::fmt::Display for SubmitError {
             }
             SubmitError::ShuttingDown => f.write_str("runtime is shutting down"),
             SubmitError::InvalidRequest(reason) => write!(f, "invalid request: {reason}"),
+            SubmitError::Timeout { timeout } => {
+                write!(f, "request was not served within {timeout:?}")
+            }
         }
     }
 }
@@ -205,6 +216,56 @@ impl Runtime {
                 return Ok(self.enqueue(&mut st, images, tile));
             }
             st = wait(&self.inner.space, st);
+        }
+    }
+
+    /// Submit and wait for the response, bounding the **whole** round
+    /// trip — time blocked on a full queue plus time waiting for the
+    /// ticket — by `timeout`. Built on [`Ticket::wait_timeout`]; this is
+    /// the deadline-serving entry point network front ends use
+    /// (`scales-http` returns `503 Service Unavailable` from it instead
+    /// of holding a connection open forever).
+    ///
+    /// The nested result separates the layers: the outer
+    /// [`SubmitError`] is the runtime refusing or timing out the request,
+    /// the inner [`Result`] is the serving outcome exactly as
+    /// [`Ticket::wait`] would report it.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Timeout`] when the deadline passes (whether still
+    /// queued for space or already in flight — an in-flight request is
+    /// still served eventually and its response discarded), plus
+    /// everything [`Runtime::submit_wait`] can return.
+    pub fn submit_wait_timeout(
+        &self,
+        request: SrRequest,
+        timeout: std::time::Duration,
+    ) -> std::result::Result<Result<SrResponse>, SubmitError> {
+        let deadline = Instant::now() + timeout;
+        let (images, tile) = validate(request)?;
+        let ticket = {
+            let mut st = lock(&self.inner.state);
+            loop {
+                if st.shutting_down {
+                    return Err(SubmitError::ShuttingDown);
+                }
+                if st.queue.len() < self.inner.config.queue_capacity {
+                    break self.enqueue(&mut st, images, tile);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    st.rejected += 1;
+                    return Err(SubmitError::Timeout { timeout });
+                }
+                let (guard, _timed_out) = wait_timeout(&self.inner.space, st, deadline - now);
+                st = guard;
+            }
+        };
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match ticket.wait_timeout(remaining) {
+            Ok(result) => Ok(result),
+            Err(_still_pending) => Err(SubmitError::Timeout { timeout }),
         }
     }
 
@@ -610,6 +671,105 @@ mod tests {
         assert!(matches!(not_rgb, SubmitError::InvalidRequest(_)), "{not_rgb}");
         let stats = runtime.shutdown();
         assert_eq!(stats.submitted, 0, "rejected requests never enter the queue");
+    }
+
+    #[test]
+    fn submit_wait_timeout_round_trips_and_times_out() {
+        let runtime = Runtime::spawn(
+            small_engine(),
+            RuntimeConfig { workers: 1, ..RuntimeConfig::default() },
+        )
+        .unwrap();
+        // A served request comes back through the nested result.
+        let response = runtime
+            .submit_wait_timeout(
+                SrRequest::single(probe(8, 8, 40)),
+                std::time::Duration::from_secs(120),
+            )
+            .expect("accepted")
+            .expect("served");
+        assert_eq!(response.images()[0].height(), 16);
+        // Validation errors surface exactly as in `submit`.
+        let err = runtime
+            .submit_wait_timeout(SrRequest::batch(vec![]), std::time::Duration::from_secs(1))
+            .err()
+            .expect("empty request must be rejected");
+        assert!(matches!(err, SubmitError::InvalidRequest(_)), "{err}");
+        // A zero deadline on a queue that still has space accepts the
+        // request but cannot wait for it: typed timeout, and the request
+        // is still served (discarded) rather than leaked.
+        let err = runtime
+            .submit_wait_timeout(
+                SrRequest::single(probe(8, 8, 41)),
+                std::time::Duration::ZERO,
+            )
+            .err()
+            .expect("a zero deadline must time out");
+        assert_eq!(err, SubmitError::Timeout { timeout: std::time::Duration::ZERO });
+        let stats = runtime.shutdown();
+        assert_eq!(stats.completed, 2, "the timed-out request was still served");
+    }
+
+    #[test]
+    fn submit_wait_timeout_expires_while_blocked_for_queue_space() {
+        // One worker wedged on a slow-ish dispatch + capacity 1 keeps the
+        // queue full long enough for a short space-wait to expire.
+        let runtime = Runtime::spawn(
+            small_engine(),
+            RuntimeConfig {
+                workers: 1,
+                queue_capacity: 1,
+                max_batch: 1,
+                max_wait: std::time::Duration::ZERO,
+            },
+        )
+        .unwrap();
+        // Big enough to keep the single worker busy for a beat.
+        let busy: Vec<Ticket> = (0..4)
+            .filter_map(|i| runtime.submit(SrRequest::single(probe(48, 48, 50 + i))).ok())
+            .collect();
+        let mut saw_timeout = false;
+        for i in 0..50 {
+            match runtime.submit_wait_timeout(
+                SrRequest::single(probe(8, 8, 60 + i)),
+                std::time::Duration::from_micros(50),
+            ) {
+                Err(SubmitError::Timeout { .. }) => {
+                    saw_timeout = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected submit error: {e}"),
+                Ok(_) => {}
+            }
+        }
+        assert!(saw_timeout, "a 50 µs deadline against a wedged queue must expire");
+        for ticket in busy {
+            let _ = ticket.wait();
+        }
+        let _ = runtime.shutdown();
+    }
+
+    #[test]
+    fn submit_error_display_is_exhaustive() {
+        // Every variant renders a non-empty, variant-specific message —
+        // the `scales-io` error-surface discipline applied to the
+        // runtime's error type (and `source()` stays None: these are
+        // leaf errors).
+        let cases: Vec<(SubmitError, &str)> = vec![
+            (SubmitError::QueueFull { capacity: 7 }, "full (7"),
+            (SubmitError::ShuttingDown, "shutting down"),
+            (SubmitError::InvalidRequest("zero-sized".into()), "invalid request: zero-sized"),
+            (
+                SubmitError::Timeout { timeout: std::time::Duration::from_millis(250) },
+                "not served within 250ms",
+            ),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{err:?} renders {text:?}, wanted {needle:?}");
+            let dyn_err: &dyn std::error::Error = &err;
+            assert!(dyn_err.source().is_none(), "{err:?} is a leaf error");
+        }
     }
 
     #[test]

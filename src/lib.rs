@@ -14,11 +14,12 @@
 //! | [`binary`] | bit-packed XNOR-popcount kernels, BNN cost model |
 //! | [`core`] | the SCALES method (LSF + spatial/channel re-scaling), baselines, per-layer deployment lowering |
 //! | [`models`] | SRResNet/EDSR/RDN/RCAN/SwinIR/HAT zoo + classifier probes + [`models::DeployedNetwork`] whole-network deployment engine + [`models::Plan`]/[`models::Workspace`] planned zero-allocation executor |
-//! | [`data`] | synthetic datasets, bicubic resize, image IO |
+//! | [`data`] | synthetic datasets, bicubic resize, image IO, [`data::codec`] hardened wire codecs (binary PPM, stored/fixed-Huffman PNG subset) |
 //! | [`io`] | versioned on-disk model artifacts: [`io::save_checkpoint`] / [`io::save_artifact`] and their loaders, served straight from disk via [`serve::EngineBuilder::model_path`] |
 //! | [`metrics`] | PSNR/SSIM, activation-variance analysis |
 //! | [`serve`] | the serving API: [`serve::Engine`] / [`serve::Session`] — one `infer` entry point for single/batch/tiled requests in training or deployed precision, per-engine backend |
 //! | [`runtime`] | the concurrent serving runtime: [`runtime::Runtime`] worker pool over one shared engine, bounded queue with typed backpressure, cross-request dynamic batching, [`runtime::metrics`] with p50/p99 latency and batch-fill [`runtime::RuntimeStats`] |
+//! | [`http`] | the network edge: [`http::HttpServer`], a std-only HTTP/1.1 front end over the runtime — hardened parser, `POST /v1/upscale` wire-image round trip, Prometheus `GET /metrics`, graceful drain |
 //! | [`train`] | trainer, evaluator, experiment harness (legacy free-function serving wrappers in [`train::infer`]) |
 //!
 //! ## Serving engine
@@ -120,6 +121,7 @@ pub use scales_autograd as autograd;
 pub use scales_binary as binary;
 pub use scales_core as core;
 pub use scales_data as data;
+pub use scales_http as http;
 pub use scales_io as io;
 pub use scales_metrics as metrics;
 pub use scales_models as models;

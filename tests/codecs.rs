@@ -1,0 +1,162 @@
+//! Wire-codec suite: PPM/PNG round trips on random images and a hostile
+//! negative sweep, mirroring the `tests/serialize.rs` treatment of the
+//! on-disk format — every malformed payload is a typed [`CodecError`],
+//! never a panic, and truncation at *every* byte offset is caught.
+
+use scales::data::codec::{decode_image, decode_ppm, encode_image, CodecError};
+use scales::data::{Image, WireFormat};
+use scales::tensor::Tensor;
+
+/// Random image straight from tensor data — unlike the scene
+/// synthesizer, this works down to 1×1 and is already in [0, 1].
+fn probe(h: usize, w: usize, seed: u64) -> Image {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f32 / (1u64 << 53) as f32
+    };
+    let data: Vec<f32> = (0..3 * h * w).map(|_| next()).collect();
+    Image::from_tensor(Tensor::from_vec(data, &[3, h, w]).unwrap()).unwrap()
+}
+
+/// Push an image through encode→decode once, yielding its quantized
+/// (8-bit exact) representative.
+fn quantized(image: &Image, format: WireFormat) -> Image {
+    let (decoded, got) = decode_image(&encode_image(image, format).unwrap()).unwrap();
+    assert_eq!(got, format);
+    decoded
+}
+
+fn assert_bit_identical(a: &Image, b: &Image, label: &str) {
+    assert_eq!(a.tensor().shape(), b.tensor().shape(), "{label}: shape");
+    for (i, (x, y)) in a.tensor().data().iter().zip(b.tensor().data().iter()).enumerate() {
+        assert!(x.to_bits() == y.to_bits(), "{label}: value {i} differs: {x} vs {y}");
+    }
+}
+
+/// Once quantized, both codecs are exact: decode(encode(q)) == q bitwise
+/// and re-encoding is byte-identical, across odd sizes down to 1×1.
+#[test]
+fn round_trips_are_bit_exact_on_random_images() {
+    for (i, (h, w)) in [(1usize, 1usize), (2, 3), (8, 8), (5, 17), (31, 9)].iter().enumerate() {
+        let image = probe(*h, *w, 100 + i as u64);
+        for format in [WireFormat::Ppm, WireFormat::Png] {
+            let q = quantized(&image, format);
+            let bytes = encode_image(&q, format).unwrap();
+            let (again, _) = decode_image(&bytes).unwrap();
+            assert_bit_identical(&q, &again, &format!("{format} {h}x{w}"));
+            assert_eq!(
+                bytes,
+                encode_image(&again, format).unwrap(),
+                "{format} {h}x{w}: re-encode must be byte-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn greyscale_images_round_trip_as_png_and_refuse_ppm() {
+    let rgb = probe(6, 7, 9);
+    let grey = Image::from_tensor(rgb.to_luma()).unwrap();
+    let q = quantized(&grey, WireFormat::Png);
+    assert_eq!(q.channels(), 1);
+    let bytes = encode_image(&q, WireFormat::Png).unwrap();
+    let (again, _) = decode_image(&bytes).unwrap();
+    assert_bit_identical(&q, &again, "greyscale png");
+    // P6 is RGB by definition: a typed refusal, not a silent channel mangle.
+    assert!(matches!(
+        encode_image(&q, WireFormat::Ppm).unwrap_err(),
+        CodecError::Unencodable { .. }
+    ));
+}
+
+/// Truncation at every byte offset of a valid payload is a typed error —
+/// partial reads are never accepted (`tests/serialize.rs` house rule).
+#[test]
+fn truncation_at_every_offset_is_a_typed_error() {
+    let image = probe(4, 5, 42);
+    for format in [WireFormat::Ppm, WireFormat::Png] {
+        let bytes = encode_image(&image, format).unwrap();
+        for len in 0..bytes.len() {
+            assert!(
+                decode_image(&bytes[..len]).is_err(),
+                "{format}: {len}-byte prefix of {} must not decode",
+                bytes.len()
+            );
+        }
+    }
+}
+
+/// Flipping any single byte of a PNG payload never panics, and never
+/// yields a silently different image: chunk CRCs (and the signature
+/// check, and the zlib Adler-32) catch the corruption.
+#[test]
+fn png_single_byte_flips_never_corrupt_silently() {
+    let image = probe(4, 4, 7);
+    let bytes = encode_image(&image, WireFormat::Png).unwrap();
+    let (clean, _) = decode_image(&bytes).unwrap();
+    for i in 0..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0x01;
+        if let Ok((decoded, _)) = decode_image(&corrupt) {
+            // A flip that still decodes must decode to the same pixels
+            // (not reachable with full CRC coverage, but the contract is
+            // "no silent corruption", so state it as such).
+            assert_bit_identical(&clean, &decoded, &format!("flip at byte {i}"));
+        }
+    }
+}
+
+#[test]
+fn hostile_ppm_headers_are_typed_errors() {
+    let cases: [(&[u8], &str); 7] = [
+        (b"P5\n2 2\n255\n\0\0\0\0", "P5 is not P6"),
+        (b"P6\n2\n255\n", "missing height"),
+        (b"P6\n2 2\n65535\n", "16-bit maxval"),
+        (b"P6\n-2 2\n255\n", "negative width"),
+        (b"P6\n99999999999 1\n255\n", "overflowing width"),
+        (b"P6\n40000 40000\n255\n\0", "beyond the dimension caps"),
+        (b"P6\n2 2\n255\n\0\0\0\0\0\0\0\0\0\0\0\0junk", "trailing bytes"),
+    ];
+    for (bytes, label) in cases {
+        assert!(decode_ppm(bytes).is_err(), "{label} must be rejected");
+    }
+    // Comments in headers are legal PPM, though — not hostile.
+    let ok = b"P6\n# a comment\n1 1\n255\n\x01\x02\x03";
+    let image = decode_ppm(ok).expect("commented header decodes");
+    assert_eq!((image.height(), image.width()), (1, 1));
+}
+
+/// The dispatching decoder tells the two containers apart and refuses
+/// everything else with a typed unknown-format error.
+#[test]
+fn sniffing_dispatch_and_unknown_formats() {
+    let image = probe(3, 3, 1);
+    for format in [WireFormat::Ppm, WireFormat::Png] {
+        let (_, got) = decode_image(&encode_image(&image, format).unwrap()).unwrap();
+        assert_eq!(got, format);
+    }
+    for junk in [&b""[..], b"GIF89a", b"\xff\xd8\xff\xe0 jpeg", b"BM bitmap"] {
+        assert!(matches!(
+            decode_image(junk).unwrap_err(),
+            CodecError::UnknownFormat { .. }
+        ));
+    }
+}
+
+/// A tensor that was never quantized still encodes deterministically:
+/// values clamp to [0, 1] and round to 8 bits, so out-of-range inputs
+/// cannot produce out-of-range wire bytes.
+#[test]
+fn encoding_clamps_out_of_range_values() {
+    let tensor = Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[3, 1, 1]).unwrap();
+    let image = Image::from_tensor(tensor).unwrap();
+    let bytes = encode_image(&image, WireFormat::Ppm).unwrap();
+    let (decoded, _) = decode_image(&bytes).unwrap();
+    let data = decoded.tensor().data();
+    assert_eq!(data[0], 0.0, "negative clamps to 0");
+    assert_eq!(data[2], 1.0, "overrange clamps to 1");
+    assert!((data[1] - 0.5).abs() < 1.0 / 255.0);
+}

@@ -1,0 +1,348 @@
+//! End-to-end suite for the `scales-http` front end: real TCP loopback
+//! connections against a served deployed engine.
+//!
+//! The headline contract (ISSUE 7 acceptance): a PPM posted over a real
+//! socket comes back as `200` with an encoded upscaled image
+//! **byte-identical** to encoding `Session::infer` of the same decoded
+//! tensor directly — the network edge adds transport, not numerics. On
+//! top of that: `/metrics` scrapes parse and count completed requests,
+//! keep-alive serves several requests per connection, `Expect:
+//! 100-continue` gets its interim response, hostile requests get typed
+//! 4xx/5xx statuses without ever killing a worker or hanging a
+//! connection, and shutdown drains cleanly and hands back the final
+//! runtime stats.
+
+use scales::core::Method;
+use scales::data::codec::{decode_image, encode_image};
+use scales::data::{Image, WireFormat};
+use scales::http::{HttpConfig, HttpServer};
+use scales::models::{srresnet, SrConfig};
+use scales::runtime::{Runtime, RuntimeConfig};
+use scales::serve::{Engine, Precision, SrRequest};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Run `f` on a helper thread and fail the test if it has not finished
+/// within `secs` — a hung connection anywhere must be a clean test
+/// failure, not a stuck CI job.
+fn with_watchdog<T: Send + 'static>(
+    secs: u64,
+    label: &str,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let runner = std::thread::Builder::new()
+        .name(format!("watchdog-{label}"))
+        .spawn(move || {
+            let _ = tx.send(f());
+        })
+        .expect("spawn watchdog runner");
+    let result = rx
+        .recv_timeout(Duration::from_secs(secs))
+        .unwrap_or_else(|_| panic!("watchdog: {label} did not finish within {secs}s"));
+    runner.join().expect("watchdog runner panicked");
+    result
+}
+
+fn probe(h: usize, w: usize, seed: u64) -> Image {
+    scales::data::synth::scene(
+        h,
+        w,
+        scales::data::synth::SceneConfig::default(),
+        &mut scales::nn::init::rng(seed),
+    )
+}
+
+fn engine(seed: u64) -> Engine<'static> {
+    let net =
+        srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method: Method::scales(), seed })
+            .unwrap();
+    Engine::builder().model(net).precision(Precision::Deployed).build().unwrap()
+}
+
+fn server(seed: u64) -> HttpServer {
+    let runtime = Runtime::spawn(
+        engine(seed),
+        RuntimeConfig { workers: 2, ..RuntimeConfig::default() },
+    )
+    .unwrap();
+    HttpServer::bind("127.0.0.1:0", runtime, HttpConfig::default()).unwrap()
+}
+
+/// Read one full HTTP response (status, lowercased headers, body).
+fn read_response(stream: &mut TcpStream) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte).expect("read response head");
+        assert!(n > 0, "connection closed before the response head finished");
+        head.push(byte[0]);
+    }
+    let text = std::str::from_utf8(&head[..head.len() - 4]).expect("response head is UTF-8");
+    let mut lines = text.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    assert!(status_line.starts_with("HTTP/1.1 "), "bad status line: {status_line}");
+    let status: u16 = status_line.split(' ').nth(1).expect("status code").parse().unwrap();
+    let headers: Vec<(String, String)> = lines
+        .map(|line| {
+            let (name, value) = line.split_once(':').expect("header line");
+            (name.trim().to_ascii_lowercase(), value.trim().to_string())
+        })
+        .collect();
+    let length: usize = headers
+        .iter()
+        .find(|(name, _)| name == "content-length")
+        .map_or(0, |(_, value)| value.parse().unwrap());
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).expect("read response body");
+    (status, headers, body)
+}
+
+/// One-shot request over a fresh connection.
+fn send(addr: SocketAddr, raw: &[u8]) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream.write_all(raw).expect("write request");
+    read_response(&mut stream)
+}
+
+fn post_image(path: &str, format: WireFormat, payload: &[u8]) -> Vec<u8> {
+    let mut raw = format!(
+        "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Type: {}\r\nContent-Length: {}\r\n\r\n",
+        format.content_type(),
+        payload.len()
+    )
+    .into_bytes();
+    raw.extend_from_slice(payload);
+    raw
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+}
+
+/// The acceptance headline: wire round trip == direct `Session::infer`,
+/// byte for byte, and `/metrics` records the request.
+#[test]
+fn upscale_over_tcp_matches_direct_session_byte_for_byte() {
+    with_watchdog(120, "tcp-bit-identity", || {
+        let server = server(11);
+        let addr = server.addr();
+        let posted = encode_image(&probe(14, 11, 3), WireFormat::Ppm).unwrap();
+
+        let (status, headers, wire_body) =
+            send(addr, &post_image("/v1/upscale", WireFormat::Ppm, &posted));
+        assert_eq!(status, 200, "body: {}", String::from_utf8_lossy(&wire_body));
+        assert_eq!(header(&headers, "content-type"), Some("image/x-portable-pixmap"));
+
+        // The same computation without the network: decode what was
+        // posted, infer on an identical serial engine, encode.
+        let (decoded, format) = decode_image(&posted).unwrap();
+        assert_eq!(format, WireFormat::Ppm);
+        let serial = engine(11);
+        let direct = serial.session().infer(SrRequest::single(decoded)).unwrap();
+        let direct_body = encode_image(&direct.images()[0], WireFormat::Ppm).unwrap();
+        assert_eq!(
+            wire_body, direct_body,
+            "wire response must be byte-identical to the direct inference encoding"
+        );
+
+        // The scrape parses and shows the completed request.
+        let (status, _, metrics) = send(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        let text = String::from_utf8(metrics).expect("metrics are UTF-8");
+        let mut completed = None;
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("metric line has a value");
+            assert!(!name.is_empty());
+            let value: f64 = value.parse().unwrap_or_else(|_| {
+                panic!("metric value must parse as a number: {line:?}")
+            });
+            if name == "scales_runtime_requests_completed_total" {
+                completed = Some(value);
+            }
+        }
+        assert!(
+            completed.expect("scrape includes the completed counter") >= 1.0,
+            "at least the upscale request must be counted"
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.failed, 0);
+        assert!(stats.completed >= 1);
+    });
+}
+
+#[test]
+fn png_round_trip_over_the_wire() {
+    with_watchdog(120, "png-wire", || {
+        let server = server(12);
+        let posted = encode_image(&probe(10, 13, 5), WireFormat::Png).unwrap();
+        let (status, headers, wire_body) =
+            send(server.addr(), &post_image("/v1/upscale", WireFormat::Png, &posted));
+        assert_eq!(status, 200, "body: {}", String::from_utf8_lossy(&wire_body));
+        assert_eq!(header(&headers, "content-type"), Some("image/png"));
+
+        let (decoded, _) = decode_image(&posted).unwrap();
+        let direct = engine(12).session().infer(SrRequest::single(decoded)).unwrap();
+        assert_eq!(wire_body, encode_image(&direct.images()[0], WireFormat::Png).unwrap());
+        let _ = server.shutdown();
+    });
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    with_watchdog(120, "keep-alive", || {
+        let server = server(13);
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+        stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let (status, headers, body) = read_response(&mut stream);
+        assert_eq!((status, body.as_slice()), (200, b"ok\n".as_slice()));
+        assert_eq!(header(&headers, "connection"), Some("keep-alive"));
+
+        // Second request — an actual inference — on the same socket.
+        let posted = encode_image(&probe(9, 9, 1), WireFormat::Ppm).unwrap();
+        stream.write_all(&post_image("/v1/upscale", WireFormat::Ppm, &posted)).unwrap();
+        let (status, _, _) = read_response(&mut stream);
+        assert_eq!(status, 200);
+
+        // And a third, asking the server to close.
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let (status, headers, _) = read_response(&mut stream);
+        assert_eq!(status, 200);
+        assert_eq!(header(&headers, "connection"), Some("close"));
+        let _ = server.shutdown();
+    });
+}
+
+#[test]
+fn expect_continue_gets_the_interim_response() {
+    with_watchdog(120, "expect-continue", || {
+        let server = server(14);
+        let payload = encode_image(&probe(8, 8, 2), WireFormat::Ppm).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        stream
+            .write_all(
+                format!(
+                    "POST /v1/upscale HTTP/1.1\r\nHost: t\r\nExpect: 100-continue\r\nContent-Length: {}\r\n\r\n",
+                    payload.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let (status, _, body) = read_response(&mut stream);
+        assert_eq!(status, 100, "interim response first");
+        assert!(body.is_empty());
+        stream.write_all(&payload).unwrap();
+        let (status, _, _) = read_response(&mut stream);
+        assert_eq!(status, 200);
+        let _ = server.shutdown();
+    });
+}
+
+/// Hostile traffic: every malformed request maps to its typed status and
+/// the server keeps serving afterwards — no worker panic, no hang.
+#[test]
+fn hostile_requests_get_typed_statuses_and_the_server_survives() {
+    with_watchdog(240, "hostile", || {
+        let server = server(15);
+        let addr = server.addr();
+        let good_ppm = encode_image(&probe(8, 8, 4), WireFormat::Ppm).unwrap();
+        let good_png = encode_image(&probe(8, 8, 4), WireFormat::Png).unwrap();
+
+        // (label, raw request, expected status)
+        let mut cases: Vec<(&str, Vec<u8>, u16)> = vec![
+            ("garbage body", post_image("/v1/upscale", WireFormat::Ppm, b"not an image"), 415),
+            (
+                "truncated ppm",
+                post_image("/v1/upscale", WireFormat::Ppm, &good_ppm[..good_ppm.len() - 3]),
+                400,
+            ),
+            (
+                "absurd ppm dimensions",
+                post_image("/v1/upscale", WireFormat::Ppm, b"P6\n999999 999999\n255\n\0"),
+                400,
+            ),
+            ("no content-length", b"POST /v1/upscale HTTP/1.1\r\nHost: t\r\n\r\n".to_vec(), 411),
+            (
+                "chunked framing",
+                b"POST /v1/upscale HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n"
+                    .to_vec(),
+                501,
+            ),
+            (
+                "oversized declared body",
+                b"POST /v1/upscale HTTP/1.1\r\nHost: t\r\nContent-Length: 999999999999\r\n\r\n"
+                    .to_vec(),
+                413,
+            ),
+            ("bad request line", b"WHAT\r\n\r\n".to_vec(), 400),
+            ("http/2 preface", b"GET /healthz HTTP/2\r\n\r\n".to_vec(), 505),
+            ("wrong method", b"GET /v1/upscale HTTP/1.1\r\nHost: t\r\n\r\n".to_vec(), 405),
+            ("unknown route", b"GET /nope HTTP/1.1\r\nHost: t\r\n\r\n".to_vec(), 404),
+        ];
+        // PNG with one IDAT payload byte flipped: the chunk CRC catches it.
+        let mut corrupt = good_png.clone();
+        let idat = corrupt.windows(4).position(|w| w == b"IDAT").expect("IDAT chunk") + 6;
+        corrupt[idat] ^= 0xff;
+        cases.push(("png crc mismatch", post_image("/v1/upscale", WireFormat::Png, &corrupt), 400));
+
+        for (label, raw, expected) in cases {
+            let (status, _, body) = send(addr, &raw);
+            assert_eq!(
+                status,
+                expected,
+                "{label}: body {}",
+                String::from_utf8_lossy(&body)
+            );
+            assert!(!body.is_empty(), "{label}: error responses carry the typed Display text");
+        }
+
+        // Wrong-method answers advertise what is allowed.
+        let (_, headers, _) = send(addr, b"DELETE /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(header(&headers, "allow"), Some("GET, HEAD"));
+
+        // After all of that, the server still upscales.
+        let (status, _, _) = send(addr, &post_image("/v1/upscale", WireFormat::Ppm, &good_ppm));
+        assert_eq!(status, 200, "server must survive hostile traffic");
+        let stats = server.shutdown();
+        assert_eq!(stats.failed, 0, "hostile wire input must never reach a worker as a failure");
+    });
+}
+
+#[test]
+fn shutdown_drains_and_stops_accepting() {
+    with_watchdog(120, "shutdown", || {
+        let server = server(16);
+        let addr = server.addr();
+        let posted = encode_image(&probe(8, 8, 6), WireFormat::Ppm).unwrap();
+        for _ in 0..3 {
+            let (status, _, _) = send(addr, &post_image("/v1/upscale", WireFormat::Ppm, &posted));
+            assert_eq!(status, 200);
+        }
+        let stats = server.shutdown();
+        assert!(stats.completed >= 3);
+        assert_eq!(stats.failed, 0);
+        // The listener is gone: a fresh connection cannot complete a
+        // request (connect may succeed briefly on some stacks, but no
+        // response ever comes).
+        let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+        if let Ok(mut stream) = refused {
+            stream.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+            let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+            let mut buf = [0u8; 1];
+            assert!(
+                !matches!(stream.read(&mut buf), Ok(n) if n > 0),
+                "a shut-down server must not answer"
+            );
+        }
+    });
+}
