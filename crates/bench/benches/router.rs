@@ -1,0 +1,181 @@
+//! Fleet routing benchmark: what does the `scales-router` layer cost on
+//! top of a bare runtime, and how long does a zero-downtime hot-swap
+//! take while clients are on the route?
+//!
+//! Three measurements:
+//!
+//! 1. **baseline** — `Runtime::submit_wait_timeout` straight into a
+//!    worker pool, per-request client latency;
+//! 2. **routed** — the same requests through
+//!    `ModelRouter::submit_wait_timeout` by name (the name lookup, entry
+//!    lock, and version `Arc` clone are the router tax);
+//! 3. **hot-swap** — repeated `reload` calls while client threads hammer
+//!    the model; every client request through every swap must be served
+//!    (the zero-drop guarantee is asserted, not assumed), and the
+//!    reload's own wall time — load + swap + drain — is reported.
+//!
+//! The run ends with one machine-readable line — `BENCH_router {...}` —
+//! so CI logs give a per-commit trajectory for the fleet layer.
+//!
+//! ```sh
+//! cargo bench --bench router            # full request count
+//! SCALES_BENCH_SMOKE=1 cargo bench --bench router
+//! ```
+
+use scales_core::Method;
+use scales_models::{srresnet, SrConfig, SrNetwork};
+use scales_router::{ModelRouter, RouterConfig};
+use scales_runtime::{Runtime, RuntimeConfig};
+use scales_serve::{Engine, SrRequest};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+fn scene(h: usize, w: usize, seed: u64) -> scales_data::Image {
+    scales_data::synth::scene(
+        h,
+        w,
+        scales_data::synth::SceneConfig::default(),
+        &mut scales_nn::init::rng(seed),
+    )
+}
+
+fn net(seed: u64) -> impl SrNetwork {
+    srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method: Method::scales(), seed })
+        .expect("srresnet config is valid")
+}
+
+fn runtime_config() -> RuntimeConfig {
+    RuntimeConfig {
+        workers: std::thread::available_parallelism().map_or(1, usize::from),
+        queue_capacity: 64,
+        max_batch: 8,
+        max_wait: Duration::from_millis(1),
+    }
+}
+
+fn quantiles(latencies: &mut [Duration]) -> (Duration, Duration) {
+    latencies.sort();
+    let q = |f: f64| latencies[((latencies.len() - 1) as f64 * f).round() as usize];
+    (q(0.50), q(0.99))
+}
+
+fn main() {
+    let smoke = std::env::var("SCALES_BENCH_SMOKE").is_ok();
+    let requests: usize = if smoke { 24 } else { 192 };
+    let swaps: usize = if smoke { 3 } else { 12 };
+    let side = 16usize;
+    let probe = scene(side, side, 7);
+
+    println!(
+        "fleet routing: {requests} {side}x{side} requests direct vs routed, then {swaps} \
+         hot-swaps under client load"
+    );
+
+    // 1. Baseline: the bare runtime.
+    let engine = Engine::builder().model(net(1)).build().unwrap();
+    let runtime = Runtime::spawn(engine, runtime_config()).unwrap();
+    let mut direct: Vec<Duration> = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let sent = Instant::now();
+        runtime
+            .submit_wait_timeout(SrRequest::single(probe.clone()), TIMEOUT)
+            .expect("runtime accepts")
+            .expect("runtime serves");
+        direct.push(sent.elapsed());
+    }
+    let direct_stats = runtime.shutdown();
+    assert_eq!(direct_stats.failed, 0);
+    let (direct_p50, direct_p99) = quantiles(&mut direct);
+    println!("  direct  p50 {direct_p50:.2?}, p99 {direct_p99:.2?}");
+
+    // 2. Routed: the same traffic through the fleet layer by name. The
+    //    model is path-backed so the same registration also feeds the
+    //    hot-swap phase.
+    let dir = std::env::temp_dir().join(format!("scales-router-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let artifact = dir.join("m.dep.sca");
+    scales_io::save_artifact(&artifact, &net(1).lower().unwrap()).unwrap();
+    let router =
+        ModelRouter::new(RouterConfig { memory_budget: None, runtime: runtime_config() }).unwrap();
+    router.register_path("m", &artifact).unwrap();
+    let mut routed: Vec<Duration> = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let sent = Instant::now();
+        router
+            .submit_wait_timeout("m", SrRequest::single(probe.clone()), TIMEOUT)
+            .expect("router accepts")
+            .expect("router serves");
+        routed.push(sent.elapsed());
+    }
+    let (routed_p50, routed_p99) = quantiles(&mut routed);
+    let overhead_us = (routed_p50.as_secs_f64() - direct_p50.as_secs_f64()) * 1e6;
+    println!("  routed  p50 {routed_p50:.2?}, p99 {routed_p99:.2?} (p50 overhead {overhead_us:+.1} us)");
+
+    // 3. Hot-swap under load: two client threads hammer the route while
+    //    the artifact is reloaded `swaps` times. Every submit must be
+    //    served — the zero-drop contract is the point of the design.
+    let stop = AtomicBool::new(false);
+    let (served, mut reloads) = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..2)
+            .map(|_| {
+                let router = router.clone();
+                let probe = probe.clone();
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut served = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        router
+                            .submit_wait_timeout("m", SrRequest::single(probe.clone()), TIMEOUT)
+                            .expect("a hot-swap must never refuse a request")
+                            .expect("a hot-swap must never fail a request");
+                        served += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+        let mut reloads: Vec<Duration> = Vec::with_capacity(swaps);
+        for _ in 0..swaps {
+            std::thread::sleep(Duration::from_millis(30));
+            let begun = Instant::now();
+            router.reload("m").expect("reload succeeds");
+            reloads.push(begun.elapsed());
+        }
+        stop.store(true, Ordering::Relaxed);
+        let served: u64 = clients.into_iter().map(|c| c.join().expect("client thread")).sum();
+        (served, reloads)
+    });
+    let (swap_p50, swap_max) =
+        (quantiles(&mut reloads).0, *reloads.iter().max().expect("at least one swap"));
+    println!(
+        "  hot-swap: {swaps} reloads while {served} client requests flowed; \
+         reload p50 {swap_p50:.2?}, max {swap_max:.2?}"
+    );
+
+    let fleet = router.shutdown();
+    let merged = fleet.merged_runtime();
+    assert_eq!(merged.failed, 0, "no request may fail through the swaps");
+    assert_eq!(merged.rejected, 0, "no request may be rejected through the swaps");
+    assert_eq!(
+        merged.submitted, merged.completed,
+        "every accepted request was served — zero drops across {swaps} swaps"
+    );
+    let model = &fleet.models[0];
+    assert_eq!(model.swaps as usize, swaps, "every reload swapped");
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    println!(
+        "\nBENCH_router {{\"requests\":{requests},\"swaps\":{swaps},\
+         \"direct_p50_ms\":{:.3},\"routed_p50_ms\":{:.3},\"overhead_us\":{overhead_us:.1},\
+         \"swap_p50_ms\":{:.2},\"swap_max_ms\":{:.2},\"served_during_swaps\":{served},\
+         \"completed\":{},\"failed\":{}}}",
+        direct_p50.as_secs_f64() * 1e3,
+        routed_p50.as_secs_f64() * 1e3,
+        swap_p50.as_secs_f64() * 1e3,
+        swap_max.as_secs_f64() * 1e3,
+        merged.completed,
+        merged.failed,
+    );
+}

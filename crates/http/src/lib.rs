@@ -1,18 +1,23 @@
 //! # scales-http
 //!
 //! The network edge of the SCALES reproduction: a std-only HTTP/1.1
-//! server over the [`scales-runtime`](scales_runtime) worker pool. No
-//! tokio, no hyper — a [`TcpListener`](std::net::TcpListener) accept
-//! thread, a bounded connection backlog, and plain connection-worker
-//! threads, matching the runtime's own hand-rolled concurrency style.
+//! server over the [`scales-runtime`](scales_runtime) worker pool or a
+//! [`scales-router`](scales_router) model fleet. No tokio, no hyper — a
+//! [`TcpListener`](std::net::TcpListener) accept thread, a bounded
+//! connection backlog, and plain connection-worker threads, matching the
+//! runtime's own hand-rolled concurrency style.
 //!
-//! Routes:
+//! Routes ([`HttpServer::bind`] serves one runtime;
+//! [`HttpServer::bind_router`] serves a named fleet):
 //!
-//! | Route | Behavior |
-//! |---|---|
-//! | `POST /v1/upscale` | Decode the body ([`scales_data::codec`]: PPM P6 or the PNG subset), submit through [`Runtime::submit_wait_timeout`](scales_runtime::Runtime::submit_wait_timeout), answer `200` with the upscaled image in the same wire format. |
-//! | `GET /metrics` | Prometheus text: [`RuntimeStats::render_prometheus`](scales_runtime::RuntimeStats::render_prometheus) plus the front end's own counters. |
-//! | `GET /healthz` | `200 ok` liveness probe. |
+//! | Route | Mode | Behavior |
+//! |---|---|---|
+//! | `POST /v1/upscale` | single | Decode the body ([`scales_data::codec`]: PPM P6 or the PNG subset), submit through [`Runtime::submit_wait_timeout`](scales_runtime::Runtime::submit_wait_timeout), answer `200` with the upscaled image in the same wire format. |
+//! | `POST /v1/models/{name}/upscale` | fleet | The same wire contract, routed by model name through [`ModelRouter::submit_wait_timeout`](scales_router::ModelRouter::submit_wait_timeout); an unknown name is a `404`. |
+//! | `GET /v1/models` | fleet | The fleet as JSON: name, arch, scale, version, artifact fingerprint, serving state, memory charges. |
+//! | `POST /v1/models/{name}/reload` | fleet | Zero-downtime hot-swap from the model's artifact path ([`ModelRouter::reload`](scales_router::ModelRouter::reload)); in-memory models answer `409`. |
+//! | `GET /metrics` | both | Prometheus text: the runtime's series, or the fleet's `model`-labeled series, plus the front end's own counters. |
+//! | `GET /healthz` | both | `200 ok` liveness probe. |
 //!
 //! Hardening is the point, not an afterthought: request lines and
 //! headers are length- and count-bounded, bodies are

@@ -1,19 +1,23 @@
 //! [`HttpServer`] — accept loop, connection-worker pool, routing, and
-//! graceful shutdown over a [`Runtime`].
+//! graceful shutdown over a [`Runtime`] or a [`ModelRouter`] fleet.
 //!
 //! Threading model: one accept thread pushes connections into a bounded
 //! backlog (`Mutex<VecDeque>` + `Condvar`); [`HttpConfig::workers`]
 //! connection workers pop and serve them, one connection at a time, with
 //! keep-alive. Idle connections are watched with short poll-tick reads so
 //! a shutdown is noticed within ~[`POLL_TICK`] even while blocked on a
-//! quiet peer. [`HttpServer::shutdown`] stops intake, wakes everything,
-//! joins the threads, then drains the runtime through
-//! [`Runtime::shutdown`] and returns its final [`RuntimeStats`].
+//! quiet peer. The accept thread never writes to a socket: backlog-full
+//! refusals are handed to a short-lived detached thread with a bounded
+//! write timeout, so a stalled peer cannot block intake.
+//! [`HttpServer::shutdown`] stops intake, wakes everything, joins the
+//! threads, then drains the serving target and returns its final
+//! [`RuntimeStats`] (for a fleet, the per-model records folded into one).
 
 use crate::config::HttpConfig;
 use crate::error::{HttpError, RequestError};
 use crate::parser::{RequestHead, RequestReader};
 use scales_data::{decode_image, encode_image};
+use scales_router::{ModelRouter, RouterError};
 use scales_runtime::{Runtime, RuntimeStats, SubmitError};
 use scales_serve::SrRequest;
 use std::collections::VecDeque;
@@ -28,13 +32,24 @@ use std::time::{Duration, Instant};
 /// shutdown flag.
 const POLL_TICK: Duration = Duration::from_millis(50);
 
+/// Write timeout for the detached backlog-full refusal thread: long
+/// enough for any live peer to take a ~100-byte response, short enough
+/// that a stalled one cannot pin the thread.
+const REFUSAL_WRITE_TIMEOUT: Duration = Duration::from_millis(250);
+
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// What the front end serves: one runtime, or a named-model fleet.
+enum Target {
+    Single(Runtime),
+    Fleet(ModelRouter),
+}
+
 /// State shared by the accept thread, the workers, and the handle.
 struct Shared {
-    runtime: Runtime,
+    target: Target,
     config: HttpConfig,
     shutdown: AtomicBool,
     /// Accepted connections waiting for a worker (bounded by
@@ -60,7 +75,13 @@ impl Shared {
     }
 }
 
-/// A running HTTP front end over a [`Runtime`].
+/// A running HTTP front end over a [`Runtime`] (single-model mode) or a
+/// [`ModelRouter`] (fleet mode).
+///
+/// Single-model mode serves `POST /v1/upscale`; fleet mode serves
+/// `POST /v1/models/{name}/upscale`, `GET /v1/models`, and the
+/// zero-downtime `POST /v1/models/{name}/reload`. Both serve `/metrics`
+/// and `/healthz`.
 ///
 /// ```
 /// use scales_http::{HttpConfig, HttpServer};
@@ -89,8 +110,8 @@ pub struct HttpServer {
 
 impl HttpServer {
     /// Bind a listener and start the accept thread and connection
-    /// workers. `addr` may be ephemeral (`127.0.0.1:0`); the bound
-    /// address is [`HttpServer::addr`].
+    /// workers over a single [`Runtime`]. `addr` may be ephemeral
+    /// (`127.0.0.1:0`); the bound address is [`HttpServer::addr`].
     ///
     /// # Errors
     ///
@@ -101,6 +122,34 @@ impl HttpServer {
         runtime: Runtime,
         config: HttpConfig,
     ) -> Result<Self, HttpError> {
+        Self::bind_target(addr, Target::Single(runtime), config)
+    }
+
+    /// Bind a listener over a [`ModelRouter`] fleet: requests route by
+    /// model name (`POST /v1/models/{name}/upscale`), `GET /v1/models`
+    /// lists the fleet, and `POST /v1/models/{name}/reload` hot-swaps a
+    /// path-backed model with zero downtime.
+    ///
+    /// The router handle is cloned in, so the caller can keep its own
+    /// handle for registration and stats while the server runs.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::InvalidConfig`] for unservable sizing,
+    /// [`HttpError::Io`] when the socket or a thread cannot be set up.
+    pub fn bind_router(
+        addr: impl ToSocketAddrs,
+        router: ModelRouter,
+        config: HttpConfig,
+    ) -> Result<Self, HttpError> {
+        Self::bind_target(addr, Target::Fleet(router), config)
+    }
+
+    fn bind_target(
+        addr: impl ToSocketAddrs,
+        target: Target,
+        config: HttpConfig,
+    ) -> Result<Self, HttpError> {
         config.validate()?;
         let listener = TcpListener::bind(addr)
             .map_err(|source| HttpError::Io { context: "bind", source })?;
@@ -108,7 +157,7 @@ impl HttpServer {
             .local_addr()
             .map_err(|source| HttpError::Io { context: "local_addr", source })?;
         let shared = Arc::new(Shared {
-            runtime,
+            target,
             config,
             shutdown: AtomicBool::new(false),
             backlog: Mutex::new(VecDeque::new()),
@@ -143,29 +192,49 @@ impl HttpServer {
     }
 
     /// The runtime behind the server (e.g. for a stats snapshot while
-    /// serving).
+    /// serving). `None` in fleet mode — use [`HttpServer::router`].
     #[must_use]
-    pub fn runtime(&self) -> &Runtime {
-        &self.shared.runtime
+    pub fn runtime(&self) -> Option<&Runtime> {
+        match &self.shared.target {
+            Target::Single(runtime) => Some(runtime),
+            Target::Fleet(_) => None,
+        }
+    }
+
+    /// The model fleet behind the server. `None` in single-model mode.
+    #[must_use]
+    pub fn router(&self) -> Option<&ModelRouter> {
+        match &self.shared.target {
+            Target::Single(_) => None,
+            Target::Fleet(router) => Some(router),
+        }
     }
 
     /// Stop intake, let workers finish their in-flight requests (open
     /// keep-alive connections are answered with `Connection: close`),
-    /// join every thread, then drain the runtime and return its final
-    /// stats.
+    /// join every thread, then drain the serving target and return its
+    /// final stats (a fleet's per-model records are folded into one
+    /// [`RuntimeStats`]).
     #[must_use = "the final runtime stats are the serving record"]
     pub fn shutdown(mut self) -> RuntimeStats {
         self.stop();
         // Every thread is joined, so the handle's Arc and this clone are
         // the only strong references left; dropping `self` makes the
-        // clone unique and `try_unwrap` hands the runtime back.
+        // clone unique and `try_unwrap` hands the target back.
         let shared = Arc::clone(&self.shared);
         drop(self);
         match Arc::try_unwrap(shared) {
-            Ok(shared) => shared.runtime.shutdown(),
+            Ok(shared) => match shared.target {
+                Target::Single(runtime) => runtime.shutdown(),
+                Target::Fleet(router) => router.shutdown().merged_runtime(),
+            },
             // Never panic in a teardown path: fall back to a snapshot
-            // (the runtime still drains when the last Arc drops).
-            Err(shared) => shared.runtime.stats(),
+            // (the single runtime still drains when the last Arc drops;
+            // the router's shutdown works through any handle).
+            Err(shared) => match &shared.target {
+                Target::Single(runtime) => runtime.stats(),
+                Target::Fleet(router) => router.shutdown().merged_runtime(),
+            },
         }
     }
 
@@ -214,10 +283,21 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         let mut backlog = lock(&shared.backlog);
         if backlog.len() >= shared.config.max_pending {
             drop(backlog);
-            // Refuse instead of queueing without bound.
-            let response = Response::text(503, "server backlog is full, retry later\n");
-            let _ = write_response(&stream, &response, false, false);
+            // Refuse instead of queueing without bound — but never write
+            // from the accept thread: a peer that opened the connection
+            // and stopped reading would block intake for everyone. A
+            // detached thread with a bounded write timeout delivers the
+            // refusal on a best-effort basis; if even spawning fails,
+            // dropping the stream (RST) is refusal enough.
             shared.count_response(503);
+            let spawned = std::thread::Builder::new()
+                .name("scales-http-refusal".into())
+                .spawn(move || {
+                    let _ = stream.set_write_timeout(Some(REFUSAL_WRITE_TIMEOUT));
+                    let response = Response::text(503, "server backlog is full, retry later\n");
+                    let _ = write_response(&stream, &response, false, false);
+                });
+            drop(spawned);
         } else {
             backlog.push_back(stream);
             drop(backlog);
@@ -304,7 +384,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
         match route(shared, &mut reader, &head) {
             Ok(response) => {
                 shared.count_response(response.status);
-                let keep_alive = head.keep_alive && !shared.shutting_down();
+                let keep_alive = head.keep_alive && !response.close && !shared.shutting_down();
                 if write_response(reader.get_ref(), &response, head_only, keep_alive).is_err()
                     || !keep_alive
                 {
@@ -332,8 +412,21 @@ fn route(
     reader: &mut RequestReader<TcpStream>,
     head: &RequestHead,
 ) -> Result<Response, RequestError> {
-    match (head.method.as_str(), path_of(&head.target)) {
-        ("POST", "/v1/upscale") => upscale(shared, reader, head),
+    let path = path_of(&head.target);
+    if let Some(rest) = path.strip_prefix("/v1/models") {
+        return route_models(shared, reader, head, rest);
+    }
+    match (head.method.as_str(), path) {
+        ("POST", "/v1/upscale") => match &shared.target {
+            Target::Single(runtime) => upscale(shared, reader, head, runtime),
+            // A fleet has no anonymous default model; naming one is the
+            // only unambiguous contract. Final status, no body read.
+            Target::Fleet(_) => Ok(Response::text(
+                404,
+                "this server routes by model name; POST /v1/models/{name}/upscale\n",
+            )
+            .close_if_unread(head)),
+        },
         ("GET" | "HEAD", "/metrics") => {
             drain_body(reader, head)?;
             Ok(Response {
@@ -341,6 +434,7 @@ fn route(
                 content_type: "text/plain; version=0.0.4",
                 body: render_metrics(shared).into_bytes(),
                 allow: None,
+                close: false,
             })
         }
         ("GET" | "HEAD", "/healthz") => {
@@ -348,17 +442,72 @@ fn route(
             Ok(Response::text(200, "ok\n"))
         }
         (_, "/v1/upscale") => {
-            drain_body(reader, head)?;
-            Ok(Response::text(405, "use POST\n").allow("POST"))
+            // Wrong method: answer with the final status immediately —
+            // inviting and draining a body the route will not use (or
+            // sending `100 Continue` for it) only wastes the client's
+            // upload. An unread body breaks keep-alive framing, so the
+            // connection closes after the response.
+            Ok(Response::text(405, "use POST\n").allow("POST").close_if_unread(head))
         }
         (_, "/metrics" | "/healthz") => {
-            drain_body(reader, head)?;
-            Ok(Response::text(405, "use GET\n").allow("GET, HEAD"))
+            Ok(Response::text(405, "use GET\n").allow("GET, HEAD").close_if_unread(head))
         }
-        _ => {
-            drain_body(reader, head)?;
-            Ok(Response::text(404, "no such route\n"))
-        }
+        _ => Ok(Response::text(404, "no such route\n").close_if_unread(head)),
+    }
+}
+
+/// Routes under `/v1/models`: the fleet surface. `rest` is the target
+/// with the `/v1/models` prefix stripped (empty, or `/{name}/{action}`).
+fn route_models(
+    shared: &Shared,
+    reader: &mut RequestReader<TcpStream>,
+    head: &RequestHead,
+    rest: &str,
+) -> Result<Response, RequestError> {
+    let Target::Fleet(router) = &shared.target else {
+        return Ok(Response::text(
+            404,
+            "no model fleet is configured on this server; use /v1/upscale\n",
+        )
+        .close_if_unread(head));
+    };
+    // `GET /v1/models` — list the fleet.
+    if rest.is_empty() || rest == "/" {
+        return match head.method.as_str() {
+            "GET" | "HEAD" => {
+                drain_body(reader, head)?;
+                Ok(Response {
+                    status: 200,
+                    content_type: "application/json",
+                    body: render_model_list(router).into_bytes(),
+                    allow: None,
+                    close: false,
+                })
+            }
+            _ => Ok(Response::text(405, "use GET\n").allow("GET, HEAD").close_if_unread(head)),
+        };
+    }
+    // `/v1/models/{name}/{action}`.
+    let Some((name, action)) = rest
+        .strip_prefix('/')
+        .and_then(|r| r.split_once('/'))
+        .filter(|(name, _)| !name.is_empty())
+    else {
+        return Ok(Response::text(404, "no such route\n").close_if_unread(head));
+    };
+    match action {
+        "upscale" => match head.method.as_str() {
+            "POST" => fleet_upscale(shared, reader, head, router, name),
+            _ => Ok(Response::text(405, "use POST\n").allow("POST").close_if_unread(head)),
+        },
+        "reload" => match head.method.as_str() {
+            "POST" => {
+                drain_body(reader, head)?;
+                Ok(reload_model(router, name))
+            }
+            _ => Ok(Response::text(405, "use POST\n").allow("POST").close_if_unread(head)),
+        },
+        _ => Ok(Response::text(404, "no such route\n").close_if_unread(head)),
     }
 }
 
@@ -395,6 +544,7 @@ fn upscale(
     shared: &Shared,
     reader: &mut RequestReader<TcpStream>,
     head: &RequestHead,
+    runtime: &Runtime,
 ) -> Result<Response, RequestError> {
     if !head.has_length {
         return Err(RequestError::LengthRequired);
@@ -402,9 +552,8 @@ fn upscale(
     send_continue(reader, head)?;
     let body = reader.read_body(head.content_length)?;
     let (image, format) = decode_image(&body)?;
-    let outcome = shared
-        .runtime
-        .submit_wait_timeout(SrRequest::single(image), shared.config.request_timeout);
+    let outcome =
+        runtime.submit_wait_timeout(SrRequest::single(image), shared.config.request_timeout);
     let served = match outcome {
         Err(err @ SubmitError::InvalidRequest(_)) => {
             return Ok(Response::text(400, format!("{err}\n")));
@@ -425,15 +574,124 @@ fn upscale(
             content_type: format.content_type(),
             body: bytes,
             allow: None,
+            close: false,
         }),
         Err(err) => Ok(Response::text(500, format!("encoding the result failed: {err}\n"))),
     }
 }
 
-/// The `/metrics` document: the runtime's Prometheus rendering plus the
-/// HTTP front end's own counters.
+/// `POST /v1/models/{name}/upscale`: the fleet version of [`upscale`] —
+/// same wire contract, routed by model name.
+fn fleet_upscale(
+    shared: &Shared,
+    reader: &mut RequestReader<TcpStream>,
+    head: &RequestHead,
+    router: &ModelRouter,
+    name: &str,
+) -> Result<Response, RequestError> {
+    if !head.has_length {
+        return Err(RequestError::LengthRequired);
+    }
+    send_continue(reader, head)?;
+    let body = reader.read_body(head.content_length)?;
+    let (image, format) = decode_image(&body)?;
+    let outcome =
+        router.submit_wait_timeout(name, SrRequest::single(image), shared.config.request_timeout);
+    let served = match outcome {
+        Err(err) => return Ok(router_error_response(&err)),
+        Ok(Err(infer_err)) => {
+            return Ok(Response::text(500, format!("inference failed: {infer_err}\n")));
+        }
+        Ok(Ok(response)) => response,
+    };
+    match encode_image(&served.images()[0], format) {
+        Ok(bytes) => Ok(Response {
+            status: 200,
+            content_type: format.content_type(),
+            body: bytes,
+            allow: None,
+            close: false,
+        }),
+        Err(err) => Ok(Response::text(500, format!("encoding the result failed: {err}\n"))),
+    }
+}
+
+/// `POST /v1/models/{name}/reload`: zero-downtime hot-swap from the
+/// model's artifact path.
+fn reload_model(router: &ModelRouter, name: &str) -> Response {
+    match router.reload(name) {
+        Ok(stats) => Response {
+            status: 200,
+            content_type: "application/json",
+            body: render_model_json(&stats).into_bytes(),
+            allow: None,
+            close: false,
+        },
+        Err(err) => router_error_response(&err),
+    }
+}
+
+/// Map the router's typed errors onto the HTTP status space: unknown
+/// name → 404, duplicate/pinned conflicts → 409, failed load → 500,
+/// invalid request → 400, overload/drain → 503.
+fn router_error_response(err: &RouterError) -> Response {
+    let status = match err {
+        RouterError::UnknownModel { .. } => 404,
+        RouterError::DuplicateModel { .. } | RouterError::NotReloadable { .. } => 409,
+        RouterError::InvalidName { .. } => 400,
+        RouterError::Load { .. } => 500,
+        RouterError::Submit(SubmitError::InvalidRequest(_)) => 400,
+        RouterError::Submit(_) | RouterError::ShuttingDown => 503,
+    };
+    Response::text(status, format!("{err}\n"))
+}
+
+/// The `GET /v1/models` document: the fleet as a JSON array. Hand-rolled
+/// like the wire codecs — every value is a number, a bool, or a string
+/// from a validated alphabet (names) or a fixed set (arch, state), so no
+/// escaping is needed.
+fn render_model_list(router: &ModelRouter) -> String {
+    let models = router.list();
+    let mut out = String::with_capacity(128 * models.len() + 16);
+    out.push_str("{\"models\":[");
+    for (i, m) in models.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&render_model_json(m));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// One model's identity and state as a JSON object.
+fn render_model_json(m: &scales_router::ModelStats) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"arch\":\"{}\",\"scale\":{},\"version\":{},\
+         \"fingerprint\":\"{:016x}\",\"state\":\"{}\",\"weight_bytes\":{},\
+         \"resident_bytes\":{},\"reloadable\":{},\"evictions\":{},\"swaps\":{}}}",
+        m.name,
+        m.arch,
+        m.scale,
+        m.version,
+        m.fingerprint,
+        m.state,
+        m.weight_bytes,
+        m.resident_bytes,
+        m.reloadable,
+        m.evictions,
+        m.swaps,
+    )
+}
+
+/// The `/metrics` document: the serving target's Prometheus rendering
+/// (per-model series in fleet mode) plus the HTTP front end's own
+/// counters.
 fn render_metrics(shared: &Shared) -> String {
-    let mut out = shared.runtime.stats().render_prometheus();
+    let mut out = match &shared.target {
+        Target::Single(runtime) => runtime.stats().render_prometheus(),
+        Target::Fleet(router) => router.render_prometheus(),
+    };
     let mut counter = |name: &str, help: &str, value: u64| {
         out.push_str(&format!(
             "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
@@ -466,6 +724,10 @@ struct Response {
     content_type: &'static str,
     body: Vec<u8>,
     allow: Option<&'static str>,
+    /// Close the connection after this response even on a keep-alive
+    /// request — set when a declared request body was left unread (the
+    /// framing of any pipelined request behind it is unknowable).
+    close: bool,
 }
 
 impl Response {
@@ -475,11 +737,22 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
             allow: None,
+            close: false,
         }
     }
 
     fn allow(mut self, methods: &'static str) -> Self {
         self.allow = Some(methods);
+        self
+    }
+
+    /// Mark the connection for closing when the request declared a body
+    /// this route chose not to read. Responding with the final status
+    /// immediately (instead of inviting the upload with `100 Continue`
+    /// and draining it) is the hardening; the close keeps the framing
+    /// honest.
+    fn close_if_unread(mut self, head: &RequestHead) -> Self {
+        self.close = head.content_length > 0;
         self
     }
 }
@@ -520,6 +793,7 @@ pub(crate) fn reason_phrase(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         411 => "Length Required",
         413 => "Content Too Large",
         415 => "Unsupported Media Type",

@@ -1,0 +1,121 @@
+//! Content fingerprinting for artifacts: a dependency-free FNV-1a
+//! 64-bit hasher shared by every layer that needs a cheap, stable
+//! identity for model bytes — the artifact cache in `scales-train`
+//! (network identity + parameter bits) and the model router in
+//! `scales-router` (serialized artifact bytes).
+//!
+//! FNV-1a is not cryptographic; it is a *change detector*. Equal
+//! fingerprints across adversarial inputs are not a guarantee anywhere
+//! in this workspace — callers use fingerprints to invalidate caches and
+//! to label model versions, never to authenticate them.
+
+/// Incremental FNV-1a 64-bit hasher.
+///
+/// Two mixing granularities are offered on purpose:
+///
+/// * [`Fnv1a::write`] folds bytes one at a time — the standard FNV-1a
+///   byte stream, right for strings and raw buffers;
+/// * [`Fnv1a::write_u64`] folds a whole 64-bit word in one step — what
+///   the historical `scales-train` parameter fingerprint does with each
+///   `f32::to_bits` value, kept so existing on-disk cache entries stay
+///   valid across the refactor that moved the hash here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+/// FNV-1a 64-bit offset basis.
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: OFFSET_BASIS }
+    }
+
+    /// Fold `bytes` into the state, one byte at a time (standard FNV-1a).
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Fold one whole 64-bit word into the state in a single mix step.
+    pub fn write_u64(&mut self, word: u64) {
+        self.state ^= word;
+        self.state = self.state.wrapping_mul(PRIME);
+    }
+
+    /// The current hash value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a 64-bit hash of a byte buffer — the fingerprint the
+/// router stamps on each loaded artifact version (over the serialized
+/// artifact bytes, so any change to weights, graph or header changes it).
+#[must_use]
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_fnv1a_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fingerprint(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fingerprint(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_and_one_shot_agree() {
+        let mut h = Fnv1a::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fingerprint(b"foobar"));
+    }
+
+    #[test]
+    fn whole_word_mixing_differs_from_byte_mixing() {
+        // write_u64 folds the word in one step; writing its bytes folds
+        // eight. Both must be deterministic, and they must not collide
+        // for a value with high bytes set.
+        let mut word = Fnv1a::new();
+        word.write_u64(0x0102_0304_0506_0708);
+        let mut bytes = Fnv1a::new();
+        bytes.write(&0x0102_0304_0506_0708u64.to_le_bytes());
+        assert_ne!(word.finish(), bytes.finish());
+        // For a single low byte the two schemes coincide by construction.
+        let mut w = Fnv1a::new();
+        w.write_u64(0x42);
+        let mut b = Fnv1a::new();
+        b.write(&[0x42]);
+        assert_eq!(w.finish(), b.finish());
+    }
+
+    #[test]
+    fn fingerprints_detect_single_bit_changes() {
+        let a = fingerprint(&[0u8; 64]);
+        let mut flipped = [0u8; 64];
+        flipped[63] = 1;
+        assert_ne!(a, fingerprint(&flipped));
+    }
+}

@@ -49,7 +49,10 @@
 
 mod artifact;
 mod checkpoint;
+mod fingerprint;
 mod wire;
+
+pub use fingerprint::{fingerprint, Fnv1a};
 
 use scales_models::{DeployedNetwork, SrNetwork};
 use scales_tensor::TensorError;

@@ -87,6 +87,18 @@ impl Plan {
         self.shapes.len()
     }
 
+    /// Bytes of bookkeeping this plan holds (shape table, slot map, slot
+    /// sizes). The arena buffers themselves belong to the [`Workspace`]
+    /// and are accounted by [`Workspace::memory_bytes`].
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.shapes.len() * std::mem::size_of::<[usize; 4]>()
+            + self.slot_of.len() * std::mem::size_of::<Option<usize>>()
+            + self.slot_sizes.len() * std::mem::size_of::<usize>()
+            + self.bicubic.len()
+                * std::mem::size_of::<Option<(BicubicAxisTaps, BicubicAxisTaps)>>()
+    }
+
     fn value<'a>(&self, input: &'a [f32], slots: &'a [Vec<f32>], id: ValueId) -> &'a [f32] {
         match self.slot_of[id] {
             None => input,
@@ -554,6 +566,18 @@ impl Workspace {
     #[must_use]
     pub fn plans(&self) -> &[Plan] {
         &self.plans
+    }
+
+    /// Bytes resident in this workspace: the arena slot buffers (by
+    /// allocated capacity) plus every cached plan's bookkeeping. This is
+    /// the serving stack's plan-cache memory accounting — what a router
+    /// charges a model for beyond its packed weights.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        let slots: usize =
+            self.slots.iter().map(|s| s.capacity() * std::mem::size_of::<f32>()).sum();
+        let plans: usize = self.plans.iter().map(Plan::memory_bytes).sum();
+        slots + plans
     }
 }
 

@@ -1,0 +1,907 @@
+//! [`ModelRouter`] — named model registry, per-request routing,
+//! zero-downtime hot-swap, and byte-budgeted LRU eviction.
+
+use crate::error::RouterError;
+use crate::lock;
+use scales_models::SrNetwork;
+use scales_runtime::{Runtime, RuntimeConfig, RuntimeStats};
+use scales_serve::{Engine, SrRequest, SrResponse};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Fleet sizing: the per-model runtime configuration every loaded version
+/// is spawned with, plus the optional resident-memory budget the LRU
+/// eviction enforces.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouterConfig {
+    /// Byte budget across all resident models (packed weights plus live
+    /// planned-executor workspaces). When a load pushes the total over
+    /// the budget, the least-recently-used *path-backed* models are
+    /// drained and evicted until it fits; in-memory registrations are
+    /// pinned (they have no source to reload from) and never evicted, so
+    /// a fleet of pinned models can legitimately exceed the budget.
+    /// `None` disables eviction.
+    pub memory_budget: Option<usize>,
+    /// Sizing of each model's private [`Runtime`] worker pool.
+    pub runtime: RuntimeConfig,
+}
+
+impl RouterConfig {
+    /// Check the configuration is servable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterError::Load`] (named `<config>`) when the embedded
+    /// [`RuntimeConfig`] is invalid.
+    pub fn validate(&self) -> Result<(), RouterError> {
+        self.runtime.validate().map_err(|e| RouterError::Load {
+            name: "<config>".into(),
+            detail: e.to_string(),
+        })
+    }
+}
+
+/// Whether a registered model currently holds a serving runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelState {
+    /// A runtime is resident and accepting requests.
+    Serving,
+    /// The engine was drained and dropped by the memory budget; the next
+    /// request (or an explicit [`ModelRouter::reload`]) reloads it from
+    /// its artifact path.
+    Evicted,
+}
+
+impl std::fmt::Display for ModelState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ModelState::Serving => "serving",
+            ModelState::Evicted => "evicted",
+        })
+    }
+}
+
+/// One loaded version of a model: its runtime and the weight bytes it
+/// was admitted with. Submitters clone the `Arc` for the duration of one
+/// request; a swap drains the old version by waiting for those clones to
+/// drop before shutting the runtime down.
+struct ModelVersion {
+    runtime: Runtime,
+    weight_bytes: usize,
+}
+
+/// The mutable half of a registry entry, behind the entry's own mutex.
+struct EntryState {
+    /// The serving version; `None` while evicted.
+    current: Option<Arc<ModelVersion>>,
+    /// Monotonic version counter; 1 is the first load.
+    version: u64,
+    arch: String,
+    scale: usize,
+    /// FNV-1a over the serialized artifact bytes of the current version.
+    fingerprint: u64,
+    weight_bytes: usize,
+    /// Times this model was drained by the memory budget.
+    evictions: u64,
+    /// Successful hot-swaps (reloads that replaced a serving version).
+    swaps: u64,
+    /// LRU clock stamp of the last routed request (or load).
+    last_used: u64,
+    /// Folded final stats of every drained version, so a model's serving
+    /// record survives hot-swaps and evictions.
+    retired: Option<RuntimeStats>,
+}
+
+/// One named model in the registry.
+struct ModelEntry {
+    name: String,
+    /// Artifact path for path-backed models; `None` pins an in-memory
+    /// registration resident (it cannot be reloaded or evicted).
+    source: Option<PathBuf>,
+    state: Mutex<EntryState>,
+}
+
+struct Inner {
+    config: RouterConfig,
+    models: Mutex<HashMap<String, Arc<ModelEntry>>>,
+    shutdown: AtomicBool,
+    /// LRU clock: bumped on every routed request and load.
+    clock: AtomicU64,
+}
+
+/// A fleet of named serving engines behind one routing surface.
+///
+/// * **Routing** — [`ModelRouter::submit_wait_timeout`] routes a request
+///   to the model it names; an unknown name is a typed
+///   [`RouterError::UnknownModel`].
+/// * **Hot-swap** — [`ModelRouter::reload`] builds the *new* version
+///   completely (read, decode, spawn runtime) before touching the
+///   serving one, then swaps the `Arc` so new intake lands on the new
+///   version instantly, and only then drains the old runtime to its last
+///   in-flight ticket. A failed load returns [`RouterError::Load`] and
+///   the serving version keeps serving — zero downtime either way.
+/// * **Memory accounting** — each model is charged its packed-weight
+///   bytes (the serialized artifact size) plus the live planned-executor
+///   workspace bytes of its worker pool; over a configured budget the
+///   least-recently-used path-backed models are drained and evicted, and
+///   lazily reloaded on their next request.
+///
+/// Cloning the router clones a handle to the same fleet (the registry is
+/// internally `Arc`-shared); [`ModelRouter::shutdown`] drains every model
+/// and is idempotent across handles.
+#[derive(Clone)]
+pub struct ModelRouter {
+    inner: Arc<Inner>,
+}
+
+/// Everything the router knows about one model: identity, state, memory
+/// charges, and the serving counters folded across every version it has
+/// run (live and drained).
+#[derive(Debug, Clone)]
+pub struct ModelStats {
+    /// Registered name (unique; the routing key).
+    pub name: String,
+    /// Architecture name of the loaded model.
+    pub arch: String,
+    /// Upscaling factor of the loaded model.
+    pub scale: usize,
+    /// Monotonic version counter; each successful (re)load increments it.
+    pub version: u64,
+    /// FNV-1a fingerprint of the current version's artifact bytes.
+    pub fingerprint: u64,
+    /// Whether a runtime is resident.
+    pub state: ModelState,
+    /// Packed-weight bytes (serialized artifact size) of the current
+    /// version.
+    pub weight_bytes: usize,
+    /// Bytes currently charged against the budget: weight bytes plus the
+    /// live worker workspaces. Zero while evicted.
+    pub resident_bytes: usize,
+    /// Times the memory budget drained this model.
+    pub evictions: u64,
+    /// Successful hot-swaps.
+    pub swaps: u64,
+    /// Whether the model can be reloaded (and therefore evicted): true
+    /// exactly for path-backed registrations.
+    pub reloadable: bool,
+    /// Serving counters folded across every version of this model, or
+    /// `None` when nothing has ever been loaded (unreachable through the
+    /// public API — registration always loads).
+    pub runtime: Option<RuntimeStats>,
+}
+
+/// A point-in-time (or final, from [`ModelRouter::shutdown`]) fleet
+/// report: one [`ModelStats`] per registered model, sorted by name.
+#[derive(Debug, Clone)]
+pub struct RouterStats {
+    /// Per-model reports, sorted by name.
+    pub models: Vec<ModelStats>,
+}
+
+impl RouterStats {
+    /// Fold every model's serving counters into one [`RuntimeStats`] —
+    /// the fleet's aggregate record, shaped like a single runtime's so
+    /// existing single-model tooling can consume it. Zeroed when the
+    /// fleet is empty.
+    #[must_use]
+    pub fn merged_runtime(&self) -> RuntimeStats {
+        let mut acc: Option<RuntimeStats> = None;
+        for model in &self.models {
+            if let Some(stats) = &model.runtime {
+                acc = Some(fold_runtime(acc, stats));
+            }
+        }
+        acc.unwrap_or_else(|| RuntimeStats {
+            workers: 0,
+            backend: scales_tensor::backend::Backend::Scalar,
+            simd: scales_tensor::SimdLevel::None,
+            max_batch: 0,
+            submitted: 0,
+            rejected: 0,
+            completed: 0,
+            failed: 0,
+            images: 0,
+            dispatches: 0,
+            coalesced: 0,
+            queue_depth: 0,
+            queue_high_water: 0,
+            workspace_bytes: 0,
+            batch_fill: 0.0,
+            busy: Duration::ZERO,
+            elapsed: Duration::ZERO,
+            latency: scales_runtime::LatencyHistogram::default(),
+        })
+    }
+}
+
+/// Fold `s` into `acc`: counters and latency add, high-water marks take
+/// the max, `workspace_bytes` takes the latest (`s` wins — callers fold
+/// retired versions first, then the live one).
+#[allow(clippy::cast_precision_loss)]
+fn fold_runtime(acc: Option<RuntimeStats>, s: &RuntimeStats) -> RuntimeStats {
+    let Some(mut a) = acc else { return s.clone() };
+    a.workers = a.workers.max(s.workers);
+    a.max_batch = a.max_batch.max(s.max_batch);
+    a.submitted += s.submitted;
+    a.rejected += s.rejected;
+    a.completed += s.completed;
+    a.failed += s.failed;
+    a.images += s.images;
+    a.dispatches += s.dispatches;
+    a.coalesced += s.coalesced;
+    a.queue_depth += s.queue_depth;
+    a.queue_high_water = a.queue_high_water.max(s.queue_high_water);
+    a.workspace_bytes = s.workspace_bytes;
+    a.batch_fill = if a.dispatches == 0 || a.max_batch == 0 {
+        0.0
+    } else {
+        a.images as f64 / (a.dispatches as f64 * a.max_batch as f64)
+    };
+    a.busy += s.busy;
+    a.elapsed += s.elapsed;
+    a.latency.merge(&s.latency);
+    a
+}
+
+/// What a successful artifact load produced, before it is installed.
+struct LoadedVersion {
+    version: Arc<ModelVersion>,
+    arch: String,
+    scale: usize,
+    fingerprint: u64,
+    weight_bytes: usize,
+}
+
+impl ModelRouter {
+    /// Create an empty fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed error when the embedded runtime sizing is invalid.
+    pub fn new(config: RouterConfig) -> Result<Self, RouterError> {
+        config.validate()?;
+        Ok(Self {
+            inner: Arc::new(Inner {
+                config,
+                models: Mutex::new(HashMap::new()),
+                shutdown: AtomicBool::new(false),
+                clock: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The fleet configuration.
+    #[must_use]
+    pub fn config(&self) -> RouterConfig {
+        self.inner.config
+    }
+
+    /// Register a model from a `scales-io` artifact file (checkpoint or
+    /// deployed artifact). Path-backed models are **reloadable** — a
+    /// later [`ModelRouter::reload`] hot-swaps whatever the file then
+    /// holds — and **evictable** under the memory budget.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::InvalidName`], [`RouterError::DuplicateModel`],
+    /// [`RouterError::Load`] when the file cannot be read/decoded or the
+    /// runtime cannot spawn, and [`RouterError::ShuttingDown`].
+    pub fn register_path(
+        &self,
+        name: &str,
+        path: impl Into<PathBuf>,
+    ) -> Result<ModelStats, RouterError> {
+        validate_name(name)?;
+        let path = path.into();
+        let loaded = self.load_version(name, &path)?;
+        self.install(name, Some(path), loaded)
+    }
+
+    /// Register an in-memory deployed model. In-memory models are
+    /// **pinned**: they have no artifact path to reload from, so they are
+    /// never evicted and [`ModelRouter::reload`] refuses them with
+    /// [`RouterError::NotReloadable`]. The fingerprint and weight bytes
+    /// are taken from the model's serialized artifact form.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::InvalidName`], [`RouterError::DuplicateModel`],
+    /// [`RouterError::Load`] when the engine or runtime cannot be built,
+    /// and [`RouterError::ShuttingDown`].
+    pub fn register_model(
+        &self,
+        name: &str,
+        model: scales_models::DeployedNetwork,
+    ) -> Result<ModelStats, RouterError> {
+        validate_name(name)?;
+        let bytes = scales_io::artifact_to_bytes(&model);
+        let fingerprint = scales_io::fingerprint(&bytes);
+        let weight_bytes = bytes.len();
+        let arch = model.name().to_string();
+        let scale = model.scale();
+        let version = self.spawn_version(name, model, weight_bytes)?;
+        self.install(
+            name,
+            None,
+            LoadedVersion { version, arch, scale, fingerprint, weight_bytes },
+        )
+    }
+
+    /// Route one request to the model named `name`, bounding the whole
+    /// round trip by `timeout` exactly as
+    /// [`Runtime::submit_wait_timeout`] does. An evicted path-backed
+    /// model is transparently reloaded first (the caller pays the load
+    /// latency of its own cold request).
+    ///
+    /// The nested result separates the layers: the outer
+    /// [`RouterError`] is the router or runtime refusing the request, the
+    /// inner result is the serving outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::UnknownModel`], [`RouterError::Load`] when a lazy
+    /// reload fails, [`RouterError::Submit`] for runtime refusals, and
+    /// [`RouterError::ShuttingDown`].
+    pub fn submit_wait_timeout(
+        &self,
+        name: &str,
+        request: SrRequest,
+        timeout: Duration,
+    ) -> Result<scales_tensor::Result<SrResponse>, RouterError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(RouterError::ShuttingDown);
+        }
+        let entry = self.entry(name)?;
+        let mut reloaded = false;
+        let version = {
+            let mut st = lock(&entry.state);
+            st.last_used = self.inner.clock.fetch_add(1, Ordering::Relaxed);
+            match &st.current {
+                Some(v) => Arc::clone(v),
+                None => {
+                    // Lazily re-admit an evicted model from its source.
+                    let source = entry
+                        .source
+                        .clone()
+                        .ok_or_else(|| RouterError::NotReloadable { name: name.into() })?;
+                    let loaded = self.load_version(name, &source)?;
+                    st.version += 1;
+                    st.arch = loaded.arch;
+                    st.scale = loaded.scale;
+                    st.fingerprint = loaded.fingerprint;
+                    st.weight_bytes = loaded.weight_bytes;
+                    st.current = Some(Arc::clone(&loaded.version));
+                    reloaded = true;
+                    loaded.version
+                }
+            }
+        };
+        let outcome = version.runtime.submit_wait_timeout(request, timeout);
+        // Dropping `version` releases this request's hold on the `Arc` —
+        // that is what lets a concurrent swap's drain proceed, and it
+        // must happen before any budget sweep this thread runs (draining
+        // a version while holding a clone of it would never terminate).
+        drop(version);
+        if reloaded {
+            // The re-admitted bytes may have pushed the fleet back over
+            // budget; evict colder models, never the one just used.
+            self.enforce_budget(Some(name));
+        }
+        outcome.map_err(RouterError::Submit)
+    }
+
+    /// Hot-swap `name` to whatever its artifact file currently holds,
+    /// with zero downtime:
+    ///
+    /// 1. the new version is built completely first — file read, decode,
+    ///    engine build, runtime spawn — while the old version keeps
+    ///    serving; a failure at any point returns [`RouterError::Load`]
+    ///    and changes nothing;
+    /// 2. the serving `Arc` is swapped under the entry lock, so every
+    ///    request routed from that instant on lands on the new version;
+    /// 3. the old version is drained: the swap waits for in-flight
+    ///    submitters to release their clones, then shuts the old runtime
+    ///    down and folds its final stats into the model's record. Every
+    ///    request the old version accepted is served, never dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::UnknownModel`], [`RouterError::NotReloadable`] for
+    /// in-memory registrations, [`RouterError::Load`], and
+    /// [`RouterError::ShuttingDown`].
+    pub fn reload(&self, name: &str) -> Result<ModelStats, RouterError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(RouterError::ShuttingDown);
+        }
+        let entry = self.entry(name)?;
+        let source = entry
+            .source
+            .clone()
+            .ok_or_else(|| RouterError::NotReloadable { name: name.into() })?;
+        let loaded = self.load_version(name, &source)?;
+        let old = {
+            let mut st = lock(&entry.state);
+            st.version += 1;
+            st.arch = loaded.arch;
+            st.scale = loaded.scale;
+            st.fingerprint = loaded.fingerprint;
+            st.weight_bytes = loaded.weight_bytes;
+            st.last_used = self.inner.clock.fetch_add(1, Ordering::Relaxed);
+            let old = st.current.replace(loaded.version);
+            if old.is_some() {
+                st.swaps += 1;
+            }
+            old
+        };
+        if let Some(old) = old {
+            let final_stats = drain(old);
+            let mut st = lock(&entry.state);
+            st.retired = Some(fold_runtime(st.retired.take(), &final_stats));
+        }
+        self.enforce_budget(Some(name));
+        Ok(self.snapshot(&entry))
+    }
+
+    /// Per-model reports for every registered model, sorted by name.
+    #[must_use]
+    pub fn list(&self) -> Vec<ModelStats> {
+        let entries: Vec<Arc<ModelEntry>> =
+            lock(&self.inner.models).values().cloned().collect();
+        let mut models: Vec<ModelStats> =
+            entries.iter().map(|e| self.snapshot(e)).collect();
+        models.sort_by(|a, b| a.name.cmp(&b.name));
+        models
+    }
+
+    /// The report for one model.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::UnknownModel`].
+    pub fn model(&self, name: &str) -> Result<ModelStats, RouterError> {
+        let entry = self.entry(name)?;
+        Ok(self.snapshot(&entry))
+    }
+
+    /// A live fleet snapshot.
+    #[must_use]
+    pub fn stats(&self) -> RouterStats {
+        RouterStats { models: self.list() }
+    }
+
+    /// Bytes currently charged against the memory budget across the
+    /// fleet (resident models only).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.list().iter().map(|m| m.resident_bytes).sum()
+    }
+
+    /// Render the fleet's per-model serving record in the Prometheus
+    /// text exposition format: request counters, latency histograms,
+    /// eviction/swap counters, memory gauges, and an info series — every
+    /// line labeled `model="<name>"`, one `# HELP`/`# TYPE` block per
+    /// metric. This is what the HTTP front end's `GET /metrics` serves
+    /// in fleet mode (plus its own connection counters). Empty fleet →
+    /// empty string.
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        /// Metric name, help text, and per-model value extractor.
+        type MetricColumn = (&'static str, &'static str, fn(&ModelStats) -> u64);
+        let models = self.list();
+        if models.is_empty() {
+            return String::new();
+        }
+        let mut out = String::with_capacity(4096 * models.len());
+        let counters: [MetricColumn; 7] = [
+            (
+                "scales_model_requests_submitted_total",
+                "Requests accepted for this model across all versions.",
+                |m| m.runtime.as_ref().map_or(0, |r| r.submitted),
+            ),
+            (
+                "scales_model_requests_completed_total",
+                "Requests served successfully for this model across all versions.",
+                |m| m.runtime.as_ref().map_or(0, |r| r.completed),
+            ),
+            (
+                "scales_model_requests_failed_total",
+                "Requests resolved with an error for this model.",
+                |m| m.runtime.as_ref().map_or(0, |r| r.failed),
+            ),
+            (
+                "scales_model_requests_rejected_total",
+                "Requests rejected at submission for this model.",
+                |m| m.runtime.as_ref().map_or(0, |r| r.rejected),
+            ),
+            (
+                "scales_model_images_total",
+                "Images served by this model across all versions.",
+                |m| m.runtime.as_ref().map_or(0, |r| r.images),
+            ),
+            (
+                "scales_model_evictions_total",
+                "Times the memory budget drained this model.",
+                |m| m.evictions,
+            ),
+            (
+                "scales_model_swaps_total",
+                "Hot-swaps that replaced a serving version of this model.",
+                |m| m.swaps,
+            ),
+        ];
+        for (metric, help, value) in counters {
+            let _ = writeln!(out, "# HELP {metric} {help}\n# TYPE {metric} counter");
+            for m in &models {
+                let _ = writeln!(out, "{metric}{{model=\"{}\"}} {}", m.name, value(m));
+            }
+        }
+        let gauges: [MetricColumn; 4] = [
+            (
+                "scales_model_memory_bytes",
+                "Bytes charged against the budget (weights + live workspaces).",
+                |m| m.resident_bytes as u64,
+            ),
+            (
+                "scales_model_weight_bytes",
+                "Packed-weight bytes (serialized artifact size) of the current version.",
+                |m| m.weight_bytes as u64,
+            ),
+            ("scales_model_version", "Monotonic version counter of the model's loads.", |m| {
+                m.version
+            }),
+            ("scales_model_serving", "1 while a runtime is resident, 0 while evicted.", |m| {
+                u64::from(m.state == ModelState::Serving)
+            }),
+        ];
+        for (metric, help, value) in gauges {
+            let _ = writeln!(out, "# HELP {metric} {help}\n# TYPE {metric} gauge");
+            for m in &models {
+                let _ = writeln!(out, "{metric}{{model=\"{}\"}} {}", m.name, value(m));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP scales_model_info Model identity (constant 1; labels carry the info).\n\
+             # TYPE scales_model_info gauge"
+        );
+        for m in &models {
+            let _ = writeln!(
+                out,
+                "scales_model_info{{model=\"{}\",arch=\"{}\",scale=\"{}\",fingerprint=\"{:016x}\",state=\"{}\"}} 1",
+                m.name, m.arch, m.scale, m.fingerprint, m.state
+            );
+        }
+        let name = "scales_model_request_latency_seconds";
+        let _ = writeln!(
+            out,
+            "# HELP {name} End-to-end request latency per model (enqueue to ticket resolution).\n\
+             # TYPE {name} histogram"
+        );
+        for m in &models {
+            let Some(stats) = &m.runtime else { continue };
+            let mut cumulative = 0u64;
+            for (i, &count) in stats.latency.bucket_counts().iter().enumerate() {
+                cumulative += count;
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{model=\"{}\",le=\"{}\"}} {cumulative}",
+                    m.name,
+                    scales_runtime::LatencyHistogram::bucket_bound(i).as_secs_f64()
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{model=\"{}\",le=\"+Inf\"}} {}",
+                m.name,
+                stats.latency.count()
+            );
+            let _ = writeln!(
+                out,
+                "{name}_sum{{model=\"{}\"}} {}",
+                m.name,
+                stats.latency.sum().as_secs_f64()
+            );
+            let _ =
+                writeln!(out, "{name}_count{{model=\"{}\"}} {}", m.name, stats.latency.count());
+        }
+        out
+    }
+
+    /// Drain the whole fleet: refuse new work and new models, shut every
+    /// resident runtime down gracefully (every accepted ticket resolves),
+    /// and return the final per-model reports. Idempotent across handles:
+    /// later calls return the same final record.
+    #[must_use = "the final per-model stats are the fleet's serving record"]
+    pub fn shutdown(&self) -> RouterStats {
+        self.inner.shutdown.store(true, Ordering::Release);
+        let entries: Vec<Arc<ModelEntry>> =
+            lock(&self.inner.models).values().cloned().collect();
+        for entry in &entries {
+            let old = lock(&entry.state).current.take();
+            if let Some(old) = old {
+                let final_stats = drain(old);
+                let mut st = lock(&entry.state);
+                st.retired = Some(fold_runtime(st.retired.take(), &final_stats));
+            }
+        }
+        self.stats()
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    fn entry(&self, name: &str) -> Result<Arc<ModelEntry>, RouterError> {
+        lock(&self.inner.models)
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RouterError::UnknownModel { name: name.into() })
+    }
+
+    /// Read + decode + spawn a runtime for the artifact at `path` —
+    /// everything a (re)load pays, entirely off the serving path.
+    fn load_version(&self, name: &str, path: &Path) -> Result<LoadedVersion, RouterError> {
+        let fail = |detail: String| RouterError::Load { name: name.into(), detail };
+        let bytes =
+            std::fs::read(path).map_err(|e| fail(format!("reading {}: {e}", path.display())))?;
+        let fingerprint = scales_io::fingerprint(&bytes);
+        let weight_bytes = bytes.len();
+        let kind = scales_io::sniff_kind(&bytes).map_err(|e| fail(e.to_string()))?;
+        match kind {
+            scales_io::ArtifactKind::Checkpoint => {
+                let net =
+                    scales_io::checkpoint_from_bytes(&bytes).map_err(|e| fail(e.to_string()))?;
+                let arch = net.arch().name().to_string();
+                let scale = SrNetwork::scale(&net);
+                let version = self.spawn_version(name, net, weight_bytes)?;
+                Ok(LoadedVersion { version, arch, scale, fingerprint, weight_bytes })
+            }
+            scales_io::ArtifactKind::Deployed => {
+                let net =
+                    scales_io::artifact_from_bytes(&bytes).map_err(|e| fail(e.to_string()))?;
+                let arch = net.name().to_string();
+                let scale = net.scale();
+                let version = self.spawn_version(name, net, weight_bytes)?;
+                Ok(LoadedVersion { version, arch, scale, fingerprint, weight_bytes })
+            }
+        }
+    }
+
+    /// Build an engine around `model` (deployed precision by default,
+    /// with the builder's documented training fallback) and spawn its
+    /// runtime worker pool.
+    fn spawn_version<M: scales_models::InferModel + 'static>(
+        &self,
+        name: &str,
+        model: M,
+        weight_bytes: usize,
+    ) -> Result<Arc<ModelVersion>, RouterError> {
+        let fail = |detail: String| RouterError::Load { name: name.into(), detail };
+        let engine = Engine::builder().model(model).build().map_err(|e| fail(e.to_string()))?;
+        let runtime =
+            Runtime::spawn(engine, self.inner.config.runtime).map_err(|e| fail(e.to_string()))?;
+        Ok(Arc::new(ModelVersion { runtime, weight_bytes }))
+    }
+
+    /// Insert a freshly loaded model under `name`, then let the budget
+    /// sweep evict colder models if the admission pushed the fleet over.
+    fn install(
+        &self,
+        name: &str,
+        source: Option<PathBuf>,
+        loaded: LoadedVersion,
+    ) -> Result<ModelStats, RouterError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            // The fresh runtime served nothing; drain it quietly.
+            let _ = drain(loaded.version);
+            return Err(RouterError::ShuttingDown);
+        }
+        let entry = Arc::new(ModelEntry {
+            name: name.to_string(),
+            source,
+            state: Mutex::new(EntryState {
+                current: Some(loaded.version),
+                version: 1,
+                arch: loaded.arch,
+                scale: loaded.scale,
+                fingerprint: loaded.fingerprint,
+                weight_bytes: loaded.weight_bytes,
+                evictions: 0,
+                swaps: 0,
+                last_used: self.inner.clock.fetch_add(1, Ordering::Relaxed),
+                retired: None,
+            }),
+        });
+        {
+            let mut models = lock(&self.inner.models);
+            if models.contains_key(name) {
+                // Lost a registration race: the runtime we spawned for
+                // nothing is drained outside the map lock.
+                drop(models);
+                if let Some(v) = lock(&entry.state).current.take() {
+                    let _ = drain(v);
+                }
+                return Err(RouterError::DuplicateModel { name: name.into() });
+            }
+            models.insert(name.to_string(), Arc::clone(&entry));
+        }
+        self.enforce_budget(Some(name));
+        Ok(self.snapshot(&entry))
+    }
+
+    fn snapshot(&self, entry: &ModelEntry) -> ModelStats {
+        let st = lock(&entry.state);
+        let (state, resident_bytes, live) = match &st.current {
+            Some(v) => {
+                let stats = v.runtime.stats();
+                (ModelState::Serving, v.weight_bytes + stats.workspace_bytes, Some(stats))
+            }
+            None => (ModelState::Evicted, 0, None),
+        };
+        let mut runtime = st.retired.clone();
+        if let Some(live) = &live {
+            runtime = Some(fold_runtime(runtime, live));
+        }
+        ModelStats {
+            name: entry.name.clone(),
+            arch: st.arch.clone(),
+            scale: st.scale,
+            version: st.version,
+            fingerprint: st.fingerprint,
+            state,
+            weight_bytes: st.weight_bytes,
+            resident_bytes,
+            evictions: st.evictions,
+            swaps: st.swaps,
+            reloadable: entry.source.is_some(),
+            runtime,
+        }
+    }
+
+    /// While the fleet's resident bytes exceed the budget, drain the
+    /// least-recently-used path-backed model. In-memory registrations are
+    /// pinned, and `protect` (the model the caller just loaded or used)
+    /// is never the victim — both to keep the hottest model resident and
+    /// because the caller may still hold its version `Arc`. When only
+    /// pinned/protected models remain over budget the sweep stops: the
+    /// budget is a target, not an admission refusal — the newest load
+    /// always serves.
+    fn enforce_budget(&self, protect: Option<&str>) {
+        let Some(budget) = self.inner.config.memory_budget else { return };
+        loop {
+            let entries: Vec<Arc<ModelEntry>> =
+                lock(&self.inner.models).values().cloned().collect();
+            let mut total = 0usize;
+            let mut coldest: Option<(u64, Arc<ModelEntry>)> = None;
+            for entry in &entries {
+                let st = lock(&entry.state);
+                let Some(v) = &st.current else { continue };
+                total += st.weight_bytes + v.runtime.stats().workspace_bytes;
+                if entry.source.is_some() && protect != Some(entry.name.as_str()) {
+                    let colder = coldest.as_ref().is_none_or(|(used, _)| st.last_used < *used);
+                    if colder {
+                        coldest = Some((st.last_used, Arc::clone(entry)));
+                    }
+                }
+            }
+            if total <= budget {
+                return;
+            }
+            let Some((_, victim)) = coldest else { return };
+            let Some(old) = lock(&victim.state).current.take() else { continue };
+            let final_stats = drain(old);
+            let mut st = lock(&victim.state);
+            st.evictions += 1;
+            st.retired = Some(fold_runtime(st.retired.take(), &final_stats));
+        }
+    }
+}
+
+/// Wait for every in-flight submitter to release its clone of `version`,
+/// then drain the runtime gracefully and return its final stats. This is
+/// the zero-drop guarantee: a submitter holding the `Arc` keeps the
+/// runtime alive until its request resolves, so a swap or eviction never
+/// refuses work that was already routed here.
+fn drain(mut version: Arc<ModelVersion>) -> RuntimeStats {
+    loop {
+        match Arc::try_unwrap(version) {
+            Ok(sole) => return sole.runtime.shutdown(),
+            Err(shared) => {
+                version = shared;
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }
+    }
+}
+
+/// Names embed in URLs, Prometheus labels and JSON unescaped, so the
+/// alphabet is locked down at registration.
+fn validate_name(name: &str) -> Result<(), RouterError> {
+    let fail = |reason| RouterError::InvalidName { name: name.into(), reason };
+    if name.is_empty() {
+        return Err(fail("must not be empty"));
+    }
+    if name.len() > 64 {
+        return Err(fail("must be at most 64 characters"));
+    }
+    if !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-') {
+        return Err(fail("allowed characters are A-Z a-z 0-9 . _ -"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_handle_is_send_sync_and_clonable() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<ModelRouter>();
+    }
+
+    #[test]
+    fn names_are_validated_at_registration() {
+        for bad in ["", "has space", "sla/sh", "ünïcode", &"x".repeat(65) as &str] {
+            assert!(
+                matches!(validate_name(bad), Err(RouterError::InvalidName { .. })),
+                "{bad:?} must be rejected"
+            );
+        }
+        for good in ["edsr", "edsr-x4.v2", "A_B-c.9"] {
+            assert!(validate_name(good).is_ok(), "{good:?} must be accepted");
+        }
+    }
+
+    #[test]
+    fn invalid_runtime_sizing_is_rejected_at_construction() {
+        let bad = RouterConfig {
+            runtime: RuntimeConfig { workers: 0, ..RuntimeConfig::default() },
+            ..RouterConfig::default()
+        };
+        assert!(ModelRouter::new(bad).is_err());
+    }
+
+    #[test]
+    fn merged_runtime_of_an_empty_fleet_is_zeroed() {
+        let stats = RouterStats { models: Vec::new() }.merged_runtime();
+        assert_eq!(stats.submitted, 0);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.latency.count(), 0);
+    }
+
+    #[test]
+    fn folding_runtime_stats_accumulates_counters() {
+        let zero = RouterStats { models: Vec::new() }.merged_runtime();
+        let mut a = zero.clone();
+        a.workers = 2;
+        a.max_batch = 8;
+        a.submitted = 10;
+        a.completed = 9;
+        a.images = 18;
+        a.dispatches = 3;
+        a.queue_high_water = 5;
+        a.workspace_bytes = 100;
+        let mut b = zero;
+        b.workers = 1;
+        b.max_batch = 8;
+        b.submitted = 5;
+        b.completed = 5;
+        b.images = 6;
+        b.dispatches = 3;
+        b.queue_high_water = 2;
+        b.workspace_bytes = 700;
+        let folded = fold_runtime(Some(a), &b);
+        assert_eq!(folded.workers, 2, "workers take the max");
+        assert_eq!(folded.submitted, 15);
+        assert_eq!(folded.completed, 14);
+        assert_eq!(folded.images, 24);
+        assert_eq!(folded.queue_high_water, 5);
+        assert_eq!(folded.workspace_bytes, 700, "latest fold wins the gauge");
+        let expected_fill = 24.0 / (6.0 * 8.0);
+        assert!((folded.batch_fill - expected_fill).abs() < 1e-12);
+    }
+}

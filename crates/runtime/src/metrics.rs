@@ -172,6 +172,9 @@ pub(crate) struct WorkerShard {
     pub coalesced: u64,
     /// Wall time spent inside `Session::infer`.
     pub busy: Duration,
+    /// Bytes resident in this worker's session workspace (arena slots +
+    /// cached plans), re-sampled after every dispatch.
+    pub workspace_bytes: usize,
     /// End-to-end request latency (enqueue → resolution).
     pub latency: LatencyHistogram,
 }
@@ -184,6 +187,7 @@ impl WorkerShard {
         self.dispatches += other.dispatches;
         self.coalesced += other.coalesced;
         self.busy += other.busy;
+        self.workspace_bytes += other.workspace_bytes;
         self.latency.merge(&other.latency);
     }
 }
@@ -223,6 +227,10 @@ pub struct RuntimeStats {
     pub queue_depth: usize,
     /// Deepest the queue has been.
     pub queue_high_water: usize,
+    /// Bytes resident across the workers' planned-executor workspaces
+    /// (arena slots + cached plans) — the runtime's live plan-cache
+    /// memory, summed over worker sessions at their last dispatch.
+    pub workspace_bytes: usize,
     /// Mean images per dispatch relative to `max_batch`:
     /// `images / (dispatches × max_batch)`. Can exceed 1.0 when single
     /// requests are larger than `max_batch`.
@@ -320,6 +328,11 @@ impl RuntimeStats {
             "scales_runtime_queue_high_water",
             "Deepest the queue has been.",
             self.queue_high_water.to_string(),
+        );
+        gauge(
+            "scales_runtime_workspace_bytes",
+            "Bytes resident across worker planned-executor workspaces.",
+            self.workspace_bytes.to_string(),
         );
         gauge(
             "scales_runtime_batch_fill",
@@ -499,6 +512,7 @@ mod tests {
             coalesced: 6,
             queue_depth: 0,
             queue_high_water: 5,
+            workspace_bytes: 4096,
             batch_fill: 0.75,
             busy: Duration::from_millis(20),
             elapsed: Duration::from_millis(100),
@@ -543,6 +557,9 @@ scales_runtime_queue_depth 0
 # HELP scales_runtime_queue_high_water Deepest the queue has been.
 # TYPE scales_runtime_queue_high_water gauge
 scales_runtime_queue_high_water 5
+# HELP scales_runtime_workspace_bytes Bytes resident across worker planned-executor workspaces.
+# TYPE scales_runtime_workspace_bytes gauge
+scales_runtime_workspace_bytes 4096
 # HELP scales_runtime_batch_fill Mean images per dispatch relative to max_batch.
 # TYPE scales_runtime_batch_fill gauge
 scales_runtime_batch_fill 0.75
@@ -599,6 +616,7 @@ scales_runtime_info{backend=\"scalar\",simd=\"none\"} 1
             coalesced: 6,
             queue_depth: 0,
             queue_high_water: 5,
+            workspace_bytes: 0,
             batch_fill: 0.75,
             busy: Duration::from_millis(20),
             elapsed: Duration::from_millis(100),

@@ -518,6 +518,9 @@ fn serve_dispatch(inner: &Inner, worker: usize, session: &Session<'_, 'static>, 
     let mut shard = lock(&inner.shards[worker]);
     shard.dispatches += 1;
     shard.busy += busy;
+    // Re-sample (not accumulate): capacity only ever grows, so the latest
+    // reading is this worker's current resident footprint.
+    shard.workspace_bytes = session.workspace_bytes();
     if entries.len() > 1 {
         shard.coalesced += entries.len() as u64;
     }
@@ -582,6 +585,7 @@ fn snapshot(inner: &Inner) -> RuntimeStats {
         coalesced: agg.coalesced,
         queue_depth,
         queue_high_water,
+        workspace_bytes: agg.workspace_bytes,
         batch_fill,
         busy: agg.busy,
         elapsed: inner.started.elapsed(),

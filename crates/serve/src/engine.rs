@@ -151,6 +151,10 @@ impl<'m> EngineBuilder<'m> {
     /// substituting the deployed one would hide a numerics difference of
     /// up to `1e-4`).
     pub fn build(self) -> Result<Engine<'m>> {
+        // Cheap configuration checks come first: an invalid tile policy
+        // must never pay an artifact read/decode (or any other expensive
+        // resolution) before being reported.
+        self.tile.validate()?;
         let model: Box<dyn InferModel + 'm> = match (self.model, self.model_path) {
             (Some(_), Some(_)) => {
                 return Err(TensorError::InvalidArgument(
@@ -182,7 +186,6 @@ impl<'m> EngineBuilder<'m> {
                 return Err(TensorError::InvalidArgument("engine needs a model".into()))
             }
         };
-        self.tile.validate()?;
         let scale = model.scale();
         let (lowered, effective, fallback) = match self.precision {
             Precision::Training if model.is_deployed() => {
@@ -325,5 +328,29 @@ mod tests {
         assert_sync::<Engine<'static>>();
         assert_send::<&Engine<'static>>();
         assert_send::<crate::Session<'static, 'static>>();
+    }
+
+    /// An invalid tile policy must be reported before the artifact file is
+    /// even opened: the path below does not exist, so reaching the loader
+    /// would surface an I/O error instead of the tile error we require.
+    #[test]
+    fn invalid_tile_policy_errors_before_artifact_io() {
+        let dir = std::env::temp_dir()
+            .join(format!("scales-engine-no-io-{}", std::process::id()));
+        let missing = dir.join("definitely-not-created.sca");
+        assert!(!missing.exists(), "precondition: the artifact path must not exist");
+        let built = Engine::builder()
+            .model_path(&missing)
+            .tile_policy(TilePolicy::Auto { max_side: 4, overlap: 4 })
+            .build();
+        let Err(err) = built else {
+            panic!("an invalid tile policy must fail the build")
+        };
+        let text = err.to_string();
+        assert!(text.contains("overlap"), "tile validation must win: {text}");
+        assert!(
+            !text.contains("artifact"),
+            "the loader must not have run for an invalid tile policy: {text}"
+        );
     }
 }

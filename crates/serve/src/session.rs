@@ -50,6 +50,13 @@ impl<'e, 'm> Session<'e, 'm> {
         self.images_served.get()
     }
 
+    /// Bytes resident in this session's planned-executor workspace (arena
+    /// slots plus cached plans); zero until the first deployed forward.
+    #[must_use]
+    pub fn workspace_bytes(&self) -> usize {
+        self.workspace.borrow().memory_bytes()
+    }
+
     /// Serve one request: every image is either tiled (split → forward →
     /// stitch) or grouped into a same-shape micro-batch, per the tile
     /// policy in force (request override, else engine default). All

@@ -26,32 +26,31 @@ pub use scales_models::Arch;
 /// hold a single kaiming weight) while lowering to materially different
 /// graphs.
 fn network_fingerprint(net: &dyn SrNetwork) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |byte: u64| {
-        h ^= byte;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    };
+    // Built on the shared `scales_io::Fnv1a` primitive with the exact
+    // historical mixing scheme — byte-wise over the identity string,
+    // whole-word over each parameter's bit pattern — so cache entries
+    // written before the hash moved into `scales-io` remain valid.
+    let mut h = scales_io::Fnv1a::new();
     let config = net.config();
-    for b in format!(
-        "{}/{}/{}x{}b{}",
-        net.arch().name(),
-        config.method,
-        config.scale,
-        config.channels,
-        config.blocks
-    )
-    .bytes()
-    {
-        mix(u64::from(b));
-    }
+    h.write(
+        format!(
+            "{}/{}/{}x{}b{}",
+            net.arch().name(),
+            config.method,
+            config.scale,
+            config.channels,
+            config.blocks
+        )
+        .as_bytes(),
+    );
     for p in net.params() {
         p.with_value(|t| {
             for v in t.data() {
-                mix(u64::from(v.to_bits()));
+                h.write_u64(u64::from(v.to_bits()));
             }
         });
     }
-    h
+    h.finish()
 }
 
 /// Lower `net` through an on-disk artifact cache. The entry lives at

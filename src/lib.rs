@@ -19,7 +19,8 @@
 //! | [`metrics`] | PSNR/SSIM, activation-variance analysis |
 //! | [`serve`] | the serving API: [`serve::Engine`] / [`serve::Session`] — one `infer` entry point for single/batch/tiled requests in training or deployed precision, per-engine backend |
 //! | [`runtime`] | the concurrent serving runtime: [`runtime::Runtime`] worker pool over one shared engine, bounded queue with typed backpressure, cross-request dynamic batching, [`runtime::metrics`] with p50/p99 latency and batch-fill [`runtime::RuntimeStats`] |
-//! | [`http`] | the network edge: [`http::HttpServer`], a std-only HTTP/1.1 front end over the runtime — hardened parser, `POST /v1/upscale` wire-image round trip, Prometheus `GET /metrics`, graceful drain |
+//! | [`router`] | multi-model serving: [`router::ModelRouter`] fleet of named engines — per-request routing, zero-downtime hot-swap of artifact versions, per-model memory accounting with LRU eviction |
+//! | [`http`] | the network edge: [`http::HttpServer`], a std-only HTTP/1.1 front end over the runtime or a model fleet — hardened parser, `POST /v1/upscale` and `/v1/models/{name}/...` wire-image round trips, Prometheus `GET /metrics`, graceful drain |
 //! | [`train`] | trainer, evaluator, experiment harness (legacy free-function serving wrappers in [`train::infer`]) |
 //!
 //! ## Serving engine
@@ -126,6 +127,7 @@ pub use scales_io as io;
 pub use scales_metrics as metrics;
 pub use scales_models as models;
 pub use scales_nn as nn;
+pub use scales_router as router;
 pub use scales_runtime as runtime;
 pub use scales_serve as serve;
 pub use scales_tensor as tensor;

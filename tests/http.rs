@@ -346,3 +346,251 @@ fn shutdown_drains_and_stops_accepting() {
         }
     });
 }
+
+/// Build a deployable network whose output is bitwise distinguishable
+/// per seed: freshly built nets all answer exactly the bicubic baseline
+/// (the tail conv is zero-initialised), so every parameter gets a tiny
+/// deterministic seed-dependent nudge — a stand-in for training.
+fn fleet_net(seed: u64) -> impl scales::models::SrNetwork {
+    use scales::nn::Module;
+    let net =
+        srresnet(SrConfig { channels: 8, blocks: 1, scale: 2, method: Method::scales(), seed })
+            .unwrap();
+    #[allow(clippy::cast_precision_loss)]
+    let nudge = (seed as f32) * 1e-5;
+    for p in net.params() {
+        p.update_value(|t| t.map_inplace(|v| v + nudge));
+    }
+    net
+}
+
+/// The fleet surface end to end: list as JSON, route by name
+/// byte-identically to a direct session over the same artifact, typed
+/// 404/405/409 refusals, a zero-downtime reload over the wire, and
+/// per-model Prometheus series.
+#[test]
+fn fleet_routes_lists_reloads_and_reports_per_model_metrics() {
+    use scales::models::SrNetwork;
+    use scales::router::{ModelRouter, RouterConfig};
+
+    with_watchdog(240, "fleet", || {
+        let dir = std::env::temp_dir().join(format!("scales-http-fleet-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let artifact = dir.join("alpha.dep.sca");
+        scales::io::save_artifact(&artifact, &fleet_net(71).lower().unwrap()).unwrap();
+
+        let router = ModelRouter::new(RouterConfig {
+            memory_budget: None,
+            runtime: RuntimeConfig { workers: 1, ..RuntimeConfig::default() },
+        })
+        .unwrap();
+        router.register_path("alpha", &artifact).unwrap();
+        router.register_model("beta", fleet_net(72).lower().unwrap()).unwrap();
+        let server = HttpServer::bind_router("127.0.0.1:0", router, HttpConfig::default()).unwrap();
+        let addr = server.addr();
+
+        // The fleet document is JSON with both models serving.
+        let (status, headers, body) = send(addr, b"GET /v1/models HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        assert_eq!(header(&headers, "content-type"), Some("application/json"));
+        let list = String::from_utf8(body).unwrap();
+        for needle in [
+            "\"name\":\"alpha\"",
+            "\"name\":\"beta\"",
+            "\"arch\":\"SRResNet\"",
+            "\"state\":\"serving\"",
+            "\"reloadable\":true",
+            "\"reloadable\":false",
+            "\"version\":1",
+        ] {
+            assert!(list.contains(needle), "fleet document must contain {needle}: {list}");
+        }
+
+        // Routing by name over the wire is byte-identical to a direct
+        // serial engine over the same artifact.
+        let posted = encode_image(&probe(10, 9, 8), WireFormat::Ppm).unwrap();
+        let (decoded, _) = decode_image(&posted).unwrap();
+        let direct = |path: &std::path::Path| {
+            let engine = Engine::builder().model_path(path).build().unwrap();
+            let out = engine.session().infer(SrRequest::single(decoded.clone())).unwrap();
+            encode_image(&out.images()[0], WireFormat::Ppm).unwrap()
+        };
+        let want_v1 = direct(&artifact);
+        let (status, _, wire) =
+            send(addr, &post_image("/v1/models/alpha/upscale", WireFormat::Ppm, &posted));
+        assert_eq!(status, 200, "body: {}", String::from_utf8_lossy(&wire));
+        assert_eq!(wire, want_v1, "routed response must match the direct engine byte-for-byte");
+
+        let (status, _, beta_wire) =
+            send(addr, &post_image("/v1/models/beta/upscale", WireFormat::Ppm, &posted));
+        assert_eq!(status, 200);
+        assert_ne!(beta_wire, want_v1, "the two models must answer differently");
+
+        // Typed refusals on the fleet surface.
+        let (status, _, body) =
+            send(addr, &post_image("/v1/models/nope/upscale", WireFormat::Ppm, &posted));
+        assert_eq!(status, 404, "unknown model: {}", String::from_utf8_lossy(&body));
+        let (status, _, body) = send(addr, &post_image("/v1/upscale", WireFormat::Ppm, &posted));
+        assert_eq!(status, 404, "single-runtime route in fleet mode: {}",
+            String::from_utf8_lossy(&body));
+        let (status, headers, _) =
+            send(addr, b"GET /v1/models/alpha/upscale HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 405);
+        assert_eq!(header(&headers, "allow"), Some("POST"));
+        let (status, _, body) =
+            send(addr, b"POST /v1/models/beta/reload HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n");
+        assert_eq!(status, 409, "pinned model reload: {}", String::from_utf8_lossy(&body));
+
+        // Hot-swap over the wire: replace the artifact, reload, and the
+        // route serves the new version.
+        scales::io::save_artifact(&artifact, &fleet_net(73).lower().unwrap()).unwrap();
+        let want_v2 = direct(&artifact);
+        assert_ne!(want_v1, want_v2, "the swapped artifact must be distinguishable");
+        let (status, _, body) =
+            send(addr, b"POST /v1/models/alpha/reload HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n");
+        let reloaded = String::from_utf8(body).unwrap();
+        assert_eq!(status, 200, "reload: {reloaded}");
+        assert!(reloaded.contains("\"version\":2"), "reload reports the new version: {reloaded}");
+        let (status, _, wire) =
+            send(addr, &post_image("/v1/models/alpha/upscale", WireFormat::Ppm, &posted));
+        assert_eq!(status, 200);
+        assert_eq!(wire, want_v2, "post-reload responses must be the new version");
+
+        // The scrape carries per-model series.
+        let (status, _, metrics) = send(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        let text = String::from_utf8(metrics).unwrap();
+        for needle in [
+            "scales_model_requests_completed_total{model=\"alpha\"}",
+            "scales_model_requests_completed_total{model=\"beta\"}",
+            "scales_model_memory_bytes{model=\"alpha\"}",
+            "scales_model_version{model=\"alpha\"} 2",
+            "scales_model_swaps_total{model=\"alpha\"} 1",
+            "scales_http_requests_total",
+        ] {
+            assert!(text.contains(needle), "metrics must contain {needle}");
+        }
+
+        let stats = server.shutdown();
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.completed, 3, "both alpha versions and beta served one upscale each");
+        std::fs::remove_dir_all(&dir).unwrap();
+    });
+}
+
+/// Regression (ISSUE 8 bugfix): an unroutable request that declares a
+/// body must get its final status *immediately* — no `100 Continue`
+/// inviting a doomed upload — and the connection closes so the unread
+/// body cannot desynchronize keep-alive framing.
+#[test]
+fn unroutable_requests_with_bodies_get_the_final_status_immediately() {
+    with_watchdog(120, "no-continue-on-unroutable", || {
+        let server = server(17);
+        let addr = server.addr();
+
+        // (label, request head declaring a body that is never sent, expected status)
+        let cases: [(&str, &str, u16); 3] = [
+            (
+                "unknown route",
+                "POST /nope HTTP/1.1\r\nHost: t\r\nExpect: 100-continue\r\nContent-Length: 64\r\n\r\n",
+                404,
+            ),
+            (
+                "wrong method on upscale",
+                "PUT /v1/upscale HTTP/1.1\r\nHost: t\r\nExpect: 100-continue\r\nContent-Length: 64\r\n\r\n",
+                405,
+            ),
+            (
+                "wrong method on metrics",
+                "POST /metrics HTTP/1.1\r\nHost: t\r\nContent-Length: 64\r\n\r\n",
+                405,
+            ),
+        ];
+        for (label, head, expected) in cases {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+            stream.write_all(head.as_bytes()).unwrap();
+            // The *first* thing on the wire is the final status — not 100.
+            let (status, headers, _) = read_response(&mut stream);
+            assert_eq!(status, expected, "{label}: final status, never an interim 100");
+            assert_eq!(
+                header(&headers, "connection"),
+                Some("close"),
+                "{label}: the unread body forces the connection closed"
+            );
+            // And the server really does close rather than waiting for
+            // the declared body.
+            let mut probe_buf = [0u8; 1];
+            assert_eq!(
+                stream.read(&mut probe_buf).unwrap_or(0),
+                0,
+                "{label}: connection must close without the body"
+            );
+        }
+
+        // The server is unharmed.
+        let (status, _, _) = send(addr, b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        let _ = server.shutdown();
+    });
+}
+
+/// Regression (ISSUE 8 bugfix): refusing connections off a full backlog
+/// happens on a detached thread, so a refused peer that never reads its
+/// `503` cannot stall the accept loop — refusals keep flowing and the
+/// occupied worker keeps serving.
+#[test]
+fn full_backlog_refusals_do_not_block_the_accept_loop() {
+    with_watchdog(120, "backlog-refusal", || {
+        let runtime = Runtime::spawn(
+            engine(18),
+            RuntimeConfig { workers: 1, ..RuntimeConfig::default() },
+        )
+        .unwrap();
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            runtime,
+            HttpConfig { workers: 1, max_pending: 1, ..HttpConfig::default() },
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        // Occupy the single worker and fill the one-slot backlog with
+        // idle connections that send nothing.
+        let mut occupant = TcpStream::connect(addr).unwrap();
+        occupant.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        let mut queued = TcpStream::connect(addr).unwrap();
+        queued.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+
+        // A slow reader: refused, but never reads its 503. With the
+        // refusal written synchronously on the accept thread, this peer
+        // could wedge `accept()` for everyone; it must not.
+        let stalled = TcpStream::connect(addr).unwrap();
+
+        // Every further connection is promptly refused with a 503 — one
+        // after another, which is exactly what a blocked accept loop
+        // could not deliver.
+        for i in 0..3 {
+            let mut refused = TcpStream::connect(addr).unwrap();
+            refused.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+            let (status, _, body) = read_response(&mut refused);
+            assert_eq!(status, 503, "refusal {i}: {}", String::from_utf8_lossy(&body));
+        }
+
+        // The occupied worker was never disturbed: the first connection
+        // still gets served, and closing it lets the queued one through.
+        occupant.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let (status, _, _) = read_response(&mut occupant);
+        assert_eq!(status, 200, "the occupant connection is still live");
+        drop(occupant);
+        queued.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let (status, _, _) = read_response(&mut queued);
+        assert_eq!(status, 200, "the queued connection gets a worker after the occupant leaves");
+
+        drop(stalled);
+        let stats = server.shutdown();
+        assert_eq!(stats.failed, 0);
+    });
+}
