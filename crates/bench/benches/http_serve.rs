@@ -73,6 +73,7 @@ fn main() {
             queue_capacity: requests.max(64),
             max_batch: 8,
             max_wait: Duration::from_millis(2),
+            ..RuntimeConfig::default()
         },
     )
     .unwrap();

@@ -1,0 +1,187 @@
+//! Overload benchmark: the admission controller under a burst at roughly
+//! 2× what the runtime can absorb, from a hot low-weight tenant and a
+//! cold weighted tenant, with tight deadlines on half the hot traffic.
+//!
+//! What this measures is *robustness*, not peak speed: goodput under
+//! overload, the shed/quota/queue-full refusal mix, the deadline-miss
+//! rate, and the served p99 — and it asserts the overload floors the
+//! serving stack promises: every request gets a typed outcome, the
+//! arithmetic closes exactly, some work was refused early (the overload
+//! was real), deadline-tagged stragglers expired instead of being served
+//! late, and the cold tenant was never starved.
+//!
+//! The run ends with one machine-readable line — `BENCH_overload {...}` —
+//! so CI logs give a per-commit overload trajectory.
+//!
+//! ```sh
+//! cargo bench --bench overload            # full burst
+//! SCALES_BENCH_SMOKE=1 cargo bench --bench overload
+//! ```
+
+use scales_core::Method;
+use scales_models::{srresnet, SrConfig};
+use scales_runtime::{Runtime, RuntimeConfig, ServeError, ShedPolicy, SubmitError};
+use scales_serve::{Engine, Precision, SrRequest};
+use std::time::{Duration, Instant};
+
+fn scene(h: usize, w: usize, seed: u64) -> scales_data::Image {
+    scales_data::synth::scene(
+        h,
+        w,
+        scales_data::synth::SceneConfig::default(),
+        &mut scales_nn::init::rng(seed),
+    )
+}
+
+/// Typed-outcome tally for one tenant's share of the burst.
+#[derive(Default)]
+struct Tally {
+    attempted: u64,
+    completed: u64,
+    rejected: u64,
+    shed: u64,
+    quota: u64,
+    expired: u64,
+}
+
+impl Tally {
+    fn absorb(&mut self, other: &Tally) {
+        self.attempted += other.attempted;
+        self.completed += other.completed;
+        self.rejected += other.rejected;
+        self.shed += other.shed;
+        self.quota += other.quota;
+        self.expired += other.expired;
+    }
+}
+
+/// Drive `count` requests for one tenant as fast as the door admits
+/// them, then resolve every accepted ticket. Every submission ends in
+/// exactly one bucket.
+fn drive(runtime: &Runtime, tenant: &str, count: u64, deadline: Option<Duration>) -> Tally {
+    let mut tally = Tally { attempted: count, ..Tally::default() };
+    let mut tickets = Vec::new();
+    for i in 0..count {
+        let mut request = SrRequest::single(scene(16, 16, 9_000 + i)).tenant(tenant);
+        // Every other request carries the tight deadline, so the tenant
+        // mixes urgent and patient traffic.
+        if let Some(budget) = deadline.filter(|_| i % 2 == 0) {
+            request = request.deadline_in(budget);
+        }
+        match runtime.submit(request) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(SubmitError::QueueFull { .. }) => tally.rejected += 1,
+            Err(SubmitError::Shedding { .. }) => tally.shed += 1,
+            Err(SubmitError::TenantQuota { .. }) => tally.quota += 1,
+            Err(SubmitError::Expired) => tally.expired += 1,
+            Err(other) => panic!("untyped refusal under overload: {other}"),
+        }
+    }
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(_) => tally.completed += 1,
+            Err(ServeError::Rejected(SubmitError::Expired)) => tally.expired += 1,
+            Err(other) => panic!("an accepted ticket must serve or expire, got: {other}"),
+        }
+    }
+    tally
+}
+
+fn main() {
+    let smoke = std::env::var("SCALES_BENCH_SMOKE").is_ok();
+    let attempted: u64 = if smoke { 64 } else { 384 };
+    // The hot tenant offers 3× the cold tenant's load but weighs 1 to
+    // the cold tenant's 3 — fairness must come from the scheduler, not
+    // from polite clients.
+    let hot_share = attempted * 3 / 4;
+    let cold_share = attempted - hot_share;
+
+    let net = srresnet(SrConfig {
+        channels: 8,
+        blocks: 1,
+        scale: 2,
+        method: Method::scales(),
+        seed: 7,
+    })
+    .unwrap();
+    let engine = Engine::builder().model(net).precision(Precision::Deployed).build().unwrap();
+    // Capacity is deliberately small against the burst (~2× overload
+    // after the early-refusal valves): a short queue, a shed watermark
+    // below it, and a per-tenant quota below that.
+    let runtime = Runtime::spawn(
+        engine,
+        RuntimeConfig {
+            workers: 2,
+            queue_capacity: 16,
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            shed: ShedPolicy { queue_watermark: Some(12), p99_trip: None },
+            tenant_quota: Some(10),
+            tenant_weights: vec![("cold".into(), 3)],
+        },
+    )
+    .unwrap();
+    println!(
+        "overload: {attempted} requests ({hot_share} hot/deadline-mixed + {cold_share} cold) \
+         against queue 16, watermark 12, quota 10"
+    );
+
+    // Warm the plan caches outside the timed region.
+    runtime.submit_wait(SrRequest::single(scene(16, 16, 7))).unwrap().wait().unwrap();
+
+    let start = Instant::now();
+    let (hot, cold) = std::thread::scope(|scope| {
+        let hot = scope
+            .spawn(|| drive(&runtime, "hot", hot_share, Some(Duration::from_millis(5))));
+        let cold = scope.spawn(|| drive(&runtime, "cold", cold_share, None));
+        (hot.join().expect("hot tenant"), cold.join().expect("cold tenant"))
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let mut total = Tally::default();
+    total.absorb(&hot);
+    total.absorb(&cold);
+    let stats = runtime.shutdown();
+
+    // The floors. Every request got exactly one typed outcome...
+    assert_eq!(
+        total.completed + total.rejected + total.shed + total.quota + total.expired,
+        attempted,
+        "the outcome arithmetic must close"
+    );
+    // ...and the runtime's own ledger agrees with the callers' tallies.
+    assert_eq!(stats.completed, total.completed + 1, "warm-up plus the burst");
+    assert_eq!(stats.shed, total.shed);
+    assert_eq!(stats.quota_rejected, total.quota);
+    assert_eq!(stats.expired, total.expired);
+    assert_eq!(stats.failed, 0, "overload must never surface as an inference failure");
+    let refused = total.rejected + total.shed + total.quota + total.expired;
+    assert!(refused > 0, "the burst must actually overload the runtime");
+    assert!(total.expired > 0, "tight deadlines under overload must expire, not serve late");
+    assert!(cold.completed > 0, "the weighted cold tenant must not be starved");
+
+    let goodput = total.completed as f64 / wall_secs;
+    let shed_rate = (total.shed + total.quota + total.rejected) as f64 / attempted as f64;
+    let miss_rate = (total.expired + stats.deadline_misses) as f64 / attempted as f64;
+    let p99 = stats.latency.p99();
+    println!(
+        "  goodput {goodput:>7.1} req/s; refused {refused} ({:.0}% early), expired {}, \
+         served p99 {p99:.2?}",
+        shed_rate * 1e2,
+        total.expired,
+    );
+
+    println!(
+        "\nBENCH_overload {{\"attempted\":{attempted},\"completed\":{},\"rejected\":{},\
+         \"shed\":{},\"quota_rejected\":{},\"expired\":{},\"deadline_misses\":{},\
+         \"goodput_rps\":{goodput:.1},\"shed_rate\":{shed_rate:.3},\
+         \"deadline_miss_rate\":{miss_rate:.3},\"p99_us\":{}}}",
+        total.completed,
+        total.rejected,
+        total.shed,
+        total.quota,
+        total.expired,
+        stats.deadline_misses,
+        p99.as_micros(),
+    );
+}

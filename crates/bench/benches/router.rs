@@ -52,6 +52,7 @@ fn runtime_config() -> RuntimeConfig {
         queue_capacity: 64,
         max_batch: 8,
         max_wait: Duration::from_millis(1),
+        ..RuntimeConfig::default()
     }
 }
 
@@ -98,7 +99,7 @@ fn main() {
     let artifact = dir.join("m.dep.sca");
     scales_io::save_artifact(&artifact, &net(1).lower().unwrap()).unwrap();
     let router =
-        ModelRouter::new(RouterConfig { memory_budget: None, runtime: runtime_config() }).unwrap();
+        ModelRouter::new(RouterConfig { memory_budget: None, runtime: runtime_config(), ..RouterConfig::default() }).unwrap();
     router.register_path("m", &artifact).unwrap();
     let mut routed: Vec<Duration> = Vec::with_capacity(requests);
     for _ in 0..requests {

@@ -71,6 +71,7 @@ fn main() {
             queue_capacity: requests as usize,
             max_batch,
             max_wait: Duration::from_millis(50),
+            ..RuntimeConfig::default()
         },
     )
     .unwrap();

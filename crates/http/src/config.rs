@@ -36,7 +36,9 @@ pub struct HttpConfig {
     /// Bound on the full runtime round trip (queue admission + inference)
     /// per request, passed to
     /// [`Runtime::submit_wait_timeout`](scales_runtime::Runtime::submit_wait_timeout).
-    /// Expiry maps to `503 Service Unavailable`. Default: 30 s.
+    /// Expiry maps to `503 Service Unavailable` with a `Retry-After`
+    /// (distinct from a request's *own* `X-Scales-Deadline-Ms` deadline,
+    /// whose expiry is a `504 Gateway Timeout`). Default: 30 s.
     pub request_timeout: Duration,
 }
 

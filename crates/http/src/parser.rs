@@ -32,6 +32,13 @@ pub struct RequestHead {
     pub keep_alive: bool,
     /// Whether the peer sent `Expect: 100-continue`.
     pub expect_continue: bool,
+    /// Validated `X-Scales-Tenant` header: the tenant lane the runtime's
+    /// admission controller queues this request under.
+    pub tenant: Option<String>,
+    /// `X-Scales-Deadline-Ms` header: the request's deadline budget in
+    /// milliseconds from arrival. `0` is legal and means "already due" —
+    /// the runtime refuses it as expired.
+    pub deadline_ms: Option<u64>,
 }
 
 impl RequestHead {
@@ -178,6 +185,8 @@ impl<R: Read> RequestReader<R> {
             has_length: false,
             keep_alive: http11, // HTTP/1.1 defaults to persistent
             expect_continue: false,
+            tenant: None,
+            deadline_ms: None,
         };
         loop {
             let line = self.read_line(config.max_line)?.ok_or(RequestError::UnexpectedEof)?;
@@ -238,6 +247,20 @@ impl<R: Read> RequestReader<R> {
                 "expect" if value.eq_ignore_ascii_case("100-continue") => {
                     head.expect_continue = true;
                 }
+                "x-scales-tenant" => {
+                    if !valid_tenant(value) {
+                        return Err(RequestError::BadHeader {
+                            what: "tenant must be 1-64 characters of [A-Za-z0-9._-]",
+                        });
+                    }
+                    head.tenant = Some(value.clone());
+                }
+                "x-scales-deadline-ms" => {
+                    let parsed: u64 = value.parse().map_err(|_| RequestError::BadHeader {
+                        what: "deadline must be a decimal number of milliseconds",
+                    })?;
+                    head.deadline_ms = Some(parsed);
+                }
                 _ => {}
             }
         }
@@ -275,6 +298,17 @@ impl<R: Read> RequestReader<R> {
         }
         Ok(body)
     }
+}
+
+/// Same tenant-name rule the runtime and router enforce (1–64 characters
+/// of `[A-Za-z0-9._-]`), applied at the wire so a hostile header is a
+/// clean `400` before any image bytes are decoded.
+fn valid_tenant(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
 }
 
 #[cfg(test)]
@@ -345,6 +379,31 @@ mod tests {
             b"POST / HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 0\r\n\r\n",
         );
         assert!(head.expect_continue);
+    }
+
+    #[test]
+    fn slo_headers_are_interpreted_and_validated() {
+        let head = head_of(
+            b"POST /v1/upscale HTTP/1.1\r\nX-Scales-Tenant: acme-2.0\r\nX-Scales-Deadline-Ms: 250\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert_eq!(head.tenant.as_deref(), Some("acme-2.0"));
+        assert_eq!(head.deadline_ms, Some(250));
+        let plain = head_of(b"GET / HTTP/1.1\r\n\r\n");
+        assert_eq!(plain.tenant, None);
+        assert_eq!(plain.deadline_ms, None);
+        // Zero is legal on the wire: the runtime refuses it as expired.
+        let due = head_of(b"GET / HTTP/1.1\r\nX-Scales-Deadline-Ms: 0\r\n\r\n");
+        assert_eq!(due.deadline_ms, Some(0));
+        assert!(matches!(
+            err_of(b"GET / HTTP/1.1\r\nX-Scales-Tenant: not a tenant!\r\n\r\n"),
+            RequestError::BadHeader { what: "tenant must be 1-64 characters of [A-Za-z0-9._-]" }
+        ));
+        let long = format!("GET / HTTP/1.1\r\nX-Scales-Tenant: {}\r\n\r\n", "x".repeat(65));
+        assert!(matches!(err_of(long.as_bytes()), RequestError::BadHeader { .. }));
+        assert!(matches!(
+            err_of(b"GET / HTTP/1.1\r\nX-Scales-Deadline-Ms: soon\r\n\r\n"),
+            RequestError::BadHeader { what: "deadline must be a decimal number of milliseconds" }
+        ));
     }
 
     #[test]

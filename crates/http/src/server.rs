@@ -18,7 +18,7 @@ use crate::error::{HttpError, RequestError};
 use crate::parser::{RequestHead, RequestReader};
 use scales_data::{decode_image, encode_image};
 use scales_router::{ModelRouter, RouterError};
-use scales_runtime::{Runtime, RuntimeStats, SubmitError};
+use scales_runtime::{RejectReason, Runtime, RuntimeStats, SubmitError};
 use scales_serve::SrRequest;
 use std::collections::VecDeque;
 use std::io::Write;
@@ -294,7 +294,8 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                 .name("scales-http-refusal".into())
                 .spawn(move || {
                     let _ = stream.set_write_timeout(Some(REFUSAL_WRITE_TIMEOUT));
-                    let response = Response::text(503, "server backlog is full, retry later\n");
+                    let response = Response::text(503, "server backlog is full, retry later\n")
+                        .retry_after(Some(1));
                     let _ = write_response(&stream, &response, false, false);
                 });
             drop(spawned);
@@ -434,6 +435,7 @@ fn route(
                 content_type: "text/plain; version=0.0.4",
                 body: render_metrics(shared).into_bytes(),
                 allow: None,
+                retry_after: None,
                 close: false,
             })
         }
@@ -481,6 +483,7 @@ fn route_models(
                     content_type: "application/json",
                     body: render_model_list(router).into_bytes(),
                     allow: None,
+                    retry_after: None,
                     close: false,
                 })
             }
@@ -538,6 +541,45 @@ fn send_continue(
     Ok(())
 }
 
+/// Build the runtime request for one decoded image, applying the SLO
+/// headers: `X-Scales-Tenant` picks the admission lane,
+/// `X-Scales-Deadline-Ms` sets the deadline budget from *now* (header
+/// interpretation time — the queue wait counts against it).
+fn build_request(image: scales_data::Image, head: &RequestHead) -> SrRequest {
+    let mut request = SrRequest::single(image);
+    if let Some(tenant) = &head.tenant {
+        request = request.tenant(tenant.clone());
+    }
+    if let Some(ms) = head.deadline_ms {
+        request = request.deadline_in(Duration::from_millis(ms));
+    }
+    request
+}
+
+/// Map a runtime refusal onto the wire: the status, and the
+/// `Retry-After` seconds when backing off can help.
+///
+/// * `429 Too Many Requests` — the *caller* can fix it by slowing down:
+///   the queue is full, or this tenant is at its lane quota.
+/// * `503 Service Unavailable` — the *server* is unavailable regardless
+///   of who asks: shedding, admission timeout, shutting down.
+/// * `504 Gateway Timeout` — the request's own deadline expired before
+///   it could be served; retrying without a larger budget is pointless,
+///   so no `Retry-After`.
+/// * `400 Bad Request` — the request itself is invalid.
+fn submit_status(err: &SubmitError) -> (u16, Option<u32>) {
+    match err.reject_reason() {
+        Some(RejectReason::QueueFull | RejectReason::TenantQuota) => (429, Some(1)),
+        Some(RejectReason::Shedding) => (503, Some(1)),
+        Some(RejectReason::Expired) => (504, None),
+        None => match err {
+            SubmitError::InvalidRequest(_) => (400, None),
+            // Timeout while queued, or shutting down.
+            _ => (503, Some(1)),
+        },
+    }
+}
+
 /// `POST /v1/upscale`: decode → submit (bounded wait) → encode in the
 /// same wire format.
 fn upscale(
@@ -553,15 +595,11 @@ fn upscale(
     let body = reader.read_body(head.content_length)?;
     let (image, format) = decode_image(&body)?;
     let outcome =
-        runtime.submit_wait_timeout(SrRequest::single(image), shared.config.request_timeout);
+        runtime.submit_wait_timeout(build_request(image, head), shared.config.request_timeout);
     let served = match outcome {
-        Err(err @ SubmitError::InvalidRequest(_)) => {
-            return Ok(Response::text(400, format!("{err}\n")));
-        }
         Err(err) => {
-            // QueueFull / ShuttingDown / Timeout: overload, not client
-            // fault.
-            return Ok(Response::text(503, format!("{err}\n")));
+            let (status, retry) = submit_status(&err);
+            return Ok(Response::text(status, format!("{err}\n")).retry_after(retry));
         }
         Ok(Err(infer_err)) => {
             return Ok(Response::text(500, format!("inference failed: {infer_err}\n")));
@@ -574,6 +612,7 @@ fn upscale(
             content_type: format.content_type(),
             body: bytes,
             allow: None,
+            retry_after: None,
             close: false,
         }),
         Err(err) => Ok(Response::text(500, format!("encoding the result failed: {err}\n"))),
@@ -596,7 +635,7 @@ fn fleet_upscale(
     let body = reader.read_body(head.content_length)?;
     let (image, format) = decode_image(&body)?;
     let outcome =
-        router.submit_wait_timeout(name, SrRequest::single(image), shared.config.request_timeout);
+        router.submit_wait_timeout(name, build_request(image, head), shared.config.request_timeout);
     let served = match outcome {
         Err(err) => return Ok(router_error_response(&err)),
         Ok(Err(infer_err)) => {
@@ -610,6 +649,7 @@ fn fleet_upscale(
             content_type: format.content_type(),
             body: bytes,
             allow: None,
+            retry_after: None,
             close: false,
         }),
         Err(err) => Ok(Response::text(500, format!("encoding the result failed: {err}\n"))),
@@ -625,6 +665,7 @@ fn reload_model(router: &ModelRouter, name: &str) -> Response {
             content_type: "application/json",
             body: render_model_json(&stats).into_bytes(),
             allow: None,
+            retry_after: None,
             close: false,
         },
         Err(err) => router_error_response(&err),
@@ -633,17 +674,19 @@ fn reload_model(router: &ModelRouter, name: &str) -> Response {
 
 /// Map the router's typed errors onto the HTTP status space: unknown
 /// name → 404, duplicate/pinned conflicts → 409, failed load → 500,
-/// invalid request → 400, overload/drain → 503.
+/// invalid request → 400, and runtime refusals through [`submit_status`]
+/// (client-paced 429 vs server-side 503 vs expired-deadline 504, with
+/// `Retry-After` where backing off helps).
 fn router_error_response(err: &RouterError) -> Response {
-    let status = match err {
-        RouterError::UnknownModel { .. } => 404,
-        RouterError::DuplicateModel { .. } | RouterError::NotReloadable { .. } => 409,
-        RouterError::InvalidName { .. } => 400,
-        RouterError::Load { .. } => 500,
-        RouterError::Submit(SubmitError::InvalidRequest(_)) => 400,
-        RouterError::Submit(_) | RouterError::ShuttingDown => 503,
+    let (status, retry) = match err {
+        RouterError::UnknownModel { .. } => (404, None),
+        RouterError::DuplicateModel { .. } | RouterError::NotReloadable { .. } => (409, None),
+        RouterError::InvalidName { .. } => (400, None),
+        RouterError::Load { .. } => (500, None),
+        RouterError::Submit(sub) => submit_status(sub),
+        RouterError::ShuttingDown => (503, Some(1)),
     };
-    Response::text(status, format!("{err}\n"))
+    Response::text(status, format!("{err}\n")).retry_after(retry)
 }
 
 /// The `GET /v1/models` document: the fleet as a JSON array. Hand-rolled
@@ -724,6 +767,9 @@ struct Response {
     content_type: &'static str,
     body: Vec<u8>,
     allow: Option<&'static str>,
+    /// `Retry-After` seconds on overload responses (429/503), telling
+    /// well-behaved clients when backing off is worth it.
+    retry_after: Option<u32>,
     /// Close the connection after this response even on a keep-alive
     /// request — set when a declared request body was left unread (the
     /// framing of any pipelined request behind it is unknowable).
@@ -737,12 +783,18 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
             allow: None,
+            retry_after: None,
             close: false,
         }
     }
 
     fn allow(mut self, methods: &'static str) -> Self {
         self.allow = Some(methods);
+        self
+    }
+
+    fn retry_after(mut self, seconds: Option<u32>) -> Self {
+        self.retry_after = seconds;
         self
     }
 
@@ -775,6 +827,9 @@ fn write_response(
         head.push_str(methods);
         head.push_str("\r\n");
     }
+    if let Some(seconds) = response.retry_after {
+        head.push_str(&format!("Retry-After: {seconds}\r\n"));
+    }
     head.push_str(if keep_alive { "Connection: keep-alive\r\n" } else { "Connection: close\r\n" });
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
@@ -797,10 +852,12 @@ pub(crate) fn reason_phrase(status: u16) -> &'static str {
         411 => "Length Required",
         413 => "Content Too Large",
         415 => "Unsupported Media Type",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         505 => "HTTP Version Not Supported",
         _ => "Unknown",
     }

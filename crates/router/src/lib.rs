@@ -24,8 +24,11 @@
 //!    the serving `Arc` is replaced, new intake moves over instantly,
 //!    and the old runtime drains its in-flight requests to completion
 //!    before shutting down. A failed load leaves the serving version
-//!    untouched. No request routed before, during, or after the swap is
-//!    dropped.
+//!    untouched, and a transient artifact-*read* failure is retried with
+//!    bounded doubling backoff
+//!    ([`RouterConfig::reload_retries`] / [`RouterConfig::reload_backoff`])
+//!    before the load gives up. No request routed before, during, or
+//!    after the swap is dropped.
 //! 3. **Memory accounting** — every model is charged its packed-weight
 //!    bytes (serialized artifact size) plus its workers' live
 //!    planned-executor workspace bytes. Over a configured

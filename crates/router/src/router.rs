@@ -15,7 +15,7 @@ use std::time::Duration;
 /// Fleet sizing: the per-model runtime configuration every loaded version
 /// is spawned with, plus the optional resident-memory budget the LRU
 /// eviction enforces.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone)]
 pub struct RouterConfig {
     /// Byte budget across all resident models (packed weights plus live
     /// planned-executor workspaces). When a load pushes the total over
@@ -27,6 +27,26 @@ pub struct RouterConfig {
     pub memory_budget: Option<usize>,
     /// Sizing of each model's private [`Runtime`] worker pool.
     pub runtime: RuntimeConfig,
+    /// Transient-read retries during a (re)load: a failed artifact *read*
+    /// is retried this many times with doubling backoff before the load
+    /// fails. Decode failures never retry — bad bytes are a content
+    /// problem, not an IO blip. `0` fails on the first read error.
+    /// Default: 2.
+    pub reload_retries: u32,
+    /// Backoff before the first read retry; doubles on every further
+    /// attempt (bounded by `reload_retries`). Default: 20 ms.
+    pub reload_backoff: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            memory_budget: None,
+            runtime: RuntimeConfig::default(),
+            reload_retries: 2,
+            reload_backoff: Duration::from_millis(20),
+        }
+    }
 }
 
 impl RouterConfig {
@@ -201,6 +221,10 @@ impl RouterStats {
             max_batch: 0,
             submitted: 0,
             rejected: 0,
+            shed: 0,
+            quota_rejected: 0,
+            expired: 0,
+            deadline_misses: 0,
             completed: 0,
             failed: 0,
             images: 0,
@@ -213,6 +237,7 @@ impl RouterStats {
             busy: Duration::ZERO,
             elapsed: Duration::ZERO,
             latency: scales_runtime::LatencyHistogram::default(),
+            tenants: Vec::new(),
         })
     }
 }
@@ -227,6 +252,10 @@ fn fold_runtime(acc: Option<RuntimeStats>, s: &RuntimeStats) -> RuntimeStats {
     a.max_batch = a.max_batch.max(s.max_batch);
     a.submitted += s.submitted;
     a.rejected += s.rejected;
+    a.shed += s.shed;
+    a.quota_rejected += s.quota_rejected;
+    a.expired += s.expired;
+    a.deadline_misses += s.deadline_misses;
     a.completed += s.completed;
     a.failed += s.failed;
     a.images += s.images;
@@ -235,6 +264,24 @@ fn fold_runtime(acc: Option<RuntimeStats>, s: &RuntimeStats) -> RuntimeStats {
     a.queue_depth += s.queue_depth;
     a.queue_high_water = a.queue_high_water.max(s.queue_high_water);
     a.workspace_bytes = s.workspace_bytes;
+    for t in &s.tenants {
+        match a.tenants.iter_mut().find(|have| have.tenant == t.tenant) {
+            Some(have) => {
+                have.weight = t.weight; // latest fold wins, like workspace_bytes
+                have.queued += t.queued;
+                have.submitted += t.submitted;
+                have.completed += t.completed;
+                have.failed += t.failed;
+                have.rejected += t.rejected;
+                have.shed += t.shed;
+                have.quota_rejected += t.quota_rejected;
+                have.expired += t.expired;
+                have.deadline_misses += t.deadline_misses;
+            }
+            None => a.tenants.push(t.clone()),
+        }
+    }
+    a.tenants.sort_by(|x, y| x.tenant.cmp(&y.tenant));
     a.batch_fill = if a.dispatches == 0 || a.max_batch == 0 {
         0.0
     } else {
@@ -276,7 +323,7 @@ impl ModelRouter {
     /// The fleet configuration.
     #[must_use]
     pub fn config(&self) -> RouterConfig {
-        self.inner.config
+        self.inner.config.clone()
     }
 
     /// Register a model from a `scales-io` artifact file (checkpoint or
@@ -497,7 +544,7 @@ impl ModelRouter {
             return String::new();
         }
         let mut out = String::with_capacity(4096 * models.len());
-        let counters: [MetricColumn; 7] = [
+        let counters: [MetricColumn; 10] = [
             (
                 "scales_model_requests_submitted_total",
                 "Requests accepted for this model across all versions.",
@@ -517,6 +564,21 @@ impl ModelRouter {
                 "scales_model_requests_rejected_total",
                 "Requests rejected at submission for this model.",
                 |m| m.runtime.as_ref().map_or(0, |r| r.rejected),
+            ),
+            (
+                "scales_model_requests_shed_total",
+                "Requests refused early by this model's shed policy.",
+                |m| m.runtime.as_ref().map_or(0, |r| r.shed),
+            ),
+            (
+                "scales_model_requests_expired_total",
+                "Requests whose deadline passed before this model dispatched them.",
+                |m| m.runtime.as_ref().map_or(0, |r| r.expired),
+            ),
+            (
+                "scales_model_deadline_misses_total",
+                "Requests this model served after their deadline.",
+                |m| m.runtime.as_ref().map_or(0, |r| r.deadline_misses),
             ),
             (
                 "scales_model_images_total",
@@ -641,12 +703,36 @@ impl ModelRouter {
             .ok_or_else(|| RouterError::UnknownModel { name: name.into() })
     }
 
+    /// Read the artifact bytes, retrying transient IO failures with
+    /// bounded doubling backoff
+    /// ([`reload_retries`](RouterConfig::reload_retries) /
+    /// [`reload_backoff`](RouterConfig::reload_backoff)). Only the *read*
+    /// stage retries; decode failures downstream fail fast.
+    fn read_artifact(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        let mut backoff = self.inner.config.reload_backoff;
+        let mut attempts_left = self.inner.config.reload_retries;
+        loop {
+            match read_once(path) {
+                Ok(bytes) => return Ok(bytes),
+                Err(e) => {
+                    if attempts_left == 0 {
+                        return Err(e);
+                    }
+                    attempts_left -= 1;
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+            }
+        }
+    }
+
     /// Read + decode + spawn a runtime for the artifact at `path` —
     /// everything a (re)load pays, entirely off the serving path.
     fn load_version(&self, name: &str, path: &Path) -> Result<LoadedVersion, RouterError> {
         let fail = |detail: String| RouterError::Load { name: name.into(), detail };
-        let bytes =
-            std::fs::read(path).map_err(|e| fail(format!("reading {}: {e}", path.display())))?;
+        let bytes = self
+            .read_artifact(path)
+            .map_err(|e| fail(format!("reading {}: {e}", path.display())))?;
         let fingerprint = scales_io::fingerprint(&bytes);
         let weight_bytes = bytes.len();
         let kind = scales_io::sniff_kind(&bytes).map_err(|e| fail(e.to_string()))?;
@@ -681,8 +767,8 @@ impl ModelRouter {
     ) -> Result<Arc<ModelVersion>, RouterError> {
         let fail = |detail: String| RouterError::Load { name: name.into(), detail };
         let engine = Engine::builder().model(model).build().map_err(|e| fail(e.to_string()))?;
-        let runtime =
-            Runtime::spawn(engine, self.inner.config.runtime).map_err(|e| fail(e.to_string()))?;
+        let runtime = Runtime::spawn(engine, self.inner.config.runtime.clone())
+            .map_err(|e| fail(e.to_string()))?;
         Ok(Arc::new(ModelVersion { runtime, weight_bytes }))
     }
 
@@ -800,6 +886,27 @@ impl ModelRouter {
     }
 }
 
+/// One artifact read attempt. With the `faults` feature (test builds
+/// only) the `"router.read"` injection point runs first, so chaos tests
+/// can stage transient IO failures against the retry loop.
+#[cfg(feature = "faults")]
+fn read_once(path: &Path) -> std::io::Result<Vec<u8>> {
+    match scales_faults::fire("router.read") {
+        Some(scales_faults::FaultAction::Delay(d)) => std::thread::sleep(d),
+        Some(scales_faults::FaultAction::Panic) => panic!("injected fault: router.read"),
+        Some(scales_faults::FaultAction::Error(message)) => {
+            return Err(std::io::Error::other(format!("injected fault: {message}")));
+        }
+        None => {}
+    }
+    std::fs::read(path)
+}
+
+#[cfg(not(feature = "faults"))]
+fn read_once(path: &Path) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path)
+}
+
 /// Wait for every in-flight submitter to release its clone of `version`,
 /// then drain the runtime gracefully and return its final stats. This is
 /// the zero-drop guarantee: a submitter holding the `Arc` keeps the
@@ -903,5 +1010,42 @@ mod tests {
         assert_eq!(folded.workspace_bytes, 700, "latest fold wins the gauge");
         let expected_fill = 24.0 / (6.0 * 8.0);
         assert!((folded.batch_fill - expected_fill).abs() < 1e-12);
+    }
+
+    #[test]
+    fn folding_merges_tenant_lanes_by_name() {
+        let tenant = |name: &str, submitted: u64, shed: u64| scales_runtime::TenantStats {
+            tenant: name.into(),
+            weight: 2,
+            queued: 1,
+            submitted,
+            completed: submitted,
+            failed: 0,
+            rejected: 0,
+            shed,
+            quota_rejected: 0,
+            expired: 0,
+            deadline_misses: 0,
+        };
+        let zero = RouterStats { models: Vec::new() }.merged_runtime();
+        let mut a = zero.clone();
+        a.shed = 3;
+        a.expired = 1;
+        a.tenants = vec![tenant("acme", 5, 3)];
+        let mut b = zero;
+        b.shed = 1;
+        b.deadline_misses = 2;
+        b.tenants = vec![tenant("zeta", 2, 0), tenant("acme", 4, 1)];
+        let folded = fold_runtime(Some(a), &b);
+        assert_eq!(folded.shed, 4);
+        assert_eq!(folded.expired, 1);
+        assert_eq!(folded.deadline_misses, 2);
+        assert_eq!(folded.tenants.len(), 2, "lanes merge by tenant name");
+        assert_eq!(folded.tenants[0].tenant, "acme");
+        assert_eq!(folded.tenants[0].submitted, 9);
+        assert_eq!(folded.tenants[0].shed, 4);
+        assert_eq!(folded.tenants[0].queued, 2);
+        assert_eq!(folded.tenants[1].tenant, "zeta");
+        assert_eq!(folded.tenants[1].submitted, 2);
     }
 }

@@ -1,10 +1,11 @@
-//! Runtime sizing and batching-window configuration.
+//! Runtime sizing, batching-window, and admission-control configuration.
 
 use scales_tensor::{Result, TensorError};
 use std::time::Duration;
 
 /// Sizing of a [`Runtime`](crate::Runtime): worker count, submission-queue
-/// bound, and the dynamic batcher's coalescing window.
+/// bound, the dynamic batcher's coalescing window, and the admission
+/// controller's fairness and shedding knobs.
 ///
 /// All fields are public; start from [`RuntimeConfig::default`] and
 /// override with struct-update syntax:
@@ -20,14 +21,15 @@ use std::time::Duration;
 /// };
 /// assert!(config.validate().is_ok());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RuntimeConfig {
     /// Worker threads, each owning a private serving session (its own
     /// planned-executor workspace and per-shape plan cache). Default: the
     /// machine's available parallelism.
     pub workers: usize,
-    /// Maximum queued (accepted but not yet dispatched) **requests**.
-    /// When the queue is full, [`submit`](crate::Runtime::submit) returns
+    /// Maximum queued (accepted but not yet dispatched) **requests**
+    /// across all tenant lanes. When the queue is full,
+    /// [`submit`](crate::Runtime::submit) returns
     /// [`SubmitError::QueueFull`](crate::SubmitError::QueueFull) — explicit
     /// backpressure instead of unbounded memory growth. Default: 64.
     pub queue_capacity: usize,
@@ -40,6 +42,44 @@ pub struct RuntimeConfig {
     /// batching latency/throughput knob. `Duration::ZERO` dispatches the
     /// backlog as-is without ever waiting. Default: 2 ms.
     pub max_wait: Duration,
+    /// Load-shedding policy. Default: never shed (admission is bounded by
+    /// `queue_capacity` alone).
+    pub shed: ShedPolicy,
+    /// Maximum queued requests **per tenant lane** (the anonymous lane
+    /// included). A lane at its quota refuses with
+    /// [`SubmitError::TenantQuota`](crate::SubmitError::TenantQuota) even
+    /// while the global queue has room, so one hot tenant cannot fill the
+    /// whole queue. `None` (the default) disables quotas.
+    pub tenant_quota: Option<usize>,
+    /// Dequeue weights for named tenants. Lanes are drained by weighted
+    /// round-robin: a lane with weight `w` gets `w` dequeues per cycle
+    /// among the backlogged lanes. Tenants not listed here (and the
+    /// anonymous lane) weigh 1. Default: empty.
+    pub tenant_weights: Vec<(String, u32)>,
+}
+
+/// When to refuse work *before* the queue is full — the early-rejection
+/// half of overload robustness. Both trip wires are optional and
+/// independent; the default policy never sheds.
+///
+/// Shedding is deliberately fail-fast: even the blocking submit paths
+/// ([`Runtime::submit_wait`](crate::Runtime::submit_wait) /
+/// [`submit_wait_timeout`](crate::Runtime::submit_wait_timeout)) refuse
+/// immediately with
+/// [`SubmitError::Shedding`](crate::SubmitError::Shedding) instead of
+/// waiting out the overload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShedPolicy {
+    /// Shed once this many requests are queued. Lower than
+    /// `queue_capacity` this acts as an early-warning watermark; `None`
+    /// never sheds on depth.
+    pub queue_watermark: Option<usize>,
+    /// Shed while the observed p99 queue-to-response latency exceeds this
+    /// budget. The runtime samples the p99 from its own latency histogram
+    /// after every dispatch, so the wire trips on real serving history
+    /// (and resets only as faster dispatches dilute the histogram).
+    /// `None` never sheds on latency.
+    pub p99_trip: Option<Duration>,
 }
 
 impl Default for RuntimeConfig {
@@ -49,17 +89,33 @@ impl Default for RuntimeConfig {
             queue_capacity: 64,
             max_batch: 8,
             max_wait: Duration::from_millis(2),
+            shed: ShedPolicy::default(),
+            tenant_quota: None,
+            tenant_weights: Vec::new(),
         }
     }
 }
 
+/// Shared tenant-name rule (also the router's model-name rule): 1–64
+/// characters of `[A-Za-z0-9._-]`. Keeps names safe to embed in HTTP
+/// headers and Prometheus label values without escaping.
+pub(crate) fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
 impl RuntimeConfig {
-    /// Check the sizing is servable.
+    /// Check the sizing and admission policy are servable.
     ///
     /// # Errors
     ///
     /// Returns an error when `workers`, `queue_capacity`, or `max_batch`
-    /// is zero.
+    /// is zero; when `tenant_quota`, the shed watermark, or the p99 trip
+    /// wire is a vacuous zero; or when `tenant_weights` contains a zero
+    /// weight, a duplicate, or an invalid tenant name.
     pub fn validate(&self) -> Result<()> {
         if self.workers == 0 {
             return Err(TensorError::InvalidArgument(
@@ -76,7 +132,53 @@ impl RuntimeConfig {
                 "runtime max_batch must be positive".into(),
             ));
         }
+        if self.tenant_quota == Some(0) {
+            return Err(TensorError::InvalidArgument(
+                "runtime tenant quota must be positive (use None to disable quotas)".into(),
+            ));
+        }
+        if self.shed.queue_watermark == Some(0) {
+            return Err(TensorError::InvalidArgument(
+                "shed watermark must be positive (use None to disable depth shedding)".into(),
+            ));
+        }
+        if self.shed.p99_trip == Some(Duration::ZERO) {
+            return Err(TensorError::InvalidArgument(
+                "shed p99 trip wire must be positive (use None to disable latency shedding)"
+                    .into(),
+            ));
+        }
+        for (i, (name, weight)) in self.tenant_weights.iter().enumerate() {
+            if !valid_tenant_name(name) {
+                return Err(TensorError::InvalidArgument(format!(
+                    "tenant weight name {name:?} is invalid: 1-64 characters of [A-Za-z0-9._-]"
+                )));
+            }
+            if *weight == 0 {
+                return Err(TensorError::InvalidArgument(format!(
+                    "tenant {name:?} has weight 0; weights must be positive"
+                )));
+            }
+            if self.tenant_weights[..i].iter().any(|(seen, _)| seen == name) {
+                return Err(TensorError::InvalidArgument(format!(
+                    "tenant {name:?} is weighted twice"
+                )));
+            }
+        }
         Ok(())
+    }
+
+    /// The configured dequeue weight for `tenant` (1 when unlisted or
+    /// anonymous).
+    pub(crate) fn tenant_weight(&self, tenant: Option<&str>) -> u32 {
+        tenant
+            .and_then(|name| {
+                self.tenant_weights
+                    .iter()
+                    .find(|(weighted, _)| weighted == name)
+                    .map(|(_, weight)| *weight)
+            })
+            .unwrap_or(1)
     }
 }
 
@@ -103,5 +205,61 @@ mod tests {
         // A zero window is legal: it means "never wait for stragglers".
         let eager = RuntimeConfig { max_wait: Duration::ZERO, ..RuntimeConfig::default() };
         assert!(eager.validate().is_ok());
+    }
+
+    #[test]
+    fn vacuous_admission_knobs_are_rejected() {
+        for bad in [
+            RuntimeConfig { tenant_quota: Some(0), ..RuntimeConfig::default() },
+            RuntimeConfig {
+                shed: ShedPolicy { queue_watermark: Some(0), p99_trip: None },
+                ..RuntimeConfig::default()
+            },
+            RuntimeConfig {
+                shed: ShedPolicy { queue_watermark: None, p99_trip: Some(Duration::ZERO) },
+                ..RuntimeConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+        // The positive boundary of each knob is legal.
+        let tight = RuntimeConfig {
+            tenant_quota: Some(1),
+            shed: ShedPolicy {
+                queue_watermark: Some(1),
+                p99_trip: Some(Duration::from_nanos(1)),
+            },
+            ..RuntimeConfig::default()
+        };
+        assert!(tight.validate().is_ok());
+    }
+
+    #[test]
+    fn tenant_weights_are_validated() {
+        let zero = RuntimeConfig {
+            tenant_weights: vec![("acme".into(), 0)],
+            ..RuntimeConfig::default()
+        };
+        assert!(zero.validate().is_err());
+        let duplicate = RuntimeConfig {
+            tenant_weights: vec![("acme".into(), 2), ("acme".into(), 3)],
+            ..RuntimeConfig::default()
+        };
+        assert!(duplicate.validate().is_err());
+        for bad_name in ["", "has space", "x".repeat(65).as_str()] {
+            let bad = RuntimeConfig {
+                tenant_weights: vec![(bad_name.into(), 1)],
+                ..RuntimeConfig::default()
+            };
+            assert!(bad.validate().is_err(), "{bad_name:?}");
+        }
+        let good = RuntimeConfig {
+            tenant_weights: vec![("acme".into(), 3), ("coyote-2.0".into(), 1)],
+            ..RuntimeConfig::default()
+        };
+        assert!(good.validate().is_ok());
+        assert_eq!(good.tenant_weight(Some("acme")), 3);
+        assert_eq!(good.tenant_weight(Some("unlisted")), 1);
+        assert_eq!(good.tenant_weight(None), 1);
     }
 }

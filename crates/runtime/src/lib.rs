@@ -42,6 +42,36 @@
 //!    from fixed-bucket histograms. Dropping a `Runtime` does the same
 //!    drain-and-join without the stats.
 //!
+//! ## Admission control
+//!
+//! On top of the bounded queue the runtime runs an SLO-aware admission
+//! controller, configured through [`RuntimeConfig`]:
+//!
+//! - **Deadlines** — a request tagged with
+//!   [`SrRequest::deadline_in`](scales_serve::SrRequest::deadline_in) is
+//!   refused at the door ([`SubmitError::Expired`]) when already late,
+//!   retracted from the queue instead of being dispatched late
+//!   ([`ServeError::Rejected`]), and scheduled earliest-deadline-first
+//!   ahead of untagged work.
+//! - **Per-tenant fairness** — each
+//!   [`SrRequest::tenant`](scales_serve::SrRequest::tenant) tag gets its
+//!   own queue lane, drained by weighted round-robin
+//!   ([`RuntimeConfig::tenant_weights`]) with an optional per-lane quota
+//!   ([`RuntimeConfig::tenant_quota`], refusing with
+//!   [`SubmitError::TenantQuota`]). Per-lane counters surface as
+//!   [`TenantStats`].
+//! - **Load shedding** — a [`ShedPolicy`] refuses work early
+//!   ([`SubmitError::Shedding`]) on a queue-depth watermark or while the
+//!   observed p99 latency exceeds a trip wire.
+//!
+//! Every refusal is typed; [`SubmitError::reject_reason`] classifies the
+//! admission refusals into a [`RejectReason`] so serving front ends can
+//! map them onto distinct wire responses (429 vs 503 vs 504).
+//!
+//! With the `faults` feature (test builds only) the worker dispatch path
+//! evaluates the `scales-faults` registry (`"runtime.dispatch"`), so
+//! chaos tests can inject delays, errors, and panics inside a live pool.
+//!
 //! ```
 //! use scales_runtime::{Runtime, RuntimeConfig};
 //! use scales_serve::{Engine, Precision, SrRequest};
@@ -67,9 +97,9 @@ pub mod metrics;
 mod runtime;
 mod ticket;
 
-pub use config::RuntimeConfig;
-pub use metrics::{LatencyHistogram, RuntimeStats};
-pub use runtime::{Runtime, SubmitError};
+pub use config::{RuntimeConfig, ShedPolicy};
+pub use metrics::{LatencyHistogram, RuntimeStats, TenantStats};
+pub use runtime::{RejectReason, Runtime, ServeError, SubmitError};
 pub use ticket::Ticket;
 
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};

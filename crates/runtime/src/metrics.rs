@@ -192,6 +192,39 @@ impl WorkerShard {
     }
 }
 
+/// One tenant lane's admission and serving counters, reported inside
+/// [`RuntimeStats::tenants`]. Only *tagged* tenants appear here —
+/// untagged traffic shares the anonymous lane and is visible in the
+/// global counters alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant tag ([`SrRequest::tenant`](scales_serve::SrRequest::tenant)).
+    pub tenant: String,
+    /// The lane's weighted-round-robin dequeue weight
+    /// ([`RuntimeConfig::tenant_weights`](crate::RuntimeConfig::tenant_weights)).
+    pub weight: u32,
+    /// Requests queued in this lane at snapshot time.
+    pub queued: usize,
+    /// Requests accepted into this lane.
+    pub submitted: u64,
+    /// Requests served successfully.
+    pub completed: u64,
+    /// Requests resolved with an error (dispatch failure or unserved at
+    /// shutdown).
+    pub failed: u64,
+    /// Requests refused for capacity: queue full, or an admission
+    /// timeout while blocked for space.
+    pub rejected: u64,
+    /// Requests refused early by the shed policy.
+    pub shed: u64,
+    /// Requests refused at this lane's quota.
+    pub quota_rejected: u64,
+    /// Requests whose deadline passed before dispatch (never served).
+    pub expired: u64,
+    /// Requests served, but after their deadline passed mid-flight.
+    pub deadline_misses: u64,
+}
+
 /// Aggregated snapshot of a runtime's serving counters, returned by
 /// [`Runtime::stats`](crate::Runtime::stats) (live) and
 /// [`Runtime::shutdown`](crate::Runtime::shutdown) (final).
@@ -213,6 +246,19 @@ pub struct RuntimeStats {
     /// or a [`submit_wait_timeout`](crate::Runtime::submit_wait_timeout)
     /// deadline that expired while still blocked for queue space.
     pub rejected: u64,
+    /// Requests refused early by the shed policy
+    /// ([`SubmitError::Shedding`](crate::SubmitError::Shedding)).
+    pub shed: u64,
+    /// Requests refused at a tenant lane quota
+    /// ([`SubmitError::TenantQuota`](crate::SubmitError::TenantQuota)).
+    pub quota_rejected: u64,
+    /// Requests whose deadline passed before dispatch
+    /// ([`SubmitError::Expired`](crate::SubmitError::Expired)) — refused
+    /// at the door or retracted from the queue, never served.
+    pub expired: u64,
+    /// Requests served successfully, but after their deadline passed
+    /// mid-flight — the late-but-served counterpart of `expired`.
+    pub deadline_misses: u64,
     /// Requests served successfully.
     pub completed: u64,
     /// Requests resolved with an error.
@@ -241,6 +287,9 @@ pub struct RuntimeStats {
     pub elapsed: Duration,
     /// End-to-end request latency (enqueue → ticket resolution).
     pub latency: LatencyHistogram,
+    /// Per-tenant lane counters, sorted by tenant name. Empty when no
+    /// request carried a tenant tag and no weights were configured.
+    pub tenants: Vec<TenantStats>,
 }
 
 impl RuntimeStats {
@@ -281,8 +330,28 @@ impl RuntimeStats {
         );
         counter(
             "scales_runtime_requests_rejected_total",
-            "Requests rejected at submission (queue full).",
+            "Requests rejected at submission (queue full or admission timeout).",
             self.rejected.to_string(),
+        );
+        counter(
+            "scales_runtime_requests_shed_total",
+            "Requests refused early by the shed policy.",
+            self.shed.to_string(),
+        );
+        counter(
+            "scales_runtime_requests_quota_rejected_total",
+            "Requests refused at a tenant lane quota.",
+            self.quota_rejected.to_string(),
+        );
+        counter(
+            "scales_runtime_requests_expired_total",
+            "Requests whose deadline passed before dispatch (never served).",
+            self.expired.to_string(),
+        );
+        counter(
+            "scales_runtime_deadline_misses_total",
+            "Requests served after their deadline passed mid-flight.",
+            self.deadline_misses.to_string(),
         );
         counter(
             "scales_runtime_requests_completed_total",
@@ -368,6 +437,72 @@ impl RuntimeStats {
         let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", self.latency.count());
         let _ = writeln!(out, "{name}_sum {}", seconds(self.latency.sum()));
         let _ = writeln!(out, "{name}_count {}", self.latency.count());
+        // Per-tenant lane series, after the scalar block so tenant-free
+        // runtimes render the exact historical text.
+        if !self.tenants.is_empty() {
+            let mut tenant_counter = |name: &str, help: &str, value: fn(&TenantStats) -> u64| {
+                let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} counter");
+                for t in &self.tenants {
+                    let _ = writeln!(out, "{name}{{tenant=\"{}\"}} {}", t.tenant, value(t));
+                }
+            };
+            tenant_counter(
+                "scales_runtime_tenant_requests_submitted_total",
+                "Requests accepted, per tenant lane.",
+                |t| t.submitted,
+            );
+            tenant_counter(
+                "scales_runtime_tenant_requests_completed_total",
+                "Requests served successfully, per tenant lane.",
+                |t| t.completed,
+            );
+            tenant_counter(
+                "scales_runtime_tenant_requests_failed_total",
+                "Requests resolved with an error, per tenant lane.",
+                |t| t.failed,
+            );
+            tenant_counter(
+                "scales_runtime_tenant_requests_rejected_total",
+                "Requests rejected for capacity, per tenant lane.",
+                |t| t.rejected,
+            );
+            tenant_counter(
+                "scales_runtime_tenant_requests_shed_total",
+                "Requests refused by the shed policy, per tenant lane.",
+                |t| t.shed,
+            );
+            tenant_counter(
+                "scales_runtime_tenant_requests_quota_rejected_total",
+                "Requests refused at the lane quota, per tenant lane.",
+                |t| t.quota_rejected,
+            );
+            tenant_counter(
+                "scales_runtime_tenant_requests_expired_total",
+                "Requests expired before dispatch, per tenant lane.",
+                |t| t.expired,
+            );
+            tenant_counter(
+                "scales_runtime_tenant_deadline_misses_total",
+                "Requests served after their deadline, per tenant lane.",
+                |t| t.deadline_misses,
+            );
+            let mut tenant_gauge = |name: &str, help: &str, value: fn(&TenantStats) -> u64| {
+                let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} gauge");
+                for t in &self.tenants {
+                    let _ = writeln!(out, "{name}{{tenant=\"{}\"}} {}", t.tenant, value(t));
+                }
+            };
+            tenant_gauge(
+                "scales_runtime_tenant_queue_depth",
+                "Requests queued at scrape time, per tenant lane.",
+                |t| t.queued as u64,
+            );
+            tenant_gauge(
+                "scales_runtime_tenant_weight",
+                "Weighted-round-robin dequeue weight of the tenant lane.",
+                |t| u64::from(t.weight),
+            );
+        }
         out
     }
 }
@@ -413,6 +548,15 @@ impl std::fmt::Display for RuntimeStats {
             f,
             "  queue: depth {} now, high water {}",
             self.queue_depth, self.queue_high_water
+        )?;
+        writeln!(
+            f,
+            "  admission: {} shed, {} quota-limited, {} expired, {} deadline misses ({} tenant lanes)",
+            self.shed,
+            self.quota_rejected,
+            self.expired,
+            self.deadline_misses,
+            self.tenants.len()
         )?;
         write!(
             f,
@@ -505,6 +649,10 @@ mod tests {
             max_batch: 8,
             submitted: 10,
             rejected: 1,
+            shed: 2,
+            quota_rejected: 1,
+            expired: 3,
+            deadline_misses: 1,
             completed: 9,
             failed: 0,
             images: 18,
@@ -517,6 +665,7 @@ mod tests {
             busy: Duration::from_millis(20),
             elapsed: Duration::from_millis(100),
             latency,
+            tenants: Vec::new(),
         };
         let text = stats.render_prometheus();
         // The scalar series, pinned line for line.
@@ -524,9 +673,21 @@ mod tests {
 # HELP scales_runtime_requests_submitted_total Requests accepted into the queue.
 # TYPE scales_runtime_requests_submitted_total counter
 scales_runtime_requests_submitted_total 10
-# HELP scales_runtime_requests_rejected_total Requests rejected at submission (queue full).
+# HELP scales_runtime_requests_rejected_total Requests rejected at submission (queue full or admission timeout).
 # TYPE scales_runtime_requests_rejected_total counter
 scales_runtime_requests_rejected_total 1
+# HELP scales_runtime_requests_shed_total Requests refused early by the shed policy.
+# TYPE scales_runtime_requests_shed_total counter
+scales_runtime_requests_shed_total 2
+# HELP scales_runtime_requests_quota_rejected_total Requests refused at a tenant lane quota.
+# TYPE scales_runtime_requests_quota_rejected_total counter
+scales_runtime_requests_quota_rejected_total 1
+# HELP scales_runtime_requests_expired_total Requests whose deadline passed before dispatch (never served).
+# TYPE scales_runtime_requests_expired_total counter
+scales_runtime_requests_expired_total 3
+# HELP scales_runtime_deadline_misses_total Requests served after their deadline passed mid-flight.
+# TYPE scales_runtime_deadline_misses_total counter
+scales_runtime_deadline_misses_total 1
 # HELP scales_runtime_requests_completed_total Requests served successfully.
 # TYPE scales_runtime_requests_completed_total counter
 scales_runtime_requests_completed_total 9
@@ -609,6 +770,10 @@ scales_runtime_info{backend=\"scalar\",simd=\"none\"} 1
             max_batch: 8,
             submitted: 10,
             rejected: 1,
+            shed: 4,
+            quota_rejected: 2,
+            expired: 1,
+            deadline_misses: 0,
             completed: 9,
             failed: 0,
             images: 18,
@@ -621,11 +786,124 @@ scales_runtime_info{backend=\"scalar\",simd=\"none\"} 1
             busy: Duration::from_millis(20),
             elapsed: Duration::from_millis(100),
             latency: LatencyHistogram::default(),
+            tenants: vec![TenantStats {
+                tenant: "acme".into(),
+                weight: 3,
+                queued: 0,
+                submitted: 10,
+                completed: 9,
+                failed: 0,
+                rejected: 1,
+                shed: 4,
+                quota_rejected: 2,
+                expired: 1,
+                deadline_misses: 0,
+            }],
         };
         let text = stats.to_string();
-        for needle in ["workers", "scalar", "simd none", "req/s", "fill", "high water", "p50", "p99"] {
+        for needle in [
+            "workers",
+            "scalar",
+            "simd none",
+            "req/s",
+            "fill",
+            "high water",
+            "p50",
+            "p99",
+            "4 shed",
+            "2 quota-limited",
+            "1 expired",
+            "0 deadline misses",
+            "1 tenant lanes",
+        ] {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
         }
         assert!(stats.requests_per_sec() > 80.0);
+    }
+
+    #[test]
+    fn tenant_series_render_after_the_scalar_block() {
+        let base = RuntimeStats {
+            workers: 1,
+            backend: Backend::Scalar,
+            simd: SimdLevel::None,
+            max_batch: 8,
+            submitted: 7,
+            rejected: 0,
+            shed: 0,
+            quota_rejected: 2,
+            expired: 0,
+            deadline_misses: 1,
+            completed: 5,
+            failed: 0,
+            images: 5,
+            dispatches: 5,
+            coalesced: 0,
+            queue_depth: 1,
+            queue_high_water: 3,
+            workspace_bytes: 0,
+            batch_fill: 0.5,
+            busy: Duration::ZERO,
+            elapsed: Duration::from_millis(50),
+            latency: LatencyHistogram::default(),
+            tenants: Vec::new(),
+        };
+        // Tenant-free stats render no tenant series at all.
+        assert!(!base.render_prometheus().contains("scales_runtime_tenant_"));
+        let mut stats = base;
+        stats.tenants = vec![
+            TenantStats {
+                tenant: "acme".into(),
+                weight: 3,
+                queued: 1,
+                submitted: 5,
+                completed: 3,
+                failed: 0,
+                rejected: 0,
+                shed: 0,
+                quota_rejected: 2,
+                expired: 0,
+                deadline_misses: 1,
+            },
+            TenantStats {
+                tenant: "zeta".into(),
+                weight: 1,
+                queued: 0,
+                submitted: 2,
+                completed: 2,
+                failed: 0,
+                rejected: 0,
+                shed: 0,
+                quota_rejected: 0,
+                expired: 0,
+                deadline_misses: 0,
+            },
+        ];
+        let text = stats.render_prometheus();
+        // Labeled series sit after the histogram so the scalar block is
+        // byte-identical to the tenant-free rendering.
+        let histogram_count = "scales_runtime_request_latency_seconds_count 0\n";
+        let tail_at = text.find(histogram_count).unwrap() + histogram_count.len();
+        let tail = &text[tail_at..];
+        for line in [
+            "# HELP scales_runtime_tenant_requests_submitted_total Requests accepted, per tenant lane.",
+            "# TYPE scales_runtime_tenant_requests_submitted_total counter",
+            "scales_runtime_tenant_requests_submitted_total{tenant=\"acme\"} 5",
+            "scales_runtime_tenant_requests_submitted_total{tenant=\"zeta\"} 2",
+            "scales_runtime_tenant_requests_quota_rejected_total{tenant=\"acme\"} 2",
+            "scales_runtime_tenant_deadline_misses_total{tenant=\"acme\"} 1",
+            "scales_runtime_tenant_queue_depth{tenant=\"acme\"} 1",
+            "scales_runtime_tenant_weight{tenant=\"acme\"} 3",
+            "scales_runtime_tenant_weight{tenant=\"zeta\"} 1",
+        ] {
+            assert!(tail.contains(line), "missing {line:?} in tail:\n{tail}");
+        }
+        // Each metric name declares HELP/TYPE exactly once, with one line
+        // per tenant under it.
+        assert_eq!(tail.matches("# TYPE scales_runtime_tenant_requests_submitted_total").count(), 1);
+        assert_eq!(
+            tail.matches("scales_runtime_tenant_requests_submitted_total{tenant=").count(),
+            2
+        );
     }
 }

@@ -1,13 +1,17 @@
 //! [`Runtime`] — worker pool, bounded submission queue, and the
-//! cross-request dynamic batcher.
+//! cross-request dynamic batcher, fronted by an SLO-aware admission
+//! controller: per-tenant lanes drained by weighted round-robin,
+//! earliest-deadline-first scheduling of deadline-tagged work, and
+//! configurable load shedding.
 
-use crate::metrics::{RuntimeStats, WorkerShard};
+use crate::metrics::{LatencyHistogram, RuntimeStats, TenantStats, WorkerShard};
 use crate::ticket::{Ticket, TicketCell};
 use crate::{lock, wait, wait_timeout, RuntimeConfig};
 use scales_data::Image;
 use scales_serve::{Engine, InferStats, Session, SrRequest, SrResponse, TilePolicy};
 use scales_tensor::{Result, TensorError};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -39,6 +43,63 @@ pub enum SubmitError {
         /// The deadline the caller gave.
         timeout: std::time::Duration,
     },
+    /// The request's tenant lane is at its configured queue quota
+    /// ([`RuntimeConfig::tenant_quota`]). Other tenants may still have
+    /// room; this one must retry later.
+    TenantQuota {
+        /// The tenant at its quota (`"default"` for untagged requests).
+        tenant: String,
+        /// The configured per-lane bound.
+        quota: usize,
+    },
+    /// The request's deadline passed before it could be dispatched —
+    /// refused at the door, or retracted from the queue by a worker.
+    /// Expired requests are **never** dispatched.
+    Expired,
+    /// The configured [`ShedPolicy`](crate::ShedPolicy) tripped: the
+    /// runtime is refusing work early to protect latency. Fail-fast even
+    /// on the blocking submit paths.
+    Shedding {
+        /// Which trip wire fired.
+        reason: &'static str,
+    },
+}
+
+/// The admission-control verdict behind a refusal, for callers (like the
+/// HTTP front end) that map families of [`SubmitError`]s to transport
+/// statuses: retryable-by-this-caller ([`RejectReason::QueueFull`],
+/// [`RejectReason::TenantQuota`] → `429`) versus server-side overload or
+/// lateness ([`RejectReason::Shedding`] → `503`,
+/// [`RejectReason::Expired`] → `504`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The shared queue is at capacity.
+    QueueFull,
+    /// The tenant's own lane is at its quota.
+    TenantQuota,
+    /// The request's deadline passed before dispatch.
+    Expired,
+    /// The shed policy is refusing work early.
+    Shedding,
+}
+
+impl SubmitError {
+    /// The admission verdict, when this error is one —
+    /// `None` for [`ShuttingDown`](SubmitError::ShuttingDown),
+    /// [`InvalidRequest`](SubmitError::InvalidRequest), and
+    /// [`Timeout`](SubmitError::Timeout).
+    #[must_use]
+    pub fn reject_reason(&self) -> Option<RejectReason> {
+        match self {
+            SubmitError::QueueFull { .. } => Some(RejectReason::QueueFull),
+            SubmitError::TenantQuota { .. } => Some(RejectReason::TenantQuota),
+            SubmitError::Expired => Some(RejectReason::Expired),
+            SubmitError::Shedding { .. } => Some(RejectReason::Shedding),
+            SubmitError::ShuttingDown
+            | SubmitError::InvalidRequest(_)
+            | SubmitError::Timeout { .. } => None,
+        }
+    }
 }
 
 impl std::fmt::Display for SubmitError {
@@ -52,27 +113,154 @@ impl std::fmt::Display for SubmitError {
             SubmitError::Timeout { timeout } => {
                 write!(f, "request was not served within {timeout:?}")
             }
+            SubmitError::TenantQuota { tenant, quota } => {
+                write!(f, "tenant {tenant:?} is at its queue quota ({quota} requests)")
+            }
+            SubmitError::Expired => {
+                f.write_str("request deadline expired before it could be dispatched")
+            }
+            SubmitError::Shedding { reason } => {
+                write!(f, "runtime is shedding load ({reason})")
+            }
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
 
-/// One accepted request waiting in (or popped from) the queue.
+/// How an *accepted* request finished: served, retracted before dispatch,
+/// or failed in flight. This is what [`Ticket::wait`] returns on the
+/// error side — the typed outcome contract that "every accepted ticket
+/// resolves" promises.
+#[derive(Debug, Clone)]
+pub enum ServeError {
+    /// The runtime retracted the request before dispatching it — today
+    /// always [`SubmitError::Expired`] (the deadline passed while
+    /// queued). Expired work is resolved immediately, never served late.
+    Rejected(SubmitError),
+    /// The dispatch ran and failed — the same error a serial
+    /// `Session::infer` of this request would have produced (or the
+    /// runtime lost its workers before serving it).
+    Infer(TensorError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected(e) => write!(f, "request retracted before dispatch: {e}"),
+            ServeError::Infer(e) => write!(f, "inference failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Rejected(e) => Some(e),
+            ServeError::Infer(e) => Some(e),
+        }
+    }
+}
+
+/// One accepted request waiting in (or popped from) its tenant lane.
 struct Entry {
     images: Vec<Image>,
     tile: Option<TilePolicy>,
+    tenant: Option<Arc<str>>,
+    deadline: Option<Instant>,
     cell: Arc<TicketCell>,
     enqueued: Instant,
 }
 
+impl Entry {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| d <= now)
+    }
+}
+
+/// One tenant's FIFO queue plus its admission counters. Lanes are created
+/// on first contact (or up front for weighted tenants) and never removed,
+/// so counters survive idle periods.
+struct Lane {
+    tenant: Option<Arc<str>>,
+    weight: u32,
+    /// Remaining dequeues in the current weighted-round-robin cycle.
+    credits: u32,
+    entries: VecDeque<Entry>,
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    rejected: u64,
+    shed: u64,
+    quota_rejected: u64,
+    expired: u64,
+    deadline_misses: u64,
+}
+
+impl Lane {
+    fn new(tenant: Option<Arc<str>>, weight: u32) -> Self {
+        Self {
+            tenant,
+            weight,
+            credits: 0,
+            entries: VecDeque::new(),
+            submitted: 0,
+            completed: 0,
+            failed: 0,
+            rejected: 0,
+            shed: 0,
+            quota_rejected: 0,
+            expired: 0,
+            deadline_misses: 0,
+        }
+    }
+}
+
 /// Everything behind the queue mutex.
 struct QueueState {
-    queue: VecDeque<Entry>,
+    lanes: Vec<Lane>,
+    /// Entries across all lanes — the quantity bounded by
+    /// `queue_capacity`.
+    total_queued: usize,
+    /// Where the weighted round-robin left off.
+    rr_cursor: usize,
     shutting_down: bool,
-    submitted: u64,
-    rejected: u64,
     high_water: usize,
+    /// Accepted requests failed without a dispatch (shutdown sweep, pool
+    /// death) — folded into `RuntimeStats::failed` so
+    /// `submitted == completed + failed + expired` holds at shutdown.
+    failed_unserved: u64,
+}
+
+impl QueueState {
+    fn new(config: &RuntimeConfig) -> Self {
+        // The anonymous lane plus one lane per weighted tenant, so
+        // configured weights are visible in the stats from the start.
+        let mut lanes = vec![Lane::new(None, 1)];
+        for (name, weight) in &config.tenant_weights {
+            lanes.push(Lane::new(Some(Arc::from(name.as_str())), *weight));
+        }
+        Self {
+            lanes,
+            total_queued: 0,
+            rr_cursor: 0,
+            shutting_down: false,
+            high_water: 0,
+            failed_unserved: 0,
+        }
+    }
+}
+
+fn ensure_lane<'a>(
+    st: &'a mut QueueState,
+    tenant: Option<&str>,
+    config: &RuntimeConfig,
+) -> &'a mut Lane {
+    if let Some(i) = st.lanes.iter().position(|l| l.tenant.as_deref() == tenant) {
+        return &mut st.lanes[i];
+    }
+    st.lanes.push(Lane::new(tenant.map(Arc::from), config.tenant_weight(tenant)));
+    st.lanes.last_mut().expect("just pushed")
 }
 
 /// State shared between the handle and the workers.
@@ -91,7 +279,11 @@ struct Inner {
     /// in a forward), its exit guard flips the pool to shutting-down and
     /// fails the queued tickets — a pool with no workers must refuse
     /// intake, not accept tickets nobody will ever resolve.
-    alive: std::sync::atomic::AtomicUsize,
+    alive: AtomicUsize,
+    /// Observed p99 queue-to-response latency in nanoseconds, re-sampled
+    /// by workers after every dispatch. The shed policy's p99 trip wire
+    /// reads this instead of merging histograms on the submit path.
+    p99_ns: AtomicU64,
     started: Instant,
 }
 
@@ -128,24 +320,21 @@ impl Runtime {
     /// refuses to spawn a worker thread.
     pub fn spawn(engine: Engine<'static>, config: RuntimeConfig) -> Result<Self> {
         config.validate()?;
+        let workers = config.workers;
+        let state = QueueState::new(&config);
         let inner = Arc::new(Inner {
             engine,
             config,
-            state: Mutex::new(QueueState {
-                queue: VecDeque::with_capacity(config.queue_capacity),
-                shutting_down: false,
-                submitted: 0,
-                rejected: 0,
-                high_water: 0,
-            }),
+            state: Mutex::new(state),
             work: Condvar::new(),
             space: Condvar::new(),
-            shards: (0..config.workers).map(|_| Mutex::new(WorkerShard::default())).collect(),
-            alive: std::sync::atomic::AtomicUsize::new(config.workers),
+            shards: (0..workers).map(|_| Mutex::new(WorkerShard::default())).collect(),
+            alive: AtomicUsize::new(workers),
+            p99_ns: AtomicU64::new(0),
             started: Instant::now(),
         });
-        let mut handles = Vec::with_capacity(config.workers);
-        for w in 0..config.workers {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
             let worker_inner = Arc::clone(&inner);
             let spawned = std::thread::Builder::new()
                 .name(format!("scales-runtime-{w}"))
@@ -182,38 +371,39 @@ impl Runtime {
     /// # Errors
     ///
     /// [`SubmitError::QueueFull`] when the bounded queue is at capacity,
+    /// [`SubmitError::TenantQuota`] when the request's tenant lane is at
+    /// its quota, [`SubmitError::Shedding`] while the shed policy is
+    /// tripped, [`SubmitError::Expired`] for a deadline already passed,
     /// [`SubmitError::ShuttingDown`] after [`Runtime::shutdown`] begins,
     /// and [`SubmitError::InvalidRequest`] for a request that could never
     /// be served.
     pub fn submit(&self, request: SrRequest) -> std::result::Result<Ticket, SubmitError> {
-        let (images, tile) = validate(request)?;
+        let parts = validate(request)?;
         let mut st = lock(&self.inner.state);
-        if st.shutting_down {
-            return Err(SubmitError::ShuttingDown);
-        }
-        if st.queue.len() >= self.inner.config.queue_capacity {
-            st.rejected += 1;
+        self.admit(&mut st, &parts)?;
+        if st.total_queued >= self.inner.config.queue_capacity {
+            ensure_lane(&mut st, parts.tenant.as_deref(), &self.inner.config).rejected += 1;
             return Err(SubmitError::QueueFull { capacity: self.inner.config.queue_capacity });
         }
-        Ok(self.enqueue(&mut st, images, tile))
+        Ok(self.enqueue(&mut st, parts))
     }
 
     /// Enqueue a request, blocking while the queue is full.
     ///
     /// # Errors
     ///
-    /// [`SubmitError::ShuttingDown`] (including while blocked) and
-    /// [`SubmitError::InvalidRequest`]; never
-    /// [`SubmitError::QueueFull`].
+    /// Everything [`Runtime::submit`] can return except
+    /// [`SubmitError::QueueFull`] — a full queue blocks instead. The
+    /// admission checks stay fail-fast while blocked: shedding, a tenant
+    /// quota, a passed deadline, or shutdown refuse immediately rather
+    /// than waiting out the overload.
     pub fn submit_wait(&self, request: SrRequest) -> std::result::Result<Ticket, SubmitError> {
-        let (images, tile) = validate(request)?;
+        let parts = validate(request)?;
         let mut st = lock(&self.inner.state);
         loop {
-            if st.shutting_down {
-                return Err(SubmitError::ShuttingDown);
-            }
-            if st.queue.len() < self.inner.config.queue_capacity {
-                return Ok(self.enqueue(&mut st, images, tile));
+            self.admit(&mut st, &parts)?;
+            if st.total_queued < self.inner.config.queue_capacity {
+                return Ok(self.enqueue(&mut st, parts));
             }
             st = wait(&self.inner.space, st);
         }
@@ -223,13 +413,15 @@ impl Runtime {
     /// trip — time blocked on a full queue plus time waiting for the
     /// ticket — by `timeout`. Built on [`Ticket::wait_timeout`]; this is
     /// the deadline-serving entry point network front ends use
-    /// (`scales-http` returns `503 Service Unavailable` from it instead
-    /// of holding a connection open forever).
+    /// (`scales-http` maps each refusal family to its own status and
+    /// `Retry-After`).
     ///
     /// The nested result separates the layers: the outer
-    /// [`SubmitError`] is the runtime refusing or timing out the request,
-    /// the inner [`Result`] is the serving outcome exactly as
-    /// [`Ticket::wait`] would report it.
+    /// [`SubmitError`] is the runtime refusing, retracting, or timing out
+    /// the request (including [`SubmitError::Expired`] when a
+    /// [deadline-tagged](scales_serve::SrRequest::deadline_at) request
+    /// expires while queued), the inner [`Result`] is the serving outcome
+    /// exactly as a serial `Session::infer` would report it.
     ///
     /// # Errors
     ///
@@ -243,19 +435,18 @@ impl Runtime {
         timeout: std::time::Duration,
     ) -> std::result::Result<Result<SrResponse>, SubmitError> {
         let deadline = Instant::now() + timeout;
-        let (images, tile) = validate(request)?;
+        let parts = validate(request)?;
         let ticket = {
             let mut st = lock(&self.inner.state);
             loop {
-                if st.shutting_down {
-                    return Err(SubmitError::ShuttingDown);
-                }
-                if st.queue.len() < self.inner.config.queue_capacity {
-                    break self.enqueue(&mut st, images, tile);
+                self.admit(&mut st, &parts)?;
+                if st.total_queued < self.inner.config.queue_capacity {
+                    break self.enqueue(&mut st, parts);
                 }
                 let now = Instant::now();
                 if now >= deadline {
-                    st.rejected += 1;
+                    ensure_lane(&mut st, parts.tenant.as_deref(), &self.inner.config)
+                        .rejected += 1;
                     return Err(SubmitError::Timeout { timeout });
                 }
                 let (guard, _timed_out) = wait_timeout(&self.inner.space, st, deadline - now);
@@ -264,26 +455,65 @@ impl Runtime {
         };
         let remaining = deadline.saturating_duration_since(Instant::now());
         match ticket.wait_timeout(remaining) {
-            Ok(result) => Ok(result),
+            Ok(Ok(response)) => Ok(Ok(response)),
+            Ok(Err(ServeError::Infer(e))) => Ok(Err(e)),
+            Ok(Err(ServeError::Rejected(e))) => Err(e),
             Err(_still_pending) => Err(SubmitError::Timeout { timeout }),
         }
     }
 
-    /// Build the entry under the queue lock — `enqueued` is stamped here,
-    /// the moment the request actually enters the queue (not when it was
-    /// validated, which `submit_wait` can separate by a long block).
-    fn enqueue(
+    /// The fail-fast admission checks shared by every submit path:
+    /// shutdown, a passed deadline, the shed policy, and the tenant
+    /// quota. Capacity is *not* checked here — the blocking paths wait it
+    /// out instead.
+    fn admit(
         &self,
-        st: &mut MutexGuard<'_, QueueState>,
-        images: Vec<Image>,
-        tile: Option<TilePolicy>,
-    ) -> Ticket {
-        let entry =
-            Entry { images, tile, cell: TicketCell::new(), enqueued: Instant::now() };
-        let ticket = Ticket { cell: Arc::clone(&entry.cell) };
-        st.submitted += 1;
-        st.queue.push_back(entry);
-        st.high_water = st.high_water.max(st.queue.len());
+        st: &mut QueueState,
+        parts: &Admitted,
+    ) -> std::result::Result<(), SubmitError> {
+        if st.shutting_down {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if parts.deadline.is_some_and(|d| d <= Instant::now()) {
+            ensure_lane(st, parts.tenant.as_deref(), &self.inner.config).expired += 1;
+            return Err(SubmitError::Expired);
+        }
+        if let Some(reason) = shed_reason(&self.inner, st) {
+            ensure_lane(st, parts.tenant.as_deref(), &self.inner.config).shed += 1;
+            return Err(SubmitError::Shedding { reason });
+        }
+        if let Some(quota) = self.inner.config.tenant_quota {
+            let lane = ensure_lane(st, parts.tenant.as_deref(), &self.inner.config);
+            if lane.entries.len() >= quota {
+                lane.quota_rejected += 1;
+                return Err(SubmitError::TenantQuota {
+                    tenant: parts.tenant.clone().unwrap_or_else(|| "default".into()),
+                    quota,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Build the entry under the queue lock — `enqueued` is stamped here,
+    /// the moment the request actually enters its lane (not when it was
+    /// validated, which `submit_wait` can separate by a long block).
+    fn enqueue(&self, st: &mut MutexGuard<'_, QueueState>, parts: Admitted) -> Ticket {
+        let Admitted { images, tile, tenant, deadline } = parts;
+        let cell = TicketCell::new();
+        let ticket = Ticket { cell: Arc::clone(&cell) };
+        let lane = ensure_lane(st, tenant.as_deref(), &self.inner.config);
+        lane.submitted += 1;
+        lane.entries.push_back(Entry {
+            images,
+            tile,
+            tenant: lane.tenant.clone(),
+            deadline,
+            cell,
+            enqueued: Instant::now(),
+        });
+        st.total_queued += 1;
+        st.high_water = st.high_water.max(st.total_queued);
         self.inner.work.notify_one();
         ticket
     }
@@ -329,26 +559,72 @@ impl Drop for Runtime {
     }
 }
 
+/// Whether the shed policy refuses new work right now.
+fn shed_reason(inner: &Inner, st: &QueueState) -> Option<&'static str> {
+    let policy = inner.config.shed;
+    if policy.queue_watermark.is_some_and(|mark| st.total_queued >= mark) {
+        return Some("queue depth watermark");
+    }
+    if policy
+        .p99_trip
+        .is_some_and(|trip| u128::from(inner.p99_ns.load(Ordering::Relaxed)) > trip.as_nanos())
+    {
+        return Some("p99 latency trip wire");
+    }
+    None
+}
+
 /// After the workers are joined, resolve anything still queued. The drain
-/// loop normally empties the queue before the workers exit; entries can
+/// loop normally empties the lanes before the workers exit; entries can
 /// only remain here if every worker died panicking, and even then no
 /// accepted ticket may be left blocking forever.
 fn sweep_leftovers(inner: &Inner) {
     let mut st = lock(&inner.state);
-    while let Some(entry) = st.queue.pop_front() {
-        entry.cell.resolve_if_pending(Err(TensorError::InvalidArgument(
-            "runtime shut down before this request could be served".into(),
-        )));
+    fail_queued(
+        &mut st,
+        "runtime shut down before this request could be served",
+    );
+}
+
+/// Fail every queued entry with `message`, keeping the per-lane and
+/// unserved counters exact.
+fn fail_queued(st: &mut QueueState, message: &str) {
+    for lane in &mut st.lanes {
+        while let Some(entry) = lane.entries.pop_front() {
+            if entry.cell.resolve_if_pending(Err(ServeError::Infer(
+                TensorError::InvalidArgument(message.into()),
+            ))) {
+                lane.failed += 1;
+                st.failed_unserved += 1;
+            }
+            st.total_queued -= 1;
+        }
     }
+}
+
+/// What survives request validation: the payload plus the admission
+/// metadata (tenant tag, absolute deadline).
+struct Admitted {
+    images: Vec<Image>,
+    tile: Option<TilePolicy>,
+    tenant: Option<String>,
+    deadline: Option<Instant>,
 }
 
 /// Reject requests that could never be served, so they cannot poison a
 /// coalesced dispatch later: a degenerate payload must fail only its own
 /// caller — with a typed error at submission — never the innocent
 /// requests batched alongside it.
-type ValidParts = (Vec<Image>, Option<TilePolicy>);
-
-fn validate(request: SrRequest) -> std::result::Result<ValidParts, SubmitError> {
+fn validate(request: SrRequest) -> std::result::Result<Admitted, SubmitError> {
+    let tenant = request.tenant_tag().map(str::to_owned);
+    if let Some(name) = &tenant {
+        if !crate::config::valid_tenant_name(name) {
+            return Err(SubmitError::InvalidRequest(format!(
+                "tenant name {name:?} is invalid: 1-64 characters of [A-Za-z0-9._-]"
+            )));
+        }
+    }
+    let deadline = request.deadline();
     let (images, tile) = request.into_parts();
     if images.is_empty() {
         return Err(SubmitError::InvalidRequest(
@@ -378,7 +654,7 @@ fn validate(request: SrRequest) -> std::result::Result<ValidParts, SubmitError> 
     if let Some(policy) = tile {
         policy.validate().map_err(|e| SubmitError::InvalidRequest(e.to_string()))?;
     }
-    Ok((images, tile))
+    Ok(Admitted { images, tile, tenant, deadline })
 }
 
 fn worker_loop(inner: &Inner, worker: usize) {
@@ -390,15 +666,11 @@ fn worker_loop(inner: &Inner, worker: usize) {
     }
     impl Drop for WorkerExit<'_> {
         fn drop(&mut self) {
-            let was = self.inner.alive.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+            let was = self.inner.alive.fetch_sub(1, Ordering::SeqCst);
             if was == 1 && std::thread::panicking() {
                 let mut st = lock(&self.inner.state);
                 st.shutting_down = true;
-                while let Some(entry) = st.queue.pop_front() {
-                    entry.cell.resolve_if_pending(Err(TensorError::InvalidArgument(
-                        "runtime has no live workers left (all panicked)".into(),
-                    )));
-                }
+                fail_queued(&mut st, "runtime has no live workers left (all panicked)");
                 drop(st);
                 self.inner.space.notify_all();
             }
@@ -407,57 +679,178 @@ fn worker_loop(inner: &Inner, worker: usize) {
     let _exit = WorkerExit { inner };
     let session = inner.engine.session();
     while let Some(batch) = next_dispatch(inner) {
-        serve_dispatch(inner, worker, &session, batch);
+        // An entire gathered batch can expire during the straggler
+        // window; there is nothing left to serve.
+        if !batch.is_empty() {
+            serve_dispatch(inner, worker, &session, batch);
+        }
     }
 }
 
-/// The cross-request dynamic batcher. Blocks for work, then gathers
-/// **consecutive** compatible requests from the queue front — same tile
-/// override, fitting within `max_batch` images — waiting up to `max_wait`
-/// for stragglers while the queue is empty. Returns `None` when the
-/// runtime is shutting down and the queue is fully drained.
+/// Resolve and account every expired entry at the head of a lane. Expiry
+/// is lazy — an expired entry buried behind live ones is retracted when
+/// it surfaces at its lane head (or at the final pre-dispatch check) —
+/// but an expired entry is *never* handed to a session.
+fn expire_stale_heads(inner: &Inner, st: &mut QueueState, now: Instant) {
+    let mut freed = false;
+    for lane in &mut st.lanes {
+        while lane.entries.front().is_some_and(|e| e.expired(now)) {
+            let entry = lane.entries.pop_front().expect("front checked");
+            entry.cell.resolve(Err(ServeError::Rejected(SubmitError::Expired)));
+            lane.expired += 1;
+            st.total_queued -= 1;
+            freed = true;
+        }
+    }
+    if freed {
+        inner.space.notify_all();
+    }
+}
+
+/// The earliest deadline anywhere in the queue — the moment a sleeping
+/// worker must wake to retract expired work promptly.
+fn earliest_deadline(st: &QueueState) -> Option<Instant> {
+    st.lanes
+        .iter()
+        .flat_map(|lane| lane.entries.iter().filter_map(|e| e.deadline))
+        .min()
+}
+
+/// Pick the next entry to anchor a dispatch: earliest-deadline-first
+/// across the deadline-tagged lane heads, then weighted round-robin among
+/// the rest. FIFO order within a lane is never violated.
+fn pop_next(inner: &Inner, st: &mut QueueState, now: Instant) -> Option<Entry> {
+    expire_stale_heads(inner, st, now);
+    // EDF: any head with a deadline outranks the weighted rotation — a
+    // straggler without a deadline cannot starve urgent work.
+    let edf = st
+        .lanes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, lane)| lane.entries.front().and_then(|e| e.deadline).map(|d| (d, i)))
+        .min_by_key(|&(d, _)| d);
+    let lane_index = match edf {
+        Some((_, i)) => i,
+        None => {
+            if st.total_queued == 0 {
+                return None;
+            }
+            // Weighted round-robin: when every backlogged lane is out of
+            // credits, grant a fresh cycle (weight credits each), then
+            // keep draining from the cursor so a lane spends its credits
+            // consecutively.
+            if !st.lanes.iter().any(|l| !l.entries.is_empty() && l.credits > 0) {
+                for lane in &mut st.lanes {
+                    if !lane.entries.is_empty() {
+                        lane.credits = lane.weight;
+                    }
+                }
+            }
+            let n = st.lanes.len();
+            let i = (0..n)
+                .map(|k| (st.rr_cursor + k) % n)
+                .find(|&i| !st.lanes[i].entries.is_empty() && st.lanes[i].credits > 0)?;
+            st.lanes[i].credits -= 1;
+            st.rr_cursor = i;
+            i
+        }
+    };
+    let entry = st.lanes[lane_index].entries.pop_front()?;
+    st.total_queued -= 1;
+    Some(entry)
+}
+
+/// One fairness round over the lanes: take at most one compatible head
+/// (same tile override, fits within `max_batch`) per lane. Returns
+/// whether anything was taken.
+fn gather_round(
+    inner: &Inner,
+    st: &mut QueueState,
+    batch: &mut Vec<Entry>,
+    images: &mut usize,
+    now: Instant,
+) -> bool {
+    expire_stale_heads(inner, st, now);
+    let max_batch = inner.config.max_batch;
+    let tile = batch[0].tile;
+    let mut took = false;
+    let n = st.lanes.len();
+    for k in 0..n {
+        let i = (st.rr_cursor + k) % n;
+        let compatible = st.lanes[i]
+            .entries
+            .front()
+            .is_some_and(|e| e.tile == tile && *images + e.images.len() <= max_batch);
+        if compatible {
+            let entry = st.lanes[i].entries.pop_front().expect("front checked");
+            st.total_queued -= 1;
+            *images += entry.images.len();
+            batch.push(entry);
+            inner.space.notify_all();
+            took = true;
+            if *images >= max_batch {
+                break;
+            }
+        }
+    }
+    took
+}
+
+/// The cross-request dynamic batcher. Blocks for work (waking early to
+/// retract expired entries), anchors a batch on the scheduler's pick,
+/// then gathers compatible heads across the lanes — waiting up to
+/// `max_wait` for stragglers while the queue is empty. Returns `None`
+/// when the runtime is shutting down and the lanes are fully drained;
+/// the returned batch can be empty when everything gathered expired
+/// during the straggler window.
 fn next_dispatch(inner: &Inner) -> Option<Vec<Entry>> {
     let mut st = lock(&inner.state);
     let first = loop {
-        if let Some(entry) = st.queue.pop_front() {
+        if let Some(entry) = pop_next(inner, &mut st, Instant::now()) {
             break entry;
         }
         if st.shutting_down {
             return None;
         }
-        st = wait(&inner.work, st);
+        // Sleep until work arrives — or until the earliest queued
+        // deadline passes, so expired entries are retracted promptly
+        // instead of waiting for the next submission to wake a worker.
+        st = match earliest_deadline(&st) {
+            Some(d) => {
+                let now = Instant::now();
+                if d <= now {
+                    continue;
+                }
+                wait_timeout(&inner.work, st, d - now).0
+            }
+            None => wait(&inner.work, st),
+        };
     };
     inner.space.notify_all();
     let max_batch = inner.config.max_batch;
-    let deadline = Instant::now() + inner.config.max_wait;
+    let window = Instant::now() + inner.config.max_wait;
     let mut images = first.images.len();
     let mut batch = vec![first];
     loop {
-        // Take compatible entries off the front while they fit.
-        while images < max_batch {
-            let compatible = st
-                .queue
-                .front()
-                .is_some_and(|e| e.tile == batch[0].tile && images + e.images.len() <= max_batch);
-            if !compatible {
-                break;
-            }
-            let entry = st.queue.pop_front().expect("front checked");
-            images += entry.images.len();
-            batch.push(entry);
-            inner.space.notify_all();
+        let took = gather_round(inner, &mut st, &mut batch, &mut images, Instant::now());
+        // Dispatch when full or shutting down; when only incompatible
+        // heads remain (never reorder around them within a lane), keep
+        // gathering while rounds still make progress; otherwise wait out
+        // the batching window for stragglers.
+        if images >= max_batch || st.shutting_down {
+            break;
         }
-        // Dispatch when full, when an incompatible request heads the
-        // queue (never reorder around it), on shutdown, or when the
-        // batching window closes.
-        if images >= max_batch || !st.queue.is_empty() || st.shutting_down {
+        if st.total_queued > 0 {
+            if took {
+                continue;
+            }
             break;
         }
         let now = Instant::now();
-        if now >= deadline {
+        if now >= window {
             break;
         }
-        let (guard, timed_out) = wait_timeout(&inner.work, st, deadline - now);
+        let (guard, timed_out) = wait_timeout(&inner.work, st, window - now);
         st = guard;
         if timed_out {
             // One last gather below is pointless — the wait only returns
@@ -465,35 +858,83 @@ fn next_dispatch(inner: &Inner) -> Option<Vec<Entry>> {
             break;
         }
     }
+    // The hard guarantee behind `SubmitError::Expired`: nothing expired
+    // is ever dispatched. The straggler window can outlive a gathered
+    // entry's deadline; retract those here, at the last moment before
+    // the batch leaves the lock.
+    let now = Instant::now();
+    let mut kept = Vec::with_capacity(batch.len());
+    for entry in batch {
+        if entry.expired(now) {
+            entry.cell.resolve(Err(ServeError::Rejected(SubmitError::Expired)));
+            ensure_lane(&mut st, entry.tenant.as_deref(), &inner.config).expired += 1;
+        } else {
+            kept.push(entry);
+        }
+    }
     // This worker may have consumed a submit's `notify_one` for an entry
     // it is deliberately leaving queued (incompatible tile override, or a
     // batch that would not fit). Re-signal so an idle worker picks it up
     // instead of waiting out this whole dispatch.
-    if !st.queue.is_empty() {
+    if st.total_queued > 0 {
         inner.work.notify_one();
     }
     drop(st);
-    Some(batch)
+    Some(kept)
 }
 
 /// On unwind — a panic inside the forward path — resolve every
-/// still-pending ticket of the dispatch with an error: the worker thread
-/// dies, but no caller is left blocked forever (the rest of the pool
-/// keeps serving).
+/// still-pending ticket of the dispatch with an error and account each
+/// one as failed: the worker thread dies, but no caller is left blocked
+/// forever and `stats.failed` stays exact (the rest of the pool keeps
+/// serving).
 struct ResolveOnPanic<'a> {
+    inner: &'a Inner,
     entries: &'a [Entry],
 }
 
 impl Drop for ResolveOnPanic<'_> {
     fn drop(&mut self) {
-        if std::thread::panicking() {
-            for entry in self.entries {
-                entry.cell.resolve_if_pending(Err(TensorError::InvalidArgument(
+        if !std::thread::panicking() {
+            return;
+        }
+        // The panic came out of the forward path, so this thread holds
+        // neither the state lock nor a shard lock here.
+        let mut st = lock(&self.inner.state);
+        for entry in self.entries {
+            if entry.cell.resolve_if_pending(Err(ServeError::Infer(
+                TensorError::InvalidArgument(
                     "runtime worker panicked while serving this dispatch".into(),
-                )));
+                ),
+            ))) {
+                ensure_lane(&mut st, entry.tenant.as_deref(), &self.inner.config).failed += 1;
+                st.failed_unserved += 1;
             }
         }
     }
+}
+
+/// The injectable failure hook on the dispatch path. Unarmed (and in
+/// builds without the `faults` feature) this is free; armed, it can
+/// stall the worker, kill it mid-dispatch, or substitute an inference
+/// error — the raw material of the chaos suite.
+#[cfg(feature = "faults")]
+fn dispatch_fault() -> Option<TensorError> {
+    match scales_faults::fire("runtime.dispatch")? {
+        scales_faults::FaultAction::Delay(pause) => {
+            std::thread::sleep(pause);
+            None
+        }
+        scales_faults::FaultAction::Panic => panic!("injected fault: runtime.dispatch"),
+        scales_faults::FaultAction::Error(message) => {
+            Some(TensorError::InvalidArgument(format!("injected fault: {message}")))
+        }
+    }
+}
+
+#[cfg(not(feature = "faults"))]
+fn dispatch_fault() -> Option<TensorError> {
+    None
 }
 
 /// Serve one coalesced batch through the worker's session and hand every
@@ -506,13 +947,16 @@ fn serve_dispatch(inner: &Inner, worker: usize, session: &Session<'_, 'static>, 
     for entry in &mut entries {
         combined.append(&mut entry.images);
     }
-    let _panic_guard = ResolveOnPanic { entries: &entries };
+    let _panic_guard = ResolveOnPanic { inner, entries: &entries };
     let mut request = SrRequest::batch(combined);
     if let Some(policy) = entries[0].tile {
         request = request.tile_policy(policy);
     }
     let served_at = Instant::now();
-    let result = session.infer(request);
+    let result = match dispatch_fault() {
+        Some(injected) => Err(injected),
+        None => session.infer(request),
+    };
     let busy = served_at.elapsed();
 
     let mut shard = lock(&inner.shards[worker]);
@@ -524,6 +968,7 @@ fn serve_dispatch(inner: &Inner, worker: usize, session: &Session<'_, 'static>, 
     if entries.len() > 1 {
         shard.coalesced += entries.len() as u64;
     }
+    let served_ok = result.is_ok();
     match result {
         Ok(response) => {
             // Per-caller stats: own image count; the shared dispatch's
@@ -550,17 +995,81 @@ fn serve_dispatch(inner: &Inner, worker: usize, session: &Session<'_, 'static>, 
             for entry in &entries {
                 shard.failed += 1;
                 shard.latency.record(entry.enqueued.elapsed());
-                entry.cell.resolve(Err(e.clone()));
+                entry.cell.resolve(Err(ServeError::Infer(e.clone())));
             }
         }
     }
+    drop(shard);
+
+    // Per-tenant accounting happens post-dispatch under one brief state
+    // lock: completions, failures, and deadline misses (served, but after
+    // the deadline passed mid-flight — the late-but-served counterpart of
+    // the never-dispatched `Expired`).
+    let resolved_at = Instant::now();
+    let mut st = lock(&inner.state);
+    for entry in &entries {
+        let lane = ensure_lane(&mut st, entry.tenant.as_deref(), &inner.config);
+        if served_ok {
+            lane.completed += 1;
+            if entry.deadline.is_some_and(|d| resolved_at > d) {
+                lane.deadline_misses += 1;
+            }
+        } else {
+            lane.failed += 1;
+        }
+    }
+    drop(st);
+    refresh_p99(inner);
+}
+
+/// Re-sample the merged p99 latency into the shared cache the shed
+/// policy's trip wire reads.
+fn refresh_p99(inner: &Inner) {
+    let mut merged = LatencyHistogram::default();
+    for shard in &inner.shards {
+        merged.merge(&lock(shard).latency);
+    }
+    let p99 = merged.p99().as_nanos();
+    inner.p99_ns.store(u64::try_from(p99).unwrap_or(u64::MAX), Ordering::Relaxed);
 }
 
 fn snapshot(inner: &Inner) -> RuntimeStats {
-    let (queue_depth, queue_high_water, submitted, rejected) = {
-        let st = lock(&inner.state);
-        (st.queue.len(), st.high_water, st.submitted, st.rejected)
-    };
+    let st = lock(&inner.state);
+    let queue_depth = st.total_queued;
+    let queue_high_water = st.high_water;
+    let failed_unserved = st.failed_unserved;
+    let mut submitted = 0;
+    let mut rejected = 0;
+    let mut shed = 0;
+    let mut quota_rejected = 0;
+    let mut expired = 0;
+    let mut deadline_misses = 0;
+    let mut tenants = Vec::new();
+    for lane in &st.lanes {
+        submitted += lane.submitted;
+        rejected += lane.rejected;
+        shed += lane.shed;
+        quota_rejected += lane.quota_rejected;
+        expired += lane.expired;
+        deadline_misses += lane.deadline_misses;
+        if let Some(name) = &lane.tenant {
+            tenants.push(TenantStats {
+                tenant: name.to_string(),
+                weight: lane.weight,
+                queued: lane.entries.len(),
+                submitted: lane.submitted,
+                completed: lane.completed,
+                failed: lane.failed,
+                rejected: lane.rejected,
+                shed: lane.shed,
+                quota_rejected: lane.quota_rejected,
+                expired: lane.expired,
+                deadline_misses: lane.deadline_misses,
+            });
+        }
+    }
+    drop(st);
+    tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
     let mut agg = WorkerShard::default();
     for shard in &inner.shards {
         agg.merge(&lock(shard));
@@ -578,8 +1087,12 @@ fn snapshot(inner: &Inner) -> RuntimeStats {
         max_batch: inner.config.max_batch,
         submitted,
         rejected,
+        shed,
+        quota_rejected,
+        expired,
+        deadline_misses,
         completed: agg.completed,
-        failed: agg.failed,
+        failed: agg.failed + failed_unserved,
         images: agg.images,
         dispatches: agg.dispatches,
         coalesced: agg.coalesced,
@@ -590,6 +1103,7 @@ fn snapshot(inner: &Inner) -> RuntimeStats {
         busy: agg.busy,
         elapsed: inner.started.elapsed(),
         latency: agg.latency,
+        tenants,
     }
 }
 
@@ -673,6 +1187,11 @@ mod tests {
         let gray = Image::from_tensor(scales_tensor::Tensor::zeros(&[1, 8, 8])).unwrap();
         let not_rgb = runtime.submit(SrRequest::single(gray)).unwrap_err();
         assert!(matches!(not_rgb, SubmitError::InvalidRequest(_)), "{not_rgb}");
+        // A malformed tenant tag is a validation error, not a new lane.
+        let bad_tenant = runtime
+            .submit(SrRequest::single(probe(8, 8, 5)).tenant("not a tenant!"))
+            .unwrap_err();
+        assert!(matches!(bad_tenant, SubmitError::InvalidRequest(_)), "{bad_tenant}");
         let stats = runtime.shutdown();
         assert_eq!(stats.submitted, 0, "rejected requests never enter the queue");
     }
@@ -725,6 +1244,7 @@ mod tests {
                 queue_capacity: 1,
                 max_batch: 1,
                 max_wait: std::time::Duration::ZERO,
+                ..RuntimeConfig::default()
             },
         )
         .unwrap();
@@ -767,6 +1287,12 @@ mod tests {
                 SubmitError::Timeout { timeout: std::time::Duration::from_millis(250) },
                 "not served within 250ms",
             ),
+            (
+                SubmitError::TenantQuota { tenant: "acme".into(), quota: 3 },
+                "\"acme\" is at its queue quota (3",
+            ),
+            (SubmitError::Expired, "deadline expired"),
+            (SubmitError::Shedding { reason: "queue depth watermark" }, "shedding load"),
         ];
         for (err, needle) in cases {
             let text = err.to_string();
@@ -774,6 +1300,65 @@ mod tests {
             let dyn_err: &dyn std::error::Error = &err;
             assert!(dyn_err.source().is_none(), "{err:?} is a leaf error");
         }
+    }
+
+    #[test]
+    fn reject_reason_classifies_the_admission_refusals() {
+        assert_eq!(
+            SubmitError::QueueFull { capacity: 1 }.reject_reason(),
+            Some(RejectReason::QueueFull)
+        );
+        assert_eq!(
+            SubmitError::TenantQuota { tenant: "a".into(), quota: 1 }.reject_reason(),
+            Some(RejectReason::TenantQuota)
+        );
+        assert_eq!(SubmitError::Expired.reject_reason(), Some(RejectReason::Expired));
+        assert_eq!(
+            SubmitError::Shedding { reason: "x" }.reject_reason(),
+            Some(RejectReason::Shedding)
+        );
+        assert_eq!(SubmitError::ShuttingDown.reject_reason(), None);
+        assert_eq!(SubmitError::InvalidRequest(String::new()).reject_reason(), None);
+        assert_eq!(
+            SubmitError::Timeout { timeout: std::time::Duration::ZERO }.reject_reason(),
+            None
+        );
+    }
+
+    #[test]
+    fn serve_error_display_and_sources_are_wired() {
+        let rejected = ServeError::Rejected(SubmitError::Expired);
+        assert!(rejected.to_string().contains("retracted"), "{rejected}");
+        let infer = ServeError::Infer(TensorError::InvalidArgument("boom".into()));
+        assert!(infer.to_string().contains("inference failed"), "{infer}");
+        for err in [rejected, infer] {
+            let dyn_err: &dyn std::error::Error = &err;
+            assert!(dyn_err.source().is_some(), "{err:?} wraps its cause");
+        }
+    }
+
+    #[test]
+    fn already_expired_deadlines_are_refused_at_the_door() {
+        let runtime = Runtime::spawn(
+            small_engine(),
+            RuntimeConfig { workers: 1, ..RuntimeConfig::default() },
+        )
+        .unwrap();
+        let err = runtime
+            .submit(SrRequest::single(probe(8, 8, 70)).deadline_at(Instant::now()))
+            .unwrap_err();
+        assert_eq!(err, SubmitError::Expired);
+        let err = runtime
+            .submit_wait(
+                SrRequest::single(probe(8, 8, 71))
+                    .deadline_in(std::time::Duration::ZERO),
+            )
+            .unwrap_err();
+        assert_eq!(err, SubmitError::Expired);
+        let stats = runtime.shutdown();
+        assert_eq!(stats.submitted, 0, "expired requests never enter the queue");
+        assert_eq!(stats.expired, 2);
+        assert_eq!(stats.completed, 0);
     }
 
     #[test]

@@ -2,16 +2,19 @@
 //! `Mutex` + `Condvar` one-shot cell resolved exactly once by the worker
 //! that serves the request.
 
+use crate::runtime::ServeError;
 use crate::{lock, wait_timeout};
 use scales_serve::SrResponse;
-use scales_tensor::Result;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// How a ticket resolves: the response, or a typed [`ServeError`].
+pub(crate) type ServeResult = Result<SrResponse, ServeError>;
 
 /// The shared one-shot cell between a submitted request and the worker
 /// that eventually serves it.
 pub(crate) struct TicketCell {
-    slot: Mutex<Option<Result<SrResponse>>>,
+    slot: Mutex<Option<ServeResult>>,
     done: Condvar,
 }
 
@@ -22,7 +25,7 @@ impl TicketCell {
 
     /// Deliver the result, waking the waiting caller. Called exactly once
     /// per cell, by the worker that served (or failed) the request.
-    pub(crate) fn resolve(&self, result: Result<SrResponse>) {
+    pub(crate) fn resolve(&self, result: ServeResult) {
         let mut slot = lock(&self.slot);
         debug_assert!(slot.is_none(), "a ticket resolves exactly once");
         *slot = Some(result);
@@ -32,12 +35,16 @@ impl TicketCell {
     /// Deliver `result` only if nothing was delivered yet — the
     /// last-resort path (worker panic unwind, post-join shutdown sweep)
     /// that guarantees no accepted ticket is ever left blocking forever.
-    pub(crate) fn resolve_if_pending(&self, result: Result<SrResponse>) {
+    /// Returns whether this call resolved the cell, so those paths can
+    /// account the requests they failed.
+    pub(crate) fn resolve_if_pending(&self, result: ServeResult) -> bool {
         let mut slot = lock(&self.slot);
-        if slot.is_none() {
+        let resolved = slot.is_none();
+        if resolved {
             *slot = Some(result);
             self.done.notify_all();
         }
+        resolved
     }
 }
 
@@ -51,8 +58,9 @@ impl TicketCell {
 /// coalesced with other callers' work.
 ///
 /// Every accepted request is eventually resolved: workers drain the queue
-/// on shutdown, and a failed dispatch resolves its tickets with the error
-/// instead of dropping them.
+/// on shutdown, a failed dispatch resolves its tickets with the error
+/// instead of dropping them, and a queued request whose deadline passes
+/// resolves with [`ServeError::Rejected`] instead of being served late.
 pub struct Ticket {
     pub(crate) cell: Arc<TicketCell>,
 }
@@ -68,9 +76,11 @@ impl Ticket {
     ///
     /// # Errors
     ///
-    /// Returns the error the serving dispatch produced, exactly as a
-    /// serial `Session::infer` of this request would have.
-    pub fn wait(self) -> Result<SrResponse> {
+    /// [`ServeError::Infer`] carries the error the serving dispatch
+    /// produced, exactly as a serial `Session::infer` of this request
+    /// would have; [`ServeError::Rejected`] means the runtime retracted
+    /// the accepted request before dispatch (deadline expiry).
+    pub fn wait(self) -> ServeResult {
         let mut slot = lock(&self.cell.slot);
         loop {
             if let Some(result) = slot.take() {
@@ -89,7 +99,7 @@ impl Ticket {
     ///
     /// `Err(self)` on timeout; the inner `Result` is as in
     /// [`Ticket::wait`].
-    pub fn wait_timeout(self, timeout: Duration) -> std::result::Result<Result<SrResponse>, Ticket> {
+    pub fn wait_timeout(self, timeout: Duration) -> Result<ServeResult, Ticket> {
         let deadline = Instant::now() + timeout;
         let mut slot = lock(&self.cell.slot);
         loop {
@@ -117,6 +127,7 @@ impl Ticket {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SubmitError;
     use scales_serve::{InferStats, Precision, SrResponse};
     use scales_tensor::backend::Backend;
 
@@ -167,5 +178,18 @@ mod tests {
         };
         cell.resolve(Ok(empty_response()));
         assert!(ticket.wait_timeout(Duration::from_secs(5)).is_ok());
+    }
+
+    #[test]
+    fn resolve_if_pending_reports_whether_it_won() {
+        let cell = TicketCell::new();
+        let ticket = Ticket { cell: Arc::clone(&cell) };
+        assert!(cell.resolve_if_pending(Err(ServeError::Rejected(SubmitError::Expired))));
+        assert!(!cell.resolve_if_pending(Ok(empty_response())));
+        // The first resolution sticks.
+        assert!(matches!(
+            ticket.wait(),
+            Err(ServeError::Rejected(SubmitError::Expired))
+        ));
     }
 }

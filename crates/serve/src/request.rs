@@ -5,6 +5,7 @@ use crate::tile::TilePolicy;
 use scales_data::Image;
 use scales_tensor::backend::Backend;
 use scales_tensor::SimdLevel;
+use std::time::{Duration, Instant};
 
 /// A unit of serving work: one or more LR images, with optional
 /// per-request overrides of the engine defaults.
@@ -12,20 +13,22 @@ use scales_tensor::SimdLevel;
 pub struct SrRequest {
     images: Vec<Image>,
     tile: Option<TilePolicy>,
+    tenant: Option<String>,
+    deadline: Option<Instant>,
 }
 
 impl SrRequest {
     /// Request super-resolution of a single image.
     #[must_use]
     pub fn single(image: Image) -> Self {
-        Self { images: vec![image], tile: None }
+        Self::batch(vec![image])
     }
 
     /// Request super-resolution of a set of images. Sizes may be mixed;
     /// the session micro-batches same-sized images together.
     #[must_use]
     pub fn batch(images: Vec<Image>) -> Self {
-        Self { images, tile: None }
+        Self { images, tile: None, tenant: None, deadline: None }
     }
 
     /// Override the engine's tile policy for this request only.
@@ -35,10 +38,50 @@ impl SrRequest {
         self
     }
 
+    /// Tag this request with a tenant name. The `scales-runtime`
+    /// admission controller queues each tenant in its own lane — with a
+    /// weighted round-robin dequeue and an optional per-tenant quota —
+    /// so one hot tenant cannot monopolize the worker pool. Untagged
+    /// requests share an anonymous lane.
+    #[must_use]
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Give this request an absolute deadline. The runtime refuses a
+    /// request whose deadline has already passed, expires it while
+    /// queued instead of dispatching it late, and schedules
+    /// deadline-tagged work earliest-deadline-first.
+    #[must_use]
+    pub fn deadline_at(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Give this request a deadline relative to now. See
+    /// [`deadline_at`](Self::deadline_at).
+    #[must_use]
+    pub fn deadline_in(self, budget: Duration) -> Self {
+        self.deadline_at(Instant::now() + budget)
+    }
+
     /// The requested images.
     #[must_use]
     pub fn images(&self) -> &[Image] {
         &self.images
+    }
+
+    /// The tenant tag, if the request carries one.
+    #[must_use]
+    pub fn tenant_tag(&self) -> Option<&str> {
+        self.tenant.as_deref()
+    }
+
+    /// The absolute deadline, if the request carries one.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
     }
 
     /// Decompose into the owned images and the per-request tile override.

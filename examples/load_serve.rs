@@ -47,6 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             queue_capacity: 32,
             max_batch: 8,
             max_wait: Duration::from_millis(2),
+            ..RuntimeConfig::default()
         },
     )?;
     println!("runtime: {} workers over one shared engine", runtime.workers());

@@ -87,6 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let router = ModelRouter::new(RouterConfig {
         memory_budget: None,
         runtime: RuntimeConfig { workers: 2, ..RuntimeConfig::default() },
+        ..RouterConfig::default()
     })?;
     let photo = router.register_path("photo", &artifact)?;
     router.register_model("pixel", net(22).lower()?)?;

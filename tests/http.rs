@@ -347,6 +347,77 @@ fn shutdown_drains_and_stops_accepting() {
     });
 }
 
+/// The SLO surface over the wire: a tenant tag rides in on
+/// `X-Scales-Tenant` and comes back out as per-tenant Prometheus series,
+/// an invalid tenant is a `400` before any decode work, and an
+/// already-expired `X-Scales-Deadline-Ms` is a `504 Gateway Timeout`
+/// (no `Retry-After` — the peer needs a bigger budget, not a backoff).
+#[test]
+fn slo_headers_drive_tenants_deadlines_and_typed_statuses() {
+    with_watchdog(120, "slo-surface", || {
+        let server = server(19);
+        let addr = server.addr();
+        let posted = encode_image(&probe(9, 8, 7), WireFormat::Ppm).unwrap();
+        let tagged_post = |extra: &str| {
+            let mut raw = format!(
+                "POST /v1/upscale HTTP/1.1\r\nHost: t\r\nContent-Type: {}\r\n{extra}Content-Length: {}\r\n\r\n",
+                WireFormat::Ppm.content_type(),
+                posted.len()
+            )
+            .into_bytes();
+            raw.extend_from_slice(&posted);
+            raw
+        };
+
+        // A tagged upscale serves normally.
+        let (status, _, body) = send(addr, &tagged_post("X-Scales-Tenant: acme\r\n"));
+        assert_eq!(status, 200, "body: {}", String::from_utf8_lossy(&body));
+
+        // An invalid tenant name is refused before any decoding.
+        let (status, _, body) = send(addr, &tagged_post("X-Scales-Tenant: not ok\r\n"));
+        assert_eq!(status, 400);
+        assert!(
+            String::from_utf8_lossy(&body).contains("tenant"),
+            "the 400 names the offending header: {}",
+            String::from_utf8_lossy(&body)
+        );
+
+        // A deadline that is already due is a gateway timeout, served
+        // without inviting a retry.
+        let (status, headers, body) =
+            send(addr, &tagged_post("X-Scales-Deadline-Ms: 0\r\n"));
+        assert_eq!(status, 504, "body: {}", String::from_utf8_lossy(&body));
+        assert_eq!(
+            header(&headers, "retry-after"),
+            None,
+            "a missed deadline is the caller's budget, not server overload"
+        );
+        assert!(
+            String::from_utf8_lossy(&body).contains("deadline"),
+            "the 504 explains the expiry: {}",
+            String::from_utf8_lossy(&body)
+        );
+
+        // The scrape carries the tenant lane and the expired refusal.
+        let (status, _, metrics) = send(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        let text = String::from_utf8(metrics).unwrap();
+        for needle in [
+            "scales_runtime_tenant_requests_completed_total{tenant=\"acme\"} 1",
+            "scales_runtime_tenant_queue_depth{tenant=\"acme\"} 0",
+            "scales_runtime_tenant_weight{tenant=\"acme\"} 1",
+            "scales_runtime_requests_expired_total 1",
+        ] {
+            assert!(text.contains(needle), "metrics must contain {needle}:\n{text}");
+        }
+
+        let stats = server.shutdown();
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.completed, 1);
+    });
+}
+
 /// Build a deployable network whose output is bitwise distinguishable
 /// per seed: freshly built nets all answer exactly the bicubic baseline
 /// (the tail conv is zero-initialised), so every parameter gets a tiny
@@ -382,6 +453,7 @@ fn fleet_routes_lists_reloads_and_reports_per_model_metrics() {
         let router = ModelRouter::new(RouterConfig {
             memory_budget: None,
             runtime: RuntimeConfig { workers: 1, ..RuntimeConfig::default() },
+            ..RouterConfig::default()
         })
         .unwrap();
         router.register_path("alpha", &artifact).unwrap();
@@ -575,8 +647,13 @@ fn full_backlog_refusals_do_not_block_the_accept_loop() {
         for i in 0..3 {
             let mut refused = TcpStream::connect(addr).unwrap();
             refused.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
-            let (status, _, body) = read_response(&mut refused);
+            let (status, headers, body) = read_response(&mut refused);
             assert_eq!(status, 503, "refusal {i}: {}", String::from_utf8_lossy(&body));
+            assert_eq!(
+                header(&headers, "retry-after"),
+                Some("1"),
+                "refusal {i}: overload refusals must tell the peer when to come back"
+            );
         }
 
         // The occupied worker was never disturbed: the first connection

@@ -139,6 +139,7 @@ fn routing_by_name_is_bit_identical_to_direct_sessions() {
         let router = ModelRouter::new(RouterConfig {
             memory_budget: None,
             runtime: small_runtime(),
+            ..RouterConfig::default()
         })
         .unwrap();
         router.register_path("model-a", &path_a).unwrap();
@@ -220,6 +221,7 @@ fn hot_swap_under_concurrent_load_drops_and_corrupts_nothing() {
                 max_batch: 4,
                 ..RuntimeConfig::default()
             },
+            ..RouterConfig::default()
         })
         .unwrap();
         let registered = router.register_path("sr", &path).unwrap();
@@ -313,6 +315,7 @@ fn memory_budget_evicts_lru_and_requests_reload_transparently() {
         let router = ModelRouter::new(RouterConfig {
             memory_budget: Some(size_a + size_b - 1),
             runtime: small_runtime(),
+            ..RouterConfig::default()
         })
         .unwrap();
         router.register_path("a", &path_a).unwrap();
@@ -371,7 +374,7 @@ fn memory_budget_evicts_lru_and_requests_reload_transparently() {
 fn typed_errors_for_unknown_duplicate_pinned_and_shutdown() {
     with_watchdog(120, "typed-errors", || {
         let router =
-            ModelRouter::new(RouterConfig { memory_budget: None, runtime: small_runtime() })
+            ModelRouter::new(RouterConfig { memory_budget: None, runtime: small_runtime(), ..RouterConfig::default() })
                 .unwrap();
         router.register_model("only", net(51).lower().unwrap()).unwrap();
 
@@ -421,7 +424,7 @@ fn failed_reload_leaves_the_serving_version_untouched() {
         let want = direct_from_path(&path, &input);
 
         let router =
-            ModelRouter::new(RouterConfig { memory_budget: None, runtime: small_runtime() })
+            ModelRouter::new(RouterConfig { memory_budget: None, runtime: small_runtime(), ..RouterConfig::default() })
                 .unwrap();
         router.register_path("sr", &path).unwrap();
 

@@ -14,7 +14,7 @@ use scales::core::Method;
 use scales::data::Image;
 use scales::models::{srresnet, SrConfig};
 use scales::nn::init::rng;
-use scales::runtime::{Runtime, RuntimeConfig, SubmitError, Ticket};
+use scales::runtime::{Runtime, RuntimeConfig, ServeError, ShedPolicy, SubmitError, Ticket};
 use scales::serve::{Engine, Precision, SrRequest};
 use scales::tensor::backend::{self, Backend};
 use std::time::Duration;
@@ -99,6 +99,7 @@ fn runtime_matches_serial_session_bitwise_across_the_method_registry() {
                         queue_capacity: 64,
                         max_batch: 4,
                         max_wait: Duration::from_millis(5),
+                        ..RuntimeConfig::default()
                     },
                 )
                 .unwrap();
@@ -135,6 +136,7 @@ fn concurrent_submitters_each_get_their_own_responses_in_order() {
                     queue_capacity: 8, // small: submitters hit submit_wait backpressure
                     max_batch: 6,
                     max_wait: Duration::from_millis(1),
+                    ..RuntimeConfig::default()
                 },
             )
             .unwrap();
@@ -195,6 +197,7 @@ fn a_full_queue_rejects_submissions_with_a_typed_error() {
                 queue_capacity: 2,
                 max_batch: 1, // never coalesce: the worker serves strictly one request at a time
                 max_wait: Duration::ZERO,
+                ..RuntimeConfig::default()
             },
         )
         .unwrap();
@@ -262,6 +265,7 @@ fn graceful_shutdown_under_load_resolves_every_accepted_ticket() {
                 queue_capacity: 64,
                 max_batch: 4,
                 max_wait: Duration::from_millis(1),
+                ..RuntimeConfig::default()
             },
         )
         .unwrap();
@@ -311,6 +315,7 @@ fn shutdown_racing_submitters_stays_deadlock_free() {
                 queue_capacity: 64,
                 max_batch: 4,
                 max_wait: Duration::from_millis(2),
+                ..RuntimeConfig::default()
             },
         )
         .unwrap();
@@ -357,6 +362,7 @@ fn dynamic_batching_coalesces_a_backlog_of_single_image_callers() {
                 queue_capacity: 64,
                 max_batch: 8,
                 max_wait: Duration::from_millis(50),
+                ..RuntimeConfig::default()
             },
         )
         .unwrap();
@@ -381,5 +387,246 @@ fn dynamic_batching_coalesces_a_backlog_of_single_image_callers() {
         );
         assert!(stats.coalesced > 0, "no request shared a dispatch");
         assert!(stats.batch_fill > 0.0);
+    });
+}
+
+/// Spawn a one-lane runtime (single worker, no coalescing) and wedge its
+/// worker with a deliberately heavy request, so everything submitted
+/// afterwards sits in the queue under the admission controller's eyes.
+fn wedged_runtime(config: RuntimeConfig, seed: u64) -> (Runtime, Ticket) {
+    let runtime = Runtime::spawn(
+        engine_for(Method::scales(), Backend::Scalar, seed),
+        RuntimeConfig { workers: 1, max_batch: 1, max_wait: Duration::ZERO, ..config },
+    )
+    .unwrap();
+    let wedge = runtime
+        .submit(SrRequest::batch((0..12).map(|i| probe(24, 24, seed * 100 + i)).collect()))
+        .unwrap();
+    // Wait until the worker has actually popped it off the queue.
+    while runtime.stats().queue_depth > 0 {
+        std::thread::yield_now();
+    }
+    (runtime, wedge)
+}
+
+/// Deadline contract end to end: an already-expired deadline is refused
+/// at the door, a deadline that passes while queued is retracted (the
+/// ticket resolves with the typed rejection, the request is never
+/// dispatched), and both show up in the `expired` counter — while
+/// requests without deadlines are untouched.
+#[test]
+fn queued_requests_whose_deadline_passes_are_retracted_not_served_late() {
+    with_watchdog(120, "deadline-retraction", || {
+        let (runtime, wedge) = wedged_runtime(RuntimeConfig::default(), 21);
+        // Queued behind the wedge: this deadline expires long before the
+        // worker frees up.
+        let doomed = runtime
+            .submit(SrRequest::single(probe(6, 6, 2_100)).deadline_in(Duration::from_millis(5)))
+            .unwrap();
+        // Same queue, no deadline: must be served normally.
+        let patient = runtime.submit(SrRequest::single(probe(6, 6, 2_101))).unwrap();
+        match doomed.wait() {
+            Err(ServeError::Rejected(SubmitError::Expired)) => {}
+            Err(other) => panic!("expected the expired retraction, got {other:?}"),
+            Ok(_) => panic!("an expired request must never be served"),
+        }
+        assert_eq!(wedge.wait().unwrap().images().len(), 12);
+        assert!(patient.wait().is_ok());
+        let stats = runtime.shutdown();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.deadline_misses, 0, "retracted, so never served late");
+        assert_eq!(stats.submitted, 3, "the retracted request was accepted");
+    });
+}
+
+/// Deadline-tagged lane heads outrank the weighted rotation, earliest
+/// deadline first: with one queued request per tenant lane and the queue
+/// drained strictly one request at a time, the completion order is
+/// tightest-deadline → looser-deadline → no-deadline, regardless of
+/// submission order. (Within a single lane, order stays FIFO — EDF picks
+/// among lane *heads*.)
+#[test]
+fn deadline_tagged_requests_are_scheduled_earliest_deadline_first() {
+    with_watchdog(120, "edf-ordering", || {
+        let (runtime, wedge) = wedged_runtime(RuntimeConfig::default(), 22);
+        // One lane each, submitted in the *opposite* of the order they
+        // must serve.
+        let untagged = runtime.submit(SrRequest::single(probe(6, 6, 2_200))).unwrap();
+        let loose = runtime
+            .submit(
+                SrRequest::single(probe(6, 6, 2_201))
+                    .tenant("loose")
+                    .deadline_in(Duration::from_secs(60)),
+            )
+            .unwrap();
+        let tight = runtime
+            .submit(
+                SrRequest::single(probe(6, 6, 2_202))
+                    .tenant("tight")
+                    .deadline_in(Duration::from_secs(30)),
+            )
+            .unwrap();
+        assert_eq!(wedge.wait().unwrap().images().len(), 12);
+        // Completion stamps: with one worker and max_batch 1 the serving
+        // is strictly serial, so resolution order is dispatch order.
+        let order = std::thread::scope(|scope| {
+            let stamp = |ticket: Ticket, label: &'static str| {
+                scope.spawn(move || {
+                    assert!(ticket.wait().is_ok(), "{label} must serve");
+                    (std::time::Instant::now(), label)
+                })
+            };
+            let handles =
+                [stamp(tight, "tight"), stamp(loose, "loose"), stamp(untagged, "untagged")];
+            let mut done: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            done.sort();
+            done.into_iter().map(|(_, label)| label).collect::<Vec<_>>()
+        });
+        assert_eq!(order, ["tight", "loose", "untagged"], "EDF order");
+        let stats = runtime.shutdown();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.expired, 0, "generous deadlines never expire");
+    });
+}
+
+/// Weighted round-robin fairness: a hot low-weight tenant that filled the
+/// queue first cannot starve a higher-weight tenant — the weighted lane
+/// finishes its backlog well before the hot lane drains, and per-tenant
+/// counters account for every request.
+#[test]
+fn weighted_tenants_are_not_starved_by_a_hot_low_weight_tenant() {
+    with_watchdog(120, "wrr-fairness", || {
+        let config = RuntimeConfig {
+            tenant_weights: vec![("gold".into(), 3), ("bronze".into(), 1)],
+            ..RuntimeConfig::default()
+        };
+        let (runtime, wedge) = wedged_runtime(config, 23);
+        // The hot tenant gets its whole burst in FIRST.
+        let bronze: Vec<Ticket> = (0..4)
+            .map(|i| {
+                runtime
+                    .submit(SrRequest::single(probe(6, 6, 2_300 + i)).tenant("bronze"))
+                    .unwrap()
+            })
+            .collect();
+        let gold: Vec<Ticket> = (0..4)
+            .map(|i| {
+                runtime
+                    .submit(SrRequest::single(probe(6, 6, 2_350 + i)).tenant("gold"))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(wedge.wait().unwrap().images().len(), 12);
+        let finished_at = |tickets: Vec<Ticket>| {
+            tickets
+                .into_iter()
+                .map(|t| {
+                    assert!(t.wait().is_ok());
+                    std::time::Instant::now()
+                })
+                .max()
+                .unwrap()
+        };
+        let (gold_done, bronze_done) = std::thread::scope(|scope| {
+            let g = scope.spawn(move || finished_at(gold));
+            let b = scope.spawn(move || finished_at(bronze));
+            (g.join().unwrap(), b.join().unwrap())
+        });
+        // Strict FIFO would drain all of bronze first; weighted
+        // round-robin must finish the weight-3 lane before the weight-1
+        // lane that got there first.
+        assert!(gold_done < bronze_done, "gold (weight 3) must not wait out bronze's backlog");
+        let stats = runtime.shutdown();
+        assert_eq!(stats.completed, 9);
+        let tenants: Vec<&str> = stats.tenants.iter().map(|t| t.tenant.as_str()).collect();
+        assert_eq!(tenants, ["bronze", "gold"], "tagged lanes reported, sorted");
+        for lane in &stats.tenants {
+            assert_eq!(lane.submitted, 4, "{}", lane.tenant);
+            assert_eq!(lane.completed, 4, "{}", lane.tenant);
+        }
+        assert_eq!(stats.tenants[1].weight, 3);
+    });
+}
+
+/// Per-tenant quota: a lane at its quota refuses with the typed
+/// `TenantQuota` even while the global queue has room, and the other
+/// tenant keeps being admitted.
+#[test]
+fn a_tenant_at_its_quota_is_refused_without_blocking_other_tenants() {
+    with_watchdog(120, "tenant-quota", || {
+        let config = RuntimeConfig {
+            tenant_quota: Some(2),
+            queue_capacity: 64,
+            ..RuntimeConfig::default()
+        };
+        let (runtime, wedge) = wedged_runtime(config, 24);
+        let hot: Vec<Ticket> = (0..2)
+            .map(|i| {
+                runtime.submit(SrRequest::single(probe(6, 6, 2_400 + i)).tenant("hot")).unwrap()
+            })
+            .collect();
+        match runtime.submit(SrRequest::single(probe(6, 6, 2_402)).tenant("hot")) {
+            Err(SubmitError::TenantQuota { tenant, quota }) => {
+                assert_eq!(tenant, "hot");
+                assert_eq!(quota, 2);
+            }
+            other => panic!("expected TenantQuota, got {other:?}"),
+        }
+        // The global queue has plenty of room: another tenant sails in.
+        let cold = runtime.submit(SrRequest::single(probe(6, 6, 2_403)).tenant("cold")).unwrap();
+        assert_eq!(wedge.wait().unwrap().images().len(), 12);
+        for ticket in hot {
+            assert!(ticket.wait().is_ok());
+        }
+        assert!(cold.wait().is_ok());
+        let stats = runtime.shutdown();
+        assert_eq!(stats.quota_rejected, 1);
+        assert_eq!(stats.completed, 4);
+        let hot_lane = stats.tenants.iter().find(|t| t.tenant == "hot").unwrap();
+        assert_eq!(hot_lane.quota_rejected, 1);
+        assert_eq!(hot_lane.completed, 2);
+    });
+}
+
+/// Depth-watermark shedding: once the queue is at the watermark, both the
+/// non-blocking and the blocking submit paths refuse immediately with the
+/// typed `Shedding` — fail-fast, not wait-out-the-overload.
+#[test]
+fn the_shed_watermark_refuses_work_before_the_queue_is_full() {
+    with_watchdog(120, "shed-watermark", || {
+        let config = RuntimeConfig {
+            shed: ShedPolicy { queue_watermark: Some(2), p99_trip: None },
+            queue_capacity: 64,
+            ..RuntimeConfig::default()
+        };
+        let (runtime, wedge) = wedged_runtime(config, 25);
+        let q1 = runtime.submit(SrRequest::single(probe(6, 6, 2_500))).unwrap();
+        let q2 = runtime.submit(SrRequest::single(probe(6, 6, 2_501))).unwrap();
+        for outcome in [
+            runtime.submit(SrRequest::single(probe(6, 6, 2_502))).map(|_| ()),
+            runtime.submit_wait(SrRequest::single(probe(6, 6, 2_503))).map(|_| ()),
+            runtime
+                .submit_wait_timeout(
+                    SrRequest::single(probe(6, 6, 2_504)),
+                    Duration::from_secs(30),
+                )
+                .map(|_| ()),
+        ] {
+            match outcome {
+                Err(SubmitError::Shedding { reason }) => {
+                    assert_eq!(reason, "queue depth watermark");
+                }
+                other => panic!("expected Shedding, got {other:?}"),
+            }
+        }
+        assert_eq!(wedge.wait().unwrap().images().len(), 12);
+        assert!(q1.wait().is_ok());
+        assert!(q2.wait().is_ok());
+        let stats = runtime.shutdown();
+        assert_eq!(stats.shed, 3);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.rejected, 0, "shedding is its own counter, not `rejected`");
     });
 }
