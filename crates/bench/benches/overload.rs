@@ -115,9 +115,10 @@ fn main() {
             queue_capacity: 16,
             max_batch: 4,
             max_wait: Duration::from_millis(1),
-            shed: ShedPolicy { queue_watermark: Some(12), p99_trip: None },
+            shed: ShedPolicy { queue_watermark: Some(12), ..ShedPolicy::default() },
             tenant_quota: Some(10),
             tenant_weights: vec![("cold".into(), 3)],
+            ..RuntimeConfig::default()
         },
     )
     .unwrap();

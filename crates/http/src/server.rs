@@ -381,8 +381,12 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             }
         };
 
+        // The deadline budget starts here, the moment the head is fully
+        // parsed — the body upload and decode count against it, so a slow
+        // upload cannot silently extend the client's deadline.
+        let arrived = Instant::now();
         let head_only = head.method == "HEAD";
-        match route(shared, &mut reader, &head) {
+        match route(shared, &mut reader, &head, arrived) {
             Ok(response) => {
                 shared.count_response(response.status);
                 let keep_alive = head.keep_alive && !response.close && !shared.shutting_down();
@@ -412,14 +416,15 @@ fn route(
     shared: &Shared,
     reader: &mut RequestReader<TcpStream>,
     head: &RequestHead,
+    arrived: Instant,
 ) -> Result<Response, RequestError> {
     let path = path_of(&head.target);
     if let Some(rest) = path.strip_prefix("/v1/models") {
-        return route_models(shared, reader, head, rest);
+        return route_models(shared, reader, head, arrived, rest);
     }
     match (head.method.as_str(), path) {
         ("POST", "/v1/upscale") => match &shared.target {
-            Target::Single(runtime) => upscale(shared, reader, head, runtime),
+            Target::Single(runtime) => upscale(shared, reader, head, arrived, runtime),
             // A fleet has no anonymous default model; naming one is the
             // only unambiguous contract. Final status, no body read.
             Target::Fleet(_) => Ok(Response::text(
@@ -464,6 +469,7 @@ fn route_models(
     shared: &Shared,
     reader: &mut RequestReader<TcpStream>,
     head: &RequestHead,
+    arrived: Instant,
     rest: &str,
 ) -> Result<Response, RequestError> {
     let Target::Fleet(router) = &shared.target else {
@@ -500,7 +506,7 @@ fn route_models(
     };
     match action {
         "upscale" => match head.method.as_str() {
-            "POST" => fleet_upscale(shared, reader, head, router, name),
+            "POST" => fleet_upscale(shared, reader, head, arrived, router, name),
             _ => Ok(Response::text(405, "use POST\n").allow("POST").close_if_unread(head)),
         },
         "reload" => match head.method.as_str() {
@@ -543,15 +549,19 @@ fn send_continue(
 
 /// Build the runtime request for one decoded image, applying the SLO
 /// headers: `X-Scales-Tenant` picks the admission lane,
-/// `X-Scales-Deadline-Ms` sets the deadline budget from *now* (header
-/// interpretation time — the queue wait counts against it).
-fn build_request(image: scales_data::Image, head: &RequestHead) -> SrRequest {
+/// `X-Scales-Deadline-Ms` sets the deadline budget from `arrived` — the
+/// instant the request head was parsed — so the body upload, the image
+/// decode, and the queue wait all count against it. A budget too large
+/// to represent as an `Instant` is no deadline at all.
+fn build_request(image: scales_data::Image, head: &RequestHead, arrived: Instant) -> SrRequest {
     let mut request = SrRequest::single(image);
     if let Some(tenant) = &head.tenant {
         request = request.tenant(tenant.clone());
     }
-    if let Some(ms) = head.deadline_ms {
-        request = request.deadline_in(Duration::from_millis(ms));
+    if let Some(deadline) =
+        head.deadline_ms.and_then(|ms| arrived.checked_add(Duration::from_millis(ms)))
+    {
+        request = request.deadline_at(deadline);
     }
     request
 }
@@ -586,6 +596,7 @@ fn upscale(
     shared: &Shared,
     reader: &mut RequestReader<TcpStream>,
     head: &RequestHead,
+    arrived: Instant,
     runtime: &Runtime,
 ) -> Result<Response, RequestError> {
     if !head.has_length {
@@ -594,8 +605,8 @@ fn upscale(
     send_continue(reader, head)?;
     let body = reader.read_body(head.content_length)?;
     let (image, format) = decode_image(&body)?;
-    let outcome =
-        runtime.submit_wait_timeout(build_request(image, head), shared.config.request_timeout);
+    let outcome = runtime
+        .submit_wait_timeout(build_request(image, head, arrived), shared.config.request_timeout);
     let served = match outcome {
         Err(err) => {
             let (status, retry) = submit_status(&err);
@@ -625,6 +636,7 @@ fn fleet_upscale(
     shared: &Shared,
     reader: &mut RequestReader<TcpStream>,
     head: &RequestHead,
+    arrived: Instant,
     router: &ModelRouter,
     name: &str,
 ) -> Result<Response, RequestError> {
@@ -634,8 +646,11 @@ fn fleet_upscale(
     send_continue(reader, head)?;
     let body = reader.read_body(head.content_length)?;
     let (image, format) = decode_image(&body)?;
-    let outcome =
-        router.submit_wait_timeout(name, build_request(image, head), shared.config.request_timeout);
+    let outcome = router.submit_wait_timeout(
+        name,
+        build_request(image, head, arrived),
+        shared.config.request_timeout,
+    );
     let served = match outcome {
         Err(err) => return Ok(router_error_response(&err)),
         Ok(Err(infer_err)) => {

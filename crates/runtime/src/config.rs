@@ -56,6 +56,17 @@ pub struct RuntimeConfig {
     /// among the backlogged lanes. Tenants not listed here (and the
     /// anonymous lane) weigh 1. Default: empty.
     pub tenant_weights: Vec<(String, u32)>,
+    /// Maximum **tagged** tenant lanes (the anonymous lane is not
+    /// counted). Lanes are created on the first accepted request of each
+    /// tenant, and tenant names are client-controlled (the HTTP
+    /// `X-Scales-Tenant` header), so the lane table must be bounded: at
+    /// the cap, an idle unweighted lane is retired to make room (its
+    /// counters fold into the global totals, its per-tenant series
+    /// disappear), and when every tagged lane is weighted or still has
+    /// work, new tenants share the anonymous lane instead of growing the
+    /// table. Must be at least `tenant_weights.len()` (weighted lanes are
+    /// created up front and never retired). Default: 64.
+    pub max_tenant_lanes: usize,
 }
 
 /// When to refuse work *before* the queue is full — the early-rejection
@@ -68,18 +79,36 @@ pub struct RuntimeConfig {
 /// immediately with
 /// [`SubmitError::Shedding`](crate::SubmitError::Shedding) instead of
 /// waiting out the overload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShedPolicy {
     /// Shed once this many requests are queued. Lower than
     /// `queue_capacity` this acts as an early-warning watermark; `None`
     /// never sheds on depth.
     pub queue_watermark: Option<usize>,
     /// Shed while the observed p99 queue-to-response latency exceeds this
-    /// budget. The runtime samples the p99 from its own latency histogram
-    /// after every dispatch, so the wire trips on real serving history
-    /// (and resets only as faster dispatches dilute the histogram).
+    /// budget. The runtime samples the p99 over a sliding window of its
+    /// most recent dispatches, so the wire trips on *current* serving
+    /// behavior and releases as recent dispatches come back under budget.
     /// `None` never sheds on latency.
     pub p99_trip: Option<Duration>,
+    /// How long a tripped p99 reading stays authoritative without a fresh
+    /// dispatch refreshing it. The trip wire stops admissions, which can
+    /// drain the queue and freeze the p99 sample at its spike value; once
+    /// the last reading is older than this window the wire re-arms from
+    /// fresh observations instead of latching a transient spike into a
+    /// permanent outage. Ignored while `p99_trip` is `None`; must be
+    /// positive when it is not. Default: 1 s.
+    pub p99_recovery: Duration,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        Self {
+            queue_watermark: None,
+            p99_trip: None,
+            p99_recovery: Duration::from_secs(1),
+        }
+    }
 }
 
 impl Default for RuntimeConfig {
@@ -92,6 +121,7 @@ impl Default for RuntimeConfig {
             shed: ShedPolicy::default(),
             tenant_quota: None,
             tenant_weights: Vec::new(),
+            max_tenant_lanes: 64,
         }
     }
 }
@@ -113,9 +143,11 @@ impl RuntimeConfig {
     /// # Errors
     ///
     /// Returns an error when `workers`, `queue_capacity`, or `max_batch`
-    /// is zero; when `tenant_quota`, the shed watermark, or the p99 trip
-    /// wire is a vacuous zero; or when `tenant_weights` contains a zero
-    /// weight, a duplicate, or an invalid tenant name.
+    /// is zero; when `tenant_quota`, the shed watermark, the p99 trip
+    /// wire, or its recovery window is a vacuous zero; when
+    /// `max_tenant_lanes` is zero or smaller than `tenant_weights`; or
+    /// when `tenant_weights` contains a zero weight, a duplicate, or an
+    /// invalid tenant name.
     pub fn validate(&self) -> Result<()> {
         if self.workers == 0 {
             return Err(TensorError::InvalidArgument(
@@ -147,6 +179,23 @@ impl RuntimeConfig {
                 "shed p99 trip wire must be positive (use None to disable latency shedding)"
                     .into(),
             ));
+        }
+        if self.shed.p99_trip.is_some() && self.shed.p99_recovery == Duration::ZERO {
+            return Err(TensorError::InvalidArgument(
+                "shed p99 recovery window must be positive when the trip wire is armed".into(),
+            ));
+        }
+        if self.max_tenant_lanes == 0 {
+            return Err(TensorError::InvalidArgument(
+                "runtime max_tenant_lanes must be positive".into(),
+            ));
+        }
+        if self.max_tenant_lanes < self.tenant_weights.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "max_tenant_lanes ({}) must cover every weighted tenant ({} configured)",
+                self.max_tenant_lanes,
+                self.tenant_weights.len()
+            )));
         }
         for (i, (name, weight)) in self.tenant_weights.iter().enumerate() {
             if !valid_tenant_name(name) {
@@ -212,11 +261,28 @@ mod tests {
         for bad in [
             RuntimeConfig { tenant_quota: Some(0), ..RuntimeConfig::default() },
             RuntimeConfig {
-                shed: ShedPolicy { queue_watermark: Some(0), p99_trip: None },
+                shed: ShedPolicy { queue_watermark: Some(0), ..ShedPolicy::default() },
                 ..RuntimeConfig::default()
             },
             RuntimeConfig {
-                shed: ShedPolicy { queue_watermark: None, p99_trip: Some(Duration::ZERO) },
+                shed: ShedPolicy { p99_trip: Some(Duration::ZERO), ..ShedPolicy::default() },
+                ..RuntimeConfig::default()
+            },
+            // An armed trip wire with a zero recovery window could never
+            // re-arm meaningfully: vacuous, rejected.
+            RuntimeConfig {
+                shed: ShedPolicy {
+                    p99_trip: Some(Duration::from_millis(1)),
+                    p99_recovery: Duration::ZERO,
+                    ..ShedPolicy::default()
+                },
+                ..RuntimeConfig::default()
+            },
+            RuntimeConfig { max_tenant_lanes: 0, ..RuntimeConfig::default() },
+            // The cap must cover the pre-created weighted lanes.
+            RuntimeConfig {
+                max_tenant_lanes: 1,
+                tenant_weights: vec![("a".into(), 1), ("b".into(), 2)],
                 ..RuntimeConfig::default()
             },
         ] {
@@ -228,10 +294,19 @@ mod tests {
             shed: ShedPolicy {
                 queue_watermark: Some(1),
                 p99_trip: Some(Duration::from_nanos(1)),
+                p99_recovery: Duration::from_nanos(1),
             },
+            max_tenant_lanes: 1,
+            tenant_weights: vec![("a".into(), 1)],
             ..RuntimeConfig::default()
         };
         assert!(tight.validate().is_ok());
+        // A zero recovery window is fine while the trip wire is disarmed.
+        let disarmed = RuntimeConfig {
+            shed: ShedPolicy { p99_recovery: Duration::ZERO, ..ShedPolicy::default() },
+            ..RuntimeConfig::default()
+        };
+        assert!(disarmed.validate().is_ok());
     }
 
     #[test]

@@ -52,17 +52,26 @@
 //!   refused at the door ([`SubmitError::Expired`]) when already late,
 //!   retracted from the queue instead of being dispatched late
 //!   ([`ServeError::Rejected`]), and scheduled earliest-deadline-first
-//!   ahead of untagged work.
+//!   *within* the weighted rotation — deadline tags order work inside a
+//!   fairness cycle but cannot buy more than the lane's weight per cycle
+//!   (the tag is client-controlled).
 //! - **Per-tenant fairness** — each
 //!   [`SrRequest::tenant`](scales_serve::SrRequest::tenant) tag gets its
 //!   own queue lane, drained by weighted round-robin
 //!   ([`RuntimeConfig::tenant_weights`]) with an optional per-lane quota
 //!   ([`RuntimeConfig::tenant_quota`], refusing with
-//!   [`SubmitError::TenantQuota`]). Per-lane counters surface as
+//!   [`SubmitError::TenantQuota`]). The lane table is bounded
+//!   ([`RuntimeConfig::max_tenant_lanes`]): idle unweighted lanes are
+//!   retired at the cap (their counters folded into the global totals),
+//!   and a refused request never creates a lane, so untrusted tenant
+//!   names cannot grow server state. Per-lane counters surface as
 //!   [`TenantStats`].
 //! - **Load shedding** — a [`ShedPolicy`] refuses work early
 //!   ([`SubmitError::Shedding`]) on a queue-depth watermark or while the
-//!   observed p99 latency exceeds a trip wire.
+//!   p99 latency over a sliding window of recent dispatches exceeds a
+//!   trip wire; a tripped wire re-arms once its reading goes stale
+//!   ([`ShedPolicy::p99_recovery`]), so a transient spike cannot latch
+//!   into a permanent outage.
 //!
 //! Every refusal is typed; [`SubmitError::reject_reason`] classifies the
 //! admission refusals into a [`RejectReason`] so serving front ends can

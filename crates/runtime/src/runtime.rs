@@ -4,7 +4,7 @@
 //! earliest-deadline-first scheduling of deadline-tagged work, and
 //! configurable load shedding.
 
-use crate::metrics::{LatencyHistogram, RuntimeStats, TenantStats, WorkerShard};
+use crate::metrics::{RuntimeStats, TenantStats, WorkerShard};
 use crate::ticket::{Ticket, TicketCell};
 use crate::{lock, wait, wait_timeout, RuntimeConfig};
 use scales_data::Image;
@@ -179,8 +179,13 @@ impl Entry {
 }
 
 /// One tenant's FIFO queue plus its admission counters. Lanes are created
-/// on first contact (or up front for weighted tenants) and never removed,
-/// so counters survive idle periods.
+/// on the first **accepted** request of a tenant (or up front for
+/// weighted tenants) and the table is bounded by
+/// [`RuntimeConfig::max_tenant_lanes`] — tenant names are
+/// client-controlled, so unbounded growth would let a hostile client
+/// inflate memory, metrics cardinality, and scheduler scans. At the cap,
+/// idle unweighted lanes are retired (counters folded into
+/// [`QueueState::retired`]) to make room.
 struct Lane {
     tenant: Option<Arc<str>>,
     weight: u32,
@@ -216,6 +221,21 @@ impl Lane {
     }
 }
 
+/// Lane-attributed counters that feed the **global** totals. Every live
+/// lane carries its own set; this aggregate absorbs the counts of retired
+/// lanes and of refusals whose tenant never had a lane, so the global
+/// arithmetic (`submitted == completed + failed + expired`, refusal
+/// counters) stays exact no matter how the lane table churns.
+#[derive(Debug, Default, Clone, Copy)]
+struct LaneTotals {
+    submitted: u64,
+    rejected: u64,
+    shed: u64,
+    quota_rejected: u64,
+    expired: u64,
+    deadline_misses: u64,
+}
+
 /// Everything behind the queue mutex.
 struct QueueState {
     lanes: Vec<Lane>,
@@ -230,6 +250,9 @@ struct QueueState {
     /// death) — folded into `RuntimeStats::failed` so
     /// `submitted == completed + failed + expired` holds at shutdown.
     failed_unserved: u64,
+    /// Counters of retired lanes and of lane-less refusals (see
+    /// [`LaneTotals`]).
+    retired: LaneTotals,
 }
 
 impl QueueState {
@@ -247,17 +270,72 @@ impl QueueState {
             shutting_down: false,
             high_water: 0,
             failed_unserved: 0,
+            retired: LaneTotals::default(),
         }
     }
 }
 
+/// Index of the tenant's lane, when one exists. Refusal and accounting
+/// paths use this instead of [`ensure_lane`] so a client-controlled
+/// tenant name can only ever grow the lane table through **accepted**
+/// work — a refused request must not cost the server a lane.
+fn lane_index(st: &QueueState, tenant: Option<&str>) -> Option<usize> {
+    st.lanes.iter().position(|l| l.tenant.as_deref() == tenant)
+}
+
+/// Whether a lane can be retired to make room at the cap: tagged, not
+/// configured with a weight (weighted lanes are part of the stats
+/// surface from spawn), nothing queued, and nothing in flight — the
+/// counter identity `submitted == completed + failed + expired` holds
+/// exactly when every accepted request of the lane has resolved.
+fn evictable(lane: &Lane, config: &RuntimeConfig) -> bool {
+    let Some(name) = lane.tenant.as_deref() else {
+        return false;
+    };
+    lane.entries.is_empty()
+        && lane.submitted == lane.completed + lane.failed + lane.expired
+        && !config.tenant_weights.iter().any(|(weighted, _)| weighted == name)
+}
+
+/// Remove lane `i`, folding its globally-summed counters into
+/// `st.retired` so the aggregate totals are unchanged (the per-tenant
+/// series disappears — that cardinality bound is the point).
+fn retire_lane(st: &mut QueueState, i: usize) {
+    let lane = st.lanes.remove(i);
+    debug_assert!(lane.entries.is_empty(), "retired lanes must be idle");
+    st.retired.submitted += lane.submitted;
+    st.retired.rejected += lane.rejected;
+    st.retired.shed += lane.shed;
+    st.retired.quota_rejected += lane.quota_rejected;
+    st.retired.expired += lane.expired;
+    st.retired.deadline_misses += lane.deadline_misses;
+    if st.rr_cursor > i {
+        st.rr_cursor -= 1;
+    } else if st.rr_cursor >= st.lanes.len() {
+        st.rr_cursor = 0;
+    }
+}
+
+/// Find or create the lane for `tenant`, keeping the table bounded by
+/// [`RuntimeConfig::max_tenant_lanes`]: at the cap, an idle unweighted
+/// lane is retired to make room; when every tagged lane is weighted or
+/// still has unresolved work, the request falls back to the **anonymous
+/// lane** — served and counted, just without its own per-tenant series.
 fn ensure_lane<'a>(
     st: &'a mut QueueState,
     tenant: Option<&str>,
     config: &RuntimeConfig,
 ) -> &'a mut Lane {
-    if let Some(i) = st.lanes.iter().position(|l| l.tenant.as_deref() == tenant) {
+    if let Some(i) = lane_index(st, tenant) {
         return &mut st.lanes[i];
+    }
+    // `tenant` is tagged here: the anonymous lane always exists at 0.
+    let tagged = st.lanes.iter().filter(|l| l.tenant.is_some()).count();
+    if tagged >= config.max_tenant_lanes {
+        match st.lanes.iter().position(|l| evictable(l, config)) {
+            Some(idle) => retire_lane(st, idle),
+            None => return &mut st.lanes[0],
+        }
     }
     st.lanes.push(Lane::new(tenant.map(Arc::from), config.tenant_weight(tenant)));
     st.lanes.last_mut().expect("just pushed")
@@ -280,11 +358,36 @@ struct Inner {
     /// fails the queued tickets — a pool with no workers must refuse
     /// intake, not accept tickets nobody will ever resolve.
     alive: AtomicUsize,
-    /// Observed p99 queue-to-response latency in nanoseconds, re-sampled
-    /// by workers after every dispatch. The shed policy's p99 trip wire
-    /// reads this instead of merging histograms on the submit path.
+    /// Observed p99 queue-to-response latency in nanoseconds over the
+    /// sliding window of [`P99_WINDOW`] most recent resolutions,
+    /// re-sampled by workers after every dispatch. The shed policy's p99
+    /// trip wire reads this instead of sorting samples on the submit
+    /// path.
     p99_ns: AtomicU64,
+    /// When `p99_ns` was last refreshed, as nanoseconds since `started`.
+    /// The trip wire uses this to detect a stale reading: once a trip
+    /// drains the queue, no dispatches run to refresh the sample, so a
+    /// reading older than [`ShedPolicy::p99_recovery`] re-arms admission
+    /// instead of latching the outage permanently.
+    ///
+    /// [`ShedPolicy::p99_recovery`]: crate::ShedPolicy::p99_recovery
+    p99_at_ns: AtomicU64,
+    /// The sliding window of recent queue-to-response latencies (ns)
+    /// behind `p99_ns`. Lock order: `state` before `recent`, never the
+    /// reverse.
+    recent: Mutex<VecDeque<u64>>,
     started: Instant,
+}
+
+/// Sliding-window size for the shed policy's p99 sample: large enough
+/// that one unlucky dispatch cannot trip the wire, small enough that the
+/// estimate tracks the current regime rather than the process lifetime.
+const P99_WINDOW: usize = 256;
+
+/// Nanoseconds since the runtime started, saturating (585 years of
+/// uptime overflows u64 — not a case worth branching for).
+fn elapsed_ns(inner: &Inner) -> u64 {
+    u64::try_from(inner.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// A running worker pool over one shared [`Engine`].
@@ -331,6 +434,8 @@ impl Runtime {
             shards: (0..workers).map(|_| Mutex::new(WorkerShard::default())).collect(),
             alive: AtomicUsize::new(workers),
             p99_ns: AtomicU64::new(0),
+            p99_at_ns: AtomicU64::new(0),
+            recent: Mutex::new(VecDeque::with_capacity(P99_WINDOW)),
             started: Instant::now(),
         });
         let mut handles = Vec::with_capacity(workers);
@@ -381,9 +486,13 @@ impl Runtime {
         let parts = validate(request)?;
         let mut st = lock(&self.inner.state);
         self.admit(&mut st, &parts)?;
-        if st.total_queued >= self.inner.config.queue_capacity {
-            ensure_lane(&mut st, parts.tenant.as_deref(), &self.inner.config).rejected += 1;
-            return Err(SubmitError::QueueFull { capacity: self.inner.config.queue_capacity });
+        let capacity = self.inner.config.queue_capacity;
+        if st.total_queued >= capacity {
+            sweep_expired(&self.inner, &mut st, Instant::now());
+            if st.total_queued >= capacity {
+                charge(&mut st, parts.tenant.as_deref(), |l| &mut l.rejected, |r| &mut r.rejected);
+                return Err(SubmitError::QueueFull { capacity });
+            }
         }
         Ok(self.enqueue(&mut st, parts))
     }
@@ -402,6 +511,9 @@ impl Runtime {
         let mut st = lock(&self.inner.state);
         loop {
             self.admit(&mut st, &parts)?;
+            if st.total_queued >= self.inner.config.queue_capacity {
+                sweep_expired(&self.inner, &mut st, Instant::now());
+            }
             if st.total_queued < self.inner.config.queue_capacity {
                 return Ok(self.enqueue(&mut st, parts));
             }
@@ -440,13 +552,20 @@ impl Runtime {
             let mut st = lock(&self.inner.state);
             loop {
                 self.admit(&mut st, &parts)?;
+                if st.total_queued >= self.inner.config.queue_capacity {
+                    sweep_expired(&self.inner, &mut st, Instant::now());
+                }
                 if st.total_queued < self.inner.config.queue_capacity {
                     break self.enqueue(&mut st, parts);
                 }
                 let now = Instant::now();
                 if now >= deadline {
-                    ensure_lane(&mut st, parts.tenant.as_deref(), &self.inner.config)
-                        .rejected += 1;
+                    charge(
+                        &mut st,
+                        parts.tenant.as_deref(),
+                        |l| &mut l.rejected,
+                        |r| &mut r.rejected,
+                    );
                     return Err(SubmitError::Timeout { timeout });
                 }
                 let (guard, _timed_out) = wait_timeout(&self.inner.space, st, deadline - now);
@@ -465,31 +584,48 @@ impl Runtime {
     /// The fail-fast admission checks shared by every submit path:
     /// shutdown, a passed deadline, the shed policy, and the tenant
     /// quota. Capacity is *not* checked here — the blocking paths wait it
-    /// out instead.
+    /// out instead. Refusals are charged to the tenant's **existing**
+    /// lane or the retired aggregate ([`charge`]); a refused request
+    /// never creates a lane.
     fn admit(
         &self,
         st: &mut QueueState,
         parts: &Admitted,
     ) -> std::result::Result<(), SubmitError> {
+        let config = &self.inner.config;
+        let tenant = parts.tenant.as_deref();
         if st.shutting_down {
             return Err(SubmitError::ShuttingDown);
         }
         if parts.deadline.is_some_and(|d| d <= Instant::now()) {
-            ensure_lane(st, parts.tenant.as_deref(), &self.inner.config).expired += 1;
+            charge(st, tenant, |l| &mut l.expired, |r| &mut r.expired);
             return Err(SubmitError::Expired);
         }
+        // Before refusing for space, retract expired entries buried in
+        // the lanes: dead work must not hold the shed watermark or a
+        // tenant quota against live work.
+        let queued = |st: &QueueState| lane_index(st, tenant).map_or(0, |i| st.lanes[i].entries.len());
+        let watermark_hit = config.shed.queue_watermark.is_some_and(|mark| st.total_queued >= mark);
+        let quota_hit = config.tenant_quota.is_some_and(|quota| queued(st) >= quota);
+        if watermark_hit || quota_hit {
+            sweep_expired(&self.inner, st, Instant::now());
+        }
         if let Some(reason) = shed_reason(&self.inner, st) {
-            ensure_lane(st, parts.tenant.as_deref(), &self.inner.config).shed += 1;
+            charge(st, tenant, |l| &mut l.shed, |r| &mut r.shed);
             return Err(SubmitError::Shedding { reason });
         }
-        if let Some(quota) = self.inner.config.tenant_quota {
-            let lane = ensure_lane(st, parts.tenant.as_deref(), &self.inner.config);
-            if lane.entries.len() >= quota {
-                lane.quota_rejected += 1;
-                return Err(SubmitError::TenantQuota {
-                    tenant: parts.tenant.clone().unwrap_or_else(|| "default".into()),
-                    quota,
-                });
+        if let Some(quota) = config.tenant_quota {
+            // A tenant without a lane has nothing queued, so only an
+            // existing lane can be at quota. (A tenant folded into the
+            // anonymous lane at a busy lane cap shares *its* quota.)
+            if let Some(i) = lane_index(st, tenant) {
+                if st.lanes[i].entries.len() >= quota {
+                    st.lanes[i].quota_rejected += 1;
+                    return Err(SubmitError::TenantQuota {
+                        tenant: parts.tenant.clone().unwrap_or_else(|| "default".into()),
+                        quota,
+                    });
+                }
             }
         }
         Ok(())
@@ -560,16 +696,33 @@ impl Drop for Runtime {
 }
 
 /// Whether the shed policy refuses new work right now.
+///
+/// The p99 trip wire is self-recovering: a reading only refuses work
+/// while it is fresher than [`ShedPolicy::p99_recovery`]. A trip that
+/// succeeds in draining the queue stops all dispatches — nothing would
+/// ever refresh the sample — so a stale over-trip reading is treated as
+/// evidence the overload has passed, and the window is reset to re-arm
+/// admission. A *real* ongoing overload keeps producing slow dispatches,
+/// which keep the reading fresh and the wire tripped.
+///
+/// [`ShedPolicy::p99_recovery`]: crate::ShedPolicy::p99_recovery
 fn shed_reason(inner: &Inner, st: &QueueState) -> Option<&'static str> {
     let policy = inner.config.shed;
     if policy.queue_watermark.is_some_and(|mark| st.total_queued >= mark) {
         return Some("queue depth watermark");
     }
-    if policy
-        .p99_trip
-        .is_some_and(|trip| u128::from(inner.p99_ns.load(Ordering::Relaxed)) > trip.as_nanos())
-    {
-        return Some("p99 latency trip wire");
+    if let Some(trip) = policy.p99_trip {
+        if u128::from(inner.p99_ns.load(Ordering::Relaxed)) > trip.as_nanos() {
+            let age = elapsed_ns(inner).saturating_sub(inner.p99_at_ns.load(Ordering::Relaxed));
+            if u128::from(age) <= policy.p99_recovery.as_nanos() {
+                return Some("p99 latency trip wire");
+            }
+            // Stale over-trip reading: re-arm. Forgetting the window is
+            // deliberate — those samples describe the regime that tripped
+            // the wire, not the one this request is being admitted into.
+            inner.p99_ns.store(0, Ordering::Relaxed);
+            lock(&inner.recent).clear();
+        }
     }
     None
 }
@@ -707,6 +860,49 @@ fn expire_stale_heads(inner: &Inner, st: &mut QueueState, now: Instant) {
     }
 }
 
+/// Retract every expired entry anywhere in the lanes — not just the
+/// heads. Admission runs this when a refusal for *space* is on the table
+/// (queue capacity, shed watermark, tenant quota), so dead entries buried
+/// behind live ones cannot hold capacity against live work. Returns how
+/// many entries were freed.
+fn sweep_expired(inner: &Inner, st: &mut QueueState, now: Instant) -> usize {
+    let mut freed = 0;
+    for lane in &mut st.lanes {
+        let Lane { ref mut entries, ref mut expired, .. } = *lane;
+        entries.retain(|e| {
+            if e.expired(now) {
+                e.cell.resolve(Err(ServeError::Rejected(SubmitError::Expired)));
+                *expired += 1;
+                freed += 1;
+                false
+            } else {
+                true
+            }
+        });
+    }
+    if freed > 0 {
+        st.total_queued -= freed;
+        inner.space.notify_all();
+    }
+    freed
+}
+
+/// Bump a per-tenant counter without creating a lane: the tenant's live
+/// lane when one exists, the retired aggregate otherwise. Refusal paths
+/// use this so a client-controlled tenant name cannot grow the lane
+/// table without ever being admitted.
+fn charge(
+    st: &mut QueueState,
+    tenant: Option<&str>,
+    lane_counter: fn(&mut Lane) -> &mut u64,
+    retired_counter: fn(&mut LaneTotals) -> &mut u64,
+) {
+    match lane_index(st, tenant) {
+        Some(i) => *lane_counter(&mut st.lanes[i]) += 1,
+        None => *retired_counter(&mut st.retired) += 1,
+    }
+}
+
 /// The earliest deadline anywhere in the queue — the moment a sleeping
 /// worker must wake to retract expired work promptly.
 fn earliest_deadline(st: &QueueState) -> Option<Instant> {
@@ -717,45 +913,52 @@ fn earliest_deadline(st: &QueueState) -> Option<Instant> {
 }
 
 /// Pick the next entry to anchor a dispatch: earliest-deadline-first
-/// across the deadline-tagged lane heads, then weighted round-robin among
-/// the rest. FIFO order within a lane is never violated.
+/// *within* the weighted rotation — among lanes still holding credits
+/// this cycle, a deadline-tagged head is drained before the cursor scan,
+/// earliest first. FIFO order within a lane is never violated.
+///
+/// Bounding EDF by credits is what keeps deadlines from defeating
+/// fairness: deadline tags order work inside a cycle but cannot buy more
+/// than the lane's weight per cycle, so a tenant stamping every request
+/// with a far-future deadline (the tag is client-controlled) still
+/// cannot starve untagged tenants.
 fn pop_next(inner: &Inner, st: &mut QueueState, now: Instant) -> Option<Entry> {
     expire_stale_heads(inner, st, now);
-    // EDF: any head with a deadline outranks the weighted rotation — a
-    // straggler without a deadline cannot starve urgent work.
+    if st.total_queued == 0 {
+        return None;
+    }
+    // Weighted round-robin: when every backlogged lane is out of
+    // credits, grant a fresh cycle (weight credits each).
+    if !st.lanes.iter().any(|l| !l.entries.is_empty() && l.credits > 0) {
+        for lane in &mut st.lanes {
+            if !lane.entries.is_empty() {
+                lane.credits = lane.weight;
+            }
+        }
+    }
+    // EDF among the credit-holding lanes: urgent work goes first within
+    // the cycle, spending a credit like any other dispatch.
     let edf = st
         .lanes
         .iter()
         .enumerate()
+        .filter(|(_, lane)| lane.credits > 0)
         .filter_map(|(i, lane)| lane.entries.front().and_then(|e| e.deadline).map(|d| (d, i)))
         .min_by_key(|&(d, _)| d);
-    let lane_index = match edf {
+    let i = match edf {
         Some((_, i)) => i,
         None => {
-            if st.total_queued == 0 {
-                return None;
-            }
-            // Weighted round-robin: when every backlogged lane is out of
-            // credits, grant a fresh cycle (weight credits each), then
-            // keep draining from the cursor so a lane spends its credits
-            // consecutively.
-            if !st.lanes.iter().any(|l| !l.entries.is_empty() && l.credits > 0) {
-                for lane in &mut st.lanes {
-                    if !lane.entries.is_empty() {
-                        lane.credits = lane.weight;
-                    }
-                }
-            }
+            // Scan from the cursor so a lane spends its credits
+            // consecutively (coalescing-friendly).
             let n = st.lanes.len();
-            let i = (0..n)
+            (0..n)
                 .map(|k| (st.rr_cursor + k) % n)
-                .find(|&i| !st.lanes[i].entries.is_empty() && st.lanes[i].credits > 0)?;
-            st.lanes[i].credits -= 1;
-            st.rr_cursor = i;
-            i
+                .find(|&i| !st.lanes[i].entries.is_empty() && st.lanes[i].credits > 0)?
         }
     };
-    let entry = st.lanes[lane_index].entries.pop_front()?;
+    st.lanes[i].credits -= 1;
+    st.rr_cursor = i;
+    let entry = st.lanes[i].entries.pop_front()?;
     st.total_queued -= 1;
     Some(entry)
 }
@@ -867,7 +1070,9 @@ fn next_dispatch(inner: &Inner) -> Option<Vec<Entry>> {
     for entry in batch {
         if entry.expired(now) {
             entry.cell.resolve(Err(ServeError::Rejected(SubmitError::Expired)));
-            ensure_lane(&mut st, entry.tenant.as_deref(), &inner.config).expired += 1;
+            // In-flight entries pin their lane (see `evictable`), so this
+            // finds it; `charge` keeps the totals exact regardless.
+            charge(&mut st, entry.tenant.as_deref(), |l| &mut l.expired, |r| &mut r.expired);
         } else {
             kept.push(entry);
         }
@@ -907,7 +1112,10 @@ impl Drop for ResolveOnPanic<'_> {
                     "runtime worker panicked while serving this dispatch".into(),
                 ),
             ))) {
-                ensure_lane(&mut st, entry.tenant.as_deref(), &self.inner.config).failed += 1;
+                // In-flight entries pin their lane (see `evictable`).
+                if let Some(i) = lane_index(&st, entry.tenant.as_deref()) {
+                    st.lanes[i].failed += 1;
+                }
                 st.failed_unserved += 1;
             }
         }
@@ -969,6 +1177,7 @@ fn serve_dispatch(inner: &Inner, worker: usize, session: &Session<'_, 'static>, 
         shard.coalesced += entries.len() as u64;
     }
     let served_ok = result.is_ok();
+    let mut sampled = Vec::with_capacity(entries.len());
     match result {
         Ok(response) => {
             // Per-caller stats: own image count; the shared dispatch's
@@ -980,7 +1189,9 @@ fn serve_dispatch(inner: &Inner, worker: usize, session: &Session<'_, 'static>, 
                 debug_assert_eq!(own.len(), n, "response images must cover the dispatch");
                 shard.completed += 1;
                 shard.images += n as u64;
-                shard.latency.record(entry.enqueued.elapsed());
+                let latency = entry.enqueued.elapsed();
+                shard.latency.record(latency);
+                sampled.push(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
                 entry
                     .cell
                     .resolve(Ok(SrResponse::from_parts(own, InferStats { images: n, ..stats })));
@@ -994,7 +1205,9 @@ fn serve_dispatch(inner: &Inner, worker: usize, session: &Session<'_, 'static>, 
             // that error.
             for entry in &entries {
                 shard.failed += 1;
-                shard.latency.record(entry.enqueued.elapsed());
+                let latency = entry.enqueued.elapsed();
+                shard.latency.record(latency);
+                sampled.push(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
                 entry.cell.resolve(Err(ServeError::Infer(e.clone())));
             }
         }
@@ -1004,11 +1217,15 @@ fn serve_dispatch(inner: &Inner, worker: usize, session: &Session<'_, 'static>, 
     // Per-tenant accounting happens post-dispatch under one brief state
     // lock: completions, failures, and deadline misses (served, but after
     // the deadline passed mid-flight — the late-but-served counterpart of
-    // the never-dispatched `Expired`).
+    // the never-dispatched `Expired`). In-flight entries pin their lane
+    // (see `evictable`), so the lookup always lands.
     let resolved_at = Instant::now();
     let mut st = lock(&inner.state);
     for entry in &entries {
-        let lane = ensure_lane(&mut st, entry.tenant.as_deref(), &inner.config);
+        let Some(i) = lane_index(&st, entry.tenant.as_deref()) else {
+            continue;
+        };
+        let lane = &mut st.lanes[i];
         if served_ok {
             lane.completed += 1;
             if entry.deadline.is_some_and(|d| resolved_at > d) {
@@ -1019,18 +1236,30 @@ fn serve_dispatch(inner: &Inner, worker: usize, session: &Session<'_, 'static>, 
         }
     }
     drop(st);
-    refresh_p99(inner);
+    note_latencies(inner, &sampled);
 }
 
-/// Re-sample the merged p99 latency into the shared cache the shed
-/// policy's trip wire reads.
-fn refresh_p99(inner: &Inner) {
-    let mut merged = LatencyHistogram::default();
-    for shard in &inner.shards {
-        merged.merge(&lock(shard).latency);
+/// Fold this dispatch's queue-to-response latencies into the sliding
+/// window and re-sample its p99 into the shared cache the shed policy's
+/// trip wire reads. Windowed — not lifetime-cumulative — so the estimate
+/// can come back down when the overload passes.
+fn note_latencies(inner: &Inner, sampled: &[u64]) {
+    let mut recent = lock(&inner.recent);
+    for &ns in sampled {
+        if recent.len() == P99_WINDOW {
+            recent.pop_front();
+        }
+        recent.push_back(ns);
     }
-    let p99 = merged.p99().as_nanos();
-    inner.p99_ns.store(u64::try_from(p99).unwrap_or(u64::MAX), Ordering::Relaxed);
+    let mut sorted: Vec<u64> = recent.iter().copied().collect();
+    drop(recent);
+    if sorted.is_empty() {
+        return;
+    }
+    sorted.sort_unstable();
+    let rank = (sorted.len() * 99).div_ceil(100).max(1);
+    inner.p99_ns.store(sorted[rank - 1], Ordering::Relaxed);
+    inner.p99_at_ns.store(elapsed_ns(inner), Ordering::Relaxed);
 }
 
 fn snapshot(inner: &Inner) -> RuntimeStats {
@@ -1038,12 +1267,14 @@ fn snapshot(inner: &Inner) -> RuntimeStats {
     let queue_depth = st.total_queued;
     let queue_high_water = st.high_water;
     let failed_unserved = st.failed_unserved;
-    let mut submitted = 0;
-    let mut rejected = 0;
-    let mut shed = 0;
-    let mut quota_rejected = 0;
-    let mut expired = 0;
-    let mut deadline_misses = 0;
+    // Seed the global sums with the retired aggregate so retiring a lane
+    // (or refusing a lane-less tenant) never loses a count.
+    let mut submitted = st.retired.submitted;
+    let mut rejected = st.retired.rejected;
+    let mut shed = st.retired.shed;
+    let mut quota_rejected = st.retired.quota_rejected;
+    let mut expired = st.retired.expired;
+    let mut deadline_misses = st.retired.deadline_misses;
     let mut tenants = Vec::new();
     for lane in &st.lanes {
         submitted += lane.submitted;

@@ -265,7 +265,7 @@ fn a_stalled_peer_does_not_block_shedding_or_in_flight_service() {
                 workers: 1,
                 max_batch: 1,
                 max_wait: Duration::ZERO,
-                shed: ShedPolicy { queue_watermark: Some(1), p99_trip: None },
+                shed: ShedPolicy { queue_watermark: Some(1), ..ShedPolicy::default() },
                 ..RuntimeConfig::default()
             },
         )

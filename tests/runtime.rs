@@ -597,7 +597,7 @@ fn a_tenant_at_its_quota_is_refused_without_blocking_other_tenants() {
 fn the_shed_watermark_refuses_work_before_the_queue_is_full() {
     with_watchdog(120, "shed-watermark", || {
         let config = RuntimeConfig {
-            shed: ShedPolicy { queue_watermark: Some(2), p99_trip: None },
+            shed: ShedPolicy { queue_watermark: Some(2), ..ShedPolicy::default() },
             queue_capacity: 64,
             ..RuntimeConfig::default()
         };
@@ -628,5 +628,164 @@ fn the_shed_watermark_refuses_work_before_the_queue_is_full() {
         assert_eq!(stats.shed, 3);
         assert_eq!(stats.completed, 3);
         assert_eq!(stats.rejected, 0, "shedding is its own counter, not `rejected`");
+    });
+}
+
+/// The p99 trip wire recovers: a tripped wire that drained the queue has
+/// no dispatches left to refresh its sample, so the stale reading re-arms
+/// admission after `p99_recovery` instead of latching a transient spike
+/// into a permanent outage.
+#[test]
+fn a_tripped_p99_wire_recovers_once_its_reading_goes_stale() {
+    with_watchdog(120, "p99-recovery", || {
+        let config = RuntimeConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            // Any completed dispatch trips a 1 ns wire.
+            shed: ShedPolicy {
+                queue_watermark: None,
+                p99_trip: Some(Duration::from_nanos(1)),
+                p99_recovery: Duration::from_millis(150),
+            },
+            ..RuntimeConfig::default()
+        };
+        let runtime =
+            Runtime::spawn(engine_for(Method::scales(), Backend::Scalar, 26), config).unwrap();
+        // Serve until the wire trips (the sample is published shortly
+        // after the ticket resolves, so poll rather than assume).
+        let mut served = 0;
+        loop {
+            match runtime.submit(SrRequest::single(probe(6, 6, 2_600 + served))) {
+                Ok(ticket) => {
+                    assert!(ticket.wait().is_ok());
+                    served += 1;
+                }
+                Err(SubmitError::Shedding { reason }) => {
+                    assert_eq!(reason, "p99 latency trip wire");
+                    break;
+                }
+                Err(other) => panic!("expected Shedding, got {other:?}"),
+            }
+        }
+        assert!(served >= 1, "at least one dispatch must publish a sample");
+        // No dispatches run while tripped; once the reading is older than
+        // the recovery window, admission must re-arm on its own.
+        std::thread::sleep(Duration::from_millis(500));
+        let revived = runtime
+            .submit(SrRequest::single(probe(6, 6, 2_690)))
+            .expect("a stale trip reading must re-arm admission");
+        assert!(revived.wait().is_ok(), "recovered runtime must serve again");
+        let stats = runtime.shutdown();
+        assert!(stats.shed >= 1, "the trip itself was counted");
+        assert_eq!(stats.completed, served + 1);
+    });
+}
+
+/// The lane table is bounded by `max_tenant_lanes`: a parade of distinct
+/// tenant names retires idle lanes instead of growing server state, the
+/// retired lanes' counts stay in the global totals, and a *refused*
+/// request never creates a lane at all.
+#[test]
+fn untrusted_tenant_names_cannot_grow_the_lane_table() {
+    with_watchdog(120, "lane-cap", || {
+        let config = RuntimeConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            max_tenant_lanes: 2,
+            ..RuntimeConfig::default()
+        };
+        let runtime =
+            Runtime::spawn(engine_for(Method::scales(), Backend::Scalar, 27), config).unwrap();
+        // Eight distinct tenants, served one at a time so each lane goes
+        // idle before the next name arrives.
+        for i in 0..8 {
+            let ticket = runtime
+                .submit(SrRequest::single(probe(6, 6, 2_700 + i)).tenant(format!("tenant-{i}")))
+                .unwrap();
+            assert!(ticket.wait().is_ok());
+        }
+        // A refusal must not create a lane either: this tenant only ever
+        // shows up with an already-expired deadline.
+        match runtime.submit(
+            SrRequest::single(probe(6, 6, 2_790)).tenant("ghost").deadline_in(Duration::ZERO),
+        ) {
+            Err(SubmitError::Expired) => {}
+            other => panic!("expected Expired, got {other:?}"),
+        }
+        let stats = runtime.shutdown();
+        assert!(
+            stats.tenants.len() <= 2,
+            "lane table must stay within max_tenant_lanes, got {:?}",
+            stats.tenants.iter().map(|t| t.tenant.as_str()).collect::<Vec<_>>()
+        );
+        assert!(
+            stats.tenants.iter().all(|t| t.tenant != "ghost"),
+            "a refused request must not create a lane"
+        );
+        // Retiring lanes must not lose counts from the global totals.
+        assert_eq!(stats.submitted, 8);
+        assert_eq!(stats.completed, 8);
+        assert_eq!(stats.expired, 1, "the ghost refusal is still counted globally");
+    });
+}
+
+/// Deadline tags cannot buy unbounded priority: EDF runs *within* the
+/// weighted rotation, so a tenant stamping every request with a far-away
+/// deadline still spends lane credits like everyone else and cannot
+/// starve a weighted tenant's untagged backlog.
+#[test]
+fn deadline_spam_does_not_starve_the_weighted_rotation() {
+    with_watchdog(120, "edf-fairness", || {
+        let config = RuntimeConfig {
+            tenant_weights: vec![("gold".into(), 3)],
+            ..RuntimeConfig::default()
+        };
+        let (runtime, wedge) = wedged_runtime(config, 28);
+        // The spammer queues first, every request deadline-tagged with a
+        // huge budget — under absolute-priority EDF this backlog would
+        // drain completely before any untagged work.
+        let spam: Vec<Ticket> = (0..4)
+            .map(|i| {
+                runtime
+                    .submit(
+                        SrRequest::single(probe(6, 6, 2_800 + i))
+                            .tenant("spam")
+                            .deadline_in(Duration::from_secs(3600)),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let gold: Vec<Ticket> = (0..4)
+            .map(|i| {
+                runtime
+                    .submit(SrRequest::single(probe(6, 6, 2_850 + i)).tenant("gold"))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(wedge.wait().unwrap().images().len(), 12);
+        let finished_at = |tickets: Vec<Ticket>| {
+            tickets
+                .into_iter()
+                .map(|t| {
+                    assert!(t.wait().is_ok());
+                    std::time::Instant::now()
+                })
+                .max()
+                .unwrap()
+        };
+        let (gold_done, spam_done) = std::thread::scope(|scope| {
+            let g = scope.spawn(move || finished_at(gold));
+            let s = scope.spawn(move || finished_at(spam));
+            (g.join().unwrap(), s.join().unwrap())
+        });
+        assert!(
+            gold_done < spam_done,
+            "gold (weight 3, no deadlines) must not wait out the deadline spammer's backlog"
+        );
+        let stats = runtime.shutdown();
+        assert_eq!(stats.completed, 9);
+        assert_eq!(stats.deadline_misses, 0, "the spam deadlines were generous");
     });
 }
