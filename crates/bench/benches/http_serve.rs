@@ -3,10 +3,18 @@
 //! parser → runtime worker pool → deployed engine → wire codec — under a
 //! fixed burst from several keep-alive client threads.
 //!
-//! The run ends with one machine-readable line — `BENCH_http {...}` — so
-//! CI logs give a per-commit serving trajectory for the network edge,
-//! and asserts the whole burst completes with `200`s and a clean,
-//! error-free runtime record.
+//! Two bursts run back to back on fresh stacks: one with the per-op plan
+//! profiler **off** (the production default) and one with it **on** (the
+//! full instrumentation path). The profiled burst must hold req/s within
+//! the overhead budget of the baseline, keeping the observability layer
+//! honest about its own cost.
+//!
+//! The run ends with one machine-readable line — `BENCH_http {...}` —
+//! now including the mean per-stage breakdown (from the flight recorder)
+//! and the profiled/baseline throughput ratio, so CI logs give a
+//! per-commit serving *and* attribution trajectory for the network edge.
+//! Both bursts must complete with `200`s and a clean, error-free runtime
+//! record.
 //!
 //! ```sh
 //! cargo bench --bench http_serve            # full request count
@@ -19,6 +27,7 @@ use scales_http::{HttpConfig, HttpServer};
 use scales_models::{srresnet, SrConfig};
 use scales_runtime::{Runtime, RuntimeConfig};
 use scales_serve::{Engine, Precision};
+use scales_telemetry::STAGES;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -51,12 +60,20 @@ fn read_response(stream: &mut TcpStream) -> u16 {
     status
 }
 
-fn main() {
-    let smoke = std::env::var("SCALES_BENCH_SMOKE").is_ok();
-    let requests: usize = if smoke { 24 } else { 192 };
-    let clients = 3usize;
-    let side = 16usize;
+struct BurstResult {
+    rps: f64,
+    p50: Duration,
+    p99: Duration,
+    /// Mean nanoseconds per stage across the burst's recorded traces.
+    stage_mean_ns: [u64; STAGES.len()],
+    completed: u64,
+    failed: u64,
+}
 
+/// Drive one full burst against a fresh train-free stack and tear it
+/// down, reporting throughput, latency quantiles, and the mean stage
+/// breakdown the flight recorder saw.
+fn run_burst(profile_ops: bool, requests: usize, clients: usize, raw: &[u8]) -> BurstResult {
     let net = srresnet(SrConfig {
         channels: 16,
         blocks: 2,
@@ -73,6 +90,7 @@ fn main() {
             queue_capacity: requests.max(64),
             max_batch: 8,
             max_wait: Duration::from_millis(2),
+            profile_ops,
             ..RuntimeConfig::default()
         },
     )
@@ -80,31 +98,20 @@ fn main() {
     let server = HttpServer::bind(
         "127.0.0.1:0",
         runtime,
-        HttpConfig { workers: clients, ..HttpConfig::default() },
+        HttpConfig {
+            workers: clients,
+            // Retain the whole burst so the stage breakdown covers it.
+            trace_capacity: requests + 8,
+            ..HttpConfig::default()
+        },
     )
     .unwrap();
     let addr = server.addr();
-    println!(
-        "http serving: {requests} POST /v1/upscale of a {side}x{side} PPM over {clients} \
-         keep-alive loopback clients"
-    );
-
-    let payload = encode_image(&scene(side, side, 7), WireFormat::Ppm).unwrap();
-    let raw = {
-        let mut raw = format!(
-            "POST /v1/upscale HTTP/1.1\r\nHost: bench\r\nContent-Type: {}\r\nContent-Length: {}\r\n\r\n",
-            WireFormat::Ppm.content_type(),
-            payload.len()
-        )
-        .into_bytes();
-        raw.extend_from_slice(&payload);
-        raw
-    };
 
     // Warm up outside the timed region (plan caches, connection setup).
     {
         let mut stream = TcpStream::connect(addr).unwrap();
-        stream.write_all(&raw).unwrap();
+        stream.write_all(raw).unwrap();
         assert_eq!(read_response(&mut stream), 200, "warm-up request");
     }
 
@@ -114,7 +121,6 @@ fn main() {
     let latencies: Vec<Duration> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
-                let raw = &raw;
                 scope.spawn(move || {
                     let share = requests / clients + usize::from(c < requests % clients);
                     let mut stream = TcpStream::connect(addr).unwrap();
@@ -143,10 +149,20 @@ fn main() {
         sorted[idx]
     };
     let (p50, p99) = (quantile(0.50), quantile(0.99));
-    println!(
-        "  {rps:>8.1} req/s over the wire ({:.1} ms total); client latency p50 {p50:.2?}, p99 {p99:.2?}",
-        total_secs * 1e3
-    );
+
+    // The flight recorder retained every trace in the burst (capacity is
+    // sized for it); fold them into a mean per-stage breakdown.
+    let traces = server.traces();
+    assert!(!traces.is_empty(), "the flight recorder must have seen the burst");
+    let mut stage_mean_ns = [0u64; STAGES.len()];
+    for trace in &traces {
+        for (mean, ns) in stage_mean_ns.iter_mut().zip(trace.stage_ns) {
+            *mean += ns;
+        }
+    }
+    for mean in &mut stage_mean_ns {
+        *mean /= traces.len() as u64;
+    }
 
     let stats = server.shutdown();
     assert_eq!(stats.failed, 0, "no request may fail");
@@ -155,13 +171,77 @@ fn main() {
         "every posted request completes (got {})",
         stats.completed
     );
+    BurstResult { rps, p50, p99, stage_mean_ns, completed: stats.completed, failed: stats.failed }
+}
+
+fn main() {
+    let smoke = std::env::var("SCALES_BENCH_SMOKE").is_ok();
+    let requests: usize = if smoke { 24 } else { 192 };
+    let clients = 3usize;
+    let side = 16usize;
 
     println!(
-        "\nBENCH_http {{\"requests\":{requests},\"clients\":{clients},\"rps\":{rps:.1},\
-         \"p50_ms\":{:.2},\"p99_ms\":{:.2},\"completed\":{},\"failed\":{}}}",
-        p50.as_secs_f64() * 1e3,
-        p99.as_secs_f64() * 1e3,
-        stats.completed,
-        stats.failed,
+        "http serving: {requests} POST /v1/upscale of a {side}x{side} PPM over {clients} \
+         keep-alive loopback clients, profiler off then on"
+    );
+
+    let payload = encode_image(&scene(side, side, 7), WireFormat::Ppm).unwrap();
+    let raw = {
+        let mut raw = format!(
+            "POST /v1/upscale HTTP/1.1\r\nHost: bench\r\nContent-Type: {}\r\nContent-Length: {}\r\n\r\n",
+            WireFormat::Ppm.content_type(),
+            payload.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(&payload);
+        raw
+    };
+
+    let baseline = run_burst(false, requests, clients, &raw);
+    println!(
+        "  baseline (profiler off): {:>8.1} req/s; client latency p50 {:.2?}, p99 {:.2?}",
+        baseline.rps, baseline.p50, baseline.p99
+    );
+    let profiled = run_burst(true, requests, clients, &raw);
+    println!(
+        "  profiled (profiler on):  {:>8.1} req/s; client latency p50 {:.2?}, p99 {:.2?}",
+        profiled.rps, profiled.p50, profiled.p99
+    );
+
+    println!("  mean stage breakdown (baseline burst):");
+    for (name, ns) in STAGES.iter().zip(baseline.stage_mean_ns) {
+        println!("    {name:<11} {:>10.3} ms", ns as f64 / 1e6);
+    }
+
+    // The observability layer must stay cheap: the fully instrumented
+    // burst holds req/s within 10% of the baseline. The smoke burst is
+    // too small for a tight bound on a loaded CI box, so it only guards
+    // against order-of-magnitude regressions.
+    let ratio = profiled.rps / baseline.rps;
+    let floor = if smoke { 0.5 } else { 0.9 };
+    println!("  overhead: profiled/baseline req/s ratio {ratio:.3} (floor {floor})");
+    assert!(
+        ratio >= floor,
+        "profiling overhead out of budget: {:.1} -> {:.1} req/s (ratio {ratio:.3} < {floor})",
+        baseline.rps,
+        profiled.rps
+    );
+
+    let stage_json: String = STAGES
+        .iter()
+        .zip(baseline.stage_mean_ns)
+        .map(|(name, ns)| format!("\"{name}_ms\":{:.3}", ns as f64 / 1e6))
+        .collect::<Vec<_>>()
+        .join(",");
+    println!(
+        "\nBENCH_http {{\"requests\":{requests},\"clients\":{clients},\"rps\":{:.1},\
+         \"p50_ms\":{:.2},\"p99_ms\":{:.2},\"completed\":{},\"failed\":{},\
+         \"profiled_rps\":{:.1},\"overhead_ratio\":{ratio:.3},\"stage_mean\":{{{stage_json}}}}}",
+        baseline.rps,
+        baseline.p50.as_secs_f64() * 1e3,
+        baseline.p99.as_secs_f64() * 1e3,
+        baseline.completed,
+        baseline.failed,
+        profiled.rps,
     );
 }

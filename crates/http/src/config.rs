@@ -40,6 +40,16 @@ pub struct HttpConfig {
     /// (distinct from a request's *own* `X-Scales-Deadline-Ms` deadline,
     /// whose expiry is a `504 Gateway Timeout`). Default: 30 s.
     pub request_timeout: Duration,
+    /// Completed request traces retained by the flight recorder (the
+    /// `GET /v1/debug/traces` ring). Default: 256.
+    pub trace_capacity: usize,
+    /// End-to-end latency above which a trace is *also* retained in the
+    /// slow ring (`GET /v1/debug/traces?slow=1`), so a burst of fast
+    /// traffic cannot flush the outliers a postmortem needs.
+    /// Default: 250 ms.
+    pub slow_threshold: Duration,
+    /// Slow traces retained. Default: 64.
+    pub slow_trace_capacity: usize,
 }
 
 impl Default for HttpConfig {
@@ -52,6 +62,9 @@ impl Default for HttpConfig {
             max_headers: 64,
             read_timeout: Duration::from_secs(5),
             request_timeout: Duration::from_secs(30),
+            trace_capacity: 256,
+            slow_threshold: Duration::from_millis(250),
+            slow_trace_capacity: 64,
         }
     }
 }
@@ -86,6 +99,15 @@ impl HttpConfig {
         if self.request_timeout.is_zero() {
             return reject("request timeout must be positive");
         }
+        if self.trace_capacity == 0 {
+            return reject("flight-recorder trace capacity must be positive");
+        }
+        if self.slow_threshold.is_zero() {
+            return reject("slow-trace threshold must be positive");
+        }
+        if self.slow_trace_capacity == 0 {
+            return reject("slow-trace capacity must be positive");
+        }
         Ok(())
     }
 }
@@ -110,6 +132,9 @@ mod tests {
             HttpConfig { max_headers: 0, ..ok },
             HttpConfig { read_timeout: Duration::ZERO, ..ok },
             HttpConfig { request_timeout: Duration::ZERO, ..ok },
+            HttpConfig { trace_capacity: 0, ..ok },
+            HttpConfig { slow_threshold: Duration::ZERO, ..ok },
+            HttpConfig { slow_trace_capacity: 0, ..ok },
         ];
         for bad in cases {
             let err = bad.validate().expect_err("zero knob must be rejected");

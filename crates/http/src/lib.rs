@@ -16,8 +16,17 @@
 //! | `POST /v1/models/{name}/upscale` | fleet | The same wire contract, routed by model name through [`ModelRouter::submit_wait_timeout`](scales_router::ModelRouter::submit_wait_timeout); an unknown name is a `404`. |
 //! | `GET /v1/models` | fleet | The fleet as JSON: name, arch, scale, version, artifact fingerprint, serving state, memory charges. |
 //! | `POST /v1/models/{name}/reload` | fleet | Zero-downtime hot-swap from the model's artifact path ([`ModelRouter::reload`](scales_router::ModelRouter::reload)); in-memory models answer `409`. |
-//! | `GET /metrics` | both | Prometheus text: the runtime's series, or the fleet's `model`-labeled series, plus the front end's own counters. |
+//! | `GET /metrics` | both | Prometheus text: the runtime's series, or the fleet's `model`-labeled series, plus the front end's own counters and stage histograms. |
 //! | `GET /healthz` | both | `200 ok` liveness probe. |
+//! | `GET /v1/debug/traces` | both | The flight recorder as JSON: recent completed-request traces with per-stage nanoseconds; `?slow=1` returns the separately-retained slow ring. |
+//! | `GET /v1/debug/profile` | both | Per-op plan profiles (`?model={name}` selects one fleet model); empty until profiling is on ([`RuntimeConfig::profile_ops`](scales_runtime::RuntimeConfig::profile_ops)). |
+//!
+//! Every request is traced: the server accepts a valid
+//! `X-Scales-Request-Id` header (or mints an id), echoes it on **every**
+//! response — refusals included — and folds the completed request into
+//! the [`FlightRecorder`](scales_telemetry::FlightRecorder) with its
+//! eight stage spans (`parse` → `write`), retrievable over the wire at
+//! `GET /v1/debug/traces` or in-process via [`HttpServer::traces`].
 //!
 //! Hardening is the point, not an afterthought: request lines and
 //! headers are length- and count-bounded, bodies are

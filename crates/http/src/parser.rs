@@ -39,6 +39,12 @@ pub struct RequestHead {
     /// milliseconds from arrival. `0` is legal and means "already due" —
     /// the runtime refuses it as expired.
     pub deadline_ms: Option<u64>,
+    /// `X-Scales-Request-Id` header, kept only when it satisfies the
+    /// shared name rule (1–64 characters of `[A-Za-z0-9._-]`). An
+    /// invalid id is *dropped*, never a `400` — the server mints a fresh
+    /// one instead, so a hostile header cannot break correlation and a
+    /// well-formed request is never refused over its trace id.
+    pub request_id: Option<String>,
 }
 
 impl RequestHead {
@@ -187,6 +193,7 @@ impl<R: Read> RequestReader<R> {
             expect_continue: false,
             tenant: None,
             deadline_ms: None,
+            request_id: None,
         };
         loop {
             let line = self.read_line(config.max_line)?.ok_or(RequestError::UnexpectedEof)?;
@@ -254,6 +261,14 @@ impl<R: Read> RequestReader<R> {
                         });
                     }
                     head.tenant = Some(value.clone());
+                }
+                // The request-id rule is the same token alphabet as the
+                // tenant rule, but the failure mode differs by design:
+                // a bad id is ignored (the server generates one), while
+                // a bad tenant is a 400 — it would change which
+                // admission lane does the accounting.
+                "x-scales-request-id" if valid_tenant(value) => {
+                    head.request_id = Some(value.clone());
                 }
                 "x-scales-deadline-ms" => {
                     let parsed: u64 = value.parse().map_err(|_| RequestError::BadHeader {
@@ -404,6 +419,29 @@ mod tests {
             err_of(b"GET / HTTP/1.1\r\nX-Scales-Deadline-Ms: soon\r\n\r\n"),
             RequestError::BadHeader { what: "deadline must be a decimal number of milliseconds" }
         ));
+    }
+
+    #[test]
+    fn request_id_header_is_kept_only_when_valid() {
+        let head = head_of(
+            b"POST /v1/upscale HTTP/1.1\r\nX-Scales-Request-Id: trace-42.a_b\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert_eq!(head.request_id.as_deref(), Some("trace-42.a_b"));
+        // Invalid ids are dropped, never refused: the request still
+        // parses and the server will mint a replacement id.
+        for hostile in
+            ["not an id!", "", &"x".repeat(65), "new\nline"].map(|id| {
+                format!("GET / HTTP/1.1\r\nX-Scales-Request-Id: {id}\r\n\r\n")
+            })
+        {
+            // A raw \n inside the value splits the header line; every
+            // variant must still parse (possibly as a different split)
+            // or fail for a *header* reason, never leave a bad id.
+            if let Ok(Some(head)) = reader(hostile.as_bytes()).read_head(&HttpConfig::default()) {
+                assert_eq!(head.request_id, None, "hostile id must be dropped: {hostile:?}");
+            }
+        }
+        assert_eq!(head_of(b"GET / HTTP/1.1\r\n\r\n").request_id, None);
     }
 
     #[test]

@@ -18,8 +18,9 @@ use crate::error::{HttpError, RequestError};
 use crate::parser::{RequestHead, RequestReader};
 use scales_data::{decode_image, encode_image};
 use scales_router::{ModelRouter, RouterError};
-use scales_runtime::{RejectReason, Runtime, RuntimeStats, SubmitError};
+use scales_runtime::{LatencyHistogram, RejectReason, Runtime, RuntimeStats, SubmitError};
 use scales_serve::SrRequest;
+use scales_telemetry::{render_traces_json, FlightRecorder, OpProfile, RequestId, RequestTrace, Stage};
 use std::collections::VecDeque;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -60,6 +61,16 @@ struct Shared {
     connections: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
+    /// Connections refused with an immediate `503` off a full backlog.
+    refused: AtomicU64,
+    /// The flight recorder behind `GET /v1/debug/traces`.
+    recorder: FlightRecorder,
+    /// HTTP-side stage histograms: wire-codec decode, wire-codec encode,
+    /// and response write. (The runtime owns queue/batch/infer.) Each is
+    /// its own lock so a decode never contends with a write.
+    decode_hist: Mutex<LatencyHistogram>,
+    encode_hist: Mutex<LatencyHistogram>,
+    write_hist: Mutex<LatencyHistogram>,
 }
 
 impl Shared {
@@ -165,6 +176,15 @@ impl HttpServer {
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            recorder: FlightRecorder::new(
+                config.trace_capacity,
+                config.slow_threshold,
+                config.slow_trace_capacity,
+            ),
+            decode_hist: Mutex::new(LatencyHistogram::default()),
+            encode_hist: Mutex::new(LatencyHistogram::default()),
+            write_hist: Mutex::new(LatencyHistogram::default()),
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -208,6 +228,22 @@ impl HttpServer {
             Target::Single(_) => None,
             Target::Fleet(router) => Some(router),
         }
+    }
+
+    /// Snapshot of the flight recorder's recent completed-request
+    /// traces, oldest → newest — the typed in-process view of
+    /// `GET /v1/debug/traces`.
+    #[must_use]
+    pub fn traces(&self) -> Vec<RequestTrace> {
+        self.shared.recorder.recent()
+    }
+
+    /// Snapshot of the retained slow traces (end-to-end latency at or
+    /// above [`HttpConfig::slow_threshold`]), oldest → newest — the
+    /// typed view of `GET /v1/debug/traces?slow=1`.
+    #[must_use]
+    pub fn slow_traces(&self) -> Vec<RequestTrace> {
+        self.shared.recorder.slow()
     }
 
     /// Stop intake, let workers finish their in-flight requests (open
@@ -290,13 +326,18 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             // refusal on a best-effort basis; if even spawning fails,
             // dropping the stream (RST) is refusal enough.
             shared.count_response(503);
+            shared.refused.fetch_add(1, Ordering::Relaxed);
             let spawned = std::thread::Builder::new()
                 .name("scales-http-refusal".into())
                 .spawn(move || {
                     let _ = stream.set_write_timeout(Some(REFUSAL_WRITE_TIMEOUT));
+                    // No head was read, so there is no client id to
+                    // echo; a generated one still lets the peer quote
+                    // something findable in the server's logs.
+                    let id = RequestId::generate();
                     let response = Response::text(503, "server backlog is full, retry later\n")
                         .retry_after(Some(1));
-                    let _ = write_response(&stream, &response, false, false);
+                    let _ = write_response(&stream, &response, false, false, id.as_str());
                 });
             drop(spawned);
         } else {
@@ -373,26 +414,37 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             Ok(None) => return,
             Err(err) => {
                 // Malformed head: typed status, then close (framing is
-                // unrecoverable).
+                // unrecoverable). No head means no client trace id and
+                // no timeline to attribute, but the response still
+                // carries a generated id — every response does.
                 shared.count_response(err.status());
                 let response = Response::text(err.status(), format!("{err}\n"));
-                let _ = write_response(reader.get_ref(), &response, false, false);
+                let id = RequestId::generate();
+                let _ = write_response(reader.get_ref(), &response, false, false, id.as_str());
                 return;
             }
         };
 
-        // The deadline budget starts here, the moment the head is fully
-        // parsed — the body upload and decode count against it, so a slow
-        // upload cannot silently extend the client's deadline.
+        // The deadline budget and the trace clock start here, the moment
+        // the head is fully parsed — the body upload and decode count
+        // against both, so a slow upload cannot silently extend the
+        // client's deadline or vanish from the trace.
         let arrived = Instant::now();
         let head_only = head.method == "HEAD";
-        match route(shared, &mut reader, &head, arrived) {
+        let mut draft = TraceDraft::new(&head, arrived);
+        match route(shared, &mut reader, &head, arrived, &mut draft) {
             Ok(response) => {
                 shared.count_response(response.status);
                 let keep_alive = head.keep_alive && !response.close && !shared.shutting_down();
-                if write_response(reader.get_ref(), &response, head_only, keep_alive).is_err()
-                    || !keep_alive
-                {
+                let wrote = write_response(
+                    reader.get_ref(),
+                    &response,
+                    head_only,
+                    keep_alive,
+                    draft.id.as_str(),
+                );
+                record_trace(shared, &draft, response.status);
+                if wrote.is_err() || !keep_alive {
                     return;
                 }
             }
@@ -400,11 +452,111 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
                 // The body was not (fully) consumed: answer and close.
                 shared.count_response(err.status());
                 let response = Response::text(err.status(), format!("{err}\n"));
-                let _ = write_response(reader.get_ref(), &response, head_only, false);
+                let _ = write_response(
+                    reader.get_ref(),
+                    &response,
+                    head_only,
+                    false,
+                    draft.id.as_str(),
+                );
+                record_trace(shared, &draft, err.status());
                 return;
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Request tracing
+// ---------------------------------------------------------------------------
+
+/// An in-flight request's trace under construction: the id, the trace
+/// clock's origin (head parsed), and the stage boundaries reached so
+/// far.
+///
+/// Boundary `i` in `marks` ends stage `i` (parse, decode, submit,
+/// queue_wait, batch_wait, infer, encode); the write stage ends at the
+/// instant [`TraceDraft::finish`] seals the trace. A boundary a request
+/// never reached inherits its predecessor, so the spans always
+/// *telescope*: non-negative by construction and summing exactly to the
+/// recorded total.
+struct TraceDraft {
+    id: RequestId,
+    arrived: Instant,
+    marks: [Option<Instant>; 7],
+    tenant: Option<String>,
+    model: Option<String>,
+    deadline_ms: Option<u64>,
+}
+
+impl TraceDraft {
+    fn new(head: &RequestHead, arrived: Instant) -> Self {
+        Self {
+            id: RequestId::accept_or_generate(head.request_id.as_deref()),
+            arrived,
+            marks: [None; 7],
+            tenant: head.tenant.clone(),
+            model: None,
+            deadline_ms: head.deadline_ms,
+        }
+    }
+
+    /// End `stage` now.
+    fn mark(&mut self, stage: Stage) {
+        self.mark_at(stage, Instant::now());
+    }
+
+    /// End `stage` at `at` — for boundaries stamped elsewhere (the
+    /// runtime's [`RuntimeStamps`](scales_telemetry::RuntimeStamps)).
+    fn mark_at(&mut self, stage: Stage, at: Instant) {
+        self.marks[stage as usize] = Some(at);
+    }
+
+    /// Seal the trace: fold the boundaries into telescoping stage spans
+    /// ending at `written`, with the total as their exact sum.
+    fn finish(&self, status: u16, written: Instant) -> RequestTrace {
+        let mut trace = RequestTrace::new(self.id.clone(), status);
+        trace.tenant = self.tenant.clone();
+        trace.model = self.model.clone();
+        let mut prev = self.arrived;
+        for (i, mark) in self.marks.iter().enumerate() {
+            let end = mark.unwrap_or(prev);
+            trace.stage_ns[i] = span_ns(prev, end);
+            // Never let a boundary move the clock backwards: a
+            // non-monotone stamp records a zero span and the remainder
+            // stays attributed to the stage that actually spent it.
+            prev = prev.max(end);
+        }
+        trace.stage_ns[Stage::Write as usize] = span_ns(prev, written);
+        trace.total_ns = trace.stage_ns.iter().sum();
+        if let Some(ms) = self.deadline_ms {
+            let budget = i64::try_from(ms.saturating_mul(1_000_000)).unwrap_or(i64::MAX);
+            let total = i64::try_from(trace.total_ns).unwrap_or(i64::MAX);
+            trace.deadline_slack_ns = Some(budget.saturating_sub(total));
+        }
+        trace
+    }
+}
+
+/// Non-negative nanoseconds from `start` to `end`, saturating.
+fn span_ns(start: Instant, end: Instant) -> u64 {
+    u64::try_from(end.saturating_duration_since(start).as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Seal `draft` at this instant, fold its HTTP-side spans into the
+/// stage histograms (decode/encode only when that stage actually ran;
+/// write always — every response is written), and hand the trace to the
+/// flight recorder.
+fn record_trace(shared: &Shared, draft: &TraceDraft, status: u16) {
+    let trace = draft.finish(status, Instant::now());
+    if draft.marks[Stage::Decode as usize].is_some() {
+        lock(&shared.decode_hist).record(Duration::from_nanos(trace.stage(Stage::Decode)));
+    }
+    if draft.marks[Stage::Encode as usize].is_some() {
+        lock(&shared.encode_hist).record(Duration::from_nanos(trace.stage(Stage::Encode)));
+    }
+    lock(&shared.write_hist).record(Duration::from_nanos(trace.stage(Stage::Write)));
+    shared.recorder.record(trace);
 }
 
 /// Strip the query string from a request target.
@@ -412,19 +564,29 @@ fn path_of(target: &str) -> &str {
     target.split(['?', '#']).next().unwrap_or(target)
 }
 
+/// The query string of a request target (without the `?`), if any.
+fn query_of(target: &str) -> Option<&str> {
+    let no_fragment = target.split('#').next().unwrap_or(target);
+    no_fragment.split_once('?').map(|(_, q)| q)
+}
+
 fn route(
     shared: &Shared,
     reader: &mut RequestReader<TcpStream>,
     head: &RequestHead,
     arrived: Instant,
+    draft: &mut TraceDraft,
 ) -> Result<Response, RequestError> {
     let path = path_of(&head.target);
     if let Some(rest) = path.strip_prefix("/v1/models") {
-        return route_models(shared, reader, head, arrived, rest);
+        return route_models(shared, reader, head, arrived, draft, rest);
+    }
+    if let Some(which) = path.strip_prefix("/v1/debug/") {
+        return route_debug(shared, reader, head, which);
     }
     match (head.method.as_str(), path) {
         ("POST", "/v1/upscale") => match &shared.target {
-            Target::Single(runtime) => upscale(shared, reader, head, arrived, runtime),
+            Target::Single(runtime) => upscale(shared, reader, head, arrived, draft, runtime),
             // A fleet has no anonymous default model; naming one is the
             // only unambiguous contract. Final status, no body read.
             Target::Fleet(_) => Ok(Response::text(
@@ -470,6 +632,7 @@ fn route_models(
     reader: &mut RequestReader<TcpStream>,
     head: &RequestHead,
     arrived: Instant,
+    draft: &mut TraceDraft,
     rest: &str,
 ) -> Result<Response, RequestError> {
     let Target::Fleet(router) = &shared.target else {
@@ -506,7 +669,7 @@ fn route_models(
     };
     match action {
         "upscale" => match head.method.as_str() {
-            "POST" => fleet_upscale(shared, reader, head, arrived, router, name),
+            "POST" => fleet_upscale(shared, reader, head, arrived, draft, router, name),
             _ => Ok(Response::text(405, "use POST\n").allow("POST").close_if_unread(head)),
         },
         "reload" => match head.method.as_str() {
@@ -517,6 +680,107 @@ fn route_models(
             _ => Ok(Response::text(405, "use POST\n").allow("POST").close_if_unread(head)),
         },
         _ => Ok(Response::text(404, "no such route\n").close_if_unread(head)),
+    }
+}
+
+/// The debug surface: `GET /v1/debug/traces[?slow=1]` (the flight
+/// recorder as JSON) and `GET /v1/debug/profile[?model={name}]` (the
+/// per-op plan profiles). `which` is the path with the `/v1/debug/`
+/// prefix stripped.
+fn route_debug(
+    shared: &Shared,
+    reader: &mut RequestReader<TcpStream>,
+    head: &RequestHead,
+    which: &str,
+) -> Result<Response, RequestError> {
+    if !matches!(which, "traces" | "profile") {
+        return Ok(Response::text(404, "no such route\n").close_if_unread(head));
+    }
+    if !matches!(head.method.as_str(), "GET" | "HEAD") {
+        return Ok(Response::text(405, "use GET\n").allow("GET, HEAD").close_if_unread(head));
+    }
+    drain_body(reader, head)?;
+    let query = query_of(&head.target).filter(|q| !q.is_empty());
+    let response = match which {
+        "traces" => match query {
+            None => json_response(render_traces_json(&shared.recorder.recent())),
+            Some("slow=1") => json_response(render_traces_json(&shared.recorder.slow())),
+            Some(_) => Response::text(400, "unsupported query; the only query is ?slow=1\n"),
+        },
+        _ => debug_profile(shared, query),
+    };
+    Ok(response)
+}
+
+/// `GET /v1/debug/profile`: per-op plan profiles, per model. Empty `ops`
+/// until profiling is switched on
+/// ([`RuntimeConfig::profile_ops`](scales_runtime::RuntimeConfig::profile_ops)
+/// or `SCALES_PROFILE_OPS=1`) and a forward has run.
+fn debug_profile(shared: &Shared, query: Option<&str>) -> Response {
+    let wanted = match query {
+        None => None,
+        Some(q) => match q.split_once('=') {
+            Some(("model", name)) if !name.is_empty() => Some(name),
+            _ => {
+                return Response::text(400, "unsupported query; the only query is ?model={name}\n")
+            }
+        },
+    };
+    let of_stats = |stats: Option<RuntimeStats>| stats.map(|s| s.op_profile).unwrap_or_default();
+    let profiles: Vec<(Option<String>, OpProfile)> = match (&shared.target, wanted) {
+        (Target::Single(runtime), None) => vec![(None, runtime.stats().op_profile)],
+        (Target::Single(_), Some(_)) => {
+            return Response::text(400, "this server has no model fleet; drop the ?model query\n")
+        }
+        (Target::Fleet(router), Some(name)) => match router.model(name) {
+            Ok(m) => vec![(Some(m.name), of_stats(m.runtime))],
+            Err(err) => return router_error_response(&err),
+        },
+        (Target::Fleet(router), None) => router
+            .list()
+            .into_iter()
+            .map(|m| (Some(m.name), of_stats(m.runtime)))
+            .collect(),
+    };
+    json_response(render_profiles_json(&profiles))
+}
+
+/// The profile document: one object per model (the model is `null` on a
+/// single-runtime server). Model names come from the router's validated
+/// alphabet and op kinds are static strings, so no escaping is needed.
+fn render_profiles_json(profiles: &[(Option<String>, OpProfile)]) -> String {
+    let mut out = String::with_capacity(64 + profiles.len() * 256);
+    out.push_str("{\"profiles\":[");
+    for (i, (model, profile)) in profiles.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match model {
+            Some(name) => out.push_str(&format!("{{\"model\":\"{name}\"")),
+            None => out.push_str("{\"model\":null"),
+        }
+        out.push_str(&format!(
+            ",\"calls\":{},\"total_ns\":{},\"ops\":{}}}",
+            profile.total_calls(),
+            profile.total_ns(),
+            profile.to_json()
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A `200 application/json` response (a trailing newline is appended —
+/// every body this server writes ends in one).
+fn json_response(mut body: String) -> Response {
+    body.push('\n');
+    Response {
+        status: 200,
+        content_type: "application/json",
+        body: body.into_bytes(),
+        allow: None,
+        retry_after: None,
+        close: false,
     }
 }
 
@@ -597,6 +861,7 @@ fn upscale(
     reader: &mut RequestReader<TcpStream>,
     head: &RequestHead,
     arrived: Instant,
+    draft: &mut TraceDraft,
     runtime: &Runtime,
 ) -> Result<Response, RequestError> {
     if !head.has_length {
@@ -604,20 +869,31 @@ fn upscale(
     }
     send_continue(reader, head)?;
     let body = reader.read_body(head.content_length)?;
-    let (image, format) = decode_image(&body)?;
-    let outcome = runtime
-        .submit_wait_timeout(build_request(image, head, arrived), shared.config.request_timeout);
+    draft.mark(Stage::Parse);
+    let decoded = decode_image(&body);
+    draft.mark(Stage::Decode);
+    let (image, format) = decoded?;
+    let request = build_request(image, head, arrived).request_id(draft.id.clone());
+    let outcome = runtime.submit_wait_timeout(request, shared.config.request_timeout);
     let served = match outcome {
         Err(err) => {
+            // The failed admission wait is the submit span.
+            draft.mark(Stage::Submit);
             let (status, retry) = submit_status(&err);
             return Ok(Response::text(status, format!("{err}\n")).retry_after(retry));
         }
         Ok(Err(infer_err)) => {
+            // Error resolutions carry no stamps; the round trip is the
+            // forward's to own.
+            draft.mark(Stage::Infer);
             return Ok(Response::text(500, format!("inference failed: {infer_err}\n")));
         }
         Ok(Ok(response)) => response,
     };
-    match encode_image(&served.images()[0], format) {
+    mark_runtime_stages(draft, &served);
+    let encoded = encode_image(&served.images()[0], format);
+    draft.mark(Stage::Encode);
+    match encoded {
         Ok(bytes) => Ok(Response {
             status: 200,
             content_type: format.content_type(),
@@ -630,6 +906,19 @@ fn upscale(
     }
 }
 
+/// Fold the runtime's queue-crossing stamps into the draft: they end the
+/// submit, queue-wait, batch-wait, and infer stages. (Encode then starts
+/// at infer-done, so ticket wake-up and unpacking are attributed to
+/// encode, not left unaccounted.)
+fn mark_runtime_stages(draft: &mut TraceDraft, served: &scales_serve::SrResponse) {
+    if let Some(stamps) = served.stamps() {
+        draft.mark_at(Stage::Submit, stamps.enqueued);
+        draft.mark_at(Stage::QueueWait, stamps.dequeued);
+        draft.mark_at(Stage::BatchWait, stamps.sealed);
+        draft.mark_at(Stage::Infer, stamps.infer_done);
+    }
+}
+
 /// `POST /v1/models/{name}/upscale`: the fleet version of [`upscale`] —
 /// same wire contract, routed by model name.
 fn fleet_upscale(
@@ -637,28 +926,37 @@ fn fleet_upscale(
     reader: &mut RequestReader<TcpStream>,
     head: &RequestHead,
     arrived: Instant,
+    draft: &mut TraceDraft,
     router: &ModelRouter,
     name: &str,
 ) -> Result<Response, RequestError> {
     if !head.has_length {
         return Err(RequestError::LengthRequired);
     }
+    draft.model = Some(name.to_string());
     send_continue(reader, head)?;
     let body = reader.read_body(head.content_length)?;
-    let (image, format) = decode_image(&body)?;
-    let outcome = router.submit_wait_timeout(
-        name,
-        build_request(image, head, arrived),
-        shared.config.request_timeout,
-    );
+    draft.mark(Stage::Parse);
+    let decoded = decode_image(&body);
+    draft.mark(Stage::Decode);
+    let (image, format) = decoded?;
+    let request = build_request(image, head, arrived).request_id(draft.id.clone());
+    let outcome = router.submit_wait_timeout(name, request, shared.config.request_timeout);
     let served = match outcome {
-        Err(err) => return Ok(router_error_response(&err)),
+        Err(err) => {
+            draft.mark(Stage::Submit);
+            return Ok(router_error_response(&err));
+        }
         Ok(Err(infer_err)) => {
+            draft.mark(Stage::Infer);
             return Ok(Response::text(500, format!("inference failed: {infer_err}\n")));
         }
         Ok(Ok(response)) => response,
     };
-    match encode_image(&served.images()[0], format) {
+    mark_runtime_stages(draft, &served);
+    let encoded = encode_image(&served.images()[0], format);
+    draft.mark(Stage::Encode);
+    match encoded {
         Ok(bytes) => Ok(Response {
             status: 200,
             content_type: format.content_type(),
@@ -770,6 +1068,28 @@ fn render_metrics(shared: &Shared) -> String {
         "HTTP responses with a 4xx or 5xx status.",
         shared.errors.load(Ordering::Relaxed),
     );
+    counter(
+        "scales_http_refused_total",
+        "Connections refused off a full accept backlog with an immediate 503.",
+        shared.refused.load(Ordering::Relaxed),
+    );
+    // The HTTP-side stage histograms render only once a response has
+    // been written (all three together, so scrapes always see a
+    // consistent label set).
+    let stages: [(&str, LatencyHistogram); 3] = [
+        ("decode", *lock(&shared.decode_hist)),
+        ("encode", *lock(&shared.encode_hist)),
+        ("write", *lock(&shared.write_hist)),
+    ];
+    if stages.iter().any(|(_, h)| h.count() > 0) {
+        let name = "scales_http_stage_seconds";
+        out.push_str(&format!(
+            "# HELP {name} Per-request stage spans at the HTTP edge (wire-codec decode, wire-codec encode, response write).\n# TYPE {name} histogram\n"
+        ));
+        for (stage, hist) in &stages {
+            hist.render_prometheus_into(&mut out, name, &format!("stage=\"{stage}\","));
+        }
+    }
     out
 }
 
@@ -829,13 +1149,15 @@ fn write_response(
     response: &Response,
     head_only: bool,
     keep_alive: bool,
+    request_id: &str,
 ) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nX-Scales-Request-Id: {}\r\n",
         response.status,
         reason_phrase(response.status),
         response.content_type,
         response.body.len(),
+        request_id,
     );
     if let Some(methods) = response.allow {
         head.push_str("Allow: ");

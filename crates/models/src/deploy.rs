@@ -199,6 +199,26 @@ impl OpInputs<'_> {
 }
 
 impl DeployedOp {
+    /// Stable kind label of this op — the key the planned executor's
+    /// opt-in profiler accumulates under and the `op` label value of the
+    /// `scales_plan_op_*` Prometheus series. Distinguishes the serving
+    /// cost centers: binary body GEMM vs float GEMM vs activations vs
+    /// upsample.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DeployedOp::FloatConv { .. } => "float_conv",
+            DeployedOp::Body { .. } => "body_conv",
+            DeployedOp::Relu { .. } => "relu",
+            DeployedOp::Prelu { .. } => "prelu",
+            DeployedOp::Add { .. } => "add",
+            DeployedOp::Concat { .. } => "concat",
+            DeployedOp::ChannelAttention { .. } => "channel_attention",
+            DeployedOp::PixelShuffle { .. } => "pixel_shuffle",
+            DeployedOp::BicubicUp { .. } => "bicubic_up",
+        }
+    }
+
     pub(crate) fn inputs(&self) -> OpInputs<'_> {
         match self {
             DeployedOp::FloatConv { src, .. }

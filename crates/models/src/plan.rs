@@ -35,8 +35,10 @@
 
 use crate::deploy::{DeployedNetwork, DeployedOp, ValueId};
 use scales_data::BicubicAxisTaps;
+use scales_telemetry::OpProfile;
 use scales_tensor::workspace::ConvScratch;
 use scales_tensor::{Result, Tensor, TensorError};
+use std::time::Instant;
 
 /// Flat volume of a rank-4 shape.
 fn vol(shape: [usize; 4]) -> usize {
@@ -115,6 +117,7 @@ impl Plan {
         input: &Tensor,
         slots: &mut Vec<Vec<f32>>,
         scratch: &mut ConvScratch,
+        mut profile: Option<&mut OpProfile>,
     ) -> Result<Tensor> {
         if input.shape() != self.input_shape.as_slice() {
             return Err(TensorError::ShapeMismatch {
@@ -149,7 +152,19 @@ impl Plan {
             // any other value while writing it; in-place ops find their
             // operand's data already inside it.
             let mut out_buf = std::mem::take(&mut slots[oslot]);
-            let r = self.run_op(op, i, oslot, oshape, input.data(), slots, scratch, &mut out_buf[..vol(oshape)]);
+            // The profiler branch stamps the clock around the op only
+            // when switched on; the off path pays one branch and no
+            // clock reads.
+            let r = match profile.as_deref_mut() {
+                Some(profile) => {
+                    let started = Instant::now();
+                    let r = self.run_op(op, i, oslot, oshape, input.data(), slots, scratch, &mut out_buf[..vol(oshape)]);
+                    let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    profile.record(op.kind(), ns);
+                    r
+                }
+                None => self.run_op(op, i, oslot, oshape, input.data(), slots, scratch, &mut out_buf[..vol(oshape)]),
+            };
             slots[oslot] = out_buf;
             r?;
         }
@@ -523,8 +538,8 @@ impl DeployedNetwork {
                 ws.plans.len() - 1
             }
         };
-        let Workspace { plans, slots, scratch, .. } = ws;
-        plans[idx].execute(self, input, slots, scratch)
+        let Workspace { plans, slots, scratch, profile, profile_enabled, .. } = ws;
+        plans[idx].execute(self, input, slots, scratch, profile_enabled.then_some(profile))
     }
 }
 
@@ -541,6 +556,10 @@ pub struct Workspace {
     plans: Vec<Plan>,
     plans_built: usize,
     plan_hits: usize,
+    /// Cumulative per-op-kind (calls, ns) — populated only while
+    /// `profile_enabled` is set.
+    profile: OpProfile,
+    profile_enabled: bool,
 }
 
 impl Workspace {
@@ -566,6 +585,32 @@ impl Workspace {
     #[must_use]
     pub fn plans(&self) -> &[Plan] {
         &self.plans
+    }
+
+    /// Switch the per-op profiler on or off. Off (the default) the
+    /// planned forward reads no clocks; on, every executed op
+    /// accumulates `(calls, ns)` under its
+    /// [`DeployedOp::kind`] into [`op_profile`](Workspace::op_profile).
+    pub fn enable_profiling(&mut self, on: bool) {
+        self.profile_enabled = on;
+    }
+
+    /// Whether the per-op profiler is currently on.
+    #[must_use]
+    pub fn profiling_enabled(&self) -> bool {
+        self.profile_enabled
+    }
+
+    /// The cumulative per-op profile recorded so far (empty while
+    /// profiling has never been on).
+    #[must_use]
+    pub fn op_profile(&self) -> &OpProfile {
+        &self.profile
+    }
+
+    /// Forget the recorded profile (the on/off switch is unchanged).
+    pub fn reset_op_profile(&mut self) {
+        self.profile.clear();
     }
 
     /// Bytes resident in this workspace: the arena slot buffers (by
@@ -672,6 +717,55 @@ mod tests {
         }
         assert_eq!(ws.plans_built(), 2, "one plan per shape");
         assert_eq!(ws.plan_hits(), 2, "second round reuses both");
+    }
+
+    #[test]
+    fn profiler_is_off_by_default_and_attributes_wall_time_when_on() {
+        // Heavy enough that the op loop dominates the non-profiled
+        // overhead (slot sizing, output copy) by a wide margin.
+        let net = srresnet(SrConfig {
+            channels: 16,
+            blocks: 2,
+            scale: 2,
+            method: Method::scales(),
+            seed: 59,
+        })
+        .unwrap();
+        let deployed = net.lower().unwrap();
+        let x = probe(1, 32, 32, 6.0);
+        let mut ws = Workspace::new();
+        assert!(!ws.profiling_enabled());
+        let _ = deployed.forward_planned(&x, &mut ws).unwrap();
+        assert!(ws.op_profile().is_empty(), "off by default: nothing recorded");
+
+        // Warm run with profiling on (plan already cached, arena warm),
+        // then attribute one measured forward.
+        ws.enable_profiling(true);
+        let _ = deployed.forward_planned(&x, &mut ws).unwrap();
+        ws.reset_op_profile();
+        let started = std::time::Instant::now();
+        let _ = deployed.forward_planned(&x, &mut ws).unwrap();
+        let wall = u64::try_from(started.elapsed().as_nanos()).unwrap();
+        let profile = ws.op_profile().clone();
+        let attributed = profile.total_ns();
+        assert!(attributed <= wall, "ops run inside the forward: {attributed} vs {wall}");
+        assert!(
+            attributed * 100 >= wall * 95,
+            "profiler must attribute >= 95% of planned-forward wall time \
+             ({attributed} of {wall} ns)"
+        );
+        // Every op the graph runs is named; SRResNet has binary body
+        // convs, float head/tail convs and activations.
+        let kinds: Vec<&str> = profile.entries().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"body_conv"), "{kinds:?}");
+        assert!(kinds.contains(&"float_conv"), "{kinds:?}");
+        let ops_per_forward = profile.total_calls();
+        assert_eq!(ops_per_forward, deployed.num_ops() as u64, "every op is counted once");
+
+        // Switching off stops accumulation without clearing.
+        ws.enable_profiling(false);
+        let _ = deployed.forward_planned(&x, &mut ws).unwrap();
+        assert_eq!(ws.op_profile().total_calls(), ops_per_forward);
     }
 
     #[test]

@@ -237,6 +237,11 @@ impl RouterStats {
             busy: Duration::ZERO,
             elapsed: Duration::ZERO,
             latency: scales_runtime::LatencyHistogram::default(),
+            queue_wait: scales_runtime::LatencyHistogram::default(),
+            batch_wait: scales_runtime::LatencyHistogram::default(),
+            infer: scales_runtime::LatencyHistogram::default(),
+            late_discarded: 0,
+            op_profile: scales_telemetry::OpProfile::default(),
             tenants: Vec::new(),
         })
     }
@@ -290,6 +295,11 @@ fn fold_runtime(acc: Option<RuntimeStats>, s: &RuntimeStats) -> RuntimeStats {
     a.busy += s.busy;
     a.elapsed += s.elapsed;
     a.latency.merge(&s.latency);
+    a.queue_wait.merge(&s.queue_wait);
+    a.batch_wait.merge(&s.batch_wait);
+    a.infer.merge(&s.infer);
+    a.late_discarded += s.late_discarded;
+    a.op_profile.merge(&s.op_profile);
     a
 }
 

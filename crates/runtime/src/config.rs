@@ -67,6 +67,14 @@ pub struct RuntimeConfig {
     /// table. Must be at least `tenant_weights.len()` (weighted lanes are
     /// created up front and never retired). Default: 64.
     pub max_tenant_lanes: usize,
+    /// Enable the per-op plan profiler in every worker session: each
+    /// planned forward attributes its wall time to the deployed op kinds
+    /// it executed, surfaced as `RuntimeStats::op_profile` and the
+    /// `scales_plan_op_*` Prometheus series. Off (the default), the
+    /// planned executor takes no timestamps at all — the hot path is
+    /// untouched. Default: the `SCALES_PROFILE_OPS` environment variable
+    /// (`"0"`, `""`, and unset mean off; anything else means on).
+    pub profile_ops: bool,
 }
 
 /// When to refuse work *before* the queue is full — the early-rejection
@@ -122,8 +130,15 @@ impl Default for RuntimeConfig {
             tenant_quota: None,
             tenant_weights: Vec::new(),
             max_tenant_lanes: 64,
+            profile_ops: profile_ops_from_env(),
         }
     }
+}
+
+/// The `SCALES_PROFILE_OPS` opt-in: set to anything but `"0"` or the
+/// empty string to enable the per-op plan profiler by default.
+fn profile_ops_from_env() -> bool {
+    std::env::var("SCALES_PROFILE_OPS").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 /// Shared tenant-name rule (also the router's model-name rule): 1–64
@@ -240,6 +255,8 @@ mod tests {
         let config = RuntimeConfig::default();
         assert!(config.validate().is_ok());
         assert!(config.workers >= 1);
+        // The profiler default tracks the environment opt-in exactly.
+        assert_eq!(config.profile_ops, profile_ops_from_env());
     }
 
     #[test]

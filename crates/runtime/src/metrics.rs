@@ -16,6 +16,7 @@
 //!
 //! [`Runtime::stats`]: crate::Runtime::stats
 
+use scales_telemetry::OpProfile;
 use scales_tensor::backend::Backend;
 use scales_tensor::SimdLevel;
 use std::time::Duration;
@@ -154,10 +155,38 @@ impl LatencyHistogram {
     pub fn p99(&self) -> Duration {
         self.quantile(0.99)
     }
+
+    /// Append this histogram's cumulative `_bucket` series plus `_sum`
+    /// and `_count` under an already-written `# HELP`/`# TYPE` header.
+    /// `labels` is empty for a bare series, or a `key="value",` prefix
+    /// spliced in front of the `le` label (and carried, sans comma, on
+    /// `_sum`/`_count`) — the shared rendering behind the runtime's own
+    /// series and the HTTP front end's `scales_http_stage_seconds`.
+    pub fn render_prometheus_into(&self, out: &mut String, name: &str, labels: &str) {
+        use std::fmt::Write as _;
+        let mut cumulative = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{labels}le=\"{}\"}} {cumulative}",
+                seconds(Self::bucket_bound(i))
+            );
+        }
+        let _ = writeln!(out, "{name}_bucket{{{labels}le=\"+Inf\"}} {}", self.count());
+        if labels.is_empty() {
+            let _ = writeln!(out, "{name}_sum {}", seconds(self.sum()));
+            let _ = writeln!(out, "{name}_count {}", self.count());
+        } else {
+            let bare = labels.trim_end_matches(',');
+            let _ = writeln!(out, "{name}_sum{{{bare}}} {}", seconds(self.sum()));
+            let _ = writeln!(out, "{name}_count{{{bare}}} {}", self.count());
+        }
+    }
 }
 
 /// One worker's private counter shard. Workers only ever lock their own.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct WorkerShard {
     /// Requests resolved successfully.
     pub completed: u64,
@@ -177,6 +206,19 @@ pub(crate) struct WorkerShard {
     pub workspace_bytes: usize,
     /// End-to-end request latency (enqueue → resolution).
     pub latency: LatencyHistogram,
+    /// Queue residence per request (enqueue → worker pop).
+    pub queue_wait: LatencyHistogram,
+    /// Batch-assembly wait per request (worker pop → batch sealed).
+    pub batch_wait: LatencyHistogram,
+    /// Forward span per request (batch sealed → infer done).
+    pub infer: LatencyHistogram,
+    /// Responses resolved after their submitter's `submit_wait_timeout`
+    /// deadline gave up — served work whose result nobody read.
+    pub late_discarded: u64,
+    /// Latest per-op plan profile sampled from this worker's session
+    /// (cumulative over the session's lifetime; empty while profiling
+    /// is off).
+    pub op_profile: OpProfile,
 }
 
 impl WorkerShard {
@@ -189,6 +231,11 @@ impl WorkerShard {
         self.busy += other.busy;
         self.workspace_bytes += other.workspace_bytes;
         self.latency.merge(&other.latency);
+        self.queue_wait.merge(&other.queue_wait);
+        self.batch_wait.merge(&other.batch_wait);
+        self.infer.merge(&other.infer);
+        self.late_discarded += other.late_discarded;
+        self.op_profile.merge(&other.op_profile);
     }
 }
 
@@ -287,6 +334,25 @@ pub struct RuntimeStats {
     pub elapsed: Duration,
     /// End-to-end request latency (enqueue → ticket resolution).
     pub latency: LatencyHistogram,
+    /// Queue residence per request (enqueue → worker pop) — the
+    /// `queue_wait` stage of the request trace, as a histogram.
+    pub queue_wait: LatencyHistogram,
+    /// Batch-assembly wait per request (worker pop → batch sealed) —
+    /// the `batch_wait` trace stage.
+    pub batch_wait: LatencyHistogram,
+    /// Forward span per request (batch sealed → infer done) — the
+    /// `infer` trace stage. Coalesced requests share one forward, so
+    /// each records the same span.
+    pub infer: LatencyHistogram,
+    /// Responses that resolved after their submitter's
+    /// [`submit_wait_timeout`](crate::Runtime::submit_wait_timeout)
+    /// deadline gave up waiting — the work was served (and counted in
+    /// `completed`/`failed`), but the result was discarded unread.
+    pub late_discarded: u64,
+    /// Cumulative per-op plan profile across worker sessions, populated
+    /// while [`RuntimeConfig::profile_ops`](crate::RuntimeConfig::profile_ops)
+    /// is on (empty otherwise).
+    pub op_profile: OpProfile,
     /// Per-tenant lane counters, sorted by tenant name. Empty when no
     /// request carried a tenant tag and no weights were configured.
     pub tenants: Vec<TenantStats>,
@@ -425,18 +491,63 @@ impl RuntimeStats {
             out,
             "# HELP {name} End-to-end request latency (enqueue to ticket resolution).\n# TYPE {name} histogram"
         );
-        let mut cumulative = 0u64;
-        for (i, &count) in self.latency.bucket_counts().iter().enumerate() {
-            cumulative += count;
+        histogram_lines(&mut out, name, "", &self.latency);
+        let _ = writeln!(
+            out,
+            "# HELP scales_runtime_late_discarded_total Responses resolved after their submitter gave up waiting (result discarded unread).\n\
+             # TYPE scales_runtime_late_discarded_total counter\n\
+             scales_runtime_late_discarded_total {}",
+            self.late_discarded
+        );
+        let _ = writeln!(
+            out,
+            "# HELP scales_build_info Build metadata of the serving stack (constant 1; labels carry the info).\n\
+             # TYPE scales_build_info gauge\n\
+             scales_build_info{{version=\"{}\",features=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION"),
+            scales_tensor::backend::compiled_features()
+        );
+        // Per-stage histograms render only once the runtime has served
+        // work, and the per-op series only while the profiler is on, so
+        // the base rendering stays exactly the pinned text.
+        let stages: [(&str, &LatencyHistogram); 3] = [
+            ("queue_wait", &self.queue_wait),
+            ("batch_wait", &self.batch_wait),
+            ("infer", &self.infer),
+        ];
+        if stages.iter().any(|(_, h)| h.count() > 0) {
+            let name = "scales_runtime_stage_seconds";
             let _ = writeln!(
                 out,
-                "{name}_bucket{{le=\"{}\"}} {cumulative}",
-                seconds(LatencyHistogram::bucket_bound(i))
+                "# HELP {name} Per-request stage spans inside the runtime (queue wait, batch assembly, forward).\n# TYPE {name} histogram"
             );
+            for (stage, hist) in stages {
+                histogram_lines(&mut out, name, &format!("stage=\"{stage}\","), hist);
+            }
         }
-        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", self.latency.count());
-        let _ = writeln!(out, "{name}_sum {}", seconds(self.latency.sum()));
-        let _ = writeln!(out, "{name}_count {}", self.latency.count());
+        if !self.op_profile.is_empty() {
+            let name = "scales_plan_op_calls_total";
+            let _ = writeln!(
+                out,
+                "# HELP {name} Planned-executor op executions, per deployed op kind.\n# TYPE {name} counter"
+            );
+            for e in self.op_profile.entries() {
+                let _ = writeln!(out, "{name}{{op=\"{}\"}} {}", e.kind, e.calls);
+            }
+            let name = "scales_plan_op_seconds_total";
+            let _ = writeln!(
+                out,
+                "# HELP {name} Wall time inside planned-executor ops, per deployed op kind.\n# TYPE {name} counter"
+            );
+            for e in self.op_profile.entries() {
+                let _ = writeln!(
+                    out,
+                    "{name}{{op=\"{}\"}} {}",
+                    e.kind,
+                    seconds(Duration::from_nanos(e.total_ns))
+                );
+            }
+        }
         // Per-tenant lane series, after the scalar block so tenant-free
         // runtimes render the exact historical text.
         if !self.tenants.is_empty() {
@@ -513,6 +624,12 @@ fn seconds(d: Duration) -> String {
     format!("{}", d.as_secs_f64())
 }
 
+/// Append one histogram's series (see
+/// [`LatencyHistogram::render_prometheus_into`]).
+fn histogram_lines(out: &mut String, name: &str, labels: &str, hist: &LatencyHistogram) {
+    hist.render_prometheus_into(out, name, labels);
+}
+
 #[allow(clippy::cast_precision_loss)]
 fn per_sec(count: u64, elapsed: Duration) -> f64 {
     let secs = elapsed.as_secs_f64();
@@ -551,11 +668,12 @@ impl std::fmt::Display for RuntimeStats {
         )?;
         writeln!(
             f,
-            "  admission: {} shed, {} quota-limited, {} expired, {} deadline misses ({} tenant lanes)",
+            "  admission: {} shed, {} quota-limited, {} expired, {} deadline misses, {} late-discarded ({} tenant lanes)",
             self.shed,
             self.quota_rejected,
             self.expired,
             self.deadline_misses,
+            self.late_discarded,
             self.tenants.len()
         )?;
         write!(
@@ -665,6 +783,11 @@ mod tests {
             busy: Duration::from_millis(20),
             elapsed: Duration::from_millis(100),
             latency,
+            queue_wait: LatencyHistogram::default(),
+            batch_wait: LatencyHistogram::default(),
+            infer: LatencyHistogram::default(),
+            late_discarded: 4,
+            op_profile: OpProfile::default(),
             tenants: Vec::new(),
         };
         let text = stats.render_prometheus();
@@ -741,7 +864,11 @@ scales_runtime_info{backend=\"scalar\",simd=\"none\"} 1
         // 2 µs and 1.024 ms buckets; every later bound reports 3.
         let tail = &text[expected_head.len()..];
         let lines: Vec<&str> = tail.lines().collect();
-        assert_eq!(lines.len(), LATENCY_BUCKETS + 3, "32 buckets + +Inf + sum + count");
+        assert_eq!(
+            lines.len(),
+            LATENCY_BUCKETS + 3 + 6,
+            "32 buckets + +Inf + sum + count, then late-discarded and build-info blocks"
+        );
         assert_eq!(lines[0], "scales_runtime_request_latency_seconds_bucket{le=\"0.000001\"} 0");
         assert_eq!(lines[1], "scales_runtime_request_latency_seconds_bucket{le=\"0.000002\"} 2");
         assert_eq!(lines[10], "scales_runtime_request_latency_seconds_bucket{le=\"0.001024\"} 3");
@@ -752,6 +879,31 @@ scales_runtime_info{backend=\"scalar\",simd=\"none\"} 1
         assert_eq!(lines[LATENCY_BUCKETS], "scales_runtime_request_latency_seconds_bucket{le=\"+Inf\"} 3");
         assert_eq!(lines[LATENCY_BUCKETS + 1], "scales_runtime_request_latency_seconds_sum 0.001004");
         assert_eq!(lines[LATENCY_BUCKETS + 2], "scales_runtime_request_latency_seconds_count 3");
+        // The always-on observability tail: late-discarded counter, then
+        // the build-info gauge (labels vary with the build, so the last
+        // line is matched against the same sources the renderer reads).
+        assert_eq!(
+            lines[LATENCY_BUCKETS + 3],
+            "# HELP scales_runtime_late_discarded_total Responses resolved after their submitter gave up waiting (result discarded unread)."
+        );
+        assert_eq!(lines[LATENCY_BUCKETS + 4], "# TYPE scales_runtime_late_discarded_total counter");
+        assert_eq!(lines[LATENCY_BUCKETS + 5], "scales_runtime_late_discarded_total 4");
+        assert_eq!(
+            lines[LATENCY_BUCKETS + 6],
+            "# HELP scales_build_info Build metadata of the serving stack (constant 1; labels carry the info)."
+        );
+        assert_eq!(lines[LATENCY_BUCKETS + 7], "# TYPE scales_build_info gauge");
+        assert_eq!(
+            lines[LATENCY_BUCKETS + 8],
+            format!(
+                "scales_build_info{{version=\"{}\",features=\"{}\"}} 1",
+                env!("CARGO_PKG_VERSION"),
+                scales_tensor::backend::compiled_features()
+            )
+        );
+        // Trace-derived series are gated on data: none here.
+        assert!(!text.contains("scales_runtime_stage_seconds"));
+        assert!(!text.contains("scales_plan_op_"));
         // Cumulative monotonicity across the whole series.
         let mut last = 0u64;
         for line in &lines[..LATENCY_BUCKETS] {
@@ -786,6 +938,11 @@ scales_runtime_info{backend=\"scalar\",simd=\"none\"} 1
             busy: Duration::from_millis(20),
             elapsed: Duration::from_millis(100),
             latency: LatencyHistogram::default(),
+            queue_wait: LatencyHistogram::default(),
+            batch_wait: LatencyHistogram::default(),
+            infer: LatencyHistogram::default(),
+            late_discarded: 3,
+            op_profile: OpProfile::default(),
             tenants: vec![TenantStats {
                 tenant: "acme".into(),
                 weight: 3,
@@ -814,6 +971,7 @@ scales_runtime_info{backend=\"scalar\",simd=\"none\"} 1
             "2 quota-limited",
             "1 expired",
             "0 deadline misses",
+            "3 late-discarded",
             "1 tenant lanes",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
@@ -846,6 +1004,11 @@ scales_runtime_info{backend=\"scalar\",simd=\"none\"} 1
             busy: Duration::ZERO,
             elapsed: Duration::from_millis(50),
             latency: LatencyHistogram::default(),
+            queue_wait: LatencyHistogram::default(),
+            batch_wait: LatencyHistogram::default(),
+            infer: LatencyHistogram::default(),
+            late_discarded: 0,
+            op_profile: OpProfile::default(),
             tenants: Vec::new(),
         };
         // Tenant-free stats render no tenant series at all.
@@ -905,5 +1068,68 @@ scales_runtime_info{backend=\"scalar\",simd=\"none\"} 1
             tail.matches("scales_runtime_tenant_requests_submitted_total{tenant=").count(),
             2
         );
+    }
+
+    #[test]
+    fn stage_and_op_series_are_gated_on_data() {
+        let mut stats = RuntimeStats {
+            workers: 1,
+            backend: Backend::Scalar,
+            simd: SimdLevel::None,
+            max_batch: 8,
+            submitted: 0,
+            rejected: 0,
+            shed: 0,
+            quota_rejected: 0,
+            expired: 0,
+            deadline_misses: 0,
+            completed: 0,
+            failed: 0,
+            images: 0,
+            dispatches: 0,
+            coalesced: 0,
+            queue_depth: 0,
+            queue_high_water: 0,
+            workspace_bytes: 0,
+            batch_fill: 0.0,
+            busy: Duration::ZERO,
+            elapsed: Duration::from_millis(10),
+            latency: LatencyHistogram::default(),
+            queue_wait: LatencyHistogram::default(),
+            batch_wait: LatencyHistogram::default(),
+            infer: LatencyHistogram::default(),
+            late_discarded: 0,
+            op_profile: OpProfile::default(),
+            tenants: Vec::new(),
+        };
+        // An idle runtime renders neither gated family, but always the
+        // late-discarded counter and the build-info gauge.
+        let text = stats.render_prometheus();
+        assert!(!text.contains("scales_runtime_stage_seconds"), "{text}");
+        assert!(!text.contains("scales_plan_op_"), "{text}");
+        assert!(text.contains("scales_runtime_late_discarded_total 0"));
+        assert!(text.contains("scales_build_info{version=\""));
+        // One recorded stage span renders all three stage series (zeros
+        // included — a scrape must see a consistent label set).
+        stats.queue_wait.record(Duration::from_micros(3));
+        stats.infer.record(Duration::from_micros(9));
+        stats.op_profile.record("body_conv", 1500);
+        stats.op_profile.record("relu", 40);
+        let text = stats.render_prometheus();
+        assert!(text.contains(
+            "scales_runtime_stage_seconds_bucket{stage=\"queue_wait\",le=\"0.000004\"} 1"
+        ));
+        assert!(text.contains("scales_runtime_stage_seconds_sum{stage=\"queue_wait\"} 0.000003"));
+        assert!(text.contains("scales_runtime_stage_seconds_count{stage=\"queue_wait\"} 1"));
+        assert!(text.contains("scales_runtime_stage_seconds_count{stage=\"batch_wait\"} 0"));
+        assert!(text.contains("scales_runtime_stage_seconds_count{stage=\"infer\"} 1"));
+        assert_eq!(text.matches("# TYPE scales_runtime_stage_seconds histogram").count(), 1);
+        assert!(text.contains("scales_plan_op_calls_total{op=\"body_conv\"} 1"));
+        assert!(text.contains("scales_plan_op_seconds_total{op=\"body_conv\"} 0.0000015"));
+        assert!(text.contains("scales_plan_op_seconds_total{op=\"relu\"} 0.00000004"));
+        // The gated families sit between build info and the tenant block.
+        let build_at = text.find("scales_build_info").unwrap();
+        let stage_at = text.find("scales_runtime_stage_seconds").unwrap();
+        assert!(stage_at > build_at);
     }
 }

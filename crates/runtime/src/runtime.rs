@@ -9,6 +9,7 @@ use crate::ticket::{Ticket, TicketCell};
 use crate::{lock, wait, wait_timeout, RuntimeConfig};
 use scales_data::Image;
 use scales_serve::{Engine, InferStats, Session, SrRequest, SrResponse, TilePolicy};
+use scales_telemetry::RuntimeStamps;
 use scales_tensor::{Result, TensorError};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -170,6 +171,10 @@ struct Entry {
     deadline: Option<Instant>,
     cell: Arc<TicketCell>,
     enqueued: Instant,
+    /// When a worker popped this entry from its lane (`None` while
+    /// queued) — the boundary between the queue-wait and batch-wait
+    /// trace stages.
+    dequeued: Option<Instant>,
 }
 
 impl Entry {
@@ -577,7 +582,13 @@ impl Runtime {
             Ok(Ok(response)) => Ok(Ok(response)),
             Ok(Err(ServeError::Infer(e))) => Ok(Err(e)),
             Ok(Err(ServeError::Rejected(e))) => Err(e),
-            Err(_still_pending) => Err(SubmitError::Timeout { timeout }),
+            Err(still_pending) => {
+                // The accepted request is still served eventually; mark
+                // the cell so its resolution is counted as discarded
+                // work (`RuntimeStats::late_discarded`).
+                still_pending.cell.abandon();
+                Err(SubmitError::Timeout { timeout })
+            }
         }
     }
 
@@ -647,6 +658,7 @@ impl Runtime {
             deadline,
             cell,
             enqueued: Instant::now(),
+            dequeued: None,
         });
         st.total_queued += 1;
         st.high_water = st.high_water.max(st.total_queued);
@@ -831,6 +843,9 @@ fn worker_loop(inner: &Inner, worker: usize) {
     }
     let _exit = WorkerExit { inner };
     let session = inner.engine.session();
+    if inner.config.profile_ops {
+        session.set_profiling(true);
+    }
     while let Some(batch) = next_dispatch(inner) {
         // An entire gathered batch can expire during the straggler
         // window; there is nothing left to serve.
@@ -958,7 +973,8 @@ fn pop_next(inner: &Inner, st: &mut QueueState, now: Instant) -> Option<Entry> {
     };
     st.lanes[i].credits -= 1;
     st.rr_cursor = i;
-    let entry = st.lanes[i].entries.pop_front()?;
+    let mut entry = st.lanes[i].entries.pop_front()?;
+    entry.dequeued = Some(Instant::now());
     st.total_queued -= 1;
     Some(entry)
 }
@@ -985,7 +1001,8 @@ fn gather_round(
             .front()
             .is_some_and(|e| e.tile == tile && *images + e.images.len() <= max_batch);
         if compatible {
-            let entry = st.lanes[i].entries.pop_front().expect("front checked");
+            let mut entry = st.lanes[i].entries.pop_front().expect("front checked");
+            entry.dequeued = Some(Instant::now());
             st.total_queued -= 1;
             *images += entry.images.len();
             batch.push(entry);
@@ -1165,7 +1182,8 @@ fn serve_dispatch(inner: &Inner, worker: usize, session: &Session<'_, 'static>, 
         Some(injected) => Err(injected),
         None => session.infer(request),
     };
-    let busy = served_at.elapsed();
+    let infer_done = Instant::now();
+    let busy = infer_done.saturating_duration_since(served_at);
 
     let mut shard = lock(&inner.shards[worker]);
     shard.dispatches += 1;
@@ -1192,9 +1210,12 @@ fn serve_dispatch(inner: &Inner, worker: usize, session: &Session<'_, 'static>, 
                 let latency = entry.enqueued.elapsed();
                 shard.latency.record(latency);
                 sampled.push(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
-                entry
-                    .cell
-                    .resolve(Ok(SrResponse::from_parts(own, InferStats { images: n, ..stats })));
+                let stamps = record_stages(&mut shard, entry, served_at, infer_done);
+                entry.cell.resolve(Ok(SrResponse::from_parts(
+                    own,
+                    InferStats { images: n, ..stats },
+                )
+                .with_stamps(stamps)));
             }
         }
         Err(e) => {
@@ -1208,9 +1229,15 @@ fn serve_dispatch(inner: &Inner, worker: usize, session: &Session<'_, 'static>, 
                 let latency = entry.enqueued.elapsed();
                 shard.latency.record(latency);
                 sampled.push(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
+                let _ = record_stages(&mut shard, entry, served_at, infer_done);
                 entry.cell.resolve(Err(ServeError::Infer(e.clone())));
             }
         }
+    }
+    // Re-sample like `workspace_bytes`: the session profile is
+    // cumulative, so the latest reading supersedes the previous one.
+    if inner.config.profile_ops {
+        shard.op_profile = session.op_profile();
     }
     drop(shard);
 
@@ -1237,6 +1264,28 @@ fn serve_dispatch(inner: &Inner, worker: usize, session: &Session<'_, 'static>, 
     }
     drop(st);
     note_latencies(inner, &sampled);
+}
+
+/// Record one served entry's stage spans into the worker's shard and
+/// return the stamps attached to its response: queue wait (enqueue →
+/// pop), batch wait (pop → batch sealed), and the forward span shared by
+/// the whole coalesced dispatch. An abandoned cell — the submitter's
+/// `submit_wait_timeout` gave up mid-flight — is counted as
+/// late-discarded work here, at the resolution it never reads.
+fn record_stages(
+    shard: &mut WorkerShard,
+    entry: &Entry,
+    sealed: Instant,
+    infer_done: Instant,
+) -> RuntimeStamps {
+    let dequeued = entry.dequeued.unwrap_or(entry.enqueued);
+    shard.queue_wait.record(dequeued.saturating_duration_since(entry.enqueued));
+    shard.batch_wait.record(sealed.saturating_duration_since(dequeued));
+    shard.infer.record(infer_done.saturating_duration_since(sealed));
+    if entry.cell.is_abandoned() {
+        shard.late_discarded += 1;
+    }
+    RuntimeStamps { enqueued: entry.enqueued, dequeued, sealed, infer_done }
 }
 
 /// Fold this dispatch's queue-to-response latencies into the sliding
@@ -1334,6 +1383,11 @@ fn snapshot(inner: &Inner) -> RuntimeStats {
         busy: agg.busy,
         elapsed: inner.started.elapsed(),
         latency: agg.latency,
+        queue_wait: agg.queue_wait,
+        batch_wait: agg.batch_wait,
+        infer: agg.infer,
+        late_discarded: agg.late_discarded,
+        op_profile: agg.op_profile,
         tenants,
     }
 }
@@ -1385,6 +1439,11 @@ mod tests {
         assert_eq!(response.images().len(), 1);
         assert_eq!(response.images()[0].height(), 16);
         assert_eq!(response.stats().images, 1);
+        // Runtime responses carry the stage stamps, in timeline order.
+        let stamps = response.stamps().expect("runtime responses carry stage stamps");
+        assert!(stamps.enqueued <= stamps.dequeued);
+        assert!(stamps.dequeued <= stamps.sealed);
+        assert!(stamps.sealed <= stamps.infer_done);
         let stats = runtime.shutdown();
         assert_eq!(stats.submitted, 1);
         assert_eq!(stats.completed, 1);
@@ -1394,6 +1453,13 @@ mod tests {
         assert_eq!(stats.queue_depth, 0);
         assert_eq!(stats.latency.count(), 1);
         assert!(stats.latency.p99() > std::time::Duration::ZERO);
+        // Every served request lands in all three stage histograms.
+        assert_eq!(stats.queue_wait.count(), 1);
+        assert_eq!(stats.batch_wait.count(), 1);
+        assert_eq!(stats.infer.count(), 1);
+        assert!(stats.infer.max() > std::time::Duration::ZERO);
+        assert_eq!(stats.late_discarded, 0);
+        assert!(stats.op_profile.is_empty(), "profiling is opt-in");
     }
 
     #[test]
@@ -1462,6 +1528,29 @@ mod tests {
         assert_eq!(err, SubmitError::Timeout { timeout: std::time::Duration::ZERO });
         let stats = runtime.shutdown();
         assert_eq!(stats.completed, 2, "the timed-out request was still served");
+        assert_eq!(
+            stats.late_discarded, 1,
+            "the abandoned response is counted as discarded work"
+        );
+    }
+
+    #[test]
+    fn profile_ops_samples_worker_sessions() {
+        let runtime = Runtime::spawn(
+            small_engine(),
+            RuntimeConfig { workers: 1, profile_ops: true, ..RuntimeConfig::default() },
+        )
+        .unwrap();
+        let _ = runtime.submit(SrRequest::single(probe(8, 8, 90))).unwrap().wait().unwrap();
+        let stats = runtime.shutdown();
+        assert!(!stats.op_profile.is_empty(), "profiling was enabled");
+        assert!(stats.op_profile.total_ns() > 0);
+        let kinds: Vec<&str> = stats.op_profile.entries().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"body_conv"), "{kinds:?}");
+        // Attributed op time lies strictly inside the forward wall time.
+        assert!(
+            stats.op_profile.total_ns() <= u64::try_from(stats.busy.as_nanos()).unwrap_or(u64::MAX)
+        );
     }
 
     #[test]

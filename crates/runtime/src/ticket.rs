@@ -5,6 +5,7 @@
 use crate::runtime::ServeError;
 use crate::{lock, wait_timeout};
 use scales_serve::SrResponse;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -16,11 +17,30 @@ pub(crate) type ServeResult = Result<SrResponse, ServeError>;
 pub(crate) struct TicketCell {
     slot: Mutex<Option<ServeResult>>,
     done: Condvar,
+    /// The submitter gave up waiting (a `submit_wait_timeout` deadline
+    /// ran out in flight). The request is still served — the guarantee
+    /// that every accepted ticket resolves is unconditional — but the
+    /// worker counts the resolution as late-discarded work.
+    abandoned: AtomicBool,
 }
 
 impl TicketCell {
     pub(crate) fn new() -> Arc<Self> {
-        Arc::new(Self { slot: Mutex::new(None), done: Condvar::new() })
+        Arc::new(Self {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+            abandoned: AtomicBool::new(false),
+        })
+    }
+
+    /// Mark that nobody is waiting on this cell anymore.
+    pub(crate) fn abandon(&self) {
+        self.abandoned.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the submitter gave up before resolution.
+    pub(crate) fn is_abandoned(&self) -> bool {
+        self.abandoned.load(Ordering::Relaxed)
     }
 
     /// Deliver the result, waking the waiting caller. Called exactly once
@@ -178,6 +198,19 @@ mod tests {
         };
         cell.resolve(Ok(empty_response()));
         assert!(ticket.wait_timeout(Duration::from_secs(5)).is_ok());
+    }
+
+    #[test]
+    fn abandonment_is_sticky_and_never_blocks_resolution() {
+        let cell = TicketCell::new();
+        let ticket = Ticket { cell: Arc::clone(&cell) };
+        assert!(!cell.is_abandoned());
+        cell.abandon();
+        assert!(cell.is_abandoned());
+        // An abandoned cell still resolves normally — the flag only
+        // tells the resolver nobody will read the result.
+        cell.resolve(Ok(empty_response()));
+        assert!(ticket.wait().is_ok());
     }
 
     #[test]

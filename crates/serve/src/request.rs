@@ -3,6 +3,7 @@
 use crate::engine::Precision;
 use crate::tile::TilePolicy;
 use scales_data::Image;
+use scales_telemetry::{RequestId, RuntimeStamps};
 use scales_tensor::backend::Backend;
 use scales_tensor::SimdLevel;
 use std::time::{Duration, Instant};
@@ -15,6 +16,7 @@ pub struct SrRequest {
     tile: Option<TilePolicy>,
     tenant: Option<String>,
     deadline: Option<Instant>,
+    request_id: Option<RequestId>,
 }
 
 impl SrRequest {
@@ -28,7 +30,7 @@ impl SrRequest {
     /// the session micro-batches same-sized images together.
     #[must_use]
     pub fn batch(images: Vec<Image>) -> Self {
-        Self { images, tile: None, tenant: None, deadline: None }
+        Self { images, tile: None, tenant: None, deadline: None, request_id: None }
     }
 
     /// Override the engine's tile policy for this request only.
@@ -64,6 +66,23 @@ impl SrRequest {
     #[must_use]
     pub fn deadline_in(self, budget: Duration) -> Self {
         self.deadline_at(Instant::now() + budget)
+    }
+
+    /// Tag this request with its trace id — the correlation handle the
+    /// HTTP edge echoes as `X-Scales-Request-Id` and the flight recorder
+    /// keys its traces by. The id travels with the request through
+    /// router, runtime queue, and ticket so every layer can attribute
+    /// the work to the same trace.
+    #[must_use]
+    pub fn request_id(mut self, id: RequestId) -> Self {
+        self.request_id = Some(id);
+        self
+    }
+
+    /// The trace id, if the request carries one.
+    #[must_use]
+    pub fn request_id_tag(&self) -> Option<&RequestId> {
+        self.request_id.as_ref()
     }
 
     /// The requested images.
@@ -122,6 +141,7 @@ pub struct InferStats {
 pub struct SrResponse {
     pub(crate) images: Vec<Image>,
     pub(crate) stats: InferStats,
+    pub(crate) stamps: Option<RuntimeStamps>,
 }
 
 impl SrResponse {
@@ -133,7 +153,25 @@ impl SrResponse {
     /// caller its own slice of the images under the shared dispatch stats.
     #[must_use]
     pub fn from_parts(images: Vec<Image>, stats: InferStats) -> Self {
-        Self { images, stats }
+        Self { images, stats, stamps: None }
+    }
+
+    /// Attach the runtime's queue/batch/infer stage stamps. The
+    /// `scales-runtime` dispatcher sets these on every response it
+    /// resolves so the submitter can attribute queue wait, batch
+    /// assembly, and the forward without a side channel.
+    #[must_use]
+    pub fn with_stamps(mut self, stamps: RuntimeStamps) -> Self {
+        self.stamps = Some(stamps);
+        self
+    }
+
+    /// The runtime's stage stamps, when this response crossed the
+    /// concurrent runtime (`None` for a direct
+    /// [`Session::infer`](crate::Session::infer)).
+    #[must_use]
+    pub fn stamps(&self) -> Option<RuntimeStamps> {
+        self.stamps
     }
 
     /// The SR images, index-aligned with the request's images.

@@ -57,6 +57,20 @@ impl<'e, 'm> Session<'e, 'm> {
         self.workspace.borrow().memory_bytes()
     }
 
+    /// Switch the workspace's per-op plan profiler on or off (off by
+    /// default — the planned forward then reads no clocks).
+    pub fn set_profiling(&self, on: bool) {
+        self.workspace.borrow_mut().enable_profiling(on);
+    }
+
+    /// Snapshot of the cumulative per-op profile this session's planned
+    /// forwards have accumulated (empty unless
+    /// [`set_profiling`](Session::set_profiling) switched it on).
+    #[must_use]
+    pub fn op_profile(&self) -> scales_telemetry::OpProfile {
+        self.workspace.borrow().op_profile().clone()
+    }
+
     /// Serve one request: every image is either tiled (split → forward →
     /// stitch) or grouped into a same-shape micro-batch, per the tile
     /// policy in force (request override, else engine default). All
@@ -147,6 +161,7 @@ impl<'e, 'm> Session<'e, 'm> {
                 (ws.plans_built() - plans_before, ws.plan_hits() - hits_before)
             };
             Ok(SrResponse {
+                stamps: None,
                 stats: InferStats {
                     images: images.len(),
                     batches,

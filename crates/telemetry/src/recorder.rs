@@ -1,0 +1,199 @@
+//! The flight recorder: bounded rings of recent and slow request
+//! traces, always on, cheap enough to sit on the response path.
+
+use crate::RequestTrace;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Fixed shard count: enough to keep response-path writers from
+/// serializing on one lock without growing the snapshot cost.
+const SHARDS: usize = 4;
+
+/// Poison-tolerant lock (a panicking recorder user must not take the
+/// debug endpoints down with it).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One bounded ring of `(sequence, trace)` pairs.
+struct Ring {
+    capacity: usize,
+    traces: VecDeque<(u64, RequestTrace)>,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Self { capacity, traces: VecDeque::with_capacity(capacity) }
+    }
+
+    fn push(&mut self, seq: u64, trace: RequestTrace) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.traces.len() == self.capacity {
+            self.traces.pop_front();
+        }
+        self.traces.push_back((seq, trace));
+    }
+}
+
+/// A mutex-sharded, fixed-capacity ring of completed request traces,
+/// plus a separate ring that retains only requests slower than a
+/// threshold — so one burst of fast traffic cannot flush the slow
+/// outliers a postmortem actually needs.
+///
+/// [`record`](FlightRecorder::record) takes one shard lock (writers are
+/// distributed round-robin); snapshots lock each shard briefly in turn
+/// and splice by a global sequence number, so the returned order is
+/// oldest → newest across shards.
+pub struct FlightRecorder {
+    shards: [Mutex<Ring>; SHARDS],
+    slow: Mutex<Ring>,
+    slow_threshold: Duration,
+    next_shard: AtomicUsize,
+    next_seq: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining up to `capacity` recent traces and, above
+    /// `slow_threshold` end-to-end latency, up to `slow_capacity` slow
+    /// traces.
+    #[must_use]
+    pub fn new(capacity: usize, slow_threshold: Duration, slow_capacity: usize) -> Self {
+        // Spread the capacity over the shards; earlier shards take the
+        // remainder so the total retained is exactly `capacity`.
+        let shards = std::array::from_fn(|i| {
+            Mutex::new(Ring::new(capacity / SHARDS + usize::from(i < capacity % SHARDS)))
+        });
+        Self {
+            shards,
+            slow: Mutex::new(Ring::new(slow_capacity)),
+            slow_threshold,
+            next_shard: AtomicUsize::new(0),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Total traces retained across shards when full.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).capacity).sum()
+    }
+
+    /// The end-to-end latency above which a trace is also retained in
+    /// the slow ring.
+    #[must_use]
+    pub fn slow_threshold(&self) -> Duration {
+        self.slow_threshold
+    }
+
+    /// Record one completed request.
+    pub fn record(&self, trace: RequestTrace) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        if Duration::from_nanos(trace.total_ns) >= self.slow_threshold {
+            lock(&self.slow).push(seq, trace.clone());
+        }
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % SHARDS;
+        lock(&self.shards[shard]).push(seq, trace);
+    }
+
+    /// Snapshot of the retained recent traces, oldest → newest.
+    #[must_use]
+    pub fn recent(&self) -> Vec<RequestTrace> {
+        let mut all: Vec<(u64, RequestTrace)> = Vec::new();
+        for shard in &self.shards {
+            all.extend(lock(shard).traces.iter().cloned());
+        }
+        all.sort_by_key(|(seq, _)| *seq);
+        all.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Snapshot of the retained slow traces, oldest → newest.
+    #[must_use]
+    pub fn slow(&self) -> Vec<RequestTrace> {
+        lock(&self.slow).traces.iter().map(|(_, t)| t.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RequestId;
+
+    fn trace(tag: u32, total_ns: u64) -> RequestTrace {
+        let mut t = RequestTrace::new(RequestId::parse(&format!("t-{tag}")).unwrap(), 200);
+        t.total_ns = total_ns;
+        t
+    }
+
+    #[test]
+    fn recent_ring_wraps_at_capacity_under_a_2x_burst() {
+        let recorder = FlightRecorder::new(8, Duration::from_secs(1), 4);
+        assert_eq!(recorder.capacity(), 8);
+        for i in 0..16 {
+            recorder.record(trace(i, 1_000));
+        }
+        let recent = recorder.recent();
+        assert_eq!(recent.len(), 8, "the ring holds exactly its capacity");
+        // Round-robin sharding keeps exactly the newest traces: the
+        // burst is even over the shards, so each shard evicted its own
+        // oldest half.
+        let ids: Vec<&str> = recent.iter().map(|t| t.id.as_str()).collect();
+        assert_eq!(ids, ["t-8", "t-9", "t-10", "t-11", "t-12", "t-13", "t-14", "t-15"]);
+    }
+
+    #[test]
+    fn slow_ring_retains_outliers_fast_traffic_would_flush() {
+        let recorder = FlightRecorder::new(4, Duration::from_millis(1), 4);
+        recorder.record(trace(0, 2_000_000)); // 2 ms: slow
+        for i in 1..9 {
+            recorder.record(trace(i, 1_000)); // fast burst, 2x capacity
+        }
+        assert!(
+            recorder.recent().iter().all(|t| t.total_ns == 1_000),
+            "the fast burst flushed the outlier from the recent ring"
+        );
+        let slow = recorder.slow();
+        assert_eq!(slow.len(), 1, "…but the slow ring kept it");
+        assert_eq!(slow[0].id.as_str(), "t-0");
+        // Exactly at the threshold counts as slow.
+        recorder.record(trace(9, 1_000_000));
+        assert_eq!(recorder.slow().len(), 2);
+    }
+
+    #[test]
+    fn slow_ring_is_bounded_too() {
+        let recorder = FlightRecorder::new(4, Duration::ZERO, 3);
+        for i in 0..7 {
+            recorder.record(trace(i, i as u64));
+        }
+        let slow = recorder.slow();
+        assert_eq!(slow.len(), 3);
+        assert_eq!(slow[0].id.as_str(), "t-4", "oldest slow traces evict first");
+    }
+
+    #[test]
+    fn tiny_capacities_split_unevenly_but_exactly() {
+        let recorder = FlightRecorder::new(3, Duration::from_secs(1), 1);
+        for i in 0..30 {
+            recorder.record(trace(i, 0));
+        }
+        assert_eq!(recorder.capacity(), 3);
+        assert_eq!(recorder.recent().len(), 3);
+    }
+
+    #[test]
+    fn snapshots_are_ordered_oldest_to_newest() {
+        let recorder = FlightRecorder::new(16, Duration::from_secs(1), 4);
+        for i in 0..10 {
+            recorder.record(trace(i, 0));
+        }
+        let ids: Vec<String> =
+            recorder.recent().iter().map(|t| t.id.as_str().to_string()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_by_key(|s| s[2..].parse::<u32>().unwrap());
+        assert_eq!(ids, sorted);
+    }
+}

@@ -145,6 +145,20 @@ fn compiled_default() -> Backend {
     }
 }
 
+/// The cargo feature set this kernel layer was compiled with, as a
+/// stable label value (`"default"` or `"parallel"`). Feature flags only
+/// exist at this crate's compile time, so the serving stack's
+/// `scales_build_info` metric reads them here instead of re-testing
+/// `cfg!` in a crate where the feature is never enabled.
+#[must_use]
+pub fn compiled_features() -> &'static str {
+    if cfg!(feature = "parallel") {
+        "parallel"
+    } else {
+        "default"
+    }
+}
+
 fn initial_backend() -> Backend {
     match std::env::var("SCALES_BACKEND") {
         Ok(v) => v

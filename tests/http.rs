@@ -418,6 +418,284 @@ fn slo_headers_drive_tenants_deadlines_and_typed_statuses() {
     });
 }
 
+/// The tracing contract end to end (ISSUE 10 acceptance): a traced POST
+/// echoes its `X-Scales-Request-Id`, its trace lands in the flight
+/// recorder with all eight stage spans telescoping exactly to the
+/// total, and `/metrics` gains the per-stage histograms — while an
+/// invalid client id is replaced, never refused.
+#[test]
+fn traced_requests_echo_ids_and_land_in_the_flight_recorder() {
+    use scales::telemetry::{Stage, STAGES};
+
+    with_watchdog(120, "trace-e2e", || {
+        let server = server(21);
+        let addr = server.addr();
+        let posted = encode_image(&probe(12, 10, 9), WireFormat::Ppm).unwrap();
+        let tagged = |id: &str| {
+            let mut raw = format!(
+                "POST /v1/upscale HTTP/1.1\r\nHost: t\r\nX-Scales-Request-Id: {id}\r\nContent-Length: {}\r\n\r\n",
+                posted.len()
+            )
+            .into_bytes();
+            raw.extend_from_slice(&posted);
+            raw
+        };
+
+        // A valid client id is echoed verbatim.
+        let (status, headers, body) = send(addr, &tagged("e2e-trace-1"));
+        assert_eq!(status, 200, "body: {}", String::from_utf8_lossy(&body));
+        assert_eq!(header(&headers, "x-scales-request-id"), Some("e2e-trace-1"));
+
+        // An invalid id is replaced with a generated one — the request
+        // still serves and every response still carries *an* id.
+        let (status, headers, _) = send(addr, &tagged("not%20an%20id"));
+        assert_eq!(status, 200);
+        let minted = header(&headers, "x-scales-request-id").expect("every response carries an id");
+        assert_ne!(minted, "not%20an%20id");
+
+        // Even a malformed head gets an id on its 400.
+        let (status, headers, _) = send(addr, b"WHAT\r\n\r\n");
+        assert_eq!(status, 400);
+        assert!(header(&headers, "x-scales-request-id").is_some());
+
+        // The trace is recorded after the response is written; poll the
+        // typed API briefly rather than racing it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let trace = loop {
+            if let Some(t) =
+                server.traces().into_iter().find(|t| t.id.as_str() == "e2e-trace-1")
+            {
+                break t;
+            }
+            assert!(std::time::Instant::now() < deadline, "trace must appear in the recorder");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert_eq!(trace.status, 200);
+        assert!(trace.total_ns > 0);
+        assert_eq!(
+            trace.stage_ns.iter().sum::<u64>(),
+            trace.total_ns,
+            "telescoping spans must sum exactly to the total: {:?}",
+            trace.stage_ns
+        );
+        for stage in [Stage::Parse, Stage::Decode, Stage::Infer, Stage::Encode, Stage::Write] {
+            assert!(
+                trace.stage(stage) > 0,
+                "stage {} must have measurable time: {:?}",
+                STAGES[stage as usize],
+                trace.stage_ns
+            );
+        }
+
+        // The same trace is retrievable over the wire, with every stage
+        // key present in the JSON document.
+        let (status, headers, body) =
+            send(addr, b"GET /v1/debug/traces HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        assert_eq!(header(&headers, "content-type"), Some("application/json"));
+        let doc = String::from_utf8(body).unwrap();
+        assert!(doc.contains("\"id\":\"e2e-trace-1\""), "trace must be in the document: {doc}");
+        for name in STAGES {
+            assert!(doc.contains(&format!("\"{name}\":")), "stage key {name} missing: {doc}");
+        }
+
+        // The scrape now carries the per-stage histograms on both sides
+        // of the queue.
+        let (_, _, metrics) = send(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        let text = String::from_utf8(metrics).unwrap();
+        for needle in [
+            "scales_http_stage_seconds_bucket{stage=\"decode\",le=",
+            "scales_http_stage_seconds_bucket{stage=\"encode\",le=",
+            "scales_http_stage_seconds_bucket{stage=\"write\",le=",
+            "scales_runtime_stage_seconds_bucket{stage=\"queue_wait\",le=",
+            "scales_runtime_stage_seconds_bucket{stage=\"infer\",le=",
+            "scales_http_refused_total 0",
+        ] {
+            assert!(text.contains(needle), "metrics must contain {needle}");
+        }
+
+        let stats = server.shutdown();
+        assert_eq!(stats.failed, 0);
+    });
+}
+
+/// The flight recorder's rings over the wire: a 2× burst wraps the
+/// recent ring at exactly its capacity, and the slow ring (threshold
+/// forced to 1 ns so everything qualifies) retains its own bounded set.
+#[test]
+fn flight_recorder_rings_wrap_over_the_wire() {
+    with_watchdog(120, "ring-wrap", || {
+        let runtime = Runtime::spawn(
+            engine(22),
+            RuntimeConfig { workers: 1, ..RuntimeConfig::default() },
+        )
+        .unwrap();
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            runtime,
+            HttpConfig {
+                trace_capacity: 4,
+                slow_threshold: Duration::from_nanos(1),
+                slow_trace_capacity: 2,
+                ..HttpConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        for _ in 0..8 {
+            let (status, _, _) = send(addr, b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+            assert_eq!(status, 200);
+        }
+        // Recording happens just after the response write; poll briefly.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.traces().len() < 4 || server.slow_traces().len() < 2 {
+            assert!(std::time::Instant::now() < deadline, "rings must fill");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.traces().len(), 4, "the recent ring holds exactly its capacity");
+        assert_eq!(server.slow_traces().len(), 2, "the slow ring is bounded separately");
+
+        // The wire view agrees.
+        let (status, _, body) =
+            send(addr, b"GET /v1/debug/traces?slow=1 HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(
+            String::from_utf8(body).unwrap().starts_with("{\"count\":2,"),
+            "the slow document reports its bounded count"
+        );
+        let _ = server.shutdown();
+    });
+}
+
+/// Hostile sweep over the debug endpoints: bad queries are 400s, wrong
+/// methods are 405s advertising `Allow`, HEAD answers headers-only, an
+/// unknown fleet model is a 404, and unknown debug paths stay 404.
+#[test]
+fn debug_endpoints_survive_hostile_queries_and_methods() {
+    use scales::models::SrNetwork;
+    use scales::router::{ModelRouter, RouterConfig};
+
+    with_watchdog(240, "debug-hostile", || {
+        // Single-runtime server first.
+        let server = server(23);
+        let addr = server.addr();
+        let cases: [(&str, &[u8], u16); 5] = [
+            (
+                "bad traces query",
+                b"GET /v1/debug/traces?bogus=1 HTTP/1.1\r\nHost: t\r\n\r\n",
+                400,
+            ),
+            (
+                "bad profile query",
+                b"GET /v1/debug/profile?x HTTP/1.1\r\nHost: t\r\n\r\n",
+                400,
+            ),
+            (
+                "model query without a fleet",
+                b"GET /v1/debug/profile?model=alpha HTTP/1.1\r\nHost: t\r\n\r\n",
+                400,
+            ),
+            ("unknown debug path", b"GET /v1/debug/nope HTTP/1.1\r\nHost: t\r\n\r\n", 404),
+            (
+                "wrong method",
+                b"POST /v1/debug/traces HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+                405,
+            ),
+        ];
+        for (label, raw, expected) in cases {
+            let (status, headers, body) = send(addr, raw);
+            assert_eq!(status, expected, "{label}: {}", String::from_utf8_lossy(&body));
+            assert!(
+                header(&headers, "x-scales-request-id").is_some(),
+                "{label}: refusals carry a trace id too"
+            );
+            if expected == 405 {
+                assert_eq!(header(&headers, "allow"), Some("GET, HEAD"), "{label}");
+            }
+        }
+
+        // HEAD answers the head only: full Content-Length, no body.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        stream
+            .write_all(b"HEAD /v1/debug/traces HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut raw = Vec::new();
+        let mut byte = [0u8; 1];
+        while !raw.ends_with(b"\r\n\r\n") {
+            let n = stream.read(&mut byte).expect("read HEAD response head");
+            assert!(n > 0, "connection closed before the head finished");
+            raw.push(byte[0]);
+        }
+        let text = String::from_utf8(raw).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "HEAD must succeed: {text}");
+        assert!(!text.lines().any(|l| l.starts_with("Content-Length: 0")), "{text}");
+        let mut rest = Vec::new();
+        let _ = stream.read_to_end(&mut rest);
+        assert!(rest.is_empty(), "HEAD must not send a body");
+
+        // The server survives the sweep.
+        let (status, _, _) = send(addr, b"GET /v1/debug/traces HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        let _ = server.shutdown();
+
+        // Fleet mode: ?model routes, and an unknown name is a 404.
+        let router = ModelRouter::new(RouterConfig {
+            runtime: RuntimeConfig { workers: 1, ..RuntimeConfig::default() },
+            ..RouterConfig::default()
+        })
+        .unwrap();
+        router.register_model("alpha", fleet_net(24).lower().unwrap()).unwrap();
+        let fleet =
+            HttpServer::bind_router("127.0.0.1:0", router, HttpConfig::default()).unwrap();
+        let (status, _, body) =
+            send(fleet.addr(), b"GET /v1/debug/profile?model=alpha HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        let doc = String::from_utf8(body).unwrap();
+        assert!(doc.contains("\"model\":\"alpha\""), "{doc}");
+        let (status, _, _) =
+            send(fleet.addr(), b"GET /v1/debug/profile?model=nope HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 404, "unknown model on the profile endpoint");
+        let _ = fleet.shutdown();
+    });
+}
+
+/// The opt-in profiler over the wire: with `profile_ops` on, the debug
+/// endpoint attributes forward wall time to named op kinds and the
+/// scrape carries the `scales_plan_op_*` series.
+#[test]
+fn opt_in_profiler_reports_per_op_time_over_the_wire() {
+    with_watchdog(120, "profiler-e2e", || {
+        let runtime = Runtime::spawn(
+            engine(25),
+            RuntimeConfig { workers: 1, profile_ops: true, ..RuntimeConfig::default() },
+        )
+        .unwrap();
+        let server = HttpServer::bind("127.0.0.1:0", runtime, HttpConfig::default()).unwrap();
+        let addr = server.addr();
+        let posted = encode_image(&probe(10, 10, 2), WireFormat::Ppm).unwrap();
+        let (status, _, _) = send(addr, &post_image("/v1/upscale", WireFormat::Ppm, &posted));
+        assert_eq!(status, 200);
+
+        let (status, _, body) =
+            send(addr, b"GET /v1/debug/profile HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        let doc = String::from_utf8(body).unwrap();
+        assert!(doc.contains("\"model\":null"), "single-runtime profile has no model: {doc}");
+        for needle in ["\"op\":\"body_conv\"", "\"op\":\"bicubic_up\"", "\"total_ns\":"] {
+            assert!(doc.contains(needle), "profile must contain {needle}: {doc}");
+        }
+        assert!(!doc.contains("\"total_ns\":0,"), "profiled ops must carry time: {doc}");
+
+        let (_, _, metrics) = send(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        let text = String::from_utf8(metrics).unwrap();
+        for needle in ["scales_plan_op_calls_total{op=\"body_conv\"}", "scales_plan_op_seconds_total{op="] {
+            assert!(text.contains(needle), "metrics must contain {needle}");
+        }
+        let _ = server.shutdown();
+    });
+}
+
 /// Build a deployable network whose output is bitwise distinguishable
 /// per seed: freshly built nets all answer exactly the bicubic baseline
 /// (the tail conv is zero-initialised), so every parameter gets a tiny
@@ -654,6 +932,10 @@ fn full_backlog_refusals_do_not_block_the_accept_loop() {
                 Some("1"),
                 "refusal {i}: overload refusals must tell the peer when to come back"
             );
+            assert!(
+                header(&headers, "x-scales-request-id").is_some(),
+                "refusal {i}: even edge refusals carry a trace id"
+            );
         }
 
         // The occupied worker was never disturbed: the first connection
@@ -665,6 +947,18 @@ fn full_backlog_refusals_do_not_block_the_accept_loop() {
         queued.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
         let (status, _, _) = read_response(&mut queued);
         assert_eq!(status, 200, "the queued connection gets a worker after the occupant leaves");
+
+        // The refusals are no longer invisible: the scrape counts them.
+        drop(queued);
+        let (status, _, metrics) = send(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        let text = String::from_utf8(metrics).unwrap();
+        let refused_line = text
+            .lines()
+            .find(|l| l.starts_with("scales_http_refused_total"))
+            .expect("the scrape exposes the refused counter");
+        let count: u64 = refused_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(count >= 3, "all three refusals must be counted: {refused_line}");
 
         drop(stalled);
         let stats = server.shutdown();
